@@ -1,0 +1,23 @@
+"""Shared workloads for the bench suite (module-scoped, built once)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))  # make `helpers` importable
+
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture(scope="session")
+def zipf_50k():
+    """The canonical skewed token stream used across benches."""
+    return list(zipf_stream(50_000, universe=10_000, skew=1.1, seed=1000))
+
+
+@pytest.fixture(scope="session")
+def zipf_counts(zipf_50k):
+    import collections
+
+    return collections.Counter(zipf_50k)

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench both (a) registers a pytest-benchmark timing for the hot loop
+and (b) prints the characterization table that regenerates its paper
+artifact (who wins, by what factor, where the crossovers are). Absolute
+numbers are machine-specific; the *shape* is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned characterization table to stdout."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n### {title}", file=sys.stderr)
+    print(line, file=sys.stderr)
+    print("-" * len(line), file=sys.stderr)
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)), file=sys.stderr)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def rel_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth (0 when both are zero)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def drive(synopsis, items) -> object:
+    """Feed *items* into *synopsis* (the standard benchmarked hot loop)."""
+    update = synopsis.update
+    for item in items:
+        update(item)
+    return synopsis

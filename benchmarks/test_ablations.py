@@ -1,0 +1,185 @@
+"""Ablations — the design choices DESIGN.md calls out, measured.
+
+* Count-Min plain vs conservative update vs Count-Sketch (bias/variance);
+* Bloom double hashing (Kirsch–Mitzenmacher) vs independent hashes;
+* HyperLogLog raw estimator vs range corrections;
+* t-digest delta sweep and GK epsilon sweep (space vs error);
+* DGIM buckets-per-size vs error;
+* acking / checkpointing overhead vs plain execution.
+"""
+
+import collections
+
+import numpy as np
+from helpers import drive, rel_error, report
+
+from repro.cardinality import HyperLogLog
+from repro.common.hashing import HashFamily
+from repro.filtering import BloomFilter
+from repro.frequency import CountMinSketch, CountSketch
+from repro.platform import CountBolt, ListSpout, LocalExecutor, TopologyBuilder
+from repro.quantiles import GKQuantiles, TDigest
+from repro.windowing import DGIM
+from repro.common.rng import make_np_rng
+from repro.workloads import zipf_stream
+
+
+def test_ablation_cms_conservative(benchmark, zipf_50k, zipf_counts):
+    rows = []
+    for name, sketch in (
+        ("Count-Min plain", CountMinSketch(width=1024, depth=4, seed=1)),
+        ("Count-Min conservative", CountMinSketch(width=1024, depth=4, seed=1, conservative=True)),
+        ("Count-Sketch", CountSketch(width=1024, depth=5, seed=1)),
+    ):
+        drive(sketch, zipf_50k)
+        errs = [sketch.estimate(w) - c for w, c in zipf_counts.items()]
+        rows.append(
+            [name, f"{np.mean(errs):+.1f}", f"{np.std(errs):.1f}",
+             f"{np.mean(np.abs(errs)):.1f}"]
+        )
+    report(
+        "Ablation: frequency-sketch update rules (1024-wide, zipf 50k)",
+        ["sketch", "bias", "std", "mean |err|"],
+        rows,
+    )
+    # Conservative update strictly reduces overestimation bias.
+    assert float(rows[1][1]) <= float(rows[0][1])
+    sketch = CountMinSketch(width=512, depth=4, seed=2)
+    benchmark(lambda: drive(sketch, zipf_50k[:10_000]))
+
+
+def test_ablation_bloom_hashing(benchmark):
+    keys = [f"k{i}" for i in range(20_000)]
+
+    class IndependentBloom(BloomFilter):
+        def update(self, item):
+            self.count += 1
+            for h in self.family.independent_hashes(item, self.k):
+                self._bits[h % self.m] = True
+
+        def contains(self, item):
+            return all(
+                self._bits[h % self.m]
+                for h in self.family.independent_hashes(item, self.k)
+            )
+
+        __contains__ = contains
+
+    rows = []
+    for name, cls in (("double hashing (KM)", BloomFilter), ("k independent hashes", IndependentBloom)):
+        bf = cls.for_capacity(20_000, 0.01, seed=3)
+        bf.update_many(keys)
+        fp = sum(1 for i in range(30_000) if f"x{i}" in bf) / 30_000
+        rows.append([name, f"{fp:.4%}"])
+    report("Ablation: Bloom hashing scheme (target fp 1%)", ["scheme", "measured fp"], rows)
+    # KM double hashing preserves the asymptotics: same fp within noise.
+    assert abs(float(rows[0][1].rstrip("%")) - float(rows[1][1].rstrip("%"))) < 0.8
+    bf = BloomFilter.for_capacity(20_000, 0.01, seed=4)
+    benchmark(lambda: bf.update_many(keys[:5_000]))
+
+
+def test_ablation_hll_corrections(benchmark):
+    rows = []
+    for card in (50, 500, 50_000):
+        hll = HyperLogLog(precision=11, seed=5)
+        hll.update_many(f"u{i}" for i in range(card))
+        rows.append(
+            [f"n={card:,}", rel_error(hll.raw_estimate(), card),
+             rel_error(hll.estimate(), card)]
+        )
+    report(
+        "Ablation: HyperLogLog range corrections (p=11)",
+        ["cardinality", "raw estimator err", "corrected err"],
+        rows,
+    )
+    # Small range: correction (linear counting) must dominate raw.
+    assert rows[0][2] < rows[0][1]
+    hll = HyperLogLog(precision=11, seed=6)
+    benchmark(lambda: hll.update_many(f"v{i}" for i in range(10_000)))
+
+
+def test_ablation_quantile_parameter_sweep(benchmark):
+    data = make_np_rng(19_000).lognormal(3, 1, size=30_000)
+    data_sorted = np.sort(data)
+
+    def rank_err(est, q):
+        return abs(np.searchsorted(data_sorted, est) - q * len(data)) / len(data)
+
+    rows = []
+    for delta in (50, 100, 400):
+        td = drive(TDigest(delta=delta), data)
+        rows.append([f"t-digest d={delta}", td.n_centroids, f"{rank_err(td.quantile(0.99), 0.99):.5f}"])
+    for eps in (0.05, 0.01, 0.002):
+        gk = drive(GKQuantiles(epsilon=eps), data)
+        rows.append([f"GK eps={eps}", gk.n_tuples, f"{rank_err(gk.quantile(0.99), 0.99):.5f}"])
+    report("Ablation: quantile space/accuracy sweep (p99)", ["config", "cells", "p99 rank err"], rows)
+    # More space -> no worse error, within noise, at both families' extremes.
+    assert float(rows[2][2]) <= float(rows[0][2]) + 0.002
+    assert float(rows[5][2]) <= float(rows[3][2]) + 0.002
+    benchmark(lambda: drive(TDigest(delta=100), data[:10_000]))
+
+
+def test_ablation_dgim_epsilon(benchmark):
+    bits = (make_np_rng(19_001).random(60_000) < 0.4).tolist()
+    window = 20_000
+    true = sum(bits[-window:])
+    rows = []
+    for eps in (1.0, 0.3, 0.1, 0.03):
+        d = drive(DGIM(window, epsilon=eps), bits)
+        rows.append([f"eps={eps}", d.n_buckets, rel_error(d.estimate(), true)])
+    report("Ablation: DGIM buckets-per-size vs error", ["epsilon", "buckets", "measured err"], rows)
+    assert rows[-1][1] > rows[0][1]  # tighter epsilon costs more buckets
+    assert rows[-1][2] < 0.05
+    short = bits[:20_000]
+    benchmark(lambda: drive(DGIM(window, epsilon=0.1), short))
+
+
+def test_ablation_delta_vs_bulk_iteration(benchmark):
+    """Flink's delta-iteration claim: total work collapses versus bulk
+    supersteps while producing identical results."""
+    from repro.platform import bulk_connected_components, connected_components
+    from repro.workloads import edge_stream
+
+    edges = list(edge_stream(800, 1_500, seed=19_003))
+    delta = connected_components(edges)
+    bulk = bulk_connected_components(edges)
+    rows = [
+        ["bulk label propagation", bulk.supersteps, bulk.total_work],
+        ["delta iteration", delta.supersteps, delta.total_work],
+    ]
+    report(
+        "Ablation: delta vs bulk iterations (connected components, 800 vertices)",
+        ["engine", "supersteps", "total vertex-visits"],
+        rows,
+    )
+    assert delta.solution == bulk.solution
+    assert delta.total_work < bulk.total_work
+    benchmark(lambda: connected_components(edges))
+
+
+def test_ablation_reliability_overhead(benchmark):
+    words = list(zipf_stream(3_000, universe=300, skew=1.0, seed=19_002))
+
+    def topo():
+        builder = TopologyBuilder()
+        builder.set_spout("w", lambda: ListSpout(words))
+        builder.set_bolt("count", CountBolt, parallelism=4).fields("w", 0)
+        return builder.build()
+
+    rows = []
+    for semantics in ("at_most_once", "at_least_once", "exactly_once"):
+        ex = LocalExecutor(topo(), semantics=semantics, checkpoint_interval=200)
+        metrics = ex.run()
+        merged = collections.Counter()
+        for bolt in ex.bolt_instances("count"):
+            merged.update(bolt.counts)
+        rows.append(
+            [semantics, f"{metrics.throughput():,.0f}", metrics.checkpoints,
+             "exact" if sum(merged.values()) == len(words) else "lossy"]
+        )
+    report(
+        "Ablation: reliability overhead (no faults injected)",
+        ["semantics", "words/s", "checkpoints", "result"],
+        rows,
+    )
+    benchmark(lambda: LocalExecutor(topo(), semantics="at_most_once").run())

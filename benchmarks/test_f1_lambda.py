@@ -1,0 +1,80 @@
+"""F1 — Figure 1: the Lambda Architecture, end to end.
+
+Regenerates the figure as a measured experiment: query correctness as the
+batch/speed boundary moves, speed-layer memory vs batch lag, and query
+latency of merged reads.
+"""
+
+import collections
+
+from helpers import report
+
+from repro.lambda_arch import CountView, LambdaArchitecture, UniqueVisitorsView
+from repro.workloads import click_stream
+
+CLICKS = list(click_stream(20_000, unique_visitors=2_000, pages=100, seed=17_000))
+TRUTH = collections.Counter(e.page for e in CLICKS)
+
+
+def test_ingest_throughput(benchmark):
+    def run():
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(CLICKS[:5_000])
+        return la
+
+    benchmark(run)
+
+
+def test_batch_recompute(benchmark):
+    la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+    la.ingest_many(CLICKS)
+    benchmark(la.run_batch)
+
+
+def test_merged_query(benchmark):
+    la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+    la.ingest_many(CLICKS[:15_000])
+    la.run_batch()
+    la.ingest_many(CLICKS[15_000:])
+    hot = TRUTH.most_common(1)[0][0]
+    result = benchmark(lambda: la.query(hot))
+    assert result == TRUTH[hot]
+
+
+def test_f1_report(benchmark):
+    hot = TRUTH.most_common(1)[0][0]
+    rows = []
+    for batch_at in (0, 5_000, 15_000, 20_000):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(CLICKS[:batch_at])
+        if batch_at:
+            la.run_batch()
+        la.ingest_many(CLICKS[batch_at:])
+        correct = la.query(hot) == TRUTH[hot]
+        rows.append(
+            [f"batch ran at {batch_at:,}", la.batch_lag, la.speed.n_pending_events,
+             "exact" if correct else "WRONG"]
+        )
+        assert correct
+
+    # HLL view: merged batch+speed distinct counts stay within sketch error.
+    view = UniqueVisitorsView(key_fn=lambda e: "site", user_fn=lambda e: e.user_id)
+    la = LambdaArchitecture(view)
+    la.ingest_many(CLICKS[:10_000])
+    la.run_batch()
+    la.ingest_many(CLICKS[10_000:])
+    exact = len({e.user_id for e in CLICKS})
+    est = la.query("site")
+    rows.append(
+        ["HLL audience view", la.batch_lag, la.speed.n_pending_events,
+         f"{abs(est - exact) / exact:.2%} err"]
+    )
+    assert abs(est - exact) / exact < 0.1
+
+    report(
+        "F1 Lambda Architecture (20k clicks; queries always merge batch+speed)",
+        ["scenario", "batch lag", "speed events held", "query result"],
+        rows,
+    )
+    la2 = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+    benchmark(lambda: la2.ingest_many(CLICKS[:2_000]))

@@ -1,0 +1,91 @@
+"""S2-ML — Section 2's incremental machine learning, measured.
+
+Regenerates the section's claim as an experiment: online learners reach
+useful accuracy in one pass and *adapt to drift*, where a frozen batch
+model decays. Progressive validation (predict-then-learn) throughout.
+"""
+
+import numpy as np
+from helpers import report
+
+from repro.common.rng import make_np_rng
+from repro.ml import HoeffdingTree, OnlineLogisticRegression, StreamingNaiveBayes
+
+
+def _drifting_stream(n, dims=6, drift_at=None, seed=21_000):
+    """Logistic-model stream whose true weights flip sign at *drift_at*."""
+    rng = make_np_rng(seed)
+    w = rng.normal(size=dims)
+    for i in range(n):
+        if drift_at is not None and i == drift_at:
+            w = -w
+        x = rng.normal(size=dims)
+        p = 1.0 / (1.0 + np.exp(-(x @ w) * 3.0))
+        yield x, int(rng.random() < p)
+
+
+def test_logistic_update(benchmark):
+    data = list(_drifting_stream(10_000))
+    lr = OnlineLogisticRegression(dims=6)
+    benchmark(lambda: lr.update_many(data))
+
+
+def test_hoeffding_update(benchmark):
+    rng = make_np_rng(21_001)
+    data = [(rng.uniform(0, 1, size=2), int(rng.random() < 0.5)) for __ in range(5_000)]
+    tree = HoeffdingTree(dims=2, grace_period=200)
+    benchmark(lambda: tree.update_many(data))
+
+
+def test_naive_bayes_update(benchmark):
+    rng = make_np_rng(21_002)
+    docs = [
+        ([f"w{int(rng.integers(50))}" for __ in range(5)], int(rng.integers(2)))
+        for __ in range(5_000)
+    ]
+    nb = StreamingNaiveBayes()
+    benchmark(lambda: nb.update_many(docs))
+
+
+def test_s2_ml_report(benchmark):
+    n, drift_at = 30_000, 15_000
+    rows = []
+
+    # Online learner: accuracy windows before and after the drift.
+    lr = OnlineLogisticRegression(dims=6, adagrad=True)
+    window_hits: list[int] = []
+    acc_before = acc_after = acc_recovered = 0.0
+    for i, (x, y) in enumerate(_drifting_stream(n, drift_at=drift_at)):
+        window_hits.append(int(lr.predict(x) == y))
+        lr.update((x, y))
+        if i == drift_at - 1:
+            acc_before = float(np.mean(window_hits[-3_000:]))
+        if i == drift_at + 999:
+            acc_after = float(np.mean(window_hits[-1_000:]))
+    acc_recovered = float(np.mean(window_hits[-3_000:]))
+    rows.append(
+        ["online logistic (AdaGrad)", f"{acc_before:.1%}", f"{acc_after:.1%}",
+         f"{acc_recovered:.1%}"]
+    )
+
+    # Frozen model trained on the first half only: decays after the drift.
+    frozen = OnlineLogisticRegression(dims=6, adagrad=True)
+    stream = list(_drifting_stream(n, drift_at=drift_at))
+    frozen.update_many(stream[:drift_at])
+    pre = float(np.mean([frozen.predict(x) == y for x, y in stream[drift_at - 3_000 : drift_at]]))
+    post = float(np.mean([frozen.predict(x) == y for x, y in stream[-3_000:]]))
+    rows.append(["frozen batch model", f"{pre:.1%}", "-", f"{post:.1%}"])
+
+    report(
+        "S2-ML Incremental learning under concept drift (flip at 15k)",
+        ["model", "acc before drift", "acc right after", "acc at end"],
+        rows,
+    )
+    # Shape: the online model recovers after the drift; the frozen one
+    # ends up at or below chance.
+    assert acc_before > 0.75
+    assert acc_recovered > 0.75
+    assert post < 0.55
+    small = list(_drifting_stream(3_000))
+    lr2 = OnlineLogisticRegression(dims=6)
+    benchmark(lambda: lr2.update_many(small))

@@ -1,0 +1,93 @@
+"""S2 — Section 2's synopsis techniques: histograms and wavelets.
+
+Regenerates the section's comparison of distribution synopses: equi-width
+vs V-optimal vs end-biased histograms vs Haar wavelet, on SSE and
+range-query error, against the exact distribution.
+"""
+
+import numpy as np
+from helpers import drive, rel_error, report
+
+from repro.common.rng import make_np_rng
+from repro.histograms import (
+    EndBiasedHistogram,
+    EquiWidthHistogram,
+    StreamingVOptimal,
+    WaveletHistogram,
+    total_sse,
+    v_optimal_histogram,
+)
+from repro.workloads import zipf_stream
+
+
+def _bimodal(n=40_000, seed=18_000):
+    rng = make_np_rng(seed)
+    a = rng.normal(20, 3, size=n // 2)
+    b = rng.normal(75, 8, size=n // 2)
+    return np.concatenate([a, b]).clip(0, 100)
+
+
+def test_equiwidth_update(benchmark):
+    data = _bimodal()
+    benchmark(lambda: drive(EquiWidthHistogram(0, 100, bins=64), data))
+
+
+def test_voptimal_dp(benchmark):
+    counts = drive(EquiWidthHistogram(0, 100, bins=128), _bimodal()).counts
+    benchmark(lambda: v_optimal_histogram(counts.astype(float), 8))
+
+
+def test_wavelet_update(benchmark):
+    data = _bimodal()
+    benchmark(lambda: drive(WaveletHistogram(0, 100, resolution=128, b=16), data))
+
+
+def test_s2_report(benchmark):
+    data = _bimodal()
+    fine = drive(EquiWidthHistogram(0, 100, bins=128), data)
+    true_counts = fine.counts.astype(float)
+    rows = []
+
+    # 8-bucket equi-width vs 8-bucket V-optimal: SSE of the piecewise fit.
+    def equiwidth_sse(counts, buckets):
+        per = len(counts) // buckets
+        total = 0.0
+        for b in range(buckets):
+            seg = counts[b * per : (b + 1) * per]
+            total += float(((seg - seg.mean()) ** 2).sum())
+        return total
+
+    eq_sse = equiwidth_sse(true_counts, 8)
+    sv = drive(StreamingVOptimal(0, 100, n_buckets=8, resolution=128), data)
+    vo_sse = total_sse(sv.histogram())
+    rows.append(["equi-width (8 buckets)", f"{eq_sse:,.0f}", ""])
+    rows.append(["V-optimal (8 buckets)", f"{vo_sse:,.0f}",
+                 f"{eq_sse / max(vo_sse, 1):.1f}x lower SSE"])
+
+    wav = drive(WaveletHistogram(0, 100, resolution=128, b=16), data)
+    wave_sse = wav.l2_error() ** 2
+    rows.append(["Haar wavelet (B=16)", f"{wave_sse:,.0f}", "L2-optimal truncation"])
+
+    # Range query accuracy.
+    coarse = drive(EquiWidthHistogram(0, 100, bins=16), data)
+    true_range = float(((data >= 10) & (data < 30)).sum())
+    rows.append(
+        ["equi-width range [10,30)", f"{coarse.estimate_range_count(10, 30):,.0f}",
+         f"true {true_range:,.0f} ({rel_error(coarse.estimate_range_count(10, 30), true_range):.1%})"]
+    )
+
+    # End-biased on a skewed categorical stream.
+    tags = list(zipf_stream(30_000, universe=5_000, skew=1.3, seed=18_001))
+    import collections
+
+    truth = collections.Counter(tags)
+    eb = drive(EndBiasedHistogram(head_size=32, seed=0), tags)
+    top = truth.most_common(1)[0]
+    rows.append(
+        ["end-biased head item", f"{eb.estimate(top[0]):,.0f}",
+         f"true {top[1]:,} ({rel_error(eb.estimate(top[0]), top[1]):.1%})"]
+    )
+
+    report("S2 Distribution synopses (bimodal values + skewed tags)", ["synopsis", "value", "vs truth"], rows)
+    assert vo_sse <= eq_sse
+    benchmark(lambda: drive(EquiWidthHistogram(0, 100, bins=32), data[:10_000]))

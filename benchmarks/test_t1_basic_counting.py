@@ -1,0 +1,78 @@
+"""T1.16 — Table 1 "Basic Counting": DGIM over sliding windows.
+
+Regenerates the row as error-vs-space for DGIM at several epsilon values
+against the exact ring-buffer baseline, plus the EH generalisations to
+sums and variance.
+"""
+
+from collections import deque
+
+import numpy as np
+from helpers import drive, rel_error, report
+
+from repro.common.rng import make_np_rng
+from repro.windowing import DGIM, EHSum, EHVariance
+
+WINDOW = 10_000
+
+
+def _bits(n=40_000, p=0.3, seed=13_000):
+    return (make_np_rng(seed).random(n) < p).astype(bool).tolist()
+
+
+def test_dgim_update(benchmark):
+    bits = _bits(20_000)
+    benchmark(lambda: drive(DGIM(window=WINDOW, epsilon=0.1), bits))
+
+
+def test_exact_ring_buffer_update(benchmark):
+    bits = _bits(20_000)
+
+    def run():
+        buf = deque(maxlen=WINDOW)
+        ones = 0
+        for b in bits:
+            if len(buf) == WINDOW:
+                ones -= buf[0]
+            buf.append(b)
+            ones += b
+        return ones
+
+    benchmark(run)
+
+
+def test_eh_sum_update(benchmark):
+    values = make_np_rng(13_001).integers(0, 50, size=15_000).tolist()
+    benchmark(lambda: drive(EHSum(window=5_000, epsilon=0.1, max_value=50), values))
+
+
+def test_t1_16_report(benchmark):
+    bits = _bits()
+    true = int(np.sum(bits[-WINDOW:]))
+    rows = [["exact ring buffer", WINDOW, 0.0]]
+    for eps in (0.5, 0.1, 0.02):
+        d = drive(DGIM(window=WINDOW, epsilon=eps), bits)
+        rows.append(
+            [f"DGIM (eps={eps})", d.n_buckets, rel_error(d.estimate(), true)]
+        )
+    report(
+        f"T1.16 Basic counting (window {WINDOW:,}, ~30% ones)",
+        ["structure", "records kept", "relative error"],
+        rows,
+    )
+    # Shape: error within the guarantee, and O((1/eps) log^2 W) records
+    # instead of W bit positions.
+    for row, eps in zip(rows[1:], (0.5, 0.1, 0.02)):
+        assert float(row[2]) <= eps + 0.02
+        assert row[1] < WINDOW / 10
+
+    # EH extensions: sum and variance stay within epsilon too.
+    rng = make_np_rng(13_002)
+    values = rng.integers(0, 50, size=30_000)
+    s = drive(EHSum(window=WINDOW, epsilon=0.1, max_value=50), values.tolist())
+    assert rel_error(s.estimate(), float(values[-WINDOW:].sum())) < 0.12
+    v = drive(EHVariance(window=WINDOW, epsilon=0.1), rng.normal(5, 2, size=30_000))
+    assert rel_error(v.estimate_variance(), 4.0) < 0.25
+
+    short = bits[:10_000]
+    benchmark(lambda: drive(DGIM(window=WINDOW, epsilon=0.1), short))

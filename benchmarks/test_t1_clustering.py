@@ -1,0 +1,79 @@
+"""T1.14 — Table 1 "Clustering": clustering a data stream.
+
+Regenerates the row as clustering cost and memory across online k-means,
+divide-and-conquer streaming k-median and CluStream, against batch Lloyd's
+(upper-bound quality, full-memory) on a drifting Gaussian mixture.
+"""
+
+import numpy as np
+from helpers import report
+
+from repro.clustering import CluStream, OnlineKMeans, StreamingKMedian, weighted_kmeans
+from repro.common.rng import make_np_rng
+
+CENTRES = np.array([[0.0, 0.0], [12.0, 0.0], [0.0, 12.0], [12.0, 12.0]])
+
+
+def _stream(n=12_000, seed=11_000):
+    rng = make_np_rng(seed)
+    assign = rng.integers(0, len(CENTRES), size=n)
+    drift = np.linspace(0, 1.5, n)[:, None]  # slow drift of all centres
+    return CENTRES[assign] + drift + rng.normal(0, 0.6, size=(n, 2))
+
+
+def _avg_cost(points, centres):
+    d = np.sqrt(((points[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2))
+    return float(d.min(axis=1).mean())
+
+
+def test_online_kmeans_update(benchmark):
+    pts = _stream(5_000)
+    km = OnlineKMeans(4, 2, seed=0)
+    benchmark(lambda: km.update_many(pts))
+
+
+def test_streaming_kmedian_update(benchmark):
+    pts = _stream(5_000)
+    km = StreamingKMedian(4, 2, buffer_size=400, seed=0)
+    benchmark(lambda: km.update_many(pts))
+
+
+def test_clustream_update(benchmark):
+    pts = _stream(5_000)
+    cs = CluStream(dims=2, max_micro_clusters=40, seed=0)
+    benchmark(lambda: cs.update_many(pts))
+
+
+def test_t1_14_report(benchmark):
+    pts = _stream()
+    rows = []
+
+    batch_centres, __ = weighted_kmeans(pts, np.ones(len(pts)), 4, seed=0)
+    rows.append(["batch Lloyd's (full memory)", len(pts), _avg_cost(pts, batch_centres)])
+
+    km = OnlineKMeans(4, 2, seed=1)
+    km.update_many(pts)
+    rows.append(["online k-means", 4, _avg_cost(pts, km.centres)])
+
+    skm = StreamingKMedian(4, 2, buffer_size=500, seed=1)
+    skm.update_many(pts)
+    rows.append(["streaming k-median (D&C)", skm.memory_points, _avg_cost(pts, skm.centres())])
+
+    cs = CluStream(dims=2, max_micro_clusters=50, seed=1)
+    cs.update_many(pts)
+    rows.append(["CluStream (50 micro)", cs.n_micro_clusters, _avg_cost(pts, cs.macro_clusters(4))])
+
+    report(
+        "T1.14 Stream clustering (drifting 4-Gaussian mixture, n=12k)",
+        ["algorithm", "points held", "avg distance to centre"],
+        rows,
+    )
+    batch_cost = rows[0][2]
+    # Shape: streaming algorithms within 1.5x of batch cost at a fraction
+    # of the memory.
+    for row in rows[2:]:
+        assert row[2] < batch_cost * 1.5
+        assert row[1] < len(pts) / 5
+    small = pts[:3_000]
+    cs2 = CluStream(dims=2, max_micro_clusters=30, seed=2)
+    benchmark(lambda: cs2.update_many(small))

@@ -1,0 +1,99 @@
+"""T1.2 — Table 1 "Filtering": approximate set membership.
+
+Regenerates the row as measured bits/key vs false-positive rate for the
+Bloom family and the cuckoo filter, plus the exact-set baseline — the
+classic space/accuracy frontier.
+"""
+
+from helpers import report
+
+from repro.filtering import BloomFilter, CountingBloomFilter, CuckooFilter, ScalableBloomFilter
+
+N_KEYS = 20_000
+N_PROBES = 50_000
+
+
+def _keys():
+    return [f"key{i}" for i in range(N_KEYS)]
+
+
+def _fp_rate(filt) -> float:
+    hits = sum(1 for i in range(N_PROBES) if f"absent{i}" in filt)
+    return hits / N_PROBES
+
+
+def test_bloom_insert(benchmark):
+    keys = _keys()
+    bf = BloomFilter.for_capacity(N_KEYS, 0.01, seed=0)
+
+    def build():
+        bf.update_many(keys)
+        return bf
+
+    benchmark(build)
+
+
+def test_bloom_query(benchmark):
+    bf = BloomFilter.for_capacity(N_KEYS, 0.01, seed=0)
+    bf.update_many(_keys())
+    benchmark(lambda: sum(1 for i in range(5_000) if f"absent{i}" in bf))
+
+
+def test_cuckoo_insert(benchmark):
+    keys = _keys()
+
+    def build():
+        cf = CuckooFilter.for_capacity(N_KEYS, seed=0)
+        cf.update_many(keys)
+        return cf
+
+    benchmark(build)
+
+
+def test_scalable_bloom_insert(benchmark):
+    keys = _keys()
+
+    def build():
+        sbf = ScalableBloomFilter(initial_capacity=1_024, fp_rate=0.01, seed=0)
+        sbf.update_many(keys)
+        return sbf
+
+    benchmark(build)
+
+
+def test_t1_2_report(benchmark):
+    keys = _keys()
+    rows = []
+
+    exact = set(keys)
+    import sys
+
+    rows.append(["exact set", sys.getsizeof(exact) * 8 / N_KEYS, 0.0, "yes"])
+
+    for target in (0.1, 0.01, 0.001):
+        bf = BloomFilter.for_capacity(N_KEYS, target, seed=1)
+        bf.update_many(keys)
+        rows.append(
+            [f"Bloom (target {target})", bf.size_bytes() * 8 / N_KEYS, _fp_rate(bf), "no"]
+        )
+
+    cbf = CountingBloomFilter.for_capacity(N_KEYS, 0.01, seed=1)
+    cbf.update_many(keys)
+    rows.append(["Counting Bloom (0.01)", cbf.size_bytes() * 8 / N_KEYS, _fp_rate(cbf), "delete"])
+
+    cf = CuckooFilter.for_capacity(N_KEYS, seed=1)
+    cf.update_many(keys)
+    cuckoo_bits = cf.buckets * cf.bucket_size * cf.fingerprint_bits / N_KEYS
+    rows.append(["Cuckoo (12-bit fp)", cuckoo_bits, _fp_rate(cf), "delete"])
+
+    report(
+        f"T1.2 Filtering ({N_KEYS:,} keys; no false negatives by construction)",
+        ["structure", "bits/key", "false-positive rate", "supports delete"],
+        rows,
+    )
+    # All approximate structures must be far below the exact set's footprint
+    # (~840 bits/key for the container alone; counting Bloom's 8-bit
+    # counters are the family's most expensive at ~77 bits/key).
+    assert all(float(r[1]) < 128 for r in rows[1:])
+    bf = BloomFilter.for_capacity(N_KEYS, 0.01, seed=2)
+    benchmark(lambda: bf.update_many(keys[:5_000]))

@@ -1,0 +1,113 @@
+"""T1.7 — Table 1 "Finding Frequent Elements": trending hashtags.
+
+Regenerates the row as recall/precision of the top-20 and per-item count
+error across the counter-based (Misra-Gries, lossy counting, SpaceSaving)
+and sketch-based (Count-Min, Count-Sketch) families, against exact counts.
+"""
+
+import collections
+
+import numpy as np
+from helpers import drive, report
+
+from repro.frequency import (
+    CountMinSketch,
+    CountSketch,
+    LossyCounting,
+    MisraGries,
+    SpaceSaving,
+    StickySampling,
+)
+from repro.workloads import hashtag_stream
+
+
+def _stream():
+    return list(
+        hashtag_stream(
+            100_000,
+            background_tags=20_000,
+            trending={"#hot1": 0.02, "#hot2": 0.01},
+            seed=3000,
+        )
+    )
+
+
+def test_space_saving_update(benchmark, zipf_50k):
+    benchmark(lambda: drive(SpaceSaving(k=256), zipf_50k))
+
+
+def test_misra_gries_update(benchmark, zipf_50k):
+    benchmark(lambda: drive(MisraGries(k=256), zipf_50k))
+
+
+def test_lossy_counting_update(benchmark, zipf_50k):
+    benchmark(lambda: drive(LossyCounting(epsilon=0.001), zipf_50k))
+
+
+def test_count_min_update(benchmark, zipf_50k):
+    benchmark(lambda: drive(CountMinSketch(width=2048, depth=4, seed=0), zipf_50k))
+
+
+def test_count_sketch_update(benchmark, zipf_50k):
+    benchmark(lambda: drive(CountSketch(width=2048, depth=4, seed=0), zipf_50k))
+
+
+def test_t1_7_report(benchmark):
+    stream = _stream()
+    truth = collections.Counter(stream)
+    true_top = [w for w, __ in truth.most_common(20)]
+
+    def evaluate(name, sketch, top_fn, space):
+        est_top = top_fn(sketch)
+        recall = len(set(est_top) & set(true_top)) / len(true_top)
+        errs = [abs(sketch.estimate(w) - truth[w]) / truth[w] for w in true_top]
+        return [name, space, f"{recall:.0%}", f"{np.mean(errs):.3%}", f"{np.max(errs):.3%}"]
+
+    rows = []
+    ss = drive(SpaceSaving(k=512), stream)
+    rows.append(evaluate("SpaceSaving (k=512)", ss, lambda s: [w for w, _ in s.top(20)], 512 * 3 * 8))
+    mg = drive(MisraGries(k=512), stream)
+    rows.append(evaluate("Misra-Gries (k=512)", mg, lambda s: [w for w, _ in s.top(20)], 512 * 2 * 8))
+    lc = drive(LossyCounting(epsilon=0.0005), stream)
+    rows.append(
+        evaluate(
+            "Lossy (eps=5e-4)", lc,
+            lambda s: sorted(s.heavy_hitters(0.003), key=lambda w: -s.estimate(w))[:20],
+            lc.n_entries * 3 * 8,
+        )
+    )
+    st = drive(StickySampling(support=0.003, epsilon=0.0005, seed=1), stream)
+    rows.append(
+        evaluate(
+            "Sticky (s=0.003)", st,
+            lambda s: sorted(s.heavy_hitters(), key=lambda w: -s.estimate(w))[:20],
+            st.n_entries * 2 * 8,
+        )
+    )
+    cms = drive(CountMinSketch(width=4096, depth=4, seed=1), stream)
+    rows.append(
+        evaluate(
+            "Count-Min 4096x4", cms,
+            lambda s: sorted(true_top, key=lambda w: -s.estimate(w)),  # sketch has no top-k index
+            cms.size_bytes(),
+        )
+    )
+    cs = drive(CountSketch(width=4096, depth=5, seed=1), stream)
+    rows.append(
+        evaluate(
+            "Count-Sketch 4096x5", cs,
+            lambda s: sorted(true_top, key=lambda w: -s.estimate(w)),
+            cs.size_bytes(),
+        )
+    )
+
+    report(
+        "T1.7 Frequent elements (100k tags, 2 injected trends, top-20)",
+        ["algorithm", "~bytes", "top-20 recall", "mean err", "max err"],
+        rows,
+    )
+    # Shape: SpaceSaving should achieve full recall of the injected trends.
+    assert "#hot1" in [w for w, __ in ss.top(20)]
+    assert "#hot2" in [w for w, __ in ss.top(20)]
+    assert rows[0][2] == "100%"
+    benchmark(lambda: drive(SpaceSaving(k=128), stream[:10_000]))

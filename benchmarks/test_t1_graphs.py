@@ -1,0 +1,94 @@
+"""T1.15 — Table 1 "Graph analysis": semi-streaming graph algorithms.
+
+Regenerates the row as quality-vs-space for matching, vertex cover,
+spanners, sparsifiers and triangle counting against exact (full-memory)
+baselines on web-graph edge streams.
+"""
+
+import networkx as nx
+from helpers import drive, rel_error, report
+
+from repro.graphs import (
+    EdgeSamplingSparsifier,
+    GreedyMatching,
+    StreamingConnectivity,
+    StreamingSpanner,
+    TriangleCounter,
+    count_triangles_exact,
+)
+from repro.workloads import edge_stream, power_law_edge_stream
+
+
+def _edges(n=6_000):
+    return list(edge_stream(400, n, seed=12_000))
+
+
+def test_matching_update(benchmark):
+    edges = _edges()
+    benchmark(lambda: drive(GreedyMatching(), edges))
+
+
+def test_connectivity_update(benchmark):
+    edges = _edges()
+    benchmark(lambda: drive(StreamingConnectivity(), edges))
+
+
+def test_triangle_counter_update(benchmark):
+    edges = list(edge_stream(300, 4_000, seed=12_001, allow_duplicates=False))
+    benchmark(lambda: drive(TriangleCounter(reservoir_size=1_000, seed=0), edges))
+
+
+def test_sparsifier_update(benchmark):
+    edges = _edges()
+    benchmark(lambda: drive(EdgeSamplingSparsifier(p=0.1, seed=0), edges))
+
+
+def test_t1_15_report(benchmark):
+    rows = []
+
+    edges = _edges()
+    distinct = len(set(edges))
+    gm = drive(GreedyMatching(), edges)
+    opt = len(nx.max_weight_matching(nx.Graph(edges)))
+    rows.append(
+        ["greedy matching", f"{gm.matching_size()} matched", f"OPT {opt}",
+         f"ratio {gm.matching_size() / opt:.2f} (>=0.5 guaranteed)"]
+    )
+    rows.append(
+        ["vertex cover (2-approx)", f"{len(gm.vertex_cover())} vertices",
+         "covers all edges: " + str(all(gm.is_covered(e) for e in edges)), ""]
+    )
+
+    sp = drive(StreamingSpanner(t=3), edges)
+    g = nx.Graph(edges)
+    stretches = []
+    for u, v in edges[:100]:
+        stretches.append(sp.spanner_distance(u, v) / max(nx.shortest_path_length(g, u, v), 1))
+    rows.append(
+        ["3-spanner", f"{sp.n_edges}/{distinct} edges kept",
+         f"max stretch {max(stretches):.1f}", "distances preserved to 3x"]
+    )
+
+    sparse = drive(EdgeSamplingSparsifier(p=0.15, seed=1), edges)
+    side = set(range(200))
+    true_cut = sum(1 for u, v in edges if (u in side) != (v in side))
+    rows.append(
+        ["sparsifier (p=0.15)", f"{sparse.n_edges}/{len(edges)} edges kept",
+         f"cut err {rel_error(sparse.estimate_cut(side), true_cut):.1%}", ""]
+    )
+
+    tri_edges = list(power_law_edge_stream(300, 8_000, skew=1.2, seed=12_002))
+    simple = list(dict.fromkeys(tri_edges))
+    tc = drive(TriangleCounter(reservoir_size=1_500, seed=1), simple)
+    exact_tri = count_triangles_exact(simple)
+    rows.append(
+        ["triangle count (reservoir 1.5k)", f"{tc.reservoir_edges} edges held",
+         f"est {tc.estimate():,.0f} vs exact {exact_tri:,}",
+         f"err {rel_error(tc.estimate(), exact_tri):.1%}"]
+    )
+
+    report("T1.15 Graph analysis (semi-streaming vs exact)", ["task", "space", "quality", "notes"], rows)
+    assert gm.matching_size() >= opt / 2
+    assert max(stretches) <= 3.0
+    small = edges[:2_000]
+    benchmark(lambda: drive(GreedyMatching(), small))

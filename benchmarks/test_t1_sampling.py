@@ -1,0 +1,68 @@
+"""T1.1 — Table 1 "Sampling": representative sets of the stream.
+
+Regenerates the row as a measured comparison: uniform reservoir (R vs L),
+biased reservoir under drift, and window samplers — sample quality
+(inclusion-rate error / recency bias) and update cost.
+"""
+
+import collections
+
+from helpers import drive, rel_error, report
+
+from repro.sampling import (
+    AlgorithmLSampler,
+    BiasedReservoirSampler,
+    ChainSampler,
+    ReservoirSampler,
+)
+
+
+def test_reservoir_algorithm_r(benchmark, zipf_50k):
+    sampler = benchmark(lambda: drive(ReservoirSampler(1_000, seed=0), zipf_50k))
+    assert len(sampler) == 1_000
+
+
+def test_reservoir_algorithm_l(benchmark, zipf_50k):
+    sampler = benchmark(lambda: drive(AlgorithmLSampler(1_000, seed=0), zipf_50k))
+    assert len(sampler) == 1_000
+
+
+def test_biased_reservoir(benchmark, zipf_50k):
+    sampler = benchmark(lambda: drive(BiasedReservoirSampler(0.01, seed=0), zipf_50k))
+    assert len(sampler) <= sampler.capacity
+
+
+def test_chain_sampler_window(benchmark, zipf_50k):
+    sampler = benchmark(lambda: drive(ChainSampler(16, window=5_000, seed=0), zipf_50k))
+    assert len(sampler.sample) <= 16
+
+
+def test_t1_1_report(zipf_50k, zipf_counts, benchmark):
+    """Sample-quality characterization across the samplers."""
+    n = len(zipf_50k)
+    rows = []
+
+    # Uniform samplers: the sample's top-item frequency should match the
+    # stream's (a representative set, per the paper's A/B-testing use case).
+    true_top_frac = zipf_counts.most_common(1)[0][1] / n
+    for name, cls in (("Algorithm R", ReservoirSampler), ("Algorithm L", AlgorithmLSampler)):
+        sampler = drive(cls(2_000, seed=1), zipf_50k)
+        sample_counts = collections.Counter(sampler.sample)
+        sample_top_frac = sample_counts[zipf_counts.most_common(1)[0][0]] / len(sampler)
+        rows.append([name, 2_000, f"{rel_error(sample_top_frac, true_top_frac):.3f}", "uniform"])
+
+    # Biased reservoir: mean age should be << uniform's n/2.
+    biased = drive(BiasedReservoirSampler(0.01, seed=1), list(range(n)))
+    mean_age = n - sum(biased.sample) / len(biased.sample)
+    rows.append(["Biased (lam=0.01)", biased.capacity, f"mean age {mean_age:,.0f} vs uniform {n/2:,.0f}", "recency-biased"])
+
+    chain = drive(ChainSampler(16, window=5_000, seed=1), list(range(n)))
+    in_window = all(x > n - 5_000 for x in chain.sample)
+    rows.append(["Chain (window 5k)", 16, f"all in window: {in_window}", "sliding window"])
+
+    report(
+        "T1.1 Sampling (stream n=50k)",
+        ["algorithm", "sample size", "quality", "regime"],
+        rows,
+    )
+    benchmark(lambda: drive(ReservoirSampler(100, seed=2), zipf_50k[:5_000]))

@@ -1,0 +1,67 @@
+"""T1.9 — Table 1 "Finding Subsequences": LIS / LCS over streams.
+
+Regenerates the row as exact-vs-approximate LIS (memory and error) across
+trend regimes, and windowed LCS similarity tracking of paired streams.
+"""
+
+from helpers import drive, report
+
+from repro.common.rng import make_np_rng
+from repro.subsequences import (
+    ApproxLISTracker,
+    LISTracker,
+    WindowedLCS,
+    longest_increasing_subsequence,
+)
+
+
+def _regimes(n=5_000, seed=6000):
+    rng = make_np_rng(seed)
+    noise = rng.normal(size=n)
+    return {
+        "strong uptrend": [0.01 * t + 0.5 * noise[t] for t in range(n)],
+        "flat noise": list(noise),
+        "downtrend": [-0.01 * t + 0.5 * noise[t] for t in range(n)],
+    }
+
+
+def test_lis_exact_update(benchmark):
+    values = _regimes()["strong uptrend"]
+    benchmark(lambda: drive(LISTracker(), values))
+
+
+def test_lis_approx_update(benchmark):
+    values = _regimes()["strong uptrend"]
+    benchmark(lambda: drive(ApproxLISTracker(s=128), values))
+
+
+def test_windowed_lcs_query(benchmark):
+    rng = make_np_rng(6001)
+    w = WindowedLCS(window=96)
+    for __ in range(300):
+        v = int(rng.integers(5))
+        w.update((v, v if rng.random() < 0.8 else int(rng.integers(5))))
+    sim = benchmark(w.similarity)
+    assert 0.5 < sim <= 1.0
+
+
+def test_t1_9_report(benchmark):
+    rows = []
+    for name, values in _regimes().items():
+        exact = longest_increasing_subsequence(values)
+        tracker = drive(LISTracker(), values)
+        approx = drive(ApproxLISTracker(s=128), values)
+        rows.append(
+            [name, exact, tracker.memory_slots, f"{approx.lis_length():,.0f}",
+             approx.memory_slots]
+        )
+    report(
+        "T1.9 LIS over 5k-point streams (exact patience vs s=128 budget)",
+        ["regime", "exact LIS", "exact memory", "approx LIS (lower bnd)", "approx memory"],
+        rows,
+    )
+    for row in rows:
+        assert float(row[3].replace(",", "")) <= row[1]  # lower bound holds
+        assert row[4] <= 129
+    values = _regimes()["flat noise"]
+    benchmark(lambda: drive(LISTracker(), values[:2_000]))

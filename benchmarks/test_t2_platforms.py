@@ -1,0 +1,94 @@
+"""T2.1 — Table 2: the streaming-platform design space, measured.
+
+Regenerates the platform survey as an experiment: the same word-count
+topology run across the architectural choices the systems differ on —
+grouping strategy, bolt parallelism, and the pipeline-API overhead — with
+throughput and queue behaviour reported.
+"""
+
+import collections
+
+from helpers import report
+
+from repro.core import Pipeline
+from repro.platform import CountBolt, FlatMapBolt, ListSpout, LocalExecutor, TopologyBuilder
+from repro.workloads import zipf_stream
+
+SENTENCE_WORDS = 5
+
+
+def _sentences(n=3_000):
+    words = list(zipf_stream(n * SENTENCE_WORDS, universe=2_000, skew=1.05, seed=15_000))
+    return [
+        " ".join(words[i * SENTENCE_WORDS : (i + 1) * SENTENCE_WORDS]) for i in range(n)
+    ]
+
+
+def _word_count(parallelism, sentences):
+    builder = TopologyBuilder()
+    builder.set_spout("sentences", lambda: ListSpout(sentences))
+    builder.set_bolt(
+        "split", lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()])
+    ).shuffle("sentences")
+    builder.set_bolt("count", CountBolt, parallelism=parallelism).fields("split", 0)
+    return builder.build()
+
+
+def _truth(sentences):
+    counter = collections.Counter()
+    for s in sentences:
+        counter.update(s.split())
+    return counter
+
+
+def test_topology_run_parallelism_1(benchmark):
+    sentences = _sentences(1_500)
+    benchmark(lambda: LocalExecutor(_word_count(1, sentences)).run())
+
+
+def test_topology_run_parallelism_8(benchmark):
+    sentences = _sentences(1_500)
+    benchmark(lambda: LocalExecutor(_word_count(8, sentences)).run())
+
+
+def test_pipeline_api_run(benchmark):
+    sentences = _sentences(1_500)
+
+    def run():
+        return (
+            Pipeline.from_list(sentences)
+            .flat_map(lambda v: [(w,) for w in v[0].split()])
+            .key_by(0)
+            .count()
+            .run()
+        )
+
+    benchmark(run)
+
+
+def test_t2_1_report(benchmark):
+    sentences = _sentences()
+    truth = _truth(sentences)
+    rows = []
+    for parallelism in (1, 2, 4, 8):
+        ex = LocalExecutor(_word_count(parallelism, sentences))
+        metrics = ex.run()
+        merged = collections.Counter()
+        for bolt in ex.bolt_instances("count"):
+            merged.update(bolt.counts)
+        assert merged == truth
+        high_water = max(
+            m.queue_high_water for name, m in metrics.components.items() if "count" in name
+        )
+        rows.append(
+            [f"fields grouping, p={parallelism}",
+             f"{metrics.throughput():,.0f}",
+             high_water,
+             "exact"]
+        )
+    report(
+        "T2.1 Platform design space (word count, 3k sentences / 15k words)",
+        ["configuration", "sentences/s", "max queue depth", "result"],
+        rows,
+    )
+    benchmark(lambda: LocalExecutor(_word_count(4, sentences[:500])).run())

@@ -1,0 +1,139 @@
+"""T2.3 — Table 2's Samza column: log-backed stages, measured.
+
+Section 3 on Samza: persisting every intermediate stream buys durability
+and composability "at the cost of increased latency". This bench runs the
+same split->count job (a) directly on the topology executor and (b) as
+log-backed stages, and measures the durability payoff (crash mid-run,
+exact recovery from committed offsets). Note on the latency claim: the
+paper's cost is *disk* persistence between stages; our in-memory log
+cannot model that, so the throughput column here mostly reflects the two
+runtimes' per-record overheads, while the durability/exactly-once columns
+are the faithfully reproduced behaviour.
+"""
+
+import collections
+
+from helpers import report
+
+from repro.platform import (
+    CountBolt,
+    FlatMapBolt,
+    InMemoryLog,
+    ListSpout,
+    LocalExecutor,
+    TopologyBuilder,
+)
+from repro.platform.samza import LoggedTask, SamzaPipeline
+from repro.workloads import zipf_stream
+
+WORDS_PER_SENTENCE = 4
+_words = list(zipf_stream(3_000 * WORDS_PER_SENTENCE, universe=400, skew=1.0, seed=20_000))
+SENTENCES = [
+    " ".join(_words[i * WORDS_PER_SENTENCE : (i + 1) * WORDS_PER_SENTENCE])
+    for i in range(3_000)
+]
+TRUTH = collections.Counter(_words)
+
+
+class _SplitTask(LoggedTask):
+    def process(self, record):
+        return record.split()
+
+
+class _CountTask(LoggedTask):
+    def __init__(self):
+        self.counts = collections.Counter()
+
+    def process(self, record):
+        self.counts[record] += 1
+        return []
+
+    def snapshot(self):
+        return dict(self.counts)
+
+    def restore(self, state):
+        self.counts = collections.Counter(state or {})
+
+
+def _run_direct():
+    builder = TopologyBuilder()
+    builder.set_spout("s", lambda: ListSpout(SENTENCES))
+    builder.set_bolt("split", lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()])).shuffle("s")
+    builder.set_bolt("count", CountBolt, parallelism=2).fields("split", 0)
+    ex = LocalExecutor(builder.build())
+    ex.run()
+    merged = collections.Counter()
+    for bolt in ex.bolt_instances("count"):
+        merged.update(bolt.counts)
+    return merged, ex.metrics
+
+
+def _run_logged(transactional=False, crash=False):
+    source = InMemoryLog()
+    source.append_many(SENTENCES)
+    words = InMemoryLog()
+    pipeline = SamzaPipeline()
+    split = pipeline.add_stage(
+        "split", _SplitTask(), source, words, commit_interval=200,
+        transactional=transactional,
+    )
+    count_task = _CountTask()
+    count = pipeline.add_stage("count", count_task, words, commit_interval=200)
+    if crash:
+        split.run(max_records=1_000)
+        count.run(max_records=1_500)
+        split.crash()
+        count.crash()
+    pipeline.run_until_quiescent()
+    return count_task.counts, split, count
+
+
+def test_direct_executor(benchmark):
+    counts, __ = benchmark(_run_direct)
+    assert counts == TRUTH
+
+
+def test_logged_pipeline(benchmark):
+    counts, __, __c = benchmark(_run_logged)
+    assert counts == TRUTH
+
+
+def test_logged_transactional(benchmark):
+    counts, __, __c = benchmark(lambda: _run_logged(transactional=True))
+    assert counts == TRUTH
+
+
+def test_t2_3_report(benchmark):
+    import time
+
+    rows = []
+    t0 = time.perf_counter()
+    counts, __m = _run_direct()
+    direct_s = time.perf_counter() - t0
+    rows.append(["direct topology", f"{len(SENTENCES)/direct_s:,.0f}", "none",
+                 "exact" if counts == TRUTH else "WRONG"])
+
+    t0 = time.perf_counter()
+    counts, split, count = _run_logged()
+    logged_s = time.perf_counter() - t0
+    rows.append(
+        [f"logged stages ({split.commits + count.commits} commits)",
+         f"{len(SENTENCES)/logged_s:,.0f}",
+         "restartable from offsets",
+         "exact" if counts == TRUTH else "WRONG"]
+    )
+
+    counts, split, count = _run_logged(transactional=True, crash=True)
+    rows.append(
+        [f"logged + crash mid-run ({split.restarts + count.restarts} restarts)",
+         "-", "exactly-once via atomic commit",
+         "exact" if counts == TRUTH else "WRONG"]
+    )
+
+    report(
+        "T2.3 Samza-style log-backed execution (3k sentences / 12k words)",
+        ["configuration", "sentences/s", "durability", "result"],
+        rows,
+    )
+    assert all(row[3] == "exact" for row in rows)
+    benchmark(lambda: _run_logged(transactional=True))

@@ -1,0 +1,114 @@
+"""T2.2 — Table 2 delivery semantics under failure, measured.
+
+The axis Table 2's systems actually differ on: at-most-once (S4-style),
+at-least-once (Storm acking), exactly-once (MillWheel/Flink checkpoints).
+Same two-stage word-count topology (sentence -> split -> count, so a lost
+word leaves a *partially processed* sentence tree — the case that forces
+duplicates under replay), same lossy channel. Reported: delivered and
+duplicate fractions, replays/recoveries, throughput cost.
+"""
+
+import collections
+
+from helpers import report
+
+from repro.platform import (
+    CountBolt,
+    FaultInjector,
+    FlatMapBolt,
+    ListSpout,
+    LocalExecutor,
+    TopologyBuilder,
+)
+from repro.workloads import zipf_stream
+
+WORDS_PER_SENTENCE = 5
+_words = list(zipf_stream(4_000 * WORDS_PER_SENTENCE, universe=500, skew=1.0, seed=16_000))
+SENTENCES = [
+    " ".join(_words[i * WORDS_PER_SENTENCE : (i + 1) * WORDS_PER_SENTENCE])
+    for i in range(4_000)
+]
+TRUTH = collections.Counter(_words)
+TOTAL_WORDS = len(_words)
+
+
+def _topology():
+    builder = TopologyBuilder()
+    builder.set_spout("sentences", lambda: ListSpout(SENTENCES))
+    builder.set_bolt(
+        "split", lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()])
+    ).shuffle("sentences")
+    builder.set_bolt("count", CountBolt, parallelism=4).fields("split", 0)
+    return builder.build()
+
+
+def _counts(executor):
+    merged = collections.Counter()
+    for bolt in executor.bolt_instances("count"):
+        merged.update(bolt.counts)
+    return merged
+
+
+def _run(semantics, drop=0.005, seed=1):
+    ex = LocalExecutor(
+        _topology(),
+        semantics=semantics,
+        faults=FaultInjector(drop_probability=drop, seed=seed),
+        checkpoint_interval=400,
+    )
+    metrics = ex.run()
+    return _counts(ex), metrics
+
+
+def test_at_most_once_run(benchmark):
+    benchmark(lambda: _run("at_most_once"))
+
+
+def test_at_least_once_run(benchmark):
+    benchmark(lambda: _run("at_least_once"))
+
+
+def test_exactly_once_run(benchmark):
+    benchmark(lambda: _run("exactly_once", drop=0.0005))
+
+
+def test_t2_2_report(benchmark):
+    rows = []
+
+    counts, metrics = _run("at_most_once")
+    delivered = sum(counts.values())
+    rows.append(
+        ["at-most-once (S4-style)", f"{delivered / TOTAL_WORDS:.2%}", "0.00%",
+         0, 0, f"{metrics.throughput():,.0f}"]
+    )
+    amo_delivered = delivered
+
+    counts, metrics = _run("at_least_once")
+    delivered_keys = sum(min(counts[w], TRUTH[w]) for w in TRUTH)
+    duplicates = sum(max(0, counts[w] - TRUTH[w]) for w in TRUTH)
+    rows.append(
+        ["at-least-once (Storm acker)", f"{delivered_keys / TOTAL_WORDS:.2%}",
+         f"{duplicates / TOTAL_WORDS:.2%}", metrics.replays, 0,
+         f"{metrics.throughput():,.0f}"]
+    )
+    alo = (delivered_keys, duplicates)
+
+    counts, metrics = _run("exactly_once", drop=0.0005)
+    delivered_keys = sum(min(counts[w], TRUTH[w]) for w in TRUTH)
+    duplicates = sum(max(0, counts[w] - TRUTH[w]) for w in TRUTH)
+    rows.append(
+        ["exactly-once (checkpointed)", f"{delivered_keys / TOTAL_WORDS:.2%}",
+         f"{duplicates / TOTAL_WORDS:.2%}", 0, metrics.recoveries,
+         f"{metrics.throughput():,.0f}"]
+    )
+
+    report(
+        "T2.2 Delivery semantics on a lossy channel (4k sentences / 20k words)",
+        ["semantics", "delivered", "duplicates", "replays", "recoveries", "sentences/s"],
+        rows,
+    )
+    # The defining shape of the table:
+    assert amo_delivered < TOTAL_WORDS  # at-most-once loses data
+    assert alo[0] == TOTAL_WORDS and alo[1] > 0  # at-least-once: complete + dupes
+    assert counts == TRUTH  # exactly-once: exact
+    benchmark(lambda: _run("at_most_once", drop=0.0))

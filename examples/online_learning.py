@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Incremental machine learning — Section 2's "emerging field", runnable.
+
+Three online learners on streaming tasks:
+
+* online logistic regression (AdaGrad) on a CTR-style binary stream,
+  scored by progressive validation (predict-then-learn, no test split);
+* a Hoeffding tree on the same stream, showing the split-as-you-stream
+  behaviour of VFDT;
+* streaming naive Bayes with decay on a topic stream whose concept
+  *drifts* halfway through.
+
+Run:  python examples/online_learning.py
+"""
+
+import numpy as np
+
+from repro.common.rng import make_np_rng
+from repro.ml import HoeffdingTree, OnlineLogisticRegression, StreamingNaiveBayes
+
+
+def ctr_stream(n, dims=8, seed=0):
+    """A click-through-rate-like stream: clicks follow a logistic model."""
+    rng = make_np_rng(seed)
+    w = rng.normal(size=dims)
+    for __ in range(n):
+        x = rng.normal(size=dims)
+        p = 1.0 / (1.0 + np.exp(-(x @ w)))
+        yield x, int(rng.random() < p)
+
+
+def logistic_section() -> None:
+    print("== Online logistic regression (progressive validation) ==")
+    lr = OnlineLogisticRegression(dims=8, adagrad=True)
+    checkpoints = {1_000, 5_000, 20_000}
+    for i, (x, y) in enumerate(ctr_stream(20_000, seed=1), start=1):
+        lr.update((x, y))
+        if i in checkpoints:
+            print(f"  after {i:>6,} examples: log loss {lr.progressive_log_loss():.4f}")
+
+
+def tree_section() -> None:
+    print("\n== Hoeffding tree (splits certified by the Hoeffding bound) ==")
+    rng = make_np_rng(2)
+    tree = HoeffdingTree(dims=2, grace_period=200)
+    for i in range(1, 20_001):
+        x = rng.uniform(0, 1, size=2)
+        label = "buy" if (x[0] > 0.6 and x[1] < 0.4) else "skip"
+        tree.update((x, label))
+        if i in (1_000, 5_000, 20_000):
+            print(f"  after {i:>6,} examples: {tree.n_nodes} nodes, depth "
+                  f"{tree.depth}, accuracy {tree.progressive_accuracy():.1%}")
+
+
+def drift_section() -> None:
+    print("\n== Naive Bayes under concept drift (decay=0.99) ==")
+    nb = StreamingNaiveBayes(decay=0.99)
+    # Phase 1: '#launch' tweets are mostly positive.
+    for __ in range(500):
+        nb.update((["#launch", "great"], "positive"))
+        nb.update((["#outage", "down"], "negative"))
+    before = nb.predict_proba(["#launch"])["positive"]
+    # Phase 2: the launch goes badly; sentiment flips.
+    for __ in range(500):
+        nb.update((["#launch", "broken"], "negative"))
+    after = nb.predict_proba(["#launch"])["positive"]
+    print(f"  P(positive | #launch): {before:.2f} before drift -> {after:.2f} after")
+    assert after < 0.5 < before
+
+
+if __name__ == "__main__":
+    logistic_section()
+    tree_section()
+    drift_section()

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""The Table 2 tour: one word count, six execution models, one answer.
+
+The paper surveys S4, Storm, MillWheel, Samza, Spark, Flink and Pulsar as
+*different architectures for the same job*. This demo runs the identical
+word count through the library's reproduction of each model and checks
+they all agree exactly:
+
+  1. Storm-style topology (spouts/bolts, fields grouping);
+  2. high-level Pipeline DSL with MillWheel/Flink exactly-once semantics;
+  3. Spark-style micro-batches with stateful reduce;
+  4. Samza-style log-backed stages (with a crash in the middle);
+  5. Pulsar-style streaming SQL;
+  6. S4-style per-key processing elements.
+
+Run:  python examples/platform_tour.py
+"""
+
+import collections
+
+from repro.core import Pipeline
+from repro.platform import (
+    CountBolt,
+    FaultInjector,
+    FlatMapBolt,
+    InMemoryLog,
+    ListSpout,
+    LocalExecutor,
+    PEContainer,
+    ProcessingElement,
+    TopologyBuilder,
+)
+from repro.platform.microbatch import MicroBatchContext
+from repro.platform.samza import LoggedTask, SamzaPipeline
+from repro.platform.sql import query
+from repro.workloads import zipf_stream
+
+WORDS = list(zipf_stream(5_000, universe=200, skew=1.0, seed=99))
+SENTENCES = [" ".join(WORDS[i : i + 5]) for i in range(0, len(WORDS), 5)]
+TRUTH = collections.Counter(WORDS)
+
+
+def storm_style():
+    builder = TopologyBuilder()
+    builder.set_spout("sentences", lambda: ListSpout(SENTENCES))
+    builder.set_bolt(
+        "split", lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()])
+    ).shuffle("sentences")
+    builder.set_bolt("count", CountBolt, parallelism=4).fields("split", 0)
+    ex = LocalExecutor(builder.build(), semantics="at_least_once")
+    ex.run()
+    merged = collections.Counter()
+    for bolt in ex.bolt_instances("count"):
+        merged.update(bolt.counts)
+    return merged
+
+
+def pipeline_exactly_once():
+    updates = (
+        Pipeline.from_list(SENTENCES)
+        .flat_map(lambda v: [(w,) for w in v[0].split()])
+        .key_by(0)
+        .count()
+        .run(
+            semantics="exactly_once",
+            faults=FaultInjector(crash_after=3_000, seed=1),
+            checkpoint_interval=250,
+        )
+    )
+    final = {}
+    for word, count in updates:
+        final[word] = max(final.get(word, 0), count)
+    return collections.Counter(final)
+
+
+def spark_style():
+    ctx = MicroBatchContext(batch_size=100, checkpoint_every=5)
+    counts = (
+        ctx.source(WORDS)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b, stateful=True)
+        .collect()
+    )
+    ctx.run(fail_at=20)  # crash mid-stream; lineage recovery
+    return collections.Counter(dict(counts.batches()[-1]))
+
+
+def samza_style():
+    class Count(LoggedTask):
+        def __init__(self):
+            self.counts = collections.Counter()
+
+        def process(self, record):
+            self.counts[record] += 1
+            return []
+
+        def snapshot(self):
+            return dict(self.counts)
+
+        def restore(self, state):
+            self.counts = collections.Counter(state or {})
+
+    source = InMemoryLog()
+    source.append_many(WORDS)
+    pipeline = SamzaPipeline()
+    task = Count()
+    stage = pipeline.add_stage("count", task, source, commit_interval=300)
+    stage.run(max_records=2_000)
+    stage.crash()  # resume from the committed offset
+    pipeline.run_until_quiescent()
+    return task.counts
+
+
+def pulsar_style():
+    rows = query(
+        "SELECT word, COUNT(*) FROM stream GROUP BY word",
+        [{"word": w} for w in WORDS],
+    )
+    return collections.Counter({r["word"]: r["COUNT(*)"] for r in rows})
+
+
+def s4_style():
+    class CountPE(ProcessingElement):
+        def __init__(self, key):
+            super().__init__(key)
+            self.count = 0
+
+        def on_event(self, value, emit):
+            self.count += 1
+
+    container = PEContainer()
+    container.prototype("words", CountPE)
+    for word in WORDS:
+        container.process("words", word, None)
+    return collections.Counter(
+        {pe.key: pe.count for pe in container.pes_for("words")}
+    )
+
+
+MODELS = {
+    "Storm topology (at-least-once)": storm_style,
+    "Pipeline DSL (exactly-once + crash)": pipeline_exactly_once,
+    "Spark micro-batch (+ crash)": spark_style,
+    "Samza logged stage (+ crash)": samza_style,
+    "Pulsar streaming SQL": pulsar_style,
+    "S4 processing elements": s4_style,
+}
+
+
+def main() -> None:
+    print(f"{len(WORDS):,} words, {len(TRUTH)} distinct — ground truth fixed.\n")
+    for name, run in MODELS.items():
+        counts = run()
+        verdict = "exact" if counts == TRUTH else "MISMATCH"
+        print(f"  {name:<38} -> {verdict}")
+        assert counts == TRUTH, name
+    print("\nSix architectures, one identical answer — the Table 2 design "
+          "space differs in *how*, not *what*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: the three layers of the library in ~60 lines.
+
+1. Individual synopses — answer one question each in tiny memory.
+2. StreamSummary — several synopses over one stream, mergeable.
+3. Pipeline — a dataflow program with delivery-semantics guarantees.
+
+Run:  python examples/quickstart.py
+"""
+
+import collections
+
+from repro import Pipeline, StreamSummary, create
+from repro.cardinality import HyperLogLog
+from repro.frequency import SpaceSaving
+from repro.quantiles import TDigest
+from repro.workloads import zipf_stream
+
+
+def synopses_basics() -> None:
+    print("== 1. Synopses ==")
+    stream = list(zipf_stream(100_000, universe=20_000, skew=1.1, seed=1))
+
+    hll = create("hyperloglog", precision=14)  # by registry name...
+    topk = SpaceSaving(k=64)  # ...or by class
+    for item in stream:
+        hll.update(item)
+        topk.update(item)
+
+    truth = collections.Counter(stream)
+    print(f"  distinct: estimated {hll.estimate():,.0f}, true {len(truth):,} "
+          f"(sketch = {hll.size_bytes():,} bytes)")
+    est_top = [w for w, __ in topk.top(3)]
+    true_top = [w for w, __ in truth.most_common(3)]
+    print(f"  top-3:    estimated {est_top}, true {true_top}")
+
+
+def stream_summary() -> None:
+    print("== 2. StreamSummary (mergeable across partitions) ==")
+
+    def make():
+        return StreamSummary(
+            uniques=HyperLogLog(precision=13, seed=0),
+            latency_ms=TDigest(delta=100),
+            extractors={"uniques": lambda e: e[0], "latency_ms": lambda e: e[1]},
+        )
+
+    # Two partitions of a request stream, summarised independently...
+    part_a, part_b = make(), make()
+    for i in range(50_000):
+        part_a.update((f"user{i % 4000}", 10.0 + (i % 90)))
+        part_b.update((f"user{(i + 2000) % 4000}", 12.0 + (i % 110)))
+    # ...then merged into a global view.
+    part_a.merge(part_b)
+    print(f"  global uniques ~ {part_a['uniques'].estimate():,.0f} (true 4,000)")
+    print(f"  global p99 latency ~ {part_a['latency_ms'].quantile(0.99):.1f} ms")
+
+
+def pipeline_word_count() -> None:
+    print("== 3. Pipeline (exactly-once word count) ==")
+    sentences = ["real time analytics", "streaming analytics at scale"] * 500
+    updates = (
+        Pipeline.from_list(sentences)
+        .flat_map(lambda v: [(w,) for w in v[0].split()])
+        .key_by(0)
+        .count()
+        .run(semantics="exactly_once")
+    )
+    final: dict[str, int] = {}
+    for word, count in updates:
+        final[word] = max(final.get(word, 0), count)
+    print(f"  'analytics' counted {final['analytics']} times (true 1000)")
+
+
+if __name__ == "__main__":
+    synopses_basics()
+    stream_summary()
+    pipeline_word_count()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Sensor-network monitoring: anomaly detection + missing-value imputation.
+
+Table 1 pairs "Anomaly Detection" and "Data Prediction" with sensor
+networks. This demo runs a telemetry stream with injected spikes and
+dropouts through:
+
+* three anomaly detectors (rolling z-score, EWMA chart, robust MAD),
+  scored for precision/recall against the injected ground truth;
+* a Kalman local-trend filter that fills the dropouts, compared against
+  zero-fill on reconstruction error.
+
+Run:  python examples/sensor_monitoring.py
+"""
+
+import numpy as np
+
+from repro.anomaly import EWMAControlChart, RollingZScore, SlidingMAD
+from repro.prediction import LocalTrendFilter
+from repro.workloads import sensor_stream_with_anomalies, series_with_missing_values
+
+
+def precision_recall(flags, truth_indices):
+    truth = set(truth_indices)
+    flagged = {i for i, f in enumerate(flags) if f}
+    tp = len(truth & flagged)
+    precision = tp / len(flagged) if flagged else 1.0
+    recall = tp / len(truth) if truth else 1.0
+    return precision, recall
+
+
+def anomaly_section() -> None:
+    print("== Anomaly detection on telemetry with injected 8-sigma spikes ==")
+    annotated = sensor_stream_with_anomalies(20_000, anomaly_rate=0.003, seed=41)
+    detectors = {
+        "rolling z-score": RollingZScore(window=256, threshold=4.0),
+        "EWMA chart": EWMAControlChart(alpha=0.2, L=4.0),
+        "sliding MAD": SlidingMAD(window=256, threshold=4.5),
+    }
+    for name, detector in detectors.items():
+        flags = [detector.update(v) for v in annotated.values]
+        precision, recall = precision_recall(flags, annotated.anomaly_indices)
+        print(f"  {name:>16}: precision {precision:5.1%}  recall {recall:5.1%}")
+
+
+def imputation_section() -> None:
+    print("\n== Missing-value imputation on a seasonal sensor series ==")
+    annotated = series_with_missing_values(5_000, missing_rate=0.08, seed=42)
+    kf = LocalTrendFilter(process_noise=1e-2, observation_noise=0.3)
+    kalman_sq, zero_sq = [], []
+    for i, value in enumerate(annotated.values):
+        if np.isnan(value):
+            truth = annotated.clean[i]
+            kalman_sq.append((kf.predict_next() - truth) ** 2)
+            zero_sq.append(truth**2)
+            kf.update(None)  # predict-only step through the gap
+        else:
+            kf.update(value)
+    kalman_rmse = float(np.sqrt(np.mean(kalman_sq)))
+    zero_rmse = float(np.sqrt(np.mean(zero_sq)))
+    print(f"  {len(kalman_sq)} gaps filled")
+    print(f"  Kalman imputation RMSE: {kalman_rmse:.3f}")
+    print(f"  zero-fill RMSE:         {zero_rmse:.3f}")
+    print(f"  -> {zero_rmse / kalman_rmse:.1f}x better than naive filling")
+
+
+if __name__ == "__main__":
+    anomaly_section()
+    imputation_section()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Site audience analysis — Table 1's cardinality-estimation application.
+
+A click stream hits a small cluster of "web servers" (stream partitions).
+Each server keeps one 4 KiB HyperLogLog; the dashboard merges them for the
+global unique-visitor count, and a sliding HyperLogLog answers "uniques in
+the last hour" at any moment. Exact sets are kept alongside for ground
+truth so the output shows the error you actually pay.
+
+Run:  python examples/site_audience.py
+"""
+
+from repro.cardinality import HyperLogLog, SlidingHyperLogLog
+from repro.workloads import click_stream
+
+
+N_SERVERS = 4
+
+
+def main() -> None:
+    clicks = list(click_stream(200_000, unique_visitors=25_000, pages=500, seed=21))
+
+    per_server = [HyperLogLog(precision=12, seed=0) for __ in range(N_SERVERS)]
+    last_hour = SlidingHyperLogLog(precision=12, horizon=3600.0, seed=0)
+    exact_all: set[str] = set()
+    exact_hour: list[tuple[float, str]] = []
+
+    for i, event in enumerate(clicks):
+        per_server[i % N_SERVERS].update(event.user_id)  # load-balanced
+        last_hour.update_at(event.user_id, event.timestamp)
+        exact_all.add(event.user_id)
+        exact_hour.append((event.timestamp, event.user_id))
+
+    # Dashboard: merge the per-server sketches (register max, lossless).
+    merged = per_server[0]
+    for sketch in per_server[1:]:
+        merged = merged + sketch
+
+    est = merged.estimate()
+    print(f"Global unique visitors: estimated {est:,.0f}, exact {len(exact_all):,} "
+          f"({abs(est - len(exact_all)) / len(exact_all):.2%} error, "
+          f"{merged.size_bytes():,} bytes/server)")
+
+    now = clicks[-1].timestamp
+    # The same sketch answers any window up to its horizon — no extra state.
+    for minutes in (30, 10, 2):
+        window = minutes * 60.0
+        true_w = len({u for ts, u in exact_hour if ts > now - window})
+        est_w = last_hour.estimate(window=window, now=now)
+        print(f"Uniques in the last {minutes:>2} min: estimated {est_w:,.0f}, "
+              f"exact {true_w:,} ({abs(est_w - true_w) / true_w:.2%} error)")
+    print(f"(sliding sketch retains {last_hour.retained:,} records "
+          f"vs {len(exact_hour):,} raw events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Streaming SQL — the Pulsar-style interface of Table 2.
+
+eBay's Pulsar let analysts express real-time analytics as SQL rather than
+topology code. The library's `StreamingQuery` compiles a small SQL dialect
+into synopsis-backed incremental operators: COUNT/SUM/AVG are exact,
+APPROX_* run on HyperLogLog / t-digest / SpaceSaving under the hood.
+
+Run:  python examples/sql_analytics.py
+"""
+
+from repro.platform.sql import StreamingQuery, query
+from repro.workloads import click_stream
+
+
+def main() -> None:
+    events = [
+        {
+            "timestamp": e.timestamp,
+            "user": e.user_id,
+            "page": e.page,
+            "latency_ms": 20.0 + (hash(e.user_id) % 200) / 2.0,
+        }
+        for e in click_stream(50_000, unique_visitors=5_000, pages=50, seed=61)
+    ]
+
+    print("== Top pages with audience and latency (one pass) ==")
+    rows = query(
+        "SELECT page, COUNT(*), APPROX_DISTINCT(user), "
+        "APPROX_QUANTILE(latency_ms, 0.99) "
+        "FROM stream GROUP BY page",
+        events,
+    )
+    rows.sort(key=lambda r: -r["COUNT(*)"])
+    print(f"{'page':>10}  {'views':>7}  {'audience':>8}  {'p99 ms':>7}")
+    for row in rows[:5]:
+        print(f"{row['page']:>10}  {row['COUNT(*)']:>7,}  "
+              f"{row['APPROX_DISTINCT(user)']:>8,}  "
+              f"{row['APPROX_QUANTILE(latency_ms, 0.99)']:>7.1f}")
+
+    print("\n== Filtered aggregate ==")
+    (row,) = query(
+        "SELECT COUNT(*), AVG(latency_ms) FROM stream WHERE page = '/page/0'",
+        events,
+    )
+    print(f"/page/0: {row['COUNT(*)']:,} views, avg latency {row['AVG(latency_ms)']:.1f} ms")
+
+    print("\n== Windowed query (per-100-second traffic) ==")
+    q = StreamingQuery(
+        "SELECT COUNT(*), APPROX_DISTINCT(user) FROM stream WINDOW TUMBLING 100"
+    )
+    q.update_many(events)
+    q.flush()
+    for window in q.windows()[:5]:
+        (r,) = window["rows"]
+        print(f"  [{window['window_start']:>6.0f}, {window['window_end']:>6.0f}) "
+              f"{r['COUNT(*)']:>6,} clicks, ~{r['APPROX_DISTINCT(user)']:,} users")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Trending hashtags — Table 1's flagship "frequent elements" application.
+
+A simulated tweet firehose carries a Zipfian background of evergreen tags;
+two tags start trending mid-stream. We detect them three ways:
+
+* SpaceSaving over everything      -> all-time top tags (background wins);
+* WindowedTopK over the last 50k   -> recent top tags (trends surface);
+* DecayedFrequencies half-life     -> smooth trending scores.
+
+Run:  python examples/trending_hashtags.py
+"""
+
+from repro.frequency import SpaceSaving, WindowedTopK
+from repro.windowing import DecayedFrequencies
+from repro.workloads import hashtag_stream
+
+
+def main() -> None:
+    background = list(hashtag_stream(150_000, background_tags=3_000, seed=7))
+    trending = list(
+        hashtag_stream(
+            50_000,
+            background_tags=3_000,
+            trending={"#vldb2015": 0.06, "#realtime": 0.03},
+            seed=8,
+        )
+    )
+    firehose = background + trending  # trends start at t = 150k
+
+    alltime = SpaceSaving(k=256)
+    recent = WindowedTopK(window=50_000, k=256, n_blocks=10)
+    decayed = DecayedFrequencies(half_life=20_000.0)
+
+    for t, tag in enumerate(firehose):
+        alltime.update(tag)
+        recent.update(tag)
+        decayed.add(tag, float(t))
+
+    print("All-time top 5 (SpaceSaving):")
+    for tag, count in alltime.top(5):
+        print(f"  {tag:>12}  ~{count:,}")
+
+    print("\nLast-50k-tweets top 5 (WindowedTopK):")
+    for tag, count in recent.top(5):
+        print(f"  {tag:>12}  ~{count:,}")
+
+    print("\nDecayed trending scores, top 5 (half-life 20k tweets):")
+    for tag, score in decayed.top(5):
+        print(f"  {tag:>12}  {score:,.0f}")
+
+    windowed_top = [tag for tag, __ in recent.top(5)]
+    assert "#vldb2015" in windowed_top, "trending tag should surface in the window"
+    print("\n-> the trending tags dominate the windowed/decayed views while "
+          "the all-time view is still ruled by evergreen background tags.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — real-time streaming analytics: algorithms and systems.
+
+A full reproduction of the system surveyed in "Real Time Analytics:
+Algorithms and Systems" (Kejariwal, Kulkarni & Ramasamy, VLDB 2015):
+
+* every algorithm family of the paper's Table 1 (``repro.sampling``,
+  ``repro.filtering``, ``repro.cardinality``, ``repro.quantiles``,
+  ``repro.moments``, ``repro.frequency``, ``repro.windowing``,
+  ``repro.inversions``, ``repro.subsequences``, ``repro.graphs``,
+  ``repro.anomaly``, ``repro.temporal``, ``repro.prediction``,
+  ``repro.clustering``, ``repro.correlation``, ``repro.histograms``);
+* a runnable single-process streaming platform spanning Table 2's design
+  space (``repro.platform``);
+* the Lambda Architecture of Figure 1 (``repro.lambda_arch``);
+* a unified facade (``repro.core``) and synthetic workload generators
+  (``repro.workloads``).
+"""
+
+from repro.core import Pipeline, StreamSummary, available, create, register
+
+__version__ = "1.0.0"
+
+__all__ = ["Pipeline", "StreamSummary", "available", "create", "register", "__version__"]

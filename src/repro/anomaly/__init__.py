@@ -1,0 +1,22 @@
+"""Streaming anomaly detection.
+
+Table 1 row "Anomaly Detection" — detect anomalies in a data stream
+(application: sensor networks).
+"""
+
+from repro.anomaly.changedetect import PageHinkley, WindowKLDetector
+from repro.anomaly.ewma import EWMAControlChart
+from repro.anomaly.hstrees import HalfSpaceTrees
+from repro.anomaly.mad import SlidingMAD
+from repro.anomaly.subspace import SubspaceTracker
+from repro.anomaly.zscore import RollingZScore
+
+__all__ = [
+    "EWMAControlChart",
+    "HalfSpaceTrees",
+    "PageHinkley",
+    "RollingZScore",
+    "SlidingMAD",
+    "SubspaceTracker",
+    "WindowKLDetector",
+]

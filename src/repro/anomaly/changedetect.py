@@ -1,0 +1,163 @@
+"""Distribution change detection ("change you can believe in").
+
+[Dasu et al. 2009, cited in Table 1] frame change detection as comparing
+the *distribution* of a current window against a reference window. Two
+detectors:
+
+* :class:`PageHinkley` — the classic sequential test for mean shift:
+  O(1) state, detects sustained drift rather than point outliers.
+* :class:`WindowKLDetector` — histogram KL divergence between a reference
+  window and the sliding current window; flags when the divergence
+  exceeds a self-calibrated threshold, catching variance/shape changes a
+  mean test misses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class PageHinkley(SynopsisBase):
+    """Page–Hinkley sequential mean-shift test.
+
+    Accumulates ``m_t = sum (x_i - mean_i - delta)``; a change is flagged
+    when ``m_t - min(m_t)`` exceeds ``threshold``. ``delta`` is the
+    magnitude of drift considered negligible.
+    """
+
+    def __init__(self, delta: float = 0.05, threshold: float = 50.0, warmup: int = 30):
+        if delta < 0:
+            raise ParameterError("delta must be non-negative")
+        if threshold <= 0:
+            raise ParameterError("threshold must be positive")
+        if warmup < 1:
+            raise ParameterError("warmup must be positive")
+        self.delta = delta
+        self.threshold = threshold
+        self.warmup = warmup
+        self.count = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+        self.changes: list[int] = []
+
+    def update(self, item: float) -> bool:
+        """Observe *item*; True when a sustained upward mean shift fires."""
+        value = float(item)
+        self.count += 1
+        self._mean += (value - self._mean) / self.count
+        self._cum += value - self._mean - self.delta
+        self._cum_min = min(self._cum_min, self._cum)
+        if self.count > self.warmup and self._cum - self._cum_min > self.threshold:
+            self.changes.append(self.count)
+            self._reset()
+            return True
+        return False
+
+    def _reset(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic ``m_t - min(m_t)``."""
+        return self._cum - self._cum_min
+
+    def _merge_key(self) -> tuple:
+        return (self.delta, self.threshold)
+
+    def _merge_into(self, other: "PageHinkley") -> None:
+        raise NotImplementedError("sequential tests are order-sensitive")
+
+
+class WindowKLDetector(SynopsisBase):
+    """KL-divergence change detector over histogrammed windows.
+
+    The first ``reference`` observations freeze the reference histogram;
+    thereafter each arrival updates a sliding current-window histogram and
+    the detector flags when ``KL(current || reference)`` exceeds
+    ``threshold`` (in nats). Bin edges come from the reference quantiles,
+    so the reference distribution is uniform over bins by construction.
+    """
+
+    def __init__(
+        self,
+        reference: int = 1_000,
+        window: int = 500,
+        bins: int = 16,
+        threshold: float = 0.25,
+    ):
+        if reference < bins * 4:
+            raise ParameterError("reference must be at least 4x bins")
+        if window < bins * 2:
+            raise ParameterError("window must be at least 2x bins")
+        if bins < 2:
+            raise ParameterError("bins must be at least 2")
+        if threshold <= 0:
+            raise ParameterError("threshold must be positive")
+        self.reference = reference
+        self.window = window
+        self.bins = bins
+        self.threshold = threshold
+        self.count = 0
+        self._ref_buffer: list[float] = []
+        self._edges: np.ndarray | None = None
+        self._current: deque[int] = deque(maxlen=window)
+        self._bin_counts = np.zeros(bins, dtype=np.int64)
+
+    def _bin(self, value: float) -> int:
+        assert self._edges is not None
+        return int(np.searchsorted(self._edges, value, side="right"))
+
+    def update(self, item: float) -> bool:
+        """Observe *item*; True when the window distribution diverged."""
+        value = float(item)
+        self.count += 1
+        if self._edges is None:
+            self._ref_buffer.append(value)
+            if len(self._ref_buffer) == self.reference:
+                qs = np.linspace(0, 1, self.bins + 1)[1:-1]
+                self._edges = np.quantile(self._ref_buffer, qs)
+                self._ref_buffer = []
+            return False
+        b = self._bin(value)
+        if len(self._current) == self.window:
+            self._bin_counts[self._current[0]] -= 1
+        self._current.append(b)
+        self._bin_counts[b] += 1
+        if len(self._current) < self.window:
+            return False
+        return self.divergence() > self.threshold
+
+    def divergence(self) -> float:
+        """KL(current || reference) in nats (reference is uniform by
+        construction of the quantile bin edges)."""
+        if self._edges is None or not len(self._current):
+            return 0.0
+        n = len(self._current)
+        ref_p = 1.0 / self.bins
+        out = 0.0
+        for count in self._bin_counts:
+            if count > 0:
+                p = count / n
+                out += p * math.log(p / ref_p)
+        return out
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether the reference histogram has been frozen."""
+        return self._edges is not None
+
+    def _merge_key(self) -> tuple:
+        return (self.reference, self.window, self.bins, self.threshold)
+
+    def _merge_into(self, other: "WindowKLDetector") -> None:
+        raise NotImplementedError("windowed detectors are order-sensitive")

@@ -1,0 +1,72 @@
+"""EWMA control chart — drift-robust anomaly detection.
+
+The exponentially weighted moving average chart from statistical process
+control: track ``ewma = alpha*x + (1-alpha)*ewma`` and flag points outside
+``L`` times the EWMA's asymptotic standard deviation. Adapts to slow level
+changes that a fixed-window z-score would misflag, at the cost of slower
+reaction to genuine level shifts — the trade-off the anomaly bench sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class EWMAControlChart(SynopsisBase):
+    """EWMA chart with smoothing *alpha* and control width *L* sigmas."""
+
+    def __init__(self, alpha: float = 0.1, L: float = 3.0, warmup: int = 16):
+        if not 0 < alpha <= 1:
+            raise ParameterError("alpha must lie in (0, 1]")
+        if L <= 0:
+            raise ParameterError("control width L must be positive")
+        if warmup < 2:
+            raise ParameterError("warmup must be at least 2")
+        self.alpha = alpha
+        self.L = L
+        self.warmup = warmup
+        self.count = 0
+        self.ewma = 0.0
+        self.last_score = 0.0
+        # Residual variance tracked with its own (slower) EWMA.
+        self._var = 0.0
+
+    def control_limits(self) -> tuple[float, float]:
+        """Current (lower, upper) control limits."""
+        # Asymptotic EWMA std: sigma * sqrt(alpha / (2 - alpha)).
+        sigma = math.sqrt(max(self._var, 1e-300))
+        half = self.L * sigma
+        return self.ewma - half, self.ewma + half
+
+    def score(self, value: float) -> float:
+        """Deviation of *value* from the EWMA in residual-sigma units."""
+        if self.count < self.warmup or self._var == 0.0:
+            return 0.0
+        return (value - self.ewma) / math.sqrt(self._var)
+
+    def update(self, item: float) -> bool:
+        """Score then absorb *item*; returns True if out of control."""
+        value = float(item)
+        self.last_score = self.score(value)
+        anomalous = self.count >= self.warmup and abs(self.last_score) > self.L
+        if self.count == 0:
+            self.ewma = value
+        else:
+            residual = value - self.ewma
+            if not anomalous:  # anomalies don't update the model
+                self._var = (1 - self.alpha) * self._var + self.alpha * residual * residual
+                self.ewma += self.alpha * residual
+        if self.count < self.warmup:
+            residual = value - self.ewma
+            self._var = max(self._var, residual * residual, 1e-12)
+        self.count += 1
+        return anomalous
+
+    def _merge_key(self) -> tuple:
+        return (self.alpha, self.L, self.warmup)
+
+    def _merge_into(self, other: "EWMAControlChart") -> None:
+        raise NotImplementedError("EWMA state is order-sensitive; not mergeable")

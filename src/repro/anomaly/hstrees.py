@@ -1,0 +1,153 @@
+"""Streaming Half-Space Trees [Tan, Ting & Liu, IJCAI 2011].
+
+Table 1's "fast anomaly detection for streaming data" citation: an ensemble
+of random binary trees built *without data* over the (normalised) feature
+space. Each tree node halves a randomly chosen dimension; leaves record how
+much recent "mass" fell in their region. A point falling in a low-mass
+region is anomalous. Mass is learned in the previous window and scored in
+the current one, then the windows swap — one O(depth) pass per tree per
+point, constant memory, no model fitting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import derive_seed, make_rng
+
+
+class _Node:
+    __slots__ = ("dim", "split", "left", "right", "ref_mass", "new_mass", "depth")
+
+    def __init__(self, depth: int):
+        self.dim = -1
+        self.split = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.ref_mass = 0.0
+        self.new_mass = 0.0
+        self.depth = depth
+
+
+def _build(rng, mins, maxs, depth, max_depth) -> _Node:
+    node = _Node(depth)
+    if depth == max_depth:
+        return node
+    dim = rng.randrange(len(mins))
+    split = (mins[dim] + maxs[dim]) / 2.0  # bisect the work range
+    node.dim = dim
+    node.split = split
+    left_maxs = list(maxs)
+    left_maxs[dim] = split
+    right_mins = list(mins)
+    right_mins[dim] = split
+    node.left = _build(rng, mins, left_maxs, depth + 1, max_depth)
+    node.right = _build(rng, right_mins, maxs, depth + 1, max_depth)
+    return node
+
+
+class HalfSpaceTrees(SynopsisBase):
+    """HS-Trees ensemble anomaly detector for vectors in ``[0, 1]^dims``.
+
+    ``update(x)`` returns True when the windowed mass score of *x* falls
+    below ``quantile`` of recently seen scores (self-calibrating threshold).
+    ``score(x)`` is the raw mass score — *smaller means more anomalous*.
+    """
+
+    def __init__(
+        self,
+        dims: int = 1,
+        n_trees: int = 25,
+        max_depth: int = 8,
+        window: int = 250,
+        quantile: float = 0.02,
+        seed: int = 0,
+    ):
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if n_trees <= 0:
+            raise ParameterError("n_trees must be positive")
+        if max_depth <= 0:
+            raise ParameterError("max_depth must be positive")
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if not 0 < quantile < 0.5:
+            raise ParameterError("quantile must lie in (0, 0.5)")
+        self.dims = dims
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.window = window
+        self.quantile = quantile
+        self.count = 0
+        self.last_score = 0.0
+        self._trees = []
+        for t in range(n_trees):
+            rng = make_rng(derive_seed(seed, t))
+            # Work range per Tan et al.: random subrange of [0, 1]^d.
+            mins, maxs = [], []
+            for __ in range(dims):
+                sq = rng.random()
+                spread = 2.0 * max(sq, 1.0 - sq)
+                mins.append(sq - spread)
+                maxs.append(sq + spread)
+            self._trees.append(_build(rng, mins, maxs, 0, max_depth))
+        self._recent_scores: list[float] = []
+
+    def _traverse(self, root: _Node, x: Sequence[float], learn_new: bool, score: bool) -> float:
+        node = root
+        total = 0.0
+        while True:
+            if score:
+                total += node.ref_mass * (2.0**node.depth)
+            if learn_new:
+                node.new_mass += 1.0
+            if node.left is None:
+                break
+            node = node.left if x[node.dim] < node.split else node.right
+        return total
+
+    def _swap_windows(self) -> None:
+        stack = list(self._trees)
+        while stack:
+            node = stack.pop()
+            node.ref_mass = node.new_mass
+            node.new_mass = 0.0
+            if node.left is not None:
+                stack.extend((node.left, node.right))
+
+    def score(self, x: Sequence[float] | float) -> float:
+        """Mass score of *x* (smaller = more anomalous)."""
+        vec = [float(x)] if np.isscalar(x) else [float(v) for v in x]
+        if len(vec) != self.dims:
+            raise ParameterError(f"expected {self.dims}-dimensional input")
+        return sum(self._traverse(t, vec, learn_new=False, score=True) for t in self._trees)
+
+    def update(self, item: Sequence[float] | float) -> bool:
+        """Score, learn, and return True if *item* looks anomalous."""
+        vec = [float(item)] if np.isscalar(item) else [float(v) for v in item]
+        if len(vec) != self.dims:
+            raise ParameterError(f"expected {self.dims}-dimensional input")
+        self.count += 1
+        self.last_score = sum(
+            self._traverse(t, vec, learn_new=True, score=True) for t in self._trees
+        )
+        if self.count % self.window == 0:
+            self._swap_windows()
+        # Self-calibrating threshold over the last window of scores.
+        self._recent_scores.append(self.last_score)
+        if len(self._recent_scores) > 4 * self.window:
+            self._recent_scores = self._recent_scores[-2 * self.window :]
+        if self.count <= 2 * self.window:
+            return False  # warming up reference mass
+        cutoff = float(np.quantile(self._recent_scores[-self.window :], self.quantile))
+        return self.last_score <= cutoff
+
+    def _merge_key(self) -> tuple:
+        return (self.dims, self.n_trees, self.max_depth, self.window)
+
+    def _merge_into(self, other: "HalfSpaceTrees") -> None:
+        raise NotImplementedError("HS-Trees mass profiles are window-bound")

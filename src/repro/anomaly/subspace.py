@@ -1,0 +1,97 @@
+"""Anomaly detection by principal-subspace tracking.
+
+[dos Santos Teixeira & Milidiú, SAC 2010] detect anomalies in
+multi-dimensional streams by tracking the principal subspace and flagging
+points with large reconstruction error. This implementation tracks the
+top-k subspace with Oja's incremental rule (no stored history) and scores
+each arrival by the energy outside the subspace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_np_rng
+
+
+class SubspaceTracker(SynopsisBase):
+    """Oja-rule principal subspace tracker with reconstruction-error scoring."""
+
+    def __init__(
+        self,
+        dims: int,
+        k: int = 1,
+        learning_rate: float = 0.05,
+        threshold: float = 4.0,
+        warmup: int = 50,
+        seed: int = 0,
+    ):
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if not 1 <= k <= dims:
+            raise ParameterError("k must lie in [1, dims]")
+        if not 0 < learning_rate <= 1:
+            raise ParameterError("learning_rate must lie in (0, 1]")
+        if threshold <= 0:
+            raise ParameterError("threshold must be positive")
+        self.dims = dims
+        self.k = k
+        self.learning_rate = learning_rate
+        self.threshold = threshold
+        self.warmup = warmup
+        self.count = 0
+        self.last_score = 0.0
+        rng = make_np_rng(seed)
+        basis, __ = np.linalg.qr(rng.normal(size=(dims, k)))
+        self._basis = basis  # dims x k, orthonormal columns
+        self._mean = np.zeros(dims)
+        # Running scale of residual energy for normalised scoring.
+        self._resid_ema = 1.0
+
+    def residual(self, x: Sequence[float]) -> float:
+        """Energy of *x* outside the tracked subspace (after centring)."""
+        v = np.asarray(x, dtype=np.float64) - self._mean
+        proj = self._basis @ (self._basis.T @ v)
+        return float(np.linalg.norm(v - proj))
+
+    def score(self, x: Sequence[float]) -> float:
+        """Residual of *x* in units of the running residual scale."""
+        if self.count < self.warmup:
+            return 0.0
+        return self.residual(x) / max(np.sqrt(self._resid_ema), 1e-12)
+
+    def update(self, item: Sequence[float]) -> bool:
+        """Score, adapt the subspace, and return True if anomalous."""
+        x = np.asarray(item, dtype=np.float64)
+        if x.shape != (self.dims,):
+            raise ParameterError(f"expected a vector of dimension {self.dims}")
+        self.count += 1
+        self.last_score = self.score(x)
+        anomalous = self.count > self.warmup and self.last_score > self.threshold
+        # Adapt only on normal points so anomalies don't drag the subspace.
+        if not anomalous:
+            self._mean += (x - self._mean) / min(self.count, 1000)
+            v = x - self._mean
+            y = self._basis.T @ v
+            self._basis += self.learning_rate * (np.outer(v, y) - self._basis @ np.outer(y, y))
+            self._basis, __ = np.linalg.qr(self._basis)
+            r = self.residual(x)
+            self._resid_ema = 0.98 * self._resid_ema + 0.02 * r * r
+        return anomalous
+
+    def explained_fraction(self, samples: np.ndarray) -> float:
+        """Fraction of energy of *samples* captured by the subspace."""
+        centred = samples - self._mean
+        proj = centred @ self._basis @ self._basis.T
+        total = float(np.sum(centred**2))
+        return float(np.sum(proj**2)) / total if total else 1.0
+
+    def _merge_key(self) -> tuple:
+        return (self.dims, self.k)
+
+    def _merge_into(self, other: "SubspaceTracker") -> None:
+        raise NotImplementedError("subspace trackers are order-sensitive")

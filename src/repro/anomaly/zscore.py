@@ -1,0 +1,92 @@
+"""Rolling z-score anomaly detection — the classic first-line detector.
+
+Maintains mean/variance over a sliding window (exact, via a ring buffer and
+running sums) and flags points more than ``threshold`` standard deviations
+from the windowed mean. Simple, interpretable, and the baseline every other
+detector in this package is compared against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class RollingZScore(SynopsisBase):
+    """Sliding-window z-score detector.
+
+    ``score(x)`` returns the z-score of *x* against the current window;
+    ``update(x)`` scores *and* absorbs the point, returning the score via
+    :attr:`last_score`. Anomalous points can be excluded from the window
+    (``exclude_anomalies=True``) so a spike does not inflate the variance
+    used to judge its neighbours.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        threshold: float = 3.0,
+        warmup: int = 16,
+        exclude_anomalies: bool = True,
+    ):
+        if window <= 1:
+            raise ParameterError("window must exceed 1")
+        if threshold <= 0:
+            raise ParameterError("threshold must be positive")
+        if warmup < 2:
+            raise ParameterError("warmup must be at least 2")
+        self.window = window
+        self.threshold = threshold
+        self.warmup = warmup
+        self.exclude_anomalies = exclude_anomalies
+        self.count = 0
+        self.last_score = 0.0
+        self._buffer: deque[float] = deque()
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def _mean_std(self) -> tuple[float, float]:
+        n = len(self._buffer)
+        if n == 0:
+            return 0.0, 0.0
+        mean = self._sum / n
+        var = max(0.0, self._sum_sq / n - mean * mean)
+        return mean, math.sqrt(var)
+
+    def score(self, value: float) -> float:
+        """z-score of *value* against the current window (0 during warmup)."""
+        if len(self._buffer) < self.warmup:
+            return 0.0
+        mean, std = self._mean_std()
+        if std == 0.0:
+            return 0.0 if value == mean else math.inf
+        return (value - mean) / std
+
+    def is_anomaly(self, value: float) -> bool:
+        """Whether *value* would be flagged against the current window."""
+        return abs(self.score(value)) > self.threshold
+
+    def update(self, item: float) -> bool:
+        """Score then absorb *item*; returns True if it was anomalous."""
+        value = float(item)
+        self.count += 1
+        self.last_score = self.score(value)
+        anomalous = abs(self.last_score) > self.threshold
+        if not (anomalous and self.exclude_anomalies):
+            self._buffer.append(value)
+            self._sum += value
+            self._sum_sq += value * value
+            if len(self._buffer) > self.window:
+                old = self._buffer.popleft()
+                self._sum -= old
+                self._sum_sq -= old * old
+        return anomalous
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.threshold, self.warmup, self.exclude_anomalies)
+
+    def _merge_into(self, other: "RollingZScore") -> None:
+        raise NotImplementedError("rolling windows are position-bound; not mergeable")

@@ -1,0 +1,21 @@
+"""Distinct-count (cardinality) estimation sketches.
+
+Table 1 row "Estimating Cardinality" — estimate the number of distinct
+elements (application: site audience analysis).
+"""
+
+from repro.cardinality.fm import FlajoletMartin
+from repro.cardinality.hyperloglog import HyperLogLog
+from repro.cardinality.kmv import KMinValues
+from repro.cardinality.linear_counting import LinearCounter
+from repro.cardinality.loglog import LogLog
+from repro.cardinality.sliding_hll import SlidingHyperLogLog
+
+__all__ = [
+    "FlajoletMartin",
+    "HyperLogLog",
+    "KMinValues",
+    "LinearCounter",
+    "LogLog",
+    "SlidingHyperLogLog",
+]

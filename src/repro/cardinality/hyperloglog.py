@@ -1,0 +1,118 @@
+"""HyperLogLog [Flajolet, Fusy, Gandouet & Meunier, AofA 2007].
+
+The near-optimal cardinality estimator: ``2^p`` registers, harmonic-mean
+combination, standard error ``1.04/sqrt(m)``. This implementation includes
+the practical corrections from "HyperLogLog in practice" [Heule, Nunkesser
+& Hall, EDBT 2013]: linear-counting fallback for small cardinalities and
+the empirical-style bias handling near the transition (we use the classic
+threshold rule ``E <= 2.5 m`` with zero registers -> linear counting).
+
+Registers merge by element-wise max, so HLLs computed per partition / per
+window can be combined losslessly — the property that makes it the default
+"site audience" sketch in every system of Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+from repro.common.serialization import dump_state, load_state
+
+_TYPE_TAG = "hll"
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog(SynopsisBase):
+    """HyperLogLog sketch with ``2^precision`` registers.
+
+    ``precision`` of 14 gives ~0.8% standard error in 16 KiB; the default 12
+    gives ~1.6% in 4 KiB.
+    """
+
+    def __init__(self, precision: int = 12, seed: int = 0):
+        if not 4 <= precision <= 18:
+            raise ParameterError("precision must lie in [4, 18]")
+        self.precision = precision
+        self.m = 1 << precision
+        self.family = HashFamily(seed)
+        self.count = 0
+        self._registers = np.zeros(self.m, dtype=np.uint8)
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        h = self.family.hash(item)
+        bucket = h & (self.m - 1)
+        rest = h >> self.precision
+        width = 64 - self.precision
+        rank = (width - rest.bit_length() + 1) if rest else (width + 1)
+        if rank > self._registers[bucket]:
+            self._registers[bucket] = rank
+
+    def _raw_estimate(self) -> float:
+        inv_sum = float(np.sum(2.0 ** (-self._registers.astype(np.float64))))
+        return _alpha(self.m) * self.m * self.m / inv_sum
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items seen, with range corrections."""
+        raw = self._raw_estimate()
+        zeros = int(np.count_nonzero(self._registers == 0))
+        if raw <= 2.5 * self.m and zeros:
+            return self.m * math.log(self.m / zeros)  # linear counting
+        two64 = 2.0**64
+        if raw > two64 / 30.0:  # large-range collision correction
+            return -two64 * math.log(1.0 - raw / two64)
+        return raw
+
+    def raw_estimate(self) -> float:
+        """The uncorrected harmonic-mean estimate (ablation hook)."""
+        return self._raw_estimate()
+
+    def relative_error(self) -> float:
+        """Theoretical standard error of this sketch: ``1.04/sqrt(m)``."""
+        return 1.04 / math.sqrt(self.m)
+
+    def _merge_key(self) -> tuple:
+        return (self.precision, self.family.seed)
+
+    def _merge_into(self, other: "HyperLogLog") -> None:
+        np.maximum(self._registers, other._registers, out=self._registers)
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return int(self._registers.nbytes)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a versioned byte payload."""
+        return dump_state(
+            _TYPE_TAG,
+            {
+                "precision": self.precision,
+                "seed": self.family.seed,
+                "count": self.count,
+                "registers": self._registers,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "HyperLogLog":
+        """Reconstruct a sketch from :meth:`to_bytes` output."""
+        state = load_state(_TYPE_TAG, payload)
+        obj = cls(precision=state["precision"], seed=state["seed"])
+        obj.count = state["count"]
+        obj._registers = state["registers"].astype(np.uint8)
+        return obj

@@ -1,0 +1,54 @@
+"""Linear counting [Whang et al. 1990] — the small-range workhorse.
+
+Hash each item to one of *m* bits; estimate distinct count as
+``-m * ln(V)`` where ``V`` is the fraction of bits still zero. Space is
+linear in the cardinality (hence the name) but the estimate is very accurate
+while the bitmap is sparse, which is why HyperLogLog falls back to it for
+small cardinalities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+
+
+class LinearCounter(SynopsisBase):
+    """Bitmap cardinality estimator with *m* bits."""
+
+    def __init__(self, m: int, seed: int = 0):
+        if m <= 0:
+            raise ParameterError("bitmap size m must be positive")
+        self.m = m
+        self.family = HashFamily(seed)
+        self.count = 0
+        self._bits = np.zeros(m, dtype=bool)
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        self._bits[self.family.hash(item) % self.m] = True
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items seen."""
+        zeros = int(self.m - self._bits.sum())
+        if zeros == 0:
+            # Bitmap saturated: the estimator diverges; report the count
+            # upper bound rather than infinity.
+            return float(self.count)
+        return -self.m * math.log(zeros / self.m)
+
+    def _merge_key(self) -> tuple:
+        return (self.m, self.family.seed)
+
+    def _merge_into(self, other: "LinearCounter") -> None:
+        self._bits |= other._bits
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return int(self._bits.nbytes)

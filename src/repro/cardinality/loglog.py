@@ -1,0 +1,64 @@
+"""LogLog counting [Durand & Flajolet, ESA 2003].
+
+Each item routes to one of ``m = 2^p`` registers; the register keeps the
+maximum "rank" (position of the first 1-bit in the remaining hash bits).
+The estimate is ``alpha_m * m * 2^(mean register)`` — geometric averaging,
+superseded by HyperLogLog's harmonic mean but included as the survey's
+intermediate step and as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+
+
+class LogLog(SynopsisBase):
+    """LogLog sketch with ``2^precision`` registers."""
+
+    def __init__(self, precision: int = 10, seed: int = 0):
+        if not 4 <= precision <= 16:
+            raise ParameterError("precision must lie in [4, 16]")
+        self.precision = precision
+        self.m = 1 << precision
+        self.family = HashFamily(seed)
+        self.count = 0
+        self._registers = np.zeros(self.m, dtype=np.uint8)
+        # alpha_m -> Gamma(-1/m)-based constant; 0.39701 is the asymptote.
+        self._alpha = 0.39701 - (2 * np.pi**2 + np.log(2) ** 2) / (48 * self.m)
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        h = self.family.hash(item)
+        bucket = h & (self.m - 1)
+        rest = h >> self.precision
+        rank = _rank_of(rest, 64 - self.precision)
+        if rank > self._registers[bucket]:
+            self._registers[bucket] = rank
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items seen."""
+        mean = float(self._registers.mean())
+        return self._alpha * self.m * 2.0**mean
+
+    def _merge_key(self) -> tuple:
+        return (self.precision, self.family.seed)
+
+    def _merge_into(self, other: "LogLog") -> None:
+        np.maximum(self._registers, other._registers, out=self._registers)
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return int(self._registers.nbytes)
+
+
+def _rank_of(x: int, width: int) -> int:
+    """1-based position of the first 1-bit of *x* within *width* bits."""
+    if x == 0:
+        return width + 1
+    return width - x.bit_length() + 1

@@ -1,0 +1,104 @@
+"""Sliding HyperLogLog [Chabchoub & Hébrail, ICDMW 2010].
+
+Answers "how many distinct items in the last *w* seconds?" for any
+``w <= horizon`` at query time. Each register keeps a List of Possible
+Future Maxima (LPFM): (timestamp, rank) pairs such that no later pair has a
+larger rank — older, dominated observations can never matter again and are
+dropped, keeping the list short (O(log of window count) expected).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+from repro.cardinality.hyperloglog import _alpha
+
+
+class SlidingHyperLogLog(SynopsisBase):
+    """Sliding-window HLL with ``2^precision`` LPFM registers."""
+
+    def __init__(self, precision: int = 12, horizon: float = 3600.0, seed: int = 0):
+        if not 4 <= precision <= 18:
+            raise ParameterError("precision must lie in [4, 18]")
+        if horizon <= 0:
+            raise ParameterError("horizon must be positive")
+        self.precision = precision
+        self.m = 1 << precision
+        self.horizon = horizon
+        self.family = HashFamily(seed)
+        self.count = 0
+        self._lpfm: list[list[tuple[float, int]]] = [[] for __ in range(self.m)]
+        self._last_ts = float("-inf")
+
+    def update(self, item: Any) -> None:
+        """Record *item* one time unit after the previous item."""
+        ts = self._last_ts + 1.0 if self._last_ts != float("-inf") else 0.0
+        self.update_at(item, ts)
+
+    def update_at(self, item: Any, timestamp: float) -> None:
+        """Record *item* at *timestamp* (non-decreasing)."""
+        if timestamp < self._last_ts:
+            raise ParameterError("timestamps must be non-decreasing")
+        self._last_ts = timestamp
+        self.count += 1
+        h = self.family.hash(item)
+        bucket = h & (self.m - 1)
+        rest = h >> self.precision
+        width = 64 - self.precision
+        rank = (width - rest.bit_length() + 1) if rest else (width + 1)
+        lpfm = self._lpfm[bucket]
+        # Drop pairs dominated by the new observation (older AND not larger),
+        # and pairs that fell out of the horizon.
+        cutoff = timestamp - self.horizon
+        self._lpfm[bucket] = [
+            (t, r) for t, r in lpfm if r > rank and t > cutoff
+        ]
+        self._lpfm[bucket].append((timestamp, rank))
+
+    def estimate(self, window: float | None = None, now: float | None = None) -> float:
+        """Distinct count over ``(now - window, now]`` (defaults: full horizon)."""
+        window = self.horizon if window is None else window
+        if window <= 0 or window > self.horizon:
+            raise ParameterError("window must lie in (0, horizon]")
+        now = self._last_ts if now is None else now
+        cutoff = now - window
+        registers = np.zeros(self.m, dtype=np.float64)
+        zeros = 0
+        for bucket, lpfm in enumerate(self._lpfm):
+            best = 0
+            for t, r in lpfm:
+                if t > cutoff and r > best:
+                    best = r
+            registers[bucket] = best
+            zeros += best == 0
+        inv_sum = float(np.sum(2.0**-registers))
+        raw = _alpha(self.m) * self.m * self.m / inv_sum
+        if raw <= 2.5 * self.m and zeros:
+            return self.m * math.log(self.m / zeros)
+        return raw
+
+    @property
+    def retained(self) -> int:
+        """Total LPFM entries retained (memory gauge)."""
+        return sum(len(lpfm) for lpfm in self._lpfm)
+
+    def _merge_key(self) -> tuple:
+        return (self.precision, self.horizon, self.family.seed)
+
+    def _merge_into(self, other: "SlidingHyperLogLog") -> None:
+        """Merge LPFMs (legal when the two streams share a clock)."""
+        for bucket in range(self.m):
+            combined = sorted(self._lpfm[bucket] + other._lpfm[bucket])
+            kept: list[tuple[float, int]] = []
+            for t, r in reversed(combined):  # newest first
+                if not kept or r > max(k[1] for k in kept):
+                    kept.append((t, r))
+            self._lpfm[bucket] = sorted(kept)
+        self.count += other.count
+        self._last_ts = max(self._last_ts, other._last_ts)

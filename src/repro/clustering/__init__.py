@@ -1,0 +1,17 @@
+"""Stream clustering.
+
+Table 1 row "Clustering" — cluster a data stream (application: medical
+imaging); Section 2's k-median technique.
+"""
+
+from repro.clustering.clustream import CluStream, MicroCluster
+from repro.clustering.kmedian import StreamingKMedian, weighted_kmeans
+from repro.clustering.online_kmeans import OnlineKMeans
+
+__all__ = [
+    "CluStream",
+    "MicroCluster",
+    "OnlineKMeans",
+    "StreamingKMedian",
+    "weighted_kmeans",
+]

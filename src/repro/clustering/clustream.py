@@ -1,0 +1,158 @@
+"""CluStream-style micro-cluster maintenance [Aggarwal et al., VLDB 2003].
+
+The micro-cluster (cluster feature vector) keeps ``(n, linear_sum,
+square_sum, timestamp stats)`` per cluster — additive, so micro-clusters
+merge exactly. The online phase absorbs points into the nearest
+micro-cluster within its RMS boundary, else creates a new one (evicting the
+stalest when over budget); the offline phase runs weighted k-means over
+micro-cluster centroids to answer "cluster the stream now" queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.clustering.kmedian import weighted_kmeans
+
+
+@dataclass
+class MicroCluster:
+    """Additive cluster feature vector (CF) of one micro-cluster."""
+
+    n: float
+    ls: np.ndarray  # linear sum
+    ss: np.ndarray  # per-dimension square sum
+    last_ts: float
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.ls / self.n
+
+    @property
+    def rms_radius(self) -> float:
+        var = self.ss / self.n - (self.ls / self.n) ** 2
+        return float(np.sqrt(max(float(var.sum()), 0.0)))
+
+    def absorb(self, x: np.ndarray, ts: float) -> None:
+        """Fold point *x* (at time *ts*) into the CF vector."""
+        self.n += 1.0
+        self.ls += x
+        self.ss += x * x
+        self.last_ts = ts
+
+    def merge(self, other: "MicroCluster") -> None:
+        """Add another CF vector (CF vectors are additive)."""
+        self.n += other.n
+        self.ls += other.ls
+        self.ss += other.ss
+        self.last_ts = max(self.last_ts, other.last_ts)
+
+
+class CluStream(SynopsisBase):
+    """Online micro-clustering with offline macro-cluster queries."""
+
+    def __init__(
+        self,
+        dims: int,
+        max_micro_clusters: int = 50,
+        boundary_factor: float = 2.0,
+        seed: int = 0,
+    ):
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if max_micro_clusters <= 1:
+            raise ParameterError("need at least 2 micro-clusters")
+        if boundary_factor <= 0:
+            raise ParameterError("boundary_factor must be positive")
+        self.dims = dims
+        self.max_micro_clusters = max_micro_clusters
+        self.boundary_factor = boundary_factor
+        self.seed = seed
+        self.count = 0
+        self._clusters: list[MicroCluster] = []
+
+    def update(self, item: Sequence[float]) -> None:
+        x = np.asarray(item, dtype=np.float64)
+        if x.shape != (self.dims,):
+            raise ParameterError(f"expected a point of dimension {self.dims}")
+        ts = float(self.count)
+        self.count += 1
+        if len(self._clusters) < self.max_micro_clusters:
+            # Initialisation phase (CluStream seeds micro-clusters offline;
+            # seeding with the first arrivals as singletons avoids an early
+            # catch-all cluster swallowing distant modes).
+            self._clusters.append(MicroCluster(1.0, x.copy(), x * x, ts))
+            return
+        centroids = np.array([c.centroid for c in self._clusters])
+        d = np.sqrt(((centroids - x) ** 2).sum(axis=1))
+        nearest = int(d.argmin())
+        cluster = self._clusters[nearest]
+        boundary = self.boundary_factor * max(cluster.rms_radius, 1e-9)
+        if cluster.n < 2:
+            # Radius undefined for singletons: use distance to next cluster.
+            other = np.partition(d, 1)[1] if len(d) > 1 else np.inf
+            boundary = other / 2.0
+        if d[nearest] <= boundary:
+            cluster.absorb(x, ts)
+            return
+        # New micro-cluster; enforce the budget by evicting the stalest or
+        # merging the two closest.
+        self._clusters.append(MicroCluster(1.0, x.copy(), x * x, ts))
+        if len(self._clusters) > self.max_micro_clusters:
+            self._shrink()
+
+    def _shrink(self) -> None:
+        stale_cutoff = self.count - 10 * self.max_micro_clusters
+        stalest = min(range(len(self._clusters)), key=lambda i: self._clusters[i].last_ts)
+        if self._clusters[stalest].last_ts < stale_cutoff:
+            self._clusters.pop(stalest)
+            return
+        # Merge the closest pair of centroids.
+        centroids = np.array([c.centroid for c in self._clusters])
+        best = (0, 1, np.inf)
+        for i in range(len(centroids)):
+            d = ((centroids[i + 1 :] - centroids[i]) ** 2).sum(axis=1)
+            if len(d):
+                j = int(d.argmin())
+                if d[j] < best[2]:
+                    best = (i, i + 1 + j, float(d[j]))
+        i, j, __ = best
+        self._clusters[i].merge(self._clusters[j])
+        self._clusters.pop(j)
+
+    @property
+    def n_micro_clusters(self) -> int:
+        """Live micro-clusters (bounded by the budget)."""
+        return len(self._clusters)
+
+    def micro_centroids(self) -> np.ndarray:
+        """Centroids of the live micro-clusters."""
+        if not self._clusters:
+            raise ParameterError("no points seen yet")
+        return np.array([c.centroid for c in self._clusters])
+
+    def macro_clusters(self, k: int) -> np.ndarray:
+        """Offline phase: k centres from weighted micro-cluster centroids."""
+        if not self._clusters:
+            raise ParameterError("no points seen yet")
+        centroids = self.micro_centroids()
+        weights = np.array([c.n for c in self._clusters])
+        centres, __ = weighted_kmeans(centroids, weights, k, seed=self.seed)
+        return centres
+
+    def _merge_key(self) -> tuple:
+        return (self.dims, self.max_micro_clusters, self.boundary_factor)
+
+    def _merge_into(self, other: "CluStream") -> None:
+        """CF vectors are additive: adopt and re-shrink to budget."""
+        import copy
+
+        self._clusters.extend(copy.deepcopy(other._clusters))
+        while len(self._clusters) > self.max_micro_clusters:
+            self._shrink()
+        self.count += other.count

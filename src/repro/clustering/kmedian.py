@@ -1,0 +1,172 @@
+"""Streaming k-median by hierarchical divide-and-conquer.
+
+[Guha, Mishra, Motwani & O'Callaghan, FOCS 2000] — Section 2's k-median
+citation: buffer m points, cluster the buffer down to k weighted centres,
+keep only the centres, and recursively cluster centres-of-centres when a
+level fills up. Space is O(levels * m); the approximation factor compounds
+by a constant per level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_np_rng
+
+
+def weighted_kmeans(
+    points: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    iterations: int = 10,
+    seed: int = 0,
+    restarts: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm on weighted points; returns (centres, weights).
+
+    Used as the in-memory clustering step of the divide-and-conquer scheme
+    (the theory prescribes any O(1)-approximate k-median; weighted Lloyd's
+    with k-means++ seeding and a few restarts is the standard practical
+    stand-in). The lowest-cost restart wins.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if len(pts) == 0:
+        raise ParameterError("cannot cluster zero points")
+    if k <= 0:
+        raise ParameterError("k must be positive")
+    if restarts <= 0:
+        raise ParameterError("restarts must be positive")
+    k = min(k, len(pts))
+    best: tuple[float, np.ndarray, np.ndarray] | None = None
+    for r in range(restarts):
+        rng = make_np_rng(seed + r)
+        # k-means++ seeding (weighted).
+        centres = [pts[rng.choice(len(pts), p=w / w.sum())]]
+        for __ in range(k - 1):
+            d2 = np.min([((pts - c) ** 2).sum(axis=1) for c in centres], axis=0)
+            probs = d2 * w
+            total = probs.sum()
+            if total <= 0:
+                probs, total = w, w.sum()
+            centres.append(pts[rng.choice(len(pts), p=probs / total)])
+        centres = np.array(centres)
+        for __ in range(iterations):
+            d2 = ((pts[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+            assign = d2.argmin(axis=1)
+            for j in range(k):
+                mask = assign == j
+                if mask.any():
+                    centres[j] = np.average(pts[mask], axis=0, weights=w[mask])
+        d2 = ((pts[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+        assign = d2.argmin(axis=1)
+        cost = float((d2.min(axis=1) * w).sum())
+        if best is None or cost < best[0]:
+            out_weights = np.array([w[assign == j].sum() for j in range(k)])
+            keep = out_weights > 0
+            best = (cost, centres[keep].copy(), out_weights[keep])
+    return best[1], best[2]
+
+
+class StreamingKMedian(SynopsisBase):
+    """Divide-and-conquer streaming k-median/k-means clustering."""
+
+    def __init__(self, k: int, dims: int, buffer_size: int = 500, seed: int = 0):
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if buffer_size < 2 * k:
+            raise ParameterError("buffer_size must be at least 2k")
+        self.k = k
+        self.dims = dims
+        self.buffer_size = buffer_size
+        self.seed = seed
+        self.count = 0
+        self._buffer: list[np.ndarray] = []
+        # levels[i] holds weighted centres produced by i rounds of reduction.
+        self._levels: list[tuple[np.ndarray, np.ndarray] | None] = []
+
+    def update(self, item: Sequence[float]) -> None:
+        x = np.asarray(item, dtype=np.float64)
+        if x.shape != (self.dims,):
+            raise ParameterError(f"expected a point of dimension {self.dims}")
+        self.count += 1
+        self._buffer.append(x)
+        if len(self._buffer) >= self.buffer_size:
+            self._reduce_buffer()
+
+    def _reduce_buffer(self) -> None:
+        pts = np.array(self._buffer)
+        self._buffer = []
+        centres, weights = weighted_kmeans(
+            pts, np.ones(len(pts)), self.k, seed=self.seed + self.count
+        )
+        self._push_level(0, centres, weights)
+
+    def _push_level(self, level: int, centres: np.ndarray, weights: np.ndarray) -> None:
+        while len(self._levels) <= level:
+            self._levels.append(None)
+        if self._levels[level] is None:
+            self._levels[level] = (centres, weights)
+            return
+        # Level full: merge the two centre sets and promote.
+        old_c, old_w = self._levels[level]
+        self._levels[level] = None
+        merged_c = np.vstack([old_c, centres])
+        merged_w = np.concatenate([old_w, weights])
+        new_c, new_w = weighted_kmeans(
+            merged_c, merged_w, self.k, seed=self.seed + level + 1
+        )
+        self._push_level(level + 1, new_c, new_w)
+
+    def centres(self) -> np.ndarray:
+        """Final k centres clustering everything seen so far."""
+        all_c: list[np.ndarray] = []
+        all_w: list[np.ndarray] = []
+        if self._buffer:
+            pts = np.array(self._buffer)
+            all_c.append(pts)
+            all_w.append(np.ones(len(pts)))
+        for entry in self._levels:
+            if entry is not None:
+                all_c.append(entry[0])
+                all_w.append(entry[1])
+        if not all_c:
+            raise ParameterError("no points seen yet")
+        centres, __ = weighted_kmeans(
+            np.vstack(all_c), np.concatenate(all_w), self.k, seed=self.seed
+        )
+        return centres
+
+    def cost(self, points: np.ndarray) -> float:
+        """Sum of distances of *points* to the nearest final centre."""
+        centres = self.centres()
+        pts = np.asarray(points, dtype=np.float64)
+        d = np.sqrt(((pts[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2))
+        return float(d.min(axis=1).sum())
+
+    @property
+    def memory_points(self) -> int:
+        """Points + weighted centres currently held (space gauge)."""
+        held = len(self._buffer)
+        for entry in self._levels:
+            if entry is not None:
+                held += len(entry[0])
+        return held
+
+    def _merge_key(self) -> tuple:
+        return (self.k, self.dims, self.buffer_size)
+
+    def _merge_into(self, other: "StreamingKMedian") -> None:
+        """Adopt the other summary's centres as weighted input."""
+        for entry in other._levels:
+            if entry is not None:
+                self._push_level(0, entry[0].copy(), entry[1].copy())
+        for x in other._buffer:
+            self.update(x)
+        self.count += other.count - len(other._buffer)

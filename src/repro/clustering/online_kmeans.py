@@ -1,0 +1,83 @@
+"""Online (sequential) k-means.
+
+MacQueen's sequential update: assign each arrival to its nearest centre and
+move that centre by ``1/n_assigned`` toward the point. O(k·d) per update,
+the simplest member of the stream-clustering family surveyed in
+[Silva et al., CSUR 2013] (Table 1's clustering citation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class OnlineKMeans(SynopsisBase):
+    """Sequential k-means over d-dimensional points."""
+
+    def __init__(self, k: int, dims: int, learning_decay: bool = True, seed: int = 0):
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        self.k = k
+        self.dims = dims
+        self.learning_decay = learning_decay
+        self.count = 0
+        self._centres = np.zeros((k, dims))
+        self._counts = np.zeros(k, dtype=np.int64)
+        self._initialised = 0  # centres seeded with the first k points
+
+    def update(self, item: Sequence[float]) -> None:
+        x = np.asarray(item, dtype=np.float64)
+        if x.shape != (self.dims,):
+            raise ParameterError(f"expected a point of dimension {self.dims}")
+        self.count += 1
+        if self._initialised < self.k:
+            self._centres[self._initialised] = x
+            self._counts[self._initialised] = 1
+            self._initialised += 1
+            return
+        idx = self.assign(x)
+        self._counts[idx] += 1
+        rate = 1.0 / self._counts[idx] if self.learning_decay else 0.05
+        self._centres[idx] += rate * (x - self._centres[idx])
+
+    def assign(self, x: Sequence[float]) -> int:
+        """Index of the nearest centre to *x*."""
+        x = np.asarray(x, dtype=np.float64)
+        live = self._centres[: max(self._initialised, 1)]
+        return int(np.argmin(((live - x) ** 2).sum(axis=1)))
+
+    @property
+    def centres(self) -> np.ndarray:
+        """Copy of the current centres (k x dims)."""
+        return self._centres.copy()
+
+    def inertia(self, points: np.ndarray) -> float:
+        """Sum of squared distances of *points* to their nearest centres."""
+        pts = np.asarray(points, dtype=np.float64)
+        d2 = ((pts[:, None, :] - self._centres[None, :, :]) ** 2).sum(axis=2)
+        return float(d2.min(axis=1).sum())
+
+    def _merge_key(self) -> tuple:
+        return (self.k, self.dims)
+
+    def _merge_into(self, other: "OnlineKMeans") -> None:
+        """Merge by clustering the union of weighted centres down to k."""
+        from repro.clustering.kmedian import weighted_kmeans
+
+        centres = np.vstack([self._centres, other._centres])
+        weights = np.concatenate([self._counts, other._counts]).astype(np.float64)
+        live = weights > 0
+        merged_centres, merged_weights = weighted_kmeans(
+            centres[live], weights[live], self.k, seed=0
+        )
+        self._centres[: len(merged_centres)] = merged_centres
+        self._counts[: len(merged_weights)] = merged_weights.astype(np.int64)
+        self._initialised = max(self._initialised, len(merged_centres))
+        self.count += other.count

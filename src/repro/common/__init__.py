@@ -1,0 +1,37 @@
+"""Shared substrate: hashing, synopsis protocol, RNG and serialization."""
+
+from repro.common.exceptions import (
+    CapacityError,
+    ExecutionError,
+    MergeError,
+    ParameterError,
+    ReproError,
+    SerializationError,
+    TopologyError,
+)
+from repro.common.hashing import HashFamily, hash64, hash_bytes, murmur3_32, to_bytes
+from repro.common.mergeable import Synopsis, SynopsisBase
+from repro.common.rng import derive_seed, make_np_rng, make_rng
+from repro.common.serialization import dump_state, load_state
+
+__all__ = [
+    "CapacityError",
+    "ExecutionError",
+    "HashFamily",
+    "MergeError",
+    "ParameterError",
+    "ReproError",
+    "SerializationError",
+    "Synopsis",
+    "SynopsisBase",
+    "TopologyError",
+    "derive_seed",
+    "dump_state",
+    "hash64",
+    "hash_bytes",
+    "load_state",
+    "make_np_rng",
+    "make_rng",
+    "murmur3_32",
+    "to_bytes",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+a single base class at API boundaries while still distinguishing programmer
+errors (bad parameters) from runtime conditions (incompatible merges,
+exhausted capacity).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its documented domain."""
+
+
+class MergeError(ReproError):
+    """Two synopses cannot be merged (incompatible shape, seed or type)."""
+
+
+class CapacityError(ReproError):
+    """A bounded structure cannot accept more items (e.g. full cuckoo filter)."""
+
+
+class SerializationError(ReproError):
+    """A byte payload does not decode to the expected synopsis."""
+
+
+class TopologyError(ReproError):
+    """A streaming topology is malformed (cycles, missing components, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A topology failed at runtime (component crash, undeliverable tuple)."""

@@ -1,0 +1,160 @@
+"""Hash functions and hash families used by the probabilistic structures.
+
+Two kinds of hashing live here:
+
+* :func:`murmur3_32` — a faithful pure-Python port of MurmurHash3 (x86,
+  32-bit). It is the classic sketching hash and is tested against the
+  published test vectors; use it when you need bit-compatibility with other
+  MurmurHash3 implementations.
+* :func:`hash64` / :class:`HashFamily` — the library's workhorse. It keys
+  ``blake2b`` (a fast, keyed, cryptographic-quality hash from the standard
+  library) with the family seed, which gives effectively independent 64-bit
+  hash functions without hand-rolling avalanche mixers. Every sketch in the
+  library draws its hash functions from a :class:`HashFamily` so that two
+  sketches built with the same seed are mergeable.
+
+All functions accept arbitrary Python objects; non-bytes inputs are
+canonicalised by :func:`to_bytes` (UTF-8 for strings, two's-complement
+little-endian for ints, IEEE-754 for floats, ``repr`` for everything else).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+from repro.common.exceptions import ParameterError
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def to_bytes(item: object) -> bytes:
+    """Canonicalise *item* to bytes for hashing.
+
+    The encoding is type-tagged so that, e.g., the int ``1`` and the string
+    ``"1"`` hash differently, and stable across processes (unlike built-in
+    ``hash``, which is salted per-process for str/bytes).
+    """
+    if isinstance(item, bytes):
+        return b"b" + item
+    if isinstance(item, str):
+        return b"s" + item.encode("utf-8")
+    if isinstance(item, bool):
+        return b"o" + (b"\x01" if item else b"\x00")
+    if isinstance(item, int):
+        length = (item.bit_length() + 8) // 8 or 1
+        return b"i" + item.to_bytes(length, "little", signed=True)
+    if isinstance(item, float):
+        return b"f" + struct.pack("<d", item)
+    if isinstance(item, tuple):
+        parts = [to_bytes(part) for part in item]
+        body = b"".join(struct.pack("<I", len(p)) + p for p in parts)
+        return b"t" + body
+    return b"r" + repr(item).encode("utf-8")
+
+
+def murmur3_32(data: bytes | str, seed: int = 0) -> int:
+    """MurmurHash3 x86 32-bit of *data* with the given *seed*.
+
+    Pure-Python port of Austin Appleby's reference implementation; matches
+    the published test vectors (see ``tests/common/test_hashing.py``).
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h = seed & _MASK32
+    length = len(data)
+    rounded_end = length & ~0x3
+
+    for i in range(0, rounded_end, 4):
+        k = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16) | (data[i + 3] << 24)
+        k = (k * c1) & _MASK32
+        k = ((k << 15) | (k >> 17)) & _MASK32
+        k = (k * c2) & _MASK32
+        h ^= k
+        h = ((h << 13) | (h >> 19)) & _MASK32
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    k = 0
+    tail = length & 0x3
+    if tail >= 3:
+        k ^= data[rounded_end + 2] << 16
+    if tail >= 2:
+        k ^= data[rounded_end + 1] << 8
+    if tail >= 1:
+        k ^= data[rounded_end]
+        k = (k * c1) & _MASK32
+        k = ((k << 15) | (k >> 17)) & _MASK32
+        k = (k * c2) & _MASK32
+        h ^= k
+
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def hash64(item: object, seed: int = 0) -> int:
+    """A stable 64-bit hash of *item* under hash function number *seed*."""
+    key = (seed & _MASK64).to_bytes(8, "little")
+    digest = hashlib.blake2b(to_bytes(item), digest_size=8, key=key).digest()
+    return int.from_bytes(digest, "little")
+
+
+def hash_bytes(item: object, n_bytes: int, seed: int = 0) -> bytes:
+    """A stable *n_bytes*-byte digest of *item* (for wide hashes, n<=64)."""
+    key = (seed & _MASK64).to_bytes(8, "little")
+    return hashlib.blake2b(to_bytes(item), digest_size=n_bytes, key=key).digest()
+
+
+class HashFamily:
+    """A family of independent 64-bit hash functions sharing one base seed.
+
+    ``HashFamily(seed).hashes(item, k)`` yields ``k`` independent hashes.
+    Two families with equal ``(seed, count)`` produce identical hashes, which
+    is the compatibility contract sketches check before merging.
+    """
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, int):
+            raise ParameterError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = seed & _MASK64
+
+    def hash(self, item: object, index: int = 0) -> int:
+        """The *index*-th hash function of the family applied to *item*."""
+        return hash64(item, seed=self.seed * 0x9E3779B97F4A7C15 + index + 1)
+
+    def hashes(self, item: object, count: int) -> Iterable[int]:
+        """Yield the first *count* hash values of *item*.
+
+        Uses Kirsch–Mitzenmacher double hashing: ``h_i = h1 + i*h2``. This
+        costs two real hash evaluations regardless of *count* and is proven
+        to preserve Bloom-filter asymptotics.
+        """
+        h1 = self.hash(item, 0)
+        h2 = self.hash(item, 1) | 1  # force odd so all slots are reachable
+        for i in range(count):
+            yield (h1 + i * h2) & _MASK64
+
+    def independent_hashes(self, item: object, count: int) -> Iterable[int]:
+        """Yield *count* fully independent hash values (slower than double
+        hashing; used where pairwise tricks would correlate estimators)."""
+        for i in range(count):
+            yield self.hash(item, i)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashFamily) and other.seed == self.seed
+
+    def __hash__(self) -> int:
+        return hash(("HashFamily", self.seed))
+
+    def __repr__(self) -> str:
+        return f"HashFamily(seed={self.seed})"

@@ -1,0 +1,128 @@
+"""The synopsis protocol every sketch in the library implements.
+
+A *synopsis* is a small summary of a data stream supporting three verbs:
+
+* ``update(item)`` — absorb one stream element;
+* ``query(...)``  — answer the synopsis' question (each concrete class names
+  its query methods after the question: ``estimate()``, ``quantile(q)``,
+  ``contains(x)``, ...);
+* ``merge(other)`` — combine with a synopsis built over a *different*
+  sub-stream, yielding a synopsis of the union. Mergeability is what lets
+  the algorithms scale out across partitions, as Section 2 of the paper
+  requires ("the algorithms should be able to scale out").
+
+:class:`SynopsisBase` provides merge-compatibility checking, bulk update,
+and the ``+`` operator; concrete sketches subclass it.
+"""
+
+from __future__ import annotations
+
+import sys
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Protocol, TypeVar, runtime_checkable
+
+from repro.common.exceptions import MergeError
+
+T = TypeVar("T", bound="SynopsisBase")
+
+
+@runtime_checkable
+class Synopsis(Protocol):
+    """Structural type for stream synopses (see module docstring)."""
+
+    def update(self, item: Any) -> None:
+        """Absorb one stream element."""
+        ...
+
+    def merge(self, other: "Synopsis") -> None:
+        """Merge a synopsis built over a different sub-stream into this one."""
+        ...
+
+
+class SynopsisBase(ABC):
+    """Shared machinery for concrete synopses.
+
+    Subclasses implement :meth:`update` and :meth:`_merge_into`, and may
+    override :meth:`_merge_key` to declare which parameters must match for a
+    merge to be legal (hash seeds, widths, epsilons, ...).
+    """
+
+    @abstractmethod
+    def update(self, item: Any) -> None:
+        """Absorb one stream element."""
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Absorb every element of *items* in order."""
+        for item in items:
+            self.update(item)
+
+    def _merge_key(self) -> tuple:
+        """Parameters that must be equal on both sides of a merge."""
+        return ()
+
+    def _check_mergeable(self: T, other: object) -> T:
+        if type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if other._merge_key() != self._merge_key():
+            raise MergeError(
+                f"incompatible {type(self).__name__} parameters: "
+                f"{self._merge_key()} != {other._merge_key()}"
+            )
+        return other  # type: ignore[return-value]
+
+    @abstractmethod
+    def _merge_into(self: T, other: T) -> None:
+        """Merge *other* (already verified compatible) into ``self``."""
+
+    def merge(self: T, other: T) -> None:
+        """Merge *other* into ``self`` in place.
+
+        Raises :class:`~repro.common.exceptions.MergeError` when the two
+        synopses were built with incompatible parameters.
+        """
+        self._merge_into(self._check_mergeable(other))
+
+    def __add__(self: T, other: T) -> T:
+        """Return a merged copy, leaving both operands untouched."""
+        import copy
+
+        merged = copy.deepcopy(self)
+        merged.merge(other)
+        return merged
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the synopsis in bytes.
+
+        The default walks the object graph with ``sys.getsizeof``; sketches
+        backed by numpy arrays override this with ``arr.nbytes`` based
+        accounting for a tighter answer.
+        """
+        seen: set[int] = set()
+        return _deep_sizeof(self, seen)
+
+
+def _deep_sizeof(obj: Any, seen: set[int]) -> int:
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj, 0)
+    if hasattr(obj, "nbytes") and isinstance(getattr(obj, "nbytes"), int):
+        return size + obj.nbytes
+    if isinstance(obj, dict):
+        size += sum(
+            _deep_sizeof(k, seen) + _deep_sizeof(v, seen) for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(_deep_sizeof(it, seen) for it in obj)
+    elif hasattr(obj, "__dict__"):
+        size += _deep_sizeof(vars(obj), seen)
+    elif hasattr(obj, "__slots__"):
+        size += sum(
+            _deep_sizeof(getattr(obj, slot), seen)
+            for slot in obj.__slots__
+            if hasattr(obj, slot)
+        )
+    return size

@@ -1,0 +1,94 @@
+"""Versioned byte serialization for synopses.
+
+Sketches travel between nodes in a scaled-out deployment (the speed layer of
+the Lambda Architecture ships partial sketches to the serving layer for
+merging), so every synopsis that supports it exposes ``to_bytes`` /
+``from_bytes`` built on these helpers. Payloads are framed with a magic
+prefix, a type tag and a format version so that decoding errors surface as
+:class:`~repro.common.exceptions.SerializationError` instead of garbage.
+
+The payload body is a JSON document (numpy arrays are encoded as base64 of
+their raw buffer plus dtype/shape), which keeps the format debuggable and
+language-portable — the priority here is correctness and inspectability,
+not the absolute minimum byte count.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import SerializationError
+
+_MAGIC = b"RPRO"
+_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": base64.b64encode(np.ascontiguousarray(value).tobytes()).decode("ascii"),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, dict):
+        return {"__dict__": [[_encode_value(k), _encode_value(v)] for k, v in value.items()]}
+    if isinstance(value, (list, tuple)):
+        return {"__list__": [_encode_value(v) for v in value]}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    raise SerializationError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            raw = base64.b64decode(value["__ndarray__"])
+            arr = np.frombuffer(raw, dtype=np.dtype(value["dtype"])).copy()
+            return arr.reshape(value["shape"])
+        if "__bytes__" in value:
+            return base64.b64decode(value["__bytes__"])
+        if "__dict__" in value:
+            return {_freeze(_decode_value(k)): _decode_value(v) for k, v in value["__dict__"]}
+        if "__list__" in value:
+            return [_decode_value(v) for v in value["__list__"]]
+        raise SerializationError(f"unknown encoded mapping: {sorted(value)}")
+    return value
+
+
+def _freeze(key: Any) -> Any:
+    return tuple(key) if isinstance(key, list) else key
+
+
+def dump_state(type_tag: str, state: dict[str, Any]) -> bytes:
+    """Frame *state* as a versioned byte payload for synopsis *type_tag*."""
+    body = json.dumps({k: _encode_value(v) for k, v in state.items()}, separators=(",", ":"))
+    tag = type_tag.encode("ascii")
+    return _MAGIC + bytes([_VERSION, len(tag)]) + tag + body.encode("utf-8")
+
+
+def load_state(type_tag: str, payload: bytes) -> dict[str, Any]:
+    """Decode a payload produced by :func:`dump_state` for *type_tag*."""
+    if len(payload) < 6 or payload[:4] != _MAGIC:
+        raise SerializationError("payload does not start with the repro magic prefix")
+    version = payload[4]
+    if version != _VERSION:
+        raise SerializationError(f"unsupported format version {version}")
+    tag_len = payload[5]
+    tag = payload[6 : 6 + tag_len].decode("ascii")
+    if tag != type_tag:
+        raise SerializationError(f"payload is a {tag!r} synopsis, expected {type_tag!r}")
+    try:
+        doc = json.loads(payload[6 + tag_len :].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt payload body: {exc}") from exc
+    return {k: _decode_value(v) for k, v in doc.items()}

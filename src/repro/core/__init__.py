@@ -1,0 +1,14 @@
+"""The unified real-time analytics layer.
+
+* :mod:`repro.core.registry` — construct any synopsis by name.
+* :class:`~repro.core.summary.StreamSummary` — bundles of synopses over one
+  stream, mergeable across partitions.
+* :class:`~repro.core.pipeline.Pipeline` — fluent dataflow API compiling to
+  the streaming platform with selectable delivery semantics.
+"""
+
+from repro.core.pipeline import Pipeline
+from repro.core.registry import available, create, register
+from repro.core.summary import StreamSummary
+
+__all__ = ["Pipeline", "StreamSummary", "available", "create", "register"]

@@ -1,0 +1,134 @@
+"""A fluent dataflow DSL that compiles to a platform topology.
+
+The Table 2 systems each offer a higher-level API on top of raw topologies
+(Storm's Trident, Spark's DStreams, Flink's DataStream). This is ours:
+
+    results = (
+        Pipeline.from_list(sentences)
+        .flat_map(lambda v: [(w,) for w in v[0].split()])
+        .key_by(0)
+        .count()
+        .run(semantics="exactly_once")
+    )
+
+Each stage appends a bolt; ``run`` builds the topology, executes it with
+the requested delivery semantics and returns the sink contents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.exceptions import ParameterError
+from repro.platform.executor import LocalExecutor
+from repro.platform.faults import FaultInjector
+from repro.platform.operators import (
+    CollectorBolt,
+    CountBolt,
+    FilterBolt,
+    FlatMapBolt,
+    MapBolt,
+    SynopsisBolt,
+    TumblingWindowBolt,
+)
+from repro.platform.topology import ListSpout, TopologyBuilder
+
+
+class Pipeline:
+    """A linear chain of stream transformations."""
+
+    def __init__(self, records: list, name: str = "source"):
+        self._records = list(records)
+        # Stages: (name, factory, parallelism, grouping spec).
+        self._stages: list[tuple[str, Callable, int, tuple]] = []
+        self._keyed: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_list(cls, records: list) -> "Pipeline":
+        """A pipeline fed by a fixed record list (replayable source)."""
+        return cls(records)
+
+    def _add(self, label: str, factory: Callable, parallelism: int = 1) -> "Pipeline":
+        grouping = ("fields", self._keyed) if self._keyed else ("shuffle", None)
+        self._stages.append((f"{label}{len(self._stages)}", factory, parallelism, grouping))
+        self._keyed = None
+        return self
+
+    def map(self, fn: Callable[[tuple], tuple | None], parallelism: int = 1) -> "Pipeline":
+        """Transform each payload with *fn* (return None to drop)."""
+        return self._add("map", lambda: MapBolt(fn), parallelism)
+
+    def flat_map(self, fn: Callable[[tuple], list], parallelism: int = 1) -> "Pipeline":
+        """Expand each payload into zero or more payloads."""
+        return self._add("flatmap", lambda: FlatMapBolt(fn), parallelism)
+
+    def filter(self, predicate: Callable[[tuple], bool], parallelism: int = 1) -> "Pipeline":
+        """Keep payloads satisfying *predicate*."""
+        return self._add("filter", lambda: FilterBolt(predicate), parallelism)
+
+    def key_by(self, *indices: int) -> "Pipeline":
+        """Partition the next stage by the given payload positions."""
+        if not indices:
+            raise ParameterError("key_by needs at least one index")
+        self._keyed = indices
+        return self
+
+    def count(self, parallelism: int = 4) -> "Pipeline":
+        """Keyed running count; emits (key, count) updates."""
+        if self._keyed is None:
+            self._keyed = (0,)
+        key_index = self._keyed[0]
+        return self._add("count", lambda: CountBolt(key_index), parallelism)
+
+    def window(self, size: float, agg: Callable[[list], Any] = len) -> "Pipeline":
+        """Tumbling event-time windows over (timestamp, value) payloads."""
+        return self._add("window", lambda: TumblingWindowBolt(size, agg))
+
+    def sketch(self, factory: Callable[[], Any], extract=None) -> "Pipeline":
+        """Feed payloads into a synopsis (terminal-ish; synopsis inspectable
+        after run via the returned executor)."""
+        return self._add("sketch", lambda: SynopsisBolt(factory, extract))
+
+    def build(self) -> tuple:
+        """Compile to ``(topology, sink_name)`` without running."""
+        builder = TopologyBuilder()
+        records = self._records
+        builder.set_spout("source", lambda: ListSpout(records))
+        previous = "source"
+        for name, factory, parallelism, (kind, key) in self._stages:
+            declarer = builder.set_bolt(name, factory, parallelism=parallelism)
+            if kind == "fields":
+                declarer.fields(previous, *key)
+            else:
+                declarer.shuffle(previous)
+            previous = name
+        builder.set_bolt("sink", CollectorBolt).global_(previous)
+        return builder.build(), "sink"
+
+    def run(
+        self,
+        semantics: str = "at_most_once",
+        faults: FaultInjector | None = None,
+        checkpoint_interval: int = 500,
+    ) -> list[tuple]:
+        """Execute and return the sink's collected payloads."""
+        executor = self.run_with_executor(semantics, faults, checkpoint_interval)
+        (sink,) = executor.bolt_instances("sink")
+        return sink.results
+
+    def run_with_executor(
+        self,
+        semantics: str = "at_most_once",
+        faults: FaultInjector | None = None,
+        checkpoint_interval: int = 500,
+    ) -> LocalExecutor:
+        """Execute and return the executor (for metrics / bolt inspection)."""
+        topology, __ = self.build()
+        executor = LocalExecutor(
+            topology,
+            semantics=semantics,
+            faults=faults,
+            checkpoint_interval=checkpoint_interval,
+        )
+        executor.run()
+        return executor

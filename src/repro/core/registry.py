@@ -1,0 +1,137 @@
+"""Synopsis registry: construct any sketch in the library by name.
+
+The registry is what lets configuration-driven systems (the pipeline DSL,
+the Lambda speed layer, benchmark sweeps) instantiate synopses without
+importing every module: ``create("hyperloglog", precision=14)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.exceptions import ParameterError
+
+_REGISTRY: dict[str, Callable[..., Any]] = {}
+
+
+def register(name: str, factory: Callable[..., Any]) -> None:
+    """Register *factory* under *name* (lowercase, unique)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ParameterError(f"synopsis name {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def create(name: str, **params: Any) -> Any:
+    """Instantiate the synopsis registered under *name* with *params*."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ParameterError(
+            f"unknown synopsis {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**params)
+
+
+def available() -> list[str]:
+    """Sorted names of every registered synopsis."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from repro.anomaly import (
+        EWMAControlChart,
+        HalfSpaceTrees,
+        PageHinkley,
+        RollingZScore,
+        SlidingMAD,
+        WindowKLDetector,
+    )
+    from repro.cardinality import (
+        FlajoletMartin,
+        HyperLogLog,
+        KMinValues,
+        LinearCounter,
+        LogLog,
+        SlidingHyperLogLog,
+    )
+    from repro.filtering import (
+        BloomFilter,
+        CountingBloomFilter,
+        CuckooFilter,
+        ScalableBloomFilter,
+        StableBloomFilter,
+    )
+    from repro.frequency import (
+        CountMinSketch,
+        CountSketch,
+        LossyCounting,
+        MisraGries,
+        SpaceSaving,
+        StickySampling,
+        WindowedTopK,
+    )
+    from repro.moments import AMSSketch
+    from repro.quantiles import (
+        Frugal1U,
+        GKQuantiles,
+        KLLSketch,
+        P2Quantile,
+        QDigest,
+        TDigest,
+    )
+    from repro.filtering import PartitionedBloomFilter
+    from repro.sampling import (
+        BiasedReservoirSampler,
+        DistinctSampler,
+        ReservoirSampler,
+        WeightedReservoirSampler,
+    )
+    from repro.windowing import DGIM, DecayedFrequencies, EHSum, EHVariance, SlidingExtrema
+
+    builtins = {
+        "ams": AMSSketch,
+        "biased_reservoir": BiasedReservoirSampler,
+        "bloom": BloomFilter.for_capacity,
+        "count_min": CountMinSketch.from_error,
+        "count_sketch": CountSketch.from_error,
+        "counting_bloom": CountingBloomFilter.for_capacity,
+        "cuckoo": CuckooFilter.for_capacity,
+        "decayed_frequencies": DecayedFrequencies,
+        "dgim": DGIM,
+        "distinct_sampler": DistinctSampler,
+        "extrema": SlidingExtrema,
+        "page_hinkley": PageHinkley,
+        "partitioned_bloom": PartitionedBloomFilter.for_capacity,
+        "window_kl": WindowKLDetector,
+        "eh_sum": EHSum,
+        "eh_variance": EHVariance,
+        "ewma": EWMAControlChart,
+        "flajolet_martin": FlajoletMartin,
+        "frugal": Frugal1U,
+        "gk": GKQuantiles,
+        "hstrees": HalfSpaceTrees,
+        "hyperloglog": HyperLogLog,
+        "kll": KLLSketch,
+        "kmv": KMinValues,
+        "linear_counter": LinearCounter,
+        "loglog": LogLog,
+        "lossy_counting": LossyCounting,
+        "mad": SlidingMAD,
+        "misra_gries": MisraGries,
+        "p2": P2Quantile,
+        "reservoir": ReservoirSampler,
+        "scalable_bloom": ScalableBloomFilter,
+        "sliding_hyperloglog": SlidingHyperLogLog,
+        "space_saving": SpaceSaving,
+        "stable_bloom": StableBloomFilter,
+        "sticky_sampling": StickySampling,
+        "tdigest": TDigest,
+        "weighted_reservoir": WeightedReservoirSampler,
+        "windowed_topk": WindowedTopK,
+        "zscore": RollingZScore,
+    }
+    for name, factory in builtins.items():
+        register(name, factory)
+
+
+_register_builtins()

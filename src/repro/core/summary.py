@@ -1,0 +1,70 @@
+"""StreamSummary: many synopses over one stream, as one object.
+
+A production metrics pipeline rarely wants a single sketch; it wants "the
+distinct count, the top-k, the p99 and an anomaly flag" for the same
+stream. :class:`StreamSummary` fans each update out to a named set of
+synopses, merges component-wise (so partition summaries combine into a
+global one), and exposes each synopsis by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class StreamSummary(SynopsisBase):
+    """A named bundle of synopses updated together.
+
+    ``StreamSummary(uniques=HyperLogLog(), topk=SpaceSaving(64))`` — then
+    ``summary.update(item)``, ``summary["uniques"].estimate()``. A
+    per-synopsis ``extract`` function can reshape the item first
+    (``extractors={"latency_p99": lambda e: e.latency}``).
+    """
+
+    def __init__(
+        self,
+        extractors: dict[str, Callable[[Any], Any]] | None = None,
+        **synopses: Any,
+    ):
+        if not synopses:
+            raise ParameterError("StreamSummary needs at least one synopsis")
+        self.count = 0
+        self._synopses = dict(synopses)
+        self._extractors = dict(extractors or {})
+        unknown = set(self._extractors) - set(self._synopses)
+        if unknown:
+            raise ParameterError(f"extractors for unknown synopses: {sorted(unknown)}")
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        for name, synopsis in self._synopses.items():
+            extract = self._extractors.get(name)
+            synopsis.update(extract(item) if extract else item)
+
+    def __getitem__(self, name: str) -> Any:
+        if name not in self._synopses:
+            raise ParameterError(f"no synopsis named {name!r}")
+        return self._synopses[name]
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._synopses)
+
+    def _merge_key(self) -> tuple:
+        return (tuple(sorted(self._synopses)),)
+
+    def _merge_into(self, other: "StreamSummary") -> None:
+        for name, synopsis in self._synopses.items():
+            try:
+                synopsis.merge(other._synopses[name])
+            except NotImplementedError as exc:
+                raise MergeError(
+                    f"synopsis {name!r} ({type(synopsis).__name__}) is not mergeable"
+                ) from exc
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self._synopses.values())

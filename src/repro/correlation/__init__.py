@@ -1,0 +1,16 @@
+"""Correlation discovery in streams.
+
+Table 1 row "Correlation" — find data subsets highly correlated to a given
+set (application: fraud detection).
+"""
+
+from repro.correlation.lagged import LagCorrelator
+from repro.correlation.pearson import StreamingCorrelation
+from repro.correlation.sketch import CorrelationSketch, correlated_pairs
+
+__all__ = [
+    "CorrelationSketch",
+    "LagCorrelator",
+    "StreamingCorrelation",
+    "correlated_pairs",
+]

@@ -1,0 +1,71 @@
+"""Lagged cross-correlation over sliding windows.
+
+"Detecting time correlations in time-series data streams" [Sayal 2004] and
+composite-correlation work [Wang & Wang 2003]: given two synchronised
+streams, find the lag (within ``max_lag``) at which they correlate most —
+e.g. upstream traffic predicting downstream load. Maintains ring buffers of
+the last ``window`` points and evaluates Pearson at each candidate lag.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class LagCorrelator(SynopsisBase):
+    """Find ``argmax_lag corr(x[t - lag], y[t])`` over the recent window."""
+
+    def __init__(self, window: int = 512, max_lag: int = 32):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if not 0 <= max_lag < window:
+            raise ParameterError("max_lag must lie in [0, window)")
+        self.window = window
+        self.max_lag = max_lag
+        self.count = 0
+        self._x: deque[float] = deque(maxlen=window)
+        self._y: deque[float] = deque(maxlen=window)
+
+    def update(self, item: tuple[float, float]) -> None:
+        x, y = float(item[0]), float(item[1])
+        self.count += 1
+        self._x.append(x)
+        self._y.append(y)
+
+    def correlation_at(self, lag: int) -> float:
+        """Pearson correlation of x delayed by *lag* against current y."""
+        if not 0 <= lag <= self.max_lag:
+            raise ParameterError("lag out of range")
+        n = len(self._x)
+        if n - lag < 3:
+            raise ParameterError("not enough points for this lag")
+        x = np.asarray(self._x, dtype=np.float64)
+        y = np.asarray(self._y, dtype=np.float64)
+        a = x[: n - lag] if lag else x
+        b = y[lag:]
+        a = a - a.mean()
+        b = b - b.mean()
+        denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+        return float(np.dot(a, b) / denom) if denom > 0 else 0.0
+
+    def best_lag(self) -> tuple[int, float]:
+        """The lag in [0, max_lag] with the strongest |correlation|."""
+        best_lag, best_corr = 0, 0.0
+        for lag in range(self.max_lag + 1):
+            if len(self._x) - lag < 3:
+                break
+            corr = self.correlation_at(lag)
+            if abs(corr) > abs(best_corr):
+                best_lag, best_corr = lag, corr
+        return best_lag, best_corr
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.max_lag)
+
+    def _merge_into(self, other: "LagCorrelator") -> None:
+        raise NotImplementedError("lag buffers are position-bound; not mergeable")

@@ -1,0 +1,78 @@
+"""Streaming Pearson correlation via co-moment accumulation.
+
+One pass, O(1) memory per pair: Welford-style updates of means and
+co-moments [Chan/Welford], numerically stable and mergeable — the building
+block for "find data subsets which are highly correlated" (Table 1 row
+"Correlation", application: fraud detection).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class StreamingCorrelation(SynopsisBase):
+    """Online Pearson correlation of a stream of ``(x, y)`` pairs."""
+
+    def __init__(self):
+        self.count = 0
+        self.mean_x = 0.0
+        self.mean_y = 0.0
+        self._m2_x = 0.0
+        self._m2_y = 0.0
+        self._cov = 0.0  # co-moment sum
+
+    def update(self, item: tuple[float, float]) -> None:
+        x, y = float(item[0]), float(item[1])
+        self.count += 1
+        dx = x - self.mean_x
+        dy_old = y - self.mean_y
+        self.mean_x += dx / self.count
+        self.mean_y += dy_old / self.count
+        dy_new = y - self.mean_y
+        self._cov += dx * dy_new  # Welford cross-moment form
+        self._m2_x += dx * (x - self.mean_x)
+        self._m2_y += dy_old * dy_new
+
+    def _merge_key(self) -> tuple:
+        return ()
+
+    def _merge_into(self, other: "StreamingCorrelation") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.__dict__.update(other.__dict__)
+            return
+        n1, n2 = self.count, other.count
+        n = n1 + n2
+        dx = other.mean_x - self.mean_x
+        dy = other.mean_y - self.mean_y
+        self._m2_x += other._m2_x + dx * dx * n1 * n2 / n
+        self._m2_y += other._m2_y + dy * dy * n1 * n2 / n
+        self._cov += other._cov + dx * dy * n1 * n2 / n
+        self.mean_x += dx * n2 / n
+        self.mean_y += dy * n2 / n
+        self.count = n
+
+    def variance_x(self) -> float:
+        """Population variance of the x component."""
+        return self._m2_x / self.count if self.count else 0.0
+
+    def variance_y(self) -> float:
+        """Population variance of the y component."""
+        return self._m2_y / self.count if self.count else 0.0
+
+    def covariance(self) -> float:
+        """Population covariance of (x, y)."""
+        return self._cov / self.count if self.count else 0.0
+
+    def correlation(self) -> float:
+        """Pearson correlation coefficient (0 when either side is constant)."""
+        if self.count < 2:
+            raise ParameterError("correlation needs at least 2 observations")
+        denom = math.sqrt(self._m2_x * self._m2_y)
+        return self._cov / denom if denom > 0 else 0.0

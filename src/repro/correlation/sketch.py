@@ -1,0 +1,92 @@
+"""Sketch-based correlation screening for many streams at once.
+
+Computing all-pairs correlations over thousands of streams is quadratic in
+the stream count per tick; the StatStream/BRAID-family fix (cf. [Guo, Sathe
+& Aberer 2014] cited in Table 1) is to project each normalised window onto
+a small set of shared random vectors — correlations are approximately
+preserved inner products (Johnson–Lindenstrauss), so highly correlated
+pairs can be screened in the sketch space using ``d`` numbers per stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_np_rng
+
+
+class CorrelationSketch(SynopsisBase):
+    """Random-projection sketch of one stream's recent window.
+
+    All sketches that should be comparable must share ``(window, d, seed)``
+    so they project onto the same random basis.
+    """
+
+    def __init__(self, window: int = 256, d: int = 32, seed: int = 0):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if d <= 0:
+            raise ParameterError("sketch dimension d must be positive")
+        self.window = window
+        self.d = d
+        self.seed = seed
+        self.count = 0
+        self._buffer: deque[float] = deque(maxlen=window)
+        # Shared basis: d x window, +-1 entries (Achlioptas projection).
+        rng = make_np_rng(seed)
+        self._basis = rng.choice([-1.0, 1.0], size=(d, window))
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._buffer.append(float(item))
+
+    def _normalised_window(self) -> np.ndarray:
+        arr = np.asarray(self._buffer, dtype=np.float64)
+        if len(arr) < self.window:
+            arr = np.concatenate([np.zeros(self.window - len(arr)), arr])
+        arr = arr - arr.mean()
+        norm = np.linalg.norm(arr)
+        return arr / norm if norm > 0 else arr
+
+    def sketch(self) -> np.ndarray:
+        """The d-dimensional projection of the normalised window."""
+        return self._basis @ self._normalised_window() / np.sqrt(self.d)
+
+    def correlation(self, other: "CorrelationSketch") -> float:
+        """Approximate Pearson correlation of the two recent windows."""
+        if (other.window, other.d, other.seed) != (self.window, self.d, self.seed):
+            raise MergeError("sketches must share window, dimension and seed")
+        return float(np.clip(np.dot(self.sketch(), other.sketch()), -1.0, 1.0))
+
+    def exact_correlation(self, other: "CorrelationSketch") -> float:
+        """Exact Pearson of the buffered windows (baseline for screening)."""
+        a = self._normalised_window()
+        b = other._normalised_window()
+        return float(np.dot(a, b))
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.d, self.seed)
+
+    def _merge_into(self, other: "CorrelationSketch") -> None:
+        raise NotImplementedError("window sketches are position-bound; not mergeable")
+
+
+def correlated_pairs(
+    sketches: list[CorrelationSketch], threshold: float = 0.8
+) -> list[tuple[int, int, float]]:
+    """Screen all pairs of *sketches*, returning (i, j, approx_corr) above
+    |threshold| — the candidate set a system would verify exactly."""
+    if not 0 < threshold <= 1:
+        raise ParameterError("threshold must lie in (0, 1]")
+    mat = np.stack([s.sketch() for s in sketches])
+    sims = mat @ mat.T
+    out = []
+    for i in range(len(sketches)):
+        for j in range(i + 1, len(sketches)):
+            if abs(sims[i, j]) >= threshold:
+                out.append((i, j, float(np.clip(sims[i, j], -1.0, 1.0))))
+    return out

@@ -1,0 +1,23 @@
+"""Approximate set membership: the Bloom-filter family and cuckoo filters.
+
+Table 1 row "Filtering" — extract elements that meet a criterion
+(application: set membership).
+"""
+
+from repro.filtering.bloom import BloomFilter
+from repro.filtering.counting_bloom import CountingBloomFilter
+from repro.filtering.cuckoo import CuckooFilter
+from repro.filtering.partitioned import PartitionedBloomFilter
+from repro.filtering.retouched import RetouchedBloomFilter
+from repro.filtering.scalable_bloom import ScalableBloomFilter
+from repro.filtering.stable_bloom import StableBloomFilter
+
+__all__ = [
+    "RetouchedBloomFilter",
+    "PartitionedBloomFilter",
+    "BloomFilter",
+    "CountingBloomFilter",
+    "CuckooFilter",
+    "ScalableBloomFilter",
+    "StableBloomFilter",
+]

@@ -1,0 +1,123 @@
+"""The classic Bloom filter [Bloom, CACM 1970].
+
+A Bloom filter answers approximate set membership with no false negatives
+and a tunable false-positive rate. Hash positions come from a
+:class:`~repro.common.hashing.HashFamily` using Kirsch–Mitzenmacher double
+hashing, so ``k`` probes cost two real hash evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+from repro.common.serialization import dump_state, load_state
+
+_TYPE_TAG = "bloom"
+
+
+class BloomFilter(SynopsisBase):
+    """Bit-array Bloom filter with *m* bits and *k* hash functions.
+
+    Prefer the :meth:`for_capacity` constructor, which picks the optimal
+    ``(m, k)`` for an expected number of insertions and target false-positive
+    rate: ``m = -n ln p / (ln 2)^2`` and ``k = (m/n) ln 2``.
+    """
+
+    def __init__(self, m: int, k: int, seed: int = 0):
+        if m <= 0:
+            raise ParameterError("bit count m must be positive")
+        if k <= 0:
+            raise ParameterError("hash count k must be positive")
+        self.m = m
+        self.k = k
+        self.family = HashFamily(seed)
+        self.count = 0  # insertions performed (duplicates included)
+        self._bits = np.zeros(m, dtype=bool)
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fp_rate: float = 0.01, seed: int = 0) -> "BloomFilter":
+        """A filter sized optimally for *capacity* insertions at *fp_rate*."""
+        if capacity <= 0:
+            raise ParameterError("capacity must be positive")
+        if not 0 < fp_rate < 1:
+            raise ParameterError("fp_rate must lie in (0, 1)")
+        m = math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))
+        k = max(1, round(m / capacity * math.log(2)))
+        return cls(m=m, k=k, seed=seed)
+
+    def update(self, item: Any) -> None:
+        """Insert *item* into the filter."""
+        self.count += 1
+        for h in self.family.hashes(item, self.k):
+            self._bits[h % self.m] = True
+
+    add = update
+
+    def contains(self, item: Any) -> bool:
+        """True if *item* may be in the set (never false for inserted items)."""
+        return all(self._bits[h % self.m] for h in self.family.hashes(item, self.k))
+
+    __contains__ = contains
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (drives the actual false-positive rate)."""
+        return float(self._bits.mean())
+
+    def false_positive_rate(self) -> float:
+        """Estimated current false-positive probability: ``fill^k``."""
+        return self.fill_ratio**self.k
+
+    def estimated_cardinality(self) -> float:
+        """Swamidass–Baldi estimate of distinct items: ``-(m/k) ln(1 - fill)``."""
+        fill = self.fill_ratio
+        if fill >= 1.0:
+            return float("inf")
+        return -self.m / self.k * math.log(1.0 - fill)
+
+    def _merge_key(self) -> tuple:
+        return (self.m, self.k, self.family.seed)
+
+    def _merge_into(self, other: "BloomFilter") -> None:
+        """Union: the merged filter contains every item either side saw."""
+        self._bits |= other._bits
+        self.count += other.count
+
+    def intersect(self, other: "BloomFilter") -> "BloomFilter":
+        """An upper-bound filter for the set intersection (may overcount)."""
+        other = self._check_mergeable(other)
+        out = BloomFilter(self.m, self.k, seed=self.family.seed)
+        out._bits = self._bits & other._bits
+        out.count = min(self.count, other.count)
+        return out
+
+    def size_bytes(self) -> int:
+        return int(self._bits.nbytes)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a versioned byte payload."""
+        return dump_state(
+            _TYPE_TAG,
+            {
+                "m": self.m,
+                "k": self.k,
+                "seed": self.family.seed,
+                "count": self.count,
+                "bits": np.packbits(self._bits),
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        """Reconstruct a filter from :meth:`to_bytes` output."""
+        state = load_state(_TYPE_TAG, payload)
+        obj = cls(state["m"], state["k"], seed=state["seed"])
+        obj.count = state["count"]
+        obj._bits = np.unpackbits(state["bits"])[: state["m"]].astype(bool)
+        return obj

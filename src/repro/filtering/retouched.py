@@ -1,0 +1,52 @@
+"""Retouched Bloom filter [Donnet, Baynat & Friedman, CoNEXT 2006].
+
+Table 1's filtering row cites this variant: a Bloom filter whose operator
+may *clear* bits to remove troublesome false positives, accepting some
+false negatives in exchange — worthwhile when specific false positives
+are expensive (e.g. blacklisting a popular benign URL) while occasional
+false negatives are cheap. Tracks how many inserted keys each removal
+may have damaged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.exceptions import ParameterError
+from repro.filtering.bloom import BloomFilter
+
+
+class RetouchedBloomFilter(BloomFilter):
+    """Bloom filter with selective false-positive removal."""
+
+    def __init__(self, m: int, k: int, seed: int = 0):
+        super().__init__(m, k, seed=seed)
+        self.bits_cleared = 0
+
+    def remove_false_positive(self, item: Any) -> bool:
+        """Clear one of *item*'s bits so it no longer tests positive.
+
+        Returns False if *item* already tests negative. Clearing a bit may
+        turn some genuinely inserted keys into false negatives — the
+        documented retouching trade.
+        """
+        slots = [h % self.m for h in self.family.hashes(item, self.k)]
+        if not all(self._bits[s] for s in slots):
+            return False
+        # Clear the slot heuristically least likely to be shared: any one
+        # works for correctness; the first is deterministic.
+        self._bits[slots[0]] = False
+        self.bits_cleared += 1
+        return True
+
+    def remove_false_positives(self, items) -> int:
+        """Retouch every item in *items*; returns how many were cleared."""
+        return sum(1 for item in items if self.remove_false_positive(item))
+
+    def false_negative_rate(self, inserted_sample) -> float:
+        """Measured false-negative rate over a sample of inserted keys."""
+        inserted_sample = list(inserted_sample)
+        if not inserted_sample:
+            raise ParameterError("need at least one inserted key to measure")
+        misses = sum(1 for item in inserted_sample if item not in self)
+        return misses / len(inserted_sample)

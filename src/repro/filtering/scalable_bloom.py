@@ -1,0 +1,97 @@
+"""Scalable Bloom filter [Almeida, Baquero, Preguiça & Hutchison, 2007].
+
+A Bloom filter must be sized for its final cardinality up front; a scalable
+Bloom filter removes that requirement by chaining filters: when the current
+slice fills up, a new slice is added with geometrically larger capacity and
+geometrically tighter false-positive target, so the compound FP rate stays
+below ``fp_rate / (1 - tightening)`` however large the stream grows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.filtering.bloom import BloomFilter
+
+
+class ScalableBloomFilter(SynopsisBase):
+    """Unbounded-capacity Bloom filter built from growing slices."""
+
+    def __init__(
+        self,
+        initial_capacity: int = 1024,
+        fp_rate: float = 0.01,
+        growth: int = 2,
+        tightening: float = 0.5,
+        seed: int = 0,
+    ):
+        if initial_capacity <= 0:
+            raise ParameterError("initial_capacity must be positive")
+        if not 0 < fp_rate < 1:
+            raise ParameterError("fp_rate must lie in (0, 1)")
+        if growth < 2:
+            raise ParameterError("growth must be >= 2")
+        if not 0 < tightening < 1:
+            raise ParameterError("tightening must lie in (0, 1)")
+        self.initial_capacity = initial_capacity
+        self.fp_rate = fp_rate
+        self.growth = growth
+        self.tightening = tightening
+        self.seed = seed
+        self.count = 0
+        self._slices: list[BloomFilter] = []
+        self._slice_capacity: list[int] = []
+        self._add_slice()
+
+    def _add_slice(self) -> None:
+        index = len(self._slices)
+        capacity = self.initial_capacity * self.growth**index
+        rate = self.fp_rate * self.tightening**index
+        self._slices.append(BloomFilter.for_capacity(capacity, rate, seed=self.seed + index))
+        self._slice_capacity.append(capacity)
+
+    def update(self, item: Any) -> None:
+        """Insert *item*, growing a new slice when the current one is full."""
+        self.count += 1
+        current = self._slices[-1]
+        if current.count >= self._slice_capacity[-1]:
+            self._add_slice()
+            current = self._slices[-1]
+        current.update(item)
+
+    add = update
+
+    def contains(self, item: Any) -> bool:
+        """True if *item* may have been inserted into any slice."""
+        return any(item in s for s in self._slices)
+
+    __contains__ = contains
+
+    @property
+    def n_slices(self) -> int:
+        """Number of slices grown so far."""
+        return len(self._slices)
+
+    def expected_fp_bound(self) -> float:
+        """Compound false-positive upper bound ``fp_rate / (1 - tightening)``."""
+        return self.fp_rate / (1.0 - self.tightening)
+
+    def _merge_key(self) -> tuple:
+        return (self.initial_capacity, self.fp_rate, self.growth, self.tightening, self.seed)
+
+    def _merge_into(self, other: "ScalableBloomFilter") -> None:
+        """Slice-wise union; the longer chain's tail is adopted wholesale."""
+        for i, their in enumerate(other._slices):
+            if i < len(self._slices):
+                self._slices[i].merge(their)
+            else:
+                import copy
+
+                self._slices.append(copy.deepcopy(their))
+                self._slice_capacity.append(other._slice_capacity[i])
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self._slices)

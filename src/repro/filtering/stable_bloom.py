@@ -1,0 +1,83 @@
+"""Stable Bloom filter for duplicate detection on unbounded streams.
+
+[Deng & Rafiei, SIGMOD 2006] — a plain Bloom filter over an unbounded
+stream eventually saturates and answers "yes" to everything. The stable
+Bloom filter decays: each insertion first decrements ``p`` randomly chosen
+cells, then sets the item's ``k`` cells to ``max``. Cell occupancy converges
+to a stationary distribution, so the false-positive rate stays bounded
+forever while recent items remain detectable (time-decaying membership, as
+used for click-stream duplicate suppression).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_np_rng
+
+
+class StableBloomFilter(SynopsisBase):
+    """Decaying Bloom filter with *m* d-bit cells, *k* hashes, *p* decrements."""
+
+    def __init__(
+        self,
+        m: int,
+        k: int = 4,
+        p: int = 10,
+        max_value: int = 3,
+        seed: int = 0,
+    ):
+        if m <= 0:
+            raise ParameterError("cell count m must be positive")
+        if k <= 0:
+            raise ParameterError("hash count k must be positive")
+        if p <= 0:
+            raise ParameterError("decrement count p must be positive")
+        if not 1 <= max_value <= 255:
+            raise ParameterError("max_value must lie in [1, 255]")
+        self.m = m
+        self.k = k
+        self.p = p
+        self.max_value = max_value
+        self.family = HashFamily(seed)
+        self.count = 0
+        self._rng = make_np_rng(seed)
+        self._cells = np.zeros(m, dtype=np.uint8)
+
+    def update(self, item: Any) -> None:
+        """Record *item*: decay *p* random cells, then set the item's cells."""
+        self.count += 1
+        victims = self._rng.integers(0, self.m, size=self.p)
+        live = self._cells[victims] > 0
+        self._cells[victims[live]] -= 1
+        for h in self.family.hashes(item, self.k):
+            self._cells[h % self.m] = self.max_value
+
+    add = update
+
+    def contains(self, item: Any) -> bool:
+        """True if *item* was probably seen recently."""
+        return all(self._cells[h % self.m] > 0 for h in self.family.hashes(item, self.k))
+
+    __contains__ = contains
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of non-zero cells (converges to the stable point)."""
+        return float((self._cells > 0).mean())
+
+    def _merge_key(self) -> tuple:
+        return (self.m, self.k, self.p, self.max_value, self.family.seed)
+
+    def _merge_into(self, other: "StableBloomFilter") -> None:
+        """Cell-wise max: an item recent in either partition stays detectable."""
+        np.maximum(self._cells, other._cells, out=self._cells)
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return int(self._cells.nbytes)

@@ -1,0 +1,24 @@
+"""Frequent elements, top-k and frequency estimation sketches.
+
+Table 1 row "Finding Frequent Elements" — identify items in a multiset
+with frequency above a threshold (application: trending hashtags).
+"""
+
+from repro.frequency.count_min import CountMinSketch
+from repro.frequency.count_sketch import CountSketch
+from repro.frequency.hierarchical import HierarchicalHeavyHitters
+from repro.frequency.lossy_counting import LossyCounting, StickySampling
+from repro.frequency.misra_gries import MisraGries
+from repro.frequency.space_saving import SpaceSaving
+from repro.frequency.windowed import WindowedTopK
+
+__all__ = [
+    "CountMinSketch",
+    "CountSketch",
+    "HierarchicalHeavyHitters",
+    "LossyCounting",
+    "MisraGries",
+    "SpaceSaving",
+    "StickySampling",
+    "WindowedTopK",
+]

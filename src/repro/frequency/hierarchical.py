@@ -1,0 +1,86 @@
+"""Hierarchical heavy hitters [Cormode, Korn, Muthukrishnan & Srivastava,
+VLDB 2003].
+
+Items live in a hierarchy (IP prefixes, URL paths, topic taxonomies); a
+*hierarchical* heavy hitter is a prefix whose count — after discounting the
+counts of its own HHH descendants — still exceeds the threshold. This
+implementation keeps one SpaceSaving summary per hierarchy level and runs
+the bottom-up discounting pass at query time.
+
+Items are tuples; the parent of ``(a, b, c)`` is ``(a, b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.frequency.space_saving import SpaceSaving
+
+
+class HierarchicalHeavyHitters(SynopsisBase):
+    """HHH detector over tuple-shaped items of exactly *levels* components."""
+
+    def __init__(self, levels: int, k: int = 256):
+        if levels <= 0:
+            raise ParameterError("levels must be positive")
+        if k <= 0:
+            raise ParameterError("counter budget k must be positive")
+        self.levels = levels
+        self.k = k
+        self.count = 0
+        self._summaries = [SpaceSaving(k) for __ in range(levels)]
+
+    def update(self, item: Sequence[Hashable]) -> None:
+        key = tuple(item)
+        if len(key) != self.levels:
+            raise ParameterError(
+                f"item must have exactly {self.levels} components, got {len(key)}"
+            )
+        self.count += 1
+        for level in range(self.levels):
+            self._summaries[level].update(key[: level + 1])
+
+    def estimate(self, prefix: Sequence[Hashable]) -> int:
+        """Estimated total count of items under *prefix*."""
+        key = tuple(prefix)
+        if not 1 <= len(key) <= self.levels:
+            raise ParameterError("prefix length out of range")
+        return self._summaries[len(key) - 1].estimate(key)
+
+    def hierarchical_heavy_hitters(self, threshold: float) -> dict[tuple, int]:
+        """Prefixes whose *discounted* count is >= ``threshold * n``.
+
+        Bottom-up: a leaf-level heavy hitter is reported outright; at higher
+        levels, counts already attributed to reported descendants are
+        subtracted before the threshold test.
+        """
+        if not 0 < threshold <= 1:
+            raise ParameterError("threshold must lie in (0, 1]")
+        floor = threshold * self.count
+        reported: dict[tuple, int] = {}
+        discounted_by_parent: dict[tuple, int] = {}
+        for level in range(self.levels - 1, -1, -1):
+            summary = self._summaries[level]
+            for prefix, cnt in summary.top(self.k):
+                adjusted = cnt - discounted_by_parent.get(prefix, 0)
+                if adjusted >= floor:
+                    reported[prefix] = adjusted
+                    if level > 0:
+                        parent = prefix[:-1]
+                        discounted_by_parent[parent] = (
+                            discounted_by_parent.get(parent, 0) + cnt
+                        )
+                elif level > 0:
+                    # Unreported mass still propagates upward untouched.
+                    pass
+        return reported
+
+    def _merge_key(self) -> tuple:
+        return (self.levels, self.k)
+
+    def _merge_into(self, other: "HierarchicalHeavyHitters") -> None:
+        for mine, theirs in zip(self._summaries, other._summaries):
+            mine.merge(theirs)
+        self.count += other.count

@@ -1,0 +1,157 @@
+"""Lossy Counting and Sticky Sampling [Manku & Motwani, VLDB 2002].
+
+The paper's "approximate frequency counts over data streams" citation.
+
+* **Lossy Counting** (deterministic): the stream is processed in buckets of
+  width ``1/epsilon``; at bucket boundaries, entries whose count plus bucket
+  slack falls below the bucket id are evicted. Reported counts undercount by
+  at most ``epsilon * n``.
+* **Sticky Sampling** (probabilistic): sample new items with a rate that
+  halves as the stream grows; counts of sampled items are exact thereafter.
+  Expected space is ``(2/epsilon) log(1/(support*delta))`` — independent of n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_rng
+
+
+class LossyCounting(SynopsisBase):
+    """Deterministic epsilon-deficient frequency counts."""
+
+    def __init__(self, epsilon: float = 0.001):
+        if not 0 < epsilon < 1:
+            raise ParameterError("epsilon must lie in (0, 1)")
+        self.epsilon = epsilon
+        self.bucket_width = math.ceil(1.0 / epsilon)
+        self.count = 0
+        # item -> (count, max undercount Delta)
+        self._entries: dict[Hashable, tuple[int, int]] = {}
+
+    @property
+    def current_bucket(self) -> int:
+        return math.ceil(self.count / self.bucket_width) if self.count else 1
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        bucket = self.current_bucket
+        if item in self._entries:
+            cnt, delta = self._entries[item]
+            self._entries[item] = (cnt + 1, delta)
+        else:
+            self._entries[item] = (1, bucket - 1)
+        if self.count % self.bucket_width == 0:
+            self._prune(bucket)
+
+    def _prune(self, bucket: int) -> None:
+        self._entries = {
+            it: (c, d) for it, (c, d) in self._entries.items() if c + d > bucket
+        }
+
+    def estimate(self, item: Any) -> int:
+        """Lower bound on the frequency of *item* (undercount <= epsilon*n)."""
+        return self._entries.get(item, (0, 0))[0]
+
+    def heavy_hitters(self, support: float) -> dict[Hashable, int]:
+        """All items with true frequency >= ``support * n`` (no false
+        negatives); may include items above ``(support - epsilon) * n``."""
+        if not 0 < support <= 1:
+            raise ParameterError("support must lie in (0, 1]")
+        floor = (support - self.epsilon) * self.count
+        return {it: c for it, (c, __) in self._entries.items() if c >= floor}
+
+    @property
+    def n_entries(self) -> int:
+        """Tracked entries (bounded by (1/eps) log(eps n))."""
+        return len(self._entries)
+
+    def _merge_key(self) -> tuple:
+        return (self.epsilon,)
+
+    def _merge_into(self, other: "LossyCounting") -> None:
+        for item, (cnt, delta) in other._entries.items():
+            mine = self._entries.get(item)
+            if mine is None:
+                self._entries[item] = (cnt, delta + self.current_bucket - 1)
+            else:
+                self._entries[item] = (mine[0] + cnt, min(mine[1], delta))
+        self.count += other.count
+        self._prune(self.current_bucket)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class StickySampling(SynopsisBase):
+    """Probabilistic frequency counts with stream-length-independent space."""
+
+    def __init__(
+        self,
+        support: float = 0.01,
+        epsilon: float = 0.001,
+        failure: float = 1e-4,
+        seed: int | None = 0,
+    ):
+        if not 0 < epsilon < support <= 1:
+            raise ParameterError("need 0 < epsilon < support <= 1")
+        if not 0 < failure < 1:
+            raise ParameterError("failure probability must lie in (0, 1)")
+        self.support = support
+        self.epsilon = epsilon
+        self.failure = failure
+        self.count = 0
+        self._rng = make_rng(seed)
+        self._t = math.ceil(math.log(1.0 / (support * failure)) / epsilon)
+        self._rate = 1  # sample 1-in-rate
+        self._next_resample = 2 * self._t
+        self._entries: dict[Hashable, int] = {}
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        if item in self._entries:
+            self._entries[item] += 1
+        elif self._rng.random() < 1.0 / self._rate:
+            self._entries[item] = 1
+        if self.count >= self._next_resample:
+            self._rate *= 2
+            self._next_resample += 2 * self._t * self._rate
+            # Age existing entries: for each, flip a fair coin repeatedly,
+            # diminishing counts as if they had been sampled at the new rate.
+            survivors: dict[Hashable, int] = {}
+            for it, cnt in self._entries.items():
+                while cnt > 0 and self._rng.random() < 0.5:
+                    cnt -= 1
+                if cnt > 0:
+                    survivors[it] = cnt
+            self._entries = survivors
+
+    def estimate(self, item: Any) -> int:
+        """Estimated frequency of *item* (undercount <= epsilon*n whp)."""
+        return self._entries.get(item, 0)
+
+    def heavy_hitters(self, support: float | None = None) -> dict[Hashable, int]:
+        """Items with estimated frequency >= ``(support - epsilon) * n``."""
+        support = self.support if support is None else support
+        floor = (support - self.epsilon) * self.count
+        return {it: c for it, c in self._entries.items() if c >= floor}
+
+    @property
+    def n_entries(self) -> int:
+        """Tracked entries (expected ~ 2/eps log(1/(s*delta)))."""
+        return len(self._entries)
+
+    def _merge_key(self) -> tuple:
+        return (self.support, self.epsilon, self.failure)
+
+    def _merge_into(self, other: "StickySampling") -> None:
+        for item, cnt in other._entries.items():
+            self._entries[item] = self._entries.get(item, 0) + cnt
+        self.count += other.count
+
+    def __len__(self) -> int:
+        return len(self._entries)

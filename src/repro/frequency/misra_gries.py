@@ -1,0 +1,84 @@
+"""Misra–Gries frequent-elements summary (a.k.a. the "Frequent" algorithm).
+
+[Misra & Gries 1982; rediscovered by Demaine et al. 2002 and Karp et al.
+2003] — keep at most *k* counters; increment on hit, decrement all on miss
+when full. Every item with true frequency above ``n/(k+1)`` survives, and
+each reported count underestimates by at most ``n/(k+1)``. Deterministic
+and mergeable [Agarwal et al. 2012].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class MisraGries(SynopsisBase):
+    """Deterministic heavy-hitters summary with at most *k* counters."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ParameterError("counter budget k must be positive")
+        self.k = k
+        self.count = 0
+        self._counters: dict[Hashable, int] = {}
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        counters = self._counters
+        if item in counters:
+            counters[item] += 1
+        elif len(counters) < self.k:
+            counters[item] = 1
+        else:
+            # Decrement-all; drop zeroed counters.
+            for key in list(counters):
+                counters[key] -= 1
+                if counters[key] == 0:
+                    del counters[key]
+
+    def estimate(self, item: Any) -> int:
+        """Lower bound on the frequency of *item* (0 if not tracked)."""
+        return self._counters.get(item, 0)
+
+    def error_bound(self) -> float:
+        """Maximum undercount of any estimate: ``n / (k + 1)``."""
+        return self.count / (self.k + 1)
+
+    def heavy_hitters(self, threshold: float) -> dict[Hashable, int]:
+        """Items whose estimated frequency is at least ``threshold * n``.
+
+        Guaranteed to include every item with true frequency above
+        ``(threshold + 1/(k+1)) * n``.
+        """
+        if not 0 < threshold <= 1:
+            raise ParameterError("threshold must lie in (0, 1]")
+        floor = threshold * self.count - self.error_bound()
+        return {it: c for it, c in self._counters.items() if c >= max(floor, 1)}
+
+    def top(self, n: int) -> list[tuple[Hashable, int]]:
+        """The *n* tracked items with the largest estimated counts."""
+        ordered = sorted(self._counters.items(), key=lambda kv: -kv[1])
+        return ordered[:n]
+
+    def _merge_key(self) -> tuple:
+        return (self.k,)
+
+    def _merge_into(self, other: "MisraGries") -> None:
+        """Agarwal et al. merge: add counters, then subtract the (k+1)-st
+        largest count from everything, keeping at most k positives."""
+        combined = dict(self._counters)
+        for item, cnt in other._counters.items():
+            combined[item] = combined.get(item, 0) + cnt
+        if len(combined) > self.k:
+            cutoff = sorted(combined.values(), reverse=True)[self.k]
+            combined = {
+                it: c - cutoff for it, c in combined.items() if c - cutoff > 0
+            }
+        self._counters = combined
+        self.count += other.count
+
+    def __len__(self) -> int:
+        return len(self._counters)

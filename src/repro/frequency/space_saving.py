@@ -1,0 +1,161 @@
+"""SpaceSaving / Stream-Summary [Metwally, Agrawal & El Abbadi, ICDT 2005].
+
+The paper's "efficient computation of frequent and top-k elements"
+citation, and in practice the best-behaved counter-based heavy-hitters
+algorithm: keep *k* counters; on a miss, evict the minimum counter and
+adopt its count + 1 (recording the inherited error). Estimates *overcount*
+by at most the adopted error, every item with frequency > n/k is tracked,
+and summaries merge cleanly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError, SerializationError
+from repro.common.mergeable import SynopsisBase
+from repro.common.serialization import dump_state, load_state
+
+_TYPE_TAG = "space_saving"
+
+
+class SpaceSaving(SynopsisBase):
+    """Top-k / heavy-hitters summary with *k* (count, error) counters."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ParameterError("counter budget k must be positive")
+        self.k = k
+        self.count = 0
+        self._counts: dict[Hashable, int] = {}
+        self._errors: dict[Hashable, int] = {}
+        # Lazy min-heap of (count, tiebreak, item); stale entries skipped.
+        self._heap: list[tuple[int, int, Hashable]] = []
+        self._tiebreak = itertools.count()
+
+    def update(self, item: Any) -> None:
+        self.update_weighted(item, 1)
+
+    def update_weighted(self, item: Any, weight: int) -> None:
+        """Absorb *item* with integer *weight* >= 1."""
+        if weight <= 0:
+            raise ParameterError("weight must be positive")
+        self.count += weight
+        if item in self._counts:
+            self._counts[item] += weight
+            heapq.heappush(self._heap, (self._counts[item], next(self._tiebreak), item))
+            return
+        if len(self._counts) < self.k:
+            self._counts[item] = weight
+            self._errors[item] = 0
+            heapq.heappush(self._heap, (weight, next(self._tiebreak), item))
+            return
+        # Evict the current minimum (skipping stale heap entries).
+        while True:
+            cnt, __, victim = self._heap[0]
+            if self._counts.get(victim) == cnt:
+                break
+            heapq.heappop(self._heap)
+        heapq.heappop(self._heap)
+        del self._counts[victim]
+        del self._errors[victim]
+        self._counts[item] = cnt + weight
+        self._errors[item] = cnt
+        heapq.heappush(self._heap, (cnt + weight, next(self._tiebreak), item))
+
+    def estimate(self, item: Any) -> int:
+        """Upper-bound estimate of the frequency of *item*."""
+        return self._counts.get(item, 0)
+
+    def guaranteed_count(self, item: Any) -> int:
+        """Lower bound: estimate minus inherited error."""
+        return self._counts.get(item, 0) - self._errors.get(item, 0)
+
+    def top(self, n: int) -> list[tuple[Hashable, int]]:
+        """The *n* items with the largest estimated counts."""
+        ordered = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ordered[:n]
+
+    def heavy_hitters(self, threshold: float) -> dict[Hashable, int]:
+        """Items with estimated frequency >= ``threshold * n``.
+
+        Contains every item whose true frequency exceeds that bar (the
+        SpaceSaving no-false-negative guarantee for threshold >= 1/k).
+        """
+        if not 0 < threshold <= 1:
+            raise ParameterError("threshold must lie in (0, 1]")
+        floor = threshold * self.count
+        return {it: c for it, c in self._counts.items() if c >= floor}
+
+    def _merge_key(self) -> tuple:
+        return (self.k,)
+
+    def _merge_into(self, other: "SpaceSaving") -> None:
+        """Merge by summing counts/errors; absent items inherit the other
+        side's minimum count as error (standard mergeable-summaries rule)."""
+        my_min = min(self._counts.values()) if len(self._counts) == self.k else 0
+        their_min = min(other._counts.values()) if len(other._counts) == other.k else 0
+        combined_counts: dict[Hashable, int] = {}
+        combined_errors: dict[Hashable, int] = {}
+        for item in set(self._counts) | set(other._counts):
+            mine = self._counts.get(item)
+            theirs = other._counts.get(item)
+            if mine is not None and theirs is not None:
+                combined_counts[item] = mine + theirs
+                combined_errors[item] = self._errors[item] + other._errors[item]
+            elif mine is not None:
+                combined_counts[item] = mine + their_min
+                combined_errors[item] = self._errors[item] + their_min
+            else:
+                combined_counts[item] = theirs + my_min
+                combined_errors[item] = other._errors[item] + my_min
+        # Keep the k largest.
+        kept = sorted(combined_counts.items(), key=lambda kv: -kv[1])[: self.k]
+        self._counts = dict(kept)
+        self._errors = {it: combined_errors[it] for it, __ in kept}
+        self._heap = [
+            (cnt, next(self._tiebreak), it) for it, cnt in self._counts.items()
+        ]
+        heapq.heapify(self._heap)
+        self.count += other.count
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a versioned byte payload.
+
+        Keys must be strings, ints, floats or tuples thereof (the
+        serialization layer's portable key types).
+        """
+        items = list(self._counts)
+        try:
+            return dump_state(
+                _TYPE_TAG,
+                {
+                    "k": self.k,
+                    "count": self.count,
+                    "counts": {it: self._counts[it] for it in items},
+                    "errors": {it: self._errors[it] for it in items},
+                },
+            )
+        except (TypeError, SerializationError) as exc:
+            raise SerializationError(
+                "SpaceSaving keys must be JSON-portable to serialize"
+            ) from exc
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SpaceSaving":
+        """Reconstruct a summary from :meth:`to_bytes` output."""
+        state = load_state(_TYPE_TAG, payload)
+        obj = cls(state["k"])
+        obj.count = state["count"]
+        obj._counts = dict(state["counts"])
+        obj._errors = dict(state["errors"])
+        obj._heap = [
+            (cnt, next(obj._tiebreak), it) for it, cnt in obj._counts.items()
+        ]
+        heapq.heapify(obj._heap)
+        return obj

@@ -1,0 +1,77 @@
+"""Top-k over sliding windows (trending hashtags, the paper's flagship
+application for frequent elements).
+
+Block-based construction in the spirit of [Hung, Lee & Ting 2010] and
+[Lee & Ting 2006]: the window is covered by tumbling blocks, each
+summarised with a SpaceSaving sketch; queries merge the live blocks. The
+oldest block may be partially expired, contributing at most ``block`` items
+of slack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.frequency.space_saving import SpaceSaving
+
+
+class WindowedTopK(SynopsisBase):
+    """Approximate top-k over the last *window* stream elements."""
+
+    def __init__(self, window: int, k: int = 64, n_blocks: int = 8):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        if n_blocks <= 0 or n_blocks > window:
+            raise ParameterError("n_blocks must lie in [1, window]")
+        self.window = window
+        self.k = k
+        self.block_size = max(1, window // n_blocks)
+        self.count = 0
+        self._blocks: deque[SpaceSaving] = deque()
+        self._current = SpaceSaving(k)
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        self._current.update(item)
+        if self._current.count >= self.block_size:
+            self._blocks.append(self._current)
+            self._current = SpaceSaving(self.k)
+        covered = self._current.count + sum(b.count for b in self._blocks)
+        while self._blocks and covered - self._blocks[0].count >= self.window:
+            covered -= self._blocks[0].count
+            self._blocks.popleft()
+
+    def _merged(self) -> SpaceSaving:
+        merged = SpaceSaving(self.k)
+        for block in self._blocks:
+            merged.merge(block)
+        if self._current.count:
+            merged.merge(self._current)
+        return merged
+
+    def top(self, n: int) -> list[tuple[Hashable, int]]:
+        """The *n* most frequent items over (approximately) the window."""
+        return self._merged().top(n)
+
+    def estimate(self, item: Any) -> int:
+        """Estimated windowed frequency of *item*."""
+        return self._merged().estimate(item)
+
+    @property
+    def covered(self) -> int:
+        """Number of elements the live blocks currently cover."""
+        return self._current.count + sum(b.count for b in self._blocks)
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.k, self.block_size)
+
+    def _merge_into(self, other: "WindowedTopK") -> None:
+        raise NotImplementedError(
+            "windowed top-k summaries are position-bound; merge per-partition "
+            "SpaceSaving blocks instead"
+        )

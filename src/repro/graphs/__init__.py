@@ -1,0 +1,28 @@
+"""Semi-streaming graph algorithms.
+
+Table 1 rows "Graph analysis" (matching, vertex cover, spanners,
+sparsification, min-cut) and "Path Analysis" (bounded-length path queries
+on dynamic graphs).
+"""
+
+from repro.graphs.connectivity import StreamingConnectivity, UnionFind
+from repro.graphs.matching import GreedyMatching, WeightedGreedyMatching
+from repro.graphs.path import ApproxPathOracle, DynamicGraph
+from repro.graphs.random_walk import StreamingRandomWalker
+from repro.graphs.sparsifier import EdgeSamplingSparsifier
+from repro.graphs.spanner import StreamingSpanner
+from repro.graphs.triangles import TriangleCounter, count_triangles_exact
+
+__all__ = [
+    "ApproxPathOracle",
+    "DynamicGraph",
+    "EdgeSamplingSparsifier",
+    "GreedyMatching",
+    "StreamingConnectivity",
+    "StreamingRandomWalker",
+    "StreamingSpanner",
+    "TriangleCounter",
+    "UnionFind",
+    "WeightedGreedyMatching",
+    "count_triangles_exact",
+]

@@ -1,0 +1,100 @@
+"""Streaming connectivity via union-find.
+
+Insert-only edge streams admit exact connectivity in O(V) memory with a
+disjoint-set forest — the entry point of the semi-streaming model
+[Feigenbaum et al. 2005] where O(n polylog n) memory is allowed while edges
+stream by.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.common.mergeable import SynopsisBase
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path compression."""
+
+    def __init__(self):
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self.n_components = 0
+
+    def add(self, x: Hashable) -> None:
+        """Register *x* as a singleton if unseen."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._rank[x] = 0
+            self.n_components += 1
+
+    def find(self, x: Hashable) -> Hashable:
+        """Root of *x*'s component (registers x if unseen)."""
+        self.add(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Join the components of *a* and *b*; True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether *a* and *b* are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+class StreamingConnectivity(SynopsisBase):
+    """Exact connectivity over an insert-only edge stream."""
+
+    def __init__(self):
+        self.count = 0
+        self._uf = UnionFind()
+        self._spanning_edges: list[tuple[Hashable, Hashable]] = []
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        u, v = item
+        self.count += 1
+        if self._uf.union(u, v):
+            self._spanning_edges.append((u, v))
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether a path exists between *a* and *b*."""
+        return self._uf.connected(a, b)
+
+    @property
+    def n_components(self) -> int:
+        """Number of connected components among seen vertices."""
+        return self._uf.n_components
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._uf)
+
+    def spanning_forest(self) -> list[tuple[Hashable, Hashable]]:
+        """Edges of a spanning forest (the semi-streaming certificate)."""
+        return list(self._spanning_edges)
+
+    def _merge_key(self) -> tuple:
+        return ()
+
+    def _merge_into(self, other: "StreamingConnectivity") -> None:
+        """Union the spanning forests (a valid connectivity certificate)."""
+        for u, v in other._spanning_edges:
+            self.update((u, v))
+        self.count += other.count - len(other._spanning_edges)

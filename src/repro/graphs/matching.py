@@ -1,0 +1,115 @@
+"""Semi-streaming matching and vertex cover.
+
+One greedy pass over the edge stream builds a *maximal* matching: a
+2-approximation to maximum matching, and its endpoint set is a
+2-approximate vertex cover — the standard semi-streaming results behind
+Table 1's matching/vertex-cover citations [Feigenbaum et al. 2005;
+Chitnis et al. 2015].
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.common.mergeable import SynopsisBase
+
+
+class GreedyMatching(SynopsisBase):
+    """Maximal matching over an edge stream (2-approx maximum matching)."""
+
+    def __init__(self):
+        self.count = 0
+        self._matched: set[Hashable] = set()
+        self._edges: list[tuple[Hashable, Hashable]] = []
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        u, v = item
+        self.count += 1
+        if u != v and u not in self._matched and v not in self._matched:
+            self._matched.add(u)
+            self._matched.add(v)
+            self._edges.append((u, v))
+
+    def matching(self) -> list[tuple[Hashable, Hashable]]:
+        """The matched edge set."""
+        return list(self._edges)
+
+    def matching_size(self) -> int:
+        """Number of matched edges (>= max matching / 2)."""
+        return len(self._edges)
+
+    def vertex_cover(self) -> set[Hashable]:
+        """Endpoints of the matching: a 2-approximate vertex cover."""
+        return set(self._matched)
+
+    def is_covered(self, edge: tuple[Hashable, Hashable]) -> bool:
+        """Whether *edge* is covered by the current vertex cover."""
+        u, v = edge
+        return u in self._matched or v in self._matched
+
+    def _merge_key(self) -> tuple:
+        return ()
+
+    def _merge_into(self, other: "GreedyMatching") -> None:
+        """Feed the other side's matched edges through the greedy rule."""
+        for edge in other._edges:
+            self.update(edge)
+        self.count += other.count - len(other._edges)
+
+
+class WeightedGreedyMatching(SynopsisBase):
+    """One-pass weighted matching with charging (McGregor-style).
+
+    A new edge evicts conflicting matched edges only if its weight exceeds
+    ``(1 + gamma)`` times their combined weight, giving a constant-factor
+    approximation to maximum weight matching in one pass.
+    """
+
+    def __init__(self, gamma: float = 0.1):
+        if gamma <= 0:
+            from repro.common.exceptions import ParameterError
+
+            raise ParameterError("gamma must be positive")
+        self.gamma = gamma
+        self.count = 0
+        self._match: dict[Hashable, tuple[Hashable, float]] = {}
+
+    def update(self, item: tuple[Hashable, Hashable, float]) -> None:
+        u, v, w = item
+        self.count += 1
+        if u == v:
+            return
+        conflict_weight = 0.0
+        for end in (u, v):
+            if end in self._match:
+                conflict_weight += self._match[end][1]
+        if w > (1.0 + self.gamma) * conflict_weight:
+            for end in (u, v):
+                if end in self._match:
+                    partner, __ = self._match.pop(end)
+                    self._match.pop(partner, None)
+            self._match[u] = (v, w)
+            self._match[v] = (u, w)
+
+    def matching(self) -> list[tuple[Hashable, Hashable, float]]:
+        """Current matched edges with weights."""
+        seen = set()
+        out = []
+        for u, (v, w) in self._match.items():
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                out.append((u, v, w))
+        return out
+
+    def total_weight(self) -> float:
+        """Total weight of the current matching."""
+        return sum(w for __, __, w in self.matching())
+
+    def _merge_key(self) -> tuple:
+        return (self.gamma,)
+
+    def _merge_into(self, other: "WeightedGreedyMatching") -> None:
+        for edge in other.matching():
+            self.update(edge)
+        self.count += other.count - len(other.matching())

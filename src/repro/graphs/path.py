@@ -1,0 +1,157 @@
+"""Bounded-length path queries on dynamic graphs.
+
+Table 1 row "Path Analysis": "determine whether there exists a path of
+length <= l between two nodes in a dynamic graph" (application: web graph
+analysis). :class:`DynamicGraph` supports edge insertions *and* deletions
+with exact bidirectional-BFS queries; :class:`ApproxPathOracle` answers
+from a t-spanner, trading exactness for sublinear edge retention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.graphs.spanner import StreamingSpanner
+
+
+class DynamicGraph(SynopsisBase):
+    """Adjacency-set dynamic graph with bounded-depth path queries."""
+
+    def __init__(self):
+        self.count = 0
+        self._adj: dict[Hashable, set[Hashable]] = {}
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        """Insert an edge (stream-style alias for :meth:`add_edge`)."""
+        self.add_edge(*item)
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Insert the undirected edge (u, v)."""
+        if u == v:
+            raise ParameterError("self-loops are not allowed")
+        self.count += 1
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Delete the undirected edge (u, v)."""
+        if v not in self._adj.get(u, set()):
+            raise ParameterError(f"edge {(u, v)!r} is not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def has_path_within(self, u: Hashable, v: Hashable, limit: int) -> bool:
+        """Whether a path of length <= *limit* connects *u* and *v*.
+
+        Bidirectional BFS: explores O(branching^(limit/2)) per side instead
+        of O(branching^limit).
+        """
+        if limit < 0:
+            raise ParameterError("limit must be non-negative")
+        if u == v:
+            return True
+        if u not in self._adj or v not in self._adj:
+            return False
+        dist_u = {u: 0}
+        dist_v = {v: 0}
+        frontier_u = deque([u])
+        frontier_v = deque([v])
+        budget_u = limit // 2
+        budget_v = limit - budget_u
+        for frontier, dist, other, budget in (
+            (frontier_u, dist_u, dist_v, budget_u),
+            (frontier_v, dist_v, dist_u, budget_v),
+        ):
+            while frontier:
+                node = frontier.popleft()
+                if dist[node] == budget:
+                    continue
+                for nbr in self._adj.get(node, ()):
+                    if nbr not in dist:
+                        dist[nbr] = dist[node] + 1
+                        frontier.append(nbr)
+        best = float("inf")
+        for node, du in dist_u.items():
+            dv = dist_v.get(node)
+            if dv is not None:
+                best = min(best, du + dv)
+        return best <= limit
+
+    def distance(self, u: Hashable, v: Hashable, max_depth: int = 1 << 30) -> float:
+        """Exact BFS distance (inf if disconnected)."""
+        if u == v:
+            return 0.0
+        if u not in self._adj or v not in self._adj:
+            return float("inf")
+        dist = {u: 0}
+        frontier = deque([u])
+        while frontier:
+            node = frontier.popleft()
+            if dist[node] >= max_depth:
+                continue
+            for nbr in self._adj.get(node, ()):
+                if nbr == v:
+                    return dist[node] + 1
+                if nbr not in dist:
+                    dist[nbr] = dist[node] + 1
+                    frontier.append(nbr)
+        return float("inf")
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._adj)
+
+    def _merge_key(self) -> tuple:
+        return ()
+
+    def _merge_into(self, other: "DynamicGraph") -> None:
+        for u, nbrs in other._adj.items():
+            for v in nbrs:
+                self._adj.setdefault(u, set()).add(v)
+                self._adj.setdefault(v, set()).add(u)
+        self.count += other.count
+
+
+class ApproxPathOracle(SynopsisBase):
+    """Space-bounded path oracle backed by a streaming t-spanner.
+
+    ``has_path_within(u, v, l)`` never returns a false positive for
+    ``l' = l`` on the spanner; a true path of length l in the full graph is
+    reported when queried with slack ``t * l`` (the spanner stretch).
+    """
+
+    def __init__(self, t: int = 3):
+        self.count = 0
+        self._spanner = StreamingSpanner(t=t)
+
+    @property
+    def stretch(self) -> int:
+        return self._spanner.t
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        self.count += 1
+        self._spanner.update(item)
+
+    def has_path_within(self, u: Hashable, v: Hashable, limit: int) -> bool:
+        """Path test on the spanner; apply stretch slack for full-graph
+        guarantees (see class docstring)."""
+        return self._spanner.spanner_distance(u, v, max_depth=limit) <= limit
+
+    @property
+    def n_edges(self) -> int:
+        """Edges retained (sublinear in the stream for dense graphs)."""
+        return self._spanner.n_edges
+
+    def _merge_key(self) -> tuple:
+        return (self._spanner.t,)
+
+    def _merge_into(self, other: "ApproxPathOracle") -> None:
+        self._spanner.merge(other._spanner)
+        self.count += other.count

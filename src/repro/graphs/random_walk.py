@@ -1,0 +1,114 @@
+"""Random walks and Monte-Carlo PageRank over streamed graphs.
+
+Table 1's graph row lists random walks among the semi-streaming
+primitives ([Sarma et al.] estimate PageRank by running short random
+walks). This module ingests an edge stream into an adjacency structure
+and estimates PageRank as the visit distribution of walks with restart —
+R walks of geometric length per node approximate PageRank within
+O(sqrt(log n / R)) [Avrachenkov et al.].
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_rng
+
+
+class StreamingRandomWalker(SynopsisBase):
+    """Adjacency accumulator with random-walk queries."""
+
+    def __init__(self, seed: int = 0):
+        self.count = 0
+        self._rng = make_rng(seed)
+        self._adj: dict[Hashable, list[Hashable]] = defaultdict(list)
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        u, v = item
+        if u == v:
+            return
+        self.count += 1
+        self._adj[u].append(v)
+        self._adj[v].append(u)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._adj)
+
+    def walk(self, start: Hashable, length: int) -> list[Hashable]:
+        """One simple random walk of *length* steps from *start*."""
+        if start not in self._adj:
+            raise ParameterError(f"unknown vertex {start!r}")
+        if length < 0:
+            raise ParameterError("length must be non-negative")
+        path = [start]
+        node = start
+        for __ in range(length):
+            nbrs = self._adj[node]
+            if not nbrs:
+                break
+            node = nbrs[self._rng.randrange(len(nbrs))]
+            path.append(node)
+        return path
+
+    def pagerank(
+        self, walks_per_node: int = 10, damping: float = 0.85
+    ) -> dict[Hashable, float]:
+        """Monte-Carlo PageRank: visit frequencies of restart walks.
+
+        Runs ``walks_per_node`` walks from every vertex; each walk
+        terminates with probability ``1 - damping`` per step. The visit
+        distribution converges to PageRank as walks increase.
+        """
+        if walks_per_node <= 0:
+            raise ParameterError("walks_per_node must be positive")
+        if not 0 < damping < 1:
+            raise ParameterError("damping must lie in (0, 1)")
+        visits: dict[Hashable, int] = defaultdict(int)
+        total = 0
+        for start in self._adj:
+            for __ in range(walks_per_node):
+                node = start
+                visits[node] += 1
+                total += 1
+                while self._rng.random() < damping:
+                    nbrs = self._adj[node]
+                    if not nbrs:
+                        break
+                    node = nbrs[self._rng.randrange(len(nbrs))]
+                    visits[node] += 1
+                    total += 1
+        return {node: count / total for node, count in visits.items()}
+
+    def hitting_time_estimate(
+        self, source: Hashable, target: Hashable, max_steps: int = 1_000, trials: int = 50
+    ) -> float:
+        """Mean steps for a walk from *source* to first reach *target*
+        (``inf`` if never reached within *max_steps* in any trial)."""
+        if source not in self._adj or target not in self._adj:
+            raise ParameterError("both endpoints must be known vertices")
+        times = []
+        for __ in range(trials):
+            node = source
+            for step in range(1, max_steps + 1):
+                nbrs = self._adj[node]
+                if not nbrs:
+                    break
+                node = nbrs[self._rng.randrange(len(nbrs))]
+                if node == target:
+                    times.append(step)
+                    break
+        if not times:
+            return float("inf")
+        return sum(times) / len(times)
+
+    def _merge_key(self) -> tuple:
+        return ()
+
+    def _merge_into(self, other: "StreamingRandomWalker") -> None:
+        for u, nbrs in other._adj.items():
+            self._adj[u].extend(nbrs)
+        self.count += other.count

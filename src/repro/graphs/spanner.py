@@ -1,0 +1,104 @@
+"""Streaming graph spanners.
+
+A *t-spanner* preserves all shortest-path distances up to factor *t* while
+keeping far fewer edges. The classic one-pass construction [Feigenbaum et
+al.; Ahn–Guha–McGregor survey]: admit an edge only if its endpoints are
+currently at spanner-distance > t; otherwise the existing spanner already
+t-approximates it. Distance checks are bounded-depth BFS over the (small)
+spanner, so the pass stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class StreamingSpanner(SynopsisBase):
+    """One-pass t-spanner over an insert-only edge stream."""
+
+    def __init__(self, t: int = 3):
+        if t < 1:
+            raise ParameterError("stretch t must be >= 1")
+        self.t = t
+        self.count = 0
+        self._adj: dict[Hashable, set[Hashable]] = {}
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        u, v = item
+        self.count += 1
+        if u == v:
+            return
+        if self._distance_at_most(u, v, self.t):
+            return
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def _distance_at_most(self, src: Hashable, dst: Hashable, limit: int) -> bool:
+        if src not in self._adj or dst not in self._adj:
+            return False
+        if src == dst:
+            return True
+        visited = {src}
+        frontier = deque([(src, 0)])
+        while frontier:
+            node, depth = frontier.popleft()
+            if depth == limit:
+                continue
+            for nbr in self._adj.get(node, ()):
+                if nbr == dst:
+                    return True
+                if nbr not in visited:
+                    visited.add(nbr)
+                    frontier.append((nbr, depth + 1))
+        return False
+
+    def spanner_distance(self, u: Hashable, v: Hashable, max_depth: int = 64) -> float:
+        """BFS distance between *u* and *v* inside the spanner (inf if
+        disconnected within *max_depth*)."""
+        if u == v:
+            return 0.0
+        if u not in self._adj or v not in self._adj:
+            return float("inf")
+        visited = {u}
+        frontier = deque([(u, 0)])
+        while frontier:
+            node, depth = frontier.popleft()
+            if depth >= max_depth:
+                continue
+            for nbr in self._adj.get(node, ()):
+                if nbr == v:
+                    return depth + 1
+                if nbr not in visited:
+                    visited.add(nbr)
+                    frontier.append((nbr, depth + 1))
+        return float("inf")
+
+    @property
+    def n_edges(self) -> int:
+        """Edges retained by the spanner."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._adj)
+
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        """The spanner's edge list."""
+        out = []
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if repr(u) <= repr(v):
+                    out.append((u, v))
+        return out
+
+    def _merge_key(self) -> tuple:
+        return (self.t,)
+
+    def _merge_into(self, other: "StreamingSpanner") -> None:
+        for u, v in other.edges():
+            self.update((u, v))
+        self.count += other.count - other.n_edges

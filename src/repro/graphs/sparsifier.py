@@ -1,0 +1,94 @@
+"""Graph sparsification by uniform edge sampling.
+
+Cut sparsifiers keep each edge with probability *p* and weight ``1/p``,
+preserving every cut to within ``1 ± epsilon`` w.h.p. for
+``p = Theta(log n / (epsilon^2 * min_cut))`` [Karger; survey context:
+"sparsification — a technique for speeding up dynamic graph algorithms",
+Eppstein et al., and graph sketches, Ahn–Guha–McGregor]. Also estimates
+the min-cut by running exact min-cut (via networkx) on the sparsifier —
+the paper's "computing min-cut" application.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_rng
+
+
+class EdgeSamplingSparsifier(SynopsisBase):
+    """Uniform-sampling cut sparsifier with sampling probability *p*."""
+
+    def __init__(self, p: float = 0.1, seed: int = 0):
+        if not 0 < p <= 1:
+            raise ParameterError("sampling probability p must lie in (0, 1]")
+        self.p = p
+        self.count = 0
+        self._rng = make_rng(seed)
+        self._edges: list[tuple[Hashable, Hashable]] = []
+        self._vertices: set[Hashable] = set()
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        u, v = item
+        self.count += 1
+        self._vertices.add(u)
+        self._vertices.add(v)
+        if self._rng.random() < self.p:
+            self._edges.append((u, v))
+
+    @property
+    def edge_weight(self) -> float:
+        """Weight carried by each retained edge (1/p)."""
+        return 1.0 / self.p
+
+    @property
+    def n_edges(self) -> int:
+        """Retained edges (≈ p * stream length)."""
+        return len(self._edges)
+
+    def estimate_cut(self, side: set[Hashable]) -> float:
+        """Estimated weight of the cut separating *side* from the rest."""
+        crossing = sum(1 for u, v in self._edges if (u in side) != (v in side))
+        return crossing * self.edge_weight
+
+    def estimate_total_edges(self) -> float:
+        """Estimated number of edges in the full graph."""
+        return len(self._edges) * self.edge_weight
+
+    def estimate_min_cut(self) -> float:
+        """Min-cut of the sparsifier scaled by 1/p (Karger's estimate)."""
+        import networkx as nx
+
+        if not self._edges:
+            return 0.0
+        g = nx.MultiGraph()
+        g.add_nodes_from(self._vertices)
+        g.add_edges_from(self._edges)
+        if not nx.is_connected(nx.Graph(g)):
+            return 0.0
+        cut_value = nx.stoer_wagner(nx.Graph(_collapse_multi(g)))[0]
+        return cut_value
+
+    def _merge_key(self) -> tuple:
+        return (self.p,)
+
+    def _merge_into(self, other: "EdgeSamplingSparsifier") -> None:
+        self._edges.extend(other._edges)
+        self._vertices |= other._vertices
+        self.count += other.count
+
+
+def _collapse_multi(g):
+    """Collapse a multigraph to a weighted simple graph."""
+    import networkx as nx
+
+    simple = nx.Graph()
+    simple.add_nodes_from(g.nodes)
+    for u, v in g.edges():
+        if simple.has_edge(u, v):
+            simple[u][v]["weight"] += 1
+        else:
+            simple.add_edge(u, v, weight=1)
+    return simple

@@ -1,0 +1,31 @@
+"""Distribution synopses: histograms and wavelets (Section 2 techniques)."""
+
+from repro.histograms.endbiased import EndBiasedHistogram
+from repro.histograms.equiwidth import EquiWidthHistogram
+from repro.histograms.voptimal import (
+    Bucket,
+    StreamingVOptimal,
+    total_sse,
+    v_optimal_histogram,
+)
+from repro.histograms.wavelet import (
+    WaveletHistogram,
+    haar_transform,
+    inverse_haar_transform,
+    top_b_coefficients,
+    wavelet_synopsis,
+)
+
+__all__ = [
+    "Bucket",
+    "EndBiasedHistogram",
+    "EquiWidthHistogram",
+    "StreamingVOptimal",
+    "WaveletHistogram",
+    "haar_transform",
+    "inverse_haar_transform",
+    "top_b_coefficients",
+    "total_sse",
+    "v_optimal_histogram",
+    "wavelet_synopsis",
+]

@@ -1,0 +1,62 @@
+"""End-biased histogram.
+
+Section 2: "End-biased histograms maintain exact counts of items that occur
+with frequency above a threshold, and approximate the other counts by a
+uniform distribution." The streaming version tracks the heavy items with a
+SpaceSaving summary and models the remaining mass as uniform over the
+remaining distinct values (counted with a HyperLogLog).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.cardinality.hyperloglog import HyperLogLog
+from repro.frequency.space_saving import SpaceSaving
+
+
+class EndBiasedHistogram(SynopsisBase):
+    """Exact head (top items), uniform-tail model for everything else."""
+
+    def __init__(self, head_size: int = 64, precision: int = 12, seed: int = 0):
+        if head_size <= 0:
+            raise ParameterError("head_size must be positive")
+        self.head_size = head_size
+        self.count = 0
+        self._heavy = SpaceSaving(k=head_size * 4)  # slack for accuracy
+        self._distinct = HyperLogLog(precision=precision, seed=seed)
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        self._heavy.update(item)
+        self._distinct.update(item)
+
+    def head(self) -> dict[Hashable, int]:
+        """The tracked heavy items and their (near-exact) counts."""
+        return dict(self._heavy.top(self.head_size))
+
+    def estimate(self, item: Any) -> float:
+        """Estimated frequency: exact-ish for head items, uniform tail else."""
+        head = self.head()
+        if item in head:
+            return float(head[item])
+        head_mass = sum(head.values())
+        tail_mass = max(0, self.count - head_mass)
+        tail_distinct = max(1.0, self._distinct.estimate() - len(head))
+        return tail_mass / tail_distinct
+
+    def tail_uniform_rate(self) -> float:
+        """The per-item frequency assigned to every non-head item."""
+        head_mass = sum(self.head().values())
+        tail_distinct = max(1.0, self._distinct.estimate() - self.head_size)
+        return max(0, self.count - head_mass) / tail_distinct
+
+    def _merge_key(self) -> tuple:
+        return (self.head_size, self._distinct.precision, self._distinct.family.seed)
+
+    def _merge_into(self, other: "EndBiasedHistogram") -> None:
+        self._heavy.merge(other._heavy)
+        self._distinct.merge(other._distinct)
+        self.count += other.count

@@ -1,0 +1,91 @@
+"""Equi-width streaming histogram.
+
+Section 2: "Equi-width histograms partition the domain into buckets such
+that the number of values falling into each bucket is uniform across all
+buckets" — the simplest synopsis of a value distribution. This streaming
+version fixes the domain up front and counts arrivals per bucket; values
+outside the declared domain are clamped into the edge buckets and counted,
+so totals remain exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class EquiWidthHistogram(SynopsisBase):
+    """Fixed-domain histogram with *bins* equal-width buckets over [lo, hi)."""
+
+    def __init__(self, lo: float, hi: float, bins: int = 64):
+        if hi <= lo:
+            raise ParameterError("hi must exceed lo")
+        if bins <= 0:
+            raise ParameterError("bins must be positive")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = bins
+        self.width = (self.hi - self.lo) / bins
+        self.count = 0
+        self._counts = np.zeros(bins, dtype=np.int64)
+
+    def _bucket(self, value: float) -> int:
+        index = int((value - self.lo) / self.width)
+        return min(max(index, 0), self.bins - 1)
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._counts[self._bucket(float(item))] += 1
+
+    def density(self, value: float) -> float:
+        """Estimated probability density at *value*."""
+        if self.count == 0:
+            return 0.0
+        return self._counts[self._bucket(value)] / (self.count * self.width)
+
+    def estimate_range_count(self, a: float, b: float) -> float:
+        """Estimated number of stream values in ``[a, b)`` (uniform within
+        buckets)."""
+        if b <= a:
+            return 0.0
+        total = 0.0
+        for i in range(self.bins):
+            b_lo = self.lo + i * self.width
+            b_hi = b_lo + self.width
+            overlap = max(0.0, min(b, b_hi) - max(a, b_lo))
+            if overlap > 0:
+                total += self._counts[i] * overlap / self.width
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile by interpolating the cumulative histogram."""
+        if not 0 <= q <= 1:
+            raise ParameterError("q must lie in [0, 1]")
+        if self.count == 0:
+            raise ParameterError("quantile of an empty histogram")
+        target = q * self.count
+        cum = 0
+        for i in range(self.bins):
+            nxt = cum + self._counts[i]
+            if nxt >= target:
+                frac = (target - cum) / self._counts[i] if self._counts[i] else 0.0
+                return self.lo + (i + frac) * self.width
+            cum = nxt
+        return self.hi
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Copy of per-bucket counts."""
+        return self._counts.copy()
+
+    def _merge_key(self) -> tuple:
+        return (self.lo, self.hi, self.bins)
+
+    def _merge_into(self, other: "EquiWidthHistogram") -> None:
+        self._counts += other._counts
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return int(self._counts.nbytes)

@@ -1,0 +1,131 @@
+"""V-Optimal histogram construction.
+
+Section 2: "V-Optimal histograms approximate the distribution of a set of
+values by a piecewise-constant function so as to minimize the sum of
+squared error." Exact construction is the classic O(n^2 * B) dynamic
+program [Jagadish et al. 1998]; for streams we follow the spirit of
+[Guha, Koudas & Shim 2006] ("approximation and streaming algorithms for
+histogram construction problems"): summarise the stream first (equi-width
+pre-buckets), then run the DP over the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.histograms.equiwidth import EquiWidthHistogram
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One piecewise-constant segment: positions [start, end) with a mean."""
+
+    start: int
+    end: int
+    mean: float
+    sse: float
+
+
+def v_optimal_histogram(values: Sequence[float], n_buckets: int) -> list[Bucket]:
+    """Exact V-optimal partition of *values* into *n_buckets* segments.
+
+    Returns buckets minimising total within-bucket sum of squared error,
+    via the O(n^2 * B) dynamic program with prefix sums.
+    """
+    n = len(values)
+    if n == 0:
+        raise ParameterError("cannot build a histogram of no values")
+    if n_buckets <= 0:
+        raise ParameterError("n_buckets must be positive")
+    n_buckets = min(n_buckets, n)
+    arr = np.asarray(values, dtype=np.float64)
+    prefix = np.concatenate([[0.0], np.cumsum(arr)])
+    prefix_sq = np.concatenate([[0.0], np.cumsum(arr**2)])
+
+    def sse(i: int, j: int) -> float:
+        """SSE of segment [i, j) approximated by its mean."""
+        s = prefix[j] - prefix[i]
+        s2 = prefix_sq[j] - prefix_sq[i]
+        return float(s2 - s * s / (j - i))
+
+    # dp[b][j] = min SSE covering the first j values with b buckets.
+    inf = float("inf")
+    dp = np.full((n_buckets + 1, n + 1), inf)
+    cut = np.zeros((n_buckets + 1, n + 1), dtype=np.int64)
+    dp[0][0] = 0.0
+    for b in range(1, n_buckets + 1):
+        for j in range(b, n + 1):
+            best, best_i = inf, b - 1
+            for i in range(b - 1, j):
+                cand = dp[b - 1][i] + sse(i, j)
+                if cand < best:
+                    best, best_i = cand, i
+            dp[b][j] = best
+            cut[b][j] = best_i
+    # Reconstruct boundaries.
+    buckets: list[Bucket] = []
+    j = n
+    for b in range(n_buckets, 0, -1):
+        i = int(cut[b][j])
+        seg = arr[i:j]
+        buckets.append(Bucket(i, j, float(seg.mean()), sse(i, j)))
+        j = i
+    buckets.reverse()
+    return buckets
+
+
+def total_sse(buckets: Sequence[Bucket]) -> float:
+    """Total sum-of-squared-error of a histogram."""
+    return sum(b.sse for b in buckets)
+
+
+class StreamingVOptimal(SynopsisBase):
+    """Approximate V-optimal histogram over a stream.
+
+    Maintains a fine equi-width summary online; :meth:`histogram` runs the
+    exact DP over the summary's bucket means weighted by counts — the
+    "summarise then optimise" scheme of Guha et al.
+    """
+
+    def __init__(self, lo: float, hi: float, n_buckets: int = 8, resolution: int = 256):
+        if n_buckets <= 0:
+            raise ParameterError("n_buckets must be positive")
+        if resolution < n_buckets:
+            raise ParameterError("resolution must be >= n_buckets")
+        self.n_buckets = n_buckets
+        self.resolution = resolution
+        self.count = 0
+        self._summary = EquiWidthHistogram(lo, hi, bins=resolution)
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._summary.update(item)
+
+    def histogram(self) -> list[Bucket]:
+        """The approximately V-optimal *n_buckets*-bucket histogram.
+
+        Bucket positions index the resolution grid; ``mean`` is the estimated
+        per-cell count in the segment (a density histogram of the stream).
+        """
+        counts = self._summary.counts.astype(np.float64)
+        return v_optimal_histogram(counts, self.n_buckets)
+
+    def boundaries(self) -> list[float]:
+        """Value-domain boundaries of the optimised buckets."""
+        cells = self.histogram()
+        width = self._summary.width
+        edges = [self._summary.lo + b.start * width for b in cells]
+        edges.append(self._summary.hi)
+        return edges
+
+    def _merge_key(self) -> tuple:
+        return (self.n_buckets, self.resolution, self._summary.lo, self._summary.hi)
+
+    def _merge_into(self, other: "StreamingVOptimal") -> None:
+        self._summary.merge(other._summary)
+        self.count += other.count

@@ -1,0 +1,113 @@
+"""Haar wavelet synopses.
+
+Section 2: "wavelet coefficients are projections of the given signal onto an
+orthogonal set of basis vectors ... the signal reconstructed from the top
+few wavelet coefficients best approximates the original signal in terms of
+the L2 norm" [Gilbert et al., STOC 2002]. This module implements the
+(orthonormal) Haar transform, top-B coefficient thresholding — optimal for
+L2 by Parseval — and reconstruction, plus a streaming synopsis that builds
+the signal as an equi-width histogram first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.histograms.equiwidth import EquiWidthHistogram
+
+
+def haar_transform(signal: np.ndarray) -> np.ndarray:
+    """Orthonormal Haar wavelet transform (length must be a power of two)."""
+    arr = np.asarray(signal, dtype=np.float64)
+    n = len(arr)
+    if n == 0 or n & (n - 1):
+        raise ParameterError("signal length must be a positive power of two")
+    out = arr.copy()
+    length = n
+    while length > 1:
+        half = length // 2
+        evens = out[0:length:2].copy()
+        odds = out[1:length:2].copy()
+        out[:half] = (evens + odds) / np.sqrt(2.0)
+        out[half:length] = (evens - odds) / np.sqrt(2.0)
+        length = half
+    return out
+
+
+def inverse_haar_transform(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`haar_transform`."""
+    arr = np.asarray(coefficients, dtype=np.float64)
+    n = len(arr)
+    if n == 0 or n & (n - 1):
+        raise ParameterError("coefficient length must be a positive power of two")
+    out = arr.copy()
+    length = 2
+    while length <= n:
+        half = length // 2
+        sums = out[:half].copy()
+        diffs = out[half:length].copy()
+        out[0:length:2] = (sums + diffs) / np.sqrt(2.0)
+        out[1:length:2] = (sums - diffs) / np.sqrt(2.0)
+        length *= 2
+    return out
+
+
+def top_b_coefficients(coefficients: np.ndarray, b: int) -> np.ndarray:
+    """Zero all but the *b* largest-magnitude coefficients (L2-optimal)."""
+    if b < 0:
+        raise ParameterError("b must be non-negative")
+    arr = np.asarray(coefficients, dtype=np.float64)
+    if b >= len(arr):
+        return arr.copy()
+    out = np.zeros_like(arr)
+    keep = np.argsort(np.abs(arr))[-b:] if b else []
+    out[keep] = arr[keep]
+    return out
+
+
+def wavelet_synopsis(signal: np.ndarray, b: int) -> np.ndarray:
+    """Best B-term Haar approximation of *signal* (reconstructed)."""
+    return inverse_haar_transform(top_b_coefficients(haar_transform(signal), b))
+
+
+class WaveletHistogram(SynopsisBase):
+    """Streaming wavelet synopsis of a value distribution.
+
+    Accumulates an equi-width frequency vector online; :meth:`coefficients`
+    / :meth:`reconstruct` expose the top-B Haar view of that vector.
+    """
+
+    def __init__(self, lo: float, hi: float, resolution: int = 256, b: int = 16):
+        if resolution <= 0 or resolution & (resolution - 1):
+            raise ParameterError("resolution must be a power of two")
+        if b <= 0:
+            raise ParameterError("coefficient budget b must be positive")
+        self.b = b
+        self.count = 0
+        self._summary = EquiWidthHistogram(lo, hi, bins=resolution)
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._summary.update(item)
+
+    def coefficients(self) -> np.ndarray:
+        """The retained top-B Haar coefficients of the frequency vector."""
+        return top_b_coefficients(haar_transform(self._summary.counts), self.b)
+
+    def reconstruct(self) -> np.ndarray:
+        """The frequency vector reconstructed from the top-B coefficients."""
+        return inverse_haar_transform(self.coefficients())
+
+    def l2_error(self) -> float:
+        """L2 distance between the true and reconstructed frequency vectors."""
+        true = self._summary.counts.astype(np.float64)
+        return float(np.linalg.norm(true - self.reconstruct()))
+
+    def _merge_key(self) -> tuple:
+        return (self.b, self._summary.lo, self._summary.hi, self._summary.bins)
+
+    def _merge_into(self, other: "WaveletHistogram") -> None:
+        self._summary.merge(other._summary)
+        self.count += other.count

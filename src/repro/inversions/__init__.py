@@ -1,0 +1,19 @@
+"""Inversion counting: exact baselines and streaming estimation.
+
+Table 1 row "Counting Inversions" — estimate the number of inversions
+(application: measure sortedness of data).
+"""
+
+from repro.inversions.exact import (
+    FenwickTree,
+    count_inversions_bit,
+    count_inversions_mergesort,
+)
+from repro.inversions.streaming import InversionEstimator
+
+__all__ = [
+    "FenwickTree",
+    "InversionEstimator",
+    "count_inversions_bit",
+    "count_inversions_mergesort",
+]

@@ -1,0 +1,91 @@
+"""Exact inversion counting baselines.
+
+An inversion is a pair ``i < j`` with ``a[i] > a[j]``; the inversion count
+measures how unsorted a sequence is (Table 1: "measure sortedness of
+data"). Two exact offline baselines: merge-sort counting and a Fenwick
+(binary indexed tree) sweep over rank-compressed values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.exceptions import ParameterError
+
+
+def count_inversions_mergesort(values: Sequence[float]) -> int:
+    """Exact inversion count in O(n log n) via merge sort."""
+    arr = list(values)
+
+    def sort_count(a: list) -> tuple[list, int]:
+        if len(a) <= 1:
+            return a, 0
+        mid = len(a) // 2
+        left, inv_l = sort_count(a[:mid])
+        right, inv_r = sort_count(a[mid:])
+        merged: list = []
+        inversions = inv_l + inv_r
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+                inversions += len(left) - i
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inversions
+
+    return sort_count(arr)[1]
+
+
+class FenwickTree:
+    """Binary indexed tree over ``[0, size)`` supporting point add / prefix sum."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ParameterError("size must be positive")
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Add *delta* at *index*."""
+        if not 0 <= index < self.size:
+            raise ParameterError("index out of range")
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries in ``[0, index]``."""
+        if index < 0:
+            return 0
+        i = min(index, self.size - 1) + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def total(self) -> int:
+        """Sum of all entries."""
+        return self.prefix_sum(self.size - 1)
+
+
+def count_inversions_bit(values: Sequence[float]) -> int:
+    """Exact inversion count via a Fenwick tree over value ranks."""
+    arr = list(values)
+    if not arr:
+        return 0
+    ranks = {v: r for r, v in enumerate(sorted(set(arr)))}
+    tree = FenwickTree(len(ranks))
+    inversions = 0
+    for seen, value in enumerate(arr):
+        rank = ranks[value]
+        # Elements already seen with strictly greater rank are inversions.
+        inversions += seen - tree.prefix_sum(rank)
+        tree.add(rank)
+    return inversions

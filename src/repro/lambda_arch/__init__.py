@@ -1,0 +1,15 @@
+"""Lambda Architecture (Figure 1): batch, serving and speed layers."""
+
+from repro.lambda_arch.architecture import LambdaArchitecture
+from repro.lambda_arch.layers import BatchLayer, ServingLayer, SpeedLayer
+from repro.lambda_arch.views import CountView, UniqueVisitorsView, View
+
+__all__ = [
+    "BatchLayer",
+    "CountView",
+    "LambdaArchitecture",
+    "ServingLayer",
+    "SpeedLayer",
+    "UniqueVisitorsView",
+    "View",
+]

@@ -1,0 +1,61 @@
+"""The assembled Lambda Architecture (Figure 1 of the paper).
+
+Input data is dispatched to both the batch layer (master dataset) and the
+speed layer; queries merge the serving layer's batch views with the speed
+layer's real-time views. ``run_batch()`` plays the role of the periodic
+batch job: recompute, swap into serving, expire the speed layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.lambda_arch.layers import BatchLayer, ServingLayer, SpeedLayer
+from repro.lambda_arch.views import View
+
+
+class LambdaArchitecture:
+    """Batch + serving + speed layers answering merged queries."""
+
+    def __init__(self, view: View):
+        self.view = view
+        self.batch = BatchLayer(view)
+        self.serving = ServingLayer()
+        self.speed = SpeedLayer(view)
+
+    def ingest(self, event: Any) -> None:
+        """Step 1 of Figure 1: dispatch to the batch AND speed layers."""
+        offset = self.batch.append(event)
+        self.speed.update(event, offset)
+
+    def ingest_many(self, events) -> None:
+        """Ingest every event in *events* in order."""
+        for event in events:
+            self.ingest(event)
+
+    def run_batch(self) -> None:
+        """Steps 2–3: recompute batch views, index them, expire speed state."""
+        views, offset = self.batch.compute_views()
+        self.serving.load(views, offset)
+        self.speed.expire_through(offset, self.batch.master.read)
+
+    def query(self, key: Hashable) -> Any:
+        """Step 5: merge the batch view and the real-time view for *key*."""
+        batch_value = self.serving.get(key)
+        speed_value = self.speed.get(key)
+        if batch_value is None and speed_value is None:
+            return self.view.present(self.view.zero())
+        if batch_value is None:
+            return self.view.present(speed_value)
+        if speed_value is None:
+            return self.view.present(batch_value)
+        return self.view.present(self.view.combine(batch_value, speed_value))
+
+    def keys(self) -> set:
+        """All keys visible to queries right now."""
+        return set(self.serving.keys()) | set(self.speed.keys())
+
+    @property
+    def batch_lag(self) -> int:
+        """Events not yet covered by a batch run (speed-layer burden)."""
+        return self.batch.master.end_offset - self.serving.batch_offset

@@ -1,0 +1,107 @@
+"""The three layers of the Lambda Architecture (Figure 1).
+
+* **Batch layer** — owns the master dataset (immutable, append-only) and
+  recomputes batch views from scratch; slow but authoritative.
+* **Serving layer** — indexes the batch views for low-latency point reads.
+* **Speed layer** — folds only events newer than the last batch run, so
+  queries see recent data without waiting for the next batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.lambda_arch.views import View
+from repro.platform.log import InMemoryLog
+
+
+class BatchLayer:
+    """Master dataset plus from-scratch batch view computation."""
+
+    def __init__(self, view: View):
+        self.view = view
+        self.master = InMemoryLog()
+
+    def append(self, event: Any) -> int:
+        """Append *event* to the immutable master dataset."""
+        return self.master.append(event)
+
+    def compute_views(self, up_to_offset: int | None = None) -> tuple[dict, int]:
+        """Recompute batch views over the master data (full recomputation —
+        the architecture's simplicity/robustness trade). Returns
+        ``(views, high_offset)``."""
+        end = self.master.end_offset if up_to_offset is None else up_to_offset
+        if not 0 <= end <= self.master.end_offset:
+            raise ParameterError("up_to_offset out of range")
+        views: dict[Hashable, Any] = {}
+        for __, event in self.master.read_from(0):
+            break_offset = __
+            if break_offset >= end:
+                break
+            key = self.view.key(event)
+            views[key] = self.view.add(views.get(key, self.view.zero()), event)
+        return views, end
+
+
+class ServingLayer:
+    """Indexed batch views: swapped wholesale after each batch run."""
+
+    def __init__(self):
+        self._views: dict[Hashable, Any] = {}
+        self.batch_offset = 0  # master offset the current views cover
+
+    def load(self, views: dict, batch_offset: int) -> None:
+        """Atomically swap in freshly computed batch views."""
+        self._views = views
+        self.batch_offset = batch_offset
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The batch view for *key* (or *default*)."""
+        return self._views.get(key, default)
+
+    def keys(self):
+        """Keys with batch views."""
+        return self._views.keys()
+
+
+class SpeedLayer:
+    """Incremental real-time views over events past the batch horizon."""
+
+    def __init__(self, view: View):
+        self.view = view
+        self._views: dict[Hashable, Any] = {}
+        self._offsets: list[int] = []  # offsets folded, in order
+
+    def update(self, event: Any, offset: int) -> None:
+        """Fold one new event (at master *offset*) into the real-time views."""
+        key = self.view.key(event)
+        self._views[key] = self.view.add(self._views.get(key, self.view.zero()), event)
+        self._offsets.append(offset)
+
+    def expire_through(self, batch_offset: int, events_by_offset) -> None:
+        """Drop state now covered by the batch views.
+
+        The canonical speed layer keeps views per time slice and drops whole
+        slices; this implementation refolds the still-uncovered suffix,
+        which is exact and keeps the layer's memory proportional to the
+        batch lag.
+        """
+        survivors = [o for o in self._offsets if o >= batch_offset]
+        self._views = {}
+        self._offsets = []
+        for offset in survivors:
+            self.update(events_by_offset(offset), offset)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The real-time view for *key* (or *default*)."""
+        return self._views.get(key, default)
+
+    def keys(self):
+        """Keys with real-time views."""
+        return self._views.keys()
+
+    @property
+    def n_pending_events(self) -> int:
+        """Events currently covered only by the speed layer."""
+        return len(self._offsets)

@@ -1,0 +1,84 @@
+"""View definitions shared by the batch and speed layers.
+
+The Lambda Architecture computes the *same* logical view twice — once
+accurately over the master dataset (batch) and once incrementally over
+recent data (speed) — and merges at query time. A :class:`View` captures
+that logic once: key extraction, a monoid of per-key values (zero / add /
+combine), and the final merge.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+from repro.cardinality.hyperloglog import HyperLogLog
+
+
+class View(ABC):
+    """A keyed aggregation definable as a fold over events."""
+
+    @abstractmethod
+    def key(self, event: Any) -> Hashable:
+        """Partition key of *event*."""
+
+    @abstractmethod
+    def zero(self) -> Any:
+        """Identity value for a fresh key."""
+
+    @abstractmethod
+    def add(self, value: Any, event: Any) -> Any:
+        """Fold *event* into *value* (may mutate and return it)."""
+
+    @abstractmethod
+    def combine(self, a: Any, b: Any) -> Any:
+        """Combine two partial values (batch + speed merge)."""
+
+    def present(self, value: Any) -> Any:
+        """Convert the internal value to the query answer (default: as-is)."""
+        return value
+
+
+class CountView(View):
+    """Events per key — e.g. page views per URL."""
+
+    def __init__(self, key_fn=None):
+        self._key_fn = key_fn or (lambda event: event)
+
+    def key(self, event: Any) -> Hashable:
+        return self._key_fn(event)
+
+    def zero(self) -> int:
+        return 0
+
+    def add(self, value: int, event: Any) -> int:
+        return value + 1
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+
+class UniqueVisitorsView(View):
+    """Distinct users per key via mergeable HyperLogLog values."""
+
+    def __init__(self, key_fn, user_fn, precision: int = 12, seed: int = 0):
+        self._key_fn = key_fn
+        self._user_fn = user_fn
+        self.precision = precision
+        self.seed = seed
+
+    def key(self, event: Any) -> Hashable:
+        return self._key_fn(event)
+
+    def zero(self) -> HyperLogLog:
+        return HyperLogLog(precision=self.precision, seed=self.seed)
+
+    def add(self, value: HyperLogLog, event: Any) -> HyperLogLog:
+        value.update(self._user_fn(event))
+        return value
+
+    def combine(self, a: HyperLogLog, b: HyperLogLog) -> HyperLogLog:
+        return a + b
+
+    def present(self, value: HyperLogLog) -> float:
+        return value.estimate()

@@ -1,0 +1,13 @@
+"""Incremental machine learning over streams (Section 2's emerging field;
+Section 3's "online machine learning" use case at Twitter)."""
+
+from repro.ml.hoeffding import HoeffdingTree
+from repro.ml.linear import OnlineLogisticRegression, PassiveAggressiveRegressor
+from repro.ml.naive_bayes import StreamingNaiveBayes
+
+__all__ = [
+    "HoeffdingTree",
+    "OnlineLogisticRegression",
+    "PassiveAggressiveRegressor",
+    "StreamingNaiveBayes",
+]

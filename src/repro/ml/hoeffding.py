@@ -1,0 +1,273 @@
+"""Hoeffding tree (VFDT) [Domingos & Hulten, KDD 2000].
+
+The canonical incremental decision-tree learner: each leaf accumulates
+sufficient statistics; a leaf splits only when the Hoeffding bound
+``eps = sqrt(R^2 ln(1/delta) / 2n)`` certifies that the best split's
+information gain beats the runner-up's with high probability — so the
+streamed tree converges to the batch tree without storing examples.
+
+Numeric features are summarised per class with Gaussian estimators
+(mean/variance via Welford), the standard VFDT-with-numeric-attributes
+variant; split candidates are midpoints between class means.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class _GaussianStat:
+    """Per-(feature, class) running Gaussian (Welford)."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.n - 1))
+
+    def prob_le(self, threshold: float) -> float:
+        """P(X <= threshold) under the fitted Gaussian."""
+        std = self.std
+        if std == 0.0:
+            return 1.0 if self.mean <= threshold else 0.0
+        z = (threshold - self.mean) / (std * math.sqrt(2.0))
+        return 0.5 * (1.0 + math.erf(z))
+
+
+class _Leaf:
+    __slots__ = ("class_counts", "stats", "n_since_check")
+
+    def __init__(self, dims: int):
+        self.class_counts: dict[Hashable, int] = defaultdict(int)
+        # stats[feature][label] -> _GaussianStat
+        self.stats: list[dict[Hashable, _GaussianStat]] = [
+            defaultdict(_GaussianStat) for __ in range(dims)
+        ]
+        self.n_since_check = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.class_counts.values())
+
+    def majority(self) -> Hashable:
+        return max(self.class_counts, key=self.class_counts.get)
+
+
+class _Split:
+    __slots__ = ("feature", "threshold", "left", "right")
+
+    def __init__(self, feature: int, threshold: float, left, right):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+
+
+def _entropy(counts) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    out = 0.0
+    for c in counts:
+        if c > 0:
+            p = c / total
+            out -= p * math.log2(p)
+    return out
+
+
+class HoeffdingTree(SynopsisBase):
+    """Incremental decision tree for numeric features and hashable labels."""
+
+    def __init__(
+        self,
+        dims: int,
+        delta: float = 1e-6,
+        grace_period: int = 200,
+        tie_threshold: float = 0.05,
+        max_depth: int = 12,
+    ):
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if not 0 < delta < 1:
+            raise ParameterError("delta must lie in (0, 1)")
+        if grace_period <= 0:
+            raise ParameterError("grace_period must be positive")
+        if tie_threshold < 0:
+            raise ParameterError("tie_threshold must be non-negative")
+        if max_depth <= 0:
+            raise ParameterError("max_depth must be positive")
+        self.dims = dims
+        self.delta = delta
+        self.grace_period = grace_period
+        self.tie_threshold = tie_threshold
+        self.max_depth = max_depth
+        self.count = 0
+        self.correct = 0  # progressive validation
+        self._root: _Leaf | _Split = _Leaf(dims)
+
+    # -- routing ---------------------------------------------------------
+
+    def _sort_to_leaf(self, x: Sequence[float]) -> tuple[_Leaf, int]:
+        node = self._root
+        depth = 0
+        while isinstance(node, _Split):
+            node = node.left if x[node.feature] <= node.threshold else node.right
+            depth += 1
+        return node, depth
+
+    def predict(self, x: Sequence[float]) -> Hashable | None:
+        """Majority label of the leaf *x* sorts to (None before any data)."""
+        leaf, __ = self._sort_to_leaf(x)
+        if not leaf.class_counts:
+            return None
+        return leaf.majority()
+
+    def update(self, item: tuple[Sequence[float], Hashable]) -> None:
+        x, y = item
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.dims,):
+            raise ParameterError(f"expected a vector of dimension {self.dims}")
+        self.count += 1
+        leaf, depth = self._sort_to_leaf(vec)
+        if leaf.class_counts and leaf.majority() == y:
+            self.correct += 1
+        leaf.class_counts[y] += 1
+        for f in range(self.dims):
+            leaf.stats[f][y].add(float(vec[f]))
+        leaf.n_since_check += 1
+        if (
+            leaf.n_since_check >= self.grace_period
+            and depth < self.max_depth
+            and len(leaf.class_counts) > 1
+        ):
+            leaf.n_since_check = 0
+            self._try_split(leaf, depth)
+
+    # -- splitting -------------------------------------------------------
+
+    def _candidate_gain(self, leaf: _Leaf, feature: int, threshold: float) -> float:
+        base = _entropy(leaf.class_counts.values())
+        left_counts, right_counts = [], []
+        for label, total in leaf.class_counts.items():
+            p_le = leaf.stats[feature][label].prob_le(threshold)
+            left_counts.append(total * p_le)
+            right_counts.append(total * (1.0 - p_le))
+        n_left, n_right = sum(left_counts), sum(right_counts)
+        total = n_left + n_right
+        if total == 0 or n_left == 0 or n_right == 0:
+            return 0.0
+        return base - (
+            n_left / total * _entropy(left_counts)
+            + n_right / total * _entropy(right_counts)
+        )
+
+    def _best_split_for_feature(self, leaf: _Leaf, feature: int) -> tuple[float, float]:
+        means = [s.mean for s in leaf.stats[feature].values() if s.n > 0]
+        if len(means) < 2:
+            return 0.0, 0.0
+        means.sort()
+        best_gain, best_threshold = 0.0, 0.0
+        for a, b in zip(means, means[1:]):
+            threshold = (a + b) / 2.0
+            gain = self._candidate_gain(leaf, feature, threshold)
+            if gain > best_gain:
+                best_gain, best_threshold = gain, threshold
+        return best_gain, best_threshold
+
+    def _try_split(self, leaf: _Leaf, depth: int) -> None:
+        candidates = sorted(
+            (self._best_split_for_feature(leaf, f) + (f,) for f in range(self.dims)),
+            reverse=True,
+        )
+        (best_gain, best_threshold, best_feature) = candidates[0]
+        second_gain = candidates[1][0] if len(candidates) > 1 else 0.0
+        if best_gain <= 0:
+            return
+        n = leaf.total
+        log2_classes = math.log2(max(2, len(leaf.class_counts)))
+        eps = math.sqrt(log2_classes**2 * math.log(1.0 / self.delta) / (2.0 * n))
+        if best_gain - second_gain > eps or eps < self.tie_threshold:
+            self._split_leaf(leaf, best_feature, best_threshold)
+
+    def _split_leaf(self, leaf: _Leaf, feature: int, threshold: float) -> None:
+        split = _Split(feature, threshold, _Leaf(self.dims), _Leaf(self.dims))
+        # Seed the children's priors from the parent's expected routing so
+        # early predictions are sensible.
+        for label, total in leaf.class_counts.items():
+            p_le = leaf.stats[feature][label].prob_le(threshold)
+            left = int(round(total * p_le))
+            if left:
+                split.left.class_counts[label] = left
+            if total - left:
+                split.right.class_counts[label] = total - left
+        self._replace(leaf, split)
+
+    def _replace(self, target: _Leaf, replacement: _Split) -> None:
+        if self._root is target:
+            self._root = replacement
+            return
+        stack: list[_Split] = [self._root]  # type: ignore[list-item]
+        while stack:
+            node = stack.pop()
+            for side in ("left", "right"):
+                child = getattr(node, side)
+                if child is target:
+                    setattr(node, side, replacement)
+                    return
+                if isinstance(child, _Split):
+                    stack.append(child)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Split):
+                stack.extend((node.left, node.right))
+        return count
+
+    @property
+    def depth(self) -> int:
+        def walk(node, d):
+            if isinstance(node, _Leaf):
+                return d
+            return max(walk(node.left, d + 1), walk(node.right, d + 1))
+
+        return walk(self._root, 0)
+
+    def progressive_accuracy(self) -> float:
+        """Score-then-learn accuracy over the stream so far."""
+        return self.correct / self.count if self.count else 0.0
+
+    def _merge_key(self) -> tuple:
+        return (self.dims,)
+
+    def _merge_into(self, other: "HoeffdingTree") -> None:
+        raise NotImplementedError(
+            "Hoeffding trees are not mergeable; train per partition and "
+            "ensemble the predictions instead"
+        )

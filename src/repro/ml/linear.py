@@ -1,0 +1,167 @@
+"""Online linear models: logistic regression and PA-style regression.
+
+Section 2: "a field of incremental machine learning has emerged to cater
+to Big Data streaming analytics" — and Section 3 closes with Twitter's
+"online machine learning" Heron use case. These are the standard
+production online learners: one example at a time, O(d) memory, adaptive
+to drift via constant learning rates or passive-aggressive updates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class OnlineLogisticRegression(SynopsisBase):
+    """Binary logistic regression trained by SGD with L2 regularisation.
+
+    ``update((x, y))`` takes a feature vector and a label in {0, 1};
+    ``predict_proba(x)`` returns P(y=1|x). With ``adagrad=True`` the
+    per-coordinate AdaGrad rule is used (the standard choice for sparse
+    ad/CTR features).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        learning_rate: float = 0.1,
+        l2: float = 1e-6,
+        adagrad: bool = True,
+    ):
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if learning_rate <= 0:
+            raise ParameterError("learning_rate must be positive")
+        if l2 < 0:
+            raise ParameterError("l2 must be non-negative")
+        self.dims = dims
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.adagrad = adagrad
+        self.count = 0
+        self._w = np.zeros(dims + 1)  # weights + bias (last slot)
+        self._g2 = np.full(dims + 1, 1e-8)  # AdaGrad accumulators
+        self.cumulative_log_loss = 0.0
+
+    def _features(self, x: Sequence[float]) -> np.ndarray:
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.dims,):
+            raise ParameterError(f"expected a vector of dimension {self.dims}")
+        return np.concatenate([vec, [1.0]])
+
+    def predict_proba(self, x: Sequence[float]) -> float:
+        """P(y = 1 | x)."""
+        z = float(self._w @ self._features(x))
+        z = max(-35.0, min(35.0, z))
+        return 1.0 / (1.0 + math.exp(-z))
+
+    def predict(self, x: Sequence[float]) -> int:
+        """Hard 0/1 prediction."""
+        return int(self.predict_proba(x) >= 0.5)
+
+    def update(self, item: tuple[Sequence[float], int]) -> None:
+        x, y = item
+        if y not in (0, 1):
+            raise ParameterError("label must be 0 or 1")
+        self.count += 1
+        phi = self._features(x)
+        p = self.predict_proba(x)
+        # Progressive validation loss: score-then-learn.
+        eps = 1e-15
+        self.cumulative_log_loss -= y * math.log(p + eps) + (1 - y) * math.log(1 - p + eps)
+        grad = (p - y) * phi + self.l2 * self._w
+        if self.adagrad:
+            self._g2 += grad * grad
+            self._w -= self.learning_rate * grad / np.sqrt(self._g2)
+        else:
+            self._w -= self.learning_rate * grad
+
+    def progressive_log_loss(self) -> float:
+        """Mean progressive-validation log loss (online generalisation)."""
+        return self.cumulative_log_loss / self.count if self.count else 0.0
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Copy of the learned weights (bias last)."""
+        return self._w.copy()
+
+    def _merge_key(self) -> tuple:
+        return (self.dims, self.learning_rate, self.l2, self.adagrad)
+
+    def _merge_into(self, other: "OnlineLogisticRegression") -> None:
+        """Parameter averaging weighted by example counts (the standard
+        distributed-SGD combination)."""
+        total = self.count + other.count
+        if total:
+            self._w = (self._w * self.count + other._w * other.count) / total
+        self._g2 = self._g2 + other._g2
+        self.cumulative_log_loss += other.cumulative_log_loss
+        self.count = total
+
+
+class PassiveAggressiveRegressor(SynopsisBase):
+    """PA-II online regression [Crammer et al. 2006].
+
+    Epsilon-insensitive: no update while |error| <= epsilon, otherwise the
+    smallest weight change that fixes the example (tempered by C). Robust
+    and step-size-free, a good default for streaming sensor regression.
+    """
+
+    def __init__(self, dims: int, epsilon: float = 0.1, C: float = 1.0):
+        if dims <= 0:
+            raise ParameterError("dims must be positive")
+        if epsilon < 0:
+            raise ParameterError("epsilon must be non-negative")
+        if C <= 0:
+            raise ParameterError("C must be positive")
+        self.dims = dims
+        self.epsilon = epsilon
+        self.C = C
+        self.count = 0
+        self._w = np.zeros(dims + 1)
+        self.cumulative_abs_error = 0.0
+
+    def _features(self, x: Sequence[float]) -> np.ndarray:
+        vec = np.asarray(x, dtype=np.float64)
+        if vec.shape != (self.dims,):
+            raise ParameterError(f"expected a vector of dimension {self.dims}")
+        return np.concatenate([vec, [1.0]])
+
+    def predict(self, x: Sequence[float]) -> float:
+        """Point prediction for *x*."""
+        return float(self._w @ self._features(x))
+
+    def update(self, item: tuple[Sequence[float], float]) -> None:
+        x, y = item
+        self.count += 1
+        phi = self._features(x)
+        error = float(y) - float(self._w @ phi)
+        self.cumulative_abs_error += abs(error)
+        loss = max(0.0, abs(error) - self.epsilon)
+        if loss > 0:
+            tau = loss / (float(phi @ phi) + 1.0 / (2.0 * self.C))
+            self._w += tau * math.copysign(1.0, error) * phi
+
+    def progressive_mae(self) -> float:
+        """Mean absolute progressive-validation error."""
+        return self.cumulative_abs_error / self.count if self.count else 0.0
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._w.copy()
+
+    def _merge_key(self) -> tuple:
+        return (self.dims, self.epsilon, self.C)
+
+    def _merge_into(self, other: "PassiveAggressiveRegressor") -> None:
+        total = self.count + other.count
+        if total:
+            self._w = (self._w * self.count + other._w * other.count) / total
+        self.cumulative_abs_error += other.cumulative_abs_error
+        self.count = total

@@ -1,0 +1,100 @@
+"""Streaming multinomial naive Bayes with optional decay.
+
+Counting-based, so it is trivially incremental *and mergeable* (counts
+add), and exponential decay of the counts adapts it to concept drift — the
+"work with incomplete data / evolving models" theme of Section 2's
+incremental-ML discussion. Features are bags of tokens (e.g. tweet terms).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class StreamingNaiveBayes(SynopsisBase):
+    """Multinomial NB over token bags; ``update((tokens, label))``."""
+
+    def __init__(self, smoothing: float = 1.0, decay: float = 1.0):
+        if smoothing <= 0:
+            raise ParameterError("smoothing must be positive")
+        if not 0 < decay <= 1:
+            raise ParameterError("decay must lie in (0, 1]")
+        self.smoothing = smoothing
+        self.decay = decay
+        self.count = 0
+        self._class_counts: dict[Hashable, float] = defaultdict(float)
+        self._token_counts: dict[Hashable, dict[Hashable, float]] = {}
+        self._class_token_totals: dict[Hashable, float] = defaultdict(float)
+        self._vocabulary: set[Hashable] = set()
+
+    def update(self, item: tuple[Iterable[Hashable], Hashable]) -> None:
+        tokens, label = item
+        self.count += 1
+        if self.decay < 1.0:
+            self._apply_decay()
+        self._class_counts[label] += 1.0
+        bucket = self._token_counts.setdefault(label, defaultdict(float))
+        for token in tokens:
+            bucket[token] += 1.0
+            self._class_token_totals[label] += 1.0
+            self._vocabulary.add(token)
+
+    def _apply_decay(self) -> None:
+        for label in self._class_counts:
+            self._class_counts[label] *= self.decay
+            self._class_token_totals[label] *= self.decay
+        for bucket in self._token_counts.values():
+            for token in bucket:
+                bucket[token] *= self.decay
+
+    def log_posteriors(self, tokens: Iterable[Hashable]) -> dict[Hashable, float]:
+        """Unnormalised log P(label | tokens) for every known label."""
+        if not self._class_counts:
+            raise ParameterError("classifier has seen no examples")
+        tokens = list(tokens)
+        total = sum(self._class_counts.values())
+        vocab = max(len(self._vocabulary), 1)
+        out = {}
+        for label, class_count in self._class_counts.items():
+            score = math.log(class_count / total)
+            bucket = self._token_counts.get(label, {})
+            denom = self._class_token_totals[label] + self.smoothing * vocab
+            for token in tokens:
+                score += math.log((bucket.get(token, 0.0) + self.smoothing) / denom)
+            out[label] = score
+        return out
+
+    def predict(self, tokens: Iterable[Hashable]) -> Hashable:
+        """Most probable label for the token bag."""
+        posteriors = self.log_posteriors(tokens)
+        return max(posteriors, key=posteriors.get)
+
+    def predict_proba(self, tokens: Iterable[Hashable]) -> dict[Hashable, float]:
+        """Normalised posterior distribution over labels."""
+        logs = self.log_posteriors(tokens)
+        peak = max(logs.values())
+        exp = {label: math.exp(v - peak) for label, v in logs.items()}
+        total = sum(exp.values())
+        return {label: v / total for label, v in exp.items()}
+
+    @property
+    def labels(self) -> set:
+        return set(self._class_counts)
+
+    def _merge_key(self) -> tuple:
+        return (self.smoothing, self.decay)
+
+    def _merge_into(self, other: "StreamingNaiveBayes") -> None:
+        for label, cnt in other._class_counts.items():
+            self._class_counts[label] += cnt
+            self._class_token_totals[label] += other._class_token_totals[label]
+            bucket = self._token_counts.setdefault(label, defaultdict(float))
+            for token, tcnt in other._token_counts.get(label, {}).items():
+                bucket[token] += tcnt
+        self._vocabulary |= other._vocabulary
+        self.count += other.count

@@ -1,0 +1,11 @@
+"""Frequency-moment estimation (F2 tug-of-war, general F_k sampling).
+
+Table 1 row "Estimating Moments" — estimate the distribution of
+frequencies of different elements (application: databases, e.g. join-size
+and self-join-size estimation from F2).
+"""
+
+from repro.moments.ams import AMSSketch
+from repro.moments.fk import FkEstimator
+
+__all__ = ["AMSSketch", "FkEstimator"]

@@ -1,0 +1,69 @@
+"""AMS "tug-of-war" sketch for the second frequency moment F2.
+
+[Alon, Matias & Szegedy, STOC 1996] — the paper that introduced randomized
+sketching (Section 2 credits it by name). Each estimator keeps a single
+counter ``Z = sum_i f_i * s(i)`` with 4-wise-ish random signs ``s``; ``Z^2``
+is an unbiased estimate of ``F2 = sum f_i^2``. Averaging groups of
+estimators and taking the median of group means gives an
+(epsilon, delta)-approximation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+
+
+class AMSSketch(SynopsisBase):
+    """Tug-of-war F2 sketch: *groups* x *per_group* sign counters."""
+
+    def __init__(self, groups: int = 5, per_group: int = 16, seed: int = 0):
+        if groups <= 0:
+            raise ParameterError("groups must be positive")
+        if per_group <= 0:
+            raise ParameterError("per_group must be positive")
+        self.groups = groups
+        self.per_group = per_group
+        self.family = HashFamily(seed)
+        self.count = 0
+        self._z = np.zeros((groups, per_group), dtype=np.float64)
+
+    def update(self, item: Any) -> None:
+        self.update_weighted(item, 1.0)
+
+    def update_weighted(self, item: Any, weight: float) -> None:
+        """Add *weight* to item's frequency (turnstile model allowed)."""
+        if weight == 0:
+            raise ParameterError("weight must be non-zero")
+        self.count += abs(weight)
+        for g in range(self.groups):
+            for j in range(self.per_group):
+                h = self.family.hash(item, g * self.per_group + j)
+                sign = 1.0 if h & 1 else -1.0
+                self._z[g, j] += sign * weight
+
+    def estimate_f2(self) -> float:
+        """Median-of-means estimate of ``F2 = sum_i f_i^2``."""
+        means = (self._z**2).mean(axis=1)
+        return float(statistics.median(means.tolist()))
+
+    def surprise_number(self) -> float:
+        """Alias for :meth:`estimate_f2` (Good's 'surprise number')."""
+        return self.estimate_f2()
+
+    def _merge_key(self) -> tuple:
+        return (self.groups, self.per_group, self.family.seed)
+
+    def _merge_into(self, other: "AMSSketch") -> None:
+        """Counters are linear in the stream, so merging is addition."""
+        self._z += other._z
+        self.count += other.count
+
+    def size_bytes(self) -> int:
+        return int(self._z.nbytes)

@@ -1,0 +1,81 @@
+"""General frequency-moment estimation F_k via AMS sampling.
+
+The second estimator from [Alon, Matias & Szegedy 1996]: pick a uniformly
+random stream position (reservoir-style), count the occurrences ``r`` of the
+sampled item from that position onward, and output
+``n * (r^k - (r-1)^k)`` — an unbiased estimate of ``F_k`` for any k >= 1.
+Median-of-means over independent estimators concentrates it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import derive_seed, make_rng
+
+
+class _SamplingEstimator:
+    __slots__ = ("rng", "item", "tail_count")
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.item: Hashable = None
+        self.tail_count = 0
+
+    def observe(self, index: int, item: Hashable) -> None:
+        # Reservoir of size 1 over positions: position i replaces with prob 1/(i+1).
+        if self.rng.randrange(index + 1) == 0:
+            self.item = item
+            self.tail_count = 1
+        elif item == self.item:
+            self.tail_count += 1
+
+
+class FkEstimator(SynopsisBase):
+    """Estimator for the k-th frequency moment ``F_k = sum_i f_i^k``."""
+
+    def __init__(self, k: int, groups: int = 7, per_group: int = 40, seed: int = 0):
+        if k < 1:
+            raise ParameterError("moment order k must be >= 1")
+        if groups <= 0 or per_group <= 0:
+            raise ParameterError("groups and per_group must be positive")
+        self.k = k
+        self.groups = groups
+        self.per_group = per_group
+        self.count = 0
+        self._estimators = [
+            _SamplingEstimator(make_rng(derive_seed(seed, i)))
+            for i in range(groups * per_group)
+        ]
+
+    def update(self, item: Any) -> None:
+        index = self.count
+        self.count += 1
+        for est in self._estimators:
+            est.observe(index, item)
+
+    def estimate(self) -> float:
+        """Median-of-means estimate of F_k over the stream so far."""
+        if self.count == 0:
+            return 0.0
+        n, k = self.count, self.k
+        values = [
+            n * (e.tail_count**k - (e.tail_count - 1) ** k) for e in self._estimators
+        ]
+        means = [
+            sum(values[g * self.per_group : (g + 1) * self.per_group]) / self.per_group
+            for g in range(self.groups)
+        ]
+        return float(statistics.median(means))
+
+    def _merge_key(self) -> tuple:
+        return (self.k, self.groups, self.per_group)
+
+    def _merge_into(self, other: "FkEstimator") -> None:
+        raise NotImplementedError(
+            "position-sampling F_k estimators are not mergeable; use AMSSketch "
+            "(k=2) or per-partition estimation"
+        )

@@ -1,0 +1,104 @@
+"""Single-process streaming platform: the Table 2 design space, runnable.
+
+Spouts/bolts/topologies (Storm), XOR acking (Storm at-least-once),
+checkpoint/restore (MillWheel/Flink exactly-once), stream groupings,
+backpressure, fault injection and metrics.
+"""
+
+from repro.platform.ack import Acker
+from repro.platform.actors import Actor, ActorRef, ActorSystem, Future
+from repro.platform.executor import LocalExecutor
+from repro.platform.faults import FaultInjector
+from repro.platform.groupings import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    ShuffleGrouping,
+)
+from repro.platform.log import InMemoryLog
+from repro.platform.metrics import ComponentMetrics, ExecutionMetrics
+from repro.platform.operators import (
+    CollectorBolt,
+    CountBolt,
+    FilterBolt,
+    FlatMapBolt,
+    JoinBolt,
+    MapBolt,
+    SynopsisBolt,
+    TumblingWindowBolt,
+)
+from repro.platform.delta import (
+    DeltaIterationResult,
+    bulk_connected_components,
+    connected_components,
+    delta_iterate,
+)
+from repro.platform.microbatch import DStream, MicroBatchContext
+from repro.platform.photon import IdRegistry, Joined, PhotonJoiner
+from repro.platform.rules import Alert, Rule, RuleContext, RuleEngine
+from repro.platform.s4 import PEContainer, ProcessingElement
+from repro.platform.samza import LoggedStage, LoggedTask, SamzaPipeline
+from repro.platform.sql import StreamingQuery, query
+from repro.platform.topology import (
+    Bolt,
+    ListSpout,
+    LogSpout,
+    Spout,
+    Topology,
+    TopologyBuilder,
+)
+from repro.platform.tuples import StreamTuple
+
+__all__ = [
+    "Actor",
+    "ActorRef",
+    "ActorSystem",
+    "Future",
+    "DeltaIterationResult",
+    "PEContainer",
+    "ProcessingElement",
+    "bulk_connected_components",
+    "connected_components",
+    "delta_iterate",
+    "DStream",
+    "IdRegistry",
+    "Joined",
+    "MicroBatchContext",
+    "PhotonJoiner",
+    "Alert",
+    "Rule",
+    "RuleContext",
+    "RuleEngine",
+    "query",
+    "StreamingQuery",
+    "SamzaPipeline",
+    "LoggedTask",
+    "LoggedStage",
+    "Acker",
+    "AllGrouping",
+    "Bolt",
+    "CollectorBolt",
+    "ComponentMetrics",
+    "CountBolt",
+    "ExecutionMetrics",
+    "FaultInjector",
+    "FieldsGrouping",
+    "FilterBolt",
+    "FlatMapBolt",
+    "GlobalGrouping",
+    "Grouping",
+    "InMemoryLog",
+    "JoinBolt",
+    "ListSpout",
+    "LocalExecutor",
+    "LogSpout",
+    "MapBolt",
+    "ShuffleGrouping",
+    "Spout",
+    "StreamTuple",
+    "SynopsisBolt",
+    "Topology",
+    "TopologyBuilder",
+    "TumblingWindowBolt",
+]

@@ -1,0 +1,198 @@
+"""An Akka-style actor toolkit (Table 2's Akka column).
+
+Section 3 on Akka: "an Akka application consists of a set of Actors and
+messages passed between those Actors ... each actor instance is guaranteed
+to be run using at most one thread at a time ... a unique feature is that
+actors can reply to incoming messages, giving it a request-response
+capability that's usually not present." Reproduced here:
+
+* lightweight actors with mailboxes, processed one message at a time by a
+  cooperative single-threaded scheduler (the at-most-one-thread guarantee
+  by construction);
+* ``tell`` (fire-and-forget) and ``ask`` (request-response via futures) —
+  the feature the paper singles out;
+* supervision: an actor that raises is restarted (fresh state) up to a
+  retry budget, then stopped — Akka's one-for-one restart strategy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.exceptions import ExecutionError, ParameterError
+
+
+@dataclass
+class Envelope:
+    """One queued message, with an optional reply slot (for ask)."""
+
+    message: Any
+    sender: "ActorRef | None" = None
+    future: "Future | None" = None
+
+
+class Future:
+    """A reply slot filled when the target actor responds."""
+
+    _UNSET = object()
+
+    def __init__(self):
+        self._value: Any = Future._UNSET
+
+    @property
+    def done(self) -> bool:
+        return self._value is not Future._UNSET
+
+    def set(self, value: Any) -> None:
+        """Fill the slot (idempotent: the first value wins)."""
+        if not self.done:
+            self._value = value
+
+    def result(self) -> Any:
+        """The reply; raises if not yet resolved."""
+        if not self.done:
+            raise ExecutionError("future not resolved; run the system first")
+        return self._value
+
+
+class Actor(ABC):
+    """User behaviour. ``receive`` handles one message at a time.
+
+    Inside ``receive``: ``self.reply(value)`` answers an ask;
+    ``self.context.tell(ref, msg)`` messages another actor; raising an
+    exception triggers supervision (restart with fresh state).
+    """
+
+    def __init__(self):
+        self.context: "ActorSystem | None" = None
+        self.ref: "ActorRef | None" = None
+        self._current: Envelope | None = None
+
+    @abstractmethod
+    def receive(self, message: Any, sender: "ActorRef | None") -> None:
+        """Handle one message."""
+
+    def reply(self, value: Any) -> None:
+        """Answer the current message's ask-future (no-op for tells)."""
+        if self._current is not None and self._current.future is not None:
+            self._current.future.set(value)
+
+    def pre_restart(self) -> None:
+        """Hook called on the failing instance before it is replaced."""
+
+
+@dataclass
+class ActorRef:
+    """Address of an actor within a system."""
+
+    name: str
+    system: "ActorSystem" = field(repr=False)
+
+    def tell(self, message: Any, sender: "ActorRef | None" = None) -> None:
+        """Fire-and-forget send."""
+        self.system._enqueue(self, Envelope(message, sender=sender))
+
+    def ask(self, message: Any) -> Future:
+        """Request-response send; the Future resolves during run()."""
+        future = Future()
+        self.system._enqueue(self, Envelope(message, future=future))
+        return future
+
+
+class ActorSystem:
+    """Single-threaded cooperative actor runtime with supervision."""
+
+    def __init__(self, max_restarts: int = 3):
+        if max_restarts < 0:
+            raise ParameterError("max_restarts must be non-negative")
+        self.max_restarts = max_restarts
+        self.processed = 0
+        self.restarts = 0
+        self._factories: dict[str, Callable[[], Actor]] = {}
+        self._actors: dict[str, Actor] = {}
+        self._mailboxes: dict[str, deque[Envelope]] = {}
+        self._restart_counts: dict[str, int] = {}
+        self._stopped: set[str] = set()
+
+    def spawn(self, name: str, factory: Callable[[], Actor]) -> ActorRef:
+        """Create an actor; *factory* builds (and rebuilds) instances."""
+        if name in self._factories:
+            raise ParameterError(f"actor name {name!r} already in use")
+        self._factories[name] = factory
+        ref = ActorRef(name=name, system=self)
+        self._instantiate(name, ref)
+        self._mailboxes[name] = deque()
+        return ref
+
+    def _instantiate(self, name: str, ref: ActorRef) -> None:
+        actor = self._factories[name]()
+        actor.context = self
+        actor.ref = ref
+        self._actors[name] = actor
+
+    def actor_of(self, name: str) -> ActorRef:
+        """The ref for an existing actor name."""
+        if name not in self._factories:
+            raise ParameterError(f"no actor named {name!r}")
+        return ActorRef(name=name, system=self)
+
+    def tell(self, ref: ActorRef, message: Any, sender: ActorRef | None = None) -> None:
+        """Convenience alias for ``ref.tell``."""
+        ref.tell(message, sender=sender)
+
+    def _enqueue(self, ref: ActorRef, envelope: Envelope) -> None:
+        if ref.name in self._stopped:
+            return  # dead letters
+        mailbox = self._mailboxes.get(ref.name)
+        if mailbox is None:
+            raise ParameterError(f"no actor named {ref.name!r}")
+        mailbox.append(envelope)
+
+    def is_stopped(self, name: str) -> bool:
+        """Whether supervision has permanently stopped *name*."""
+        return name in self._stopped
+
+    def run(self, max_messages: int = 1_000_000) -> int:
+        """Deliver messages until all mailboxes drain; returns the count.
+
+        Fair round-robin over actors, one message per turn — the
+        cooperative analogue of Akka's dispatcher.
+        """
+        delivered = 0
+        progress = True
+        while progress:
+            progress = False
+            for name, mailbox in self._mailboxes.items():
+                if not mailbox or name in self._stopped:
+                    continue
+                envelope = mailbox.popleft()
+                self._deliver(name, envelope)
+                delivered += 1
+                progress = True
+                if delivered >= max_messages:
+                    raise ExecutionError(
+                        f"exceeded {max_messages} messages (actor loop?)"
+                    )
+        return delivered
+
+    def _deliver(self, name: str, envelope: Envelope) -> None:
+        actor = self._actors[name]
+        actor._current = envelope
+        try:
+            actor.receive(envelope.message, envelope.sender)
+            self.processed += 1
+        except Exception:
+            actor.pre_restart()
+            count = self._restart_counts.get(name, 0) + 1
+            self._restart_counts[name] = count
+            if count > self.max_restarts:
+                self._stopped.add(name)
+                self._mailboxes[name].clear()
+            else:
+                self.restarts += 1
+                self._instantiate(name, ActorRef(name=name, system=self))
+        finally:
+            actor._current = None

@@ -1,0 +1,137 @@
+"""Flink-style delta iterations.
+
+Table 2 / Section 3 on Flink: "a special kind of iterations called
+delta-iterations that can significantly reduce the amount of computation
+as iterations go on". The model: a *solution set* (keyed state) and a
+*workset* (the elements that changed); each superstep processes only the
+workset, updates the solution set, and produces the next (usually much
+smaller) workset — converging when the workset empties.
+
+:func:`delta_iterate` is the generic engine; :func:`connected_components`
+is the canonical application (and the one Flink ships as its example),
+with per-superstep workset sizes recorded so the "work shrinks as
+iterations go on" claim is directly measurable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.common.exceptions import ParameterError
+
+
+@dataclass
+class DeltaIterationResult:
+    """Solution set plus convergence telemetry."""
+
+    solution: dict[Hashable, Any]
+    supersteps: int
+    workset_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def total_work(self) -> int:
+        """Total workset elements processed (the cost delta-iteration cuts)."""
+        return sum(self.workset_sizes)
+
+
+def delta_iterate(
+    initial_solution: dict[Hashable, Any],
+    initial_workset: list,
+    step: Callable[[dict, list], tuple[dict, list]],
+    max_supersteps: int = 1_000,
+) -> DeltaIterationResult:
+    """Run delta iterations until the workset empties.
+
+    ``step(solution, workset) -> (updates, next_workset)``: *updates* is a
+    dict of solution entries to overwrite; *next_workset* the changed
+    elements to process next round. The engine applies updates and loops.
+    """
+    if max_supersteps <= 0:
+        raise ParameterError("max_supersteps must be positive")
+    solution = dict(initial_solution)
+    workset = list(initial_workset)
+    sizes: list[int] = []
+    steps = 0
+    while workset:
+        if steps >= max_supersteps:
+            raise ParameterError(
+                f"delta iteration did not converge in {max_supersteps} supersteps"
+            )
+        sizes.append(len(workset))
+        updates, workset = step(solution, workset)
+        solution.update(updates)
+        steps += 1
+    return DeltaIterationResult(solution=solution, supersteps=steps, workset_sizes=sizes)
+
+
+def connected_components(
+    edges: list[tuple[Hashable, Hashable]], max_supersteps: int = 1_000
+) -> DeltaIterationResult:
+    """Connected components via delta-iterated label propagation.
+
+    Every vertex starts labelled with itself; a vertex joins the workset
+    only when its component label *changed* last superstep, so work decays
+    geometrically instead of touching all vertices every round (the
+    bulk-iteration baseline the bench compares against).
+    """
+    adjacency: dict[Hashable, set[Hashable]] = defaultdict(set)
+    for u, v in edges:
+        if u == v:
+            continue
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    vertices = list(adjacency)
+    solution = {v: v for v in vertices}
+    # Canonical label ordering needs comparable vertices; repr for mixed.
+    rank = {v: i for i, v in enumerate(sorted(vertices, key=repr))}
+
+    def step(sol: dict, workset: list) -> tuple[dict, list]:
+        updates: dict[Hashable, Any] = {}
+        for vertex in workset:
+            label = sol[vertex]
+            if vertex in updates and rank[updates[vertex]] < rank[label]:
+                label = updates[vertex]
+            for neighbour in adjacency[vertex]:
+                current = updates.get(neighbour, sol[neighbour])
+                if rank[label] < rank[current]:
+                    updates[neighbour] = label
+        changed = [v for v, lab in updates.items() if lab != sol[v]]
+        return updates, changed
+
+    return delta_iterate(solution, vertices, step, max_supersteps=max_supersteps)
+
+
+def bulk_connected_components(
+    edges: list[tuple[Hashable, Hashable]], max_supersteps: int = 1_000
+) -> DeltaIterationResult:
+    """Baseline: bulk label propagation (every vertex, every superstep)."""
+    adjacency: dict[Hashable, set[Hashable]] = defaultdict(set)
+    for u, v in edges:
+        if u == v:
+            continue
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    vertices = list(adjacency)
+    solution = {v: v for v in vertices}
+    rank = {v: i for i, v in enumerate(sorted(vertices, key=repr))}
+    sizes: list[int] = []
+    for step_index in range(max_supersteps):
+        sizes.append(len(vertices))
+        changed = False
+        updates: dict[Hashable, Any] = {}
+        for vertex in vertices:
+            best = solution[vertex]
+            for neighbour in adjacency[vertex]:
+                if rank[solution[neighbour]] < rank[best]:
+                    best = solution[neighbour]
+            if best != solution[vertex]:
+                updates[vertex] = best
+                changed = True
+        solution.update(updates)
+        if not changed:
+            return DeltaIterationResult(
+                solution=solution, supersteps=step_index + 1, workset_sizes=sizes
+            )
+    raise ParameterError("bulk iteration did not converge")

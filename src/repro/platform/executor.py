@@ -1,0 +1,331 @@
+"""Single-process topology executor with selectable delivery semantics.
+
+This is the library's stand-in for the clusters of Table 2, built so the
+*semantics* of those systems can be exercised and measured in isolation:
+
+* ``at_most_once``  — fire and forget (a dropped tuple is simply lost).
+* ``at_least_once`` — Storm's model: XOR acker tracks each spout message's
+  tuple tree; incomplete trees are failed and replayed, so every message is
+  processed, possibly more than once.
+* ``exactly_once``  — MillWheel/Flink's model: periodic consistent
+  checkpoints of all operator state plus the source offset; any loss or
+  crash triggers restore + replay from the last checkpoint, so observable
+  state reflects each message exactly once.
+
+The executor is deterministic (seeded shuffles, single-threaded), which
+makes delivery-semantics experiments reproducible — the property the
+bench suite depends on.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import deque
+
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.platform.ack import Acker
+from repro.platform.faults import FaultInjector, NO_FAULTS
+from repro.platform.metrics import ExecutionMetrics
+from repro.platform.topology import Spout, Topology
+from repro.platform.tuples import StreamTuple, next_tuple_id
+
+_SEMANTICS = ("at_most_once", "at_least_once", "exactly_once")
+
+
+class _RecoveryTriggered(Exception):
+    """Internal control flow: a loss forced checkpoint recovery, so all
+    in-flight work for the current message must be abandoned (it will be
+    replayed from the checkpointed source offset)."""
+
+
+class LocalExecutor:
+    """Runs a :class:`~repro.platform.topology.Topology` to completion."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        semantics: str = "at_most_once",
+        faults: FaultInjector | None = None,
+        checkpoint_interval: int = 500,
+        max_queue: int = 10_000,
+        max_replays_per_message: int = 16,
+    ):
+        if semantics not in _SEMANTICS:
+            raise ParameterError(f"semantics must be one of {_SEMANTICS}")
+        if checkpoint_interval <= 0:
+            raise ParameterError("checkpoint_interval must be positive")
+        self.topology = topology
+        self.semantics = semantics
+        self.faults = faults or NO_FAULTS
+        self.checkpoint_interval = checkpoint_interval
+        self.max_queue = max_queue
+        self.max_replays_per_message = max_replays_per_message
+        self.metrics = ExecutionMetrics()
+
+        # Instantiate components.
+        self._spouts: dict[str, Spout] = {}
+        self._bolts: dict[tuple[str, int], object] = {}
+        for comp in topology.components.values():
+            if comp.kind == "spout":
+                self._spouts[comp.name] = comp.factory()
+            else:
+                for task in range(comp.parallelism):
+                    bolt = comp.factory()
+                    bolt.prepare(task, comp.parallelism)
+                    self._bolts[(comp.name, task)] = bolt
+        self._queues: dict[tuple[str, int], deque] = {
+            key: deque() for key in self._bolts
+        }
+        self._acker = Acker() if semantics != "at_most_once" else None
+        self._start_times: dict[int, float] = {}
+        self._replay_counts: dict[int, int] = {}
+        self._checkpoint: dict | None = None
+        self._source_pulls = 0
+        self._in_flush = False  # teardown flushes bypass fault injection
+
+    # -- emission / routing ------------------------------------------------
+
+    def _route(self, source: str, tup: StreamTuple) -> None:
+        """Fan a tuple out to every consumer of *source* per its grouping."""
+        for consumer, grouping in self.topology.consumers_of(source):
+            comp = self.topology.components[consumer]
+            for task in grouping.targets(tup, comp.parallelism):
+                copy_tup = StreamTuple(
+                    values=tup.values,
+                    stream=tup.stream,
+                    msg_id=tup.msg_id,
+                    tuple_id=next_tuple_id(),
+                    timestamp=tup.timestamp,
+                )
+                if self._acker is not None and copy_tup.msg_id is not None:
+                    self._acker.anchor(copy_tup.msg_id, copy_tup.tuple_id)
+                if not self._in_flush and self.faults.should_drop():
+                    if self.semantics == "exactly_once":
+                        # A loss is a task failure in this model: restore the
+                        # last checkpoint and abandon the in-flight message
+                        # (the rewound source will replay it).
+                        self._recover()
+                        raise _RecoveryTriggered
+                    continue  # lost in transit
+                self._queues[(consumer, task)].append(copy_tup)
+                metrics = self.metrics.components[f"bolt:{consumer}"]
+                depth = len(self._queues[(consumer, task)])
+                metrics.queue_high_water = max(metrics.queue_high_water, depth)
+
+    # -- spout side ----------------------------------------------------------
+
+    def _pull_spout(self) -> bool:
+        """Pull one payload from each non-throttled spout; True if any."""
+        pulled = False
+        throttled = any(len(q) >= self.max_queue for q in self._queues.values())
+        if throttled:
+            return False
+        for name, spout in self._spouts.items():
+            payload = spout.next_tuple()
+            if payload is None:
+                continue
+            pulled = True
+            self._source_pulls += 1
+            msg_id = getattr(spout, "last_offset", self._source_pulls)
+            root = StreamTuple(values=payload, msg_id=msg_id)
+            self.metrics.components[f"spout:{name}"].emitted += 1
+            if self._acker is not None:
+                if msg_id not in self._start_times:
+                    self._start_times[msg_id] = time.perf_counter()
+                self._acker.register(msg_id, 0)
+                # Registering with 0 then anchoring children tracks exactly
+                # the set of live descendants.
+            try:
+                self._route(name, root)
+            except _RecoveryTriggered:
+                continue
+            if (
+                self.semantics == "exactly_once"
+                and self._source_pulls % self.checkpoint_interval == 0
+            ):
+                self._take_checkpoint()
+        return pulled
+
+    # -- bolt side -----------------------------------------------------------
+
+    def _process_one(self) -> bool:
+        """Process one queued tuple (longest queue first); True if any."""
+        target = max(self._queues, key=lambda k: len(self._queues[k]), default=None)
+        if target is None or not self._queues[target]:
+            return False
+        name, task = target
+        tup = self._queues[target].popleft()
+        bolt = self._bolts[target]
+        emitted: list[StreamTuple] = []
+
+        def emit(*values):
+            emitted.append(
+                StreamTuple(values=values, msg_id=tup.msg_id, timestamp=tup.timestamp)
+            )
+
+        try:
+            bolt.process(tup.values, emit)
+        except Exception as exc:  # noqa: BLE001 - component errors are runtime
+            raise ExecutionError(f"bolt {name!r} failed on {tup.values!r}") from exc
+        self.metrics.components[f"bolt:{name}"].processed += 1
+        try:
+            for out in emitted:
+                self.metrics.components[f"bolt:{name}"].emitted += 1
+                self._route(name, out)
+        except _RecoveryTriggered:
+            return True
+        if self._acker is not None and tup.msg_id is not None:
+            done = self._acker.ack(tup.msg_id, tup.tuple_id)
+            if done:
+                self._complete(tup.msg_id)
+        if self.faults.note_processed():
+            self._crash()
+        return True
+
+    def _complete(self, msg_id: int) -> None:
+        self.metrics.components["spout:__all__"].acked += 1
+        started = self._start_times.pop(msg_id, None)
+        if started is not None:
+            self.metrics.record_latency(time.perf_counter() - started)
+        for spout in self._spouts.values():
+            spout.ack(msg_id)
+
+    # -- failure handling ------------------------------------------------
+
+    def _fail_pending(self) -> None:
+        """Fail every incomplete tuple tree (idle-time timeout)."""
+        assert self._acker is not None
+        for msg_id in list(self._acker._pending):
+            self._acker.fail(msg_id)
+            self._start_times.pop(msg_id, None)
+            self.metrics.components["spout:__all__"].failed += 1
+            replays = self._replay_counts.get(msg_id, 0)
+            if replays >= self.max_replays_per_message:
+                continue  # give up: poisoned/unlucky message
+            self._replay_counts[msg_id] = replays + 1
+            self.metrics.replays += 1
+            for spout in self._spouts.values():
+                spout.fail(msg_id)
+
+    def _take_checkpoint(self) -> None:
+        """Consistent snapshot: drain in-flight work, then copy all state."""
+        while self._process_one():
+            pass
+        self._checkpoint = {
+            "bolts": {
+                key: copy.deepcopy(bolt.snapshot()) for key, bolt in self._bolts.items()
+            },
+            "offsets": {name: spout.offset for name, spout in self._spouts.items()},
+        }
+        self.metrics.checkpoints += 1
+
+    def _recover(self) -> None:
+        """Restore the last checkpoint and rewind sources."""
+        self.metrics.recoveries += 1
+        for queue in self._queues.values():
+            queue.clear()
+        if self._acker is not None:
+            self._acker = Acker()
+        self._start_times.clear()
+        if self._checkpoint is None:
+            for key, bolt in self._bolts.items():
+                bolt.restore(None)
+            for spout in self._spouts.values():
+                spout.rewind(0)
+            return
+        for key, bolt in self._bolts.items():
+            bolt.restore(copy.deepcopy(self._checkpoint["bolts"][key]))
+        for name, spout in self._spouts.items():
+            spout.rewind(self._checkpoint["offsets"][name])
+
+    def _crash(self) -> None:
+        """Simulated worker crash."""
+        if self.semantics == "exactly_once":
+            self._recover()
+        else:
+            # Without checkpoints, a crash loses all in-flight tuples; bolt
+            # state is assumed externally durable (e.g. a store), as in
+            # Storm without Trident.
+            for queue in self._queues.values():
+                queue.clear()
+            if self._acker is not None:
+                self._fail_pending()
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> ExecutionMetrics:
+        """Execute until sources are exhausted and all work has settled."""
+        started = time.perf_counter()
+        idle_rounds = 0
+        while True:
+            progressed = self._pull_spout()
+            # Interleave: drain a burst of queued work per pull.
+            for __ in range(8):
+                if not self._process_one():
+                    break
+                progressed = True
+            if progressed:
+                idle_rounds = 0
+                continue
+            # Nothing to pull, nothing queued: settle reliability state.
+            if self._acker is not None and self._acker.n_pending:
+                self._fail_pending()
+                idle_rounds += 1
+                if idle_rounds > 3:
+                    break
+                continue
+            break
+        # End-of-stream: let bolts flush buffered output (windows etc.).
+        self._flush_bolts()
+        self.metrics.wall_seconds = time.perf_counter() - started
+        return self.metrics
+
+    def _flush_bolts(self) -> None:
+        # Flush in topological order so downstream bolts see upstream output.
+        self._in_flush = True
+        order = self._topological_bolt_order()
+        for name in order:
+            comp = self.topology.components[name]
+            for task in range(comp.parallelism):
+                bolt = self._bolts[(name, task)]
+                emitted: list[StreamTuple] = []
+
+                def emit(*values):
+                    emitted.append(StreamTuple(values=values, msg_id=None))
+
+                bolt.flush(emit)
+                try:
+                    for out in emitted:
+                        self._route(name, out)
+                except _RecoveryTriggered:
+                    continue
+                while self._process_one():
+                    pass
+
+    def _topological_bolt_order(self) -> list[str]:
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            comp = self.topology.components[name]
+            for src, __ in comp.inputs:
+                if src in self.topology.bolt_names:
+                    visit(src)
+            order.append(name)
+
+        for name in self.topology.bolt_names:
+            visit(name)
+        return order
+
+    # -- inspection ------------------------------------------------------
+
+    def bolt_instances(self, name: str) -> list:
+        """The live bolt instances for component *name* (post-run state)."""
+        comp = self.topology.components.get(name)
+        if comp is None or comp.kind != "bolt":
+            raise ParameterError(f"no bolt named {name!r}")
+        return [self._bolts[(name, task)] for task in range(comp.parallelism)]

@@ -1,0 +1,53 @@
+"""Fault injection: the lossy network / crashing worker simulator.
+
+The delivery-semantics benches need *controlled* imperfection ("stream
+imperfections ... are commonly present in data streams in production",
+Section 3). A :class:`FaultInjector` drops in-flight tuples with a given
+probability and/or schedules a worker crash after N processed tuples; the
+executor consults it on every hop.
+"""
+
+from __future__ import annotations
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_rng
+
+
+class FaultInjector:
+    """Deterministic (seeded) fault plan for one execution."""
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        crash_after: int | None = None,
+        seed: int = 0,
+    ):
+        if not 0 <= drop_probability < 1:
+            raise ParameterError("drop_probability must lie in [0, 1)")
+        if crash_after is not None and crash_after <= 0:
+            raise ParameterError("crash_after must be positive")
+        self.drop_probability = drop_probability
+        self.crash_after = crash_after
+        self._rng = make_rng(seed)
+        self.dropped = 0
+        self.crashes = 0
+        self._processed = 0
+
+    def should_drop(self) -> bool:
+        """Whether to lose the tuple currently in transit."""
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return True
+        return False
+
+    def note_processed(self) -> bool:
+        """Record one processed tuple; True when a crash should fire now."""
+        self._processed += 1
+        if self.crash_after is not None and self._processed >= self.crash_after:
+            self.crash_after = None  # one-shot
+            self.crashes += 1
+            return True
+        return False
+
+
+NO_FAULTS = FaultInjector()

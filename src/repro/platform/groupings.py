@@ -1,0 +1,60 @@
+"""Stream groupings: how tuples are routed between component instances.
+
+Storm's grouping vocabulary (Section 3): *shuffle* balances load,
+*fields* sends equal keys to the same task (required by stateful
+aggregations), *global* funnels everything to one task, *all* broadcasts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import hash64
+from repro.common.rng import make_rng
+from repro.platform.tuples import StreamTuple
+
+
+class Grouping(ABC):
+    """Chooses destination task indices for each tuple."""
+
+    @abstractmethod
+    def targets(self, tup: StreamTuple, n_tasks: int) -> list[int]:
+        """Task indices (in ``range(n_tasks)``) that receive *tup*."""
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin load balancing (deterministic given the seed)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = make_rng(seed)
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> list[int]:
+        return [self._rng.randrange(n_tasks)]
+
+
+class FieldsGrouping(Grouping):
+    """Hash-partition on a subset of value positions (key affinity)."""
+
+    def __init__(self, *indices: int):
+        if not indices:
+            raise ParameterError("fields grouping needs at least one field index")
+        self.indices = indices
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> list[int]:
+        key = tuple(tup.values[i] for i in self.indices)
+        return [hash64(key) % n_tasks]
+
+
+class GlobalGrouping(Grouping):
+    """Everything to task 0 (global aggregation point)."""
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> list[int]:
+        return [0]
+
+
+class AllGrouping(Grouping):
+    """Broadcast to every task (e.g. config/update distribution)."""
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> list[int]:
+        return list(range(n_tasks))

@@ -1,0 +1,52 @@
+"""In-memory append-only log — the Kafka stand-in.
+
+Samza "uses Kafka to manage the input and output streams" and inherits its
+persistence (Section 3); MillWheel checkpoints against BigTable. This log
+provides the same contract those substrates provide: durable append,
+replay from any offset, and truncation — enough to drive replay-based
+at-least-once and checkpoint-based exactly-once delivery in the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.exceptions import ParameterError
+
+
+class InMemoryLog:
+    """Append-only record log addressable by offset."""
+
+    def __init__(self):
+        self._records: list[Any] = []
+
+    def append(self, record: Any) -> int:
+        """Append *record*; returns its offset."""
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def append_many(self, records) -> None:
+        """Append every record in *records* in order."""
+        for record in records:
+            self.append(record)
+
+    def read(self, offset: int) -> Any:
+        """The record at *offset*."""
+        if not 0 <= offset < len(self._records):
+            raise ParameterError(f"offset {offset} out of range")
+        return self._records[offset]
+
+    def read_from(self, offset: int) -> Iterator[tuple[int, Any]]:
+        """Iterate ``(offset, record)`` pairs from *offset* to the end."""
+        if offset < 0:
+            raise ParameterError("offset must be non-negative")
+        for i in range(offset, len(self._records)):
+            yield i, self._records[i]
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the last record."""
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,67 @@
+"""Execution metrics: the observability layer every Table 2 system ships.
+
+Counters per component (emitted/processed/acked/failed), end-to-end
+latency samples summarised by a t-digest (so the report can quote p50/p99
+without storing every sample), and queue-depth high-water marks for
+backpressure analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.quantiles.tdigest import TDigest
+
+
+@dataclass
+class ComponentMetrics:
+    """Counters for one component."""
+
+    emitted: int = 0
+    processed: int = 0
+    acked: int = 0
+    failed: int = 0
+    queue_high_water: int = 0
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregated metrics for one topology run."""
+
+    components: dict[str, ComponentMetrics] = field(
+        default_factory=lambda: defaultdict(ComponentMetrics)
+    )
+    latency: TDigest = field(default_factory=lambda: TDigest(delta=100))
+    replays: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
+    wall_seconds: float = 0.0
+
+    def record_latency(self, seconds: float) -> None:
+        """Add one end-to-end latency sample (seconds)."""
+        self.latency.update(seconds)
+
+    def latency_quantile(self, q: float) -> float:
+        """Latency quantile in seconds (0 when nothing completed)."""
+        if self.latency.count == 0:
+            return 0.0
+        return self.latency.quantile(q)
+
+    def throughput(self) -> float:
+        """Source tuples per wall-clock second."""
+        emitted = sum(
+            m.emitted for name, m in self.components.items() if name.startswith("spout:")
+        )
+        return emitted / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Flat dict for reports."""
+        return {
+            "throughput_tps": round(self.throughput(), 1),
+            "latency_p50_ms": round(self.latency_quantile(0.5) * 1e3, 3),
+            "latency_p99_ms": round(self.latency_quantile(0.99) * 1e3, 3),
+            "replays": self.replays,
+            "checkpoints": self.checkpoints,
+            "recoveries": self.recoveries,
+        }

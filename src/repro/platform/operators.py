@@ -1,0 +1,204 @@
+"""Built-in bolts: the "common streaming operators" of Section 2.
+
+Filtering, transformation, keyed aggregation, time windows, joins and
+synopsis attachment — enough to express the benches' topologies (word
+count, trending hashtags, windowed aggregation) declaratively.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.common.exceptions import ParameterError
+from repro.platform.topology import Bolt
+from repro.windowing.windows import TumblingWindow
+
+
+class MapBolt(Bolt):
+    """Apply a function to each payload: ``emit(*fn(values))``.
+
+    *fn* returns the new payload tuple (or None to drop).
+    """
+
+    def __init__(self, fn: Callable[[tuple], tuple | None]):
+        self.fn = fn
+
+    def process(self, values: tuple, emit) -> None:
+        out = self.fn(values)
+        if out is not None:
+            emit(*out)
+
+
+class FlatMapBolt(Bolt):
+    """Apply a function producing zero or more payloads per input."""
+
+    def __init__(self, fn: Callable[[tuple], list[tuple]]):
+        self.fn = fn
+
+    def process(self, values: tuple, emit) -> None:
+        for out in self.fn(values):
+            emit(*out)
+
+
+class FilterBolt(Bolt):
+    """Pass through payloads satisfying the predicate."""
+
+    def __init__(self, predicate: Callable[[tuple], bool]):
+        self.predicate = predicate
+
+    def process(self, values: tuple, emit) -> None:
+        if self.predicate(values):
+            emit(*values)
+
+
+class CountBolt(Bolt):
+    """Keyed counting (word count): counts values[key_index] occurrences.
+
+    State is checkpointable, so the bolt is exactly-once safe. Each update
+    emits ``(key, count)``.
+    """
+
+    def __init__(self, key_index: int = 0, emit_updates: bool = True):
+        self.key_index = key_index
+        self.emit_updates = emit_updates
+        self.counts: dict[Any, int] = defaultdict(int)
+
+    def process(self, values: tuple, emit) -> None:
+        key = values[self.key_index]
+        self.counts[key] += 1
+        if self.emit_updates:
+            emit(key, self.counts[key])
+
+    def snapshot(self):
+        return dict(self.counts)
+
+    def restore(self, state) -> None:
+        self.counts = defaultdict(int, state or {})
+
+
+class SynopsisBolt(Bolt):
+    """Attach any library synopsis to a stream position.
+
+    ``factory`` builds the synopsis; ``extract`` maps a payload to the item
+    fed to ``synopsis.update`` (default: first element). The live synopsis
+    is available as ``.synopsis`` after the run; snapshots deep-copy it, so
+    sketch state participates in exactly-once checkpoints.
+    """
+
+    def __init__(self, factory: Callable[[], Any], extract: Callable[[tuple], Any] = None):
+        self.factory = factory
+        self.extract = extract or (lambda values: values[0])
+        self.synopsis = factory()
+
+    def process(self, values: tuple, emit) -> None:
+        self.synopsis.update(self.extract(values))
+
+    def snapshot(self):
+        import copy
+
+        return copy.deepcopy(self.synopsis)
+
+    def restore(self, state) -> None:
+        import copy
+
+        self.synopsis = copy.deepcopy(state) if state is not None else self.factory()
+
+
+class TumblingWindowBolt(Bolt):
+    """Group ``(timestamp, value)`` payloads into tumbling windows.
+
+    Emits ``(window_start, window_end, aggregate)`` per closed window,
+    where *aggregate* is ``agg(list_of_values)``.
+    """
+
+    def __init__(self, size: float, agg: Callable[[list], Any] = len):
+        if size <= 0:
+            raise ParameterError("window size must be positive")
+        self.size = size
+        self.agg = agg
+        self._window = TumblingWindow(size)
+
+    def process(self, values: tuple, emit) -> None:
+        timestamp, value = values[0], values[1]
+        for window in self._window.add(float(timestamp), value):
+            emit(window.start, window.end, self.agg(list(window.items)))
+
+    def flush(self, emit) -> None:
+        for window in self._window.flush():
+            emit(window.start, window.end, self.agg(list(window.items)))
+
+    def snapshot(self):
+        import copy
+
+        return copy.deepcopy(self._window)
+
+    def restore(self, state) -> None:
+        import copy
+
+        self._window = copy.deepcopy(state) if state is not None else TumblingWindow(self.size)
+
+
+class JoinBolt(Bolt):
+    """Hash join of two keyed streams within a per-key buffer.
+
+    Payloads are ``(side, key, value)`` with side 0 or 1; on a match the
+    bolt emits ``(key, left_value, right_value)`` for every buffered
+    counterpart (one-to-many streaming equi-join, Photon-style).
+    """
+
+    def __init__(self, buffer_limit: int = 10_000):
+        if buffer_limit <= 0:
+            raise ParameterError("buffer_limit must be positive")
+        self.buffer_limit = buffer_limit
+        self._buffers: tuple[dict, dict] = (defaultdict(list), defaultdict(list))
+        self._buffered = 0
+
+    def process(self, values: tuple, emit) -> None:
+        side, key, value = values
+        if side not in (0, 1):
+            raise ParameterError("join side must be 0 or 1")
+        other = self._buffers[1 - side]
+        for counterpart in other.get(key, ()):
+            left, right = (value, counterpart) if side == 0 else (counterpart, value)
+            emit(key, left, right)
+        if self._buffered < self.buffer_limit:
+            self._buffers[side][key].append(value)
+            self._buffered += 1
+
+    def snapshot(self):
+        return (
+            {k: list(v) for k, v in self._buffers[0].items()},
+            {k: list(v) for k, v in self._buffers[1].items()},
+            self._buffered,
+        )
+
+    def restore(self, state) -> None:
+        if state is None:
+            self._buffers = (defaultdict(list), defaultdict(list))
+            self._buffered = 0
+        else:
+            left, right, buffered = state
+            self._buffers = (defaultdict(list, left), defaultdict(list, right))
+            self._buffered = buffered
+
+
+class CollectorBolt(Bolt):
+    """Terminal sink buffering everything it receives.
+
+    The buffer is checkpointed state, which makes the sink transactional:
+    after an exactly-once recovery, outputs since the last checkpoint are
+    rolled back rather than duplicated.
+    """
+
+    def __init__(self):
+        self.results: list[tuple] = []
+
+    def process(self, values: tuple, emit) -> None:
+        self.results.append(values)
+
+    def snapshot(self):
+        return list(self.results)
+
+    def restore(self, state) -> None:
+        self.results = list(state or [])

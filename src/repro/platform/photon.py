@@ -1,0 +1,128 @@
+"""Photon-style fault-tolerant joining of continuous streams.
+
+[Ananthanarayanan et al., SIGMOD 2013 — cited in the paper's platform
+survey]: Google's Photon joins the query log with the click log
+exactly-once despite worker restarts. The keys of the design reproduced
+here:
+
+* the *primary* stream (clicks) drives the join; the *secondary* stream
+  (queries) is an indexed lookup;
+* an **IdRegistry** — a durable set of already-joined primary ids — makes
+  the join idempotent: a replayed click is recognised and skipped;
+* unmatched primaries wait (bounded) for their secondary to arrive
+  (out-of-order tolerance), and give up after ``timeout`` ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.platform.log import InMemoryLog
+
+
+@dataclass(frozen=True)
+class Joined:
+    """One join output: the primary record enriched with its secondary."""
+
+    key: Hashable
+    primary: Any
+    secondary: Any
+
+
+class IdRegistry:
+    """Durable registry of joined primary ids (the Photon dedup core).
+
+    ``claim(id)`` returns True exactly once per id — the idempotence
+    primitive that makes replays safe.
+    """
+
+    def __init__(self):
+        self._ids: set[Hashable] = set()
+
+    def claim(self, primary_id: Hashable) -> bool:
+        """Claim *primary_id*; True exactly once per id."""
+        if primary_id in self._ids:
+            return False
+        self._ids.add(primary_id)
+        return True
+
+    def __contains__(self, primary_id: Hashable) -> bool:
+        return primary_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class PhotonJoiner:
+    """Exactly-once stream-stream join with an id registry.
+
+    ``add_secondary(key, record)`` indexes the lookup stream;
+    ``add_primary(id, key, record)`` attempts the join. Unmatched
+    primaries are parked and retried as secondaries arrive; ``tick()``
+    ages parked primaries and drops them after ``timeout`` ticks
+    (recorded in ``expired``). Join outputs append to an output log, so
+    downstream consumption is replayable.
+    """
+
+    def __init__(self, timeout: int = 100, output: InMemoryLog | None = None):
+        if timeout <= 0:
+            raise ParameterError("timeout must be positive")
+        self.timeout = timeout
+        self.output = output if output is not None else InMemoryLog()
+        self.registry = IdRegistry()
+        self.expired: list[Hashable] = []
+        self.duplicates_skipped = 0
+        self._secondary: dict[Hashable, Any] = {}
+        self._waiting: dict[Hashable, tuple[Hashable, Any, int]] = {}  # id -> (key, rec, age)
+
+    def add_secondary(self, key: Hashable, record: Any) -> list[Joined]:
+        """Index a secondary record; joins any parked primaries for *key*."""
+        self._secondary[key] = record
+        out = []
+        for pid, (k, primary, __) in list(self._waiting.items()):
+            if k == key:
+                del self._waiting[pid]
+                joined = self._emit(pid, key, primary, record)
+                if joined is not None:
+                    out.append(joined)
+        return out
+
+    def add_primary(self, primary_id: Hashable, key: Hashable, record: Any) -> Joined | None:
+        """Attempt to join a primary record (idempotent by *primary_id*)."""
+        if primary_id in self.registry:
+            self.duplicates_skipped += 1
+            return None
+        if key in self._secondary:
+            return self._emit(primary_id, key, record, self._secondary[key])
+        if primary_id not in self._waiting:
+            self._waiting[primary_id] = (key, record, 0)
+        return None
+
+    def _emit(self, primary_id, key, primary, secondary) -> Joined | None:
+        if not self.registry.claim(primary_id):
+            self.duplicates_skipped += 1
+            return None
+        joined = Joined(key=key, primary=primary, secondary=secondary)
+        self.output.append(joined)
+        return joined
+
+    def tick(self) -> None:
+        """Advance the out-of-order clock; expire overdue parked primaries."""
+        for pid in list(self._waiting):
+            key, record, age = self._waiting[pid]
+            if age + 1 >= self.timeout:
+                del self._waiting[pid]
+                self.expired.append(pid)
+            else:
+                self._waiting[pid] = (key, record, age + 1)
+
+    @property
+    def pending(self) -> int:
+        """Primaries parked waiting for their secondary."""
+        return len(self._waiting)
+
+    @property
+    def joined_count(self) -> int:
+        return len(self.output)

@@ -1,0 +1,170 @@
+"""A streaming rule engine (footnote 1 of the paper).
+
+"A rule engine typically accepts condition/action pairs ... As streaming
+data enters the system, it is immediately matched against the existing
+rules. When the condition of a rule is matched, the rule is said to
+'fire'. The corresponding actions may produce alerts/outputs to external
+applications or may simply modify the state of internal variables, which
+may in turn lead to further rule firings."
+
+This module implements exactly that contract: record rules match each
+arriving record, actions can emit alerts, derive new records (re-matched,
+depth-capped) and mutate engine state; state rules fire when the state
+they watch changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.exceptions import ExecutionError, ParameterError
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An externally visible rule firing."""
+
+    rule: str
+    message: str
+    record: Any = None
+
+
+class RuleContext:
+    """What an action can do: alert, emit derived records, mutate state."""
+
+    def __init__(self, engine: "RuleEngine"):
+        self._engine = engine
+        self.emitted: list[Any] = []
+        self.alerts: list[Alert] = []
+
+    def alert(self, rule: str, message: str, record: Any = None) -> None:
+        """Raise an alert visible in ``engine.alerts``."""
+        self.alerts.append(Alert(rule=rule, message=message, record=record))
+
+    def emit(self, record: Any) -> None:
+        """Derive a new record; it will be matched against all rules."""
+        self.emitted.append(record)
+
+    def set_state(self, key: str, value: Any) -> None:
+        """Mutate engine state (may trigger state rules)."""
+        self._engine._pending_state[key] = value
+
+    def get_state(self, key: str, default: Any = None) -> Any:
+        """Read engine state (pending writes are visible next round)."""
+        return self._engine.state.get(key, default)
+
+
+@dataclass
+class Rule:
+    """One condition/action pair.
+
+    ``condition(record, state) -> bool``; ``action(record, ctx)``.
+    ``on`` is ``"record"`` (matched per arriving/derived record) or
+    ``"state"`` (matched when state changes; record is None).
+    """
+
+    name: str
+    condition: Callable[[Any, dict], bool]
+    action: Callable[[Any, RuleContext], None]
+    priority: int = 0
+    on: str = "record"
+
+    def __post_init__(self):
+        if self.on not in ("record", "state"):
+            raise ParameterError("rule 'on' must be 'record' or 'state'")
+
+
+class RuleEngine:
+    """Priority-ordered forward-chaining rule evaluation over a stream."""
+
+    def __init__(self, max_depth: int = 8):
+        if max_depth <= 0:
+            raise ParameterError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.state: dict[str, Any] = {}
+        self.alerts: list[Alert] = []
+        self.fired: dict[str, int] = {}
+        self._rules: list[Rule] = []
+        self._pending_state: dict[str, Any] = {}
+
+    def add_rule(self, rule: Rule) -> "RuleEngine":
+        """Register *rule*; duplicate names are rejected."""
+        if any(r.name == rule.name for r in self._rules):
+            raise ParameterError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: -r.priority)
+        return self
+
+    def when(
+        self,
+        name: str,
+        condition: Callable[[Any, dict], bool],
+        action: Callable[[Any, RuleContext], None],
+        priority: int = 0,
+    ) -> "RuleEngine":
+        """Convenience: add a record rule."""
+        return self.add_rule(Rule(name, condition, action, priority=priority))
+
+    def on_state(
+        self,
+        name: str,
+        condition: Callable[[Any, dict], bool],
+        action: Callable[[Any, RuleContext], None],
+        priority: int = 0,
+    ) -> "RuleEngine":
+        """Convenience: add a state rule."""
+        return self.add_rule(Rule(name, condition, action, priority=priority, on="state"))
+
+    def process(self, record: Any) -> list[Alert]:
+        """Match *record* (and any derived records / state changes) against
+        all rules; returns the alerts raised by this record."""
+        produced: list[Alert] = []
+        queue: list[tuple[Any, int]] = [(record, 0)]
+        while queue:
+            current, depth = queue.pop(0)
+            if depth > self.max_depth:
+                raise ExecutionError(
+                    f"rule chain exceeded max depth {self.max_depth} "
+                    "(cyclic emits?)"
+                )
+            ctx = RuleContext(self)
+            for rule in self._rules:
+                if rule.on != "record":
+                    continue
+                if rule.condition(current, self.state):
+                    self.fired[rule.name] = self.fired.get(rule.name, 0) + 1
+                    rule.action(current, ctx)
+            produced.extend(ctx.alerts)
+            queue.extend((r, depth + 1) for r in ctx.emitted)
+            produced.extend(self._apply_state_changes(depth))
+        self.alerts.extend(produced)
+        return produced
+
+    def _apply_state_changes(self, depth: int) -> list[Alert]:
+        out: list[Alert] = []
+        rounds = 0
+        while self._pending_state:
+            rounds += 1
+            if rounds > self.max_depth:
+                raise ExecutionError("state-rule chain exceeded max depth")
+            changes, self._pending_state = self._pending_state, {}
+            self.state.update(changes)
+            ctx = RuleContext(self)
+            for rule in self._rules:
+                if rule.on != "state":
+                    continue
+                if rule.condition(None, self.state):
+                    self.fired[rule.name] = self.fired.get(rule.name, 0) + 1
+                    rule.action(None, ctx)
+            out.extend(ctx.alerts)
+            for record in ctx.emitted:
+                self.process(record)  # derived records re-enter matching
+        return out
+
+    def process_many(self, records) -> list[Alert]:
+        """Process every record; returns all alerts raised."""
+        out: list[Alert] = []
+        for record in records:
+            out.extend(self.process(record))
+        return out

@@ -1,0 +1,110 @@
+"""S4-style keyed processing elements (PEs).
+
+Table 2 / Section 3 on S4: "S4 streaming applications are modeled as a
+graph with vertices representing computation (processing elements) ...
+events are routed to the appropriate nodes according to their key." The
+defining trait versus Storm's bolts: a PE instance exists **per key
+value**, created lazily on the first event for that key and reclaimed when
+idle — the pattern this module reproduces, including S4's lossy
+eviction-under-pressure behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Hashable
+
+from repro.common.exceptions import ParameterError
+
+
+class ProcessingElement(ABC):
+    """User logic bound to a single key value.
+
+    One instance handles every event for its key; per-key state is plain
+    instance attributes. ``on_event`` may emit ``(stream, key, value)``
+    triples downstream via the supplied callable.
+    """
+
+    def __init__(self, key: Hashable):
+        self.key = key
+
+    @abstractmethod
+    def on_event(self, value: Any, emit: Callable[[str, Hashable, Any], None]) -> None:
+        """Handle one event for this PE's key."""
+
+    def on_evict(self) -> None:
+        """Called when the container reclaims this PE (flush side state)."""
+
+
+class PEContainer:
+    """An S4 node: lazily instantiates one PE per (prototype, key).
+
+    ``prototype(stream)`` registers a PE class for a stream name. Events
+    are dispatched as ``process(stream, key, value)``; unknown streams are
+    dropped (S4's best-effort posture). A bounded PE budget evicts the
+    least-recently-used instances, which is precisely how S4 sheds state
+    under pressure (and why its delivery is at-most-once).
+    """
+
+    def __init__(self, max_pes: int = 10_000):
+        if max_pes <= 0:
+            raise ParameterError("max_pes must be positive")
+        self.max_pes = max_pes
+        self.events = 0
+        self.evictions = 0
+        self._prototypes: dict[str, Callable[[Hashable], ProcessingElement]] = {}
+        self._instances: dict[tuple[str, Hashable], ProcessingElement] = {}
+        self._lru: dict[tuple[str, Hashable], int] = {}
+        self._clock = 0
+        self._emitted: list[tuple[str, Hashable, Any]] = []
+
+    def prototype(
+        self, stream: str, factory: Callable[[Hashable], ProcessingElement]
+    ) -> "PEContainer":
+        """Register *factory* as the PE prototype for *stream*."""
+        if stream in self._prototypes:
+            raise ParameterError(f"stream {stream!r} already has a prototype")
+        self._prototypes[stream] = factory
+        return self
+
+    def process(self, stream: str, key: Hashable, value: Any) -> None:
+        """Route one keyed event to its PE (creating it if needed)."""
+        self.events += 1
+        factory = self._prototypes.get(stream)
+        if factory is None:
+            return  # S4 drops events with no consumer
+        slot = (stream, key)
+        pe = self._instances.get(slot)
+        if pe is None:
+            pe = factory(key)
+            self._instances[slot] = pe
+            if len(self._instances) > self.max_pes:
+                self._evict_lru()
+        self._clock += 1
+        self._lru[slot] = self._clock
+        pe.on_event(value, self._emit)
+        # Deliver anything the PE emitted (depth-first, like S4's local path).
+        while self._emitted:
+            out_stream, out_key, out_value = self._emitted.pop(0)
+            self.process(out_stream, out_key, out_value)
+
+    def _emit(self, stream: str, key: Hashable, value: Any) -> None:
+        self._emitted.append((stream, key, value))
+
+    def _evict_lru(self) -> None:
+        victim = min(self._lru, key=self._lru.get)
+        self._instances.pop(victim).on_evict()
+        del self._lru[victim]
+        self.evictions += 1
+
+    def get_pe(self, stream: str, key: Hashable) -> ProcessingElement | None:
+        """The live PE for (stream, key), if instantiated."""
+        return self._instances.get((stream, key))
+
+    def pes_for(self, stream: str) -> list[ProcessingElement]:
+        """All live PEs of one prototype."""
+        return [pe for (s, __), pe in self._instances.items() if s == stream]
+
+    @property
+    def n_instances(self) -> int:
+        return len(self._instances)

@@ -1,0 +1,299 @@
+"""A Pulsar-style streaming SQL interface.
+
+Table 2 highlights eBay's Pulsar for letting "non-technical business
+folks" express real-time analytics as SQL instead of topology code. This
+module provides that surface over the library: a small SQL dialect is
+compiled into synopsis-backed incremental operators.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT <item> [, <item> ...]
+    FROM stream
+    [WHERE <column> <op> <literal> [AND ...]]        op: = != < <= > >=
+    [GROUP BY <column>]
+    [WINDOW TUMBLING <seconds>]                      requires a 'timestamp' field
+
+Select items: a plain column (must be the GROUP BY column), or one of
+``COUNT(*)``, ``SUM(col)``, ``AVG(col)``, ``MIN(col)``, ``MAX(col)``,
+``APPROX_DISTINCT(col)``, ``APPROX_QUANTILE(col, q)``,
+``APPROX_TOPK(col, k)``.
+
+Usage::
+
+    q = StreamingQuery("SELECT page, COUNT(*), APPROX_DISTINCT(user) "
+                       "FROM stream GROUP BY page")
+    for record in events:          # records are dicts
+        q.update(record)
+    q.results()                    # -> list of result rows (dicts)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.common.exceptions import ParameterError
+from repro.cardinality.hyperloglog import HyperLogLog
+from repro.frequency.space_saving import SpaceSaving
+from repro.quantiles.tdigest import TDigest
+
+_AGG_RE = re.compile(
+    r"^(?P<fn>COUNT|SUM|AVG|MIN|MAX|APPROX_DISTINCT|APPROX_QUANTILE|APPROX_TOPK)"
+    r"\(\s*(?P<args>[^)]*)\s*\)$",
+    re.IGNORECASE,
+)
+_WHERE_RE = re.compile(
+    r"^(?P<col>\w+)\s*(?P<op>!=|>=|<=|=|<|>)\s*(?P<lit>.+)$"
+)
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _parse_literal(text: str) -> Any:
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ParameterError(f"cannot parse literal {text!r}")
+
+
+class _Aggregate:
+    """One aggregate column: state factory + update + finalize."""
+
+    def __init__(self, fn: str, args: str, seed: int):
+        self.fn = fn.upper()
+        parts = [a.strip() for a in args.split(",")] if args.strip() else []
+        self.label = f"{self.fn}({args.strip()})" if args.strip() else f"{self.fn}(*)"
+        self.column = None
+        self.param = None
+        if self.fn == "COUNT":
+            if parts not in ([], ["*"]):
+                raise ParameterError("COUNT takes only '*'")
+        elif self.fn in ("SUM", "AVG", "MIN", "MAX", "APPROX_DISTINCT"):
+            if len(parts) != 1:
+                raise ParameterError(f"{self.fn} takes exactly one column")
+            self.column = parts[0]
+        elif self.fn in ("APPROX_QUANTILE", "APPROX_TOPK"):
+            if len(parts) != 2:
+                raise ParameterError(f"{self.fn} takes (column, parameter)")
+            self.column = parts[0]
+            self.param = float(parts[1])
+            if self.fn == "APPROX_QUANTILE" and not 0 <= self.param <= 1:
+                raise ParameterError("quantile must lie in [0, 1]")
+            if self.fn == "APPROX_TOPK" and self.param < 1:
+                raise ParameterError("top-k count must be >= 1")
+        else:  # pragma: no cover - regex restricts fn
+            raise ParameterError(f"unknown aggregate {self.fn}")
+        self._seed = seed
+
+    def new_state(self) -> Any:
+        if self.fn == "COUNT":
+            return 0
+        if self.fn == "SUM":
+            return 0.0
+        if self.fn == "AVG":
+            return [0.0, 0]
+        if self.fn in ("MIN", "MAX"):
+            return None
+        if self.fn == "APPROX_DISTINCT":
+            return HyperLogLog(precision=12, seed=self._seed)
+        if self.fn == "APPROX_QUANTILE":
+            return TDigest(delta=100)
+        return SpaceSaving(k=max(64, int(self.param) * 8))  # APPROX_TOPK
+
+    def update(self, state: Any, record: dict) -> Any:
+        if self.fn == "COUNT":
+            return state + 1
+        value = record.get(self.column)
+        if value is None:
+            raise ParameterError(f"record missing column {self.column!r}")
+        if self.fn == "SUM":
+            return state + value
+        if self.fn == "AVG":
+            state[0] += value
+            state[1] += 1
+            return state
+        if self.fn == "MIN":
+            return value if state is None else min(state, value)
+        if self.fn == "MAX":
+            return value if state is None else max(state, value)
+        state.update(value)
+        return state
+
+    def finalize(self, state: Any) -> Any:
+        if self.fn == "AVG":
+            return state[0] / state[1] if state[1] else 0.0
+        if self.fn == "APPROX_DISTINCT":
+            return round(state.estimate())
+        if self.fn == "APPROX_QUANTILE":
+            return state.quantile(self.param)
+        if self.fn == "APPROX_TOPK":
+            return state.top(int(self.param))
+        return state
+
+
+class StreamingQuery:
+    """A compiled streaming SQL query; feed records, read results."""
+
+    def __init__(self, sql: str, seed: int = 0):
+        self.sql = sql
+        self._seed = seed
+        self._parse(sql)
+        # group key -> [aggregate states]
+        self._groups: dict[Any, list[Any]] = {}
+        self._window_start: float | None = None
+        self._closed_windows: list[dict] = []
+
+    # -- parsing -------------------------------------------------------------
+
+    def _parse(self, sql: str) -> None:
+        text = " ".join(sql.strip().rstrip(";").split())
+        pattern = re.compile(
+            r"^SELECT\s+(?P<select>.+?)\s+FROM\s+stream"
+            r"(?:\s+WHERE\s+(?P<where>.+?))?"
+            r"(?:\s+GROUP\s+BY\s+(?P<group>\w+))?"
+            r"(?:\s+WINDOW\s+TUMBLING\s+(?P<window>[\d.]+))?$",
+            re.IGNORECASE,
+        )
+        match = pattern.match(text)
+        if not match:
+            raise ParameterError(f"cannot parse query: {sql!r}")
+        self.group_by = match.group("group")
+        self.window = float(match.group("window")) if match.group("window") else None
+        if self.window is not None and self.window <= 0:
+            raise ParameterError("window length must be positive")
+
+        self._filters: list[tuple[str, Callable, Any]] = []
+        if match.group("where"):
+            for clause in re.split(r"\s+AND\s+", match.group("where"), flags=re.IGNORECASE):
+                cond = _WHERE_RE.match(clause.strip())
+                if not cond:
+                    raise ParameterError(f"cannot parse WHERE clause {clause!r}")
+                self._filters.append(
+                    (cond.group("col"), _OPS[cond.group("op")], _parse_literal(cond.group("lit")))
+                )
+
+        self.aggregates: list[_Aggregate] = []
+        self.select_columns: list[str] = []
+        for item in self._split_select(match.group("select")):
+            agg = _AGG_RE.match(item)
+            if agg:
+                self.aggregates.append(
+                    _Aggregate(agg.group("fn"), agg.group("args"), self._seed)
+                )
+            else:
+                if not re.fullmatch(r"\w+", item):
+                    raise ParameterError(f"cannot parse select item {item!r}")
+                self.select_columns.append(item)
+        if not self.aggregates:
+            raise ParameterError("query must contain at least one aggregate")
+        for col in self.select_columns:
+            if col != self.group_by:
+                raise ParameterError(
+                    f"plain column {col!r} must be the GROUP BY column"
+                )
+
+    @staticmethod
+    def _split_select(select: str) -> list[str]:
+        items, depth, current = [], 0, []
+        for ch in select:
+            if ch == "," and depth == 0:
+                items.append("".join(current).strip())
+                current = []
+                continue
+            depth += ch == "("
+            depth -= ch == ")"
+            current.append(ch)
+        items.append("".join(current).strip())
+        return [i for i in items if i]
+
+    # -- execution -------------------------------------------------------
+
+    def update(self, record: dict) -> None:
+        """Feed one record (a dict of column -> value)."""
+        if self.window is not None:
+            ts = record.get("timestamp")
+            if ts is None:
+                raise ParameterError("windowed queries need a 'timestamp' field")
+            if self._window_start is None:
+                self._window_start = (ts // self.window) * self.window
+            while ts >= self._window_start + self.window:
+                self._close_window()
+                self._window_start += self.window
+        for col, op, literal in self._filters:
+            if col not in record or not op(record[col], literal):
+                return
+        key = record[self.group_by] if self.group_by else None
+        states = self._groups.get(key)
+        if states is None:
+            states = [agg.new_state() for agg in self.aggregates]
+            self._groups[key] = states
+        for i, agg in enumerate(self.aggregates):
+            states[i] = agg.update(states[i], record)
+
+    def update_many(self, records) -> None:
+        """Feed every record in *records* in order."""
+        for record in records:
+            self.update(record)
+
+    def _rows(self) -> list[dict]:
+        rows = []
+        for key, states in self._groups.items():
+            row: dict[str, Any] = {}
+            if self.group_by:
+                row[self.group_by] = key
+            for agg, state in zip(self.aggregates, states):
+                row[agg.label] = agg.finalize(state)
+            rows.append(row)
+        return rows
+
+    def _close_window(self) -> None:
+        if self._groups:
+            self._closed_windows.append(
+                {
+                    "window_start": self._window_start,
+                    "window_end": self._window_start + self.window,
+                    "rows": self._rows(),
+                }
+            )
+        self._groups = {}
+
+    def results(self) -> list[dict]:
+        """Current result rows (unwindowed queries) — callable at any time."""
+        if self.window is not None:
+            raise ParameterError("windowed queries: use windows() after flush()")
+        return self._rows()
+
+    def flush(self) -> None:
+        """Close the in-progress window at end of stream."""
+        if self.window is not None and self._groups:
+            self._close_window()
+
+    def windows(self) -> list[dict]:
+        """Closed windows, each with window bounds and result rows."""
+        if self.window is None:
+            raise ParameterError("not a windowed query; use results()")
+        return list(self._closed_windows)
+
+
+def query(sql: str, records, seed: int = 0) -> list[dict]:
+    """One-shot convenience: run *sql* over *records* and return rows."""
+    q = StreamingQuery(sql, seed=seed)
+    q.update_many(records)
+    if q.window is not None:
+        q.flush()
+        return q.windows()
+    return q.results()

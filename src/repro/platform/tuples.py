@@ -1,0 +1,51 @@
+"""The tuple model: the unit of data flowing through a topology.
+
+Mirrors Storm's model (Section 3): a tuple carries a payload of named
+values, belongs to a stream, and—when reliability is on—an anchor tree
+rooted at a spout message id so the acker can track completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.rng import derive_seed
+
+_tuple_counter = itertools.count(1)
+
+
+def next_tuple_id() -> int:
+    """Globally unique, well-scrambled 64-bit tuple id.
+
+    Ids must look random: the acker tracks tuple trees as the XOR of their
+    member ids, and sequential ids would make accidental cancellation
+    (``id1 ^ id2 == id3``) likely, silently completing incomplete trees.
+    Storm uses random 64-bit ids for the same reason; SplitMix64 over a
+    counter gives the same collision behaviour deterministically.
+    """
+    return derive_seed(0x7CB1E5, next(_tuple_counter))
+
+
+@dataclass
+class StreamTuple:
+    """One message in flight.
+
+    ``values`` is the payload; ``msg_id`` identifies the *root* spout
+    message this tuple descends from (None when reliability is off);
+    ``anchors`` are the acker-tracked tuple ids this tuple is anchored to.
+    """
+
+    values: tuple
+    stream: str = "default"
+    msg_id: int | None = None
+    tuple_id: int = field(default_factory=next_tuple_id)
+    anchors: tuple[int, ...] = ()
+    timestamp: float = 0.0
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)

@@ -1,0 +1,18 @@
+"""Stream prediction and missing-value imputation.
+
+Table 1 row "Data Prediction" — predict missing values in a data stream
+(application: sensor data analysis).
+"""
+
+from repro.prediction.ar import OnlineAR
+from repro.prediction.holt_winters import HoltWinters
+from repro.prediction.kalman import KalmanFilter, LocalTrendFilter
+from repro.prediction.ukf import UnscentedKalmanFilter
+
+__all__ = [
+    "HoltWinters",
+    "KalmanFilter",
+    "LocalTrendFilter",
+    "OnlineAR",
+    "UnscentedKalmanFilter",
+]

@@ -1,0 +1,82 @@
+"""Online autoregressive forecasting via recursive least squares.
+
+The adaptive-forecasting approach of "APForecast: an adaptive forecasting
+method for data streams" [Wang et al. 2005, cited in Table 1]: fit an AR(p)
+model whose coefficients adapt with every arrival using RLS with a
+forgetting factor — O(p^2) per update, no batch refits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class OnlineAR(SynopsisBase):
+    """AR(p) one-step forecaster with RLS coefficient adaptation."""
+
+    def __init__(self, order: int = 4, forgetting: float = 0.995, delta: float = 100.0):
+        if order <= 0:
+            raise ParameterError("order must be positive")
+        if not 0 < forgetting <= 1:
+            raise ParameterError("forgetting factor must lie in (0, 1]")
+        if delta <= 0:
+            raise ParameterError("delta must be positive")
+        self.order = order
+        self.forgetting = forgetting
+        self.count = 0
+        self.last_error = 0.0
+        self._history: deque[float] = deque(maxlen=order)
+        self._w = np.zeros(order + 1)  # AR coefficients + intercept
+        self._p = np.eye(order + 1) * delta  # inverse correlation matrix
+        # Covariance windup guard: with a forgetting factor < 1 and weak
+        # excitation, P grows as 1/lambda^n and the filter destabilises;
+        # rescaling P when its trace passes this cap is the standard remedy.
+        self._trace_cap = delta * (order + 1) * 10.0
+
+    def _features(self) -> np.ndarray:
+        lags = list(self._history)
+        lags = [0.0] * (self.order - len(lags)) + lags
+        return np.array(lags[::-1] + [1.0])  # most recent lag first + bias
+
+    def predict_next(self) -> float:
+        """Forecast of the next value given the current lag window."""
+        return float(self._w @ self._features())
+
+    def update(self, item: float) -> None:
+        """Observe *item*: adapt coefficients against the prior forecast."""
+        value = float(item)
+        self.count += 1
+        if len(self._history) == self.order:
+            phi = self._features()
+            error = value - float(self._w @ phi)
+            self.last_error = error
+            lam = self.forgetting
+            p_phi = self._p @ phi
+            gain = p_phi / (lam + float(phi @ p_phi))
+            self._w = self._w + gain * error
+            self._p = (self._p - np.outer(gain, p_phi)) / lam
+            # RLS numerical hygiene: keep P symmetric, cap windup, and
+            # reset outright if positive-definiteness is lost.
+            self._p = (self._p + self._p.T) / 2.0
+            trace = float(np.trace(self._p))
+            if trace > self._trace_cap:
+                self._p *= self._trace_cap / trace
+            elif trace <= 0 or not np.isfinite(trace):
+                self._p = np.eye(self.order + 1) * (self._trace_cap / (self.order + 1))
+        self._history.append(value)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Current AR coefficients (lag-1 first) followed by the intercept."""
+        return self._w.copy()
+
+    def _merge_key(self) -> tuple:
+        return (self.order, self.forgetting)
+
+    def _merge_into(self, other: "OnlineAR") -> None:
+        raise NotImplementedError("RLS state is order-sensitive; not mergeable")

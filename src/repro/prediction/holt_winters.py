@@ -1,0 +1,85 @@
+"""Holt–Winters triple exponential smoothing (additive seasonality).
+
+Online level/trend/seasonality decomposition for metrics with a daily or
+weekly cycle — the model behind most production "expected value" bands for
+business-metric dashboards (the paper's real-time-visualisation use case).
+"""
+
+from __future__ import annotations
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class HoltWinters(SynopsisBase):
+    """Additive Holt–Winters forecaster with season length *period*."""
+
+    def __init__(
+        self,
+        period: int,
+        alpha: float = 0.2,
+        beta: float = 0.05,
+        gamma: float = 0.1,
+    ):
+        if period <= 1:
+            raise ParameterError("period must exceed 1")
+        for name, v in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0 < v < 1:
+                raise ParameterError(f"{name} must lie in (0, 1)")
+        self.period = period
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.count = 0
+        self.level = 0.0
+        self.trend = 0.0
+        self._season = [0.0] * period
+        self._warmup: list[float] = []
+
+    def _initialise(self) -> None:
+        first = self._warmup[: self.period]
+        second = self._warmup[self.period : 2 * self.period]
+        mean1 = sum(first) / self.period
+        mean2 = sum(second) / self.period
+        self.level = mean2
+        self.trend = (mean2 - mean1) / self.period
+        for i in range(self.period):
+            self._season[i] = (first[i] - mean1 + second[i] - mean2) / 2.0
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        if self.count < 2 * self.period:
+            self._warmup.append(value)
+            self.count += 1
+            if self.count == 2 * self.period:
+                self._initialise()
+            return
+        i = self.count % self.period
+        seasonal = self._season[i]
+        prev_level = self.level
+        self.level = self.alpha * (value - seasonal) + (1 - self.alpha) * (
+            self.level + self.trend
+        )
+        self.trend = self.beta * (self.level - prev_level) + (1 - self.beta) * self.trend
+        self._season[i] = self.gamma * (value - self.level) + (1 - self.gamma) * seasonal
+        self.count += 1
+
+    def forecast(self, steps: int = 1) -> float:
+        """Forecast *steps* ahead (requires 2 warm-up periods)."""
+        if steps <= 0:
+            raise ParameterError("steps must be positive")
+        if self.count < 2 * self.period:
+            raise ParameterError("forecaster still warming up (needs 2 periods)")
+        i = (self.count + steps - 1) % self.period
+        return self.level + steps * self.trend + self._season[i]
+
+    @property
+    def ready(self) -> bool:
+        """Whether warm-up is complete and forecasts are available."""
+        return self.count >= 2 * self.period
+
+    def _merge_key(self) -> tuple:
+        return (self.period, self.alpha, self.beta, self.gamma)
+
+    def _merge_into(self, other: "HoltWinters") -> None:
+        raise NotImplementedError("smoothing state is order-sensitive; not mergeable")

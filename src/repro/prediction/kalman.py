@@ -1,0 +1,121 @@
+"""Kalman filtering for stream prediction and missing-value imputation.
+
+Table 1 row "Data Prediction" cites [Kalman 1960] and "prediction of
+missing events in sensor data streams using Kalman filters" [Vijayakumar &
+Plale 2007]. :class:`KalmanFilter` is a general linear filter;
+:class:`LocalTrendFilter` is the ready-made local-linear-trend model used
+by the imputation benches (state = [level, velocity]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class KalmanFilter(SynopsisBase):
+    """Linear-Gaussian state-space filter.
+
+    Model: ``x' = F x + w`` (w ~ N(0, Q)), ``z = H x + v`` (v ~ N(0, R)).
+    ``update(z)`` performs predict+correct; ``update(None)`` performs a
+    predict-only step (a missing observation).
+    """
+
+    def __init__(
+        self,
+        F: np.ndarray,
+        H: np.ndarray,
+        Q: np.ndarray,
+        R: np.ndarray,
+        x0: np.ndarray | None = None,
+        P0: np.ndarray | None = None,
+    ):
+        self.F = np.atleast_2d(np.asarray(F, dtype=np.float64))
+        self.H = np.atleast_2d(np.asarray(H, dtype=np.float64))
+        self.Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        self.R = np.atleast_2d(np.asarray(R, dtype=np.float64))
+        n = self.F.shape[0]
+        if self.F.shape != (n, n):
+            raise ParameterError("F must be square")
+        if self.H.shape[1] != n:
+            raise ParameterError("H column count must match state dimension")
+        if self.Q.shape != (n, n):
+            raise ParameterError("Q must match state dimension")
+        m = self.H.shape[0]
+        if self.R.shape != (m, m):
+            raise ParameterError("R must match observation dimension")
+        self.x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64)
+        self.P = np.eye(n) * 1e3 if P0 is None else np.asarray(P0, dtype=np.float64)
+        self.count = 0
+
+    def predict(self) -> np.ndarray:
+        """Time update; returns the predicted observation ``H x``."""
+        self.x = self.F @ self.x
+        self.P = self.F @ self.P @ self.F.T + self.Q
+        return self.H @ self.x
+
+    def correct(self, z: np.ndarray | float) -> np.ndarray:
+        """Measurement update with observation *z*; returns filtered state."""
+        z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+        innovation = z - self.H @ self.x
+        S = self.H @ self.P @ self.H.T + self.R
+        K = self.P @ self.H.T @ np.linalg.inv(S)
+        self.x = self.x + K @ innovation
+        eye = np.eye(len(self.x))
+        self.P = (eye - K @ self.H) @ self.P
+        return self.x
+
+    def update(self, item: float | np.ndarray | None) -> None:
+        """Predict, then correct if *item* is an observation (None = missing)."""
+        self.count += 1
+        self.predict()
+        if item is not None:
+            self.correct(item)
+
+    def observation_estimate(self) -> np.ndarray:
+        """Current estimate of the observable, ``H x``."""
+        return self.H @ self.x
+
+    def _merge_key(self) -> tuple:
+        return (self.F.shape, self.H.shape)
+
+    def _merge_into(self, other: "KalmanFilter") -> None:
+        raise NotImplementedError("filter state is order-sensitive; not mergeable")
+
+
+class LocalTrendFilter(KalmanFilter):
+    """Local linear trend model: state [level, velocity], scalar observations.
+
+    The workhorse for sensor-stream imputation: ``predict_next()`` gives
+    the one-step-ahead forecast used to fill a missing value.
+    """
+
+    def __init__(
+        self,
+        process_noise: float = 1e-3,
+        observation_noise: float = 1.0,
+        initial_level: float = 0.0,
+    ):
+        if process_noise <= 0 or observation_noise <= 0:
+            raise ParameterError("noise variances must be positive")
+        F = np.array([[1.0, 1.0], [0.0, 1.0]])
+        H = np.array([[1.0, 0.0]])
+        Q = process_noise * np.array([[0.25, 0.5], [0.5, 1.0]])
+        R = np.array([[observation_noise]])
+        super().__init__(F, H, Q, R, x0=np.array([initial_level, 0.0]))
+
+    def predict_next(self) -> float:
+        """One-step-ahead forecast of the next observation."""
+        return float((self.H @ (self.F @ self.x))[0])
+
+    @property
+    def level(self) -> float:
+        """Filtered level estimate."""
+        return float(self.x[0])
+
+    @property
+    def velocity(self) -> float:
+        """Filtered velocity (trend) estimate."""
+        return float(self.x[1])

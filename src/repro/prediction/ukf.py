@@ -1,0 +1,116 @@
+"""Unscented Kalman filter [Wan & Van der Merwe 2000, cited in Table 1].
+
+For *nonlinear* state-space models the linear Kalman filter's covariance
+propagation breaks down. The UKF propagates a deterministic set of sigma
+points through the true nonlinear functions and refits a Gaussian —
+accurate to second order without Jacobians. Used for nonlinear sensor
+prediction where a local-trend model underfits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class UnscentedKalmanFilter(SynopsisBase):
+    """UKF with process model *f* and observation model *h*.
+
+    ``f(x) -> x'`` and ``h(x) -> z`` operate on 1-D numpy arrays. ``Q`` and
+    ``R`` are the process/observation noise covariances. Standard
+    Merwe-scaled sigma points (alpha, beta, kappa).
+    """
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], np.ndarray],
+        h: Callable[[np.ndarray], np.ndarray],
+        Q: np.ndarray,
+        R: np.ndarray,
+        x0: np.ndarray,
+        P0: np.ndarray | None = None,
+        alpha: float = 1e-2,
+        beta: float = 2.0,
+        kappa: float = 0.0,
+    ):
+        self.f = f
+        self.h = h
+        self.Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        self.R = np.atleast_2d(np.asarray(R, dtype=np.float64))
+        self.x = np.asarray(x0, dtype=np.float64)
+        n = len(self.x)
+        if self.Q.shape != (n, n):
+            raise ParameterError("Q must match the state dimension")
+        self.P = np.eye(n) if P0 is None else np.asarray(P0, dtype=np.float64)
+        if alpha <= 0:
+            raise ParameterError("alpha must be positive")
+        self.count = 0
+        # Merwe scaled sigma-point weights.
+        self._n = n
+        lam = alpha**2 * (n + kappa) - n
+        self._lam = lam
+        self._wm = np.full(2 * n + 1, 1.0 / (2.0 * (n + lam)))
+        self._wc = self._wm.copy()
+        self._wm[0] = lam / (n + lam)
+        self._wc[0] = lam / (n + lam) + (1 - alpha**2 + beta)
+
+    def _sigma_points(self) -> np.ndarray:
+        n = self._n
+        try:
+            sqrt = np.linalg.cholesky((n + self._lam) * self.P)
+        except np.linalg.LinAlgError:
+            # Regularise a near-singular covariance.
+            self.P += np.eye(n) * 1e-9
+            sqrt = np.linalg.cholesky((n + self._lam) * self.P)
+        points = np.empty((2 * n + 1, n))
+        points[0] = self.x
+        for i in range(n):
+            points[1 + i] = self.x + sqrt[:, i]
+            points[1 + n + i] = self.x - sqrt[:, i]
+        return points
+
+    def predict(self) -> np.ndarray:
+        """Time update; returns the predicted observation mean."""
+        sigmas = self._sigma_points()
+        propagated = np.array([self.f(s) for s in sigmas])
+        self.x = self._wm @ propagated
+        diff = propagated - self.x
+        self.P = diff.T @ (diff * self._wc[:, None]) + self.Q
+        observed = np.array([np.atleast_1d(self.h(s)) for s in propagated])
+        return self._wm @ observed
+
+    def correct(self, z: np.ndarray | float) -> np.ndarray:
+        """Measurement update; returns the filtered state."""
+        z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+        sigmas = self._sigma_points()
+        observed = np.array([np.atleast_1d(self.h(s)) for s in sigmas])
+        z_mean = self._wm @ observed
+        dz = observed - z_mean
+        S = dz.T @ (dz * self._wc[:, None]) + self.R
+        dx = sigmas - self.x
+        cross = dx.T @ (dz * self._wc[:, None])
+        K = cross @ np.linalg.inv(S)
+        self.x = self.x + K @ (z - z_mean)
+        self.P = self.P - K @ S @ K.T
+        return self.x
+
+    def update(self, item: np.ndarray | float | None) -> None:
+        """Predict, then correct when *item* is an observation."""
+        self.count += 1
+        self.predict()
+        if item is not None:
+            self.correct(item)
+
+    def observation_estimate(self) -> np.ndarray:
+        """Current estimate of the observable ``h(x)``."""
+        return np.atleast_1d(self.h(self.x))
+
+    def _merge_key(self) -> tuple:
+        return (self._n,)
+
+    def _merge_into(self, other: "UnscentedKalmanFilter") -> None:
+        raise NotImplementedError("filter state is order-sensitive; not mergeable")

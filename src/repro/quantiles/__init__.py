@@ -1,0 +1,23 @@
+"""Quantile estimation over streams with small memory.
+
+Table 1 row "Estimating Quantiles" (application: network analysis).
+"""
+
+from repro.quantiles.frugal import Frugal1U, Frugal2U
+from repro.quantiles.gk import GKQuantiles
+from repro.quantiles.kll import KLLSketch
+from repro.quantiles.p2 import P2Quantile
+from repro.quantiles.qdigest import QDigest
+from repro.quantiles.tdigest import TDigest
+from repro.quantiles.window import SlidingWindowQuantiles
+
+__all__ = [
+    "Frugal1U",
+    "Frugal2U",
+    "GKQuantiles",
+    "KLLSketch",
+    "P2Quantile",
+    "QDigest",
+    "SlidingWindowQuantiles",
+    "TDigest",
+]

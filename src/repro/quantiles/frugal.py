@@ -1,0 +1,108 @@
+"""Frugal streaming quantile estimators [Ma, Muthukrishnan & Sandler, 2013].
+
+The paper's "frugal streaming" citation: estimate a quantile using one (or
+two) units of memory. Frugal-1U nudges the estimate up with probability
+``q`` and down with probability ``1-q`` on each arrival; Frugal-2U adapts
+the step size for faster convergence. Accuracy is modest, but memory is a
+couple of machine words — the extreme end of the space/accuracy spectrum
+the survey lays out.
+"""
+
+from __future__ import annotations
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_rng
+
+
+class Frugal1U(SynopsisBase):
+    """One-unit-of-memory streaming estimator for quantile *q*."""
+
+    def __init__(self, q: float = 0.5, initial: float = 0.0, seed: int | None = 0):
+        if not 0 < q < 1:
+            raise ParameterError("q must lie in (0, 1)")
+        self.q = q
+        self.count = 0
+        self.estimate_value = float(initial)
+        self._rng = make_rng(seed)
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        self.count += 1
+        r = self._rng.random()
+        if value > self.estimate_value and r < self.q:
+            self.estimate_value += 1.0
+        elif value < self.estimate_value and r < 1.0 - self.q:
+            self.estimate_value -= 1.0
+
+    def quantile(self) -> float:
+        """Current estimate of the tracked quantile."""
+        return self.estimate_value
+
+    def _merge_key(self) -> tuple:
+        return (self.q,)
+
+    def _merge_into(self, other: "Frugal1U") -> None:
+        # Frugal state is a single scalar; averaging weighted by counts is
+        # the only sensible combination and is what the authors suggest for
+        # ensembling independent chains.
+        total = self.count + other.count
+        if total:
+            self.estimate_value = (
+                self.estimate_value * self.count + other.estimate_value * other.count
+            ) / total
+        self.count = total
+
+
+class Frugal2U(SynopsisBase):
+    """Two-units-of-memory estimator with adaptive step size."""
+
+    def __init__(self, q: float = 0.5, initial: float = 0.0, seed: int | None = 0):
+        if not 0 < q < 1:
+            raise ParameterError("q must lie in (0, 1)")
+        self.q = q
+        self.count = 0
+        self.estimate_value = float(initial)
+        self._step = 1.0
+        self._sign = 1
+        self._rng = make_rng(seed)
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        self.count += 1
+        r = self._rng.random()
+        if value > self.estimate_value and r < self.q:
+            self._step += 1.0 if self._sign > 0 else -1.0
+            self.estimate_value += max(self._step, 1.0)
+            if self.estimate_value > value:
+                self._step += value - self.estimate_value
+                self.estimate_value = value
+            if self._sign < 0 and self._step > 1.0:
+                self._step = 1.0
+            self._sign = 1
+        elif value < self.estimate_value and r < 1.0 - self.q:
+            self._step += 1.0 if self._sign < 0 else -1.0
+            self.estimate_value -= max(self._step, 1.0)
+            if self.estimate_value < value:
+                self._step += self.estimate_value - value
+                self.estimate_value = value
+            if self._sign > 0 and self._step > 1.0:
+                self._step = 1.0
+            self._sign = -1
+
+    def quantile(self) -> float:
+        """Current estimate of the tracked quantile."""
+        return self.estimate_value
+
+    def _merge_key(self) -> tuple:
+        return (self.q,)
+
+    def _merge_into(self, other: "Frugal2U") -> None:
+        total = self.count + other.count
+        if total:
+            self.estimate_value = (
+                self.estimate_value * self.count + other.estimate_value * other.count
+            ) / total
+        self.count = total
+        self._step = 1.0
+        self._sign = 1

@@ -1,0 +1,121 @@
+"""Greenwald–Khanna epsilon-approximate quantile summary [SIGMOD 2001].
+
+Maintains tuples ``(value, g, delta)`` where ``g`` is the gap in min-rank to
+the previous tuple and ``delta`` bounds the rank uncertainty. Any rank query
+is answered within ``epsilon * n`` using O((1/epsilon) log(epsilon n))
+tuples — the deterministic classic the paper cites for quantile estimation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class _Tuple:
+    __slots__ = ("value", "g", "delta")
+
+    def __init__(self, value: float, g: int, delta: int):
+        self.value = value
+        self.g = g
+        self.delta = delta
+
+
+class GKQuantiles(SynopsisBase):
+    """epsilon-approximate quantile summary over a numeric stream."""
+
+    def __init__(self, epsilon: float = 0.01):
+        if not 0 < epsilon < 0.5:
+            raise ParameterError("epsilon must lie in (0, 0.5)")
+        self.epsilon = epsilon
+        self.count = 0
+        self._tuples: list[_Tuple] = []
+        self._keys: list[float] = []  # values, kept parallel for bisect
+        self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        self.count += 1
+        pos = bisect.bisect_left(self._keys, value)
+        if pos == 0 or pos == len(self._tuples):
+            entry = _Tuple(value, 1, 0)  # new min or max is exact
+        else:
+            cap = max(0, int(math.floor(2.0 * self.epsilon * self.count)) - 1)
+            entry = _Tuple(value, 1, cap)
+        self._tuples.insert(pos, entry)
+        self._keys.insert(pos, value)
+        if self.count % self._compress_every == 0:
+            self._compress()
+
+    def _compress(self) -> None:
+        if len(self._tuples) < 3:
+            return
+        limit = 2.0 * self.epsilon * self.count
+        out = [self._tuples[0]]
+        for entry in self._tuples[1:-1]:
+            head = out[-1]
+            # Merge the *previous* kept tuple forward into this one when the
+            # combined uncertainty stays under the budget and the head is not
+            # the exact minimum.
+            if head is not self._tuples[0] and head.g + entry.g + entry.delta < limit:
+                entry.g += head.g
+                out[-1] = entry
+            else:
+                out.append(entry)
+        out.append(self._tuples[-1])
+        if out[0] is out[-1]:  # degenerate tiny summaries
+            out = [self._tuples[0], self._tuples[-1]]
+        self._tuples = out
+        self._keys = [t.value for t in out]
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile *q* in [0, 1], within ``epsilon`` rank error."""
+        if not 0 <= q <= 1:
+            raise ParameterError("q must lie in [0, 1]")
+        if self.count == 0:
+            raise ParameterError("quantile of an empty summary")
+        rank = max(1, math.ceil(q * self.count))
+        budget = self.epsilon * self.count
+        r_min = 0
+        for entry in self._tuples:
+            r_min += entry.g
+            if rank - r_min <= budget and (r_min + entry.delta) - rank <= budget:
+                return entry.value
+        return self._tuples[-1].value
+
+    def rank(self, value: float) -> int:
+        """Approximate rank of *value* (count of elements <= value)."""
+        r_min = 0
+        for entry in self._tuples:
+            if entry.value > value:
+                break
+            r_min += entry.g
+        return r_min
+
+    @property
+    def n_tuples(self) -> int:
+        """Number of retained summary tuples (space gauge)."""
+        return len(self._tuples)
+
+    def _merge_key(self) -> tuple:
+        return (self.epsilon,)
+
+    def _merge_into(self, other: "GKQuantiles") -> None:
+        """Merge two summaries (combined error stays within 2*epsilon).
+
+        Standard merge: interleave the tuple lists in value order; ``g``
+        values are preserved and ``delta`` values inherit the worst case.
+        """
+        merged: list[_Tuple] = []
+        for entry in sorted(
+            self._tuples + [_Tuple(t.value, t.g, t.delta) for t in other._tuples],
+            key=lambda t: t.value,
+        ):
+            merged.append(entry)
+        self._tuples = merged
+        self._keys = [t.value for t in merged]
+        self.count += other.count
+        self._compress()

@@ -1,0 +1,138 @@
+"""KLL quantile sketch [Karnin, Lang & Liberty, FOCS 2016].
+
+The modern mergeable quantile sketch (the default in Yahoo's DataSketches
+library, whose open-sourcing the paper highlights): a hierarchy of
+*compactors* whose capacities shrink geometrically with level. When a
+level overflows it is sorted and every other element (random parity) is
+promoted with doubled weight. Space is O(k), rank error O(1/k) with high
+probability, and merging is concatenation + recompression.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_rng
+from repro.common.serialization import dump_state, load_state
+
+_TYPE_TAG = "kll"
+
+
+class KLLSketch(SynopsisBase):
+    """Mergeable quantile sketch with parameter *k* (space/accuracy knob)."""
+
+    _CAP_RATIO = 2.0 / 3.0
+
+    def __init__(self, k: int = 200, seed: int | None = 0):
+        if k < 8:
+            raise ParameterError("k must be at least 8")
+        self.k = k
+        self.count = 0
+        self._rng = make_rng(seed)
+        self._levels: list[list[float]] = [[]]
+
+    def _capacity(self, level: int) -> int:
+        height = len(self._levels) - 1
+        return max(2, int(math.ceil(self.k * self._CAP_RATIO ** (height - level))))
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._levels[0].append(float(item))
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            if len(self._levels[level]) > self._capacity(level):
+                buf = sorted(self._levels[level])
+                # Only an even number of items can be compacted (pairs merge
+                # into one double-weight survivor); an odd leftover stays.
+                leftover: list[float] = []
+                if len(buf) % 2:
+                    leftover.append(buf.pop(self._rng.randrange(len(buf))))
+                offset = self._rng.randrange(2)
+                promoted = buf[offset::2]
+                self._levels[level] = leftover
+                if level + 1 == len(self._levels):
+                    self._levels.append([])
+                self._levels[level + 1].extend(promoted)
+            level += 1
+
+    def _weighted_items(self) -> list[tuple[float, int]]:
+        out = []
+        for level, buf in enumerate(self._levels):
+            weight = 1 << level
+            out.extend((v, weight) for v in buf)
+        out.sort()
+        return out
+
+    def rank(self, value: float) -> int:
+        """Approximate number of stream items <= *value*."""
+        total = 0
+        for level, buf in enumerate(self._levels):
+            weight = 1 << level
+            total += weight * sum(1 for v in buf if v <= value)
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile *q* in [0, 1]."""
+        if not 0 <= q <= 1:
+            raise ParameterError("q must lie in [0, 1]")
+        if self.count == 0:
+            raise ParameterError("quantile of an empty sketch")
+        items = self._weighted_items()
+        target = q * self.count
+        cum = 0
+        for value, weight in items:
+            cum += weight
+            if cum >= target:
+                return value
+        return items[-1][0]
+
+    def cdf(self, value: float) -> float:
+        """Approximate fraction of the stream <= *value*."""
+        if self.count == 0:
+            raise ParameterError("cdf of an empty sketch")
+        return min(1.0, self.rank(value) / self.count)
+
+    @property
+    def retained(self) -> int:
+        """Items currently stored (O(k))."""
+        return sum(len(buf) for buf in self._levels)
+
+    def error_bound(self) -> float:
+        """Approximate rank-error guarantee: ~ 1.7/k * n (w.h.p.)."""
+        return 1.7 / self.k
+
+    def _merge_key(self) -> tuple:
+        return (self.k,)
+
+    def _merge_into(self, other: "KLLSketch") -> None:
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+        for level, buf in enumerate(other._levels):
+            self._levels[level].extend(buf)
+        self.count += other.count
+        self._compress()
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a versioned byte payload."""
+        return dump_state(
+            _TYPE_TAG,
+            {
+                "k": self.k,
+                "count": self.count,
+                "levels": [list(buf) for buf in self._levels],
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "KLLSketch":
+        """Reconstruct a sketch from :meth:`to_bytes` output."""
+        state = load_state(_TYPE_TAG, payload)
+        obj = cls(k=state["k"])
+        obj.count = state["count"]
+        obj._levels = [list(buf) for buf in state["levels"]]
+        return obj

@@ -1,0 +1,107 @@
+"""The P² algorithm [Jain & Chlamtac, CACM 1985].
+
+Tracks a single quantile with exactly five markers and no stored samples,
+adjusting marker heights by piecewise-parabolic interpolation. Deterministic
+and O(1) per update — the classic "calculate percentiles without storing
+observations" method, included as the deterministic counterpart to frugal
+streaming on the tiny-memory end of the spectrum.
+"""
+
+from __future__ import annotations
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class P2Quantile(SynopsisBase):
+    """Five-marker P² estimator for quantile *q*."""
+
+    def __init__(self, q: float = 0.5):
+        if not 0 < q < 1:
+            raise ParameterError("q must lie in (0, 1)")
+        self.q = q
+        self.count = 0
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * self.q,
+                    1.0 + 4.0 * self.q,
+                    3.0 + 2.0 * self.q,
+                    5.0,
+                ]
+            return
+
+        h = self._heights
+        # Find the cell k containing the observation; clamp extremes.
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust interior markers.
+        for i in range(1, 4):
+            d = self._desired[i] - self._positions[i]
+            n_i, n_prev, n_next = self._positions[i], self._positions[i - 1], self._positions[i + 1]
+            if (d >= 1.0 and n_next - n_i > 1.0) or (d <= -1.0 and n_prev - n_i < -1.0):
+                sign = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                self._positions[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (n[j] - n[i])
+
+    def quantile(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self.count == 0:
+            raise ParameterError("quantile of an empty estimator")
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1, int(self.q * len(ordered)))
+            return ordered[index]
+        return self._heights[2]
+
+    def _merge_key(self) -> tuple:
+        return (self.q,)
+
+    def _merge_into(self, other: "P2Quantile") -> None:
+        raise NotImplementedError(
+            "P2 markers are not mergeable; use GKQuantiles or TDigest for "
+            "scale-out quantile estimation"
+        )

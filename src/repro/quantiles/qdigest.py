@@ -1,0 +1,113 @@
+"""q-digest [Shrivastava et al., SenSys 2004] — quantiles over an integer
+universe, designed for sensor-network aggregation (Table 1's "Medians and
+beyond" citation).
+
+Counts live on nodes of the implicit binary tree over ``[0, 2^depth)``.
+Compression pushes small counts upward: a node survives only if
+``count(node) + count(sibling) + count(parent) > n/k``. The digest is
+mergeable by adding node counts — the property that made it the sensor
+aggregation standard.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class QDigest(SynopsisBase):
+    """q-digest over integers in ``[0, 2^depth)`` with compression factor *k*."""
+
+    def __init__(self, depth: int = 16, k: int = 64):
+        if not 1 <= depth <= 32:
+            raise ParameterError("depth must lie in [1, 32]")
+        if k <= 0:
+            raise ParameterError("compression factor k must be positive")
+        self.depth = depth
+        self.universe = 1 << depth
+        self.k = k
+        self.count = 0
+        # Node ids follow the heap convention: root=1; leaf for value v is
+        # universe + v. A node's range narrows as ids grow.
+        self._counts: dict[int, int] = {}
+        self._since_compress = 0
+
+    def update(self, item: int) -> None:
+        value = int(item)
+        if not 0 <= value < self.universe:
+            raise ParameterError(f"value {value} outside [0, {self.universe})")
+        leaf = self.universe + value
+        self._counts[leaf] = self._counts.get(leaf, 0) + 1
+        self.count += 1
+        self._since_compress += 1
+        if self._since_compress >= max(32, self.count // 2):
+            self.compress()
+
+    def compress(self) -> None:
+        """Push small counts upward until the q-digest property holds."""
+        self._since_compress = 0
+        threshold = math.floor(self.count / self.k)
+        if threshold <= 0:
+            return
+        # Process level by level from the leaves up so that counts merged
+        # into a parent can keep climbing on the next level's pass.
+        for level in range(self.depth, 0, -1):
+            lo, hi = 1 << level, 1 << (level + 1)
+            for node in [n for n in self._counts if lo <= n < hi]:
+                cnt = self._counts.get(node, 0)
+                if cnt == 0:
+                    continue
+                sibling = node ^ 1
+                parent = node >> 1
+                sib_cnt = self._counts.get(sibling, 0)
+                par_cnt = self._counts.get(parent, 0)
+                if cnt + sib_cnt + par_cnt <= threshold:
+                    self._counts[parent] = par_cnt + cnt + sib_cnt
+                    self._counts.pop(node, None)
+                    self._counts.pop(sibling, None)
+        self._counts = {n: c for n, c in self._counts.items() if c > 0}
+
+    def _node_range(self, node: int) -> tuple[int, int]:
+        """Inclusive value range [lo, hi] covered by *node*."""
+        level = node.bit_length() - 1
+        span = self.universe >> level
+        lo = (node - (1 << level)) * span
+        return lo, lo + span - 1
+
+    def quantile(self, q: float) -> int:
+        """Value at quantile *q*; rank error is at most ``log2(U) * n / k``."""
+        if not 0 <= q <= 1:
+            raise ParameterError("q must lie in [0, 1]")
+        if self.count == 0:
+            raise ParameterError("quantile of an empty digest")
+        self.compress()
+        target = q * self.count
+        # Sort nodes by (hi, lo): postorder over value space, so cumulative
+        # counts lower-bound ranks.
+        nodes = sorted(self._counts, key=lambda n: (self._node_range(n)[1], self._node_range(n)[0]))
+        cum = 0
+        for node in nodes:
+            cum += self._counts[node]
+            if cum >= target:
+                return self._node_range(node)[1]
+        return self._node_range(nodes[-1])[1]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of stored tree nodes (space gauge)."""
+        return len(self._counts)
+
+    def error_bound(self) -> float:
+        """Worst-case rank error of quantile answers: ``depth * n / k``."""
+        return self.depth * self.count / self.k
+
+    def _merge_key(self) -> tuple:
+        return (self.depth, self.k)
+
+    def _merge_into(self, other: "QDigest") -> None:
+        for node, cnt in other._counts.items():
+            self._counts[node] = self._counts.get(node, 0) + cnt
+        self.count += other.count
+        self.compress()

@@ -1,0 +1,74 @@
+"""Approximate quantiles over sliding windows (Arasu–Manku style).
+
+[Arasu & Manku, PODS 2004] answer quantile queries over the last *W*
+elements in sublinear space by maintaining epsilon-approximate summaries
+over dyadic blocks. This implementation uses the practical block variant:
+the window is covered by fixed-size blocks, each summarised with a GK
+sketch; a query merges the summaries of the (at most ``W/b + 1``) live
+blocks. Error is ``epsilon`` from the sketches plus ``b/W`` from the
+partially-expired oldest block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.quantiles.gk import GKQuantiles
+
+
+class SlidingWindowQuantiles(SynopsisBase):
+    """Quantiles over the last *window* elements via per-block GK summaries."""
+
+    def __init__(self, window: int, epsilon: float = 0.01, n_blocks: int = 16):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if n_blocks <= 0 or n_blocks > window:
+            raise ParameterError("n_blocks must lie in [1, window]")
+        self.window = window
+        self.epsilon = epsilon
+        self.block_size = max(1, window // n_blocks)
+        self.count = 0
+        self._blocks: deque[GKQuantiles] = deque()
+        self._current: GKQuantiles = GKQuantiles(epsilon)
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._current.update(float(item))
+        if self._current.count >= self.block_size:
+            self._blocks.append(self._current)
+            self._current = GKQuantiles(self.epsilon)
+        # Expire blocks fully outside the window.
+        covered = self._current.count + sum(b.count for b in self._blocks)
+        while self._blocks and covered - self._blocks[0].count >= self.window:
+            covered -= self._blocks[0].count
+            self._blocks.popleft()
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile *q* over (approximately) the last *window* items."""
+        if not 0 <= q <= 1:
+            raise ParameterError("q must lie in [0, 1]")
+        live = [b for b in self._blocks]
+        if self._current.count:
+            live.append(self._current)
+        if not live:
+            raise ParameterError("quantile of an empty window")
+        merged = live[0] + live[0].__class__(self.epsilon)  # deep copy via +
+        for block in live[1:]:
+            merged.merge(block)
+        return merged.quantile(q)
+
+    @property
+    def covered(self) -> int:
+        """Number of elements the live summaries currently cover."""
+        return self._current.count + sum(b.count for b in self._blocks)
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.epsilon, self.block_size)
+
+    def _merge_into(self, other: "SlidingWindowQuantiles") -> None:
+        raise NotImplementedError(
+            "sliding-window quantile summaries are position-bound; merge the "
+            "underlying GK blocks per partition instead"
+        )

@@ -1,0 +1,24 @@
+"""Stream sampling: uniform, weighted, time-biased and sliding-window.
+
+Table 1 row "Sampling" — obtain a representative set of the stream
+(application: A/B testing).
+"""
+
+from repro.sampling.biased import BiasedReservoirSampler
+from repro.sampling.distinct import DistinctSampler
+from repro.sampling.distributed import union_sample
+from repro.sampling.reservoir import AlgorithmLSampler, ReservoirSampler
+from repro.sampling.weighted import ExpJSampler, WeightedReservoirSampler
+from repro.sampling.window import ChainSampler, PrioritySampler
+
+__all__ = [
+    "DistinctSampler",
+    "AlgorithmLSampler",
+    "BiasedReservoirSampler",
+    "ChainSampler",
+    "ExpJSampler",
+    "PrioritySampler",
+    "ReservoirSampler",
+    "WeightedReservoirSampler",
+    "union_sample",
+]

@@ -1,0 +1,91 @@
+"""Distinct sampling: uniform samples over the *support* of a stream.
+
+A uniform stream sample is dominated by heavy hitters; many analyses
+(inverse distributions, "how many items occurred exactly once?" — the
+Cormode–Muthukrishnan–Rozenbaum citation in Table 1) instead need a
+uniform sample of the *distinct* items. Gibbons-style distinct sampling:
+keep items whose hash falls below a shrinking threshold (level), halving
+the threshold whenever the buffer overflows — every distinct item survives
+with equal probability ``2^-level`` regardless of its frequency, and
+per-item counts are tracked exactly for the survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily
+from repro.common.mergeable import SynopsisBase
+
+_HASH_BITS = 64
+
+
+class DistinctSampler(SynopsisBase):
+    """Uniform sample of distinct items with exact counts for survivors."""
+
+    def __init__(self, capacity: int = 256, seed: int = 0):
+        if capacity < 2:
+            raise ParameterError("capacity must be at least 2")
+        self.capacity = capacity
+        self.family = HashFamily(seed)
+        self.count = 0
+        self.level = 0  # items kept iff hash < 2^(64 - level)
+        self._counts: dict[Hashable, int] = {}
+
+    def _keep(self, item: Any) -> bool:
+        return self.family.hash(item) < (1 << (_HASH_BITS - self.level))
+
+    def update(self, item: Any) -> None:
+        self.count += 1
+        if item in self._counts:
+            self._counts[item] += 1
+            return
+        if not self._keep(item):
+            return
+        self._counts[item] = 1
+        while len(self._counts) > self.capacity:
+            self.level += 1
+            self._counts = {it: c for it, c in self._counts.items() if self._keep(it)}
+
+    @property
+    def sample(self) -> dict[Hashable, int]:
+        """Surviving distinct items with their exact stream counts."""
+        return dict(self._counts)
+
+    @property
+    def inclusion_probability(self) -> float:
+        """Probability with which each distinct item is in the sample."""
+        return 2.0**-self.level
+
+    def estimate_distinct(self) -> float:
+        """Estimated number of distinct items: |sample| / p."""
+        return len(self._counts) / self.inclusion_probability
+
+    def estimate_rarity(self, k: int = 1) -> float:
+        """Estimated fraction of distinct items occurring exactly *k* times
+        (the 'rarity' of Datar–Muthukrishnan)."""
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        if not self._counts:
+            return 0.0
+        return sum(1 for c in self._counts.values() if c == k) / len(self._counts)
+
+    def _merge_key(self) -> tuple:
+        return (self.capacity, self.family.seed)
+
+    def _merge_into(self, other: "DistinctSampler") -> None:
+        self.level = max(self.level, other.level)
+        merged: dict[Hashable, int] = {}
+        for source in (self._counts, other._counts):
+            for item, cnt in source.items():
+                if self._keep(item):
+                    merged[item] = merged.get(item, 0) + cnt
+        self._counts = merged
+        while len(self._counts) > self.capacity:
+            self.level += 1
+            self._counts = {it: c for it, c in self._counts.items() if self._keep(it)}
+        self.count += other.count
+
+    def __len__(self) -> int:
+        return len(self._counts)

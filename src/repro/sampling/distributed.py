@@ -1,0 +1,32 @@
+"""Merging per-partition samples into a union sample (scale-out sampling).
+
+Section 2 of the paper requires streaming algorithms to "scale out":
+partitions of a stream are sampled independently and the partial samples are
+combined. For uniform reservoirs the correct combination is weighted
+subsampling by partition counts, which :func:`union_sample` performs over
+any number of compatible samplers.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Sequence, TypeVar
+
+from repro.common.exceptions import MergeError
+from repro.sampling.reservoir import ReservoirSampler
+
+S = TypeVar("S", bound=ReservoirSampler)
+
+
+def union_sample(samplers: Sequence[S]) -> S:
+    """Combine per-partition reservoir samplers into one union sampler.
+
+    The inputs are untouched; the result is a sampler whose reservoir is a
+    uniform sample over the concatenation of all partitions.
+    """
+    if not samplers:
+        raise MergeError("union_sample needs at least one sampler")
+    merged = copy.deepcopy(samplers[0])
+    for sampler in samplers[1:]:
+        merged.merge(sampler)
+    return merged

@@ -1,0 +1,118 @@
+"""Weighted reservoir sampling (Efraimidis–Spirakis A-Res / A-ExpJ).
+
+Each stream element carries a weight; the sampler keeps ``k`` elements such
+that the inclusion probability of an element is proportional to its weight
+(sampling without replacement). A-Res assigns every element the key
+``u^(1/w)`` and keeps the top-k keys; A-ExpJ is the exponential-jumps
+variant that skips elements whose keys cannot enter the heap, trading RNG
+calls for a threshold test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import make_rng
+
+
+class WeightedReservoirSampler(SynopsisBase):
+    """A-Res: weighted sample without replacement of size *k*.
+
+    ``update(item)`` takes unit weight; ``update_weighted(item, w)`` takes an
+    explicit positive weight. The heap stores ``(key, tiebreak, item)`` where
+    ``key = u**(1/w)``; the ``k`` largest keys form the sample.
+    """
+
+    def __init__(self, k: int, seed: int | None = 0):
+        if k <= 0:
+            raise ParameterError("sample size k must be positive")
+        self.k = k
+        self.count = 0
+        self._rng = make_rng(seed)
+        self._heap: list[tuple[float, int, Any]] = []  # min-heap of keys
+        self._tiebreak = 0
+
+    @property
+    def sample(self) -> list[Any]:
+        """The current weighted sample (copy; at most ``k`` items)."""
+        return [item for __, __, item in self._heap]
+
+    def update(self, item: Any) -> None:
+        self.update_weighted(item, 1.0)
+
+    def update_weighted(self, item: Any, weight: float) -> None:
+        """Absorb *item* with the given positive *weight*."""
+        if weight <= 0:
+            raise ParameterError("weight must be positive")
+        self.count += 1
+        key = self._rng.random() ** (1.0 / weight)
+        self._push(key, item)
+
+    def _push(self, key: float, item: Any) -> None:
+        self._tiebreak += 1
+        entry = (key, self._tiebreak, item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def _merge_key(self) -> tuple:
+        return (self.k,)
+
+    def _merge_into(self, other: "WeightedReservoirSampler") -> None:
+        # Keys are globally comparable, so merging is keeping the top-k keys
+        # of the union — exactly the distributed A-Res merge rule.
+        for key, __, item in other._heap:
+            self._push(key, item)
+        self.count += other.count
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ExpJSampler(WeightedReservoirSampler):
+    """A-ExpJ: same distribution as A-Res with exponential jumps.
+
+    Maintains a running weight threshold ``X_w``; elements are skipped until
+    the accumulated weight crosses it, at which point one element enters the
+    heap. RNG calls drop from O(n) to O(k log(n/k)) in expectation.
+    """
+
+    def __init__(self, k: int, seed: int | None = 0):
+        super().__init__(k, seed=seed)
+        self._x_w: float | None = None
+        self._w_acc = 0.0
+
+    def update_weighted(self, item: Any, weight: float) -> None:
+        if weight <= 0:
+            raise ParameterError("weight must be positive")
+        self.count += 1
+        if len(self._heap) < self.k:
+            key = self._rng.random() ** (1.0 / weight)
+            self._push(key, item)
+            if len(self._heap) == self.k:
+                self._reset_jump()
+            return
+        assert self._x_w is not None
+        self._w_acc += weight
+        if self._w_acc >= self._x_w:
+            t_w = self._heap[0][0] ** weight
+            r2 = self._rng.uniform(t_w, 1.0)
+            key = r2 ** (1.0 / weight)
+            self._push(key, item)
+            self._reset_jump()
+
+    def _reset_jump(self) -> None:
+        r = self._rng.random()
+        threshold = self._heap[0][0]
+        self._x_w = math.log(r) / math.log(threshold) if threshold > 0 else 0.0
+        self._w_acc = 0.0
+
+    def _merge_into(self, other: "WeightedReservoirSampler") -> None:
+        super()._merge_into(other)
+        if len(self._heap) == self.k:
+            self._reset_jump()

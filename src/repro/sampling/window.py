@@ -1,0 +1,156 @@
+"""Sampling over sliding windows [Babcock, Datar & Motwani, SODA 2002].
+
+Two window models from the paper:
+
+* **Sequence-based** windows ("the last n elements") — :class:`ChainSampler`.
+  Chain sampling keeps one sample per chain plus the chain of its future
+  replacements, using O(1) expected memory per chain.
+* **Timestamp-based** windows ("the last t seconds") — :class:`PrioritySampler`.
+  Every element draws a random priority; the sample is the max-priority
+  live element, and it suffices to retain elements not dominated by a later,
+  higher-priority element (expected O(log n) retained).
+
+``k`` independent chains/priority structures give a size-``k`` with-replacement
+sample of the window.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.common.rng import derive_seed, make_rng
+
+
+class _Chain:
+    """One chain-sample: the current sample and its queued replacements."""
+
+    __slots__ = ("rng", "sample_index", "sample_value", "successor", "chain")
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.sample_index: int | None = None
+        self.sample_value: Any = None
+        self.successor: int | None = None  # index whose arrival we await
+        self.chain: list[tuple[int, Any]] = []  # queued (index, value) replacements
+
+    def observe(self, index: int, item: Any, window: int) -> None:
+        in_window_count = min(index + 1, window)
+        if self.rng.random() < 1.0 / in_window_count:
+            # item becomes the new sample; discard any queued chain.
+            self.sample_index = index
+            self.sample_value = item
+            self.chain = []
+            self.successor = self.rng.randrange(index + 1, index + window + 1)
+        elif self.successor is not None and index == self.successor:
+            self.chain.append((index, item))
+            self.successor = self.rng.randrange(index + 1, index + window + 1)
+        # Expire the sample if it slid out of the window.
+        if self.sample_index is not None and self.sample_index <= index - window:
+            while self.chain and self.chain[0][0] <= index - window:
+                self.chain.pop(0)
+            if self.chain:
+                self.sample_index, self.sample_value = self.chain.pop(0)
+            else:  # extremely unlikely; resynchronise on the next arrival
+                self.sample_index = None
+                self.sample_value = None
+
+
+class ChainSampler(SynopsisBase):
+    """Size-*k* with-replacement sample of the last *window* elements."""
+
+    def __init__(self, k: int, window: int, seed: int | None = 0):
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        self.k = k
+        self.window = window
+        self.count = 0
+        base = seed if seed is not None else 0
+        self._chains = [_Chain(make_rng(derive_seed(base, i))) for i in range(k)]
+
+    @property
+    def sample(self) -> list[Any]:
+        """Current window sample (one item per chain that has a live sample)."""
+        return [c.sample_value for c in self._chains if c.sample_index is not None]
+
+    def update(self, item: Any) -> None:
+        index = self.count
+        self.count += 1
+        for chain in self._chains:
+            chain.observe(index, item, self.window)
+
+    def _merge_key(self) -> tuple:
+        return (self.k, self.window)
+
+    def _merge_into(self, other: "ChainSampler") -> None:
+        raise NotImplementedError(
+            "chain samples are bound to stream positions and cannot be merged; "
+            "sample each partition's window separately"
+        )
+
+
+class PrioritySampler(SynopsisBase):
+    """Size-*k* with-replacement sample of a timestamp-based sliding window.
+
+    ``update_at(item, timestamp)`` records an element; ``sample_at(now)``
+    returns one sampled element per independent replica among elements with
+    ``timestamp > now - horizon``.
+    """
+
+    def __init__(self, k: int, horizon: float, seed: int | None = 0):
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        if horizon <= 0:
+            raise ParameterError("horizon must be positive")
+        self.k = k
+        self.horizon = horizon
+        self.count = 0
+        base = seed if seed is not None else 0
+        self._rngs = [make_rng(derive_seed(base, i)) for i in range(k)]
+        # Per replica: stack of (timestamp, priority, item) kept such that
+        # priorities are decreasing in time — later dominating elements evict
+        # earlier dominated ones.
+        self._stacks: list[list[tuple[float, float, Any]]] = [[] for __ in range(k)]
+        self._last_ts = float("-inf")
+
+    def update(self, item: Any) -> None:
+        self.update_at(item, self._last_ts + 1.0 if self._last_ts != float("-inf") else 0.0)
+
+    def update_at(self, item: Any, timestamp: float) -> None:
+        """Record *item* arriving at *timestamp* (non-decreasing)."""
+        if timestamp < self._last_ts:
+            raise ParameterError("timestamps must be non-decreasing")
+        self._last_ts = timestamp
+        self.count += 1
+        for rng, stack in zip(self._rngs, self._stacks):
+            priority = rng.random()
+            while stack and stack[-1][1] <= priority:
+                stack.pop()
+            stack.append((timestamp, priority, item))
+
+    def sample_at(self, now: float) -> list[Any]:
+        """One sample per replica from the window ``(now - horizon, now]``."""
+        cutoff = now - self.horizon
+        out = []
+        for stack in self._stacks:
+            while stack and stack[0][0] <= cutoff:
+                stack.pop(0)
+            if stack:
+                out.append(stack[0][2])
+        return out
+
+    @property
+    def retained(self) -> int:
+        """Total elements currently retained across replicas (memory gauge)."""
+        return sum(len(s) for s in self._stacks)
+
+    def _merge_key(self) -> tuple:
+        return (self.k, self.horizon)
+
+    def _merge_into(self, other: "PrioritySampler") -> None:
+        raise NotImplementedError(
+            "priority samples are bound to local timestamps and cannot be merged"
+        )

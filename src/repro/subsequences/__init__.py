@@ -1,0 +1,25 @@
+"""Subsequence analysis over streams (LIS / LCS).
+
+Table 1 row "Finding Subsequences" — longest increasing / common
+subsequences and similar-pattern search (application: traffic analysis).
+"""
+
+from repro.subsequences.lcs import (
+    WindowedLCS,
+    lcs_similarity,
+    longest_common_subsequence,
+)
+from repro.subsequences.lis import (
+    ApproxLISTracker,
+    LISTracker,
+    longest_increasing_subsequence,
+)
+
+__all__ = [
+    "ApproxLISTracker",
+    "LISTracker",
+    "WindowedLCS",
+    "lcs_similarity",
+    "longest_common_subsequence",
+    "longest_increasing_subsequence",
+]

@@ -1,0 +1,72 @@
+"""Longest common subsequence (LCS) tools for stream windows.
+
+Exact LCS is quadratic and order-sensitive, so streaming systems compute it
+over recent windows [Sun & Woodruff 2007 studies the streaming complexity].
+:func:`longest_common_subsequence` is the classic DP; :class:`WindowedLCS`
+maintains ring buffers of two streams and reports the LCS of the live
+windows on demand (similarity of two recent traffic patterns).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+def longest_common_subsequence(a: Sequence, b: Sequence) -> int:
+    """Exact LCS length via the O(|a|*|b|) dynamic program (row-compressed)."""
+    if len(a) < len(b):
+        a, b = b, a  # keep the DP row short
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        cur = [0] * (len(b) + 1)
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[-1]
+
+
+def lcs_similarity(a: Sequence, b: Sequence) -> float:
+    """LCS length normalised by the longer input (1.0 = identical order)."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return longest_common_subsequence(a, b) / longest
+
+
+class WindowedLCS(SynopsisBase):
+    """LCS similarity of the recent windows of two synchronised streams."""
+
+    def __init__(self, window: int = 128):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        self.window = window
+        self.count = 0
+        self._a: deque = deque(maxlen=window)
+        self._b: deque = deque(maxlen=window)
+
+    def update(self, item: tuple) -> None:
+        a, b = item
+        self.count += 1
+        self._a.append(a)
+        self._b.append(b)
+
+    def lcs_length(self) -> int:
+        """LCS length of the two live windows."""
+        return longest_common_subsequence(list(self._a), list(self._b))
+
+    def similarity(self) -> float:
+        """Normalised LCS similarity of the live windows."""
+        return lcs_similarity(list(self._a), list(self._b))
+
+    def _merge_key(self) -> tuple:
+        return (self.window,)
+
+    def _merge_into(self, other: "WindowedLCS") -> None:
+        raise NotImplementedError("windowed LCS is position-bound; not mergeable")

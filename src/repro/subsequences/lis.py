@@ -1,0 +1,120 @@
+"""Longest increasing subsequence (LIS) over streams.
+
+Table 1 row "Finding Subsequences" cites [Liben-Nowell, Vee & Zhu 2005] and
+the lower bounds of [Gál & Gopalan 2010] / [Sun & Woodruff 2007]: exact
+one-pass LIS needs Ω(n) space, so streaming algorithms approximate.
+
+* :class:`LISTracker` — exact online patience sorting: the classic tails
+  array is itself a one-pass algorithm using O(L) memory (L = LIS length).
+* :class:`ApproxLISTracker` — bounded memory: caps the tails array at *s*
+  entries by evicting interior tails (keeping extremes), giving a lower
+  bound on L with multiplicative error ~ L/s, the flavour of the known
+  deterministic approximations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+def longest_increasing_subsequence(values: Sequence[float]) -> int:
+    """Exact LIS length (strictly increasing), O(n log n) patience sorting."""
+    tails: list[float] = []
+    for value in values:
+        pos = bisect.bisect_left(tails, value)
+        if pos == len(tails):
+            tails.append(value)
+        else:
+            tails[pos] = value
+    return len(tails)
+
+
+class LISTracker(SynopsisBase):
+    """Exact online LIS length via patience sorting (O(L) memory)."""
+
+    def __init__(self):
+        self.count = 0
+        self._tails: list[float] = []
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        value = float(item)
+        pos = bisect.bisect_left(self._tails, value)
+        if pos == len(self._tails):
+            self._tails.append(value)
+        else:
+            self._tails[pos] = value
+
+    def lis_length(self) -> int:
+        """Exact length of the longest strictly increasing subsequence."""
+        return len(self._tails)
+
+    @property
+    def memory_slots(self) -> int:
+        """Retained tails (equals the LIS length)."""
+        return len(self._tails)
+
+    def _merge_key(self) -> tuple:
+        return ()
+
+    def _merge_into(self, other: "LISTracker") -> None:
+        raise NotImplementedError("LIS is order-sensitive; not mergeable")
+
+
+class ApproxLISTracker(SynopsisBase):
+    """LIS length lower bound with at most *s* retained (value, rank) tails.
+
+    Entries keep the patience invariant — values and ranks both strictly
+    increasing, where ``rank`` is the length of an increasing subsequence
+    ending at or below ``value``. When the list exceeds *s*, interior
+    entries are decimated; survivors keep their exact ranks, so the
+    reported length never drops, and future elements may only be assigned
+    slightly pessimistic ranks (a lower bound on the true LIS). While the
+    LIS fits in the budget the answer is exact, and for monotone streams it
+    stays exact at any budget.
+    """
+
+    def __init__(self, s: int = 256):
+        if s < 4:
+            raise ParameterError("budget s must be at least 4")
+        self.s = s
+        self.count = 0
+        self._values: list[float] = []
+        self._ranks: list[int] = []
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        value = float(item)
+        pos = bisect.bisect_left(self._values, value)
+        rank = (self._ranks[pos - 1] + 1) if pos > 0 else 1
+        if pos == len(self._values):
+            self._values.append(value)
+            self._ranks.append(rank)
+        elif rank >= self._ranks[pos]:
+            # Tighter tail for an equal-or-better rank.
+            self._values[pos] = value
+            self._ranks[pos] = rank
+        if len(self._values) > self.s:
+            # Drop every other interior entry; keep first and last.
+            keep = list(range(0, len(self._values) - 1, 2)) + [len(self._values) - 1]
+            self._values = [self._values[i] for i in keep]
+            self._ranks = [self._ranks[i] for i in keep]
+
+    def lis_length(self) -> int:
+        """Estimated LIS length (a lower bound; exact while under budget)."""
+        return self._ranks[-1] if self._ranks else 0
+
+    @property
+    def memory_slots(self) -> int:
+        """Retained tails (bounded by s+1)."""
+        return len(self._values)
+
+    def _merge_key(self) -> tuple:
+        return (self.s,)
+
+    def _merge_into(self, other: "ApproxLISTracker") -> None:
+        raise NotImplementedError("LIS is order-sensitive; not mergeable")

@@ -1,0 +1,29 @@
+"""Temporal pattern analysis over streams.
+
+Table 1 row "Temporal Pattern Analysis" — detect patterns in a data stream
+(application: traffic analysis).
+"""
+
+from repro.temporal.motif import MotifDetector
+from repro.temporal.sequences import SequenceMiner
+from repro.temporal.sax import (
+    gaussian_breakpoints,
+    paa,
+    sax_distance,
+    sax_word,
+    znormalise,
+)
+from repro.temporal.spring import Match, SpringMatcher, dtw_distance
+
+__all__ = [
+    "SequenceMiner",
+    "Match",
+    "MotifDetector",
+    "SpringMatcher",
+    "dtw_distance",
+    "gaussian_breakpoints",
+    "paa",
+    "sax_distance",
+    "sax_word",
+    "znormalise",
+]

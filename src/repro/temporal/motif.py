@@ -1,0 +1,74 @@
+"""Streaming motif discovery over SAX words.
+
+A *motif* is a window shape that recurs in a stream. The detector slides a
+window, SAX-encodes it, and counts words with a SpaceSaving summary —
+recurring shapes surface as frequent words (the streaming adaptation of
+the classic SAX motif pipeline; cf. Table 1's temporal-pattern citations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.frequency.space_saving import SpaceSaving
+from repro.temporal.sax import sax_word
+
+
+class MotifDetector(SynopsisBase):
+    """Count recurring window shapes (SAX words) in a numeric stream."""
+
+    def __init__(
+        self,
+        window: int = 32,
+        segments: int = 8,
+        alphabet_size: int = 4,
+        stride: int = 1,
+        k: int = 256,
+    ):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if stride <= 0:
+            raise ParameterError("stride must be positive")
+        if segments > window:
+            raise ParameterError("segments must not exceed window")
+        self.window = window
+        self.segments = segments
+        self.alphabet_size = alphabet_size
+        self.stride = stride
+        self.count = 0
+        self._buffer: deque[float] = deque(maxlen=window)
+        self._counts = SpaceSaving(k=k)
+        self._last_word: str | None = None
+
+    def update(self, item: float) -> None:
+        self.count += 1
+        self._buffer.append(float(item))
+        if len(self._buffer) == self.window and self.count % self.stride == 0:
+            word = sax_word(list(self._buffer), self.segments, self.alphabet_size)
+            self._last_word = word
+            # Suppress trivial matches: identical consecutive words from
+            # overlapping windows of a flat region are expected.
+            self._counts.update(word)
+
+    def motifs(self, n: int = 5) -> list[tuple[Hashable, int]]:
+        """The *n* most frequent window shapes seen so far."""
+        return self._counts.top(n)
+
+    def frequency(self, word: str) -> int:
+        """Occurrence estimate of a specific SAX word."""
+        return self._counts.estimate(word)
+
+    @property
+    def last_word(self) -> str | None:
+        """SAX word of the most recently completed window."""
+        return self._last_word
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.segments, self.alphabet_size, self.stride)
+
+    def _merge_into(self, other: "MotifDetector") -> None:
+        self._counts.merge(other._counts)
+        self.count += other.count

@@ -1,0 +1,85 @@
+"""Streaming sequential-pattern mining.
+
+The paper's use cases: "sequence mining for, say, credit card fraud
+detection", "determining top-K traversal sequences in streaming clicks"
+and the sequential-pattern citations [Koper & Nguyen; Raïssi & Plantevit].
+This module mines frequent order-sensitive n-grams from event streams:
+per-key recent-event windows generate contiguous subsequences, counted by
+a SpaceSaving summary, so the top traversal paths are available at any
+time in bounded memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+from repro.frequency.space_saving import SpaceSaving
+
+
+class SequenceMiner(SynopsisBase):
+    """Top-K frequent event sequences of lengths ``2..max_len`` per key.
+
+    ``update((key, event))`` appends *event* to *key*'s recent history and
+    counts every new contiguous subsequence ending at it. ``key`` is the
+    session/user/card the sequence belongs to; sequences never span keys.
+    """
+
+    def __init__(self, max_len: int = 4, k: int = 1024, history: int | None = None):
+        if max_len < 2:
+            raise ParameterError("max_len must be at least 2")
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        self.max_len = max_len
+        self.history = history if history is not None else max_len
+        if self.history < max_len:
+            raise ParameterError("history must be >= max_len")
+        self.k = k
+        self.count = 0
+        self._counts = SpaceSaving(k=k)
+        self._recent: dict[Hashable, deque] = {}
+
+    def update(self, item: tuple[Hashable, Hashable]) -> None:
+        key, event = item
+        self.count += 1
+        window = self._recent.setdefault(key, deque(maxlen=self.history))
+        window.append(event)
+        tail = list(window)
+        for length in range(2, min(self.max_len, len(tail)) + 1):
+            self._counts.update(tuple(tail[-length:]))
+
+    def end_session(self, key: Hashable) -> None:
+        """Forget *key*'s history (session closed)."""
+        self._recent.pop(key, None)
+
+    def top(self, n: int = 10, length: int | None = None) -> list[tuple[tuple, int]]:
+        """The *n* most frequent sequences (optionally of one *length*)."""
+        ranked = self._counts.top(self.k)
+        if length is not None:
+            ranked = [(seq, c) for seq, c in ranked if len(seq) == length]
+        return ranked[:n]
+
+    def frequency(self, sequence: tuple) -> int:
+        """Estimated occurrence count of *sequence*."""
+        return self._counts.estimate(tuple(sequence))
+
+    def support(self, sequence: tuple) -> float:
+        """Estimated frequency relative to all events seen."""
+        if self.count == 0:
+            return 0.0
+        return self.frequency(sequence) / self.count
+
+    @property
+    def open_sessions(self) -> int:
+        """Keys with live history (memory gauge)."""
+        return len(self._recent)
+
+    def _merge_key(self) -> tuple:
+        return (self.max_len, self.k, self.history)
+
+    def _merge_into(self, other: "SequenceMiner") -> None:
+        """Merge the sequence counts (per-key windows stay partitioned)."""
+        self._counts.merge(other._counts)
+        self.count += other.count

@@ -1,0 +1,35 @@
+"""Sliding-window synopses and window operators.
+
+Covers three Table 1 rows and a Section 2 technique:
+"Basic Counting" (DGIM), "Significant One Counting" (Lee–Ting), sliding
+window statistics (exponential histograms), plus the tumbling / sliding /
+session window managers used by the streaming platform.
+"""
+
+from repro.windowing.decay import DecayedCounter, DecayedFrequencies
+from repro.windowing.dgim import DGIM
+from repro.windowing.extrema import SlidingExtrema
+from repro.windowing.exponential_histogram import EHSum, EHVariance
+from repro.windowing.significant_one import SignificantOneCounter
+from repro.windowing.windows import (
+    SessionWindow,
+    SlidingTimeWindow,
+    TumblingWindow,
+    Window,
+    windowed,
+)
+
+__all__ = [
+    "SlidingExtrema",
+    "DGIM",
+    "DecayedCounter",
+    "DecayedFrequencies",
+    "EHSum",
+    "EHVariance",
+    "SessionWindow",
+    "SignificantOneCounter",
+    "SlidingTimeWindow",
+    "TumblingWindow",
+    "Window",
+    "windowed",
+]

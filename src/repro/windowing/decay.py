@@ -1,0 +1,118 @@
+"""Exponentially decayed counters — smooth alternatives to hard windows.
+
+Where sliding windows forget abruptly, decayed counters age out smoothly:
+a count recorded ``dt`` ago contributes ``2^(-dt/half_life)``. Updates are
+O(1) by keeping the value normalised to the last update time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class DecayedCounter(SynopsisBase):
+    """A single exponentially decayed count."""
+
+    def __init__(self, half_life: float):
+        if half_life <= 0:
+            raise ParameterError("half_life must be positive")
+        self.half_life = half_life
+        self.count = 0
+        self._value = 0.0
+        self._as_of = 0.0
+
+    def update(self, item: Any = 1.0) -> None:
+        self.add(float(item), self._as_of)
+
+    def add(self, amount: float, timestamp: float) -> None:
+        """Add *amount* at *timestamp* (timestamps must not go backwards)."""
+        if timestamp < self._as_of:
+            raise ParameterError("timestamps must be non-decreasing")
+        self._value = self.value_at(timestamp) + amount
+        self._as_of = timestamp
+        self.count += 1
+
+    def value_at(self, timestamp: float) -> float:
+        """The decayed value as of *timestamp*."""
+        if timestamp < self._as_of:
+            raise ParameterError("cannot query the past")
+        dt = timestamp - self._as_of
+        return self._value * math.pow(2.0, -dt / self.half_life)
+
+    def _merge_key(self) -> tuple:
+        return (self.half_life,)
+
+    def _merge_into(self, other: "DecayedCounter") -> None:
+        now = max(self._as_of, other._as_of)
+        self._value = self.value_at(now) + other.value_at(now)
+        self._as_of = now
+        self.count += other.count
+
+
+class DecayedFrequencies(SynopsisBase):
+    """Per-key decayed counts with lazy normalisation (trending scores)."""
+
+    def __init__(self, half_life: float, max_keys: int = 100_000):
+        if half_life <= 0:
+            raise ParameterError("half_life must be positive")
+        if max_keys <= 0:
+            raise ParameterError("max_keys must be positive")
+        self.half_life = half_life
+        self.max_keys = max_keys
+        self.count = 0
+        self._values: dict[Hashable, float] = {}
+        self._as_of: dict[Hashable, float] = {}
+        self._now = 0.0
+
+    def add(self, key: Hashable, timestamp: float, amount: float = 1.0) -> None:
+        """Record *amount* for *key* at *timestamp*."""
+        if timestamp < self._now:
+            raise ParameterError("timestamps must be non-decreasing")
+        self._now = timestamp
+        self.count += 1
+        self._values[key] = self.value(key, timestamp) + amount
+        self._as_of[key] = timestamp
+        if len(self._values) > self.max_keys:
+            self._evict()
+
+    def update(self, item: Hashable) -> None:
+        self.add(item, self._now)
+
+    def value(self, key: Hashable, timestamp: float | None = None) -> float:
+        """Decayed score of *key* as of *timestamp* (default: latest)."""
+        timestamp = self._now if timestamp is None else timestamp
+        base = self._values.get(key)
+        if base is None:
+            return 0.0
+        dt = timestamp - self._as_of[key]
+        return base * math.pow(2.0, -dt / self.half_life)
+
+    def top(self, n: int) -> list[tuple[Hashable, float]]:
+        """The *n* keys with the highest current decayed scores."""
+        scored = [(key, self.value(key)) for key in self._values]
+        scored.sort(key=lambda kv: -kv[1])
+        return scored[:n]
+
+    def _evict(self) -> None:
+        """Drop the weakest half of the keys (amortised bound on memory)."""
+        scored = sorted(self._values, key=lambda k: self.value(k))
+        for key in scored[: len(scored) // 2]:
+            del self._values[key]
+            del self._as_of[key]
+
+    def _merge_key(self) -> tuple:
+        return (self.half_life, self.max_keys)
+
+    def _merge_into(self, other: "DecayedFrequencies") -> None:
+        now = max(self._now, other._now)
+        for key in other._values:
+            mine = self.value(key, now)
+            theirs = other.value(key, now)
+            self._values[key] = mine + theirs
+            self._as_of[key] = now
+        self._now = now
+        self.count += other.count

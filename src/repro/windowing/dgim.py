@@ -1,0 +1,93 @@
+"""DGIM basic counting over sliding windows.
+
+[Datar, Gionis, Indyk & Motwani, SICOMP 2002] — Table 1's "Basic Counting"
+row: estimate the number of 1-bits among the last *n* stream bits within
+relative error epsilon, using O((1/epsilon) log^2 n) bits.
+
+The structure keeps buckets of exponentially growing sizes (each bucket
+covers a run of the window containing ``size`` ones); at most
+``ceil(1/epsilon) + 1`` buckets of each size are allowed, and overflow
+merges the two oldest of a size into one of double size. The estimate sums
+complete buckets plus half of the straddling oldest bucket.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class DGIM(SynopsisBase):
+    """Count of 1s in the last *window* bits, within ``epsilon`` relative error."""
+
+    def __init__(self, window: int, epsilon: float = 0.5):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if not 0 < epsilon <= 1:
+            raise ParameterError("epsilon must lie in (0, 1]")
+        self.window = window
+        self.epsilon = epsilon
+        self.max_per_size = max(2, int(1.0 / epsilon) + 1)
+        self.count = 0  # stream position (timestamp)
+        # Buckets as (end_timestamp, size), newest first.
+        self._buckets: deque[tuple[int, int]] = deque()
+
+    def update(self, item: int | bool) -> None:
+        """Shift in one bit (truthy = 1)."""
+        self.count += 1
+        # Expire the oldest bucket if it fell fully out of the window.
+        if self._buckets and self._buckets[-1][0] <= self.count - self.window:
+            self._buckets.pop()
+        if not item:
+            return
+        self._buckets.appendleft((self.count, 1))
+        self._cascade()
+
+    def _cascade(self) -> None:
+        """Merge oldest same-size pairs while any size overflows."""
+        buckets = list(self._buckets)
+        i = 0
+        while i < len(buckets):
+            size = buckets[i][1]
+            # Find the run of buckets with this size (they are contiguous).
+            j = i
+            while j < len(buckets) and buckets[j][1] == size:
+                j += 1
+            if j - i > self.max_per_size:
+                # Merge the two *oldest* (largest index) of this size.
+                older = buckets[j - 1]
+                newer = buckets[j - 2]
+                merged = (newer[0], size * 2)
+                buckets[j - 2 : j] = [merged]
+            else:
+                i = j
+        self._buckets = deque(buckets)
+
+    def estimate(self) -> int:
+        """Estimated number of 1s in the last *window* bits."""
+        total = 0
+        oldest_size = 0
+        cutoff = self.count - self.window
+        for end_ts, size in self._buckets:
+            if end_ts > cutoff:
+                total += size
+                oldest_size = size
+        if oldest_size:
+            total -= oldest_size // 2  # half the straddling bucket
+        return total
+
+    @property
+    def n_buckets(self) -> int:
+        """Retained buckets (space gauge, O((1/eps) log(eps * window)))."""
+        return len(self._buckets)
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.epsilon)
+
+    def _merge_into(self, other: "DGIM") -> None:
+        raise NotImplementedError(
+            "DGIM buckets are bound to stream positions; count per partition "
+            "and add the estimates instead"
+        )

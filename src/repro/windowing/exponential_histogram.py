@@ -1,0 +1,194 @@
+"""Exponential histograms for sliding-window sums and variance.
+
+Generalises DGIM from bits to bounded non-negative integers (sum) and to
+variance, following [Datar et al. 2002] and [Babcock, Datar, Motwani &
+O'Callaghan 2003] ("maintaining variance and k-medians over data stream
+windows"). Buckets hold aggregates; capacities double with age; at most
+``k_per_size`` buckets of each capacity are kept. The straddling oldest
+bucket contributes half its aggregate, bounding relative error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+@dataclass
+class _VarBucket:
+    end_ts: int
+    n: int
+    mean: float
+    m2: float  # sum of squared deviations from the bucket mean
+
+
+class EHSum(SynopsisBase):
+    """Sliding-window sum of non-negative integers within relative error."""
+
+    def __init__(self, window: int, epsilon: float = 0.1, max_value: int = 1 << 16):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if not 0 < epsilon <= 1:
+            raise ParameterError("epsilon must lie in (0, 1]")
+        if max_value <= 0:
+            raise ParameterError("max_value must be positive")
+        self.window = window
+        self.epsilon = epsilon
+        self.max_value = max_value
+        self.k_per_size = max(2, int(1.0 / epsilon) + 1)
+        self.count = 0
+        self._buckets: deque[tuple[int, int]] = deque()  # (end_ts, sum), newest first
+
+    def update(self, item: int) -> None:
+        value = int(item)
+        if not 0 <= value <= self.max_value:
+            raise ParameterError(f"value {value} outside [0, {self.max_value}]")
+        self.count += 1
+        while self._buckets and self._buckets[-1][0] <= self.count - self.window:
+            self._buckets.pop()
+        if value == 0:
+            return
+        # Decompose the value into power-of-two buckets (Datar et al. treat
+        # a value v as v simultaneous unit arrivals; its binary expansion
+        # yields the same canonical bucket set in O(log v) pieces).
+        bit = 1
+        while value:
+            if value & bit:
+                self._buckets.appendleft((self.count, bit))
+                value ^= bit
+            bit <<= 1
+        self._cascade()
+
+    def _cascade(self) -> None:
+        """Merge the two oldest buckets of any size class exceeding its quota.
+
+        All bucket sums are powers of two, so merging two same-class buckets
+        produces exactly the next class, as in DGIM.
+        """
+        buckets = list(self._buckets)  # newest first
+        changed = True
+        while changed:
+            changed = False
+            by_class: dict[int, list[int]] = {}
+            for idx, (__, s) in enumerate(buckets):
+                by_class.setdefault(s.bit_length(), []).append(idx)
+            for indices in by_class.values():
+                if len(indices) > self.k_per_size:
+                    # Oldest two are the largest indices (newest-first order).
+                    old_i, old_j = indices[-1], indices[-2]  # old_i > old_j
+                    merged = (buckets[old_j][0], buckets[old_i][1] + buckets[old_j][1])
+                    del buckets[old_i]
+                    buckets[old_j] = merged
+                    changed = True
+                    break
+        self._buckets = deque(buckets)
+
+    def estimate(self) -> float:
+        """Estimated sum of the last *window* values."""
+        total = 0
+        oldest = 0
+        cutoff = self.count - self.window
+        for end_ts, s in self._buckets:
+            if end_ts > cutoff:
+                total += s
+                oldest = s
+        return total - oldest / 2.0 if oldest else 0.0
+
+    @property
+    def n_buckets(self) -> int:
+        """Retained buckets (space gauge)."""
+        return len(self._buckets)
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.epsilon, self.max_value)
+
+    def _merge_into(self, other: "EHSum") -> None:
+        raise NotImplementedError("position-bound; sum per partition instead")
+
+
+class EHVariance(SynopsisBase):
+    """Sliding-window variance via exponential-histogram buckets.
+
+    Buckets carry ``(n, mean, M2)`` and combine with Chan's parallel
+    variance formula; bucket counts double with age as in EHSum. The
+    straddling bucket is included whole, so the estimate is over a window of
+    size between ``window`` and ``window + oldest_bucket_n`` — the classic
+    EH boundary slack, bounded by epsilon relative error on n.
+    """
+
+    def __init__(self, window: int, epsilon: float = 0.1):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if not 0 < epsilon <= 1:
+            raise ParameterError("epsilon must lie in (0, 1]")
+        self.window = window
+        self.epsilon = epsilon
+        self.k_per_size = max(2, int(1.0 / epsilon) + 1)
+        self.count = 0
+        self._buckets: deque[_VarBucket] = deque()  # newest first
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        self.count += 1
+        while self._buckets and self._buckets[-1].end_ts <= self.count - self.window:
+            self._buckets.pop()
+        self._buckets.appendleft(_VarBucket(self.count, 1, value, 0.0))
+        self._cascade()
+
+    @staticmethod
+    def _combine(a: _VarBucket, b: _VarBucket) -> _VarBucket:
+        n = a.n + b.n
+        delta = b.mean - a.mean
+        mean = a.mean + delta * b.n / n
+        m2 = a.m2 + b.m2 + delta * delta * a.n * b.n / n
+        return _VarBucket(max(a.end_ts, b.end_ts), n, mean, m2)
+
+    def _cascade(self) -> None:
+        buckets = list(self._buckets)
+        i = 0
+        while i < len(buckets):
+            cls = buckets[i].n.bit_length()
+            j = i
+            while j < len(buckets) and buckets[j].n.bit_length() == cls:
+                j += 1
+            if j - i > self.k_per_size:
+                merged = self._combine(buckets[j - 1], buckets[j - 2])
+                merged.end_ts = buckets[j - 2].end_ts
+                buckets[j - 2 : j] = [merged]
+            else:
+                i = j
+        self._buckets = deque(buckets)
+
+    def _live(self) -> _VarBucket | None:
+        cutoff = self.count - self.window
+        acc: _VarBucket | None = None
+        for bucket in self._buckets:
+            if bucket.end_ts > cutoff:
+                acc = bucket if acc is None else self._combine(acc, bucket)
+        return acc
+
+    def estimate_variance(self) -> float:
+        """Estimated population variance over the last *window* values."""
+        acc = self._live()
+        if acc is None or acc.n == 0:
+            return 0.0
+        return acc.m2 / acc.n
+
+    def estimate_mean(self) -> float:
+        """Estimated mean over the last *window* values."""
+        acc = self._live()
+        return 0.0 if acc is None else acc.mean
+
+    @property
+    def n_buckets(self) -> int:
+        """Retained buckets (space gauge)."""
+        return len(self._buckets)
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.epsilon)
+
+    def _merge_into(self, other: "EHVariance") -> None:
+        raise NotImplementedError("position-bound; aggregate per partition instead")

@@ -1,0 +1,72 @@
+"""Sliding-window minimum / maximum in amortised O(1) per element.
+
+The monotonic-deque technique: retain only elements that could still
+become the window extremum (a decreasing sequence for max). Each element
+enters and leaves the deque at most once, so updates are amortised O(1)
+and memory is at most the window size but typically far smaller — one of
+the "maintaining statistics over sliding windows" primitives Section 2
+groups with variance and correlated aggregates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class SlidingExtrema(SynopsisBase):
+    """Sliding-window min and max over the last *window* elements."""
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        self.window = window
+        self.count = 0
+        # Deques of (position, value); maxima decreasing, minima increasing.
+        self._max: deque[tuple[int, float]] = deque()
+        self._min: deque[tuple[int, float]] = deque()
+
+    def update(self, item: float) -> None:
+        value = float(item)
+        pos = self.count
+        self.count += 1
+        cutoff = pos - self.window
+        while self._max and self._max[0][0] <= cutoff:
+            self._max.popleft()
+        while self._min and self._min[0][0] <= cutoff:
+            self._min.popleft()
+        while self._max and self._max[-1][1] <= value:
+            self._max.pop()
+        self._max.append((pos, value))
+        while self._min and self._min[-1][1] >= value:
+            self._min.pop()
+        self._min.append((pos, value))
+
+    def max(self) -> float:
+        """Maximum of the last *window* elements."""
+        if not self._max:
+            raise ParameterError("extrema of an empty window")
+        return self._max[0][1]
+
+    def min(self) -> float:
+        """Minimum of the last *window* elements."""
+        if not self._min:
+            raise ParameterError("extrema of an empty window")
+        return self._min[0][1]
+
+    def range(self) -> float:
+        """max - min over the window."""
+        return self.max() - self.min()
+
+    @property
+    def retained(self) -> int:
+        """Elements currently held across both deques (memory gauge)."""
+        return len(self._max) + len(self._min)
+
+    def _merge_key(self) -> tuple:
+        return (self.window,)
+
+    def _merge_into(self, other: "SlidingExtrema") -> None:
+        raise NotImplementedError("sliding windows are position-bound; not mergeable")

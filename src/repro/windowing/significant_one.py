@@ -1,0 +1,75 @@
+"""Significant-one counting over sliding windows [Lee & Ting, SODA 2006].
+
+Table 1's last row: estimate the number *m* of 1-bits in the last *n* bits
+such that the answer is epsilon-accurate **whenever m >= theta * n** — a
+weaker guarantee than DGIM's, bought with less memory. Since only counts
+above ``theta * n`` matter, absolute error ``epsilon * theta * n`` suffices,
+so it is enough to track 1-positions at granularity
+``b = max(1, floor(epsilon * theta * n / 2))``: a queue of "blocks", each
+recording where its ``b``-th one completed. Memory is ``O(1/(epsilon *
+theta))`` block records versus DGIM's ``O((1/epsilon) log^2 n)`` — the
+trade-off the paper's Table 1 cites for traffic accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.exceptions import ParameterError
+from repro.common.mergeable import SynopsisBase
+
+
+class SignificantOneCounter(SynopsisBase):
+    """(epsilon, theta)-approximate count of 1s in the last *window* bits."""
+
+    def __init__(self, window: int, theta: float = 0.1, epsilon: float = 0.1):
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        if not 0 < theta < 1:
+            raise ParameterError("theta must lie in (0, 1)")
+        if not 0 < epsilon <= 1:
+            raise ParameterError("epsilon must lie in (0, 1]")
+        self.window = window
+        self.theta = theta
+        self.epsilon = epsilon
+        self.block_size = max(1, int(epsilon * theta * window / 2.0))
+        self.count = 0
+        self._partial = 0  # ones in the currently filling block
+        # Completed blocks: timestamp at which the block's last one arrived.
+        self._blocks: deque[int] = deque()
+
+    def update(self, item: int | bool) -> None:
+        """Shift in one bit (truthy = 1)."""
+        self.count += 1
+        cutoff = self.count - self.window
+        while self._blocks and self._blocks[0] <= cutoff:
+            self._blocks.popleft()
+        if item:
+            self._partial += 1
+            if self._partial == self.block_size:
+                self._blocks.append(self.count)
+                self._partial = 0
+
+    def estimate(self) -> int:
+        """Estimated 1-count; epsilon-accurate whenever the true count
+        is at least ``theta * window``."""
+        # The oldest surviving block may be partially expired: discount half.
+        full = len(self._blocks) * self.block_size
+        if self._blocks:
+            full -= self.block_size // 2
+        return full + self._partial
+
+    def is_significant(self) -> bool:
+        """True when the estimate clears the significance bar theta*window."""
+        return self.estimate() >= self.theta * self.window
+
+    @property
+    def n_blocks(self) -> int:
+        """Retained block records (space gauge, O(1/(epsilon*theta)))."""
+        return len(self._blocks)
+
+    def _merge_key(self) -> tuple:
+        return (self.window, self.theta, self.epsilon)
+
+    def _merge_into(self, other: "SignificantOneCounter") -> None:
+        raise NotImplementedError("position-bound; count per partition instead")

@@ -1,0 +1,33 @@
+"""Synthetic workload generators standing in for production streams.
+
+The paper motivates its algorithm taxonomy with Twitter-scale workloads
+(tweets/hashtags, site audiences, sensor telemetry, click streams, web
+graphs). Those traces are proprietary, so this package provides seeded
+generators whose *distributional shape* — skew, cardinality, drift,
+burstiness — is explicitly controlled, which is what the algorithms'
+accuracy/space trade-offs actually depend on.
+"""
+
+from repro.workloads.graphs import edge_stream, power_law_edge_stream
+from repro.workloads.sensors import (
+    random_walk_series,
+    seasonal_series,
+    sensor_stream_with_anomalies,
+    series_with_missing_values,
+)
+from repro.workloads.text import hashtag_stream, zipf_stream
+from repro.workloads.web import click_stream, session_stream, visitor_stream
+
+__all__ = [
+    "click_stream",
+    "edge_stream",
+    "hashtag_stream",
+    "power_law_edge_stream",
+    "random_walk_series",
+    "seasonal_series",
+    "sensor_stream_with_anomalies",
+    "series_with_missing_values",
+    "session_stream",
+    "visitor_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,61 @@
+"""Edge streams for semi-streaming graph algorithm workloads."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+
+
+def edge_stream(
+    nodes: int, edges: int, seed: int = 0, allow_duplicates: bool = True
+) -> Iterator[tuple[int, int]]:
+    """*edges* uniform random undirected edges over ``range(nodes)``.
+
+    Self-loops are excluded. With ``allow_duplicates=False`` the stream is a
+    uniform simple graph (requires ``edges <= nodes*(nodes-1)/2``).
+    """
+    if nodes < 2:
+        raise ParameterError("need at least 2 nodes")
+    max_edges = nodes * (nodes - 1) // 2
+    if not allow_duplicates and edges > max_edges:
+        raise ParameterError(f"at most {max_edges} simple edges over {nodes} nodes")
+    rng = make_np_rng(seed)
+    seen: set[tuple[int, int]] = set()
+    produced = 0
+    while produced < edges:
+        u = int(rng.integers(nodes))
+        v = int(rng.integers(nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if not allow_duplicates:
+            if key in seen:
+                continue
+            seen.add(key)
+        produced += 1
+        yield key
+
+
+def power_law_edge_stream(
+    nodes: int, edges: int, skew: float = 1.2, seed: int = 0
+) -> Iterator[tuple[int, int]]:
+    """Edges whose endpoints are Zipf-distributed (hub-dominated web graph)."""
+    if nodes < 2:
+        raise ParameterError("need at least 2 nodes")
+    if skew <= 0:
+        raise ParameterError("skew must be positive")
+    import numpy as np
+
+    rng = make_np_rng(seed)
+    ranks = np.arange(1, nodes + 1, dtype=np.float64)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    produced = 0
+    while produced < edges:
+        u, v = (int(x) for x in rng.choice(nodes, size=2, p=weights))
+        if u == v:
+            continue
+        produced += 1
+        yield (min(u, v), max(u, v))

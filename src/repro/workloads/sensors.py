@@ -1,0 +1,108 @@
+"""Sensor telemetry series with injected anomalies, seasonality and gaps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+
+
+@dataclass(frozen=True)
+class AnnotatedSeries:
+    """A series plus ground truth about what was injected into it."""
+
+    values: np.ndarray
+    anomaly_indices: tuple[int, ...] = ()
+    missing_indices: tuple[int, ...] = ()
+    clean: np.ndarray | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def random_walk_series(
+    n: int, step_std: float = 1.0, start: float = 0.0, seed: int = 0
+) -> np.ndarray:
+    """A Gaussian random walk of length *n* (baseline telemetry signal)."""
+    if n < 0:
+        raise ParameterError("n must be non-negative")
+    rng = make_np_rng(seed)
+    return start + np.cumsum(rng.normal(0.0, step_std, size=n))
+
+
+def seasonal_series(
+    n: int,
+    period: int = 96,
+    amplitude: float = 10.0,
+    trend: float = 0.0,
+    noise_std: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """A trend + sinusoidal-seasonality + noise series (daily-cycle metric)."""
+    if period <= 0:
+        raise ParameterError("period must be positive")
+    rng = make_np_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    return (
+        trend * t
+        + amplitude * np.sin(2 * np.pi * t / period)
+        + rng.normal(0.0, noise_std, size=n)
+    )
+
+
+def sensor_stream_with_anomalies(
+    n: int,
+    anomaly_rate: float = 0.005,
+    anomaly_magnitude: float = 8.0,
+    base_std: float = 1.0,
+    seed: int = 0,
+) -> AnnotatedSeries:
+    """White-noise telemetry with point anomalies of known location.
+
+    Anomalies are spikes of ``anomaly_magnitude`` standard deviations with
+    random sign — the classic injected-outlier benchmark for streaming
+    detectors. Returns the series and the injected indices as ground truth.
+    """
+    if not 0 <= anomaly_rate < 1:
+        raise ParameterError("anomaly_rate must lie in [0, 1)")
+    rng = make_np_rng(seed)
+    clean = rng.normal(0.0, base_std, size=n)
+    values = clean.copy()
+    count = int(round(n * anomaly_rate))
+    indices = np.sort(rng.choice(n, size=count, replace=False)) if count else np.array([], dtype=int)
+    signs = rng.choice([-1.0, 1.0], size=count)
+    values[indices] += signs * anomaly_magnitude * base_std
+    return AnnotatedSeries(
+        values=values,
+        anomaly_indices=tuple(int(i) for i in indices),
+        clean=clean,
+    )
+
+
+def series_with_missing_values(
+    n: int,
+    missing_rate: float = 0.05,
+    period: int = 64,
+    seed: int = 0,
+) -> AnnotatedSeries:
+    """A smooth seasonal series where a fraction of points is masked NaN.
+
+    Used by the data-prediction benches: a predictor sees the NaN positions
+    and must reconstruct them; the clean series is the ground truth.
+    """
+    if not 0 <= missing_rate < 1:
+        raise ParameterError("missing_rate must lie in [0, 1)")
+    rng = make_np_rng(seed)
+    clean = seasonal_series(n, period=period, amplitude=5.0, noise_std=0.3, seed=seed)
+    values = clean.copy()
+    count = int(round(n * missing_rate))
+    indices = np.sort(rng.choice(n, size=count, replace=False)) if count else np.array([], dtype=int)
+    values[indices] = np.nan
+    return AnnotatedSeries(
+        values=values,
+        missing_indices=tuple(int(i) for i in indices),
+        clean=clean,
+    )

@@ -1,0 +1,72 @@
+"""Skewed token streams modelling tweets and trending hashtags."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+
+
+def zipf_stream(
+    n: int,
+    universe: int = 10_000,
+    skew: float = 1.1,
+    seed: int = 0,
+    prefix: str = "item",
+) -> Iterator[str]:
+    """Yield *n* tokens drawn Zipf(skew) from ``{prefix}{0..universe-1}``.
+
+    Rank 0 is the most frequent token. ``skew`` must exceed 0; values near 1
+    give the heavy-tailed shape typical of word/hashtag frequencies.
+    """
+    if n < 0:
+        raise ParameterError("n must be non-negative")
+    if universe <= 0:
+        raise ParameterError("universe must be positive")
+    if skew <= 0:
+        raise ParameterError("skew must be positive")
+    rng = make_np_rng(seed)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    draws = rng.choice(universe, size=n, p=weights)
+    for rank in draws:
+        yield f"{prefix}{int(rank)}"
+
+
+def hashtag_stream(
+    n: int,
+    background_tags: int = 5_000,
+    skew: float = 1.05,
+    trending: dict[str, float] | None = None,
+    seed: int = 0,
+) -> Iterator[str]:
+    """A hashtag stream: a Zipfian background plus injected trending tags.
+
+    ``trending`` maps a tag name to the fraction of the stream it should
+    occupy (e.g. ``{"#vldb": 0.05}``). Trending occurrences are interleaved
+    uniformly at random, which is what a frequent-elements sketch must
+    separate from the background.
+    """
+    trending = dict(trending or {})
+    total_trend = sum(trending.values())
+    if total_trend >= 1.0:
+        raise ParameterError("trending fractions must sum to < 1")
+    if any(f <= 0 for f in trending.values()):
+        raise ParameterError("trending fractions must be positive")
+    rng = make_np_rng(seed)
+    background = list(
+        zipf_stream(n, universe=background_tags, skew=skew, seed=seed, prefix="#tag")
+    )
+    tags = list(trending)
+    if tags:
+        probs = np.array([trending[t] for t in tags])
+        mask = rng.random(n) < total_trend
+        choices = rng.choice(len(tags), size=n, p=probs / probs.sum())
+        for i in range(n):
+            yield tags[choices[i]] if mask[i] else background[i]
+    else:
+        yield from background

@@ -1,0 +1,95 @@
+"""Click / visitor / session streams for audience-analysis workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """One page view: who clicked what, when."""
+
+    timestamp: float
+    user_id: str
+    page: str
+
+
+def visitor_stream(
+    n: int, unique_visitors: int, revisit_skew: float = 0.8, seed: int = 0
+) -> Iterator[str]:
+    """*n* visitor ids with exactly ``unique_visitors`` distinct values.
+
+    Revisit frequency is Zipf-skewed (a few power users dominate), the shape
+    cardinality estimators must be robust to. Every one of the
+    ``unique_visitors`` ids appears at least once when ``n`` allows.
+    """
+    if unique_visitors <= 0:
+        raise ParameterError("unique_visitors must be positive")
+    if n < unique_visitors:
+        raise ParameterError("n must be >= unique_visitors to realise the cardinality")
+    rng = make_np_rng(seed)
+    ranks = np.arange(1, unique_visitors + 1, dtype=np.float64)
+    weights = ranks**-revisit_skew
+    weights /= weights.sum()
+    extra = rng.choice(unique_visitors, size=n - unique_visitors, p=weights)
+    ids = np.concatenate([np.arange(unique_visitors), extra])
+    rng.shuffle(ids)
+    for uid in ids:
+        yield f"user{int(uid)}"
+
+
+def click_stream(
+    n: int,
+    unique_visitors: int = 1_000,
+    pages: int = 200,
+    page_skew: float = 1.0,
+    rate_per_sec: float = 100.0,
+    seed: int = 0,
+) -> Iterator[ClickEvent]:
+    """A timestamped click stream with Poisson arrivals and Zipf page popularity."""
+    if rate_per_sec <= 0:
+        raise ParameterError("rate_per_sec must be positive")
+    rng = make_np_rng(seed)
+    users = list(visitor_stream(n, min(unique_visitors, n), seed=seed))
+    ranks = np.arange(1, pages + 1, dtype=np.float64)
+    weights = ranks**-page_skew
+    weights /= weights.sum()
+    page_ids = rng.choice(pages, size=n, p=weights)
+    gaps = rng.exponential(1.0 / rate_per_sec, size=n)
+    now = 0.0
+    for i in range(n):
+        now += float(gaps[i])
+        yield ClickEvent(timestamp=now, user_id=users[i], page=f"/page/{int(page_ids[i])}")
+
+
+def session_stream(
+    sessions: int,
+    mean_session_len: float = 8.0,
+    seed: int = 0,
+) -> Iterator[list[ClickEvent]]:
+    """Yield complete user sessions (bursts of clicks sharing a user id).
+
+    Session lengths are geometric; inside a session clicks arrive seconds
+    apart, between sessions minutes pass — the pattern session-window
+    operators must segment.
+    """
+    if sessions < 0:
+        raise ParameterError("sessions must be non-negative")
+    rng = make_np_rng(seed)
+    now = 0.0
+    for s in range(sessions):
+        now += float(rng.exponential(300.0))  # inter-session gap, seconds
+        length = 1 + int(rng.geometric(1.0 / mean_session_len))
+        events = []
+        for __ in range(length):
+            now += float(rng.exponential(5.0))  # intra-session gap
+            events.append(
+                ClickEvent(timestamp=now, user_id=f"user{s}", page=f"/page/{int(rng.integers(100))}")
+            )
+        yield events

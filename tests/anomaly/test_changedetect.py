@@ -1,0 +1,102 @@
+"""Tests for distribution change detection."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.anomaly import PageHinkley, WindowKLDetector
+
+
+class TestPageHinkley:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PageHinkley(threshold=0)
+        with pytest.raises(ParameterError):
+            PageHinkley(delta=-1)
+
+    def test_no_change_on_stationary(self):
+        rng = make_np_rng(81)
+        ph = PageHinkley(delta=0.1, threshold=50.0)
+        fired = [ph.update(v) for v in rng.normal(0, 1, size=5_000)]
+        assert sum(fired) == 0
+
+    def test_detects_mean_shift(self):
+        rng = make_np_rng(82)
+        ph = PageHinkley(delta=0.1, threshold=30.0)
+        fired = []
+        for v in rng.normal(0, 1, size=2_000):
+            fired.append(ph.update(v))
+        for v in rng.normal(3, 1, size=500):
+            fired.append(ph.update(v))
+        assert any(fired[2_000:])
+        # Detection latency: fires within the shifted segment, not before.
+        assert not any(fired[:2_000])
+
+    def test_resets_after_detection(self):
+        rng = make_np_rng(83)
+        ph = PageHinkley(delta=0.1, threshold=20.0)
+        for v in rng.normal(0, 1, size=1_000):
+            ph.update(v)
+        for v in rng.normal(5, 1, size=200):
+            ph.update(v)
+        assert len(ph.changes) >= 1
+        assert ph.statistic < 20.0  # reset happened
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            PageHinkley().merge(PageHinkley())
+
+
+class TestWindowKL:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WindowKLDetector(reference=10, bins=16)
+        with pytest.raises(ParameterError):
+            WindowKLDetector(threshold=0)
+
+    def test_calibration_phase(self):
+        det = WindowKLDetector(reference=200, window=100, bins=8)
+        rng = make_np_rng(84)
+        for v in rng.normal(size=150):
+            assert det.update(v) is False
+        assert not det.calibrated
+        for v in rng.normal(size=50):
+            det.update(v)
+        assert det.calibrated
+
+    def test_stationary_stream_quiet(self):
+        det = WindowKLDetector(reference=1_000, window=500, bins=16, threshold=0.25)
+        rng = make_np_rng(85)
+        fired = [det.update(v) for v in rng.normal(size=8_000)]
+        assert sum(fired) < 8_000 * 0.01
+
+    def test_detects_variance_change(self):
+        """A variance change keeps the mean yet reshapes the histogram —
+        the distributional detector must catch it promptly."""
+        rng = make_np_rng(86)
+        det = WindowKLDetector(reference=1_000, window=500, bins=16, threshold=0.25)
+        kl_fired = []
+        stream = np.concatenate([rng.normal(0, 1, 4_000), rng.normal(0, 4, 1_500)])
+        for v in stream:
+            kl_fired.append(det.update(v))
+        assert not any(kl_fired[:4_000])
+        assert sum(kl_fired[4_000:]) > 500  # sustained detection
+        assert det.divergence() > 0.25
+
+    def test_detects_mean_shift_too(self):
+        rng = make_np_rng(87)
+        det = WindowKLDetector(reference=1_000, window=400, bins=16, threshold=0.3)
+        fired = []
+        for v in rng.normal(0, 1, size=3_000):
+            fired.append(det.update(v))
+        for v in rng.normal(2.5, 1, size=800):
+            fired.append(det.update(v))
+        assert any(fired[3_000:])
+
+    def test_divergence_non_negative(self):
+        det = WindowKLDetector(reference=500, window=200, bins=8)
+        rng = make_np_rng(88)
+        for v in rng.normal(size=1_500):
+            det.update(v)
+        assert det.divergence() >= 0.0

@@ -1,0 +1,191 @@
+"""Tests for streaming anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.anomaly import (
+    EWMAControlChart,
+    HalfSpaceTrees,
+    RollingZScore,
+    SlidingMAD,
+    SubspaceTracker,
+)
+from repro.workloads import sensor_stream_with_anomalies
+
+
+def _precision_recall(flags, truth_indices, n, tolerance=0):
+    truth = set(truth_indices)
+    flagged = {i for i, f in enumerate(flags) if f}
+    tp = sum(1 for t in truth if any(abs(t - f) <= tolerance for f in flagged))
+    fp = len(flagged) - sum(1 for f in flagged if any(abs(t - f) <= tolerance for t in truth))
+    recall = tp / len(truth) if truth else 1.0
+    precision = (len(flagged) - max(fp, 0)) / len(flagged) if flagged else 1.0
+    return precision, recall
+
+
+class TestRollingZScore:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            RollingZScore(window=1)
+        with pytest.raises(ParameterError):
+            RollingZScore(threshold=0)
+
+    def test_detects_injected_spikes(self):
+        annotated = sensor_stream_with_anomalies(5_000, anomaly_rate=0.005, seed=1)
+        det = RollingZScore(window=200, threshold=4.0)
+        flags = [det.update(v) for v in annotated.values]
+        precision, recall = _precision_recall(flags, annotated.anomaly_indices, 5_000)
+        assert recall > 0.9
+        assert precision > 0.7
+
+    def test_warmup_never_flags(self):
+        det = RollingZScore(window=100, warmup=16)
+        flags = [det.update(v) for v in [0.0] * 10 + [100.0]]
+        assert not any(flags[:10])
+
+    def test_exclude_anomalies_preserves_sensitivity(self):
+        det = RollingZScore(window=100, threshold=4.0, exclude_anomalies=True)
+        rng = make_np_rng(2)
+        for v in rng.normal(size=500):
+            det.update(float(v))
+        assert det.update(50.0)
+        assert det.update(50.0)  # still anomalous: first spike was excluded
+
+    def test_constant_stream_then_jump(self):
+        det = RollingZScore(window=50, warmup=5)
+        for __ in range(50):
+            det.update(1.0)
+        assert det.update(2.0)  # infinite z on zero variance
+
+
+class TestEWMA:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            EWMAControlChart(alpha=0)
+        with pytest.raises(ParameterError):
+            EWMAControlChart(L=0)
+
+    def test_detects_spikes(self):
+        annotated = sensor_stream_with_anomalies(5_000, anomaly_rate=0.004, seed=3)
+        det = EWMAControlChart(alpha=0.2, L=4.0)
+        flags = [det.update(v) for v in annotated.values]
+        __, recall = _precision_recall(flags, annotated.anomaly_indices, 5_000)
+        assert recall > 0.85
+
+    def test_adapts_to_slow_drift(self):
+        det = EWMAControlChart(alpha=0.1, L=4.0)
+        rng = make_np_rng(4)
+        flags = []
+        for t in range(4_000):
+            value = t * 0.01 + rng.normal()  # slow ramp
+            flags.append(det.update(value))
+        assert sum(flags) < 4_000 * 0.02  # drift mostly tolerated
+
+    def test_control_limits_bracket_ewma(self):
+        det = EWMAControlChart(alpha=0.3)
+        for v in make_np_rng(5).normal(10, 1, 200):
+            det.update(float(v))
+        lo, hi = det.control_limits()
+        assert lo < det.ewma < hi
+
+
+class TestSlidingMAD:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SlidingMAD(window=1)
+
+    def test_detects_spikes(self):
+        annotated = sensor_stream_with_anomalies(3_000, anomaly_rate=0.005, seed=6)
+        det = SlidingMAD(window=150, threshold=4.0)
+        flags = [det.update(v) for v in annotated.values]
+        precision, recall = _precision_recall(flags, annotated.anomaly_indices, 3_000)
+        assert recall > 0.9
+
+    def test_robust_to_outlier_contamination(self):
+        """A burst of outliers should not blind the detector (std would)."""
+        rng = make_np_rng(7)
+        det = SlidingMAD(window=100, threshold=4.0)
+        for v in rng.normal(size=300):
+            det.update(float(v))
+        for __ in range(10):  # contaminate
+            det.update(30.0)
+        assert det.update(30.0)  # still flagged despite contamination
+
+    def test_median_and_mad_exact(self):
+        det = SlidingMAD(window=5, warmup=3)
+        for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+            det.update(v)
+        assert det.median() == 3.0
+        assert det.mad() == 1.0
+
+
+class TestHalfSpaceTrees:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            HalfSpaceTrees(dims=0)
+        with pytest.raises(ParameterError):
+            HalfSpaceTrees(quantile=0.9)
+
+    def test_scores_separate_dense_from_sparse(self):
+        rng = make_np_rng(8)
+        det = HalfSpaceTrees(dims=2, n_trees=30, max_depth=7, window=200, seed=0)
+        # Normal mass concentrated near (0.3, 0.3).
+        for __ in range(1_000):
+            det.update(rng.normal(0.3, 0.03, size=2))
+        normal_score = det.score(np.array([0.3, 0.3]))
+        outlier_score = det.score(np.array([0.9, 0.9]))
+        assert outlier_score < normal_score * 0.2
+
+    def test_flags_outliers_after_warmup(self):
+        rng = make_np_rng(9)
+        det = HalfSpaceTrees(dims=1, n_trees=25, window=150, quantile=0.05, seed=1)
+        flags = []
+        truth = []
+        for t in range(2_000):
+            if t > 600 and t % 197 == 0:
+                flags.append(det.update([0.95]))
+                truth.append(True)
+            else:
+                flags.append(det.update([rng.normal(0.4, 0.02)]))
+                truth.append(False)
+        hits = sum(1 for f, t in zip(flags, truth) if f and t)
+        total = sum(truth)
+        assert hits / total > 0.6
+
+    def test_dimension_check(self):
+        det = HalfSpaceTrees(dims=2)
+        with pytest.raises(ParameterError):
+            det.update([0.1, 0.2, 0.3])
+
+
+class TestSubspaceTracker:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SubspaceTracker(dims=2, k=3)
+
+    def test_learns_dominant_direction(self):
+        rng = make_np_rng(10)
+        tracker = SubspaceTracker(dims=3, k=1, learning_rate=0.1, seed=0)
+        direction = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+        samples = []
+        for __ in range(2_000):
+            x = direction * rng.normal(0, 5) + rng.normal(0, 0.1, size=3)
+            tracker.update(x)
+            samples.append(x)
+        explained = tracker.explained_fraction(np.array(samples[-500:]))
+        assert explained > 0.9
+
+    def test_flags_off_subspace_points(self):
+        rng = make_np_rng(11)
+        tracker = SubspaceTracker(dims=3, k=1, threshold=5.0, seed=1)
+        direction = np.array([1.0, 0.0, 0.0])
+        for __ in range(1_000):
+            tracker.update(direction * rng.normal(0, 3) + rng.normal(0, 0.05, size=3))
+        assert tracker.update(np.array([0.0, 5.0, 5.0]))
+
+    def test_shape_check(self):
+        tracker = SubspaceTracker(dims=2)
+        with pytest.raises(ParameterError):
+            tracker.update(np.zeros(3))

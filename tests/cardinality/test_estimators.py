@@ -1,0 +1,203 @@
+"""Accuracy and merge tests for the cardinality estimators."""
+
+import pytest
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.cardinality import (
+    FlajoletMartin,
+    HyperLogLog,
+    KMinValues,
+    LinearCounter,
+    LogLog,
+    SlidingHyperLogLog,
+)
+
+
+def _fill(sketch, n, prefix="item", start=0):
+    sketch.update_many(f"{prefix}{i}" for i in range(start, start + n))
+    return sketch
+
+
+class TestLinearCounter:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            LinearCounter(0)
+
+    def test_accuracy_while_sparse(self):
+        lc = _fill(LinearCounter(50_000, seed=0), 5_000)
+        assert abs(lc.estimate() - 5_000) / 5_000 < 0.03
+
+    def test_duplicates_ignored(self):
+        lc = LinearCounter(10_000, seed=1)
+        for __ in range(5):
+            _fill(lc, 1_000)
+        assert abs(lc.estimate() - 1_000) / 1_000 < 0.05
+
+    def test_saturation_falls_back_to_count(self):
+        lc = _fill(LinearCounter(8, seed=2), 1_000)
+        assert lc.estimate() == 1_000.0
+
+    def test_merge_union(self):
+        a = _fill(LinearCounter(50_000, seed=3), 2_000, prefix="a")
+        b = _fill(LinearCounter(50_000, seed=3), 2_000, prefix="b")
+        a.merge(b)
+        assert abs(a.estimate() - 4_000) / 4_000 < 0.05
+
+
+class TestFlajoletMartin:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ParameterError):
+            FlajoletMartin(m=48)
+
+    def test_order_of_magnitude_accuracy(self):
+        fm = _fill(FlajoletMartin(m=256, seed=0), 50_000)
+        assert abs(fm.estimate() - 50_000) / 50_000 < 0.25
+
+    def test_merge_matches_single_pass(self):
+        a = _fill(FlajoletMartin(m=64, seed=1), 10_000, prefix="a")
+        b = _fill(FlajoletMartin(m=64, seed=1), 10_000, prefix="b")
+        single = FlajoletMartin(m=64, seed=1)
+        _fill(single, 10_000, prefix="a")
+        _fill(single, 10_000, prefix="b")
+        a.merge(b)
+        assert a.estimate() == pytest.approx(single.estimate())
+
+
+class TestLogLog:
+    def test_precision_bounds(self):
+        for p in (3, 17):
+            with pytest.raises(ParameterError):
+                LogLog(precision=p)
+
+    def test_accuracy(self):
+        ll = _fill(LogLog(precision=11, seed=0), 100_000)
+        assert abs(ll.estimate() - 100_000) / 100_000 < 0.15
+
+    def test_merge_is_register_max(self):
+        a = _fill(LogLog(precision=8, seed=2), 5_000, prefix="a")
+        b = _fill(LogLog(precision=8, seed=2), 5_000, prefix="b")
+        merged = a + b
+        assert merged.estimate() >= max(a.estimate(), b.estimate()) * 0.9
+
+
+class TestHyperLogLog:
+    def test_small_range_uses_linear_counting(self):
+        hll = _fill(HyperLogLog(precision=12, seed=0), 100)
+        assert abs(hll.estimate() - 100) < 5
+
+    @pytest.mark.parametrize("true_n", [1_000, 20_000, 200_000])
+    def test_accuracy_within_3_sigma(self, true_n):
+        hll = _fill(HyperLogLog(precision=12, seed=1), true_n)
+        err = abs(hll.estimate() - true_n) / true_n
+        assert err < 3 * hll.relative_error(), (true_n, hll.estimate())
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(precision=12, seed=2)
+        for __ in range(10):
+            _fill(hll, 5_000)
+        err = abs(hll.estimate() - 5_000) / 5_000
+        assert err < 3 * hll.relative_error()
+
+    def test_merge_equals_single_pass_exactly(self):
+        a = _fill(HyperLogLog(precision=10, seed=3), 30_000, prefix="a")
+        b = _fill(HyperLogLog(precision=10, seed=3), 30_000, prefix="b")
+        single = HyperLogLog(precision=10, seed=3)
+        _fill(single, 30_000, prefix="a")
+        _fill(single, 30_000, prefix="b")
+        a.merge(b)
+        assert a.estimate() == pytest.approx(single.estimate())
+
+    def test_merge_overlapping_streams(self):
+        a = _fill(HyperLogLog(precision=12, seed=4), 10_000)
+        b = _fill(HyperLogLog(precision=12, seed=4), 10_000)  # identical items
+        a.merge(b)
+        err = abs(a.estimate() - 10_000) / 10_000
+        assert err < 3 * a.relative_error()
+
+    def test_merge_requires_same_precision_and_seed(self):
+        with pytest.raises(MergeError):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=12))
+        with pytest.raises(MergeError):
+            HyperLogLog(seed=1).merge(HyperLogLog(seed=2))
+
+    def test_serialization_roundtrip(self):
+        hll = _fill(HyperLogLog(precision=10, seed=5), 10_000)
+        clone = HyperLogLog.from_bytes(hll.to_bytes())
+        assert clone.estimate() == pytest.approx(hll.estimate())
+        assert clone.count == hll.count
+
+    def test_size_is_registers(self):
+        assert HyperLogLog(precision=12).size_bytes() == 4096
+
+
+class TestKMV:
+    def test_k_must_exceed_one(self):
+        with pytest.raises(ParameterError):
+            KMinValues(k=1)
+
+    def test_exact_below_k(self):
+        kmv = _fill(KMinValues(k=128, seed=0), 50)
+        assert kmv.estimate() == 50.0
+
+    def test_accuracy(self):
+        kmv = _fill(KMinValues(k=512, seed=1), 50_000)
+        assert abs(kmv.estimate() - 50_000) / 50_000 < 0.15
+
+    def test_jaccard_estimate(self):
+        a, b = KMinValues(k=512, seed=2), KMinValues(k=512, seed=2)
+        # 50% overlap: A = [0, 10000), B = [5000, 15000) -> Jaccard = 1/3
+        _fill(a, 10_000, start=0)
+        _fill(b, 10_000, start=5_000)
+        assert abs(a.jaccard(b) - 1 / 3) < 0.08
+
+    def test_intersection_estimate(self):
+        a, b = KMinValues(k=512, seed=3), KMinValues(k=512, seed=3)
+        _fill(a, 10_000, start=0)
+        _fill(b, 10_000, start=5_000)
+        inter = a.intersection_estimate(b)
+        assert abs(inter - 5_000) / 5_000 < 0.25
+
+    def test_merge_union(self):
+        a = _fill(KMinValues(k=256, seed=4), 5_000, prefix="a")
+        b = _fill(KMinValues(k=256, seed=4), 5_000, prefix="b")
+        a.merge(b)
+        assert abs(a.estimate() - 10_000) / 10_000 < 0.2
+
+
+class TestSlidingHLL:
+    def test_window_validation(self):
+        s = SlidingHyperLogLog(precision=8, horizon=100.0)
+        s.update_at("x", 0.0)
+        with pytest.raises(ParameterError):
+            s.estimate(window=200.0)
+        with pytest.raises(ParameterError):
+            s.update_at("y", -1.0)
+
+    def test_full_horizon_matches_hll_accuracy(self):
+        s = SlidingHyperLogLog(precision=11, horizon=1e9, seed=0)
+        for i in range(20_000):
+            s.update_at(f"u{i}", float(i))
+        err = abs(s.estimate() - 20_000) / 20_000
+        assert err < 0.1
+
+    def test_window_counts_only_recent(self):
+        s = SlidingHyperLogLog(precision=11, horizon=100_000.0, seed=1)
+        for i in range(50_000):
+            s.update_at(f"u{i}", float(i))  # all distinct, 1 per tick
+        recent = s.estimate(window=10_000.0)
+        assert abs(recent - 10_000) / 10_000 < 0.15
+
+    def test_memory_far_below_window(self):
+        s = SlidingHyperLogLog(precision=8, horizon=1e9, seed=2)
+        for i in range(50_000):
+            s.update_at(f"u{i}", float(i))
+        assert s.retained < 50_000 * 0.2
+
+    def test_merge_shared_clock(self):
+        a = SlidingHyperLogLog(precision=9, horizon=1e6, seed=3)
+        b = SlidingHyperLogLog(precision=9, horizon=1e6, seed=3)
+        for i in range(5_000):
+            a.update_at(f"a{i}", float(i))
+            b.update_at(f"b{i}", float(i))
+        a.merge(b)
+        assert abs(a.estimate() - 10_000) / 10_000 < 0.15

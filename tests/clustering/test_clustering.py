@@ -1,0 +1,141 @@
+"""Tests for stream clustering algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.clustering import CluStream, OnlineKMeans, StreamingKMedian, weighted_kmeans
+
+
+def gaussian_mixture(n, centres, std=0.5, seed=0):
+    rng = make_np_rng(seed)
+    centres = np.asarray(centres, dtype=np.float64)
+    assign = rng.integers(0, len(centres), size=n)
+    return centres[assign] + rng.normal(0, std, size=(n, centres.shape[1])), assign
+
+
+def centre_recovery_error(found, truth):
+    """Mean distance from each true centre to its nearest found centre."""
+    truth = np.asarray(truth, dtype=np.float64)
+    d = np.sqrt(((truth[:, None, :] - found[None, :, :]) ** 2).sum(axis=2))
+    return float(d.min(axis=1).mean())
+
+
+TRUE_CENTRES = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]]
+
+
+class TestWeightedKMeans:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            weighted_kmeans(np.zeros((0, 2)), np.zeros(0), 2)
+        with pytest.raises(ParameterError):
+            weighted_kmeans(np.zeros((3, 2)), np.ones(3), 0)
+
+    def test_recovers_separated_clusters(self):
+        pts, __ = gaussian_mixture(2_000, TRUE_CENTRES, seed=1)
+        centres, weights = weighted_kmeans(pts, np.ones(len(pts)), 4, seed=2)
+        assert centre_recovery_error(centres, TRUE_CENTRES) < 1.0
+        assert weights.sum() == pytest.approx(2_000)
+
+    def test_weights_drive_centres(self):
+        pts = np.array([[0.0], [100.0]])
+        centres, __ = weighted_kmeans(pts, np.array([1000.0, 1.0]), 1, seed=0)
+        assert centres[0][0] < 5.0
+
+
+class TestOnlineKMeans:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OnlineKMeans(0, 2)
+        km = OnlineKMeans(2, 2)
+        with pytest.raises(ParameterError):
+            km.update([1.0, 2.0, 3.0])
+
+    def test_recovers_clusters(self):
+        pts, __ = gaussian_mixture(5_000, TRUE_CENTRES, seed=3)
+        km = OnlineKMeans(4, 2, seed=0)
+        km.update_many(pts)
+        assert centre_recovery_error(km.centres, TRUE_CENTRES) < 1.5
+
+    def test_assign_consistent(self):
+        km = OnlineKMeans(2, 1, seed=0)
+        km.update_many([[0.0], [10.0], [0.1], [9.9]] * 50)
+        assert km.assign([0.05]) != km.assign([9.95])
+
+    def test_merge_preserves_structure(self):
+        pts, __ = gaussian_mixture(4_000, TRUE_CENTRES, seed=4)
+        a, b = OnlineKMeans(4, 2, seed=1), OnlineKMeans(4, 2, seed=2)
+        a.update_many(pts[:2_000])
+        b.update_many(pts[2_000:])
+        a.merge(b)
+        assert centre_recovery_error(a.centres[:4], TRUE_CENTRES) < 2.0
+
+
+class TestStreamingKMedian:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StreamingKMedian(4, 2, buffer_size=4)
+
+    def test_recovers_clusters_with_bounded_memory(self):
+        pts, __ = gaussian_mixture(8_000, TRUE_CENTRES, seed=5)
+        km = StreamingKMedian(4, 2, buffer_size=400, seed=0)
+        km.update_many(pts)
+        assert centre_recovery_error(km.centres(), TRUE_CENTRES) < 1.0
+        assert km.memory_points < 1_200  # far below 8000 points
+
+    def test_cost_reasonable(self):
+        pts, __ = gaussian_mixture(3_000, TRUE_CENTRES, std=0.3, seed=6)
+        km = StreamingKMedian(4, 2, buffer_size=300, seed=1)
+        km.update_many(pts)
+        # Average distance to centre should be close to E|N(0,0.3^2 I_2)| ~ 0.38
+        assert km.cost(pts) / len(pts) < 0.8
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParameterError):
+            StreamingKMedian(2, 2).centres()
+
+    def test_merge(self):
+        pts, __ = gaussian_mixture(4_000, TRUE_CENTRES, seed=7)
+        a = StreamingKMedian(4, 2, buffer_size=300, seed=2)
+        b = StreamingKMedian(4, 2, buffer_size=300, seed=3)
+        a.update_many(pts[:2_000])
+        b.update_many(pts[2_000:])
+        a.merge(b)
+        assert centre_recovery_error(a.centres(), TRUE_CENTRES) < 1.5
+
+
+class TestCluStream:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CluStream(dims=0)
+        with pytest.raises(ParameterError):
+            CluStream(dims=2, max_micro_clusters=1)
+
+    def test_micro_cluster_budget_respected(self):
+        pts, __ = gaussian_mixture(5_000, TRUE_CENTRES, seed=8)
+        cs = CluStream(dims=2, max_micro_clusters=30, seed=0)
+        cs.update_many(pts)
+        assert cs.n_micro_clusters <= 30
+
+    def test_macro_clusters_recover_structure(self):
+        pts, __ = gaussian_mixture(5_000, TRUE_CENTRES, seed=9)
+        cs = CluStream(dims=2, max_micro_clusters=40, seed=1)
+        cs.update_many(pts)
+        macro = cs.macro_clusters(4)
+        assert centre_recovery_error(macro, TRUE_CENTRES) < 1.5
+
+    def test_merge_additive(self):
+        pts, __ = gaussian_mixture(2_000, TRUE_CENTRES, seed=10)
+        a = CluStream(dims=2, max_micro_clusters=30, seed=2)
+        b = CluStream(dims=2, max_micro_clusters=30, seed=3)
+        a.update_many(pts[:1_000])
+        b.update_many(pts[1_000:])
+        a.merge(b)
+        assert a.count == 2_000
+        assert a.n_micro_clusters <= 30
+
+    def test_empty_queries_rejected(self):
+        cs = CluStream(dims=2)
+        with pytest.raises(ParameterError):
+            cs.micro_centroids()

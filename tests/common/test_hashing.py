@@ -1,0 +1,109 @@
+"""Tests for repro.common.hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily, hash64, hash_bytes, murmur3_32, to_bytes
+
+# Published MurmurHash3 x86-32 test vectors (Appleby's reference impl).
+MURMUR_VECTORS = [
+    (b"", 0, 0x00000000),
+    (b"", 1, 0x514E28B7),
+    (b"", 0xFFFFFFFF, 0x81F16F39),
+    (b"\x00\x00\x00\x00", 0, 0x2362F9DE),
+    (b"\xff\xff\xff\xff", 0, 0x76293B50),
+    (b"!Ce\x87", 0, 0xF55B516B),
+    (b"!Ce", 0, 0x7E4A8634),
+    (b"!C", 0, 0xA0F7B07A),
+    (b"!", 0, 0x72661CF4),
+    (b"Hello, world!", 0x9747B28C, 0x24884CBA),
+    (b"aaaa", 0x9747B28C, 0x5A97808A),
+    (b"The quick brown fox jumps over the lazy dog", 0x9747B28C, 0x2FA826CD),
+]
+
+
+@pytest.mark.parametrize("data,seed,expected", MURMUR_VECTORS)
+def test_murmur3_32_vectors(data, seed, expected):
+    assert murmur3_32(data, seed) == expected
+
+
+def test_murmur3_accepts_str():
+    assert murmur3_32("Hello, world!", 0x9747B28C) == 0x24884CBA
+
+
+class TestToBytes:
+    def test_types_do_not_collide(self):
+        reprs = {to_bytes(v) for v in (1, "1", b"1", 1.0, True, (1,))}
+        assert len(reprs) == 6
+
+    def test_int_roundtrip_distinct(self):
+        assert to_bytes(255) != to_bytes(-1)
+        assert to_bytes(0) != to_bytes(256)
+
+    def test_nested_tuples_distinct(self):
+        assert to_bytes((1, (2, 3))) != to_bytes(((1, 2), 3))
+
+    def test_fallback_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "Odd()"
+
+        assert to_bytes(Odd()) == b"r" + b"Odd()"
+
+    @given(st.integers())
+    def test_int_deterministic(self, n):
+        assert to_bytes(n) == to_bytes(n)
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64("tweet", 7) == hash64("tweet", 7)
+
+    def test_seed_changes_value(self):
+        assert hash64("tweet", 1) != hash64("tweet", 2)
+
+    def test_range(self):
+        assert 0 <= hash64("x") < 2**64
+
+    @given(st.text(), st.integers(min_value=0, max_value=2**32))
+    def test_stable_under_hypothesis(self, s, seed):
+        assert hash64(s, seed) == hash64(s, seed)
+
+    def test_hash_bytes_width(self):
+        assert len(hash_bytes("x", 16)) == 16
+
+
+class TestHashFamily:
+    def test_equality_by_seed(self):
+        assert HashFamily(3) == HashFamily(3)
+        assert HashFamily(3) != HashFamily(4)
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(ParameterError):
+            HashFamily("abc")  # type: ignore[arg-type]
+
+    def test_hashes_count(self):
+        fam = HashFamily(11)
+        assert len(list(fam.hashes("item", 5))) == 5
+
+    def test_double_hashing_distinct_slots(self):
+        fam = HashFamily(0)
+        slots = [h % 1024 for h in fam.hashes("key", 8)]
+        # Double hashing with odd step modulo a power of two visits 8
+        # distinct slots.
+        assert len(set(slots)) == 8
+
+    def test_independent_hashes_differ_from_double(self):
+        fam = HashFamily(5)
+        dbl = list(fam.hashes("k", 4))
+        ind = list(fam.independent_hashes("k", 4))
+        assert dbl[0] == ind[0] or dbl != ind  # families share h_0 only by construction
+
+    def test_uniformity_rough(self):
+        fam = HashFamily(1)
+        buckets = [0] * 16
+        for i in range(4096):
+            buckets[fam.hash(i) % 16] += 1
+        assert max(buckets) < 2 * min(buckets) + 64

@@ -1,0 +1,68 @@
+"""Tests for the SynopsisBase merge machinery."""
+
+import pytest
+
+from repro.common.exceptions import MergeError
+from repro.common.mergeable import Synopsis, SynopsisBase
+
+
+class CountingSynopsis(SynopsisBase):
+    """Trivial synopsis used to exercise the shared machinery."""
+
+    def __init__(self, width=4):
+        self.width = width
+        self.count = 0
+
+    def update(self, item):
+        self.count += 1
+
+    def _merge_key(self):
+        return (self.width,)
+
+    def _merge_into(self, other):
+        self.count += other.count
+
+
+class OtherSynopsis(CountingSynopsis):
+    pass
+
+
+def test_update_many():
+    s = CountingSynopsis()
+    s.update_many(range(10))
+    assert s.count == 10
+
+
+def test_merge_accumulates():
+    a, b = CountingSynopsis(), CountingSynopsis()
+    a.update_many(range(3))
+    b.update_many(range(5))
+    a.merge(b)
+    assert a.count == 8
+    assert b.count == 5  # merge leaves the argument untouched
+
+
+def test_add_operator_is_pure():
+    a, b = CountingSynopsis(), CountingSynopsis()
+    a.update("x")
+    b.update("y")
+    c = a + b
+    assert (a.count, b.count, c.count) == (1, 1, 2)
+
+
+def test_merge_rejects_type_mismatch():
+    with pytest.raises(MergeError):
+        CountingSynopsis().merge(OtherSynopsis())
+
+
+def test_merge_rejects_parameter_mismatch():
+    with pytest.raises(MergeError):
+        CountingSynopsis(width=4).merge(CountingSynopsis(width=8))
+
+
+def test_protocol_conformance():
+    assert isinstance(CountingSynopsis(), Synopsis)
+
+
+def test_size_bytes_positive():
+    assert CountingSynopsis().size_bytes() > 0

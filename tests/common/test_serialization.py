@@ -1,0 +1,54 @@
+"""Tests for the versioned serialization frame."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import SerializationError
+from repro.common.serialization import dump_state, load_state
+
+
+def test_roundtrip_scalars():
+    state = {"a": 1, "b": 2.5, "c": "text", "d": None, "e": True}
+    assert load_state("t", dump_state("t", state)) == state
+
+
+def test_roundtrip_ndarray():
+    arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+    out = load_state("t", dump_state("t", {"arr": arr}))["arr"]
+    np.testing.assert_array_equal(out, arr)
+    assert out.dtype == arr.dtype
+
+
+def test_roundtrip_bytes_and_nested():
+    state = {"payload": b"\x00\xff", "nested": {"k": [1, 2, {"deep": "v"}]}}
+    out = load_state("t", dump_state("t", state))
+    assert out["payload"] == b"\x00\xff"
+    assert out["nested"]["k"][2]["deep"] == "v"
+
+
+def test_roundtrip_nonstring_dict_keys():
+    state = {"table": {1: 10, "x": 20}}
+    out = load_state("t", dump_state("t", state))
+    assert out["table"] == {1: 10, "x": 20}
+
+
+def test_wrong_tag_rejected():
+    payload = dump_state("hll", {"m": 16})
+    with pytest.raises(SerializationError):
+        load_state("cms", payload)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(SerializationError):
+        load_state("t", b"JUNKxxxx")
+
+
+def test_truncated_rejected():
+    payload = dump_state("t", {"a": 1})
+    with pytest.raises(SerializationError):
+        load_state("t", payload[: len(payload) - 3])
+
+
+def test_unserializable_value_rejected():
+    with pytest.raises(SerializationError):
+        dump_state("t", {"f": object()})

@@ -1,0 +1,101 @@
+"""Coverage for API surfaces not exercised elsewhere: metrics summaries,
+pipeline composition edges, empty-synopsis queries, size accounting."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.cardinality import HyperLogLog, KMinValues
+from repro.core import Pipeline
+from repro.frequency import SpaceSaving
+from repro.histograms import EquiWidthHistogram
+from repro.platform import ExecutionMetrics, FaultInjector
+from repro.quantiles import GKQuantiles, TDigest
+
+
+class TestExecutionMetrics:
+    def test_summary_shape(self):
+        metrics = ExecutionMetrics()
+        metrics.wall_seconds = 2.0
+        metrics.components["spout:s"].emitted = 100
+        metrics.record_latency(0.01)
+        metrics.record_latency(0.03)
+        summary = metrics.summary()
+        assert summary["throughput_tps"] == 50.0
+        assert 10.0 <= summary["latency_p50_ms"] <= 30.0
+        assert set(summary) == {
+            "throughput_tps", "latency_p50_ms", "latency_p99_ms",
+            "replays", "checkpoints", "recoveries",
+        }
+
+    def test_empty_metrics_safe(self):
+        metrics = ExecutionMetrics()
+        assert metrics.throughput() == 0.0
+        assert metrics.latency_quantile(0.99) == 0.0
+
+
+class TestPipelineComposition:
+    def test_build_without_running(self):
+        topo, sink = (
+            Pipeline.from_list([1, 2, 3]).map(lambda v: (v[0],)).build()
+        )
+        assert sink == "sink"
+        assert "map0" in topo.bolt_names
+
+    def test_map_returning_none_drops(self):
+        results = (
+            Pipeline.from_list(list(range(6)))
+            .map(lambda v: (v[0],) if v[0] % 2 else None)
+            .run()
+        )
+        assert sorted(r[0] for r in results) == [1, 3, 5]
+
+    def test_mixed_window_then_count(self):
+        events = [(float(t), "k") for t in range(10)]
+        results = (
+            Pipeline.from_list(events)
+            .window(5.0, agg=len)
+            .map(lambda v: (v[2],))  # the per-window count
+            .run()
+        )
+        assert sorted(r[0] for r in results) == [5, 5]
+
+    def test_run_with_executor_exposes_metrics(self):
+        ex = Pipeline.from_list([("a",)] * 10).key_by(0).count().run_with_executor(
+            semantics="at_least_once", faults=FaultInjector(drop_probability=0.0)
+        )
+        assert ex.metrics.components["spout:source"].emitted == 10
+
+
+class TestEmptyQueries:
+    def test_empty_tdigest_cdf(self):
+        with pytest.raises(ParameterError):
+            TDigest().cdf(1.0)
+
+    def test_gk_rank_on_empty(self):
+        assert GKQuantiles().rank(5.0) == 0
+
+    def test_kmv_jaccard_of_empty(self):
+        a, b = KMinValues(k=16, seed=0), KMinValues(k=16, seed=0)
+        assert a.jaccard(b) == 0.0
+        assert a.estimate() == 0.0
+
+    def test_histogram_empty_density(self):
+        h = EquiWidthHistogram(0, 1, bins=4)
+        assert h.density(0.5) == 0.0
+        with pytest.raises(ParameterError):
+            h.quantile(0.5)
+
+    def test_histogram_empty_range_count(self):
+        h = EquiWidthHistogram(0, 10, bins=5)
+        assert h.estimate_range_count(3, 3) == 0.0
+
+
+class TestSizeAccounting:
+    def test_numpy_backed_sketches_report_buffer_size(self):
+        hll = HyperLogLog(precision=12)
+        assert hll.size_bytes() == 1 << 12
+
+    def test_dict_backed_sketch_grows(self):
+        small, big = SpaceSaving(8), SpaceSaving(8)
+        big.update_many(f"x{i}" for i in range(100))
+        assert big.size_bytes() > small.size_bytes()

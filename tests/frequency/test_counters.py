@@ -1,0 +1,216 @@
+"""Tests for the counter-based heavy-hitter algorithms."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.frequency import LossyCounting, MisraGries, SpaceSaving, StickySampling
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def zipf_data():
+    data = list(zipf_stream(50_000, universe=5_000, skew=1.2, seed=13))
+    return data, collections.Counter(data)
+
+
+class TestMisraGries:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            MisraGries(0)
+
+    def test_never_overcounts(self, zipf_data):
+        data, truth = zipf_data
+        mg = MisraGries(k=100)
+        mg.update_many(data)
+        for item, est in mg.top(50):
+            assert est <= truth[item]
+
+    def test_undercount_within_bound(self, zipf_data):
+        data, truth = zipf_data
+        mg = MisraGries(k=100)
+        mg.update_many(data)
+        bound = mg.error_bound()
+        for item, est in mg.top(20):
+            assert truth[item] - est <= bound + 1
+
+    def test_top_items_survive(self, zipf_data):
+        data, truth = zipf_data
+        mg = MisraGries(k=200)
+        mg.update_many(data)
+        tracked = dict(mg.top(200))
+        for item, __ in truth.most_common(5):
+            assert item in tracked
+
+    def test_heavy_hitters_threshold_validation(self):
+        with pytest.raises(ParameterError):
+            MisraGries(5).heavy_hitters(0.0)
+
+    def test_space_bound(self, zipf_data):
+        data, __ = zipf_data
+        mg = MisraGries(k=50)
+        mg.update_many(data)
+        assert len(mg) <= 50
+
+    def test_merge_preserves_heavy_items(self, zipf_data):
+        data, truth = zipf_data
+        half = len(data) // 2
+        a, b = MisraGries(k=200), MisraGries(k=200)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        a.merge(b)
+        tracked = dict(a.top(200))
+        for item, __ in truth.most_common(3):
+            assert item in tracked
+        assert a.count == len(data)
+
+    def test_merge_never_overcounts(self, zipf_data):
+        data, truth = zipf_data
+        half = len(data) // 2
+        a, b = MisraGries(k=100), MisraGries(k=100)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        a.merge(b)
+        for item, est in a.top(100):
+            assert est <= truth[item]
+
+
+class TestLossyCounting:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            LossyCounting(epsilon=0.0)
+
+    def test_no_false_negatives(self, zipf_data):
+        data, truth = zipf_data
+        lc = LossyCounting(epsilon=0.001)
+        lc.update_many(data)
+        support = 0.005
+        hh = lc.heavy_hitters(support)
+        for item, cnt in truth.items():
+            if cnt >= support * len(data):
+                assert item in hh, item
+
+    def test_undercount_bounded(self, zipf_data):
+        data, truth = zipf_data
+        lc = LossyCounting(epsilon=0.001)
+        lc.update_many(data)
+        for item, __ in truth.most_common(20):
+            est = lc.estimate(item)
+            assert est <= truth[item]
+            assert truth[item] - est <= lc.epsilon * len(data)
+
+    def test_space_sublinear(self, zipf_data):
+        data, truth = zipf_data
+        lc = LossyCounting(epsilon=0.001)
+        lc.update_many(data)
+        assert lc.n_entries < len(truth)
+
+    def test_merge(self, zipf_data):
+        data, truth = zipf_data
+        half = len(data) // 2
+        a, b = LossyCounting(0.001), LossyCounting(0.001)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        a.merge(b)
+        top_item = truth.most_common(1)[0][0]
+        assert a.estimate(top_item) <= truth[top_item]
+        assert a.estimate(top_item) >= truth[top_item] - 2 * 0.001 * len(data)
+
+
+class TestStickySampling:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            StickySampling(support=0.01, epsilon=0.05)  # epsilon >= support
+        with pytest.raises(ParameterError):
+            StickySampling(failure=0.0)
+
+    def test_finds_heavy_hitters(self, zipf_data):
+        data, truth = zipf_data
+        ss = StickySampling(support=0.01, epsilon=0.002, seed=0)
+        ss.update_many(data)
+        hh = ss.heavy_hitters()
+        for item, cnt in truth.most_common(5):
+            if cnt >= 0.01 * len(data):
+                assert item in hh
+
+    def test_space_independent_of_stream_length(self):
+        ss = StickySampling(support=0.05, epsilon=0.01, seed=1)
+        ss.update_many(zipf_stream(100_000, universe=50_000, skew=0.8, seed=14))
+        # Expected space 2/eps * log(1/(s*delta)) ~ 2000
+        assert ss.n_entries < 8_000
+
+    def test_merge_accumulates(self):
+        a = StickySampling(support=0.1, epsilon=0.05, seed=2)
+        b = StickySampling(support=0.1, epsilon=0.05, seed=3)
+        a.update_many(["x"] * 100)
+        b.update_many(["x"] * 100)
+        a.merge(b)
+        assert a.estimate("x") > 100
+
+
+class TestSpaceSaving:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SpaceSaving(0)
+        with pytest.raises(ParameterError):
+            SpaceSaving(5).update_weighted("x", 0)
+
+    def test_never_undercounts(self, zipf_data):
+        data, truth = zipf_data
+        ss = SpaceSaving(k=100)
+        ss.update_many(data)
+        for item, est in ss.top(100):
+            assert est >= truth[item]
+
+    def test_guaranteed_count_is_lower_bound(self, zipf_data):
+        data, truth = zipf_data
+        ss = SpaceSaving(k=100)
+        ss.update_many(data)
+        for item, __ in ss.top(100):
+            assert ss.guaranteed_count(item) <= truth[item]
+
+    def test_topk_matches_truth_on_skewed_stream(self, zipf_data):
+        data, truth = zipf_data
+        ss = SpaceSaving(k=200)
+        ss.update_many(data)
+        est_top = [item for item, __ in ss.top(10)]
+        true_top = [item for item, __ in truth.most_common(10)]
+        assert len(set(est_top) & set(true_top)) >= 8
+
+    def test_space_bound(self, zipf_data):
+        data, __ = zipf_data
+        ss = SpaceSaving(k=64)
+        ss.update_many(data)
+        assert len(ss) <= 64
+
+    def test_weighted_updates(self):
+        ss = SpaceSaving(k=4)
+        ss.update_weighted("a", 10)
+        ss.update_weighted("b", 5)
+        assert ss.estimate("a") == 10
+        assert ss.count == 15
+
+    def test_merge_no_undercount(self, zipf_data):
+        data, truth = zipf_data
+        half = len(data) // 2
+        a, b = SpaceSaving(k=150), SpaceSaving(k=150)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        a.merge(b)
+        for item, __ in truth.most_common(5):
+            assert a.estimate(item) >= truth[item]
+        assert len(a) <= 150
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=400))
+    def test_property_estimate_bounds(self, items):
+        truth = collections.Counter(items)
+        ss = SpaceSaving(k=8)
+        ss.update_many(items)
+        for item in truth:
+            est = ss.estimate(item)
+            if est:
+                assert truth[item] <= est <= truth[item] + len(items)

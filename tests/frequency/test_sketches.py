@@ -1,0 +1,204 @@
+"""Tests for Count-Min / Count-Sketch and the structured heavy-hitter tools."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.frequency import (
+    CountMinSketch,
+    CountSketch,
+    HierarchicalHeavyHitters,
+    WindowedTopK,
+)
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def zipf_data():
+    data = list(zipf_stream(30_000, universe=3_000, skew=1.1, seed=21))
+    return data, collections.Counter(data)
+
+
+class TestCountMin:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch(0, 4)
+        with pytest.raises(ParameterError):
+            CountMinSketch.from_error(epsilon=0.0)
+        with pytest.raises(ParameterError):
+            CountMinSketch(16, 2).update_weighted("x", -1)
+
+    def test_never_undercounts(self, zipf_data):
+        data, truth = zipf_data
+        cms = CountMinSketch.from_error(epsilon=0.001, delta=0.01, seed=0)
+        cms.update_many(data)
+        for item, cnt in truth.most_common(100):
+            assert cms.estimate(item) >= cnt
+
+    def test_error_within_bound(self, zipf_data):
+        data, truth = zipf_data
+        cms = CountMinSketch.from_error(epsilon=0.001, delta=0.01, seed=1)
+        cms.update_many(data)
+        bound = cms.error_bound()
+        violations = sum(
+            1 for item, cnt in truth.items() if cms.estimate(item) - cnt > bound
+        )
+        assert violations <= len(truth) * 0.02
+
+    def test_conservative_update_strictly_better(self, zipf_data):
+        data, truth = zipf_data
+        plain = CountMinSketch(width=272, depth=4, seed=2)
+        cons = CountMinSketch(width=272, depth=4, seed=2, conservative=True)
+        plain.update_many(data)
+        cons.update_many(data)
+        plain_err = sum(plain.estimate(i) - c for i, c in truth.items())
+        cons_err = sum(cons.estimate(i) - c for i, c in truth.items())
+        assert cons_err <= plain_err
+        # Conservative never undercounts either.
+        assert all(cons.estimate(i) >= c for i, c in truth.most_common(50))
+
+    def test_weighted_updates(self):
+        cms = CountMinSketch(128, 4, seed=3)
+        cms.update_weighted("a", 7)
+        cms.update_weighted("a", 3)
+        assert cms.estimate("a") >= 10
+
+    def test_inner_product_upper_bounds_join_size(self):
+        a = CountMinSketch(256, 4, seed=4)
+        b = CountMinSketch(256, 4, seed=4)
+        a.update_many(["x"] * 10 + ["y"] * 5)
+        b.update_many(["x"] * 3 + ["z"] * 8)
+        true_join = 10 * 3
+        est = a.inner_product(b)
+        assert est >= true_join
+        assert est <= true_join + 200
+
+    def test_merge_is_additive(self, zipf_data):
+        data, truth = zipf_data
+        half = len(data) // 2
+        a = CountMinSketch(512, 4, seed=5)
+        b = CountMinSketch(512, 4, seed=5)
+        single = CountMinSketch(512, 4, seed=5)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        single.update_many(data)
+        a.merge(b)
+        top = truth.most_common(1)[0][0]
+        assert a.estimate(top) == single.estimate(top)
+
+    def test_merge_requires_same_shape(self):
+        with pytest.raises(MergeError):
+            CountMinSketch(128, 4).merge(CountMinSketch(256, 4))
+
+    def test_serialization_roundtrip(self):
+        cms = CountMinSketch(64, 3, seed=6, conservative=True)
+        cms.update_many(["a", "b", "a"])
+        clone = CountMinSketch.from_bytes(cms.to_bytes())
+        assert clone.estimate("a") == cms.estimate("a")
+        assert clone.conservative and clone.count == 3
+
+
+class TestCountSketch:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            CountSketch(0, 3)
+        with pytest.raises(ParameterError):
+            CountSketch(8, 1).update_weighted("x", 0)
+
+    def test_roughly_unbiased(self, zipf_data):
+        data, truth = zipf_data
+        cs = CountSketch(width=1024, depth=5, seed=0)
+        cs.update_many(data)
+        errors = [cs.estimate(i) - c for i, c in truth.most_common(200)]
+        assert abs(float(np.mean(errors))) < 12.0  # centred near zero
+
+    def test_turnstile_deletions(self):
+        cs = CountSketch(width=256, depth=5, seed=1)
+        cs.update_weighted("x", 10)
+        cs.update_weighted("x", -4)
+        assert abs(cs.estimate("x") - 6) <= 2
+
+    def test_second_moment_estimate(self):
+        cs = CountSketch(width=2048, depth=5, seed=2)
+        freqs = {f"i{j}": j + 1 for j in range(100)}
+        for item, f in freqs.items():
+            cs.update_weighted(item, f)
+        true_f2 = sum(f * f for f in freqs.values())
+        assert abs(cs.second_moment() - true_f2) / true_f2 < 0.15
+
+    def test_merge_additive(self):
+        a = CountSketch(256, 5, seed=3)
+        b = CountSketch(256, 5, seed=3)
+        a.update_weighted("k", 50)
+        b.update_weighted("k", 30)
+        a.merge(b)
+        assert abs(a.estimate("k") - 80) <= 4
+
+
+class TestHierarchicalHH:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            HierarchicalHeavyHitters(0)
+        hhh = HierarchicalHeavyHitters(levels=2)
+        with pytest.raises(ParameterError):
+            hhh.update(("only-one",))
+
+    def test_parent_aggregates_children(self):
+        hhh = HierarchicalHeavyHitters(levels=2, k=64)
+        for i in range(50):
+            hhh.update(("us", f"city{i % 5}"))
+        assert hhh.estimate(("us",)) == 50
+        assert hhh.estimate(("us", "city0")) == 10
+
+    def test_hhh_discounts_descendants(self):
+        hhh = HierarchicalHeavyHitters(levels=2, k=64)
+        # one dominant leaf + diffuse siblings under the same parent
+        for __ in range(400):
+            hhh.update(("net", "hot"))
+        for i in range(600):
+            hhh.update(("net", f"cold{i}"))
+        result = hhh.hierarchical_heavy_hitters(threshold=0.3)
+        assert ("net", "hot") in result
+        # Parent's discounted count is 1000 - 400 = 600 >= 300 -> reported too
+        assert ("net",) in result
+        assert result[("net",)] <= 650
+
+    def test_merge(self):
+        a = HierarchicalHeavyHitters(levels=2, k=32)
+        b = HierarchicalHeavyHitters(levels=2, k=32)
+        for __ in range(10):
+            a.update(("x", "1"))
+            b.update(("x", "2"))
+        a.merge(b)
+        assert a.estimate(("x",)) == 20
+
+
+class TestWindowedTopK:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            WindowedTopK(0)
+        with pytest.raises(ParameterError):
+            WindowedTopK(10, n_blocks=100)
+
+    def test_reflects_only_recent_trend(self):
+        wtk = WindowedTopK(window=2_000, k=64, n_blocks=8)
+        for __ in range(5_000):
+            wtk.update("#old")
+        for __ in range(2_500):
+            wtk.update("#new")
+        top = [item for item, __ in wtk.top(1)]
+        assert top == ["#new"]
+
+    def test_covered_tracks_window(self):
+        wtk = WindowedTopK(window=1_000, k=16, n_blocks=10)
+        for i in range(10_000):
+            wtk.update(i % 7)
+        assert 900 <= wtk.covered <= 1_300
+
+    def test_estimate_windowed(self):
+        wtk = WindowedTopK(window=100, k=16, n_blocks=4)
+        for i in range(1_000):
+            wtk.update("always")
+        assert wtk.estimate("always") <= 150  # only window-ish many counted

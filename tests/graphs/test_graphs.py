@@ -1,0 +1,249 @@
+"""Tests for the semi-streaming graph algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.graphs import (
+    ApproxPathOracle,
+    DynamicGraph,
+    EdgeSamplingSparsifier,
+    GreedyMatching,
+    StreamingConnectivity,
+    StreamingSpanner,
+    TriangleCounter,
+    UnionFind,
+    WeightedGreedyMatching,
+    count_triangles_exact,
+)
+from repro.workloads import edge_stream
+
+
+class TestUnionFind:
+    def test_components_tracked(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.n_components == 2
+        uf.union(2, 3)
+        assert uf.n_components == 1
+        assert uf.connected(1, 4)
+
+    def test_union_returns_change(self):
+        uf = UnionFind()
+        assert uf.union("a", "b")
+        assert not uf.union("a", "b")
+
+
+class TestStreamingConnectivity:
+    def test_connectivity_matches_networkx(self):
+        edges = list(edge_stream(100, 150, seed=0))
+        sc = StreamingConnectivity()
+        sc.update_many(edges)
+        g = nx.Graph(edges)
+        g.add_nodes_from(range(100))
+        seen_nodes = {n for e in edges for n in e}
+        assert sc.n_components == nx.number_connected_components(g.subgraph(seen_nodes))
+
+    def test_spanning_forest_certifies(self):
+        edges = list(edge_stream(50, 200, seed=1))
+        sc = StreamingConnectivity()
+        sc.update_many(edges)
+        forest = sc.spanning_forest()
+        assert len(forest) == sc.n_vertices - sc.n_components
+        replay = StreamingConnectivity()
+        replay.update_many(forest)
+        for u, v in edges[:50]:
+            assert replay.connected(u, v) == sc.connected(u, v)
+
+    def test_merge(self):
+        a, b = StreamingConnectivity(), StreamingConnectivity()
+        a.update((1, 2))
+        b.update((2, 3))
+        a.merge(b)
+        assert a.connected(1, 3)
+
+
+class TestMatching:
+    def test_matching_is_valid(self):
+        gm = GreedyMatching()
+        edges = list(edge_stream(80, 300, seed=2))
+        gm.update_many(edges)
+        seen = set()
+        for u, v in gm.matching():
+            assert u not in seen and v not in seen
+            seen.update((u, v))
+
+    def test_two_approximation(self):
+        edges = list(edge_stream(60, 250, seed=3))
+        gm = GreedyMatching()
+        gm.update_many(edges)
+        opt = len(nx.max_weight_matching(nx.Graph(edges)))
+        assert gm.matching_size() >= opt / 2
+
+    def test_vertex_cover_covers_every_edge(self):
+        edges = list(edge_stream(60, 250, seed=4))
+        gm = GreedyMatching()
+        gm.update_many(edges)
+        assert all(gm.is_covered(e) for e in edges)
+
+    def test_vertex_cover_two_approx(self):
+        edges = list(edge_stream(40, 120, seed=5))
+        gm = GreedyMatching()
+        gm.update_many(edges)
+        opt_matching = len(nx.max_weight_matching(nx.Graph(edges)))
+        # |cover| = 2*|matching| <= 2*OPT_vc (since OPT_vc >= max matching).
+        assert len(gm.vertex_cover()) <= 2 * 2 * opt_matching
+
+    def test_weighted_matching_prefers_heavy(self):
+        wm = WeightedGreedyMatching(gamma=0.1)
+        wm.update(("a", "b", 1.0))
+        wm.update(("a", "c", 10.0))  # displaces the light edge
+        matched = wm.matching()
+        assert ("a", "c", 10.0) in matched or ("c", "a", 10.0) in matched
+        assert wm.total_weight() == 10.0
+
+    def test_weighted_matching_constant_factor(self):
+        import networkx as nx
+
+        edges = [(u, v, float((u * v) % 17 + 1)) for u, v in edge_stream(40, 200, seed=6)]
+        wm = WeightedGreedyMatching(gamma=0.2)
+        wm.update_many(edges)
+        g = nx.Graph()
+        for u, v, w in edges:
+            if not g.has_edge(u, v) or g[u][v]["weight"] < w:
+                g.add_edge(u, v, weight=w)
+        opt = sum(g[u][v]["weight"] for u, v in nx.max_weight_matching(g))
+        assert wm.total_weight() >= opt / 8  # theory: ~1/(3+2sqrt2) with charging
+
+
+class TestSpanner:
+    def test_stretch_respected(self):
+        edges = list(edge_stream(60, 500, seed=7))
+        sp = StreamingSpanner(t=3)
+        sp.update_many(edges)
+        g = nx.Graph(edges)
+        for u, v in edges[:60]:
+            true_d = nx.shortest_path_length(g, u, v)
+            assert sp.spanner_distance(u, v) <= 3 * true_d
+
+    def test_spanner_sparser_than_graph(self):
+        edges = list(edge_stream(60, 800, seed=8))
+        sp = StreamingSpanner(t=5)
+        sp.update_many(edges)
+        distinct = len(set(edges))
+        assert sp.n_edges < distinct * 0.6
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StreamingSpanner(t=0)
+
+
+class TestSparsifier:
+    def test_edge_count_estimate(self):
+        edges = list(edge_stream(200, 5_000, seed=9))
+        sp = EdgeSamplingSparsifier(p=0.2, seed=0)
+        sp.update_many(edges)
+        assert abs(sp.estimate_total_edges() - 5_000) / 5_000 < 0.15
+
+    def test_cut_estimate(self):
+        edges = list(edge_stream(100, 4_000, seed=10))
+        sp = EdgeSamplingSparsifier(p=0.3, seed=1)
+        sp.update_many(edges)
+        side = set(range(50))
+        true_cut = sum(1 for u, v in edges if (u in side) != (v in side))
+        assert abs(sp.estimate_cut(side) - true_cut) / true_cut < 0.2
+
+    def test_space_reduced(self):
+        sp = EdgeSamplingSparsifier(p=0.1, seed=2)
+        sp.update_many(edge_stream(100, 10_000, seed=11))
+        assert sp.n_edges < 1_500
+
+
+class TestTriangles:
+    def test_exact_counter_on_known_graph(self):
+        # K4 has 4 triangles.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        assert count_triangles_exact(edges) == 4
+
+    def test_exact_below_reservoir(self):
+        edges = list(edge_stream(30, 200, seed=12, allow_duplicates=False))
+        tc = TriangleCounter(reservoir_size=500, seed=0)
+        tc.update_many(edges)
+        assert tc.estimate() == count_triangles_exact(edges)
+
+    def test_estimate_with_sampling(self):
+        edges = list(edge_stream(120, 3_000, seed=13, allow_duplicates=False))
+        tc = TriangleCounter(reservoir_size=800, seed=1)
+        tc.update_many(edges)
+        exact = count_triangles_exact(edges)
+        assert abs(tc.estimate() - exact) / exact < 0.5
+        assert tc.reservoir_edges <= 800
+
+    def test_duplicate_edges_ignored(self):
+        tc = TriangleCounter(reservoir_size=100, seed=2)
+        tc.update_many([(0, 1), (1, 2), (0, 2), (0, 2), (0, 2)])
+        assert tc.estimate() == 1.0
+
+
+class TestDynamicGraph:
+    def test_path_within(self):
+        g = DynamicGraph()
+        for u, v in [(1, 2), (2, 3), (3, 4), (4, 5)]:
+            g.add_edge(u, v)
+        assert g.has_path_within(1, 5, 4)
+        assert not g.has_path_within(1, 5, 3)
+        assert g.has_path_within(1, 1, 0)
+
+    def test_deletion_breaks_path(self):
+        g = DynamicGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.has_path_within("a", "c", 2)
+        g.remove_edge("b", "c")
+        assert not g.has_path_within("a", "c", 10)
+
+    def test_remove_missing_edge_rejected(self):
+        g = DynamicGraph()
+        with pytest.raises(ParameterError):
+            g.remove_edge(1, 2)
+
+    def test_distance_matches_networkx(self):
+        edges = list(edge_stream(40, 150, seed=14))
+        g = DynamicGraph()
+        g.update_many(edges)
+        nxg = nx.Graph(edges)
+        for u, v in edges[:30]:
+            assert g.distance(u, v) == nx.shortest_path_length(nxg, u, v)
+
+    def test_bidirectional_matches_exact(self):
+        edges = list(edge_stream(50, 120, seed=15))
+        g = DynamicGraph()
+        g.update_many(edges)
+        nxg = nx.Graph(edges)
+        for u, v in edges[:30]:
+            d = nx.shortest_path_length(nxg, u, v)
+            for limit in (d - 1, d, d + 1):
+                if limit >= 0:
+                    assert g.has_path_within(u, v, limit) == (d <= limit)
+
+
+class TestApproxPathOracle:
+    def test_no_false_positive_on_spanner(self):
+        oracle = ApproxPathOracle(t=3)
+        oracle.update_many([(1, 2), (3, 4)])
+        assert not oracle.has_path_within(1, 4, 10)
+
+    def test_true_paths_found_with_stretch_slack(self):
+        edges = list(edge_stream(50, 400, seed=16))
+        oracle = ApproxPathOracle(t=3)
+        oracle.update_many(edges)
+        g = nx.Graph(edges)
+        for u, v in edges[:40]:
+            d = nx.shortest_path_length(g, u, v)
+            assert oracle.has_path_within(u, v, oracle.stretch * d)
+
+    def test_space_bounded(self):
+        oracle = ApproxPathOracle(t=5)
+        oracle.update_many(edge_stream(40, 2_000, seed=17))
+        assert oracle.n_edges < 500

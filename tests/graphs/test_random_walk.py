@@ -1,0 +1,79 @@
+"""Tests for streaming random walks and Monte-Carlo PageRank."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.graphs import StreamingRandomWalker
+from repro.workloads import power_law_edge_stream
+
+
+class TestWalks:
+    def test_validation(self):
+        walker = StreamingRandomWalker()
+        with pytest.raises(ParameterError):
+            walker.walk("nope", 5)
+        walker.update((1, 2))
+        with pytest.raises(ParameterError):
+            walker.walk(1, -1)
+        with pytest.raises(ParameterError):
+            walker.pagerank(walks_per_node=0)
+
+    def test_walk_follows_edges(self):
+        walker = StreamingRandomWalker(seed=0)
+        walker.update_many([(1, 2), (2, 3), (3, 4)])
+        path = walker.walk(1, 10)
+        for a, b in zip(path, path[1:]):
+            assert abs(a - b) == 1  # the path graph only has chain edges
+
+    def test_self_loops_ignored(self):
+        walker = StreamingRandomWalker()
+        walker.update((5, 5))
+        assert walker.n_vertices == 0
+
+
+class TestPageRank:
+    def test_matches_networkx_on_hub_graph(self):
+        edges = list(power_law_edge_stream(200, 3_000, skew=1.3, seed=90))
+        walker = StreamingRandomWalker(seed=1)
+        walker.update_many(edges)
+        pr = walker.pagerank(walks_per_node=40, damping=0.85)
+
+        g = nx.MultiGraph()
+        g.add_edges_from(edges)
+        exact = nx.pagerank(nx.Graph(g), alpha=0.85)
+
+        # Top-10 overlap between estimated and exact rankings.
+        est_top = sorted(pr, key=pr.get, reverse=True)[:10]
+        true_top = sorted(exact, key=exact.get, reverse=True)[:10]
+        assert len(set(est_top) & set(true_top)) >= 6
+
+    def test_probabilities_normalised(self):
+        walker = StreamingRandomWalker(seed=2)
+        walker.update_many([(0, 1), (1, 2), (2, 0)])
+        pr = walker.pagerank(walks_per_node=100)
+        assert sum(pr.values()) == pytest.approx(1.0)
+        # Symmetric triangle: all ranks equal-ish.
+        vals = list(pr.values())
+        assert max(vals) < 1.5 * min(vals)
+
+
+class TestHittingTime:
+    def test_adjacent_nodes_fast(self):
+        walker = StreamingRandomWalker(seed=3)
+        walker.update_many([(0, 1)] * 3)
+        assert walker.hitting_time_estimate(0, 1) == 1.0
+
+    def test_distant_nodes_slower(self):
+        walker = StreamingRandomWalker(seed=4)
+        chain = [(i, i + 1) for i in range(10)]
+        walker.update_many(chain)
+        near = walker.hitting_time_estimate(0, 1, trials=100)
+        far = walker.hitting_time_estimate(0, 9, trials=100)
+        assert far > near
+
+    def test_unreachable_is_inf(self):
+        walker = StreamingRandomWalker(seed=5)
+        walker.update_many([(0, 1), (2, 3)])
+        assert walker.hitting_time_estimate(0, 3, max_steps=50, trials=5) == float("inf")

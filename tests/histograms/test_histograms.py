@@ -1,0 +1,187 @@
+"""Tests for histogram and wavelet synopses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.histograms import (
+    EndBiasedHistogram,
+    EquiWidthHistogram,
+    StreamingVOptimal,
+    haar_transform,
+    inverse_haar_transform,
+    top_b_coefficients,
+    total_sse,
+    v_optimal_histogram,
+    wavelet_synopsis,
+)
+from repro.workloads import zipf_stream
+
+
+class TestEquiWidth:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            EquiWidthHistogram(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            EquiWidthHistogram(0.0, 1.0, bins=0)
+
+    def test_counts_partition_stream(self):
+        h = EquiWidthHistogram(0.0, 10.0, bins=10)
+        h.update_many([0.5, 1.5, 1.7, 9.9])
+        assert h.counts[0] == 1 and h.counts[1] == 2 and h.counts[9] == 1
+
+    def test_out_of_domain_clamped(self):
+        h = EquiWidthHistogram(0.0, 10.0, bins=10)
+        h.update_many([-5.0, 15.0])
+        assert h.counts[0] == 1 and h.counts[9] == 1
+        assert h.count == 2
+
+    def test_range_count_interpolation(self):
+        h = EquiWidthHistogram(0.0, 100.0, bins=10)
+        h.update_many(make_np_rng(0).uniform(0, 100, 10_000))
+        est = h.estimate_range_count(25.0, 75.0)
+        assert abs(est - 5_000) / 5_000 < 0.05
+
+    def test_quantile(self):
+        h = EquiWidthHistogram(0.0, 100.0, bins=100)
+        h.update_many(make_np_rng(1).uniform(0, 100, 10_000))
+        assert abs(h.quantile(0.5) - 50.0) < 3.0
+
+    def test_density_integrates_to_one(self):
+        h = EquiWidthHistogram(0.0, 1.0, bins=20)
+        h.update_many(make_np_rng(2).uniform(0, 1, 5_000))
+        total = sum(h.density(x) for x in np.linspace(0.025, 0.975, 20)) * 0.05
+        assert abs(total - 1.0) < 0.05
+
+    def test_merge(self):
+        a = EquiWidthHistogram(0.0, 1.0, bins=4)
+        b = EquiWidthHistogram(0.0, 1.0, bins=4)
+        a.update(0.1)
+        b.update(0.9)
+        a.merge(b)
+        assert a.count == 2 and a.counts[0] == 1 and a.counts[3] == 1
+
+
+class TestVOptimal:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            v_optimal_histogram([], 3)
+        with pytest.raises(ParameterError):
+            v_optimal_histogram([1.0], 0)
+
+    def test_perfect_fit_for_piecewise_constant(self):
+        values = [5.0] * 10 + [20.0] * 10 + [1.0] * 10
+        buckets = v_optimal_histogram(values, 3)
+        assert total_sse(buckets) == pytest.approx(0.0, abs=1e-9)
+        assert [(b.start, b.end) for b in buckets] == [(0, 10), (10, 20), (20, 30)]
+
+    def test_more_buckets_never_worse(self):
+        rng = make_np_rng(3)
+        values = rng.normal(size=60).cumsum()
+        errs = [total_sse(v_optimal_histogram(values, b)) for b in (1, 2, 4, 8)]
+        assert all(errs[i + 1] <= errs[i] + 1e-9 for i in range(len(errs) - 1))
+
+    def test_beats_equiwidth_partition(self):
+        # A step signal misaligned with equal-width boundaries.
+        values = [0.0] * 7 + [50.0] * 23
+        vopt = total_sse(v_optimal_histogram(values, 2))
+        # Equi-width 2-bucket partition splits at 15.
+        arr = np.array(values)
+        eq_sse = float(((arr[:15] - arr[:15].mean()) ** 2).sum() + ((arr[15:] - arr[15:].mean()) ** 2).sum())
+        assert vopt < eq_sse
+
+    def test_streaming_voptimal_boundaries(self):
+        sv = StreamingVOptimal(0.0, 100.0, n_buckets=2, resolution=64)
+        data = np.concatenate(
+            [make_np_rng(4).uniform(0, 20, 5_000), make_np_rng(5).uniform(80, 100, 5_000)]
+        )
+        sv.update_many(data)
+        edges = sv.boundaries()
+        assert len(edges) == 3
+
+    def test_streaming_voptimal_merge(self):
+        a = StreamingVOptimal(0.0, 10.0, n_buckets=2, resolution=16)
+        b = StreamingVOptimal(0.0, 10.0, n_buckets=2, resolution=16)
+        a.update_many([1.0] * 10)
+        b.update_many([9.0] * 10)
+        a.merge(b)
+        assert a.count == 20
+
+
+class TestEndBiased:
+    def test_head_exactish(self):
+        eb = EndBiasedHistogram(head_size=10, seed=0)
+        data = list(zipf_stream(20_000, universe=1_000, skew=1.3, seed=6))
+        eb.update_many(data)
+        import collections
+
+        truth = collections.Counter(data)
+        head = eb.head()
+        top_true = [item for item, __ in truth.most_common(5)]
+        assert sum(1 for t in top_true if t in head) >= 4
+        for item in top_true[:3]:
+            if item in head:
+                assert abs(head[item] - truth[item]) <= truth[item] * 0.1 + 5
+
+    def test_tail_uniform_positive(self):
+        eb = EndBiasedHistogram(head_size=5, seed=1)
+        eb.update_many(zipf_stream(5_000, universe=2_000, skew=1.0, seed=7))
+        assert eb.tail_uniform_rate() > 0
+        assert eb.estimate("item1999") == pytest.approx(eb.tail_uniform_rate(), rel=0.5)
+
+    def test_merge(self):
+        a = EndBiasedHistogram(head_size=4, seed=2)
+        b = EndBiasedHistogram(head_size=4, seed=2)
+        a.update_many(["x"] * 50)
+        b.update_many(["x"] * 50)
+        a.merge(b)
+        assert a.estimate("x") >= 100
+
+
+class TestWavelets:
+    def test_transform_roundtrip(self):
+        rng = make_np_rng(8)
+        signal = rng.normal(size=64)
+        np.testing.assert_allclose(
+            inverse_haar_transform(haar_transform(signal)), signal, atol=1e-9
+        )
+
+    def test_transform_requires_power_of_two(self):
+        with pytest.raises(ParameterError):
+            haar_transform(np.ones(12))
+
+    def test_parseval_energy_preserved(self):
+        signal = make_np_rng(9).normal(size=128)
+        coeffs = haar_transform(signal)
+        assert np.sum(signal**2) == pytest.approx(np.sum(coeffs**2))
+
+    def test_top_b_keeps_b(self):
+        coeffs = np.arange(16, dtype=float)
+        kept = top_b_coefficients(coeffs, 4)
+        assert np.count_nonzero(kept) == 4
+        assert set(np.nonzero(kept)[0]) == {12, 13, 14, 15}
+
+    def test_synopsis_error_decreases_with_b(self):
+        signal = make_np_rng(10).normal(size=256).cumsum()
+        errs = [
+            float(np.linalg.norm(signal - wavelet_synopsis(signal, b)))
+            for b in (4, 16, 64, 256)
+        ]
+        assert all(errs[i + 1] <= errs[i] + 1e-9 for i in range(len(errs) - 1))
+        assert errs[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_step_signal_compresses_perfectly(self):
+        signal = np.array([10.0] * 8 + [2.0] * 8)
+        approx = wavelet_synopsis(signal, 2)
+        np.testing.assert_allclose(approx, signal, atol=1e-9)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=32))
+    def test_property_l2_optimality_monotone(self, b):
+        signal = make_np_rng(11).normal(size=32)
+        err_b = float(np.linalg.norm(signal - wavelet_synopsis(signal, b)))
+        err_b1 = float(np.linalg.norm(signal - wavelet_synopsis(signal, min(b + 1, 32))))
+        assert err_b1 <= err_b + 1e-9

@@ -1,0 +1,139 @@
+"""Cross-module integration: the same workload through every system layer.
+
+The strongest correctness check available to the reproduction: the
+Pipeline (topology executor), the streaming SQL engine, the Lambda
+Architecture and the Samza-style logged pipeline must all agree with each
+other — and with exact ground truth — on one shared click workload.
+"""
+
+import collections
+
+import pytest
+
+from repro.core import Pipeline, StreamSummary
+from repro.cardinality import HyperLogLog
+from repro.frequency import SpaceSaving
+from repro.lambda_arch import CountView, LambdaArchitecture
+from repro.platform import FaultInjector, InMemoryLog
+from repro.platform.samza import LoggedTask, SamzaPipeline
+from repro.platform.sql import query
+from repro.workloads import click_stream
+
+
+@pytest.fixture(scope="module")
+def clicks():
+    return list(click_stream(5_000, unique_visitors=400, pages=30, seed=777))
+
+
+@pytest.fixture(scope="module")
+def truth(clicks):
+    return collections.Counter(e.page for e in clicks)
+
+
+def _final_counts(updates):
+    final = {}
+    for key, count in updates:
+        final[key] = max(final.get(key, 0), count)
+    return final
+
+
+class TestAllLayersAgree:
+    def test_pipeline_equals_truth(self, clicks, truth):
+        updates = (
+            Pipeline.from_list([(e.page,) for e in clicks]).key_by(0).count().run()
+        )
+        assert _final_counts(updates) == dict(truth)
+
+    def test_sql_equals_truth(self, clicks, truth):
+        rows = query(
+            "SELECT page, COUNT(*) FROM stream GROUP BY page",
+            [{"page": e.page} for e in clicks],
+        )
+        assert {r["page"]: r["COUNT(*)"] for r in rows} == dict(truth)
+
+    def test_lambda_equals_truth(self, clicks, truth):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(clicks[:3_000])
+        la.run_batch()
+        la.ingest_many(clicks[3_000:])
+        assert {page: la.query(page) for page in truth} == dict(truth)
+
+    def test_samza_equals_truth(self, clicks, truth):
+        class CountTask(LoggedTask):
+            def __init__(self):
+                self.counts = collections.Counter()
+
+            def process(self, record):
+                self.counts[record] += 1
+                return []
+
+            def snapshot(self):
+                return dict(self.counts)
+
+            def restore(self, state):
+                self.counts = collections.Counter(state or {})
+
+        source = InMemoryLog()
+        source.append_many(e.page for e in clicks)
+        pipeline = SamzaPipeline()
+        task = CountTask()
+        stage = pipeline.add_stage("count", task, source, commit_interval=500)
+        stage.run(max_records=1_234)
+        stage.crash()  # mid-run failure must not change the final answer
+        pipeline.run_until_quiescent()
+        assert task.counts == truth
+
+    def test_faulty_exactly_once_pipeline_equals_truth(self, clicks, truth):
+        updates = (
+            Pipeline.from_list([(e.page,) for e in clicks])
+            .key_by(0)
+            .count()
+            .run(
+                semantics="exactly_once",
+                faults=FaultInjector(drop_probability=0.001, crash_after=2_000, seed=3),
+                checkpoint_interval=400,
+            )
+        )
+        assert _final_counts(updates) == dict(truth)
+
+
+class TestSketchesAcrossLayers:
+    def test_stream_summary_matches_sql_approximations(self, clicks):
+        """StreamSummary and the SQL engine use the same sketches under the
+        hood; given the same seed they must return identical estimates."""
+        summary = StreamSummary(
+            uniques=HyperLogLog(precision=12, seed=0),
+            extractors={"uniques": lambda e: e.user_id},
+        )
+        summary.update_many(clicks)
+
+        rows = query(
+            "SELECT APPROX_DISTINCT(user) FROM stream",
+            [{"user": e.user_id} for e in clicks],
+            seed=0,
+        )
+        assert rows[0]["APPROX_DISTINCT(user)"] == round(summary["uniques"].estimate())
+
+    def test_partitioned_summaries_equal_global(self, clicks):
+        def make():
+            return StreamSummary(
+                uniques=HyperLogLog(precision=12, seed=1),
+                topk=SpaceSaving(32),
+                extractors={"uniques": lambda e: e.user_id, "topk": lambda e: e.page},
+            )
+
+        partitions = [make() for __ in range(4)]
+        for i, event in enumerate(clicks):
+            partitions[i % 4].update(event)
+        merged = partitions[0]
+        for part in partitions[1:]:
+            merged.merge(part)
+
+        single = make()
+        single.update_many(clicks)
+        # HLL merge is lossless -> identical estimates.
+        assert merged["uniques"].estimate() == single["uniques"].estimate()
+        # SpaceSaving merge keeps the true top pages.
+        top_merged = {p for p, __ in merged["topk"].top(5)}
+        top_single = {p for p, __ in single["topk"].top(5)}
+        assert len(top_merged & top_single) >= 4

@@ -1,0 +1,103 @@
+"""Tests for inversion counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng, make_rng
+from repro.inversions import (
+    FenwickTree,
+    InversionEstimator,
+    count_inversions_bit,
+    count_inversions_mergesort,
+)
+
+
+def brute_force(values):
+    n = len(values)
+    return sum(
+        1 for i in range(n) for j in range(i + 1, n) if values[i] > values[j]
+    )
+
+
+class TestExactCounters:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([], 0),
+            ([1], 0),
+            ([1, 2, 3], 0),
+            ([3, 2, 1], 3),
+            ([2, 1, 3], 1),
+            ([1, 1, 1], 0),  # ties are not inversions
+        ],
+    )
+    def test_known_cases(self, values, expected):
+        assert count_inversions_mergesort(values) == expected
+        assert count_inversions_bit(values) == expected
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(-50, 50), max_size=60))
+    def test_property_both_match_brute_force(self, values):
+        expected = brute_force(values)
+        assert count_inversions_mergesort(values) == expected
+        assert count_inversions_bit(values) == expected
+
+    def test_reverse_sorted_maximum(self):
+        n = 200
+        values = list(range(n, 0, -1))
+        assert count_inversions_bit(values) == n * (n - 1) // 2
+
+
+class TestFenwick:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            FenwickTree(0)
+        t = FenwickTree(4)
+        with pytest.raises(ParameterError):
+            t.add(4)
+
+    def test_prefix_sums(self):
+        t = FenwickTree(8)
+        for i in range(8):
+            t.add(i, i)
+        assert t.prefix_sum(3) == 0 + 1 + 2 + 3
+        assert t.total() == sum(range(8))
+        assert t.prefix_sum(-1) == 0
+
+
+class TestInversionEstimator:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            InversionEstimator(k=0)
+
+    def test_sorted_stream_near_zero(self):
+        est = InversionEstimator(k=300, seed=0)
+        est.update_many(range(2_000))
+        assert est.inverted_fraction() < 0.02
+        assert est.sortedness() > 0.98
+
+    def test_reverse_sorted_near_max(self):
+        est = InversionEstimator(k=300, seed=1)
+        est.update_many(range(2_000, 0, -1))
+        assert est.inverted_fraction() > 0.98
+
+    def test_random_stream_near_half(self):
+        est = InversionEstimator(k=500, seed=2)
+        est.update_many(make_np_rng(61).normal(size=3_000))
+        assert 0.4 < est.inverted_fraction() < 0.6
+
+    def test_estimate_matches_exact_roughly(self):
+        rng = make_rng(62)
+        values = [rng.random() for __ in range(800)]
+        # Make it 90% sorted with some shuffled tail.
+        values = sorted(values[:700]) + values[700:]
+        est = InversionEstimator(k=800, seed=3)
+        est.update_many(values)
+        exact = count_inversions_bit(values)
+        assert abs(est.estimate() - exact) / max(exact, 1) < 0.6
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            InversionEstimator().merge(InversionEstimator())

@@ -1,0 +1,94 @@
+"""Tests for the Lambda Architecture."""
+
+import collections
+
+import pytest
+
+from repro.lambda_arch import CountView, LambdaArchitecture, UniqueVisitorsView
+from repro.workloads import click_stream
+
+
+@pytest.fixture()
+def clicks():
+    return list(click_stream(3_000, unique_visitors=300, pages=40, seed=201))
+
+
+class TestCountViewLambda:
+    def test_query_before_any_batch_uses_speed_only(self, clicks):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(clicks[:100])
+        truth = collections.Counter(e.page for e in clicks[:100])
+        page, count = truth.most_common(1)[0]
+        assert la.query(page) == count
+        assert la.batch_lag == 100
+
+    def test_batch_plus_speed_equals_truth(self, clicks):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(clicks[:2_000])
+        la.run_batch()
+        la.ingest_many(clicks[2_000:])  # arrives after the batch run
+        truth = collections.Counter(e.page for e in clicks)
+        for page in list(truth)[:20]:
+            assert la.query(page) == truth[page], page
+
+    def test_speed_layer_expired_by_batch(self, clicks):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(clicks)
+        assert la.speed.n_pending_events == len(clicks)
+        la.run_batch()
+        assert la.speed.n_pending_events == 0
+        assert la.batch_lag == 0
+        truth = collections.Counter(e.page for e in clicks)
+        for page in list(truth)[:20]:
+            assert la.query(page) == truth[page]
+
+    def test_repeated_batches_stay_consistent(self, clicks):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        for chunk_start in range(0, 3_000, 500):
+            la.ingest_many(clicks[chunk_start : chunk_start + 500])
+            la.run_batch()
+        truth = collections.Counter(e.page for e in clicks)
+        assert all(la.query(p) == truth[p] for p in truth)
+
+    def test_unknown_key_returns_zero(self):
+        la = LambdaArchitecture(CountView())
+        assert la.query("never-seen") == 0
+
+    def test_keys_union_of_layers(self, clicks):
+        la = LambdaArchitecture(CountView(key_fn=lambda e: e.page))
+        la.ingest_many(clicks[:1_000])
+        la.run_batch()
+        la.ingest_many(clicks[1_000:1_100])
+        expected = {e.page for e in clicks[:1_100]}
+        assert la.keys() == expected
+
+
+class TestUniqueVisitorsLambda:
+    def test_merged_distinct_counts(self, clicks):
+        view = UniqueVisitorsView(
+            key_fn=lambda e: e.page, user_fn=lambda e: e.user_id, precision=12
+        )
+        la = LambdaArchitecture(view)
+        la.ingest_many(clicks[:2_500])
+        la.run_batch()
+        la.ingest_many(clicks[2_500:])
+        truth = collections.defaultdict(set)
+        for e in clicks:
+            truth[e.page].add(e.user_id)
+        top_pages = sorted(truth, key=lambda p: -len(truth[p]))[:5]
+        for page in top_pages:
+            estimate = la.query(page)
+            exact = len(truth[page])
+            assert abs(estimate - exact) / exact < 0.15, page
+
+    def test_hll_values_merge_across_layers(self, clicks):
+        """A user seen in both batch and speed ranges is counted once."""
+        view = UniqueVisitorsView(
+            key_fn=lambda e: "all", user_fn=lambda e: e.user_id, precision=13
+        )
+        la = LambdaArchitecture(view)
+        la.ingest_many(clicks[:1_500])
+        la.run_batch()
+        la.ingest_many(clicks[1_500:])  # heavy user overlap with batch range
+        exact = len({e.user_id for e in clicks})
+        assert abs(la.query("all") - exact) / exact < 0.1

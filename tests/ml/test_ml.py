@@ -1,0 +1,207 @@
+"""Tests for the incremental ML package."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.ml import (
+    HoeffdingTree,
+    OnlineLogisticRegression,
+    PassiveAggressiveRegressor,
+    StreamingNaiveBayes,
+)
+
+
+def _linear_data(n, dims=4, seed=0, noise=0.5):
+    rng = make_np_rng(seed)
+    w = rng.normal(size=dims)
+    X = rng.normal(size=(n, dims))
+    logits = X @ w + noise * rng.normal(size=n)
+    y = (logits > 0).astype(int)
+    return X, y, w
+
+
+class TestLogisticRegression:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OnlineLogisticRegression(0)
+        lr = OnlineLogisticRegression(2)
+        with pytest.raises(ParameterError):
+            lr.update(([1.0, 2.0], 3))
+        with pytest.raises(ParameterError):
+            lr.update(([1.0], 1))
+
+    @pytest.mark.parametrize("adagrad", [True, False])
+    def test_learns_separable_data(self, adagrad):
+        X, y, __ = _linear_data(6_000, seed=1, noise=0.1)
+        lr = OnlineLogisticRegression(4, adagrad=adagrad)
+        lr.update_many(zip(X, y))
+        correct = sum(lr.predict(x) == label for x, label in zip(X[-1_000:], y[-1_000:]))
+        assert correct / 1_000 > 0.93
+
+    def test_progressive_loss_decreases(self):
+        X, y, __ = _linear_data(4_000, seed=2)
+        lr = OnlineLogisticRegression(4)
+        losses = []
+        for i, (x, label) in enumerate(zip(X, y)):
+            lr.update((x, label))
+            if i in (500, 3_999):
+                losses.append(lr.progressive_log_loss())
+        assert losses[-1] < losses[0]
+
+    def test_probability_calibrated_direction(self):
+        X, y, w = _linear_data(5_000, seed=3, noise=0.1)
+        lr = OnlineLogisticRegression(4)
+        lr.update_many(zip(X, y))
+        strong_pos = w * 3.0
+        strong_neg = -w * 3.0
+        assert lr.predict_proba(strong_pos) > 0.9
+        assert lr.predict_proba(strong_neg) < 0.1
+
+    def test_merge_parameter_averaging(self):
+        X, y, __ = _linear_data(4_000, seed=4, noise=0.1)
+        a, b = OnlineLogisticRegression(4), OnlineLogisticRegression(4)
+        a.update_many(zip(X[:2_000], y[:2_000]))
+        b.update_many(zip(X[2_000:], y[2_000:]))
+        a.merge(b)
+        assert a.count == 4_000
+        correct = sum(a.predict(x) == label for x, label in zip(X[:500], y[:500]))
+        assert correct / 500 > 0.9
+
+
+class TestPassiveAggressive:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PassiveAggressiveRegressor(2, C=0)
+
+    def test_learns_linear_function(self):
+        rng = make_np_rng(5)
+        w_true = np.array([2.0, -1.0, 0.5])
+        pa = PassiveAggressiveRegressor(3, epsilon=0.05)
+        for __ in range(5_000):
+            x = rng.normal(size=3)
+            pa.update((x, float(w_true @ x + 1.0)))
+        test = rng.normal(size=3)
+        assert abs(pa.predict(test) - (w_true @ test + 1.0)) < 0.3
+
+    def test_no_update_inside_epsilon(self):
+        pa = PassiveAggressiveRegressor(1, epsilon=10.0)
+        pa.update(([1.0], 0.5))  # |error| < eps -> no change
+        assert np.allclose(pa.weights, 0.0)
+
+    def test_adapts_to_drift(self):
+        rng = make_np_rng(6)
+        pa = PassiveAggressiveRegressor(1, epsilon=0.01, C=1.0)
+        for __ in range(2_000):
+            x = rng.normal(size=1)
+            pa.update((x, float(3.0 * x[0])))
+        for __ in range(2_000):
+            x = rng.normal(size=1)
+            pa.update((x, float(-3.0 * x[0])))
+        assert pa.predict([1.0]) < -2.0
+
+
+class TestNaiveBayes:
+    CORPUS = [
+        (["buy", "cheap", "pills"], "spam"),
+        (["cheap", "watches", "buy"], "spam"),
+        (["meeting", "tomorrow", "agenda"], "ham"),
+        (["project", "meeting", "notes"], "ham"),
+    ] * 25
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StreamingNaiveBayes(smoothing=0)
+        with pytest.raises(ParameterError):
+            StreamingNaiveBayes().predict(["x"])  # no data yet
+
+    def test_classifies_held_out(self):
+        nb = StreamingNaiveBayes()
+        nb.update_many(self.CORPUS)
+        assert nb.predict(["cheap", "pills"]) == "spam"
+        assert nb.predict(["meeting", "notes"]) == "ham"
+
+    def test_probabilities_normalised(self):
+        nb = StreamingNaiveBayes()
+        nb.update_many(self.CORPUS)
+        proba = nb.predict_proba(["buy"])
+        assert sum(proba.values()) == pytest.approx(1.0)
+        assert proba["spam"] > proba["ham"]
+
+    def test_decay_forgets_old_concept(self):
+        nb = StreamingNaiveBayes(decay=0.95)
+        for __ in range(200):
+            nb.update((["token"], "old"))
+        for __ in range(200):
+            nb.update((["token"], "new"))
+        assert nb.predict(["token"]) == "new"
+
+    def test_merge_adds_counts(self):
+        a, b = StreamingNaiveBayes(), StreamingNaiveBayes()
+        a.update_many(self.CORPUS[:50])
+        b.update_many(self.CORPUS[50:])
+        a.merge(b)
+        assert a.predict(["cheap"]) == "spam"
+        assert a.labels == {"spam", "ham"}
+
+
+class TestHoeffdingTree:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HoeffdingTree(0)
+        tree = HoeffdingTree(2)
+        with pytest.raises(ParameterError):
+            tree.update(([1.0], "a"))
+
+    def test_predict_before_data(self):
+        assert HoeffdingTree(2).predict([0.0, 0.0]) is None
+
+    def test_learns_axis_aligned_concept(self):
+        rng = make_np_rng(7)
+        tree = HoeffdingTree(2, grace_period=100)
+        for __ in range(8_000):
+            x = rng.uniform(0, 1, size=2)
+            label = "pos" if x[0] > 0.5 else "neg"
+            tree.update((x, label))
+        assert tree.n_nodes > 1  # it split
+        correct = 0
+        for __ in range(500):
+            x = rng.uniform(0, 1, size=2)
+            correct += tree.predict(x) == ("pos" if x[0] > 0.5 else "neg")
+        assert correct / 500 > 0.95
+
+    def test_learns_conjunction(self):
+        rng = make_np_rng(8)
+        tree = HoeffdingTree(2, grace_period=150, max_depth=6)
+        def label(x):
+            return "a" if (x[0] > 0.5 and x[1] > 0.5) else "b"
+        for __ in range(15_000):
+            x = rng.uniform(0, 1, size=2)
+            tree.update((x, label(x)))
+        correct = 0
+        for __ in range(500):
+            x = rng.uniform(0, 1, size=2)
+            correct += tree.predict(x) == label(x)
+        assert correct / 500 > 0.9
+        assert tree.depth >= 2
+
+    def test_progressive_accuracy_improves(self):
+        rng = make_np_rng(9)
+        tree = HoeffdingTree(1, grace_period=100)
+        for __ in range(5_000):
+            x = rng.uniform(0, 1, size=1)
+            tree.update((x, int(x[0] > 0.3)))
+        assert tree.progressive_accuracy() > 0.8
+
+    def test_depth_bounded(self):
+        rng = make_np_rng(10)
+        tree = HoeffdingTree(1, grace_period=50, max_depth=3)
+        for __ in range(10_000):
+            x = rng.uniform(0, 1, size=1)
+            tree.update((x, int(x[0] * 8) % 2))
+        assert tree.depth <= 3
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            HoeffdingTree(1).merge(HoeffdingTree(1))

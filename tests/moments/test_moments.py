@@ -1,0 +1,97 @@
+"""Tests for frequency-moment estimation."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.moments import AMSSketch, FkEstimator
+from repro.workloads import zipf_stream
+
+
+def _f_k(counter, k):
+    return sum(c**k for c in counter.values())
+
+
+@pytest.fixture(scope="module")
+def stream_and_counts():
+    data = list(zipf_stream(5_000, universe=500, skew=1.2, seed=31))
+    return data, collections.Counter(data)
+
+
+class TestAMS:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            AMSSketch(groups=0)
+        with pytest.raises(ParameterError):
+            AMSSketch().update_weighted("x", 0)
+
+    def test_f2_accuracy(self, stream_and_counts):
+        data, counts = stream_and_counts
+        ams = AMSSketch(groups=7, per_group=32, seed=0)
+        ams.update_many(data)
+        true_f2 = _f_k(counts, 2)
+        assert abs(ams.estimate_f2() - true_f2) / true_f2 < 0.25
+
+    def test_f2_on_uniform_stream(self):
+        # n distinct items once each: F2 = n exactly.
+        ams = AMSSketch(groups=7, per_group=32, seed=1)
+        ams.update_many(f"u{i}" for i in range(2_000))
+        assert abs(ams.estimate_f2() - 2_000) / 2_000 < 0.3
+
+    def test_turnstile_deletion(self):
+        ams = AMSSketch(groups=5, per_group=16, seed=2)
+        ams.update_weighted("x", 10.0)
+        ams.update_weighted("x", -10.0)
+        assert ams.estimate_f2() == 0.0
+
+    def test_merge_equals_single_pass(self, stream_and_counts):
+        data, __ = stream_and_counts
+        half = len(data) // 2
+        a = AMSSketch(groups=5, per_group=16, seed=3)
+        b = AMSSketch(groups=5, per_group=16, seed=3)
+        single = AMSSketch(groups=5, per_group=16, seed=3)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        single.update_many(data)
+        a.merge(b)
+        assert a.estimate_f2() == pytest.approx(single.estimate_f2())
+
+    def test_surprise_number_alias(self):
+        ams = AMSSketch(seed=4)
+        ams.update_many(["a", "a", "b"])
+        assert ams.surprise_number() == ams.estimate_f2()
+
+
+class TestFk:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            FkEstimator(k=0)
+
+    def test_f1_is_stream_length(self, stream_and_counts):
+        data, __ = stream_and_counts
+        fk = FkEstimator(k=1, groups=5, per_group=10, seed=0)
+        fk.update_many(data[:1000])
+        # F1 = n exactly; the estimator collapses to n * (r - (r-1)) = n.
+        assert fk.estimate() == 1000
+
+    def test_f2_rough_accuracy(self, stream_and_counts):
+        data, counts = stream_and_counts
+        fk = FkEstimator(k=2, groups=7, per_group=60, seed=1)
+        fk.update_many(data)
+        true_f2 = _f_k(counts, 2)
+        assert abs(fk.estimate() - true_f2) / true_f2 < 0.5
+
+    def test_f3_order_of_magnitude(self, stream_and_counts):
+        data, counts = stream_and_counts
+        fk = FkEstimator(k=3, groups=9, per_group=80, seed=2)
+        fk.update_many(data)
+        true_f3 = _f_k(counts, 3)
+        assert 0.3 < fk.estimate() / true_f3 < 3.0
+
+    def test_empty_estimate(self):
+        assert FkEstimator(k=2).estimate() == 0.0
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            FkEstimator(k=2).merge(FkEstimator(k=2))

@@ -1,0 +1,132 @@
+"""Tests for the Akka-style actor toolkit."""
+
+import pytest
+
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.platform.actors import Actor, ActorSystem
+
+
+class Counter(Actor):
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def receive(self, message, sender):
+        if message == "inc":
+            self.count += 1
+        elif message == "get":
+            self.reply(self.count)
+
+
+class Forwarder(Actor):
+    def __init__(self, target):
+        super().__init__()
+        self.target = target
+
+    def receive(self, message, sender):
+        self.target.tell(message, sender=self.ref)
+
+
+class Crasher(Actor):
+    def __init__(self):
+        super().__init__()
+        self.seen = 0
+
+    def receive(self, message, sender):
+        self.seen += 1
+        if message == "boom":
+            raise ValueError("boom")
+        if message == "get":
+            self.reply(self.seen)
+
+
+class TestActorBasics:
+    def test_duplicate_names_rejected(self):
+        system = ActorSystem()
+        system.spawn("a", Counter)
+        with pytest.raises(ParameterError):
+            system.spawn("a", Counter)
+
+    def test_tell_and_run(self):
+        system = ActorSystem()
+        counter = system.spawn("counter", Counter)
+        for __ in range(5):
+            counter.tell("inc")
+        delivered = system.run()
+        assert delivered == 5
+        assert system._actors["counter"].count == 5
+
+    def test_ask_request_response(self):
+        """The paper's highlighted Akka feature: actors reply to messages."""
+        system = ActorSystem()
+        counter = system.spawn("counter", Counter)
+        counter.tell("inc")
+        counter.tell("inc")
+        future = counter.ask("get")
+        assert not future.done
+        system.run()
+        assert future.result() == 2
+
+    def test_unresolved_future_raises(self):
+        system = ActorSystem()
+        counter = system.spawn("c", Counter)
+        future = counter.ask("get")
+        with pytest.raises(ExecutionError):
+            future.result()
+
+    def test_actor_chaining(self):
+        system = ActorSystem()
+        counter = system.spawn("counter", Counter)
+        relay = system.spawn("relay", lambda: Forwarder(counter))
+        for __ in range(3):
+            relay.tell("inc")
+        system.run()
+        assert system._actors["counter"].count == 3
+
+    def test_message_loop_detected(self):
+        system = ActorSystem()
+
+        class Pinger(Actor):
+            def receive(self, message, sender):
+                self.ref.tell("again")
+
+        ref = system.spawn("pinger", Pinger)
+        ref.tell("start")
+        with pytest.raises(ExecutionError):
+            system.run(max_messages=100)
+
+
+class TestSupervision:
+    def test_restart_resets_state(self):
+        system = ActorSystem(max_restarts=3)
+        ref = system.spawn("crasher", Crasher)
+        ref.tell("ok")
+        ref.tell("boom")  # restart -> fresh instance
+        ref.tell("ok")
+        future = ref.ask("get")
+        system.run()
+        assert system.restarts == 1
+        assert future.result() == 2  # post-restart instance saw ok + get
+
+    def test_stop_after_budget_exhausted(self):
+        system = ActorSystem(max_restarts=1)
+        ref = system.spawn("crasher", Crasher)
+        for __ in range(3):
+            ref.tell("boom")
+        system.run()
+        assert system.is_stopped("crasher")
+        # Further messages become dead letters, not errors.
+        ref.tell("ok")
+        assert system.run() == 0
+
+    def test_other_actors_unaffected_by_failure(self):
+        """One-for-one supervision: a crashing actor does not take its
+        siblings down."""
+        system = ActorSystem(max_restarts=0)
+        crasher = system.spawn("crasher", Crasher)
+        counter = system.spawn("counter", Counter)
+        crasher.tell("boom")
+        counter.tell("inc")
+        system.run()
+        assert system.is_stopped("crasher")
+        assert system._actors["counter"].count == 1

@@ -1,0 +1,235 @@
+"""End-to-end executor tests: semantics, faults, checkpointing, operators."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.platform import (
+    CollectorBolt,
+    CountBolt,
+    FaultInjector,
+    FilterBolt,
+    FlatMapBolt,
+    InMemoryLog,
+    JoinBolt,
+    ListSpout,
+    LocalExecutor,
+    LogSpout,
+    MapBolt,
+    SynopsisBolt,
+    TopologyBuilder,
+    TumblingWindowBolt,
+)
+from repro.cardinality import HyperLogLog
+from repro.workloads import zipf_stream
+
+
+def word_count_topology(words, parallelism=4):
+    builder = TopologyBuilder()
+    builder.set_spout("sentences", lambda: ListSpout(words))
+    builder.set_bolt("count", CountBolt, parallelism=parallelism).fields("sentences", 0)
+    return builder
+
+
+def total_counts(executor, name="count"):
+    merged = collections.Counter()
+    for bolt in executor.bolt_instances(name):
+        merged.update(bolt.counts)
+    return merged
+
+
+WORDS = list(zipf_stream(2_000, universe=50, skew=1.0, seed=101))
+TRUTH = collections.Counter(WORDS)
+
+
+class TestBasicExecution:
+    def test_word_count_exact_without_faults(self):
+        ex = LocalExecutor(word_count_topology(WORDS).build())
+        ex.run()
+        assert total_counts(ex) == TRUTH
+
+    def test_fields_grouping_consistency(self):
+        """The same word must always land on the same task."""
+        ex = LocalExecutor(word_count_topology(WORDS).build())
+        ex.run()
+        owners = collections.defaultdict(set)
+        for task, bolt in enumerate(ex.bolt_instances("count")):
+            for word in bolt.counts:
+                owners[word].add(task)
+        assert all(len(tasks) == 1 for tasks in owners.values())
+
+    def test_multi_stage_pipeline(self):
+        builder = TopologyBuilder()
+        builder.set_spout("nums", lambda: ListSpout(list(range(100))))
+        builder.set_bolt("evens", lambda: FilterBolt(lambda v: v[0] % 2 == 0)).shuffle("nums")
+        builder.set_bolt("squared", lambda: MapBolt(lambda v: (v[0] ** 2,))).shuffle("evens")
+        builder.set_bolt("sink", CollectorBolt).global_("squared")
+        ex = LocalExecutor(builder.build())
+        ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        assert sorted(v[0] for v in sink.results) == [i * i for i in range(0, 100, 2)]
+
+    def test_flatmap(self):
+        builder = TopologyBuilder()
+        builder.set_spout("lines", lambda: ListSpout(["a b", "c"]))
+        builder.set_bolt(
+            "split", lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()])
+        ).shuffle("lines")
+        builder.set_bolt("sink", CollectorBolt).global_("split")
+        ex = LocalExecutor(builder.build())
+        ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        assert sorted(v[0] for v in sink.results) == ["a", "b", "c"]
+
+    def test_log_spout(self):
+        log = InMemoryLog()
+        log.append_many(["x", "y", "z"])
+        builder = TopologyBuilder()
+        builder.set_spout("log", lambda: LogSpout(log))
+        builder.set_bolt("sink", CollectorBolt).global_("log")
+        ex = LocalExecutor(builder.build())
+        ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        assert [v[0] for v in sink.results] == ["x", "y", "z"]
+
+    def test_metrics_populated(self):
+        ex = LocalExecutor(word_count_topology(WORDS).build(), semantics="at_least_once")
+        metrics = ex.run()
+        assert metrics.components["spout:sentences"].emitted == len(WORDS)
+        assert metrics.throughput() > 0
+        assert metrics.latency_quantile(0.5) >= 0
+
+    def test_unknown_bolt_inspection(self):
+        ex = LocalExecutor(word_count_topology(WORDS).build())
+        with pytest.raises(ParameterError):
+            ex.bolt_instances("nope")
+
+    def test_invalid_semantics(self):
+        with pytest.raises(ParameterError):
+            LocalExecutor(word_count_topology(WORDS).build(), semantics="whatever")
+
+
+class TestDeliverySemantics:
+    DROPPY = dict(drop_probability=0.02, seed=7)
+
+    def test_at_most_once_loses_data(self):
+        ex = LocalExecutor(
+            word_count_topology(WORDS).build(),
+            semantics="at_most_once",
+            faults=FaultInjector(**self.DROPPY),
+        )
+        ex.run()
+        counted = sum(total_counts(ex).values())
+        assert counted < len(WORDS)
+
+    def test_at_least_once_counts_everything_possibly_twice(self):
+        ex = LocalExecutor(
+            word_count_topology(WORDS).build(),
+            semantics="at_least_once",
+            faults=FaultInjector(**self.DROPPY),
+        )
+        metrics = ex.run()
+        counts = total_counts(ex)
+        assert sum(counts.values()) >= len(WORDS)
+        assert all(counts[w] >= TRUTH[w] for w in TRUTH)
+        assert metrics.replays > 0
+
+    def test_at_least_once_no_faults_is_exact(self):
+        ex = LocalExecutor(word_count_topology(WORDS).build(), semantics="at_least_once")
+        metrics = ex.run()
+        assert total_counts(ex) == TRUTH
+        assert metrics.replays == 0
+
+    def test_exactly_once_with_drops_is_exact(self):
+        ex = LocalExecutor(
+            word_count_topology(WORDS).build(),
+            semantics="exactly_once",
+            faults=FaultInjector(drop_probability=0.005, seed=3),
+            checkpoint_interval=100,
+        )
+        metrics = ex.run()
+        assert total_counts(ex) == TRUTH
+        assert metrics.recoveries > 0
+        assert metrics.checkpoints > 0
+
+    def test_exactly_once_with_crash_is_exact(self):
+        ex = LocalExecutor(
+            word_count_topology(WORDS).build(),
+            semantics="exactly_once",
+            faults=FaultInjector(crash_after=1_000, seed=5),
+            checkpoint_interval=200,
+        )
+        metrics = ex.run()
+        assert total_counts(ex) == TRUTH
+        assert metrics.recoveries == 1
+
+    def test_exactly_once_transactional_sink(self):
+        builder = word_count_topology(WORDS)
+        builder.set_bolt("sink", CollectorBolt).global_("count")
+        ex = LocalExecutor(
+            builder.build(),
+            semantics="exactly_once",
+            faults=FaultInjector(crash_after=1_500, seed=9),
+            checkpoint_interval=250,
+        )
+        ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        # The sink saw exactly one update per source word (no duplicates).
+        assert len(sink.results) == len(WORDS)
+
+
+class TestOperators:
+    def test_tumbling_window_bolt(self):
+        events = [(float(t), t) for t in range(10)]
+        builder = TopologyBuilder()
+        builder.set_spout("events", lambda: ListSpout(events))
+        builder.set_bolt("win", lambda: TumblingWindowBolt(5.0, agg=sum)).global_("events")
+        builder.set_bolt("sink", CollectorBolt).global_("win")
+        ex = LocalExecutor(builder.build())
+        ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        assert (0.0, 5.0, 0 + 1 + 2 + 3 + 4) in sink.results
+        assert (5.0, 10.0, 5 + 6 + 7 + 8 + 9) in sink.results
+
+    def test_join_bolt(self):
+        events = [(0, "k1", "ad1"), (1, "k1", "click1"), (1, "k2", "click2"), (0, "k2", "ad2")]
+        builder = TopologyBuilder()
+        builder.set_spout("events", lambda: ListSpout(events))
+        builder.set_bolt("join", JoinBolt).fields("events", 1)
+        builder.set_bolt("sink", CollectorBolt).global_("join")
+        ex = LocalExecutor(builder.build())
+        ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        assert ("k1", "ad1", "click1") in sink.results
+        assert ("k2", "ad2", "click2") in sink.results
+
+    def test_synopsis_bolt_hll(self):
+        visitors = [f"u{i % 500}" for i in range(5_000)]
+        builder = TopologyBuilder()
+        builder.set_spout("visits", lambda: ListSpout(visitors))
+        builder.set_bolt(
+            "uniques", lambda: SynopsisBolt(lambda: HyperLogLog(precision=12, seed=0))
+        ).global_("visits")
+        ex = LocalExecutor(builder.build())
+        ex.run()
+        (bolt,) = ex.bolt_instances("uniques")
+        assert abs(bolt.synopsis.estimate() - 500) / 500 < 0.05
+
+    def test_synopsis_bolt_survives_recovery(self):
+        visitors = [f"u{i}" for i in range(2_000)]
+        builder = TopologyBuilder()
+        builder.set_spout("visits", lambda: ListSpout(visitors))
+        builder.set_bolt(
+            "uniques", lambda: SynopsisBolt(lambda: HyperLogLog(precision=12, seed=0))
+        ).global_("visits")
+        ex = LocalExecutor(
+            builder.build(),
+            semantics="exactly_once",
+            faults=FaultInjector(crash_after=1_200, seed=11),
+            checkpoint_interval=300,
+        )
+        ex.run()
+        (bolt,) = ex.bolt_instances("uniques")
+        assert abs(bolt.synopsis.estimate() - 2_000) / 2_000 < 0.05
+        assert bolt.synopsis.count == 2_000  # exactly-once: no double updates

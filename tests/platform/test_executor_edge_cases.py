@@ -1,0 +1,108 @@
+"""Executor edge cases: backpressure, component errors, replay caps."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ExecutionError
+from repro.platform import (
+    Bolt,
+    CollectorBolt,
+    CountBolt,
+    FaultInjector,
+    FlatMapBolt,
+    ListSpout,
+    LocalExecutor,
+    MapBolt,
+    TopologyBuilder,
+)
+
+
+class TestBackpressure:
+    def test_throttling_keeps_queues_bounded(self):
+        """An amplifying bolt (1 -> 50 tuples) must not blow past max_queue
+        by more than one burst."""
+        builder = TopologyBuilder()
+        builder.set_spout("s", lambda: ListSpout(list(range(200))))
+        builder.set_bolt(
+            "amplify", lambda: FlatMapBolt(lambda v: [(v[0], i) for i in range(50)])
+        ).shuffle("s")
+        builder.set_bolt("sink", CollectorBolt).global_("amplify")
+        ex = LocalExecutor(builder.build(), max_queue=64)
+        metrics = ex.run()
+        (sink,) = ex.bolt_instances("sink")
+        assert len(sink.results) == 200 * 50
+        high_water = metrics.components["bolt:sink"].queue_high_water
+        assert high_water <= 64 + 50  # one amplification burst of slack
+
+
+class TestErrorPropagation:
+    def test_bolt_exception_wrapped(self):
+        class Exploding(Bolt):
+            def process(self, values, emit):
+                raise ValueError("boom")
+
+        builder = TopologyBuilder()
+        builder.set_spout("s", lambda: ListSpout([1]))
+        builder.set_bolt("bad", Exploding).shuffle("s")
+        ex = LocalExecutor(builder.build())
+        with pytest.raises(ExecutionError, match="bad"):
+            ex.run()
+
+
+class TestReplayCap:
+    def test_always_dropped_message_gives_up(self):
+        """A 'poisoned' route (100% drop) must not loop forever in
+        at-least-once mode; the replay cap bounds the retries."""
+        builder = TopologyBuilder()
+        builder.set_spout("s", lambda: ListSpout(["x"]))
+        builder.set_bolt("count", CountBolt).fields("s", 0)
+        ex = LocalExecutor(
+            builder.build(),
+            semantics="at_least_once",
+            faults=FaultInjector(drop_probability=0.999999, seed=1),
+            max_replays_per_message=5,
+        )
+        metrics = ex.run()  # must terminate
+        assert metrics.replays <= 5
+        assert metrics.components["spout:__all__"].failed >= 1
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self):
+        words = ["a", "b", "c"] * 100
+
+        def run():
+            builder = TopologyBuilder()
+            builder.set_spout("s", lambda: ListSpout(words))
+            builder.set_bolt("count", CountBolt, parallelism=3).fields("s", 0)
+            ex = LocalExecutor(
+                builder.build(),
+                semantics="at_least_once",
+                faults=FaultInjector(drop_probability=0.05, seed=42),
+            )
+            ex.run()
+            merged = collections.Counter()
+            for bolt in ex.bolt_instances("count"):
+                merged.update(bolt.counts)
+            return merged, ex.metrics.replays
+
+        first, second = run(), run()
+        assert first == second
+
+
+class TestDiamondTopology:
+    def test_fan_out_fan_in(self):
+        """Two parallel branches re-converging (diamond) with reliability."""
+        builder = TopologyBuilder()
+        builder.set_spout("s", lambda: ListSpout(list(range(50))))
+        builder.set_bolt("double", lambda: MapBolt(lambda v: (v[0] * 2,))).shuffle("s")
+        builder.set_bolt("negate", lambda: MapBolt(lambda v: (-v[0],))).shuffle("s")
+        sink = builder.set_bolt("sink", CollectorBolt)
+        sink.global_("double").global_("negate")
+        ex = LocalExecutor(builder.build(), semantics="at_least_once")
+        ex.run()
+        (bolt,) = ex.bolt_instances("sink")
+        values = sorted(v[0] for v in bolt.results)
+        expected = sorted([i * 2 for i in range(50)] + [-i for i in range(50)])
+        assert values == expected

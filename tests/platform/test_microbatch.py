@@ -1,0 +1,103 @@
+"""Tests for the Spark-style micro-batch execution model."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.platform.microbatch import MicroBatchContext
+from repro.workloads import zipf_stream
+
+WORDS = list(zipf_stream(2_000, universe=100, skew=1.0, seed=303))
+TRUTH = collections.Counter(WORDS)
+
+
+def word_count_context(batch_size=100, checkpoint_every=3):
+    ctx = MicroBatchContext(batch_size=batch_size, checkpoint_every=checkpoint_every)
+    counts = (
+        ctx.source(WORDS)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b, stateful=True)
+        .collect()
+    )
+    return ctx, counts
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MicroBatchContext(batch_size=0)
+        ctx = MicroBatchContext()
+        with pytest.raises(ExecutionError):
+            ctx.run()  # no source
+        ctx.source([1])
+        with pytest.raises(ParameterError):
+            ctx.source([2])  # second source rejected
+
+    def test_map_filter_flatmap(self):
+        ctx = MicroBatchContext(batch_size=4)
+        out = (
+            ctx.source(["a b", "c d", "e"])
+            .flat_map(lambda s: s.split())
+            .filter(lambda w: w != "c")
+            .map(str.upper)
+            .collect()
+        )
+        ctx.run()
+        assert out.results() == ["A", "B", "D", "E"]
+
+    def test_batching_shape(self):
+        ctx = MicroBatchContext(batch_size=3)
+        out = ctx.source(list(range(8))).collect()
+        ctx.run()
+        assert out.batches() == [[0, 1, 2], [3, 4, 5], [6, 7]]
+        assert ctx.n_batches == 3
+
+
+class TestStatefulReduce:
+    def test_word_count_converges(self):
+        ctx, counts = word_count_context()
+        ctx.run()
+        final = dict(counts.batches()[-1])
+        assert final == dict(TRUTH)
+
+    def test_stateless_reduce_is_per_batch(self):
+        ctx = MicroBatchContext(batch_size=3)
+        out = (
+            ctx.source(["x", "x", "x", "x", "x", "x"])
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b, stateful=False)
+            .collect()
+        )
+        ctx.run()
+        assert out.batches() == [[("x", 3)], [("x", 3)]]
+
+
+class TestWindow:
+    def test_windowed_batches(self):
+        ctx = MicroBatchContext(batch_size=2)
+        out = ctx.source([1, 2, 3, 4, 5, 6]).window(2).collect()
+        ctx.run()
+        assert out.batches() == [[1, 2], [1, 2, 3, 4], [3, 4, 5, 6]]
+
+
+class TestLineageRecovery:
+    @pytest.mark.parametrize("fail_at", [1, 7, 19])
+    def test_crash_recovers_exactly(self, fail_at):
+        ctx, counts = word_count_context(batch_size=100, checkpoint_every=4)
+        ctx.run(fail_at=fail_at)
+        final = dict(counts.batches()[-1])
+        assert final == dict(TRUTH)
+        assert ctx.recomputations == 1
+
+    def test_crash_before_any_checkpoint(self):
+        ctx, counts = word_count_context(batch_size=100, checkpoint_every=100)
+        ctx.run(fail_at=2)  # no checkpoint yet: recompute from batch 0
+        final = dict(counts.batches()[-1])
+        assert final == dict(TRUTH)
+
+    def test_no_failure_no_recomputation(self):
+        ctx, __ = word_count_context()
+        ctx.run()
+        assert ctx.recomputations == 0
+        assert ctx.batches_run == ctx.n_batches

@@ -1,0 +1,115 @@
+"""Tests for the streaming rule engine."""
+
+import pytest
+
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.platform.rules import Rule, RuleEngine
+
+
+class TestRuleBasics:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RuleEngine(max_depth=0)
+        with pytest.raises(ParameterError):
+            Rule("x", lambda r, s: True, lambda r, c: None, on="sometimes")
+        engine = RuleEngine()
+        engine.when("a", lambda r, s: True, lambda r, c: None)
+        with pytest.raises(ParameterError):
+            engine.when("a", lambda r, s: True, lambda r, c: None)
+
+    def test_simple_condition_action(self):
+        engine = RuleEngine()
+        engine.when(
+            "big-transfer",
+            lambda r, s: r["amount"] > 1_000,
+            lambda r, c: c.alert("big-transfer", f"amount={r['amount']}", r),
+        )
+        alerts = engine.process({"amount": 5_000})
+        assert len(alerts) == 1
+        assert alerts[0].rule == "big-transfer"
+        assert engine.process({"amount": 10}) == []
+        assert engine.fired["big-transfer"] == 1
+
+    def test_priority_order(self):
+        order = []
+        engine = RuleEngine()
+        engine.when("low", lambda r, s: True, lambda r, c: order.append("low"), priority=1)
+        engine.when("high", lambda r, s: True, lambda r, c: order.append("high"), priority=9)
+        engine.process({})
+        assert order == ["high", "low"]
+
+
+class TestChaining:
+    def test_emitted_records_rematched(self):
+        engine = RuleEngine()
+        engine.when(
+            "split",
+            lambda r, s: r.get("kind") == "batch",
+            lambda r, c: [c.emit({"kind": "item", "v": v}) for v in r["items"]],
+        )
+        seen = []
+        engine.when(
+            "item",
+            lambda r, s: r.get("kind") == "item",
+            lambda r, c: seen.append(r["v"]),
+        )
+        engine.process({"kind": "batch", "items": [1, 2, 3]})
+        assert seen == [1, 2, 3]
+
+    def test_cyclic_emit_detected(self):
+        engine = RuleEngine(max_depth=4)
+        engine.when("loop", lambda r, s: True, lambda r, c: c.emit({}))
+        with pytest.raises(ExecutionError):
+            engine.process({})
+
+    def test_state_rule_fires_on_change(self):
+        engine = RuleEngine()
+        engine.when(
+            "count-failures",
+            lambda r, s: r.get("status") == "fail",
+            lambda r, c: c.set_state("failures", c.get_state("failures", 0) + 1),
+        )
+        engine.on_state(
+            "circuit-breaker",
+            lambda r, s: s.get("failures", 0) >= 3,
+            lambda r, c: c.alert("circuit-breaker", "too many failures"),
+        )
+        for __ in range(2):
+            assert engine.process({"status": "fail"}) == []
+        alerts = engine.process({"status": "fail"})
+        assert [a.rule for a in alerts] == ["circuit-breaker"]
+
+    def test_state_persists_across_records(self):
+        engine = RuleEngine()
+        engine.when(
+            "sum", lambda r, s: True,
+            lambda r, c: c.set_state("total", c.get_state("total", 0) + r),
+        )
+        engine.process_many([1, 2, 3])
+        assert engine.state["total"] == 6
+
+
+class TestFraudScenario:
+    def test_velocity_rule(self):
+        """The paper's fraud-detection use case: flag a card used in rapid
+        succession from different locations."""
+        engine = RuleEngine()
+
+        def track(r, c):
+            key = f"last:{r['card']}"
+            prev = c.get_state(key)
+            if prev and r["ts"] - prev["ts"] < 60 and r["city"] != prev["city"]:
+                c.alert("velocity", f"card {r['card']}: {prev['city']} -> {r['city']}", r)
+            c.set_state(key, r)
+
+        engine.when("velocity", lambda r, s: True, track)
+        alerts = engine.process_many(
+            [
+                {"card": "c1", "ts": 0, "city": "SF"},
+                {"card": "c1", "ts": 30, "city": "NYC"},  # impossible travel
+                {"card": "c2", "ts": 0, "city": "LA"},
+                {"card": "c2", "ts": 3_600, "city": "SEA"},  # fine
+            ]
+        )
+        assert len(alerts) == 1
+        assert "c1" in alerts[0].message

@@ -1,0 +1,127 @@
+"""Tests for the S4 PE container and Flink-style delta iterations."""
+
+import networkx as nx
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.platform.delta import (
+    bulk_connected_components,
+    connected_components,
+    delta_iterate,
+)
+from repro.platform.s4 import PEContainer, ProcessingElement
+from repro.workloads import edge_stream
+
+
+class CountPE(ProcessingElement):
+    def __init__(self, key):
+        super().__init__(key)
+        self.count = 0
+
+    def on_event(self, value, emit):
+        self.count += 1
+
+
+class ThresholdPE(ProcessingElement):
+    """Emits an alert event once its key crosses 3 occurrences."""
+
+    def __init__(self, key):
+        super().__init__(key)
+        self.count = 0
+
+    def on_event(self, value, emit):
+        self.count += 1
+        if self.count == 3:
+            emit("alerts", self.key, f"{self.key} trending")
+
+
+class TestS4Container:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PEContainer(max_pes=0)
+        container = PEContainer()
+        container.prototype("s", CountPE)
+        with pytest.raises(ParameterError):
+            container.prototype("s", CountPE)
+
+    def test_one_pe_per_key(self):
+        container = PEContainer()
+        container.prototype("words", CountPE)
+        for word in ["a", "b", "a", "a"]:
+            container.process("words", word, None)
+        assert container.n_instances == 2
+        assert container.get_pe("words", "a").count == 3
+        assert container.get_pe("words", "b").count == 1
+
+    def test_unknown_stream_dropped(self):
+        container = PEContainer()
+        container.process("nowhere", "k", 1)  # no error, S4 best-effort
+        assert container.n_instances == 0
+
+    def test_pe_chaining(self):
+        container = PEContainer()
+        container.prototype("words", ThresholdPE)
+        container.prototype("alerts", CountPE)
+        for __ in range(5):
+            container.process("words", "#tag", None)
+        alert_pe = container.get_pe("alerts", "#tag")
+        assert alert_pe is not None and alert_pe.count == 1  # fired once at 3
+
+    def test_lru_eviction_under_pressure(self):
+        container = PEContainer(max_pes=3)
+        container.prototype("s", CountPE)
+        for key in ["a", "b", "c", "a", "d"]:  # 'b' is the LRU at overflow
+            container.process("s", key, None)
+        assert container.n_instances == 3
+        assert container.evictions == 1
+        assert container.get_pe("s", "b") is None
+        assert container.get_pe("s", "a") is not None
+
+    def test_evicted_state_is_lost(self):
+        """S4's at-most-once posture: a reclaimed PE restarts from zero."""
+        container = PEContainer(max_pes=1)
+        container.prototype("s", CountPE)
+        container.process("s", "x", None)
+        container.process("s", "y", None)  # evicts x
+        container.process("s", "x", None)  # fresh instance
+        assert container.get_pe("s", "x").count == 1
+
+
+class TestDeltaIteration:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            delta_iterate({}, [1], lambda s, w: ({}, w), max_supersteps=0)
+
+    def test_non_convergence_detected(self):
+        with pytest.raises(ParameterError):
+            delta_iterate({}, [1], lambda s, w: ({}, w), max_supersteps=5)
+
+    def test_components_match_networkx(self):
+        edges = list(edge_stream(200, 300, seed=51))
+        result = connected_components(edges)
+        g = nx.Graph(edges)
+        for component in nx.connected_components(g):
+            labels = {result.solution[v] for v in component}
+            assert len(labels) == 1, "one label per component"
+        # Distinct components get distinct labels.
+        all_labels = {result.solution[v] for v in result.solution}
+        assert len(all_labels) == nx.number_connected_components(g)
+
+    def test_delta_beats_bulk_on_total_work(self):
+        edges = list(edge_stream(500, 900, seed=52))
+        delta = connected_components(edges)
+        bulk = bulk_connected_components(edges)
+        assert delta.solution == bulk.solution
+        assert delta.total_work < bulk.total_work
+
+    def test_workset_shrinks(self):
+        """The Flink claim: work decays as iterations go on."""
+        edges = [(i, i + 1) for i in range(100)]  # path graph, worst case-ish
+        result = connected_components(edges)
+        assert result.workset_sizes[0] == 101
+        assert result.workset_sizes[-1] < result.workset_sizes[0]
+
+    def test_single_component_chain(self):
+        edges = [(i, i + 1) for i in range(20)]
+        result = connected_components(edges)
+        assert len({result.solution[v] for v in result.solution}) == 1

@@ -1,0 +1,137 @@
+"""Tests for the Samza-style log-backed pipeline."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.platform import InMemoryLog
+from repro.platform.samza import LoggedStage, LoggedTask, SamzaPipeline
+
+
+class SplitTask(LoggedTask):
+    def process(self, record):
+        return [(w,) for w in record.split()]
+
+
+class CountTask(LoggedTask):
+    def __init__(self):
+        self.counts = collections.Counter()
+
+    def process(self, record):
+        self.counts[record[0]] += 1
+        return []
+
+    def snapshot(self):
+        return dict(self.counts)
+
+    def restore(self, state):
+        self.counts = collections.Counter(state or {})
+
+
+SENTENCES = ["a b c", "a a d", "b c"] * 100
+TRUTH = collections.Counter(w for s in SENTENCES for w in s.split())
+
+
+def build(transactional=False, commit_interval=50):
+    source = InMemoryLog()
+    source.append_many(SENTENCES)
+    words = InMemoryLog()
+    pipeline = SamzaPipeline()
+    split = pipeline.add_stage(
+        "split", SplitTask(), source, words,
+        commit_interval=commit_interval, transactional=transactional,
+    )
+    count_task = CountTask()
+    count = pipeline.add_stage(
+        "count", count_task, words, None, commit_interval=commit_interval
+    )
+    return pipeline, split, count, count_task
+
+
+class TestBasicPipeline:
+    def test_end_to_end_counts(self):
+        pipeline, __, __, count_task = build()
+        pipeline.run_until_quiescent()
+        assert count_task.counts == TRUTH
+
+    def test_stage_lag_visible(self):
+        __, split, count, __ = build()
+        split.run(max_records=10)
+        assert split.lag == len(SENTENCES) - 10
+        assert count.lag == 27  # 10 sentences of the 3/3/2-word pattern
+
+    def test_commit_interval_validation(self):
+        with pytest.raises(ParameterError):
+            LoggedStage("x", SplitTask(), InMemoryLog(), commit_interval=0)
+
+
+class TestCrashRecovery:
+    def test_crash_resumes_from_commit(self):
+        pipeline, split, count, count_task = build(commit_interval=40)
+        split.run()  # all sentences split
+        count.run(max_records=100)
+        uncommitted = count.uncommitted
+        assert uncommitted > 0
+        count.crash()
+        # State rolled back to the last commit...
+        assert sum(count_task.counts.values()) == 100 - uncommitted
+        # ...and re-running converges to the exact answer (replay).
+        pipeline.run_until_quiescent()
+        assert count_task.counts == TRUTH
+        assert count.restarts == 1
+
+    def test_non_transactional_crash_duplicates_downstream(self):
+        pipeline, split, count, count_task = build(
+            transactional=False, commit_interval=1_000
+        )
+        split.run(max_records=100)
+        split.crash()  # output already appended, offset rolled back
+        pipeline.run_until_quiescent()
+        # At-least-once: every word present, some counted twice.
+        assert all(count_task.counts[w] >= TRUTH[w] for w in TRUTH)
+        assert sum(count_task.counts.values()) > sum(TRUTH.values())
+
+    def test_transactional_crash_is_exactly_once(self):
+        pipeline, split, count, count_task = build(
+            transactional=True, commit_interval=1_000
+        )
+        split.run(max_records=100)
+        split.crash()  # buffered output discarded with the offset
+        pipeline.run_until_quiescent()
+        assert count_task.counts == TRUTH
+
+    def test_repeated_crashes_still_converge(self):
+        pipeline, split, count, count_task = build(
+            transactional=True, commit_interval=30
+        )
+        for __ in range(5):
+            split.run(max_records=45)
+            split.crash()
+            count.run(max_records=60)
+            count.crash()
+        pipeline.run_until_quiescent()
+        assert count_task.counts == TRUTH
+        assert split.restarts == 5 and count.restarts == 5
+
+
+class TestDurabilityProperties:
+    def test_commits_counted(self):
+        pipeline, split, count, __ = build(commit_interval=25)
+        pipeline.run_until_quiescent()
+        assert split.commits >= len(SENTENCES) // 25
+        assert count.commits >= 1
+
+    def test_intermediate_stream_is_durable(self):
+        """The words log persists independently of both stages — the Samza
+        property that removes the need for inter-app brokers."""
+        source = InMemoryLog()
+        source.append_many(SENTENCES)
+        words = InMemoryLog()
+        stage = LoggedStage("split", SplitTask(), source, words)
+        stage.run()
+        stage.commit()
+        # A brand-new consumer replays the full intermediate stream.
+        replay = LoggedStage("count2", CountTask(), words)
+        replay.run()
+        assert replay.task.counts == TRUTH

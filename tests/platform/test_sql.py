@@ -1,0 +1,157 @@
+"""Tests for the Pulsar-style streaming SQL interface."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.platform.sql import StreamingQuery, query
+from repro.workloads import click_stream
+
+
+def _records(n=2_000):
+    return [
+        {"timestamp": e.timestamp, "user": e.user_id, "page": e.page}
+        for e in click_stream(n, unique_visitors=200, pages=20, seed=500)
+    ]
+
+
+class TestParsing:
+    def test_rejects_garbage(self):
+        for bad in (
+            "SELECT FROM stream",
+            "DELETE FROM stream",
+            "SELECT COUNT(*) FROM other_table",
+            "SELECT page FROM stream",  # plain column without matching GROUP BY
+            "SELECT COUNT(*) FROM stream WINDOW TUMBLING 0",
+            "SELECT COUNT(x, y) FROM stream",
+            "SELECT APPROX_QUANTILE(v) FROM stream",
+            "SELECT APPROX_QUANTILE(v, 2) FROM stream",
+            "SELECT COUNT(*) FROM stream WHERE page LIKE 'x'",
+        ):
+            with pytest.raises(ParameterError):
+                StreamingQuery(bad)
+
+    def test_case_insensitive_keywords(self):
+        q = StreamingQuery("select count(*) from stream group by page")
+        assert q.group_by == "page"
+
+    def test_trailing_semicolon(self):
+        StreamingQuery("SELECT COUNT(*) FROM stream;")
+
+
+class TestAggregates:
+    def test_global_count(self):
+        rows = query("SELECT COUNT(*) FROM stream", [{"x": 1}] * 7)
+        assert rows == [{"COUNT(*)": 7}]
+
+    def test_group_by_count(self):
+        records = [{"k": "a"}, {"k": "b"}, {"k": "a"}]
+        rows = query("SELECT k, COUNT(*) FROM stream GROUP BY k", records)
+        by_key = {r["k"]: r["COUNT(*)"] for r in rows}
+        assert by_key == {"a": 2, "b": 1}
+
+    def test_sum_avg_min_max(self):
+        records = [{"v": float(i)} for i in range(1, 5)]
+        rows = query(
+            "SELECT SUM(v), AVG(v), MIN(v), MAX(v) FROM stream", records
+        )
+        (row,) = rows
+        assert row["SUM(v)"] == 10.0
+        assert row["AVG(v)"] == 2.5
+        assert row["MIN(v)"] == 1.0
+        assert row["MAX(v)"] == 4.0
+
+    def test_approx_distinct(self):
+        records = [{"u": f"user{i % 300}"} for i in range(5_000)]
+        (row,) = query("SELECT APPROX_DISTINCT(u) FROM stream", records)
+        assert abs(row["APPROX_DISTINCT(u)"] - 300) < 15
+
+    def test_approx_quantile(self):
+        records = [{"v": float(i)} for i in range(10_000)]
+        (row,) = query("SELECT APPROX_QUANTILE(v, 0.9) FROM stream", records)
+        assert abs(row["APPROX_QUANTILE(v, 0.9)"] - 9_000) < 150
+
+    def test_approx_topk(self):
+        records = [{"tag": "#a"}] * 50 + [{"tag": "#b"}] * 10
+        (row,) = query("SELECT APPROX_TOPK(tag, 1) FROM stream", records)
+        assert row["APPROX_TOPK(tag, 1)"][0] == ("#a", 50)
+
+    def test_missing_column_rejected(self):
+        q = StreamingQuery("SELECT SUM(v) FROM stream")
+        with pytest.raises(ParameterError):
+            q.update({"other": 1})
+
+
+class TestWhere:
+    def test_equality_filter(self):
+        records = [{"k": "a", "v": 1}, {"k": "b", "v": 2}, {"k": "a", "v": 3}]
+        (row,) = query("SELECT SUM(v) FROM stream WHERE k = 'a'", records)
+        assert row["SUM(v)"] == 4
+
+    def test_numeric_comparison_and_conjunction(self):
+        records = [{"v": i, "k": "x" if i % 2 else "y"} for i in range(10)]
+        (row,) = query(
+            "SELECT COUNT(*) FROM stream WHERE v >= 5 AND k = 'x'", records
+        )
+        assert row["COUNT(*)"] == 3  # 5, 7, 9
+
+    def test_filtered_out_records_ignored_silently(self):
+        q = StreamingQuery("SELECT COUNT(*) FROM stream WHERE v > 100")
+        q.update_many([{"v": 1}, {"v": 200}])
+        assert q.results() == [{"COUNT(*)": 1}]
+
+
+class TestWindows:
+    def test_tumbling_window_counts(self):
+        records = [{"timestamp": float(t), "v": 1} for t in range(10)]
+        windows = query(
+            "SELECT COUNT(*) FROM stream WINDOW TUMBLING 5", records
+        )
+        assert len(windows) == 2
+        assert windows[0]["window_start"] == 0.0
+        assert windows[0]["rows"] == [{"COUNT(*)": 5}]
+        assert windows[1]["rows"] == [{"COUNT(*)": 5}]
+
+    def test_windowed_group_by(self):
+        records = [
+            {"timestamp": 0.0, "k": "a"},
+            {"timestamp": 1.0, "k": "a"},
+            {"timestamp": 6.0, "k": "b"},
+        ]
+        windows = query(
+            "SELECT k, COUNT(*) FROM stream GROUP BY k WINDOW TUMBLING 5", records
+        )
+        assert windows[0]["rows"] == [{"k": "a", "COUNT(*)": 2}]
+        assert windows[1]["rows"] == [{"k": "b", "COUNT(*)": 1}]
+
+    def test_window_requires_timestamp(self):
+        q = StreamingQuery("SELECT COUNT(*) FROM stream WINDOW TUMBLING 5")
+        with pytest.raises(ParameterError):
+            q.update({"v": 1})
+
+    def test_results_api_mismatch(self):
+        windowed = StreamingQuery("SELECT COUNT(*) FROM stream WINDOW TUMBLING 5")
+        with pytest.raises(ParameterError):
+            windowed.results()
+        plain = StreamingQuery("SELECT COUNT(*) FROM stream")
+        with pytest.raises(ParameterError):
+            plain.windows()
+
+
+class TestRealisticQuery:
+    def test_page_analytics(self):
+        records = _records()
+        rows = query(
+            "SELECT page, COUNT(*), APPROX_DISTINCT(user) FROM stream GROUP BY page",
+            records,
+        )
+        import collections
+
+        truth_views = collections.Counter(r["page"] for r in records)
+        truth_users = collections.defaultdict(set)
+        for r in records:
+            truth_users[r["page"]].add(r["user"])
+        by_page = {r["page"]: r for r in rows}
+        for page in list(truth_views)[:10]:
+            assert by_page[page]["COUNT(*)"] == truth_views[page]
+            est = by_page[page]["APPROX_DISTINCT(user)"]
+            assert abs(est - len(truth_users[page])) <= max(3, 0.1 * len(truth_users[page]))

@@ -1,0 +1,126 @@
+"""Tests for stream predictors and imputation."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.prediction import HoltWinters, KalmanFilter, LocalTrendFilter, OnlineAR
+from repro.workloads import seasonal_series, series_with_missing_values
+
+
+class TestKalman:
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            KalmanFilter(F=np.ones((2, 3)), H=np.ones((1, 2)), Q=np.eye(2), R=np.eye(1))
+        with pytest.raises(ParameterError):
+            KalmanFilter(F=np.eye(2), H=np.ones((1, 3)), Q=np.eye(2), R=np.eye(1))
+
+    def test_converges_to_constant_signal(self):
+        kf = LocalTrendFilter(process_noise=1e-4, observation_noise=1.0)
+        rng = make_np_rng(91)
+        for __ in range(500):
+            kf.update(5.0 + rng.normal(0, 0.5))
+        assert abs(kf.level - 5.0) < 0.3
+        assert abs(kf.velocity) < 0.05
+
+    def test_tracks_linear_trend(self):
+        kf = LocalTrendFilter(process_noise=1e-3, observation_noise=0.5)
+        rng = make_np_rng(92)
+        for t in range(800):
+            kf.update(0.5 * t + rng.normal(0, 0.5))
+        assert abs(kf.velocity - 0.5) < 0.05
+        assert abs(kf.predict_next() - 0.5 * 800) < 5.0
+
+    def test_missing_observation_prediction(self):
+        kf = LocalTrendFilter(process_noise=1e-3, observation_noise=0.5)
+        for t in range(200):
+            kf.update(float(t))
+        kf.update(None)  # predict-only step
+        assert abs(kf.level - 200.0) < 2.0
+
+    def test_imputation_beats_zero_fill(self):
+        annotated = series_with_missing_values(2_000, missing_rate=0.05, seed=93)
+        kf = LocalTrendFilter(process_noise=1e-2, observation_noise=0.3)
+        errors, zero_errors = [], []
+        for i, v in enumerate(annotated.values):
+            if np.isnan(v):
+                pred = kf.predict_next()
+                truth = annotated.clean[i]
+                errors.append((pred - truth) ** 2)
+                zero_errors.append(truth**2)
+                kf.update(None)
+            else:
+                kf.update(v)
+        assert np.mean(errors) < np.mean(zero_errors) * 0.5
+
+
+class TestOnlineAR:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OnlineAR(order=0)
+        with pytest.raises(ParameterError):
+            OnlineAR(forgetting=0.0)
+
+    def test_learns_ar1_process(self):
+        rng = make_np_rng(94)
+        ar = OnlineAR(order=1, forgetting=0.999)
+        x = 0.0
+        for __ in range(5_000):
+            x = 0.8 * x + rng.normal(0, 0.1)
+            ar.update(x)
+        assert abs(ar.coefficients[0] - 0.8) < 0.05
+
+    def test_forecast_sine_wave(self):
+        ar = OnlineAR(order=8, forgetting=0.999)
+        t = np.arange(3_000)
+        series = np.sin(2 * np.pi * t / 50)
+        errs = []
+        for i, v in enumerate(series):
+            if i > 2_000:
+                errs.append((ar.predict_next() - v) ** 2)
+            ar.update(float(v))
+        assert np.mean(errs) < 0.01
+
+    def test_adapts_to_regime_change(self):
+        rng = make_np_rng(95)
+        ar = OnlineAR(order=1, forgetting=0.99)
+        x = 0.0
+        for __ in range(2_000):
+            x = 0.9 * x + rng.normal(0, 0.1)
+            ar.update(x)
+        for __ in range(3_000):
+            x = -0.5 * x + rng.normal(0, 0.1)
+            ar.update(x)
+        assert abs(ar.coefficients[0] - (-0.5)) < 0.2
+
+
+class TestHoltWinters:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HoltWinters(period=1)
+        with pytest.raises(ParameterError):
+            HoltWinters(period=4, alpha=1.0)
+
+    def test_forecast_before_warmup_rejected(self):
+        hw = HoltWinters(period=4)
+        hw.update(1.0)
+        with pytest.raises(ParameterError):
+            hw.forecast()
+
+    def test_forecasts_seasonal_series(self):
+        series = seasonal_series(2_000, period=96, amplitude=10, noise_std=0.5, seed=96)
+        hw = HoltWinters(period=96, alpha=0.3, beta=0.02, gamma=0.3)
+        errs = []
+        for i, v in enumerate(series):
+            if hw.ready and i > 1_000:
+                errs.append((hw.forecast(1) - v) ** 2)
+            hw.update(float(v))
+        rmse = float(np.sqrt(np.mean(errs)))
+        assert rmse < 2.5  # amplitude 10: seasonality clearly captured
+
+    def test_tracks_trend(self):
+        hw = HoltWinters(period=8, alpha=0.4, beta=0.1, gamma=0.1)
+        for t in range(800):
+            hw.update(0.1 * t + np.sin(2 * np.pi * t / 8))
+        assert hw.trend == pytest.approx(0.1, abs=0.05)

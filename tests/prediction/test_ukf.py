@@ -1,0 +1,103 @@
+"""Tests for the unscented Kalman filter."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.prediction import LocalTrendFilter, UnscentedKalmanFilter
+
+
+def _linear_ukf(q=1e-3, r=0.25):
+    F = np.array([[1.0, 1.0], [0.0, 1.0]])
+    H = np.array([[1.0, 0.0]])
+    return UnscentedKalmanFilter(
+        f=lambda x: F @ x,
+        h=lambda x: H @ x,
+        Q=q * np.eye(2),
+        R=np.array([[r]]),
+        x0=np.zeros(2),
+    )
+
+
+class TestUKF:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UnscentedKalmanFilter(
+                f=lambda x: x, h=lambda x: x, Q=np.eye(3), R=np.eye(1), x0=np.zeros(2)
+            )
+        with pytest.raises(ParameterError):
+            UnscentedKalmanFilter(
+                f=lambda x: x, h=lambda x: x, Q=np.eye(1), R=np.eye(1),
+                x0=np.zeros(1), alpha=0.0,
+            )
+
+    def test_tracks_linear_trend_like_kf(self):
+        """On a linear model the UKF must agree with the linear KF."""
+        rng = make_np_rng(95)
+        ukf = _linear_ukf()
+        kf = LocalTrendFilter(process_noise=1e-3, observation_noise=0.25)
+        for t in range(400):
+            z = 0.3 * t + rng.normal(0, 0.5)
+            ukf.update(z)
+            kf.update(z)
+        assert abs(ukf.x[0] - kf.level) < 1.0
+        assert abs(ukf.x[1] - 0.3) < 0.1
+
+    def test_nonlinear_observation_model(self):
+        """State observed through a square root: linear KF can't express
+        this; UKF recovers the underlying level."""
+        rng = make_np_rng(96)
+        level_true = 49.0
+        ukf = UnscentedKalmanFilter(
+            f=lambda x: x,  # constant level
+            h=lambda x: np.array([np.sqrt(np.abs(x[0]) + 1e-9)]),
+            Q=np.array([[1e-5]]),
+            R=np.array([[0.01]]),
+            x0=np.array([10.0]),
+            P0=np.array([[100.0]]),
+        )
+        for __ in range(400):
+            z = np.sqrt(level_true) + rng.normal(0, 0.1)
+            ukf.update(z)
+        assert abs(ukf.x[0] - level_true) < 3.0
+
+    def test_nonlinear_process_model(self):
+        """Track a sinusoidal phase oscillator (nonlinear dynamics)."""
+        rng = make_np_rng(97)
+        omega = 0.1
+
+        def f(x):  # state = [phase]; advances by omega
+            return np.array([x[0] + omega])
+
+        def h(x):
+            return np.array([np.sin(x[0])])
+
+        ukf = UnscentedKalmanFilter(
+            f=f, h=h,
+            Q=np.array([[1e-6]]),
+            R=np.array([[0.04]]),
+            x0=np.array([0.3]),  # near the true initial phase 0.0
+            P0=np.array([[0.25]]),
+        )
+        phase = 0.0
+        errs = []
+        for t in range(600):
+            phase += omega
+            z = np.sin(phase) + rng.normal(0, 0.2)
+            ukf.update(z)
+            if t > 400:
+                errs.append(abs(np.sin(ukf.x[0]) - np.sin(phase)))
+        assert np.mean(errs) < 0.15
+
+    def test_missing_observations(self):
+        ukf = _linear_ukf()
+        for t in range(100):
+            ukf.update(float(t))
+        before = ukf.x[0]
+        ukf.update(None)  # predict-only
+        assert ukf.x[0] > before  # trend carried the level forward
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            _linear_ukf().merge(_linear_ukf())

@@ -1,0 +1,96 @@
+"""Tests for the KLL quantile sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.quantiles.kll import KLLSketch
+
+
+def _rank_error(estimate, data_sorted, q):
+    rank = np.searchsorted(data_sorted, estimate, side="right")
+    return abs(rank - q * len(data_sorted)) / len(data_sorted)
+
+
+class TestKLL:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            KLLSketch(k=4)
+        with pytest.raises(ParameterError):
+            KLLSketch().quantile(0.5)
+        sketch = KLLSketch()
+        sketch.update(1.0)
+        with pytest.raises(ParameterError):
+            sketch.quantile(1.5)
+
+    def test_exact_when_small(self):
+        sketch = KLLSketch(k=200)
+        sketch.update_many(range(50))
+        assert sketch.quantile(0.0) == 0
+        assert sketch.quantile(1.0) == 49
+
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.99])
+    def test_rank_error_within_bound(self, q):
+        data = make_np_rng(123).normal(size=50_000)
+        sketch = KLLSketch(k=256, seed=0)
+        sketch.update_many(data)
+        err = _rank_error(sketch.quantile(q), np.sort(data), q)
+        assert err < 3 * sketch.error_bound()
+
+    def test_space_sublinear(self):
+        sketch = KLLSketch(k=200, seed=1)
+        sketch.update_many(make_np_rng(124).normal(size=100_000))
+        assert sketch.retained < 2_000
+
+    def test_cdf_inverse(self):
+        data = make_np_rng(125).uniform(0, 100, size=20_000)
+        sketch = KLLSketch(k=256, seed=2)
+        sketch.update_many(data)
+        assert abs(sketch.cdf(50.0) - 0.5) < 0.03
+
+    def test_rank_monotone(self):
+        sketch = KLLSketch(k=128, seed=3)
+        sketch.update_many(make_np_rng(126).normal(size=10_000))
+        ranks = [sketch.rank(x) for x in (-2.0, -1.0, 0.0, 1.0, 2.0)]
+        assert ranks == sorted(ranks)
+
+    def test_merge_accuracy(self):
+        data = make_np_rng(127).lognormal(2, 1, size=40_000)
+        half = len(data) // 2
+        a, b = KLLSketch(k=256, seed=4), KLLSketch(k=256, seed=5)
+        a.update_many(data[:half])
+        b.update_many(data[half:])
+        a.merge(b)
+        assert a.count == len(data)
+        err = _rank_error(a.quantile(0.5), np.sort(data), 0.5)
+        assert err < 3 * a.error_bound()
+
+    def test_merge_key(self):
+        from repro.common.exceptions import MergeError
+
+        with pytest.raises(MergeError):
+            KLLSketch(k=100).merge(KLLSketch(k=200))
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=500))
+    def test_property_quantiles_within_range(self, values):
+        sketch = KLLSketch(k=64, seed=0)
+        sketch.update_many(values)
+        for q in (0.0, 0.5, 1.0):
+            assert min(values) <= sketch.quantile(q) <= max(values)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=100, max_value=2_000))
+    def test_property_count_preserved(self, n):
+        sketch = KLLSketch(k=64, seed=1)
+        sketch.update_many(float(i) for i in range(n))
+        assert sketch.count == n
+        # Total weight of retained items equals the count.
+        total_weight = sum(
+            (1 << level) * len(buf) for level, buf in enumerate(sketch._levels)
+        )
+        assert total_weight <= n  # compaction discards half of overflow
+        assert total_weight >= n // 2

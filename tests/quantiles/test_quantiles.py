@@ -1,0 +1,249 @@
+"""Accuracy tests for the quantile estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.quantiles import (
+    Frugal1U,
+    Frugal2U,
+    GKQuantiles,
+    P2Quantile,
+    QDigest,
+    SlidingWindowQuantiles,
+    TDigest,
+)
+
+
+def _rank_error(estimate, data_sorted, q):
+    """|rank(estimate) - q*n| / n, the metric epsilon bounds."""
+    n = len(data_sorted)
+    rank = np.searchsorted(data_sorted, estimate, side="right")
+    return abs(rank - q * n) / n
+
+
+@pytest.fixture(scope="module")
+def gaussian_data():
+    return make_np_rng(7).normal(100.0, 15.0, size=20_000)
+
+
+@pytest.fixture(scope="module")
+def lognormal_data():
+    return make_np_rng(8).lognormal(3.0, 1.0, size=20_000)
+
+
+class TestGK:
+    def test_parameter_validation(self):
+        for eps in (0.0, 0.5, -0.1):
+            with pytest.raises(ParameterError):
+                GKQuantiles(epsilon=eps)
+
+    @pytest.mark.parametrize("q", [0.01, 0.25, 0.5, 0.75, 0.99])
+    def test_rank_error_within_epsilon(self, gaussian_data, q):
+        gk = GKQuantiles(epsilon=0.01)
+        gk.update_many(gaussian_data)
+        data_sorted = np.sort(gaussian_data)
+        assert _rank_error(gk.quantile(q), data_sorted, q) <= 0.012
+
+    def test_space_sublinear(self, gaussian_data):
+        gk = GKQuantiles(epsilon=0.01)
+        gk.update_many(gaussian_data)
+        assert gk.n_tuples < len(gaussian_data) / 10
+
+    def test_sorted_adversarial_input(self):
+        gk = GKQuantiles(epsilon=0.02)
+        gk.update_many(range(10_000))
+        assert abs(gk.quantile(0.5) - 5_000) < 10_000 * 0.025
+
+    def test_rank_query(self):
+        gk = GKQuantiles(epsilon=0.01)
+        gk.update_many(range(1000))
+        assert abs(gk.rank(500) - 501) < 25
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParameterError):
+            GKQuantiles().quantile(0.5)
+
+    def test_merge_keeps_error_bounded(self, gaussian_data):
+        half = len(gaussian_data) // 2
+        a, b = GKQuantiles(0.01), GKQuantiles(0.01)
+        a.update_many(gaussian_data[:half])
+        b.update_many(gaussian_data[half:])
+        a.merge(b)
+        data_sorted = np.sort(gaussian_data)
+        for q in (0.1, 0.5, 0.9):
+            assert _rank_error(a.quantile(q), data_sorted, q) <= 0.025  # 2*eps
+
+
+class TestTDigest:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            TDigest(delta=5)
+        with pytest.raises(ParameterError):
+            TDigest().update_weighted(1.0, -1.0)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_gaussian_quantiles(self, gaussian_data, q):
+        td = TDigest(delta=200)
+        td.update_many(gaussian_data)
+        data_sorted = np.sort(gaussian_data)
+        assert _rank_error(td.quantile(q), data_sorted, q) < 0.01
+
+    def test_tail_accuracy_on_skewed_data(self, lognormal_data):
+        td = TDigest(delta=200)
+        td.update_many(lognormal_data)
+        data_sorted = np.sort(lognormal_data)
+        assert _rank_error(td.quantile(0.999), data_sorted, 0.999) < 0.005
+
+    def test_cdf_inverse_of_quantile(self, gaussian_data):
+        td = TDigest(delta=200)
+        td.update_many(gaussian_data)
+        assert abs(td.cdf(td.quantile(0.7)) - 0.7) < 0.02
+
+    def test_centroid_budget_respected(self, gaussian_data):
+        td = TDigest(delta=100)
+        td.update_many(gaussian_data)
+        assert td.n_centroids < 200
+
+    def test_merge_accuracy(self, gaussian_data):
+        half = len(gaussian_data) // 2
+        a, b = TDigest(delta=200), TDigest(delta=200)
+        a.update_many(gaussian_data[:half])
+        b.update_many(gaussian_data[half:])
+        a.merge(b)
+        data_sorted = np.sort(gaussian_data)
+        assert _rank_error(a.quantile(0.5), data_sorted, 0.5) < 0.02
+
+    def test_single_value(self):
+        td = TDigest()
+        td.update(42.0)
+        assert td.quantile(0.5) == 42.0
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=300))
+    def test_property_quantile_within_range(self, values):
+        td = TDigest(delta=50)
+        td.update_many(values)
+        for q in (0.0, 0.5, 1.0):
+            assert min(values) - 1e-9 <= td.quantile(q) <= max(values) + 1e-9
+
+
+class TestQDigest:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            QDigest(depth=0)
+        with pytest.raises(ParameterError):
+            QDigest(k=0)
+        qd = QDigest(depth=8)
+        with pytest.raises(ParameterError):
+            qd.update(256)
+
+    def test_uniform_integers(self):
+        qd = QDigest(depth=12, k=200)
+        rng = make_np_rng(9)
+        data = rng.integers(0, 4096, size=20_000)
+        qd.update_many(data)
+        data_sorted = np.sort(data)
+        for q in (0.25, 0.5, 0.9):
+            est = qd.quantile(q)
+            assert _rank_error(est, data_sorted, q) < 0.1
+
+    def test_space_compressed(self):
+        qd = QDigest(depth=16, k=64)
+        qd.update_many(make_np_rng(10).integers(0, 65536, size=10_000))
+        qd.compress()
+        assert qd.n_nodes < 3 * 64 * 16  # O(k log U)
+
+    def test_merge_additive(self):
+        a, b = QDigest(depth=10, k=100), QDigest(depth=10, k=100)
+        a.update_many([5] * 100)
+        b.update_many([900] * 100)
+        a.merge(b)
+        assert a.count == 200
+        assert a.quantile(0.25) <= 64  # low half near 5
+        assert a.quantile(0.95) >= 512
+
+
+class TestFrugal:
+    @pytest.mark.parametrize("cls", [Frugal1U, Frugal2U])
+    def test_parameter_validation(self, cls):
+        with pytest.raises(ParameterError):
+            cls(q=0.0)
+
+    @pytest.mark.parametrize("cls", [Frugal1U, Frugal2U])
+    def test_converges_to_median_region(self, cls, gaussian_data):
+        f = cls(q=0.5, initial=float(gaussian_data[0]), seed=0)
+        for __ in range(5):  # several passes to let the walk settle
+            f.update_many(gaussian_data)
+        assert abs(f.quantile() - 100.0) < 15.0  # within 1 sigma of true median
+
+    def test_frugal_tracks_high_quantile_direction(self, gaussian_data):
+        lo = Frugal1U(q=0.1, initial=100.0, seed=1)
+        hi = Frugal1U(q=0.9, initial=100.0, seed=1)
+        for __ in range(5):
+            lo.update_many(gaussian_data)
+            hi.update_many(gaussian_data)
+        assert lo.quantile() < hi.quantile()
+
+    def test_merge_weighted_average(self):
+        a, b = Frugal1U(seed=0), Frugal1U(seed=1)
+        a.update_many([10.0] * 100)
+        b.update_many([20.0] * 300)
+        a.merge(b)
+        assert a.count == 400
+
+
+class TestP2:
+    def test_fewer_than_five_observations(self):
+        p2 = P2Quantile(q=0.5)
+        p2.update_many([3.0, 1.0, 2.0])
+        assert p2.quantile() in (1.0, 2.0, 3.0)
+
+    def test_median_accuracy(self, gaussian_data):
+        p2 = P2Quantile(q=0.5)
+        p2.update_many(gaussian_data)
+        assert abs(p2.quantile() - 100.0) < 2.0
+
+    def test_p95_accuracy(self, gaussian_data):
+        p2 = P2Quantile(q=0.95)
+        p2.update_many(gaussian_data)
+        true = float(np.quantile(gaussian_data, 0.95))
+        assert abs(p2.quantile() - true) < 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            P2Quantile().quantile()
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            P2Quantile().merge(P2Quantile())
+
+
+class TestSlidingWindowQuantiles:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SlidingWindowQuantiles(0)
+        with pytest.raises(ParameterError):
+            SlidingWindowQuantiles(10, n_blocks=20)
+
+    def test_tracks_distribution_shift(self):
+        sw = SlidingWindowQuantiles(window=2_000, epsilon=0.01)
+        rng = make_np_rng(11)
+        sw.update_many(rng.normal(0.0, 1.0, size=10_000))
+        sw.update_many(rng.normal(50.0, 1.0, size=4_000))
+        # Window now contains only the shifted regime.
+        assert sw.quantile(0.5) > 45.0
+
+    def test_covered_stays_near_window(self):
+        sw = SlidingWindowQuantiles(window=1_000, epsilon=0.02, n_blocks=10)
+        sw.update_many(range(20_000))
+        assert 900 <= sw.covered <= 1_200
+
+    def test_median_of_window(self):
+        sw = SlidingWindowQuantiles(window=1_000, epsilon=0.01, n_blocks=10)
+        sw.update_many(range(5_000))
+        median = sw.quantile(0.5)
+        assert 4_300 <= median <= 4_700  # true window is [4000, 5000)

@@ -1,0 +1,114 @@
+"""Tests for biased reservoir sampling and sliding-window samplers."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.sampling import BiasedReservoirSampler, ChainSampler, PrioritySampler
+
+
+class TestBiasedReservoir:
+    def test_capacity_is_inverse_lambda(self):
+        assert BiasedReservoirSampler(0.01).capacity == 100
+        assert BiasedReservoirSampler(1.0).capacity == 1
+
+    def test_rejects_bad_lambda(self):
+        for lam in (0.0, -0.5, 1.5):
+            with pytest.raises(ParameterError):
+                BiasedReservoirSampler(lam)
+
+    def test_never_exceeds_capacity(self):
+        s = BiasedReservoirSampler(0.05, seed=0)
+        s.update_many(range(5000))
+        assert len(s) <= s.capacity
+
+    def test_bias_towards_recent(self):
+        """Mean sampled value should be far above the uniform midpoint."""
+        means = []
+        for t in range(30):
+            s = BiasedReservoirSampler(0.02, seed=t)
+            s.update_many(range(10_000))
+            means.append(sum(s.sample) / len(s.sample))
+        avg = sum(means) / len(means)
+        assert avg > 8_000  # uniform sampling would give ~5000
+
+    def test_recency_weight_decays(self):
+        s = BiasedReservoirSampler(0.1)
+        assert s.recency_weight(0) == 1.0
+        assert s.recency_weight(10) < s.recency_weight(1)
+
+    def test_merge_bounded(self):
+        a, b = BiasedReservoirSampler(0.1, seed=0), BiasedReservoirSampler(0.1, seed=1)
+        a.update_many(range(100))
+        b.update_many(range(100))
+        a.merge(b)
+        assert len(a) <= a.capacity
+        assert a.count == 200
+
+
+class TestChainSampler:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            ChainSampler(0, 10)
+        with pytest.raises(ParameterError):
+            ChainSampler(1, 0)
+
+    def test_sample_always_inside_window(self):
+        s = ChainSampler(5, window=50, seed=0)
+        for i in range(2000):
+            s.update(i)
+            if i >= 50 and i % 97 == 0:
+                for x in s.sample:
+                    assert i - 50 < x <= i, (i, x)
+
+    def test_sample_roughly_uniform_over_window(self):
+        """Average of samples across time ~ middle of the window."""
+        total, n_obs = 0.0, 0
+        for t in range(40):
+            s = ChainSampler(1, window=100, seed=t)
+            for i in range(1000):
+                s.update(i)
+            for x in s.sample:
+                total += 999 - x  # age within [0, 100)
+                n_obs += 1
+        mean_age = total / n_obs
+        assert 30 < mean_age < 70  # uniform over window -> ~49.5
+
+    def test_merge_unsupported(self):
+        a, b = ChainSampler(1, 10), ChainSampler(1, 10)
+        with pytest.raises(NotImplementedError):
+            a.merge(b)
+
+
+class TestPrioritySampler:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            PrioritySampler(0, 1.0)
+        with pytest.raises(ParameterError):
+            PrioritySampler(1, 0.0)
+
+    def test_timestamps_must_be_monotone(self):
+        s = PrioritySampler(1, horizon=10.0)
+        s.update_at("a", 5.0)
+        with pytest.raises(ParameterError):
+            s.update_at("b", 4.0)
+
+    def test_sample_respects_horizon(self):
+        s = PrioritySampler(3, horizon=10.0, seed=0)
+        for t in range(100):
+            s.update_at(f"e{t}", float(t))
+        live = s.sample_at(99.0)
+        assert live
+        for item in live:
+            assert int(item[1:]) > 89
+
+    def test_memory_stays_logarithmic(self):
+        s = PrioritySampler(2, horizon=1e9, seed=1)
+        for t in range(5000):
+            s.update_at(t, float(t))
+        # Expected retained per replica is ~ harmonic(5000) ~ 9.1
+        assert s.retained < 2 * 40
+
+    def test_empty_window(self):
+        s = PrioritySampler(2, horizon=1.0, seed=0)
+        s.update_at("x", 0.0)
+        assert s.sample_at(100.0) == []

@@ -1,0 +1,82 @@
+"""Tests for distinct (support-uniform) sampling."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.sampling import DistinctSampler
+from repro.workloads import zipf_stream
+
+
+class TestDistinctSampler:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DistinctSampler(capacity=1)
+        with pytest.raises(ParameterError):
+            DistinctSampler().estimate_rarity(0)
+
+    def test_exact_below_capacity(self):
+        s = DistinctSampler(capacity=100, seed=0)
+        s.update_many(["a", "b", "a", "c", "a"])
+        assert s.sample == {"a": 3, "b": 1, "c": 1}
+        assert s.inclusion_probability == 1.0
+        assert s.estimate_distinct() == 3.0
+
+    def test_capacity_respected(self):
+        s = DistinctSampler(capacity=64, seed=1)
+        s.update_many(f"x{i}" for i in range(10_000))
+        assert len(s) <= 64
+        assert s.level > 0
+
+    def test_distinct_estimate_accuracy(self):
+        s = DistinctSampler(capacity=512, seed=2)
+        s.update_many(zipf_stream(100_000, universe=20_000, skew=1.1, seed=3))
+        truth = len(set(zipf_stream(100_000, universe=20_000, skew=1.1, seed=3)))
+        assert abs(s.estimate_distinct() - truth) / truth < 0.2
+
+    def test_heavy_hitters_not_overrepresented(self):
+        """Unlike a uniform sample, the distinct sample's membership is
+        frequency-independent: rank-1 and rank-1000 items are equally
+        likely to be present."""
+        heavy_hits = light_hits = 0
+        trials = 60
+        for t in range(trials):
+            stream = list(zipf_stream(5_000, universe=2_000, skew=1.4, seed=100 + t))
+            s = DistinctSampler(capacity=128, seed=t)
+            s.update_many(stream)
+            distinct = set(stream)
+            counts = collections.Counter(stream)
+            ranked = [it for it, __ in counts.most_common()]
+            if ranked[0] in s.sample:
+                heavy_hits += 1
+            rare = [it for it in ranked if counts[it] == 1]
+            if rare and rare[0] in distinct and rare[0] in s.sample:
+                light_hits += 1
+        # Both should be sampled at roughly the same (capacity-driven) rate.
+        assert abs(heavy_hits - light_hits) < trials * 0.35
+
+    def test_counts_exact_for_survivors(self):
+        stream = list(zipf_stream(20_000, universe=5_000, skew=1.2, seed=4))
+        truth = collections.Counter(stream)
+        s = DistinctSampler(capacity=256, seed=5)
+        s.update_many(stream)
+        for item, cnt in s.sample.items():
+            assert cnt == truth[item]
+
+    def test_rarity_estimate(self):
+        # Stream where exactly half the distinct items occur once.
+        stream = [f"once{i}" for i in range(1_000)]
+        stream += [f"twice{i}" for i in range(1_000)] * 2
+        s = DistinctSampler(capacity=256, seed=6)
+        s.update_many(stream)
+        assert abs(s.estimate_rarity(1) - 0.5) < 0.15
+
+    def test_merge(self):
+        a = DistinctSampler(capacity=128, seed=7)
+        b = DistinctSampler(capacity=128, seed=7)
+        a.update_many(f"a{i}" for i in range(2_000))
+        b.update_many(f"b{i}" for i in range(2_000))
+        a.merge(b)
+        assert len(a) <= 128
+        assert abs(a.estimate_distinct() - 4_000) / 4_000 < 0.35

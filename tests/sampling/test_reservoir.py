@@ -1,0 +1,126 @@
+"""Tests for uniform reservoir sampling (Algorithms R and L)."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import MergeError, ParameterError
+from repro.sampling import AlgorithmLSampler, ReservoirSampler, union_sample
+
+
+@pytest.fixture(params=[ReservoirSampler, AlgorithmLSampler])
+def sampler_cls(request):
+    return request.param
+
+
+class TestBasics:
+    def test_rejects_bad_k(self, sampler_cls):
+        with pytest.raises(ParameterError):
+            sampler_cls(0)
+
+    def test_fills_up_to_k(self, sampler_cls):
+        s = sampler_cls(10, seed=0)
+        s.update_many(range(4))
+        assert sorted(s.sample) == [0, 1, 2, 3]
+        assert len(s) == 4
+
+    def test_never_exceeds_k(self, sampler_cls):
+        s = sampler_cls(5, seed=0)
+        s.update_many(range(1000))
+        assert len(s) == 5
+        assert s.count == 1000
+
+    def test_sample_is_subset_of_stream(self, sampler_cls):
+        s = sampler_cls(7, seed=1)
+        s.update_many(range(500))
+        assert all(0 <= x < 500 for x in s.sample)
+        assert len(set(s.sample)) == 7  # without replacement
+
+    def test_deterministic_under_seed(self, sampler_cls):
+        a, b = sampler_cls(5, seed=42), sampler_cls(5, seed=42)
+        a.update_many(range(300))
+        b.update_many(range(300))
+        assert a.sample == b.sample
+
+
+class TestUniformity:
+    def test_inclusion_probability_uniform(self, sampler_cls):
+        """Each of n elements should appear with probability ~ k/n."""
+        n, k, trials = 40, 8, 1500
+        hits = collections.Counter()
+        for t in range(trials):
+            s = sampler_cls(k, seed=t)
+            s.update_many(range(n))
+            hits.update(s.sample)
+        expected = trials * k / n
+        for x in range(n):
+            assert 0.6 * expected < hits[x] < 1.4 * expected, (x, hits[x], expected)
+
+    def test_algorithms_agree_in_distribution(self):
+        """R and L should give the same mean inclusion rate for late items."""
+        n, k, trials = 100, 10, 800
+        late_hits = {"R": 0, "L": 0}
+        for t in range(trials):
+            r = ReservoirSampler(k, seed=t)
+            l = AlgorithmLSampler(k, seed=t)
+            r.update_many(range(n))
+            l.update_many(range(n))
+            late_hits["R"] += sum(1 for x in r.sample if x >= 90)
+            late_hits["L"] += sum(1 for x in l.sample if x >= 90)
+        # Expected late hits per trial: 10 * k/n = 1.0
+        assert abs(late_hits["R"] / trials - 1.0) < 0.25
+        assert abs(late_hits["L"] / trials - 1.0) < 0.25
+
+
+class TestMerge:
+    def test_merge_counts(self, sampler_cls):
+        a, b = sampler_cls(6, seed=0), sampler_cls(6, seed=1)
+        a.update_many(range(100))
+        b.update_many(range(100, 300))
+        a.merge(b)
+        assert a.count == 300
+        assert len(a) == 6
+
+    def test_merge_draws_proportionally(self, sampler_cls):
+        """Merging a 100-element and a 900-element partition: ~10% from A."""
+        trials, from_a = 600, 0
+        for t in range(trials):
+            a, b = sampler_cls(10, seed=2 * t), sampler_cls(10, seed=2 * t + 1)
+            a.update_many(range(100))
+            b.update_many(range(100, 1000))
+            a.merge(b)
+            from_a += sum(1 for x in a.sample if x < 100)
+        rate = from_a / (trials * 10)
+        assert 0.05 < rate < 0.16
+
+    def test_merge_key_mismatch(self, sampler_cls):
+        with pytest.raises(MergeError):
+            sampler_cls(5).merge(sampler_cls(6))
+
+    def test_union_sample_helper(self, sampler_cls):
+        parts = []
+        for i in range(4):
+            s = sampler_cls(8, seed=i)
+            s.update_many(range(i * 100, (i + 1) * 100))
+            parts.append(s)
+        combined = union_sample(parts)
+        assert combined.count == 400
+        assert len(combined) == 8
+        for part in parts:  # inputs untouched
+            assert part.count == 100
+
+    def test_union_sample_empty(self):
+        with pytest.raises(MergeError):
+            union_sample([])
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(), max_size=200), st.integers(min_value=1, max_value=20))
+def test_property_sample_always_subset(items, k):
+    s = ReservoirSampler(k, seed=0)
+    s.update_many(items)
+    assert len(s) == min(k, len(items))
+    bag = collections.Counter(items)
+    assert not (collections.Counter(s.sample) - bag)

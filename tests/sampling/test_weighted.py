@@ -1,0 +1,99 @@
+"""Tests for weighted reservoir sampling (A-Res / A-ExpJ)."""
+
+import collections
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.sampling import ExpJSampler, WeightedReservoirSampler
+
+
+@pytest.fixture(params=[WeightedReservoirSampler, ExpJSampler])
+def sampler_cls(request):
+    return request.param
+
+
+class TestWeighted:
+    def test_rejects_nonpositive_weight(self, sampler_cls):
+        s = sampler_cls(3)
+        with pytest.raises(ParameterError):
+            s.update_weighted("x", 0.0)
+        with pytest.raises(ParameterError):
+            s.update_weighted("x", -1.0)
+
+    def test_unit_weight_update(self, sampler_cls):
+        s = sampler_cls(5, seed=0)
+        s.update_many("abcdefg")
+        assert len(s) == 5
+        assert s.count == 7
+
+    def test_heavy_item_nearly_always_sampled(self, sampler_cls):
+        """An item with 100x the weight of all others combined is ~always in."""
+        hits = 0
+        trials = 200
+        for t in range(trials):
+            s = sampler_cls(2, seed=t)
+            for i in range(50):
+                s.update_weighted(f"light{i}", 1.0)
+            s.update_weighted("heavy", 5000.0)
+            for i in range(50):
+                s.update_weighted(f"light2-{i}", 1.0)
+            hits += "heavy" in s.sample
+        assert hits > trials * 0.95
+
+    def test_weight_proportional_inclusion(self, sampler_cls):
+        """With weights 4:1, the heavy item's inclusion rate dominates."""
+        heavy_hits = light_hits = 0
+        trials = 400
+        for t in range(trials):
+            s = sampler_cls(1, seed=t)
+            s.update_weighted("heavy", 4.0)
+            s.update_weighted("light", 1.0)
+            heavy_hits += s.sample == ["heavy"]
+            light_hits += s.sample == ["light"]
+        assert heavy_hits + light_hits == trials
+        rate = heavy_hits / trials
+        assert 0.72 < rate < 0.88  # expected 0.8
+
+    def test_merge_keeps_topk_keys(self, sampler_cls):
+        a, b = sampler_cls(4, seed=0), sampler_cls(4, seed=1)
+        for i in range(30):
+            a.update_weighted(("a", i), 1.0)
+            b.update_weighted(("b", i), 1.0)
+        a.merge(b)
+        assert len(a) == 4
+        assert a.count == 60
+
+    def test_merge_respects_weights(self, sampler_cls):
+        """Merged sample should still favour the heavy partition."""
+        hits = 0
+        trials = 200
+        for t in range(trials):
+            a, b = sampler_cls(1, seed=2 * t), sampler_cls(1, seed=2 * t + 1)
+            a.update_weighted("heavy", 1000.0)
+            for i in range(20):
+                b.update_weighted(f"light{i}", 1.0)
+            a.merge(b)
+            hits += a.sample == ["heavy"]
+        assert hits > trials * 0.9
+
+
+class TestExpJSpecifics:
+    def test_expj_matches_ares_marginals(self):
+        """A-ExpJ should reproduce A-Res inclusion rates on a skewed stream."""
+        weights = [1.0] * 20 + [10.0] * 2
+        items = [f"i{j}" for j in range(len(weights))]
+        trials = 400
+
+        def rate(cls):
+            hits = collections.Counter()
+            for t in range(trials):
+                s = cls(3, seed=t + 7)
+                for it, w in zip(items, weights):
+                    s.update_weighted(it, w)
+                hits.update(s.sample)
+            return hits
+
+        ares, expj = rate(WeightedReservoirSampler), rate(ExpJSampler)
+        for it in ("i20", "i21", "i0"):
+            assert abs(ares[it] - expj[it]) < trials * 0.12, (it, ares[it], expj[it])

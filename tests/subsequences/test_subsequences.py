@@ -1,0 +1,137 @@
+"""Tests for LIS / LCS subsequence tools."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.subsequences import (
+    ApproxLISTracker,
+    LISTracker,
+    WindowedLCS,
+    lcs_similarity,
+    longest_common_subsequence,
+    longest_increasing_subsequence,
+)
+
+
+def brute_lis(values):
+    best = 0
+    n = len(values)
+    dp = [1] * n
+    for i in range(n):
+        for j in range(i):
+            if values[j] < values[i]:
+                dp[i] = max(dp[i], dp[j] + 1)
+        best = max(best, dp[i])
+    return best if n else 0
+
+
+class TestLIS:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([], 0),
+            ([5], 1),
+            ([1, 2, 3, 4], 4),
+            ([4, 3, 2, 1], 1),
+            ([3, 1, 4, 1, 5, 9, 2, 6], 4),
+            ([2, 2, 2], 1),  # strict increase
+        ],
+    )
+    def test_known_cases(self, values, expected):
+        assert longest_increasing_subsequence(values) == expected
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 30), max_size=40))
+    def test_property_matches_brute_force(self, values):
+        assert longest_increasing_subsequence(values) == brute_lis(values)
+
+    def test_tracker_matches_batch(self):
+        rng = make_np_rng(71)
+        values = rng.normal(size=2_000)
+        tracker = LISTracker()
+        tracker.update_many(values)
+        assert tracker.lis_length() == longest_increasing_subsequence(values)
+
+    def test_tracker_memory_equals_lis(self):
+        tracker = LISTracker()
+        tracker.update_many([5, 4, 3, 2, 1, 2, 3])
+        assert tracker.memory_slots == tracker.lis_length()
+
+
+class TestApproxLIS:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            ApproxLISTracker(s=2)
+
+    def test_exact_under_budget(self):
+        a = ApproxLISTracker(s=64)
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        a.update_many(values)
+        assert a.lis_length() == longest_increasing_subsequence(values)
+
+    def test_bounded_memory_over_budget(self):
+        a = ApproxLISTracker(s=32)
+        a.update_many(range(10_000))  # LIS = 10_000
+        assert a.memory_slots <= 33
+
+    def test_estimate_within_factor(self):
+        a = ApproxLISTracker(s=64)
+        n = 5_000
+        a.update_many(range(n))
+        assert 0.3 * n <= a.lis_length() <= 1.5 * n
+
+
+class TestLCS:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 3),
+            ("abc", "def", 0),
+            ("abcde", "ace", 3),
+            ("aggtab", "gxtxayb", 4),
+        ],
+    )
+    def test_known_cases(self, a, b, expected):
+        assert longest_common_subsequence(a, b) == expected
+
+    def test_similarity_normalised(self):
+        assert lcs_similarity("abc", "abc") == 1.0
+        assert lcs_similarity("", "") == 1.0
+        assert lcs_similarity("abc", "xyz") == 0.0
+
+    @settings(max_examples=30)
+    @given(st.text(alphabet="ab", max_size=20), st.text(alphabet="ab", max_size=20))
+    def test_property_symmetric_and_bounded(self, a, b):
+        lcs = longest_common_subsequence(a, b)
+        assert lcs == longest_common_subsequence(b, a)
+        assert lcs <= min(len(a), len(b))
+
+
+class TestWindowedLCS:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            WindowedLCS(0)
+
+    def test_identical_streams(self):
+        w = WindowedLCS(window=32)
+        for i in range(100):
+            w.update((i % 5, i % 5))
+        assert w.similarity() == 1.0
+
+    def test_diverged_streams(self):
+        w = WindowedLCS(window=16)
+        for i in range(100):
+            w.update(("a", "b"))
+        assert w.similarity() == 0.0
+
+    def test_window_forgets_old_divergence(self):
+        w = WindowedLCS(window=8)
+        for __ in range(50):
+            w.update(("x", "y"))  # divergent history
+        for i in range(8):
+            w.update((i, i))  # recent agreement fills the window
+        assert w.similarity() == 1.0

@@ -1,0 +1,81 @@
+"""Tests for streaming sequential-pattern mining."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.temporal import SequenceMiner
+from repro.workloads import session_stream
+
+
+class TestSequenceMiner:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SequenceMiner(max_len=1)
+        with pytest.raises(ParameterError):
+            SequenceMiner(max_len=4, history=2)
+
+    def test_counts_contiguous_subsequences(self):
+        miner = SequenceMiner(max_len=3)
+        for event in "abcd":
+            miner.update(("s1", event))
+        assert miner.frequency(("a", "b")) == 1
+        assert miner.frequency(("b", "c", "d")) == 1
+        assert miner.frequency(("a", "c")) == 0  # not contiguous
+
+    def test_sequences_do_not_span_keys(self):
+        miner = SequenceMiner(max_len=2)
+        miner.update(("s1", "login"))
+        miner.update(("s2", "logout"))
+        assert miner.frequency(("login", "logout")) == 0
+
+    def test_end_session_resets_history(self):
+        miner = SequenceMiner(max_len=2)
+        miner.update(("s1", "a"))
+        miner.end_session("s1")
+        miner.update(("s1", "b"))
+        assert miner.frequency(("a", "b")) == 0
+        assert miner.open_sessions == 1
+
+    def test_top_traversal_paths(self):
+        """The paper's 'top-K traversal sequences in streaming clicks'."""
+        miner = SequenceMiner(max_len=3, k=512)
+        # 80 sessions follow the funnel, 40 wander randomly.
+        funnel = ["home", "product", "checkout"]
+        for s in range(80):
+            for page in funnel:
+                miner.update((f"funnel{s}", page))
+        import random
+
+        rng = random.Random(7)
+        pages = ["home", "about", "blog", "product", "faq"]
+        for s in range(40):
+            for __ in range(4):
+                miner.update((f"rand{s}", rng.choice(pages)))
+        top3 = miner.top(1, length=3)
+        assert top3[0][0] == ("home", "product", "checkout")
+        assert miner.support(("home", "product")) > 0.1
+
+    def test_top_filtered_by_length(self):
+        miner = SequenceMiner(max_len=3)
+        for event in "xyxyxy":
+            miner.update(("s", event))
+        for seq, __ in miner.top(5, length=2):
+            assert len(seq) == 2
+
+    def test_merge(self):
+        a, b = SequenceMiner(max_len=2), SequenceMiner(max_len=2)
+        for __ in range(10):
+            a.update(("s1", "p"))
+            a.update(("s1", "q"))
+            b.update(("s2", "p"))
+            b.update(("s2", "q"))
+        a.merge(b)
+        assert a.frequency(("p", "q")) >= 20
+
+    def test_realistic_sessions(self):
+        miner = SequenceMiner(max_len=2, k=256)
+        for session in session_stream(200, seed=11):
+            for event in session:
+                miner.update((event.user_id, event.page))
+        assert miner.count > 0
+        assert all(len(seq) == 2 for seq, __ in miner.top(5, length=2))

@@ -1,0 +1,161 @@
+"""Tests for DGIM, exponential histograms and significant-one counting."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.windowing import DGIM, EHSum, EHVariance, SignificantOneCounter
+
+
+class TestDGIM:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            DGIM(0)
+        with pytest.raises(ParameterError):
+            DGIM(10, epsilon=0.0)
+
+    def test_exact_when_few_ones(self):
+        d = DGIM(window=1000, epsilon=0.1)
+        for i in range(100):
+            d.update(i % 10 == 0)
+        assert abs(d.estimate() - 10) <= 1
+
+    def test_relative_error_bound_random_bits(self):
+        rng = make_np_rng(41)
+        bits = rng.random(50_000) < 0.3
+        d = DGIM(window=10_000, epsilon=0.1)
+        for b in bits:
+            d.update(bool(b))
+        true = int(bits[-10_000:].sum())
+        assert abs(d.estimate() - true) / true < 0.15
+
+    def test_all_ones_dense(self):
+        d = DGIM(window=5_000, epsilon=0.05)
+        for __ in range(20_000):
+            d.update(1)
+        assert abs(d.estimate() - 5_000) / 5_000 < 0.08
+
+    def test_space_logarithmic(self):
+        d = DGIM(window=100_000, epsilon=0.1)
+        for __ in range(100_000):
+            d.update(1)
+        # O((1/eps) * log(eps*N)) buckets << N
+        assert d.n_buckets < 400
+
+    def test_expiry_of_old_ones(self):
+        d = DGIM(window=100, epsilon=0.2)
+        for __ in range(100):
+            d.update(1)
+        for __ in range(500):
+            d.update(0)
+        assert d.estimate() <= 2
+
+    def test_merge_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            DGIM(10).merge(DGIM(10))
+
+
+class TestEHSum:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            EHSum(0)
+        s = EHSum(10, max_value=5)
+        with pytest.raises(ParameterError):
+            s.update(6)
+        with pytest.raises(ParameterError):
+            s.update(-1)
+
+    def test_sum_accuracy(self):
+        rng = make_np_rng(42)
+        values = rng.integers(0, 100, size=30_000)
+        s = EHSum(window=5_000, epsilon=0.1, max_value=100)
+        for v in values:
+            s.update(int(v))
+        true = int(values[-5_000:].sum())
+        assert abs(s.estimate() - true) / true < 0.15
+
+    def test_zeros_free(self):
+        s = EHSum(window=100, epsilon=0.1)
+        for __ in range(1_000):
+            s.update(0)
+        assert s.estimate() == 0.0
+        assert s.n_buckets == 0
+
+    def test_space_sublinear(self):
+        s = EHSum(window=50_000, epsilon=0.1, max_value=10)
+        rng = make_np_rng(43)
+        for v in rng.integers(0, 10, size=50_000):
+            s.update(int(v))
+        assert s.n_buckets < 1_000
+
+
+class TestEHVariance:
+    def test_variance_stationary(self):
+        rng = make_np_rng(44)
+        values = rng.normal(10.0, 3.0, size=20_000)
+        v = EHVariance(window=4_000, epsilon=0.1)
+        for x in values:
+            v.update(float(x))
+        assert abs(v.estimate_variance() - 9.0) / 9.0 < 0.2
+        assert abs(v.estimate_mean() - 10.0) < 0.5
+
+    def test_variance_tracks_regime_change(self):
+        rng = make_np_rng(45)
+        v = EHVariance(window=2_000, epsilon=0.1)
+        for x in rng.normal(0.0, 1.0, size=10_000):
+            v.update(float(x))
+        for x in rng.normal(0.0, 10.0, size=4_000):
+            v.update(float(x))
+        assert v.estimate_variance() > 50.0
+
+    def test_empty(self):
+        v = EHVariance(window=10)
+        assert v.estimate_variance() == 0.0
+
+    def test_space_sublinear(self):
+        v = EHVariance(window=50_000, epsilon=0.2)
+        rng = make_np_rng(46)
+        for x in rng.normal(size=50_000):
+            v.update(float(x))
+        assert v.n_buckets < 500
+
+
+class TestSignificantOne:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SignificantOneCounter(0)
+        with pytest.raises(ParameterError):
+            SignificantOneCounter(10, theta=1.0)
+        with pytest.raises(ParameterError):
+            SignificantOneCounter(10, epsilon=2.0)
+
+    def test_accurate_when_significant(self):
+        rng = make_np_rng(47)
+        window, theta, eps = 10_000, 0.2, 0.1
+        soc = SignificantOneCounter(window, theta=theta, epsilon=eps)
+        bits = rng.random(40_000) < 0.5  # well above theta
+        for b in bits:
+            soc.update(bool(b))
+        true = int(bits[-window:].sum())
+        assert true >= theta * window
+        assert abs(soc.estimate() - true) / true <= eps + 0.02
+
+    def test_significance_flag(self):
+        soc = SignificantOneCounter(1_000, theta=0.3, epsilon=0.1)
+        for __ in range(1_000):
+            soc.update(1)
+        assert soc.is_significant()
+        for __ in range(5_000):
+            soc.update(0)
+        assert not soc.is_significant()
+
+    def test_uses_less_space_than_dgim(self):
+        window, eps = 100_000, 0.05
+        soc = SignificantOneCounter(window, theta=0.2, epsilon=eps)
+        dgim = DGIM(window, epsilon=eps)
+        rng = make_np_rng(48)
+        for b in rng.random(window) < 0.5:
+            soc.update(bool(b))
+            dgim.update(bool(b))
+        assert soc.n_blocks < dgim.n_buckets

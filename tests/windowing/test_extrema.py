@@ -1,0 +1,67 @@
+"""Tests for sliding-window extrema."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ParameterError
+from repro.common.rng import make_np_rng
+from repro.windowing import SlidingExtrema
+
+
+class TestSlidingExtrema:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SlidingExtrema(0)
+        with pytest.raises(ParameterError):
+            SlidingExtrema(5).max()
+
+    def test_known_sequence(self):
+        se = SlidingExtrema(window=3)
+        results = []
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]:
+            se.update(v)
+            results.append((se.min(), se.max()))
+        assert results == [
+            (3.0, 3.0), (1.0, 3.0), (1.0, 4.0), (1.0, 4.0),
+            (1.0, 5.0), (1.0, 9.0), (2.0, 9.0),
+        ]
+
+    def test_matches_brute_force_on_random_stream(self):
+        rng = make_np_rng(91)
+        window = 50
+        se = SlidingExtrema(window)
+        buf = deque(maxlen=window)
+        for v in rng.normal(size=5_000):
+            se.update(float(v))
+            buf.append(float(v))
+            assert se.max() == max(buf)
+            assert se.min() == min(buf)
+
+    def test_range(self):
+        se = SlidingExtrema(window=4)
+        se.update_many([1.0, 5.0, 3.0])
+        assert se.range() == 4.0
+
+    def test_memory_small_on_monotone_stream(self):
+        se = SlidingExtrema(window=10_000)
+        se.update_many(float(i) for i in range(50_000))
+        # Increasing stream: max deque holds 1, min deque holds ~window...
+        # actually increasing values evict everything from the max deque,
+        # while the min deque keeps all window elements (worst case).
+        assert len(se._max) == 1
+        assert se.max() == 49_999.0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=50))
+    def test_property_matches_brute_force(self, values, window):
+        se = SlidingExtrema(window)
+        buf = deque(maxlen=window)
+        for v in values:
+            se.update(v)
+            buf.append(v)
+        assert se.max() == max(buf)
+        assert se.min() == min(buf)

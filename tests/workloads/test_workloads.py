@@ -1,0 +1,133 @@
+"""Tests for the synthetic workload generators."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.workloads import (
+    click_stream,
+    edge_stream,
+    hashtag_stream,
+    power_law_edge_stream,
+    random_walk_series,
+    seasonal_series,
+    sensor_stream_with_anomalies,
+    series_with_missing_values,
+    session_stream,
+    visitor_stream,
+    zipf_stream,
+)
+
+
+class TestZipfStream:
+    def test_length_and_determinism(self):
+        a = list(zipf_stream(500, seed=1))
+        b = list(zipf_stream(500, seed=1))
+        assert len(a) == 500 and a == b
+
+    def test_different_seeds_differ(self):
+        assert list(zipf_stream(200, seed=1)) != list(zipf_stream(200, seed=2))
+
+    def test_skew_shapes_distribution(self):
+        counts = collections.Counter(zipf_stream(20_000, universe=1000, skew=1.5, seed=3))
+        top = counts.most_common(1)[0][1]
+        assert top > 20_000 * 0.1  # rank-1 dominates under strong skew
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            list(zipf_stream(-1))
+        with pytest.raises(ParameterError):
+            list(zipf_stream(10, universe=0))
+        with pytest.raises(ParameterError):
+            list(zipf_stream(10, skew=0))
+
+
+class TestHashtagStream:
+    def test_trending_fraction_realised(self):
+        stream = list(hashtag_stream(20_000, trending={"#vldb": 0.05}, seed=4))
+        frac = stream.count("#vldb") / len(stream)
+        assert 0.03 < frac < 0.07
+
+    def test_rejects_overfull_trending(self):
+        with pytest.raises(ParameterError):
+            list(hashtag_stream(10, trending={"#a": 0.7, "#b": 0.5}))
+
+    def test_no_trending_is_pure_background(self):
+        stream = list(hashtag_stream(100, seed=5))
+        assert all(tag.startswith("#tag") for tag in stream)
+
+
+class TestSensorWorkloads:
+    def test_random_walk_length(self):
+        assert len(random_walk_series(100, seed=0)) == 100
+
+    def test_seasonal_period_visible(self):
+        series = seasonal_series(960, period=96, amplitude=10, noise_std=0.1, seed=0)
+        # autocorrelation at the period should be strongly positive
+        x = series - series.mean()
+        ac = float(np.dot(x[:-96], x[96:]) / np.dot(x, x))
+        assert ac > 0.8
+
+    def test_anomalies_are_large(self):
+        annotated = sensor_stream_with_anomalies(5_000, anomaly_rate=0.01, seed=1)
+        assert len(annotated.anomaly_indices) == 50
+        spikes = np.abs(annotated.values[list(annotated.anomaly_indices)])
+        assert spikes.min() > 4.0  # 8-sigma spike on unit noise
+
+    def test_missing_values_masked(self):
+        annotated = series_with_missing_values(1_000, missing_rate=0.1, seed=2)
+        assert len(annotated.missing_indices) == 100
+        assert np.isnan(annotated.values[list(annotated.missing_indices)]).all()
+        assert not np.isnan(np.delete(annotated.values, list(annotated.missing_indices))).any()
+
+    def test_rate_bounds(self):
+        with pytest.raises(ParameterError):
+            sensor_stream_with_anomalies(10, anomaly_rate=1.5)
+
+
+class TestWebWorkloads:
+    def test_visitor_cardinality_exact(self):
+        ids = set(visitor_stream(5_000, unique_visitors=700, seed=0))
+        assert len(ids) == 700
+
+    def test_visitor_requires_feasible_n(self):
+        with pytest.raises(ParameterError):
+            list(visitor_stream(10, unique_visitors=20))
+
+    def test_click_stream_timestamps_increase(self):
+        events = list(click_stream(300, seed=1))
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        assert all(e.page.startswith("/page/") for e in events)
+
+    def test_sessions_share_user(self):
+        sessions = list(session_stream(5, seed=2))
+        assert len(sessions) == 5
+        for sess in sessions:
+            assert len({e.user_id for e in sess}) == 1
+
+
+class TestGraphWorkloads:
+    def test_edge_count_and_no_self_loops(self):
+        edges = list(edge_stream(50, 400, seed=0))
+        assert len(edges) == 400
+        assert all(u != v for u, v in edges)
+        assert all(u < v for u, v in edges)
+
+    def test_simple_graph_unique(self):
+        edges = list(edge_stream(30, 200, seed=1, allow_duplicates=False))
+        assert len(set(edges)) == 200
+
+    def test_simple_graph_capacity_check(self):
+        with pytest.raises(ParameterError):
+            list(edge_stream(4, 100, allow_duplicates=False))
+
+    def test_power_law_has_hubs(self):
+        degree = collections.Counter()
+        for u, v in power_law_edge_stream(1000, 5000, skew=1.5, seed=3):
+            degree[u] += 1
+            degree[v] += 1
+        top = degree.most_common(1)[0][1]
+        assert top > 5000 * 2 / 1000 * 10  # hub way above mean degree
