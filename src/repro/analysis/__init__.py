@@ -1,0 +1,39 @@
+"""streamlint: streaming-correctness static analysis for this repo.
+
+The paper's scale-out requirements (Section 2) are encoded in this
+codebase as conventions — explicit seeds through
+:func:`repro.common.rng.make_rng`, mergeable synopses via
+:class:`repro.common.mergeable.SynopsisBase`, construct-by-name through
+``repro.core.registry``. This package *enforces* them statically:
+
+========  ==================================================================
+SL001     unseeded/global randomness outside ``common/rng.py``
+SL002     synopsis update/merge contract (incl. the compatibility check)
+SL003     mutable default arguments
+SL004     wall-clock reads in algorithm modules (only ``platform/`` may)
+SL005     bare/overbroad ``except`` that swallows failures
+SL006     concrete synopses missing from ``core/registry``
+========  ==================================================================
+
+Run ``python -m repro.analysis src/repro`` (exit 1 on findings) or use the
+library API::
+
+    from repro.analysis import analyze_paths
+    findings = analyze_paths(["src/repro"])
+
+Silence an intentional violation inline with
+``# streamlint: disable=SL001`` (line) or
+``# streamlint: disable-file=SL004`` (whole module).
+"""
+
+from repro.analysis.engine import Rule, all_rules, analyze_paths, rule
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "rule",
+]

@@ -1,0 +1,92 @@
+"""streamlint command line.
+
+``python -m repro.analysis src/repro`` (or the ``repro-lint`` console
+script) scans the given paths, prints findings, and exits nonzero when any
+remain — the contract CI relies on. ``--select``/``--ignore`` narrow the
+rule set, ``--format json`` emits the machine report, and ``--list-rules``
+documents the rule table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import all_rules, analyze_paths
+from repro.analysis.reporters import REPORTERS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser (exposed for --help snapshots)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "streamlint: static analysis for streaming correctness "
+            "(seeded randomness, mergeable synopses, registry coverage)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, e.g. --select SL001)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--exit-zero",
+        action="store_true",
+        help="always exit 0 even with findings (for advisory runs)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run streamlint; returns the process exit code (0 clean, 1 findings, 2 usage)."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in all_rules().items():
+            print(f"{rule_id}  [{cls.severity}] ({cls.scope})  {cls.description}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: path(s) not found: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        findings = analyze_paths(
+            [Path(p) for p in args.paths], select=args.select, ignore=args.ignore
+        )
+    except ValueError as exc:  # unknown rule id in --select/--ignore
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    print(REPORTERS[args.format](findings))
+    if findings and not args.exit_zero:
+        return 1
+    return 0

@@ -1,0 +1,158 @@
+"""The streamlint rule engine.
+
+Rules subclass :class:`Rule` and register themselves with the ``@rule``
+decorator. The engine walks the requested paths, parses every ``*.py``
+module once into a :class:`~repro.analysis.context.ModuleContext`, runs
+module-scoped rules per file and project-scoped rules once over the whole
+set (project scope is what lets SL006 compare the class hierarchy against
+``core/registry.py``), then filters findings through inline suppressions.
+
+Unparsable files produce a synthetic ``SL000`` syntax-error finding instead
+of crashing the run, so one broken module cannot hide findings in the rest
+of the tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+SYNTAX_ERROR_RULE = "SL000"
+
+_RULE_CLASSES: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """One streamlint check.
+
+    Class attributes declare identity (``rule_id``), default ``severity``,
+    ``scope`` ("module" rules see one file at a time; "project" rules see
+    every file at once) and a one-line ``description`` surfaced by
+    ``--list-rules``.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    scope: str = "module"  # "module" | "project"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module (module-scoped rules)."""
+        return iter(())
+
+    def check_project(self, ctxs: Sequence[ModuleContext]) -> Iterator[Finding]:
+        """Yield findings across the whole scanned tree (project scope)."""
+        return iter(())
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` in *ctx* with this rule's identity."""
+        return Finding(
+            path=str(ctx.path),
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+        )
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering *cls* in the global rule table."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} lacks a rule_id")
+    if not cls.description:
+        raise ValueError(f"rule {cls.rule_id} lacks a description")
+    if cls.rule_id in _RULE_CLASSES:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _RULE_CLASSES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """Registered rules by id (importing the rules package as a side effect)."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return dict(sorted(_RULE_CLASSES.items()))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under *paths* (files pass through, dirs recurse)."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run every (selected) rule over *paths* and return sorted findings.
+
+    *select* keeps only the listed rule ids; *ignore* drops the listed ids.
+    Suppression comments are honoured last, so a suppressed finding never
+    appears regardless of selection.
+    """
+    roots = [Path(p) for p in paths]
+    selected = _instantiate_rules(select, ignore)
+
+    contexts: list[ModuleContext] = []
+    findings: list[Finding] = []
+    for root in roots:
+        scan_root = root if root.is_dir() else root.parent
+        for file in iter_python_files([root]):
+            try:
+                contexts.append(ModuleContext.from_file(file, scan_root))
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        path=str(file),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule_id=SYNTAX_ERROR_RULE,
+                        severity=Severity.ERROR,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+
+    for r in selected:
+        if r.scope == "module":
+            for ctx in contexts:
+                for f in r.check_module(ctx):
+                    if not ctx.suppressions.is_suppressed(f.rule_id, f.line):
+                        findings.append(f)
+        else:
+            by_path = {str(c.path): c for c in contexts}
+            for f in r.check_project(contexts):
+                ctx = by_path.get(f.path)
+                if ctx and ctx.suppressions.is_suppressed(f.rule_id, f.line):
+                    continue
+                findings.append(f)
+
+    return sorted(findings)
+
+
+def _instantiate_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    table = all_rules()
+    keep = {s.upper() for s in select} if select else set(table)
+    drop = {s.upper() for s in ignore} if ignore else set()
+    unknown = (keep | drop) - set(table) if (select or ignore) else set()
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [cls() for rid, cls in table.items() if rid in keep and rid not in drop]

@@ -1,0 +1,81 @@
+"""SL001 — unseeded randomness breaks reproducibility.
+
+The paper's scale-out story (Section 2) assumes a partitioned computation
+can be replayed bit-for-bit; that only holds when every random draw flows
+from an explicit seed. The repo's convention is ``make_rng`` /
+``make_np_rng`` / ``derive_seed`` from ``repro.common.rng``. This rule
+flags:
+
+* calls into the global ``random.*`` / ``numpy.random.*`` namespaces
+  (``random.random()``, ``np.random.rand()``, ``np.random.seed()``, ...),
+  which share mutable global state across the process;
+* explicitly constructing a generator *without* a seed argument
+  (``random.Random()``, ``np.random.default_rng()``).
+
+``repro/common/rng.py`` itself is exempt — it is the one sanctioned home
+for generator construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+#: Constructors that take an explicit seed and are therefore allowed
+#: (when actually given one).
+_SEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+_EXEMPT_SUFFIX = "common/rng.py"
+
+
+@rule
+class UnseededRandomRule(Rule):
+    """Flags global-RNG calls and unseeded generator construction."""
+
+    rule_id = "SL001"
+    description = (
+        "direct random.*/np.random.* use outside common/rng.py; "
+        "thread a seed through make_rng/make_np_rng/derive_seed instead"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.relpath.endswith(_EXEMPT_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call_target(node.func)
+            if target is None:
+                continue
+            if not (target.startswith("random.") or target.startswith("numpy.random.")):
+                continue
+            if target in _SEEDED_CONSTRUCTORS:
+                if node.args or node.keywords:
+                    continue  # explicitly seeded (or deliberately passing None)
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"{target}() constructed without a seed; "
+                    "use repro.common.rng.make_rng(seed)/make_np_rng(seed)",
+                )
+            else:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"call to {target}() uses process-global RNG state; "
+                    "use a generator from repro.common.rng (make_rng/"
+                    "make_np_rng) seeded via derive_seed",
+                )

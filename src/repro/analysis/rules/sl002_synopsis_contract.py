@@ -1,0 +1,121 @@
+"""SL002 — every synopsis must honour the update/merge contract.
+
+A sketch that cannot ``merge`` cannot scale out across partitions, and a
+``merge`` that skips the base compatibility check will happily combine
+sketches with different widths or hash seeds and return garbage. For every
+class deriving directly from ``SynopsisBase`` this rule requires:
+
+* an ``update`` method (or the class is explicitly abstract);
+* a ``_merge_into`` method **or** a ``merge`` override;
+* any ``merge`` override must invoke the base compatibility check —
+  either ``self._check_mergeable(...)`` or ``super().merge(...)``.
+
+Classes that declare ``@abstractmethod`` members are treated as abstract
+intermediates and exempted; subclasses inherit the obligations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_BASE_NAME = "SynopsisBase"
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in node.decorator_list:
+                name = deco.attr if isinstance(deco, ast.Attribute) else (
+                    deco.id if isinstance(deco, ast.Name) else None
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _calls_compat_check(func: ast.FunctionDef) -> bool:
+    """Whether *func* calls self._check_mergeable(...) or super().merge(...)."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            if f.attr == "_check_mergeable":
+                return True
+            if (
+                f.attr == "merge"
+                and isinstance(f.value, ast.Call)
+                and isinstance(f.value.func, ast.Name)
+                and f.value.func.id == "super"
+            ):
+                return True
+    return False
+
+
+@rule
+class SynopsisContractRule(Rule):
+    """Enforces the update/merge contract on SynopsisBase subclasses."""
+
+    rule_id = "SL002"
+    description = (
+        "SynopsisBase subclasses must define update and merge/_merge_into, "
+        "and any merge override must run the base compatibility check"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _BASE_NAME not in _base_names(node):
+                continue
+            if node.name == _BASE_NAME or _is_abstract(node):
+                continue
+            methods = _methods(node)
+            if "update" not in methods:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"synopsis {node.name!r} does not define update(item)",
+                )
+            if "_merge_into" not in methods and "merge" not in methods:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"synopsis {node.name!r} defines neither _merge_into nor "
+                    "merge; unmergeable sketches cannot scale out across "
+                    "partitions",
+                )
+            merge = methods.get("merge")
+            if merge is not None and not _calls_compat_check(merge):
+                yield self.finding(
+                    ctx,
+                    merge.lineno,
+                    merge.col_offset,
+                    f"{node.name}.merge overrides the base merge without "
+                    "calling self._check_mergeable(other) or super().merge()",
+                )

@@ -1,0 +1,71 @@
+"""SL003 — mutable default arguments.
+
+A ``def f(buckets=[])`` default is evaluated once at definition time and
+shared by every call — in a streaming system that means every operator
+instance silently shares one buffer, which corrupts state the first time
+two partitions run in one process. Flags list/dict/set literals and
+comprehensions, and bare ``list()``/``dict()``/``set()``/
+``collections.deque()``/``collections.defaultdict()`` calls used as
+parameter defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CALLS = {"list", "dict", "set", "deque", "defaultdict", "Counter", "OrderedDict"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        f = node.func
+        name = f.attr if isinstance(f, ast.Attribute) else (
+            f.id if isinstance(f, ast.Name) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@rule
+class MutableDefaultRule(Rule):
+    """Flags list/dict/set (literals or constructors) used as defaults."""
+
+    rule_id = "SL003"
+    description = (
+        "mutable default argument shared across calls; default to None and "
+        "construct inside the function"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            fname = getattr(node, "name", "<lambda>")
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in {fname}(); every call "
+                        "shares one object — default to None instead",
+                    )

@@ -1,0 +1,60 @@
+"""SL004 — wall-clock reads inside algorithm modules.
+
+Stream algorithms must be driven by *event time or logical time supplied
+by the caller*, never by the machine's clock: a sketch that calls
+``time.time()`` gives different answers on replay, which breaks the
+recompute-from-log recovery model (Lambda batch layer, at-least-once
+replay) and makes tests flaky. Wall-clock access is allowed only under
+``platform/`` — the runtime layer that owns real time (latency metrics,
+timeouts) — everywhere else the timestamp must arrive as data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+_EXEMPT_PACKAGES = ("platform", "analysis")
+
+
+@rule
+class WallClockRule(Rule):
+    """Flags clock reads outside the platform/ runtime layer."""
+
+    rule_id = "SL004"
+    description = (
+        "wall-clock read in an algorithm module; timestamps must be event "
+        "time passed in by the caller (only platform/ may read the clock)"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if any(ctx.in_package(pkg) for pkg in _EXEMPT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call_target(node.func)
+            if target in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"{target}() read in an algorithm module; accept the "
+                    "timestamp as a parameter so replay is deterministic",
+                )

@@ -1,0 +1,87 @@
+"""SL005 — bare/overbroad ``except`` that swallows exceptions.
+
+In the executor and ack paths an exception *is* the failure signal: the
+acker times the tuple tree out, replays from the spout, and at-least-once
+semantics do the rest. A handler that catches everything and does nothing
+converts a recoverable failure into silent data loss. Flags:
+
+* bare ``except:`` anywhere (it even catches ``KeyboardInterrupt``);
+* ``except Exception`` / ``except BaseException`` whose body is only
+  ``pass`` / ``...`` / ``continue`` — i.e. the exception is dropped on the
+  floor with no handling, logging, or re-raise.
+
+Handlers with real recovery logic (supervision restarts, fault-injection
+accounting) are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    names: list[ast.expr] = []
+    if t is None:
+        return True
+    if isinstance(t, ast.Tuple):
+        names = list(t.elts)
+    else:
+        names = [t]
+    for n in names:
+        name = n.attr if isinstance(n, ast.Attribute) else (
+            n.id if isinstance(n, ast.Name) else None
+        )
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _body_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing with the exception."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / `...`
+        return False
+    return True
+
+
+@rule
+class SwallowedExceptionRule(Rule):
+    """Flags bare excepts and broad handlers with do-nothing bodies."""
+
+    rule_id = "SL005"
+    description = (
+        "bare or overbroad except whose body discards the exception; "
+        "failures must propagate so ack/replay can recover the tuple"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "bare except: catches everything including "
+                    "KeyboardInterrupt/SystemExit; name the exception types",
+                )
+            elif _catches_broad(node) and _body_swallows(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "except Exception with an empty body silently swallows "
+                    "failures; handle, log, or re-raise so replay can fire",
+                )

@@ -1,0 +1,125 @@
+"""SL006 — concrete synopses missing from the name registry.
+
+The registry (``repro/core/registry.py``) is how configuration-driven
+systems — the pipeline DSL, the Lambda speed layer, benchmark sweeps —
+instantiate sketches by name. A synopsis that never gets registered is
+invisible to all of them, and the gap only surfaces when someone's config
+fails at runtime. This project-scoped rule rebuilds the class hierarchy
+across the whole scanned tree, finds every *concrete* transitive subclass
+of ``SynopsisBase`` (no ``@abstractmethod`` members, public name), and
+reports the ones the registry module never mentions.
+
+Registration is detected syntactically: the class name must appear
+somewhere in ``core/registry.py`` (an import, a ``builtins`` table entry,
+or a ``register(...)`` call all count). When the scanned tree contains no
+``core/registry.py`` the rule stays silent — there is nothing to drift
+from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_BASE_NAME = "SynopsisBase"
+_REGISTRY_SUFFIX = "core/registry.py"
+
+
+class _ClassInfo:
+    __slots__ = ("name", "ctx", "lineno", "col", "bases", "abstract")
+
+    def __init__(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        self.name = node.name
+        self.ctx = ctx
+        self.lineno = node.lineno
+        self.col = node.col_offset
+        self.bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                self.bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                self.bases.append(base.attr)
+        self.abstract = _declares_abstract(node)
+
+
+def _declares_abstract(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in item.decorator_list:
+                name = deco.attr if isinstance(deco, ast.Attribute) else (
+                    deco.id if isinstance(deco, ast.Name) else None
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+def _referenced_names(tree: ast.Module) -> set[str]:
+    """Names the registry module actually *uses* (not merely imports).
+
+    An import binds a name but registers nothing; the class has to appear
+    in an expression — a builtins-table value, a ``register(...)`` call —
+    to count. This is what catches the imported-but-never-registered case.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+@rule
+class RegistryDriftRule(Rule):
+    """Cross-checks the class hierarchy against core/registry.py."""
+
+    rule_id = "SL006"
+    description = (
+        "concrete SynopsisBase subclass never registered in core/registry; "
+        "config-driven systems cannot construct it by name"
+    )
+    scope = "project"
+
+    def check_project(self, ctxs: Sequence[ModuleContext]) -> Iterator[Finding]:
+        registry_ctx = next(
+            (c for c in ctxs if c.relpath.endswith(_REGISTRY_SUFFIX)), None
+        )
+        if registry_ctx is None:
+            return
+
+        classes: dict[str, _ClassInfo] = {}
+        for ctx in ctxs:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, _ClassInfo(node, ctx))
+
+        def derives(name: str, seen: frozenset[str] = frozenset()) -> bool:
+            if name == _BASE_NAME:
+                return True
+            if name in seen or name not in classes:
+                return False
+            return any(
+                derives(b, seen | {name}) for b in classes[name].bases
+            )
+
+        registered = _referenced_names(registry_ctx.tree)
+        for info in classes.values():
+            if info.name == _BASE_NAME or info.name.startswith("_"):
+                continue
+            if info.abstract or not derives(info.name):
+                continue
+            if info.name in registered:
+                continue
+            yield self.finding(
+                info.ctx,
+                info.lineno,
+                info.col,
+                f"synopsis {info.name!r} is never registered in "
+                f"{registry_ctx.relpath}; add it to the builtins table or "
+                "suppress if it is internal",
+            )

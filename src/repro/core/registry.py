@@ -44,8 +44,60 @@ def _register_builtins() -> None:
         PageHinkley,
         RollingZScore,
         SlidingMAD,
+        SubspaceTracker,
         WindowKLDetector,
     )
+    from repro.clustering import CluStream, OnlineKMeans, StreamingKMedian
+    from repro.core.summary import StreamSummary
+    from repro.correlation import (
+        CorrelationSketch,
+        LagCorrelator,
+        StreamingCorrelation,
+    )
+    from repro.filtering import RetouchedBloomFilter
+    from repro.frequency import HierarchicalHeavyHitters
+    from repro.graphs import (
+        ApproxPathOracle,
+        DynamicGraph,
+        EdgeSamplingSparsifier,
+        GreedyMatching,
+        StreamingConnectivity,
+        StreamingRandomWalker,
+        StreamingSpanner,
+        TriangleCounter,
+        WeightedGreedyMatching,
+    )
+    from repro.histograms import (
+        EndBiasedHistogram,
+        EquiWidthHistogram,
+        StreamingVOptimal,
+        WaveletHistogram,
+    )
+    from repro.inversions import InversionEstimator
+    from repro.ml import (
+        HoeffdingTree,
+        OnlineLogisticRegression,
+        PassiveAggressiveRegressor,
+        StreamingNaiveBayes,
+    )
+    from repro.moments import FkEstimator
+    from repro.prediction import (
+        HoltWinters,
+        KalmanFilter,
+        LocalTrendFilter,
+        OnlineAR,
+        UnscentedKalmanFilter,
+    )
+    from repro.quantiles import Frugal2U, SlidingWindowQuantiles
+    from repro.sampling import (
+        AlgorithmLSampler,
+        ChainSampler,
+        ExpJSampler,
+        PrioritySampler,
+    )
+    from repro.subsequences import ApproxLISTracker, LISTracker, WindowedLCS
+    from repro.temporal import MotifDetector, SequenceMiner, SpringMatcher
+    from repro.windowing import DecayedCounter, SignificantOneCounter
     from repro.cardinality import (
         FlajoletMartin,
         HyperLogLog,
@@ -129,6 +181,58 @@ def _register_builtins() -> None:
         "weighted_reservoir": WeightedReservoirSampler,
         "windowed_topk": WindowedTopK,
         "zscore": RollingZScore,
+        # -- every concrete synopsis below is registered so config-driven
+        # systems (pipeline DSL, Lambda speed layer, sweeps) can build it
+        # by name; the SL006 streamlint rule keeps this table exhaustive.
+        "algorithm_l": AlgorithmLSampler,
+        "approx_lis": ApproxLISTracker,
+        "ar": OnlineAR,
+        "chain_sampler": ChainSampler,
+        "clustream": CluStream,
+        "connectivity": StreamingConnectivity,
+        "correlation": StreamingCorrelation,
+        "correlation_sketch": CorrelationSketch,
+        "decayed_counter": DecayedCounter,
+        "dynamic_graph": DynamicGraph,
+        "endbiased_histogram": EndBiasedHistogram,
+        "equiwidth_histogram": EquiWidthHistogram,
+        "expj": ExpJSampler,
+        "fk": FkEstimator,
+        "frugal2u": Frugal2U,
+        "hhh": HierarchicalHeavyHitters,
+        "hoeffding_tree": HoeffdingTree,
+        "holt_winters": HoltWinters,
+        "inversions": InversionEstimator,
+        "kalman": KalmanFilter,
+        "kmedian": StreamingKMedian,
+        "lag_correlator": LagCorrelator,
+        "lis": LISTracker,
+        "local_trend": LocalTrendFilter,
+        "matching": GreedyMatching,
+        "motif": MotifDetector,
+        "naive_bayes": StreamingNaiveBayes,
+        "online_kmeans": OnlineKMeans,
+        "online_logreg": OnlineLogisticRegression,
+        "passive_aggressive": PassiveAggressiveRegressor,
+        "path_oracle": ApproxPathOracle,
+        "priority_sampler": PrioritySampler,
+        "qdigest": QDigest,
+        "random_walk": StreamingRandomWalker,
+        "retouched_bloom": RetouchedBloomFilter.for_capacity,
+        "sequences": SequenceMiner,
+        "significant_one": SignificantOneCounter,
+        "spanner": StreamingSpanner,
+        "sparsifier": EdgeSamplingSparsifier,
+        "spring": SpringMatcher,
+        "subspace": SubspaceTracker,
+        "summary": StreamSummary,
+        "triangles": TriangleCounter,
+        "ukf": UnscentedKalmanFilter,
+        "voptimal_histogram": StreamingVOptimal,
+        "wavelet_histogram": WaveletHistogram,
+        "weighted_matching": WeightedGreedyMatching,
+        "window_quantiles": SlidingWindowQuantiles,
+        "windowed_lcs": WindowedLCS,
     }
     for name, factory in builtins.items():
         register(name, factory)

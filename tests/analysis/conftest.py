@@ -1,0 +1,42 @@
+"""Shared fixtures for the streamlint test suite.
+
+``lint`` writes a dict of ``relpath -> source`` fixture files into a tmp
+tree and runs the engine over it, optionally narrowed to one rule — every
+rule test builds on it with one triggering and one clean snippet.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write fixture modules and lint them: ``lint({"mod.py": src}, select=["SL001"])``."""
+
+    def _lint(files: dict[str, str], select=None, ignore=None):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return analyze_paths([tmp_path], select=select, ignore=ignore)
+
+    return _lint
+
+
+@pytest.fixture
+def rule_ids(lint):
+    """Like ``lint`` but returns just the sorted rule-id list of findings."""
+
+    def _rule_ids(files: dict[str, str], select=None):
+        return sorted(f.rule_id for f in lint(files, select=select))
+
+    return _rule_ids
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]

@@ -1,0 +1,38 @@
+"""Text and JSON reporters."""
+
+import json
+
+from repro.analysis import Finding, Severity
+from repro.analysis.reporters import render_json, render_text
+
+_FINDINGS = [
+    Finding("a.py", 1, 0, "SL001", Severity.ERROR, "global rng"),
+    Finding("a.py", 5, 4, "SL003", Severity.ERROR, "mutable default"),
+]
+
+
+class TestText:
+    def test_one_line_per_finding_plus_summary(self):
+        out = render_text(_FINDINGS)
+        lines = out.splitlines()
+        assert lines[0] == "a.py:1:0: SL001 error: global rng"
+        assert lines[1] == "a.py:5:4: SL003 error: mutable default"
+        assert "2 finding(s)" in lines[-1]
+
+    def test_clean_message(self):
+        assert render_text([]) == "streamlint: clean"
+
+
+class TestJson:
+    def test_findings_and_summary(self):
+        doc = json.loads(render_json(_FINDINGS))
+        assert len(doc["findings"]) == 2
+        assert doc["findings"][0]["rule"] == "SL001"
+        assert doc["summary"]["total"] == 2
+        assert doc["summary"]["by_rule"] == {"SL001": 1, "SL003": 1}
+        assert doc["summary"]["by_severity"] == {"error": 2}
+
+    def test_empty_tree(self):
+        doc = json.loads(render_json([]))
+        assert doc["findings"] == []
+        assert doc["summary"]["total"] == 0

@@ -1,0 +1,60 @@
+"""SL001: unseeded / process-global randomness."""
+
+SELECT = ["SL001"]
+
+
+class TestTriggers:
+    def test_global_random_call(self, lint):
+        findings = lint(
+            {"algo.py": "import random\nx = random.random()\n"}, select=SELECT
+        )
+        assert [f.rule_id for f in findings] == ["SL001"]
+        assert findings[0].line == 2
+        assert "random.random" in findings[0].message
+
+    def test_numpy_global_via_alias(self, rule_ids):
+        src = "import numpy as np\nv = np.random.rand(4)\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL001"]
+
+    def test_from_import_randint(self, rule_ids):
+        src = "from random import randint\nn = randint(0, 9)\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL001"]
+
+    def test_unseeded_constructor(self, rule_ids):
+        src = "import random\nrng = random.Random()\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL001"]
+
+    def test_unseeded_default_rng(self, rule_ids):
+        src = "import numpy as np\ngen = np.random.default_rng()\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL001"]
+
+    def test_np_random_seed_global_mutation(self, rule_ids):
+        src = "import numpy as np\nnp.random.seed(7)\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL001"]
+
+
+class TestClean:
+    def test_make_rng_convention(self, rule_ids):
+        src = (
+            "from repro.common.rng import make_rng\n"
+            "def build(seed):\n"
+            "    return make_rng(seed)\n"
+        )
+        assert rule_ids({"algo.py": src}, select=SELECT) == []
+
+    def test_seeded_constructor_allowed(self, rule_ids):
+        src = "import random\nrng = random.Random(42)\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == []
+
+    def test_seeded_default_rng_allowed(self, rule_ids):
+        src = "import numpy as np\ngen = np.random.default_rng(seed=3)\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == []
+
+    def test_rng_module_itself_exempt(self, rule_ids):
+        src = "import random\n\ndef make_rng(seed):\n    return random.Random(seed)\n"
+        assert rule_ids({"common/rng.py": src}, select=SELECT) == []
+
+    def test_local_variable_named_random_not_confused(self, rule_ids):
+        # `random` here is a local object, not the stdlib module.
+        src = "random = object()\nx = getattr(random, 'random', None)\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == []

@@ -1,0 +1,88 @@
+"""SL002: the synopsis update/merge contract."""
+
+SELECT = ["SL002"]
+
+_PREAMBLE = "from repro.common.mergeable import SynopsisBase\n"
+
+
+class TestTriggers:
+    def test_missing_merge(self, lint):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+        )
+        findings = lint({"sketch.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL002"]
+        assert "neither _merge_into nor merge" in findings[0].message
+
+    def test_missing_update(self, lint):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def _merge_into(self, other):\n"
+            "        pass\n"
+        )
+        findings = lint({"sketch.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL002"]
+        assert "does not define update" in findings[0].message
+
+    def test_merge_override_without_compat_check(self, lint):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def merge(self, other):\n"
+            "        self.state += other.state\n"
+        )
+        findings = lint({"sketch.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL002"]
+        assert "_check_mergeable" in findings[0].message
+
+
+class TestClean:
+    def test_standard_shape(self, rule_ids):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def _merge_into(self, other):\n"
+            "        pass\n"
+        )
+        assert rule_ids({"sketch.py": src}, select=SELECT) == []
+
+    def test_merge_override_with_check_mergeable(self, rule_ids):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def merge(self, other):\n"
+            "        other = self._check_mergeable(other)\n"
+            "        self.state += other.state\n"
+        )
+        assert rule_ids({"sketch.py": src}, select=SELECT) == []
+
+    def test_merge_override_delegating_to_super(self, rule_ids):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def merge(self, other):\n"
+            "        super().merge(other)\n"
+            "        self.extra += other.extra\n"
+        )
+        assert rule_ids({"sketch.py": src}, select=SELECT) == []
+
+    def test_abstract_intermediate_exempt(self, rule_ids):
+        src = (
+            "import abc\n"
+            + _PREAMBLE
+            + "class Base(SynopsisBase):\n"
+            "    @abc.abstractmethod\n"
+            "    def query(self):\n"
+            "        ...\n"
+        )
+        assert rule_ids({"sketch.py": src}, select=SELECT) == []
+
+    def test_unrelated_class_ignored(self, rule_ids):
+        src = "class Plain:\n    pass\n"
+        assert rule_ids({"sketch.py": src}, select=SELECT) == []

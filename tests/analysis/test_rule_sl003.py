@@ -1,0 +1,50 @@
+"""SL003: mutable default arguments."""
+
+SELECT = ["SL003"]
+
+
+class TestTriggers:
+    def test_list_literal_default(self, lint):
+        findings = lint(
+            {"mod.py": "def f(items=[]):\n    return items\n"}, select=SELECT
+        )
+        assert [f.rule_id for f in findings] == ["SL003"]
+        assert "f()" in findings[0].message
+
+    def test_dict_literal_default(self, rule_ids):
+        assert rule_ids({"mod.py": "def f(table={}):\n    pass\n"}, select=SELECT) == [
+            "SL003"
+        ]
+
+    def test_constructor_call_default(self, rule_ids):
+        assert rule_ids(
+            {"mod.py": "def f(seen=set()):\n    pass\n"}, select=SELECT
+        ) == ["SL003"]
+
+    def test_collections_deque_default(self, rule_ids):
+        src = "import collections\ndef f(q=collections.deque()):\n    pass\n"
+        assert rule_ids({"mod.py": src}, select=SELECT) == ["SL003"]
+
+    def test_keyword_only_default(self, rule_ids):
+        src = "def f(*, buckets=[]):\n    pass\n"
+        assert rule_ids({"mod.py": src}, select=SELECT) == ["SL003"]
+
+    def test_method_default(self, rule_ids):
+        src = "class C:\n    def m(self, xs=[]):\n        pass\n"
+        assert rule_ids({"mod.py": src}, select=SELECT) == ["SL003"]
+
+
+class TestClean:
+    def test_none_sentinel(self, rule_ids):
+        src = (
+            "def f(items=None):\n"
+            "    items = [] if items is None else items\n"
+            "    return items\n"
+        )
+        assert rule_ids({"mod.py": src}, select=SELECT) == []
+
+    def test_immutable_defaults(self, rule_ids):
+        src = "def f(n=3, name='x', pair=(1, 2), flag=frozenset()):\n    pass\n"
+        # frozenset() is immutable but spelled as a call; ensure tuple/str/int
+        # at least stay clean and frozenset is not in the mutable table.
+        assert rule_ids({"mod.py": src}, select=SELECT) == []

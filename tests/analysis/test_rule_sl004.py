@@ -1,0 +1,41 @@
+"""SL004: wall-clock reads outside platform/."""
+
+SELECT = ["SL004"]
+
+
+class TestTriggers:
+    def test_time_time_in_algorithm_module(self, lint):
+        src = "import time\nstamp = time.time()\n"
+        findings = lint({"windowing/decay.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL004"]
+        assert "time.time" in findings[0].message
+
+    def test_datetime_now(self, rule_ids):
+        src = "import datetime\nnow = datetime.datetime.now()\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL004"]
+
+    def test_from_import_datetime_now(self, rule_ids):
+        src = "from datetime import datetime\nnow = datetime.now()\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL004"]
+
+    def test_perf_counter_from_import(self, rule_ids):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == ["SL004"]
+
+
+class TestClean:
+    def test_platform_layer_may_read_clock(self, rule_ids):
+        src = "import time\nstarted = time.perf_counter()\n"
+        assert rule_ids({"platform/executor.py": src}, select=SELECT) == []
+
+    def test_event_time_parameter(self, rule_ids):
+        src = (
+            "def update(self, item, timestamp):\n"
+            "    self.last_seen = timestamp\n"
+        )
+        assert rule_ids({"windowing/session.py": src}, select=SELECT) == []
+
+    def test_unrelated_time_attribute(self, rule_ids):
+        # an object attribute called .time() is not the stdlib clock
+        src = "def f(event):\n    return event.time()\n"
+        assert rule_ids({"algo.py": src}, select=SELECT) == []

@@ -1,0 +1,69 @@
+"""SL005: bare/overbroad except that swallows exceptions."""
+
+SELECT = ["SL005"]
+
+
+class TestTriggers:
+    def test_bare_except(self, lint):
+        src = (
+            "def deliver(tup):\n"
+            "    try:\n"
+            "        process(tup)\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        findings = lint({"platform/executor.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL005"]
+        assert "bare except" in findings[0].message
+
+    def test_broad_except_swallowing(self, lint):
+        src = (
+            "def ack(msg_id):\n"
+            "    try:\n"
+            "        finish(msg_id)\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        findings = lint({"platform/ack.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL005"]
+        assert "swallows" in findings[0].message
+
+    def test_base_exception_in_tuple_swallowing(self, rule_ids):
+        src = (
+            "try:\n"
+            "    run()\n"
+            "except (ValueError, BaseException):\n"
+            "    ...\n"
+        )
+        assert rule_ids({"platform/executor.py": src}, select=SELECT) == ["SL005"]
+
+
+class TestClean:
+    def test_narrow_except(self, rule_ids):
+        src = (
+            "try:\n"
+            "    run()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert rule_ids({"platform/executor.py": src}, select=SELECT) == []
+
+    def test_broad_except_with_recovery_logic(self, rule_ids):
+        src = (
+            "def deliver(actor, msg):\n"
+            "    try:\n"
+            "        actor.receive(msg)\n"
+            "    except Exception:\n"
+            "        actor.pre_restart()\n"
+            "        restart(actor)\n"
+        )
+        assert rule_ids({"platform/actors.py": src}, select=SELECT) == []
+
+    def test_broad_except_reraising(self, rule_ids):
+        src = (
+            "try:\n"
+            "    run()\n"
+            "except Exception as exc:\n"
+            "    raise RuntimeError('bolt failed') from exc\n"
+        )
+        assert rule_ids({"platform/executor.py": src}, select=SELECT) == []

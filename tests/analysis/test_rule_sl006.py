@@ -1,0 +1,121 @@
+"""SL006: registry drift (concrete synopses the registry never mentions)."""
+
+SELECT = ["SL006"]
+
+_BASE = "from repro.common.mergeable import SynopsisBase\n"
+
+_SKETCH = _BASE + (
+    "class NewSketch(SynopsisBase):\n"
+    "    def update(self, item):\n"
+    "        pass\n"
+    "    def _merge_into(self, other):\n"
+    "        pass\n"
+)
+
+
+class TestTriggers:
+    def test_unregistered_synopsis_flagged(self, lint):
+        findings = lint(
+            {
+                "frequency/new_sketch.py": _SKETCH,
+                "core/registry.py": "_REGISTRY = {}\n",
+            },
+            select=SELECT,
+        )
+        assert [f.rule_id for f in findings] == ["SL006"]
+        assert "NewSketch" in findings[0].message
+        assert findings[0].path.endswith("new_sketch.py")
+
+    def test_import_alone_is_not_registration(self, rule_ids):
+        registry = "from repro.frequency.new_sketch import NewSketch\n_REGISTRY = {}\n"
+        assert rule_ids(
+            {
+                "frequency/new_sketch.py": _SKETCH,
+                "core/registry.py": registry,
+            },
+            select=SELECT,
+        ) == ["SL006"]
+
+    def test_indirect_subclass_flagged(self, rule_ids):
+        derived = _SKETCH + (
+            "class DerivedSketch(NewSketch):\n"
+            "    def query(self):\n"
+            "        return 0\n"
+        )
+        registry = (
+            "from repro.frequency.new_sketch import NewSketch\n"
+            "TABLE = {'new': NewSketch}\n"
+        )
+        assert rule_ids(
+            {
+                "frequency/new_sketch.py": derived,
+                "core/registry.py": registry,
+            },
+            select=SELECT,
+        ) == ["SL006"]  # only DerivedSketch drifts
+
+
+class TestClean:
+    def test_registered_by_table_entry(self, rule_ids):
+        registry = (
+            "from repro.frequency.new_sketch import NewSketch\n"
+            "TABLE = {'new_sketch': NewSketch}\n"
+        )
+        assert (
+            rule_ids(
+                {
+                    "frequency/new_sketch.py": _SKETCH,
+                    "core/registry.py": registry,
+                },
+                select=SELECT,
+            )
+            == []
+        )
+
+    def test_registered_via_classmethod_factory(self, rule_ids):
+        registry = (
+            "from repro.frequency.new_sketch import NewSketch\n"
+            "TABLE = {'new_sketch': NewSketch.from_error}\n"
+        )
+        assert (
+            rule_ids(
+                {
+                    "frequency/new_sketch.py": _SKETCH,
+                    "core/registry.py": registry,
+                },
+                select=SELECT,
+            )
+            == []
+        )
+
+    def test_private_and_abstract_classes_exempt(self, rule_ids):
+        src = _BASE + (
+            "import abc\n"
+            "class _Internal(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def _merge_into(self, other):\n"
+            "        pass\n"
+            "class AbstractSketch(SynopsisBase):\n"
+            "    @abc.abstractmethod\n"
+            "    def query(self):\n"
+            "        ...\n"
+        )
+        assert (
+            rule_ids(
+                {"frequency/internal.py": src, "core/registry.py": "_REGISTRY = {}\n"},
+                select=SELECT,
+            )
+            == []
+        )
+
+    def test_silent_without_registry_module(self, rule_ids):
+        # fixture trees with no core/registry.py have nothing to drift from
+        assert rule_ids({"frequency/new_sketch.py": _SKETCH}, select=SELECT) == []
+
+    def test_real_tree_is_drift_free(self):
+        from repro.analysis import analyze_paths
+        from tests.analysis.conftest import REPO_ROOT
+
+        findings = analyze_paths([REPO_ROOT / "src" / "repro"], select=["SL006"])
+        assert findings == []

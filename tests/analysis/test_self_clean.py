@@ -1,0 +1,27 @@
+"""The self-clean gate: ``src/repro`` must stay streamlint-clean.
+
+This is the enforcement half of the tentpole — the rules exist so the
+tree *provably* keeps its reproducibility and scale-out conventions. Any
+new direct randomness, unmergeable synopsis, mutable default, algorithm
+wall-clock read, swallowed exception, or unregistered sketch fails this
+test with the exact ``file:line`` to fix (or to annotate with
+``# streamlint: disable=RULE`` plus a justification).
+"""
+
+from repro.analysis import analyze_paths
+from tests.analysis.conftest import REPO_ROOT
+
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_is_streamlint_clean():
+    findings = analyze_paths([SRC])
+    report = "\n".join(f.format() for f in findings)
+    assert not findings, f"streamlint findings in src/repro:\n{report}"
+
+
+def test_source_tree_scan_covers_whole_package():
+    # guard against the gate silently scanning the wrong directory
+    assert (SRC / "common" / "rng.py").exists()
+    assert (SRC / "core" / "registry.py").exists()
+    assert (SRC / "analysis" / "engine.py").exists()
