@@ -6,7 +6,9 @@ by the caller*, never by the machine's clock: a sketch that calls
 recompute-from-log recovery model (Lambda batch layer, at-least-once
 replay) and makes tests flaky. Wall-clock access is allowed only under
 ``platform/`` — the runtime layer that owns real time (latency metrics,
-timeouts) — everywhere else the timestamp must arrive as data.
+timeouts) — and under ``bench/``, where elapsed wall time is the
+*measurement itself* (the ingest-throughput harness); everywhere else the
+timestamp must arrive as data.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ _WALL_CLOCK_CALLS = {
     "datetime.date.today",
 }
 
-_EXEMPT_PACKAGES = ("platform", "analysis")
+_EXEMPT_PACKAGES = ("platform", "analysis", "bench")
 
 
 @rule

@@ -1,0 +1,33 @@
+"""Ingest-throughput benchmark suite (the ``BENCH_*.json`` trajectory).
+
+The paper's premise is that synopses must keep up with stream *velocity*;
+this package measures whether ours do. For every hot-path synopsis it
+times sequential ``update`` against batched ``update_many`` on seeded
+workloads, verifies the two paths leave **bit-identical state** (the
+batch-ingest invariant), and writes a machine-readable
+``BENCH_synopses.json`` so every future PR is measured against the same
+trajectory file.
+
+Run it with ``python -m repro.bench --out BENCH_synopses.json`` or the
+``repro-bench`` console script.
+"""
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.bench.runner import (
+    BENCH_SCHEMA,
+    BenchCase,
+    default_cases,
+    format_table,
+    run_bench,
+    validate_payload,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "default_cases",
+    "format_table",
+    "run_bench",
+    "state_fingerprint",
+    "validate_payload",
+]

@@ -1,0 +1,69 @@
+"""``repro-bench`` / ``python -m repro.bench`` entry point.
+
+Runs the ingest-throughput suite, prints the human-readable table and
+writes the schema-validated JSON payload. ``--smoke`` is the CI mode:
+a tiny workload that still exercises every case, verifies the batch-ingest
+invariant at runtime and validates the emitted schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.bench.runner import format_table, run_bench, validate_payload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Sequential vs. batched synopsis ingest throughput.",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_synopses.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--items",
+        type=int,
+        default=100_000,
+        help="items per workload (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed runs per path, best kept (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny workload, single repeat, schema check only",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite, print the table, write and validate the JSON."""
+    args = build_parser().parse_args(argv)
+    n_items = 2_000 if args.smoke else args.items
+    repeats = 1 if args.smoke else args.repeats
+    payload = run_bench(
+        n_items=n_items, repeats=repeats, seed=args.seed, smoke=args.smoke
+    )
+    validate_payload(payload)
+    print(format_table(payload))
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out_path} ({len(payload['results'])} cases, schema OK)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Deterministic structural fingerprints of synopsis state.
+
+The batch-ingest invariant says ``update_many(items)`` must leave a
+synopsis in **bit-identical state** to ``for item in items: update(item)``.
+"Bit-identical" needs an observable definition: this module renders an
+object's full state graph (``__dict__``/``__slots__``, numpy arrays down to
+their raw bytes, dicts in a canonical order) into a hashable tree, so two
+states are equivalent iff their fingerprints compare equal. Both the bench
+runner (runtime verification of every measured case) and the registry-wide
+equivalence tests consume it.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import random
+from typing import Any
+
+import numpy as np
+
+# Attributes whose concrete layout is an implementation accident rather
+# than synopsis state (e.g. heap orderings that admit several equivalent
+# shapes, monotonic tiebreak counters). Excluding them keeps the
+# fingerprint about *observable* state. Kept deliberately tiny.
+_VOLATILE_ATTRS = frozenset({"_heap", "_tiebreak"})
+
+
+def _float_key(value: float) -> tuple:
+    # NaN != NaN, so normalise it; otherwise keep the exact bit pattern
+    # via repr (repr round-trips floats in Python 3).
+    if math.isnan(value):
+        return ("float", "nan")
+    return ("float", repr(value))
+
+
+def state_fingerprint(obj: Any, *, _seen: frozenset[int] = frozenset()) -> Any:
+    """A canonical, comparable rendering of *obj*'s state graph.
+
+    * numpy arrays become ``(dtype, shape, raw bytes)`` — bit-identical
+      means identical here, which is the point;
+    * dicts are sorted by ``repr(key)`` so mixed-type key sets (ints and
+      strings in one counter table) have a total order;
+    * ``random.Random`` / numpy ``Generator`` collapse to their internal
+      state so RNG position participates in equivalence;
+    * callables and volatile attributes are skipped (extractor functions
+      are configuration, not stream state);
+    * cycles are cut by identity.
+    """
+    if id(obj) in _seen:
+        return ("cycle",)
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return (type(obj).__name__, obj)
+    if isinstance(obj, float):
+        return _float_key(obj)
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return ("ndarray", str(arr.dtype), arr.shape, arr.tobytes())
+    if isinstance(obj, np.generic):
+        return ("npscalar", str(obj.dtype), obj.tobytes())
+    seen = _seen | {id(obj)}
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(
+                (state_fingerprint(k, _seen=seen), state_fingerprint(v, _seen=seen))
+                for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+            ),
+        )
+    if isinstance(obj, (list, tuple, collections.deque)):
+        return (
+            type(obj).__name__,
+            tuple(state_fingerprint(it, _seen=seen) for it in obj),
+        )
+    if isinstance(obj, (set, frozenset)):
+        return (
+            "set",
+            tuple(
+                sorted(
+                    (state_fingerprint(it, _seen=seen) for it in obj),
+                    key=repr,
+                )
+            ),
+        )
+    if isinstance(obj, random.Random):
+        return ("random.Random", state_fingerprint(obj.getstate(), _seen=seen))
+    if isinstance(obj, np.random.Generator):
+        return ("np.Generator", repr(obj.bit_generator.state))
+    if callable(obj) and not hasattr(obj, "__dict__"):
+        return ("callable",)
+    state: dict[str, Any] = {}
+    if hasattr(obj, "__dict__"):
+        state.update(vars(obj))
+    for slot in getattr(type(obj), "__slots__", ()):
+        if hasattr(obj, slot):
+            state[slot] = getattr(obj, slot)
+    if not state:
+        if callable(obj):
+            return ("callable",)
+        return ("opaque", type(obj).__name__, repr(obj))
+    parts = tuple(
+        (name, state_fingerprint(value, _seen=seen))
+        for name, value in sorted(state.items())
+        if name not in _VOLATILE_ATTRS and not callable(value)
+    )
+    return (type(obj).__name__, parts)

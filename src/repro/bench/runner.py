@@ -1,0 +1,228 @@
+"""The ingest-throughput bench: sequential vs. batched synopsis update.
+
+For each :class:`BenchCase` the runner builds a seeded workload, times
+``update`` item-at-a-time and ``update_many`` over the same items (best of
+*repeats* fresh runs each), then verifies the two final states are
+bit-identical via :func:`repro.bench.fingerprint.state_fingerprint`. The
+payload is schema-tagged (``repro.bench/v1``) so the committed
+``BENCH_synopses.json`` forms a comparable trajectory across PRs.
+
+This module may read the wall clock: it *is* the measurement harness, the
+one place where elapsed real time is the subject rather than a hidden
+input (see SL004's exemption for ``repro.bench``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.common.exceptions import ParameterError
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+_RESULT_KEYS = frozenset(
+    {
+        "synopsis",
+        "workload",
+        "n_items",
+        "seq_seconds",
+        "batch_seconds",
+        "seq_items_per_s",
+        "batch_items_per_s",
+        "speedup",
+        "equivalent",
+    }
+)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One measured synopsis configuration.
+
+    ``factory`` builds a fresh synopsis per timed run; ``make_items(n,
+    seed)`` materialises the seeded workload both ingest paths consume.
+    """
+
+    name: str
+    factory: Callable[[], Any]
+    workload: str
+    make_items: Callable[[int, int], list]
+
+
+def _zipf_items(n: int, seed: int) -> list:
+    from repro.workloads.text import zipf_stream
+
+    return list(zipf_stream(n, universe=50_000, skew=1.1, seed=seed))
+
+
+def default_cases() -> list[BenchCase]:
+    """Every hot-path synopsis with a vectorized ``update_many``."""
+    from repro.cardinality.hyperloglog import HyperLogLog
+    from repro.cardinality.sliding_hll import SlidingHyperLogLog
+    from repro.core.summary import StreamSummary
+    from repro.filtering.bloom import BloomFilter
+    from repro.filtering.counting_bloom import CountingBloomFilter
+    from repro.filtering.partitioned import PartitionedBloomFilter
+    from repro.frequency.count_min import CountMinSketch
+    from repro.frequency.count_sketch import CountSketch
+    from repro.frequency.lossy_counting import LossyCounting
+    from repro.frequency.misra_gries import MisraGries
+    from repro.frequency.space_saving import SpaceSaving
+
+    def summary() -> StreamSummary:
+        return StreamSummary(
+            uniques=HyperLogLog(precision=12),
+            topk=SpaceSaving(256),
+            freq=CountMinSketch(width=2048, depth=4),
+        )
+
+    zipf = _zipf_items
+    return [
+        BenchCase("count_min", lambda: CountMinSketch(2048, 4), "zipf", zipf),
+        BenchCase(
+            "count_min_conservative",
+            lambda: CountMinSketch(2048, 4, conservative=True),
+            "zipf",
+            zipf,
+        ),
+        BenchCase("count_sketch", lambda: CountSketch(2048, 4), "zipf", zipf),
+        BenchCase("bloom", lambda: BloomFilter(1 << 20, 7), "zipf", zipf),
+        BenchCase(
+            "counting_bloom", lambda: CountingBloomFilter(1 << 18, 5), "zipf", zipf
+        ),
+        BenchCase(
+            "partitioned_bloom",
+            lambda: PartitionedBloomFilter(slice_bits=17, k=5),
+            "zipf",
+            zipf,
+        ),
+        BenchCase("hyperloglog", lambda: HyperLogLog(precision=14), "zipf", zipf),
+        BenchCase(
+            "sliding_hll", lambda: SlidingHyperLogLog(precision=12), "zipf", zipf
+        ),
+        BenchCase("space_saving", lambda: SpaceSaving(256), "zipf", zipf),
+        BenchCase("misra_gries", lambda: MisraGries(256), "zipf", zipf),
+        BenchCase("lossy_counting", lambda: LossyCounting(0.001), "zipf", zipf),
+        BenchCase("stream_summary", summary, "zipf", zipf),
+    ]
+
+
+def _time_ingest(
+    factory: Callable[[], Any], items: list, repeats: int, batched: bool
+) -> tuple[float, Any]:
+    """Best-of-*repeats* ingest time; returns (seconds, last synopsis)."""
+    best = float("inf")
+    synopsis: Any = None
+    for __ in range(repeats):
+        synopsis = factory()
+        if batched:
+            start = time.perf_counter()
+            synopsis.update_many(items)
+            elapsed = time.perf_counter() - start
+        else:
+            update = synopsis.update
+            start = time.perf_counter()
+            for item in items:
+                update(item)
+            elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, synopsis
+
+
+def run_bench(
+    cases: list[BenchCase] | None = None,
+    n_items: int = 100_000,
+    repeats: int = 3,
+    seed: int = 7,
+    smoke: bool = False,
+) -> dict:
+    """Run every case and return the schema-tagged payload."""
+    if n_items <= 0:
+        raise ParameterError("n_items must be positive")
+    if repeats <= 0:
+        raise ParameterError("repeats must be positive")
+    cases = default_cases() if cases is None else list(cases)
+    results = []
+    for case in cases:
+        items = case.make_items(n_items, seed)
+        seq_seconds, seq_synopsis = _time_ingest(
+            case.factory, items, repeats, batched=False
+        )
+        batch_seconds, batch_synopsis = _time_ingest(
+            case.factory, items, repeats, batched=True
+        )
+        equivalent = state_fingerprint(seq_synopsis) == state_fingerprint(
+            batch_synopsis
+        )
+        results.append(
+            {
+                "synopsis": case.name,
+                "workload": case.workload,
+                "n_items": len(items),
+                "seq_seconds": seq_seconds,
+                "batch_seconds": batch_seconds,
+                "seq_items_per_s": len(items) / seq_seconds,
+                "batch_items_per_s": len(items) / batch_seconds,
+                "speedup": seq_seconds / batch_seconds,
+                "equivalent": equivalent,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "n_items": n_items,
+            "repeats": repeats,
+            "seed": seed,
+            "smoke": smoke,
+        },
+        "results": results,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless *payload* matches ``repro.bench/v1``."""
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a dict")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"schema must be {BENCH_SCHEMA!r}")
+    config = payload.get("config")
+    if not isinstance(config, dict) or not {
+        "n_items",
+        "repeats",
+        "seed",
+        "smoke",
+    } <= set(config):
+        raise ValueError("config must carry n_items/repeats/seed/smoke")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("results must be a non-empty list")
+    for entry in results:
+        if not isinstance(entry, dict) or set(entry) != _RESULT_KEYS:
+            raise ValueError(f"bad result keys: {sorted(entry)}")
+        for key in ("seq_seconds", "batch_seconds", "speedup"):
+            if not (isinstance(entry[key], (int, float)) and entry[key] > 0):
+                raise ValueError(f"{entry['synopsis']}: {key} must be positive")
+        if entry["equivalent"] is not True:
+            raise ValueError(
+                f"{entry['synopsis']}: batch ingest diverged from sequential"
+            )
+
+
+def format_table(payload: dict) -> str:
+    """Render the payload as an aligned human-readable table."""
+    header = (
+        f"{'synopsis':<24} {'items':>8} {'seq it/s':>12} "
+        f"{'batch it/s':>12} {'speedup':>8}  equal"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in payload["results"]:
+        lines.append(
+            f"{entry['synopsis']:<24} {entry['n_items']:>8} "
+            f"{entry['seq_items_per_s']:>12,.0f} "
+            f"{entry['batch_items_per_s']:>12,.0f} "
+            f"{entry['speedup']:>7.2f}x  {'yes' if entry['equivalent'] else 'NO'}"
+        )
+    return "\n".join(lines)

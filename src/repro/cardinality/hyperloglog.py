@@ -15,12 +15,12 @@ window can be combined losslessly — the property that makes it the default
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.common.exceptions import ParameterError
-from repro.common.hashing import HashFamily
+from repro.common.hashing import HashFamily, bit_length64
 from repro.common.mergeable import SynopsisBase
 from repro.common.serialization import dump_state, load_state
 
@@ -62,6 +62,24 @@ class HyperLogLog(SynopsisBase):
         rank = (width - rest.bit_length() + 1) if rest else (width + 1)
         if rank > self._registers[bucket]:
             self._registers[bucket] = rank
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest: hash once per item, ``np.maximum.at`` on registers.
+
+        Bit-identical to sequential updates — register maxima commute, and
+        the vectorized rank computation (:func:`bit_length64`) is exact over
+        the full 64-bit hash range.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        hashes = self.family.hash_batch(items, 1)[:, 0]  # (n,) uint64
+        buckets = (hashes & np.uint64(self.m - 1)).astype(np.intp)
+        rest = hashes >> np.uint64(self.precision)
+        width = 64 - self.precision
+        ranks = np.where(rest > 0, width + 1 - bit_length64(rest), width + 1)
+        np.maximum.at(self._registers, buckets, ranks.astype(np.uint8))
+        self.count += len(items)
 
     def _raw_estimate(self) -> float:
         inv_sum = float(np.sum(2.0 ** (-self._registers.astype(np.float64))))

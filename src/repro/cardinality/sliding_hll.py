@@ -10,12 +10,12 @@ dropped, keeping the list short (O(log of window count) expected).
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.common.exceptions import ParameterError
-from repro.common.hashing import HashFamily
+from repro.common.hashing import HashFamily, bit_length64
 from repro.common.mergeable import SynopsisBase
 from repro.cardinality.hyperloglog import _alpha
 
@@ -60,6 +60,33 @@ class SlidingHyperLogLog(SynopsisBase):
             (t, r) for t, r in lpfm if r > rank and t > cutoff
         ]
         self._lpfm[bucket].append((timestamp, rank))
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest: hashes, buckets and ranks come from one vectorized
+        pass; the (inherently order-dependent) LPFM edits then replay
+        per item, so the result is bit-identical to sequential updates
+        while the per-item Python hashing overhead is amortized away.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        hashes = self.family.hash_batch(items, 1)[:, 0]  # (n,) uint64
+        buckets = (hashes & np.uint64(self.m - 1)).astype(np.intp)
+        rest = hashes >> np.uint64(self.precision)
+        width = 64 - self.precision
+        ranks = np.where(rest > 0, width + 1 - bit_length64(rest), width + 1)
+        ts = self._last_ts + 1.0 if self._last_ts != float("-inf") else 0.0
+        horizon = self.horizon
+        lpfm_table = self._lpfm
+        for bucket, rank in zip(buckets.tolist(), ranks.tolist()):
+            cutoff = ts - horizon
+            lpfm_table[bucket] = [
+                (t, r) for t, r in lpfm_table[bucket] if r > rank and t > cutoff
+            ]
+            lpfm_table[bucket].append((ts, rank))
+            ts += 1.0
+        self._last_ts = ts - 1.0
+        self.count += len(items)
 
     def estimate(self, window: float | None = None, now: float | None = None) -> float:
         """Distinct count over ``(now - window, now]`` (defaults: full horizon)."""

@@ -84,10 +84,20 @@ class Pipeline:
         """Tumbling event-time windows over (timestamp, value) payloads."""
         return self._add("window", lambda: TumblingWindowBolt(size, agg))
 
-    def sketch(self, factory: Callable[[], Any], extract=None) -> "Pipeline":
+    def sketch(
+        self, factory: Callable[[], Any], extract=None, batch_size: int = 256
+    ) -> "Pipeline":
         """Feed payloads into a synopsis (terminal-ish; synopsis inspectable
-        after run via the returned executor)."""
-        return self._add("sketch", lambda: SynopsisBolt(factory, extract))
+        after run via the returned executor).
+
+        Tuples are micro-batched through ``synopsis.update_many`` every
+        *batch_size* payloads (drained at checkpoints and end-of-stream),
+        so array-backed sketches ingest at vectorized batch speed with
+        state identical to per-tuple updates.
+        """
+        return self._add(
+            "sketch", lambda: SynopsisBolt(factory, extract, batch_size=batch_size)
+        )
 
     def build(self) -> tuple:
         """Compile to ``(topology, sink_name)`` without running."""

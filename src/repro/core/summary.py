@@ -9,7 +9,7 @@ global one), and exposes each synopsis by name.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.common.exceptions import MergeError, ParameterError
 from repro.common.mergeable import SynopsisBase
@@ -37,12 +37,35 @@ class StreamSummary(SynopsisBase):
         unknown = set(self._extractors) - set(self._synopses)
         if unknown:
             raise ParameterError(f"extractors for unknown synopses: {sorted(unknown)}")
+        # Pre-bound fan-out plan: one (name, synopsis, extractor) triple per
+        # child, built once so the hot update path never does a dict ``.get``
+        # per synopsis per item.
+        self._plan: list[tuple[str, Any, Callable[[Any], Any] | None]] = [
+            (name, synopsis, self._extractors.get(name))
+            for name, synopsis in self._synopses.items()
+        ]
 
     def update(self, item: Any) -> None:
         self.count += 1
-        for name, synopsis in self._synopses.items():
-            extract = self._extractors.get(name)
+        for __, synopsis, extract in self._plan:
             synopsis.update(extract(item) if extract else item)
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Fan whole batches to each child synopsis.
+
+        Children are independent, so handing child A the full batch before
+        child B sees it leaves every child's state identical to the
+        item-at-a-time interleaving — while letting each child hit its own
+        vectorized ``update_many`` fast path.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        self.count += len(items)
+        for __, synopsis, extract in self._plan:
+            synopsis.update_many(
+                [extract(item) for item in items] if extract else items
+            )
 
     def __getitem__(self, name: str) -> Any:
         if name not in self._synopses:

@@ -9,7 +9,7 @@ hashing, so ``k`` probes cost two real hash evaluations.
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -58,6 +58,22 @@ class BloomFilter(SynopsisBase):
             self._bits[h % self.m] = True
 
     add = update
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch insert: two real hashes per item, one bulk bit-set.
+
+        Bit-identical to sequential inserts — bit-sets are idempotent and
+        order-free, so the whole ``(n, k)`` probe matrix is applied with a
+        single fancy-indexed assignment.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        probes = self.family.hashes_batch(items, self.k)  # (n, k) uint64
+        self._bits[(probes % np.uint64(self.m)).astype(np.intp).ravel()] = True
+        self.count += len(items)
+
+    add_many = update_many
 
     def contains(self, item: Any) -> bool:
         """True if *item* may be in the set (never false for inserted items)."""

@@ -10,7 +10,7 @@ at sensible loads: P[counter >= 16] is ~1e-15 per slot at optimal k).
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -59,6 +59,25 @@ class CountingBloomFilter(SynopsisBase):
                 self._counters[slot] += 1
 
     add = update
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch insert: bincount the probe slots, one saturating bulk add.
+
+        Bit-identical to sequential inserts: per-slot increments commute,
+        and a counter that would pass 255 under repeated ``+1`` ends at
+        exactly ``min(current + hits, 255)`` either way.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        probes = self.family.hashes_batch(items, self.k)  # (n, k) uint64
+        slots = (probes % np.uint64(self.m)).astype(np.intp).ravel()
+        hits = np.bincount(slots, minlength=self.m)
+        summed = self._counters.astype(np.int64) + hits
+        self._counters = np.minimum(summed, _SATURATED).astype(np.uint8)
+        self.count += len(items)
+
+    add_many = update_many
 
     def remove(self, item: Any) -> None:
         """Remove one previously inserted occurrence of *item*.

@@ -11,7 +11,7 @@ false-positive rate matches the classic filter asymptotically
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -54,6 +54,22 @@ class PartitionedBloomFilter(SynopsisBase):
             self._slices[i, h % self.slice_bits] = True
 
     add = update
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch insert: hash once per (item, slice), one bulk bit-set.
+
+        Bit-identical to sequential inserts (idempotent, order-free). Each
+        column of the ``(n, k)`` hash matrix indexes its own disjoint slice.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        hashes = self.family.hash_batch(items, self.k)  # (n, k) uint64
+        cols = (hashes % np.uint64(self.slice_bits)).astype(np.intp)
+        self._slices[np.arange(self.k)[None, :], cols] = True
+        self.count += len(items)
+
+    add_many = update_many
 
     def contains(self, item: Any) -> bool:
         """True if *item* may be in the set."""

@@ -13,7 +13,7 @@ streams at the same size — one of the ablations in the bench suite.
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -64,22 +64,48 @@ class CountMinSketch(SynopsisBase):
         if weight <= 0:
             raise ParameterError("weight must be positive")
         self.count += weight
-        cols = self._columns(item)
-        rows = range(self.depth)
+        cols = np.array(self._columns(item), dtype=np.intp)
+        rows = np.arange(self.depth)
         if self.conservative:
-            current = min(self._table[r, c] for r, c in zip(rows, cols))
-            target = current + weight
-            for r, c in zip(rows, cols):
-                if self._table[r, c] < target:
-                    self._table[r, c] = target
+            # One fancy-indexed gather/compare/scatter: raise every touched
+            # cell to (current row-minimum + weight), never lower one.
+            current = self._table[rows, cols]
+            target = current.min() + weight
+            self._table[rows, cols] = np.maximum(current, target)
         else:
-            for r, c in zip(rows, cols):
-                self._table[r, c] += weight
+            # One (row, col) pair per row -> no duplicate indices, so plain
+            # fancy-indexed += is a correct scatter here.
+            self._table[rows, cols] += weight
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest: hash once per (item, row), scatter with numpy.
+
+        Bit-identical to ``for x in items: self.update(x)`` — plain sketches
+        scatter all increments with ``np.add.at`` (duplicate cells
+        accumulate); conservative sketches replay items in order (the
+        conservative rule reads its own earlier writes) but still amortize
+        hashing and use the fancy-indexed per-item pass.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        hashes = self.family.hash_batch(items, self.depth)  # (n, depth) uint64
+        cols = (hashes % np.uint64(self.width)).astype(np.intp)
+        rows = np.arange(self.depth)
+        if self.conservative:
+            table = self._table
+            for item_cols in cols:
+                current = table[rows, item_cols]
+                target = current.min() + 1
+                table[rows, item_cols] = np.maximum(current, target)
+        else:
+            np.add.at(self._table, (rows[None, :], cols), 1)
+        self.count += len(items)
 
     def estimate(self, item: Any) -> int:
         """Frequency estimate (never undercounts)."""
-        cols = self._columns(item)
-        return int(min(self._table[r, c] for r, c in zip(range(self.depth), cols)))
+        cols = np.array(self._columns(item), dtype=np.intp)
+        return int(self._table[np.arange(self.depth), cols].min())
 
     def error_bound(self) -> float:
         """With prob 1-delta, overcount is below ``e/width * n``."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import statistics
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -65,6 +65,23 @@ class CountSketch(SynopsisBase):
         self.count += abs(weight)
         for r, (col, sign) in enumerate(self._cells(item)):
             self._table[r, col] += sign * weight
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest: hash once per (item, row), signed numpy scatter.
+
+        Bit-identical to sequential updates — signed increments commute, so
+        one ``np.add.at`` applies the whole batch.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        hashes = self.family.hash_batch(items, self.depth)  # (n, depth) uint64
+        cols = (hashes % np.uint64(self.width)).astype(np.intp)
+        signs = np.where(
+            (hashes >> np.uint64(33)) & np.uint64(1), np.int64(1), np.int64(-1)
+        )
+        np.add.at(self._table, (np.arange(self.depth)[None, :], cols), signs)
+        self.count += len(items)
 
     def estimate(self, item: Any) -> int:
         """Unbiased frequency estimate (median of signed rows)."""

@@ -14,7 +14,8 @@ The paper's "approximate frequency counts over data streams" citation.
 from __future__ import annotations
 
 import math
-from typing import Any, Hashable
+from collections import Counter
+from typing import Any, Hashable, Iterable
 
 from repro.common.exceptions import ParameterError
 from repro.common.mergeable import SynopsisBase
@@ -47,6 +48,37 @@ class LossyCounting(SynopsisBase):
             self._entries[item] = (1, bucket - 1)
         if self.count % self.bucket_width == 0:
             self._prune(bucket)
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest: fold bucket-aligned chunks with a Counter.
+
+        Within one bucket the order of arrivals is irrelevant — increments
+        commute, every new entry gets the same ``bucket - 1`` slack, and no
+        prune fires — so each chunk (cut at the next bucket boundary) folds
+        in as pre-aggregated weighted updates, with the boundary prune
+        replayed exactly where the sequential path would run it. The result
+        is bit-identical to ``for x in items: self.update(x)``.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        n = len(items)
+        width = self.bucket_width
+        entries = self._entries
+        start = 0
+        while start < n:
+            room = width - (self.count % width)
+            chunk = items[start : start + room]
+            self.count += len(chunk)
+            bucket = self.current_bucket
+            slack = bucket - 1
+            for item, weight in Counter(chunk).items():
+                entry = entries.get(item)
+                entries[item] = (
+                    (weight, slack) if entry is None else (entry[0] + weight, entry[1])
+                )
+            if self.count % width == 0:
+                self._prune(bucket)
+                entries = self._entries
+            start += room
 
     def _prune(self, bucket: int) -> None:
         self._entries = {

@@ -9,7 +9,8 @@ and mergeable [Agarwal et al. 2012].
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from collections import Counter
+from typing import Any, Hashable, Iterable
 
 from repro.common.exceptions import ParameterError
 from repro.common.mergeable import SynopsisBase
@@ -38,6 +39,49 @@ class MisraGries(SynopsisBase):
                 counters[key] -= 1
                 if counters[key] == 0:
                     del counters[key]
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest with :class:`collections.Counter` pre-aggregation.
+
+        When the batch's distinct items all fit in the counter budget no
+        decrement-all can fire at any point of the sequential replay, so
+        folding the pre-aggregated weights in is exactly equivalent
+        (increments commute, insertion order is irrelevant). Otherwise the
+        order-dependent sequential path runs, keeping equivalence bit-exact.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        counters = self._counters
+        room = self.k - len(counters)
+        if room == 0:
+            # Full table: every update must be a hit for the fold to be
+            # exact (a single miss fires decrement-all). The containment
+            # scan short-circuits at the first miss, so batches that must
+            # take the sequential path pay (almost) nothing first.
+            if all(item in counters for item in items):
+                for item, weight in Counter(items).items():
+                    counters[item] += weight
+                self.count += len(items)
+                return
+            update = self.update
+            for item in items:
+                update(item)
+            return
+        # Count fresh distinct items with an early abort: the moment the
+        # batch cannot fit, stop scanning and replay sequentially.
+        fresh: set = set()
+        for item in items:
+            if item not in counters and item not in fresh:
+                fresh.add(item)
+                if len(fresh) > room:
+                    update = self.update
+                    for it in items:
+                        update(it)
+                    return
+        for item, weight in Counter(items).items():
+            counters[item] = counters.get(item, 0) + weight
+        self.count += len(items)
 
     def estimate(self, item: Any) -> int:
         """Lower bound on the frequency of *item* (0 if not tracked)."""

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Hashable
+from collections import Counter
+from typing import Any, Hashable, Iterable
 
 from repro.common.exceptions import ParameterError, SerializationError
 from repro.common.mergeable import SynopsisBase
@@ -64,6 +65,48 @@ class SpaceSaving(SynopsisBase):
         self._counts[item] = cnt + weight
         self._errors[item] = cnt
         heapq.heappush(self._heap, (cnt + weight, next(self._tiebreak), item))
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Batch ingest with :class:`collections.Counter` pre-aggregation.
+
+        When the batch triggers no evictions (every distinct batch item is
+        already tracked or fits in the counter budget) the pre-aggregated
+        weighted fold is exactly equivalent to sequential updates:
+        increments commute and fresh items inherit error 0 either way. If
+        an eviction *could* occur, the order-dependent sequential path runs
+        instead, keeping the equivalence invariant bit-exact.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return
+        counts = self._counts
+        room = self.k - len(counts)
+        if room == 0:
+            # Saturated table: the fold is exact iff every batch item is
+            # already tracked. The containment scan short-circuits at the
+            # first fresh item, so a batch that must evict pays (almost)
+            # nothing before falling back to the sequential path.
+            if all(item in counts for item in items):
+                for item, weight in Counter(items).items():
+                    self.update_weighted(item, weight)
+                return
+            update = self.update
+            for item in items:
+                update(item)
+            return
+        # Count fresh distinct items with an early abort: the moment the
+        # batch cannot fit, stop scanning and replay sequentially.
+        fresh: set = set()
+        for item in items:
+            if item not in counts and item not in fresh:
+                fresh.add(item)
+                if len(fresh) > room:
+                    update = self.update
+                    for it in items:
+                        update(it)
+                    return
+        for item, weight in Counter(items).items():
+            self.update_weighted(item, weight)
 
     def estimate(self, item: Any) -> int:
         """Upper-bound estimate of the frequency of *item*."""

@@ -28,6 +28,11 @@ class TestClean:
         src = "import time\nstarted = time.perf_counter()\n"
         assert rule_ids({"platform/executor.py": src}, select=SELECT) == []
 
+    def test_bench_harness_may_read_clock(self, rule_ids):
+        # the throughput bench measures wall time by definition
+        src = "import time\nstart = time.perf_counter()\n"
+        assert rule_ids({"bench/runner.py": src}, select=SELECT) == []
+
     def test_event_time_parameter(self, rule_ids):
         src = (
             "def update(self, item, timestamp):\n"

@@ -1,0 +1,122 @@
+"""The bench suite itself: schema, equivalence verification, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    default_cases,
+    format_table,
+    run_bench,
+    state_fingerprint,
+    validate_payload,
+)
+from repro.bench.cli import main
+from repro.common.exceptions import ParameterError
+
+
+def _tiny_cases() -> list[BenchCase]:
+    from repro.frequency.count_min import CountMinSketch
+
+    return [
+        BenchCase(
+            "count_min",
+            lambda: CountMinSketch(64, 3),
+            "ints",
+            lambda n, seed: [i % 17 for i in range(n)],
+        )
+    ]
+
+
+def test_run_bench_payload_is_schema_valid_and_equivalent():
+    payload = run_bench(cases=_tiny_cases(), n_items=500, repeats=1, smoke=True)
+    validate_payload(payload)  # raises on any problem
+    assert payload["schema"] == BENCH_SCHEMA
+    (entry,) = payload["results"]
+    assert entry["synopsis"] == "count_min"
+    assert entry["n_items"] == 500
+    assert entry["equivalent"] is True
+    assert entry["speedup"] == pytest.approx(
+        entry["seq_seconds"] / entry["batch_seconds"]
+    )
+
+
+def test_default_cases_cover_the_hot_path_synopses():
+    names = {case.name for case in default_cases()}
+    assert {
+        "count_min",
+        "count_min_conservative",
+        "count_sketch",
+        "bloom",
+        "counting_bloom",
+        "partitioned_bloom",
+        "hyperloglog",
+        "sliding_hll",
+        "space_saving",
+        "misra_gries",
+        "lossy_counting",
+        "stream_summary",
+    } <= names
+
+
+def test_run_bench_rejects_bad_parameters():
+    with pytest.raises(ParameterError):
+        run_bench(cases=_tiny_cases(), n_items=0)
+    with pytest.raises(ParameterError):
+        run_bench(cases=_tiny_cases(), n_items=10, repeats=0)
+
+
+def test_validate_payload_rejects_divergence_and_bad_schema():
+    payload = run_bench(cases=_tiny_cases(), n_items=100, repeats=1)
+    broken = json.loads(json.dumps(payload))
+    broken["results"][0]["equivalent"] = False
+    with pytest.raises(ValueError, match="diverged"):
+        validate_payload(broken)
+    with pytest.raises(ValueError, match="schema"):
+        validate_payload({**payload, "schema": "repro.bench/v0"})
+    with pytest.raises(ValueError):
+        validate_payload({**payload, "results": []})
+
+
+def test_format_table_lists_every_case():
+    payload = run_bench(cases=_tiny_cases(), n_items=100, repeats=1)
+    table = format_table(payload)
+    assert "count_min" in table
+    assert "speedup" in table
+
+
+def test_cli_smoke_writes_validated_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_synopses.json"
+    assert main(["--smoke", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    validate_payload(payload)
+    assert payload["config"]["smoke"] is True
+    assert len(payload["results"]) == len(default_cases())
+    stdout = capsys.readouterr().out
+    assert "synopsis" in stdout and "speedup" in stdout
+
+
+def test_state_fingerprint_distinguishes_and_normalises():
+    import numpy as np
+
+    from repro.frequency.count_min import CountMinSketch
+
+    a = CountMinSketch(32, 2)
+    b = CountMinSketch(32, 2)
+    assert state_fingerprint(a) == state_fingerprint(b)
+    a.update("x")
+    assert state_fingerprint(a) != state_fingerprint(b)
+    b.update("x")
+    assert state_fingerprint(a) == state_fingerprint(b)
+    # Mixed-type dict keys have a total order; NaN equals itself.
+    assert state_fingerprint({1: "a", "1": "b"}) == state_fingerprint(
+        {"1": "b", 1: "a"}
+    )
+    assert state_fingerprint(float("nan")) == state_fingerprint(float("nan"))
+    arr = np.arange(4, dtype=np.int64)
+    assert state_fingerprint(arr) == state_fingerprint(arr.copy())
+    assert state_fingerprint(arr) != state_fingerprint(arr.astype(np.int32))

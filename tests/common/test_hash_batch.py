@@ -1,0 +1,113 @@
+"""``hash_batch`` / ``hashes_batch`` must equal the scalar paths exactly.
+
+The batch kernels change how hashes are computed (canonicalise once,
+pre-keyed blake2b states, distinct-value dedup) — never what they are.
+These tests pin the values bit-for-bit against :meth:`HashFamily.hash`
+and :meth:`HashFamily.hashes`, which is what keeps batch-filled sketches
+mergeable with tuple-at-a-time ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.common.hashing import HashFamily, bit_length64
+
+MIXED_ITEMS = [
+    "word",
+    "",
+    b"\x00\xff",
+    0,
+    -1,
+    2**70,
+    True,
+    False,
+    3.5,
+    float("inf"),
+    ("tuple", 1, 2.0),
+    "word",  # duplicate: exercises the dedup gather
+    None,
+]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 12345])
+@pytest.mark.parametrize("count", [1, 2, 5])
+def test_hash_batch_matches_scalar_hash_exactly(seed, count):
+    family = HashFamily(seed)
+    batch = family.hash_batch(MIXED_ITEMS, count)
+    assert batch.dtype == np.uint64
+    assert batch.shape == (len(MIXED_ITEMS), count)
+    for i, item in enumerate(MIXED_ITEMS):
+        for j in range(count):
+            assert int(batch[i, j]) == family.hash(item, j)
+
+
+@pytest.mark.parametrize("count", [1, 3, 11])
+def test_hashes_batch_matches_double_hashing_exactly(count):
+    family = HashFamily(7)
+    batch = family.hashes_batch(MIXED_ITEMS, count)
+    assert batch.dtype == np.uint64
+    for i, item in enumerate(MIXED_ITEMS):
+        assert [int(h) for h in batch[i]] == list(family.hashes(item, count))
+
+
+def test_hash_batch_duplicate_rows_are_identical():
+    family = HashFamily(3)
+    batch = family.hash_batch(["a", "b", "a", "a"], 4)
+    assert np.array_equal(batch[0], batch[2])
+    assert np.array_equal(batch[0], batch[3])
+    assert not np.array_equal(batch[0], batch[1])
+
+
+def test_hash_batch_empty_input():
+    batch = HashFamily(0).hash_batch([], 3)
+    assert batch.shape == (0, 3)
+    assert batch.dtype == np.uint64
+
+
+def test_hash_batch_rejects_nonpositive_count():
+    with pytest.raises(ParameterError):
+        HashFamily(0).hash_batch(["x"], 0)
+
+
+def test_hash_batch_families_with_different_seeds_differ():
+    a = HashFamily(1).hash_batch(["x", "y"], 2)
+    b = HashFamily(2).hash_batch(["x", "y"], 2)
+    assert not np.array_equal(a, b)
+
+
+def test_hash_batch_is_deterministic_across_calls():
+    family = HashFamily(42)
+    first = family.hash_batch(MIXED_ITEMS, 3)
+    second = family.hash_batch(list(MIXED_ITEMS), 3)
+    assert np.array_equal(first, second)
+
+
+def test_bit_length64_matches_int_bit_length_on_edge_cases():
+    values = [
+        0,
+        1,
+        2,
+        3,
+        2**32 - 1,
+        2**32,
+        2**53 - 1,
+        2**53,
+        2**53 + 1,
+        2**63 - 1,
+        2**63,
+        2**64 - 1,
+    ]
+    got = bit_length64(np.array(values, dtype=np.uint64))
+    assert [int(g) for g in got] == [v.bit_length() for v in values]
+
+
+def test_bit_length64_random_values():
+    rng = np.random.default_rng(5)
+    values = rng.integers(0, 2**63, size=1000, dtype=np.uint64) * np.uint64(2) + (
+        rng.integers(0, 2, size=1000, dtype=np.uint64)
+    )
+    got = bit_length64(values)
+    assert [int(g) for g in got] == [int(v).bit_length() for v in values]

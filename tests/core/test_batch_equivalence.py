@@ -1,0 +1,286 @@
+"""The batch-ingest invariant, enforced registry-wide.
+
+For **every** synopsis registered in :mod:`repro.core.registry`,
+``update_many(items)`` must leave the synopsis in bit-identical state to
+``for item in items: update(item)`` — whether the batch arrives whole or
+in ragged chunks. Synopses with vectorized fast paths (Count-Min, Bloom,
+HLL, ...) are exercised through them; everything else goes through the
+:class:`~repro.common.mergeable.SynopsisBase` default, so this suite also
+pins the protocol for future fast paths. A spec-coverage test fails the
+build when a new synopsis is registered without an equivalence entry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+import numpy as np
+import pytest
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.core import registry
+
+N_ITEMS = 256
+CHUNK = 7
+
+
+# -- seeded workloads --------------------------------------------------------
+
+
+def _tokens(n: int, rnd: random.Random) -> list:
+    # Quadratic skew: heavy repeats, like word frequencies.
+    return [f"t{int(rnd.random() ** 2 * 40)}" for __ in range(n)]
+
+
+def _distinct_tokens(n: int, rnd: random.Random) -> list:
+    # A cuckoo filter stores one fingerprint per occurrence, so heavy
+    # duplication overflows its buckets by design; feed it distinct keys.
+    out = [f"u{i}" for i in range(n)]
+    rnd.shuffle(out)
+    return out
+
+
+def _floats(n: int, rnd: random.Random) -> list:
+    return [rnd.gauss(0.0, 1.0) for __ in range(n)]
+
+
+def _unit(n: int, rnd: random.Random) -> list:
+    return [rnd.random() for __ in range(n)]
+
+
+def _pos_floats(n: int, rnd: random.Random) -> list:
+    return [1.0 + rnd.random() for __ in range(n)]
+
+
+def _bits(n: int, rnd: random.Random) -> list:
+    return [rnd.randint(0, 1) for __ in range(n)]
+
+
+def _qdigest_ints(n: int, rnd: random.Random) -> list:
+    return [rnd.randrange(60_000) for __ in range(n)]
+
+
+def _small_ints(n: int, rnd: random.Random) -> list:
+    return [rnd.randrange(50) for __ in range(n)]
+
+
+def _pairs(n: int, rnd: random.Random) -> list:
+    return [(rnd.gauss(0.0, 1.0), rnd.gauss(0.0, 1.0)) for __ in range(n)]
+
+
+def _edges(n: int, rnd: random.Random) -> list:
+    out = []
+    while len(out) < n:
+        u, v = rnd.randrange(30), rnd.randrange(30)
+        if u != v:
+            out.append((u, v))
+    return out
+
+
+def _weighted_edges(n: int, rnd: random.Random) -> list:
+    return [(u, v, rnd.random()) for u, v in _edges(n, rnd)]
+
+
+def _vec3(n: int, rnd: random.Random) -> list:
+    return [tuple(rnd.gauss(0.0, 1.0) for __ in range(3)) for __ in range(n)]
+
+
+def _labeled_vec3(n: int, rnd: random.Random) -> list:
+    return [(vec, rnd.randint(0, 1)) for vec in _vec3(n, rnd)]
+
+
+def _vec3_target(n: int, rnd: random.Random) -> list:
+    return [(vec, rnd.gauss(0.0, 1.0)) for vec in _vec3(n, rnd)]
+
+
+def _token_sets_labeled(n: int, rnd: random.Random) -> list:
+    return [
+        (
+            (f"w{rnd.randrange(20)}", f"w{rnd.randrange(20)}"),
+            rnd.randint(0, 1),
+        )
+        for __ in range(n)
+    ]
+
+
+def _key_events(n: int, rnd: random.Random) -> list:
+    return [(f"u{rnd.randrange(5)}", f"e{rnd.randrange(6)}") for __ in range(n)]
+
+
+def _sym_pairs(n: int, rnd: random.Random) -> list:
+    return [(f"x{rnd.randrange(6)}", f"y{rnd.randrange(6)}") for __ in range(n)]
+
+
+def _hhh_tuples(n: int, rnd: random.Random) -> list:
+    return [(f"a{rnd.randrange(4)}", f"b{rnd.randrange(8)}") for __ in range(n)]
+
+
+def _summary_params() -> dict:
+    from repro.cardinality.hyperloglog import HyperLogLog
+    from repro.frequency.space_saving import SpaceSaving
+
+    # Fresh children per instantiation — the two test instances must not
+    # share synopsis objects.
+    return {"uniques": HyperLogLog(precision=8), "topk": SpaceSaving(16)}
+
+
+def _kalman_params() -> dict:
+    eye = np.array([[1.0]])
+    return {"F": eye, "H": eye, "Q": eye * 1e-3, "R": eye * 0.5}
+
+
+def _ukf_params() -> dict:
+    eye = np.array([[1.0]])
+    return {
+        "f": lambda x: x,
+        "h": lambda x: x,
+        "Q": eye * 1e-3,
+        "R": eye * 0.5,
+        "x0": np.array([0.0]),
+    }
+
+
+# -- the spec: every registry name -> (params, workload) ---------------------
+
+Params = dict | Callable[[], dict]
+
+SPEC: dict[str, tuple[Params, Callable[[int, random.Random], list]]] = {
+    "algorithm_l": ({"k": 16}, _tokens),
+    "ams": ({}, _tokens),
+    "approx_lis": ({}, _floats),
+    "ar": ({}, _floats),
+    "biased_reservoir": ({"lam": 0.01}, _tokens),
+    "bloom": ({"capacity": 1024}, _tokens),
+    "chain_sampler": ({"k": 8, "window": 64}, _tokens),
+    "clustream": ({"dims": 3, "max_micro_clusters": 10}, _vec3),
+    "connectivity": ({}, _edges),
+    "correlation": ({}, _pairs),
+    "correlation_sketch": ({"window": 64, "d": 8}, _floats),
+    "count_min": ({"epsilon": 0.01}, _tokens),
+    "count_sketch": ({"epsilon": 0.01}, _tokens),
+    "counting_bloom": ({"capacity": 1024}, _tokens),
+    "cuckoo": ({"capacity": 1024}, _distinct_tokens),
+    "decayed_counter": ({"half_life": 10.0}, _unit),
+    "decayed_frequencies": ({"half_life": 10.0}, _tokens),
+    "dgim": ({"window": 64}, _bits),
+    "distinct_sampler": ({}, _tokens),
+    "dynamic_graph": ({}, _edges),
+    "eh_sum": ({"window": 64}, _small_ints),
+    "eh_variance": ({"window": 64}, _floats),
+    "endbiased_histogram": ({}, _tokens),
+    "equiwidth_histogram": ({"lo": -8.0, "hi": 8.0}, _floats),
+    "ewma": ({}, _floats),
+    "expj": ({"k": 8}, _tokens),
+    "extrema": ({"window": 64}, _floats),
+    "fk": ({"k": 2, "groups": 3, "per_group": 8}, _tokens),
+    "flajolet_martin": ({}, _tokens),
+    "frugal": ({}, _floats),
+    "frugal2u": ({}, _floats),
+    "gk": ({}, _floats),
+    "hhh": ({"levels": 2, "k": 32}, _hhh_tuples),
+    "hoeffding_tree": ({"dims": 3, "grace_period": 32}, _labeled_vec3),
+    "holt_winters": ({"period": 8}, _pos_floats),
+    "hstrees": ({"dims": 3, "n_trees": 5, "window": 64}, _vec3),
+    "hyperloglog": ({}, _tokens),
+    "inversions": ({"k": 64}, _floats),
+    "kalman": (_kalman_params, _floats),
+    "kll": ({"k": 32}, _floats),
+    "kmedian": ({"k": 3, "dims": 3, "buffer_size": 64}, _vec3),
+    "kmv": ({"k": 32}, _tokens),
+    "lag_correlator": ({"window": 64, "max_lag": 8}, _pairs),
+    "linear_counter": ({"m": 1024}, _tokens),
+    "lis": ({}, _floats),
+    "local_trend": ({}, _floats),
+    "loglog": ({}, _tokens),
+    "lossy_counting": ({"epsilon": 0.01}, _tokens),
+    "mad": ({"window": 64}, _floats),
+    "matching": ({}, _edges),
+    "misra_gries": ({"k": 16}, _tokens),
+    "motif": ({"window": 16, "segments": 4}, _floats),
+    "naive_bayes": ({}, _token_sets_labeled),
+    "online_kmeans": ({"k": 3, "dims": 3}, _vec3),
+    "online_logreg": ({"dims": 3}, _labeled_vec3),
+    "p2": ({}, _floats),
+    "page_hinkley": ({}, _floats),
+    "partitioned_bloom": ({"capacity": 1024}, _tokens),
+    "passive_aggressive": ({"dims": 3}, _vec3_target),
+    "path_oracle": ({}, _edges),
+    "priority_sampler": ({"k": 4, "horizon": 50.0}, _tokens),
+    "qdigest": ({}, _qdigest_ints),
+    "random_walk": ({}, _edges),
+    "reservoir": ({"k": 16}, _tokens),
+    "retouched_bloom": ({"capacity": 1024}, _tokens),
+    "scalable_bloom": ({"initial_capacity": 128}, _tokens),
+    "sequences": ({}, _key_events),
+    "significant_one": ({"window": 64}, _bits),
+    "sliding_hyperloglog": ({}, _tokens),
+    "space_saving": ({"k": 16}, _tokens),
+    "spanner": ({}, _edges),
+    "sparsifier": ({}, _edges),
+    "spring": ({"query": (0.2, 0.5, 0.8), "threshold": 1.0}, _unit),
+    "stable_bloom": ({"m": 1024}, _tokens),
+    "sticky_sampling": ({}, _tokens),
+    "subspace": ({"dims": 3}, _vec3),
+    "summary": (_summary_params, _tokens),
+    "tdigest": ({"buffer_size": 64}, _floats),
+    "triangles": ({"reservoir_size": 128}, _edges),
+    "ukf": (_ukf_params, _floats),
+    "voptimal_histogram": ({"lo": -8.0, "hi": 8.0, "resolution": 64}, _floats),
+    "wavelet_histogram": ({"lo": -8.0, "hi": 8.0, "resolution": 64}, _floats),
+    "weighted_matching": ({}, _weighted_edges),
+    "weighted_reservoir": ({"k": 8}, _tokens),
+    "window_kl": ({"reference": 100, "window": 50}, _floats),
+    "window_quantiles": ({"window": 64}, _floats),
+    "windowed_lcs": ({"window": 32}, _sym_pairs),
+    "windowed_topk": ({"window": 64, "k": 8}, _tokens),
+    "zscore": ({}, _floats),
+}
+
+
+def _build(name: str) -> Any:
+    params, __ = SPEC[name]
+    return registry.create(name, **(params() if callable(params) else dict(params)))
+
+
+def test_spec_covers_every_registered_synopsis():
+    """Registering a synopsis without an equivalence spec fails the build."""
+    assert set(SPEC) == set(registry.available())
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_update_many_is_bit_identical_to_sequential(name):
+    __, workload = SPEC[name]
+    items = workload(N_ITEMS, random.Random(1234))
+
+    sequential = _build(name)
+    for item in items:
+        sequential.update(item)
+
+    whole = _build(name)
+    whole.update_many(items)
+
+    chunked = _build(name)
+    for lo in range(0, len(items), CHUNK):
+        chunked.update_many(items[lo : lo + CHUNK])
+
+    want = state_fingerprint(sequential)
+    assert state_fingerprint(whole) == want, f"{name}: whole-batch state diverged"
+    assert state_fingerprint(chunked) == want, f"{name}: chunked-batch state diverged"
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_update_many_accepts_generators_and_empty(name):
+    """The protocol takes any iterable; empty input is a no-op."""
+    __, workload = SPEC[name]
+    items = workload(32, random.Random(99))
+
+    sequential = _build(name)
+    for item in items:
+        sequential.update(item)
+
+    lazy = _build(name)
+    lazy.update_many(iter(items))
+    lazy.update_many(iter(()))
+
+    assert state_fingerprint(lazy) == state_fingerprint(sequential)

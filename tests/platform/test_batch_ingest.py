@@ -1,0 +1,176 @@
+"""Batched synopsis ingest through the composition layers.
+
+The vectorized ``update_many`` fast paths only pay off if the layers that
+*feed* synopses hand them batches. These tests pin the batching behaviour
+of :class:`SynopsisBolt` (tuple-at-a-time executor, buffered micro-batches
+drained at checkpoints), ``Pipeline.sketch``, ``DStream.sketch`` (the
+discretized-stream executor feeds whole batch intervals) and
+``StreamSummary.update_many`` — and that in every case the resulting state
+is bit-identical to per-tuple ingest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.cardinality import HyperLogLog
+from repro.common.exceptions import ParameterError
+from repro.core.pipeline import Pipeline
+from repro.core.summary import StreamSummary
+from repro.frequency import CountMinSketch, SpaceSaving
+from repro.platform.faults import FaultInjector
+from repro.platform.microbatch import MicroBatchContext
+from repro.platform.operators import SynopsisBolt
+
+
+def _reference(items, factory=lambda: HyperLogLog(precision=10, seed=0)):
+    synopsis = factory()
+    for item in items:
+        synopsis.update(item)
+    return synopsis
+
+
+class TestSynopsisBoltBuffering:
+    def test_buffers_until_batch_size_then_drains(self):
+        bolt = SynopsisBolt(lambda: HyperLogLog(precision=10, seed=0), batch_size=4)
+        for i in range(3):
+            bolt.process((f"u{i}",), lambda *a: None)
+        assert bolt._synopsis.count == 0  # still buffered
+        bolt.process(("u3",), lambda *a: None)
+        assert bolt._synopsis.count == 4  # drained at batch_size
+
+    def test_synopsis_property_drains_pending_items(self):
+        bolt = SynopsisBolt(lambda: HyperLogLog(precision=10, seed=0), batch_size=100)
+        bolt.process(("a",), lambda *a: None)
+        assert bolt.synopsis.count == 1
+
+    def test_snapshot_drains_and_restore_drops_buffer(self):
+        bolt = SynopsisBolt(lambda: HyperLogLog(precision=10, seed=0), batch_size=100)
+        for i in range(5):
+            bolt.process((f"u{i}",), lambda *a: None)
+        checkpoint = bolt.snapshot()
+        assert checkpoint.count == 5  # snapshot includes buffered tuples
+        bolt.process(("post",), lambda *a: None)
+        bolt.restore(checkpoint)
+        # buffered post-checkpoint tuple is dropped: the spout replays it
+        assert bolt.synopsis.count == 5
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ParameterError):
+            SynopsisBolt(lambda: HyperLogLog(), batch_size=0)
+
+    def test_state_identical_to_per_tuple_for_any_batch_size(self):
+        items = [f"u{i % 700}" for i in range(2_000)]
+        want = state_fingerprint(_reference(items))
+        for batch_size in (1, 7, 256, 10_000):
+            bolt = SynopsisBolt(
+                lambda: HyperLogLog(precision=10, seed=0), batch_size=batch_size
+            )
+            for item in items:
+                bolt.process((item,), lambda *a: None)
+            assert state_fingerprint(bolt.synopsis) == want, batch_size
+
+
+class TestPipelineSketch:
+    def test_sketch_state_matches_per_tuple_ingest(self):
+        words = [f"w{i % 300}" for i in range(1_500)]
+        executor = (
+            Pipeline.from_list([(w,) for w in words])
+            .sketch(lambda: HyperLogLog(precision=10, seed=0), batch_size=64)
+            .run_with_executor()
+        )
+        (bolt,) = executor.bolt_instances("sketch0")
+        assert state_fingerprint(bolt.synopsis) == state_fingerprint(
+            _reference(words)
+        )
+
+    def test_sketch_exactly_once_under_faults(self):
+        words = [f"w{i}" for i in range(2_000)]
+        executor = (
+            Pipeline.from_list([(w,) for w in words])
+            .sketch(lambda: HyperLogLog(precision=10, seed=0), batch_size=128)
+            .run_with_executor(
+                semantics="exactly_once",
+                faults=FaultInjector(crash_after=1_100, seed=3),
+                checkpoint_interval=250,
+            )
+        )
+        (bolt,) = executor.bolt_instances("sketch0")
+        assert bolt.synopsis.count == 2_000  # no loss, no double count
+        assert state_fingerprint(bolt.synopsis) == state_fingerprint(
+            _reference(words)
+        )
+
+
+class TestDStreamSketch:
+    def test_sketch_state_matches_per_record_ingest(self):
+        records = [f"u{i % 400}" for i in range(1_000)]
+        ctx = MicroBatchContext(batch_size=128)
+        stream = ctx.source(records).sketch(
+            lambda: HyperLogLog(precision=10, seed=0)
+        )
+        stream.collect()
+        ctx.run()
+        assert state_fingerprint(stream.last_synopsis()) == state_fingerprint(
+            _reference(records)
+        )
+        # the synopsis is also emitted downstream once per batch interval
+        assert len(stream.batches()) == ctx.n_batches
+
+    def test_sketch_survives_lineage_recovery(self):
+        records = [f"u{i}" for i in range(1_000)]
+        ctx = MicroBatchContext(batch_size=100, checkpoint_every=3)
+        stream = ctx.source(records).sketch(
+            lambda: HyperLogLog(precision=10, seed=0)
+        )
+        ctx.run(fail_at=7)
+        assert ctx.recomputations == 1
+        assert state_fingerprint(stream.last_synopsis()) == state_fingerprint(
+            _reference(records)
+        )
+
+    def test_sketch_with_extract(self):
+        records = [(i, f"u{i % 50}") for i in range(500)]
+        ctx = MicroBatchContext(batch_size=64)
+        stream = ctx.source(records).sketch(
+            lambda: HyperLogLog(precision=10, seed=0), extract=lambda r: r[1]
+        )
+        ctx.run()
+        assert state_fingerprint(stream.last_synopsis()) == state_fingerprint(
+            _reference([r[1] for r in records])
+        )
+
+
+class TestStreamSummaryBatch:
+    def _factory(self):
+        return StreamSummary(
+            extractors={
+                "uniques": lambda e: e[0],
+                "topk": lambda e: e[0],
+                "latency": lambda e: e[1],
+            },
+            uniques=HyperLogLog(precision=10, seed=0),
+            topk=SpaceSaving(32),
+            latency=CountMinSketch(256, 4, seed=0),
+        )
+
+    def test_update_many_matches_sequential_with_extractors(self):
+        events = [(f"u{i % 90}", float(i % 13)) for i in range(1_200)]
+        sequential = self._factory()
+        for event in events:
+            sequential.update(event)
+        batched = self._factory()
+        batched.update_many(events)
+        assert batched.count == 1_200
+        assert state_fingerprint(batched) == state_fingerprint(sequential)
+        assert np.array_equal(
+            batched["uniques"]._registers, sequential["uniques"]._registers
+        )
+
+    def test_update_many_accepts_generator_and_empty(self):
+        summary = self._factory()
+        summary.update_many((f"u{i}", 0.0) for i in range(10))
+        summary.update_many([])
+        assert summary.count == 10
