@@ -6,9 +6,11 @@ by the caller*, never by the machine's clock: a sketch that calls
 recompute-from-log recovery model (Lambda batch layer, at-least-once
 replay) and makes tests flaky. Wall-clock access is allowed only under
 ``platform/`` — the runtime layer that owns real time (latency metrics,
-timeouts) — and under ``bench/``, where elapsed wall time is the
-*measurement itself* (the ingest-throughput harness); everywhere else the
-timestamp must arrive as data.
+timeouts) — under ``bench/``, where elapsed wall time is the
+*measurement itself* (the ingest-throughput harness), and under ``obs/``,
+the observability plane, whose span timing and overhead accounting
+legitimately read the clock (a trace without real timestamps measures
+nothing); everywhere else the timestamp must arrive as data.
 """
 
 from __future__ import annotations
@@ -32,7 +34,9 @@ _WALL_CLOCK_CALLS = {
     "datetime.date.today",
 }
 
-_EXEMPT_PACKAGES = ("platform", "analysis", "bench")
+# platform/ owns real time; bench/ measures it; obs/ records it (spans,
+# queue waits); analysis/ is the linter's own tooling.
+_EXEMPT_PACKAGES = ("platform", "analysis", "bench", "obs")
 
 
 @rule

@@ -3,7 +3,9 @@
 Runs the ingest-throughput suite, prints the human-readable table and
 writes the schema-validated JSON payload. ``--smoke`` is the CI mode:
 a tiny workload that still exercises every case, verifies the batch-ingest
-invariant at runtime and validates the emitted schema.
+invariant at runtime and validates the emitted schema. ``--obs`` switches
+to the observability-overhead suite (:mod:`repro.bench.obs`): the demo
+topology bare vs. instrumented, written to ``BENCH_obs.json`` by default.
 """
 
 from __future__ import annotations
@@ -14,6 +16,9 @@ from pathlib import Path
 
 from repro.bench.runner import format_table, run_bench, validate_payload
 
+_DEFAULT_OUT = "BENCH_synopses.json"
+_OBS_DEFAULT_OUT = "BENCH_obs.json"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-bench`` argument parser."""
@@ -23,14 +28,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_synopses.json",
-        help="output JSON path (default: %(default)s)",
+        default=None,
+        help=f"output JSON path (default: {_DEFAULT_OUT}, "
+        f"or {_OBS_DEFAULT_OUT} with --obs)",
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="measure observability overhead (bare vs. instrumented demo "
+        "topology) instead of synopsis ingest",
     )
     parser.add_argument(
         "--items",
         type=int,
-        default=100_000,
-        help="items per workload (default: %(default)s)",
+        default=None,
+        help="items per workload (default: 100000, or 20000 with --obs)",
     )
     parser.add_argument(
         "--repeats",
@@ -52,14 +64,30 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Run the suite, print the table, write and validate the JSON."""
     args = build_parser().parse_args(argv)
-    n_items = 2_000 if args.smoke else args.items
+    if args.obs:
+        from repro.bench.obs import overhead_at_default_rate, run_obs_bench
+
+        n_items = 2_000 if args.smoke else (args.items or 20_000)
+        repeats = 1 if args.smoke else args.repeats
+        payload = run_obs_bench(
+            n_items=n_items, repeats=repeats, seed=args.seed, smoke=args.smoke
+        )
+        validate_payload(payload)
+        print(format_table(payload))
+        overhead = overhead_at_default_rate(payload)
+        print(f"\noverhead at default 1% sampling: {overhead * 100:+.1f}%")
+        out_path = Path(args.out or _OBS_DEFAULT_OUT)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")
+        return 0
+    n_items = 2_000 if args.smoke else (args.items or 100_000)
     repeats = 1 if args.smoke else args.repeats
     payload = run_bench(
         n_items=n_items, repeats=repeats, seed=args.seed, smoke=args.smoke
     )
     validate_payload(payload)
     print(format_table(payload))
-    out_path = Path(args.out)
+    out_path = Path(args.out or _DEFAULT_OUT)
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {out_path} ({len(payload['results'])} cases, schema OK)")
     return 0

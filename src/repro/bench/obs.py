@@ -1,0 +1,136 @@
+"""The observability-overhead bench: is the obs plane honest about cost?
+
+An observability layer that taxes the hot path defeats its purpose
+(Heron's motivation paper is one long complaint about exactly this), so
+``repro-bench --obs`` measures it: the demo topology runs **bare**
+(``obs=None``) and **instrumented** (metrics + tracing at a given sample
+rate + an instrumented synopsis), best-of-*repeats* each, over identical
+seeded records. Results reuse the ``repro.bench/v1`` row shape with the
+two timed columns mapped as
+
+* ``seq_*``   → the uninstrumented baseline,
+* ``batch_*`` → the instrumented run,
+
+so ``speedup`` is the instrumented/baseline throughput **ratio** — 1.0
+means free, 0.9 means 10% throughput loss (the acceptance floor for the
+default ≤1% sampling). ``equivalent`` asserts the observed sink payloads
+are identical with observability on and off: watching the stream must
+not change the stream.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.bench.runner import BENCH_SCHEMA
+from repro.common.exceptions import ParameterError
+from repro.obs.context import Observability
+from repro.obs.demo import build_demo_topology, demo_records
+from repro.platform.executor import LocalExecutor
+
+#: Sampling rates measured by default: off, the 1% default, full firehose.
+DEFAULT_RATES = (0.0, 0.01, 1.0)
+
+
+def _time_run(
+    records: list,
+    repeats: int,
+    seed: int,
+    sample_rate: float | None,
+    semantics: str,
+) -> tuple[float, list, Any]:
+    """Best-of-*repeats* wall time for one configuration.
+
+    ``sample_rate=None`` runs bare (``obs=None``); otherwise an
+    :class:`Observability` bundle with that trace rate is threaded
+    through (0.0 = metrics only). Returns (seconds, sink payload counts,
+    last obs bundle)."""
+    best = float("inf")
+    results: list = []
+    obs = None
+    for __ in range(repeats):
+        if sample_rate is None:
+            obs = None
+            topology = build_demo_topology(records, None)
+        else:
+            obs = Observability.create(sample_rate=sample_rate, seed=seed)
+            topology = build_demo_topology(records, obs)
+        executor = LocalExecutor(topology, semantics=semantics, obs=obs)
+        start = time.perf_counter()
+        executor.run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        results = _observable_state(executor)
+    return best, results, obs
+
+
+def _observable_state(executor: LocalExecutor) -> list:
+    """The run's observable output: final counts + sketch cardinality."""
+    counts: dict = {}
+    for bolt in executor.bolt_instances("count"):
+        counts.update(bolt.counts)
+    (sketch_bolt,) = executor.bolt_instances("sketch")
+    summary = sketch_bolt.synopsis
+    return [sorted(counts.items()), round(summary["uniques"].estimate())]
+
+
+def run_obs_bench(
+    n_items: int = 20_000,
+    repeats: int = 3,
+    seed: int = 7,
+    smoke: bool = False,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    semantics: str = "at_least_once",
+) -> dict:
+    """Measure instrumentation overhead; returns a ``repro.bench/v1`` payload."""
+    if n_items <= 0:
+        raise ParameterError("n_items must be positive")
+    if repeats <= 0:
+        raise ParameterError("repeats must be positive")
+    records = demo_records(n_items, seed)
+    base_seconds, base_state, __ = _time_run(
+        records, repeats, seed, sample_rate=None, semantics=semantics
+    )
+    results = []
+    for rate in rates:
+        obs_seconds, obs_state, __ = _time_run(
+            records, repeats, seed, sample_rate=rate, semantics=semantics
+        )
+        label = "metrics" if rate == 0.0 else f"metrics+trace@{rate:g}"
+        results.append(
+            {
+                "synopsis": f"demo_topology[{label}]",
+                "workload": f"obs-overhead/{semantics}",
+                "n_items": len(records),
+                # seq_* = bare baseline, batch_* = instrumented (see module
+                # docstring); speedup = instrumented throughput ratio.
+                "seq_seconds": base_seconds,
+                "batch_seconds": obs_seconds,
+                "seq_items_per_s": len(records) / base_seconds,
+                "batch_items_per_s": len(records) / obs_seconds,
+                "speedup": base_seconds / obs_seconds,
+                "equivalent": obs_state == base_state,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "n_items": n_items,
+            "repeats": repeats,
+            "seed": seed,
+            "smoke": smoke,
+            "mode": "obs-overhead",
+            "rates": list(rates),
+            "semantics": semantics,
+        },
+        "results": results,
+    }
+
+
+def overhead_at_default_rate(payload: dict) -> float:
+    """Fractional throughput loss of the ≤1% default-sampling row."""
+    for entry in payload["results"]:
+        if "trace@0.01" in entry["synopsis"]:
+            return 1.0 - entry["speedup"]
+    raise ParameterError("payload has no default-rate (0.01) row")

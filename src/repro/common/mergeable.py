@@ -102,6 +102,31 @@ class SynopsisBase(ABC):
         seen: set[int] = set()
         return _deep_sizeof(self, seen)
 
+    # -- observability hooks (repro.obs) ---------------------------------
+
+    def memory_footprint(self) -> int:
+        """The observability plane's canonical footprint gauge.
+
+        Always a plain positive ``int`` (numpy scalars from ``nbytes``
+        accounting are coerced), so exporters can publish it directly.
+        """
+        return int(self.size_bytes())
+
+    def instrumented(
+        self, registry: Any = None, name: str | None = None
+    ) -> "Any":
+        """Wrap this synopsis in a counting/memory-gauging wrapper.
+
+        Returns an :class:`~repro.obs.instrument.InstrumentedSynopsis`
+        publishing update/merge/query call counts, batch sizes and a live
+        ``memory_footprint`` gauge into *registry* (default: the
+        process-wide registry). Opt-in: the unwrapped synopsis stays
+        untouched and reachable via ``.synopsis``.
+        """
+        from repro.obs.instrument import InstrumentedSynopsis
+
+        return InstrumentedSynopsis(self, registry=registry, name=name)
+
 
 def _deep_sizeof(obj: Any, seen: set[int]) -> int:
     oid = id(obj)

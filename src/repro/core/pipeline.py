@@ -85,7 +85,12 @@ class Pipeline:
         return self._add("window", lambda: TumblingWindowBolt(size, agg))
 
     def sketch(
-        self, factory: Callable[[], Any], extract=None, batch_size: int = 256
+        self,
+        factory: Callable[[], Any],
+        extract=None,
+        batch_size: int = 256,
+        instrument: bool | str = False,
+        registry=None,
     ) -> "Pipeline":
         """Feed payloads into a synopsis (terminal-ish; synopsis inspectable
         after run via the returned executor).
@@ -93,10 +98,19 @@ class Pipeline:
         Tuples are micro-batched through ``synopsis.update_many`` every
         *batch_size* payloads (drained at checkpoints and end-of-stream),
         so array-backed sketches ingest at vectorized batch speed with
-        state identical to per-tuple updates.
+        state identical to per-tuple updates. ``instrument=True`` (or a
+        name string) wraps the synopsis with ``repro.obs`` call/batch/
+        memory instrumentation publishing into *registry*.
         """
         return self._add(
-            "sketch", lambda: SynopsisBolt(factory, extract, batch_size=batch_size)
+            "sketch",
+            lambda: SynopsisBolt(
+                factory,
+                extract,
+                batch_size=batch_size,
+                instrument=instrument,
+                registry=registry,
+            ),
         )
 
     def build(self) -> tuple:
@@ -120,9 +134,17 @@ class Pipeline:
         semantics: str = "at_most_once",
         faults: FaultInjector | None = None,
         checkpoint_interval: int = 500,
+        obs=None,
     ) -> list[tuple]:
-        """Execute and return the sink's collected payloads."""
-        executor = self.run_with_executor(semantics, faults, checkpoint_interval)
+        """Execute and return the sink's collected payloads.
+
+        Pass an :class:`~repro.obs.context.Observability` bundle as *obs*
+        to publish metrics into its registry and trace a sampled fraction
+        of source records end-to-end through every stage.
+        """
+        executor = self.run_with_executor(
+            semantics, faults, checkpoint_interval, obs=obs
+        )
         (sink,) = executor.bolt_instances("sink")
         return sink.results
 
@@ -131,6 +153,7 @@ class Pipeline:
         semantics: str = "at_most_once",
         faults: FaultInjector | None = None,
         checkpoint_interval: int = 500,
+        obs=None,
     ) -> LocalExecutor:
         """Execute and return the executor (for metrics / bolt inspection)."""
         topology, __ = self.build()
@@ -139,6 +162,7 @@ class Pipeline:
             semantics=semantics,
             faults=faults,
             checkpoint_interval=checkpoint_interval,
+            obs=obs,
         )
         executor.run()
         return executor

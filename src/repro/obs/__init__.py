@@ -1,0 +1,68 @@
+"""``repro.obs`` — the unified observability plane.
+
+Metrics (labeled Counter/Gauge/Histogram in a :class:`MetricRegistry`),
+sampled per-tuple tracing (:class:`TraceSampler`, :class:`SpanCollector`),
+opt-in synopsis instrumentation (:class:`InstrumentedSynopsis`), and
+exporters (JSON lines, Prometheus text, console report). Thread an
+:class:`Observability` bundle through an executor or pipeline to light
+it all up; by default everything is off and costs (almost) nothing.
+"""
+
+from repro.obs.context import DEFAULT_SAMPLE_RATE, Observability
+from repro.obs.exporters import (
+    metric_records,
+    parse_prometheus,
+    read_jsonl,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.instrument import InstrumentedSynopsis
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+    Sample,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanCollector,
+    SpanNode,
+    TraceSampler,
+    critical_path,
+    next_span_id,
+    span_stats,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentedSynopsis",
+    "MetricRegistry",
+    "NullRegistry",
+    "Observability",
+    "Sample",
+    "Span",
+    "SpanCollector",
+    "SpanNode",
+    "TraceSampler",
+    "critical_path",
+    "get_default_registry",
+    "metric_records",
+    "next_span_id",
+    "parse_prometheus",
+    "read_jsonl",
+    "set_default_registry",
+    "span_stats",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,46 @@
+"""The observability bundle threaded through executors and pipelines.
+
+One :class:`Observability` object carries everything a run publishes
+into: the metric registry, the (optional) trace sampler, and the span
+collector. The executor accepts it as a single ``obs=`` parameter so the
+plumbing stays one argument wide; ``Observability.create`` builds a
+sensibly-configured bundle in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracing import SpanCollector, TraceSampler
+
+#: Default sampled fraction of spout messages (1%).
+DEFAULT_SAMPLE_RATE = 0.01
+
+
+@dataclass
+class Observability:
+    """Registry + sampler + collector for one (or several) runs.
+
+    The collector deliberately lives outside checkpointed operator state:
+    spans recorded before a crash survive recovery, which is what makes
+    post-mortem trace trees possible.
+    """
+
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
+    sampler: TraceSampler | None = None
+    collector: SpanCollector = field(default_factory=SpanCollector)
+
+    @classmethod
+    def create(
+        cls,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        seed: int = 0,
+        registry: MetricRegistry | None = None,
+    ) -> "Observability":
+        """A bundle with tracing at *sample_rate* (0 disables tracing)."""
+        return cls(
+            registry=registry if registry is not None else MetricRegistry(),
+            sampler=TraceSampler(rate=sample_rate, seed=seed) if sample_rate > 0 else None,
+            collector=SpanCollector(),
+        )

@@ -1,0 +1,103 @@
+"""The demo topology the obs CLI (and CI's obs-smoke job) observes.
+
+A small but non-trivial Storm-shaped topology over a seeded Zipf word
+stream: one spout fanning into a splitter bolt, whose output feeds
+**two** consumers — a keyed word counter (parallelism 2) and an
+instrumented :class:`~repro.platform.operators.SynopsisBolt` carrying a
+:class:`~repro.core.summary.StreamSummary` (distinct count + top-k +
+point frequencies). The two-way fan-out makes trace trees branch, the
+keyed grouping exercises queue-wait accounting across tasks, and the
+sketch stage demonstrates synopsis instrumentation — every layer of the
+obs plane is visible in one run.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import make_rng
+from repro.obs.context import Observability
+from repro.platform.executor import LocalExecutor
+from repro.platform.faults import FaultInjector
+from repro.platform.operators import CountBolt, FlatMapBolt, SynopsisBolt
+from repro.platform.topology import ListSpout, Topology, TopologyBuilder
+
+
+def demo_records(n: int = 2_000, seed: int = 7) -> list[tuple[str]]:
+    """Seeded sentences with Zipf-ish word frequencies."""
+    rnd = make_rng(seed)
+    words = [f"w{int(rnd.random() ** 2 * 50)}" for __ in range(4 * n)]
+    return [
+        (" ".join(words[4 * i : 4 * i + 4]),)
+        for i in range(n)
+    ]
+
+
+def _summary_factory():
+    from repro.cardinality.hyperloglog import HyperLogLog
+    from repro.core.summary import StreamSummary
+    from repro.frequency.count_min import CountMinSketch
+    from repro.frequency.space_saving import SpaceSaving
+
+    return StreamSummary(
+        uniques=HyperLogLog(precision=12),
+        topk=SpaceSaving(64),
+        freq=CountMinSketch(width=1024, depth=4),
+    )
+
+
+def build_demo_topology(records: list[tuple[str]], obs: Observability | None = None) -> Topology:
+    """words → split → {count (keyed, parallelism 2), sketch (instrumented)}."""
+    # Only instrument the sketch when an obs bundle is supplied: the bare
+    # configuration (obs=None) is the overhead bench's baseline and must
+    # not touch the process-wide default registry.
+    registry = obs.registry if obs is not None else None
+    instrument = "demo_summary" if obs is not None else False
+    builder = TopologyBuilder()
+    builder.set_spout("sentences", lambda: ListSpout(records))
+    builder.set_bolt(
+        "split",
+        lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()]),
+    ).shuffle("sentences")
+    builder.set_bolt("count", lambda: CountBolt(0), parallelism=2).fields("split", 0)
+    builder.set_bolt(
+        "sketch",
+        lambda: SynopsisBolt(
+            _summary_factory,
+            batch_size=64,
+            instrument=instrument,
+            registry=registry,
+        ),
+    ).shuffle("split")
+    return builder.build()
+
+
+def run_demo(
+    n_records: int = 2_000,
+    sample_rate: float = 0.1,
+    semantics: str = "at_least_once",
+    seed: int = 7,
+    crash_after: int | None = None,
+    drop_probability: float = 0.0,
+    checkpoint_interval: int = 500,
+) -> tuple[LocalExecutor, Observability]:
+    """Run the demo topology under an Observability bundle.
+
+    ``crash_after`` injects a one-shot worker crash (with
+    ``semantics="exactly_once"`` this exercises checkpoint recovery and
+    trace-across-recovery); ``drop_probability`` loses tuples in transit.
+    """
+    obs = Observability.create(sample_rate=sample_rate, seed=seed)
+    topology = build_demo_topology(demo_records(n_records, seed), obs)
+    faults = None
+    if crash_after is not None or drop_probability:
+        faults = FaultInjector(
+            drop_probability=drop_probability, crash_after=crash_after, seed=seed
+        )
+    executor = LocalExecutor(
+        topology,
+        semantics=semantics,
+        faults=faults,
+        checkpoint_interval=checkpoint_interval,
+        obs=obs,
+    )
+    executor.run()
+    return executor, obs

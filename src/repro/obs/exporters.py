@@ -1,0 +1,203 @@
+"""Exporters: JSON-lines events and Prometheus v0 text exposition.
+
+Two wire formats cover the two consumption patterns the Table 2 systems
+converged on:
+
+* **JSON lines** (:func:`to_jsonl`) — one self-describing record per
+  line (``{"type": "metric", ...}`` / ``{"type": "span", ...}``), the
+  archival/pipeline format: greppable, streamable, diffable in CI
+  artifacts.
+* **Prometheus text exposition v0** (:func:`to_prometheus`) — the
+  pull-scrape format (``# HELP`` / ``# TYPE`` / ``name{labels} value``),
+  so a registry can be mounted behind any HTTP handler and scraped.
+
+:func:`parse_prometheus` reads the exposition format back into samples;
+the CI round-trip test uses it to prove both exporters publish identical
+values from one registry.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.common.exceptions import ParameterError
+from repro.obs.metrics import MetricRegistry, Sample
+from repro.obs.tracing import SpanCollector
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def metric_records(registry: MetricRegistry) -> list[dict]:
+    """Every registry sample as a JSON-ready dict."""
+    return [
+        {
+            "type": "metric",
+            "name": sample.name,
+            "labels": sample.labels_dict(),
+            "value": sample.value,
+        }
+        for sample in registry.collect()
+    ]
+
+
+def to_jsonl(registry: MetricRegistry, collector: SpanCollector | None = None) -> str:
+    """All metrics (and spans, when a collector is given) as JSON lines."""
+    records = metric_records(registry)
+    if collector is not None:
+        records.extend(collector.to_records())
+    return "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+
+
+def write_jsonl(
+    path: str | Path,
+    registry: MetricRegistry,
+    collector: SpanCollector | None = None,
+) -> Path:
+    """Write :func:`to_jsonl` output to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(to_jsonl(registry, collector), encoding="utf-8")
+    return path
+
+
+def read_jsonl(text: str) -> list[dict]:
+    """Parse JSON-lines export text back into records."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_sample(sample: Sample) -> str:
+    if sample.labels:
+        inner = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"' for key, val in sample.labels
+        )
+        return f"{sample.name}{{{inner}}} {_format_value(sample.value)}"
+    return f"{sample.name} {_format_value(sample.value)}"
+
+
+def to_prometheus(registry: MetricRegistry) -> str:
+    """Prometheus text exposition (v0) of every family in *registry*.
+
+    Histograms are exposed as Prometheus *summaries* (count/sum plus
+    ``quantile``-labeled samples) since they publish t-digest quantiles,
+    not fixed buckets.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        kind = "summary" if family.kind == "histogram" else family.kind
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {kind}")
+        for sample in family.samples():
+            lines.append(_format_sample(sample))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_PARSE_ERROR = "not Prometheus text exposition"
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, sorted labels): value}``.
+
+    Supports the subset :func:`to_prometheus` emits (which is the subset
+    nearly all real exporters emit): one sample per line, optional label
+    block, float value, ``#``-prefixed comment lines.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample_line(line, lineno)
+        out[(name, tuple(sorted(labels)))] = value
+    return out
+
+
+def _parse_sample_line(
+    line: str, lineno: int
+) -> tuple[str, list[tuple[str, str]], float]:
+    labels: list[tuple[str, str]] = []
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        if "}" not in rest:
+            raise ParameterError(f"line {lineno}: unterminated label block")
+        body, value_part = rest.rsplit("}", 1)
+        labels = _parse_labels(body, lineno)
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ParameterError(f"line {lineno}: {_PARSE_ERROR}")
+        name, value_part = parts
+    name = name.strip()
+    if not name:
+        raise ParameterError(f"line {lineno}: empty metric name")
+    value_text = value_part.strip().split()[0]
+    try:
+        value = float(value_text)
+    except ValueError as exc:
+        raise ParameterError(f"line {lineno}: bad value {value_text!r}") from exc
+    return name, labels, value
+
+
+def _parse_labels(body: str, lineno: int) -> list[tuple[str, str]]:
+    labels: list[tuple[str, str]] = []
+    i, n = 0, len(body)
+    while i < n:
+        while i < n and body[i] in ", ":
+            i += 1
+        if i >= n:
+            break
+        eq = body.find("=", i)
+        if eq < 0 or eq + 1 >= n or body[eq + 1] != '"':
+            raise ParameterError(f"line {lineno}: malformed label block")
+        key = body[i:eq].strip()
+        j = eq + 2
+        chars: list[str] = []
+        while j < n:
+            ch = body[j]
+            if ch == "\\" and j + 1 < n:
+                nxt = body[j + 1]
+                chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            chars.append(ch)
+            j += 1
+        else:
+            raise ParameterError(f"line {lineno}: unterminated label value")
+        labels.append((key, "".join(chars)))
+        i = j + 1
+    return labels
+
+
+def registry_as_samples(
+    registry: MetricRegistry,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Registry contents in :func:`parse_prometheus`'s key shape (for
+    round-trip comparisons between the two exporters)."""
+    return {
+        (sample.name, tuple(sorted(sample.labels))): sample.value
+        for sample in registry.collect()
+    }

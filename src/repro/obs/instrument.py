@@ -1,0 +1,130 @@
+"""Opt-in synopsis instrumentation: per-sketch cost without editing 89 files.
+
+:class:`InstrumentedSynopsis` wraps any library synopsis and publishes to
+a :class:`~repro.obs.metrics.MetricRegistry`:
+
+* ``repro_synopsis_calls_total{synopsis,op}`` — calls to ``update``,
+  ``update_many``, ``merge`` and every query method (any other public
+  method counts under ``op="query:<name>"``);
+* ``repro_synopsis_items_total{synopsis}`` — items absorbed (1 per
+  ``update``, batch length per ``update_many``);
+* ``repro_synopsis_batch_size{synopsis}`` — histogram of ``update_many``
+  batch sizes (is the vectorized path actually seeing batches?);
+* ``repro_synopsis_memory_bytes{synopsis}`` — a callback gauge reading
+  ``memory_footprint()`` live at collect time.
+
+The wrapper is transparent: attributes and query methods delegate to the
+wrapped synopsis, ``merge`` unwraps instrumented peers, and the wrapped
+object stays reachable via ``.synopsis``. Construction goes through
+``SynopsisBase.instrumented(...)`` or directly through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sized
+
+from repro.obs.metrics import MetricRegistry, get_default_registry
+
+
+class InstrumentedSynopsis:
+    """Counting/memory-gauging wrapper around one synopsis instance."""
+
+    def __init__(
+        self,
+        synopsis: Any,
+        registry: MetricRegistry | None = None,
+        name: str | None = None,
+    ):
+        self.synopsis = synopsis
+        self.registry = registry if registry is not None else get_default_registry()
+        self.name = name or type(synopsis).__name__.lower()
+        calls = self.registry.counter(
+            "repro_synopsis_calls_total",
+            "Synopsis protocol calls by operation.",
+            labelnames=("synopsis", "op"),
+        )
+        self._calls = calls
+        self._c_update = calls.labels(synopsis=self.name, op="update")
+        self._c_update_many = calls.labels(synopsis=self.name, op="update_many")
+        self._c_merge = calls.labels(synopsis=self.name, op="merge")
+        self._items = self.registry.counter(
+            "repro_synopsis_items_total",
+            "Stream items absorbed by the synopsis.",
+            labelnames=("synopsis",),
+        ).labels(synopsis=self.name)
+        self._batch_sizes = self.registry.histogram(
+            "repro_synopsis_batch_size",
+            "update_many batch-size distribution.",
+            labelnames=("synopsis",),
+        ).labels(synopsis=self.name)
+        self.registry.gauge(
+            "repro_synopsis_memory_bytes",
+            "Live memory footprint of the synopsis.",
+            labelnames=("synopsis",),
+        ).labels(synopsis=self.name).set_function(
+            lambda: float(self.memory_footprint())
+        )
+
+    # -- the counted protocol ----------------------------------------------
+
+    def update(self, item: Any) -> None:
+        """Absorb one item (counted)."""
+        self._c_update.inc()
+        self._items.inc()
+        self.synopsis.update(item)
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Absorb a batch (counted, with batch-size histogram)."""
+        if not isinstance(items, Sized):
+            items = list(items)
+        self._c_update_many.inc()
+        self._items.inc(len(items))
+        self._batch_sizes.observe(len(items))
+        self.synopsis.update_many(items)
+
+    def merge(self, other: Any) -> None:
+        """Merge (counted); instrumented peers are unwrapped first."""
+        self._c_merge.inc()
+        if isinstance(other, InstrumentedSynopsis):
+            other = other.synopsis
+        self.synopsis.merge(other)
+
+    def memory_footprint(self) -> int:
+        """Delegated footprint (falls back to ``size_bytes`` / deep sizeof)."""
+        fn = getattr(self.synopsis, "memory_footprint", None)
+        if fn is None:
+            fn = getattr(self.synopsis, "size_bytes", None)
+        if fn is None:  # non-SynopsisBase object: best-effort deep sizeof
+            from repro.common.mergeable import _deep_sizeof
+
+            return int(_deep_sizeof(self.synopsis, set()))
+        return int(fn())
+
+    # -- transparent delegation --------------------------------------------
+
+    def __getattr__(self, attr: str) -> Any:
+        # Only called when normal lookup fails: delegate to the synopsis,
+        # counting public method calls as queries.
+        value = getattr(self.synopsis, attr)
+        if callable(value) and not attr.startswith("_"):
+            counter = self._calls.labels(synopsis=self.name, op=f"query:{attr}")
+
+            def counted(*args: Any, **kwargs: Any) -> Any:
+                counter.inc()
+                return value(*args, **kwargs)
+
+            return counted
+        return value
+
+    def __getitem__(self, key: Any) -> Any:
+        return self.synopsis[key]
+
+    def __len__(self) -> int:
+        return len(self.synopsis)
+
+    def __repr__(self) -> str:
+        return f"InstrumentedSynopsis({self.synopsis!r}, name={self.name!r})"
+
+    def call_count(self, op: str) -> float:
+        """Recorded call count for *op* (e.g. "update", "query:estimate")."""
+        return self._calls.labels(synopsis=self.name, op=op).value

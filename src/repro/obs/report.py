@@ -1,0 +1,130 @@
+"""Console rendering: per-component tables and ASCII trace trees.
+
+The human endpoint of the obs plane (what Storm's UI and Heron's
+tracker put behind HTTP): a throughput/latency/queue table per component,
+fed by the metric registry, enriched with queue-wait/process-time
+aggregates from traced spans — and span trees rendered as indented ASCII
+so a single sampled tuple's life is readable end-to-end:
+
+    spout:source  spout_emit  attempt 2  fan_out=1
+    └─ bolt:flatmap0  0.01ms wait / 0.02ms proc  fan_out=3
+       ├─ bolt:count1 ...
+       └─ ...
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import SpanCollector, SpanNode, span_stats
+from repro.platform.metrics import ExecutionMetrics
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def summary_lines(metrics: ExecutionMetrics) -> list[str]:
+    """Headline run summary: throughput, tail latency, reliability."""
+    summary = metrics.summary()
+    return [
+        f"throughput      {summary['throughput_tps']:>12,.1f} tuples/s",
+        f"latency p50     {summary['latency_p50_ms']:>12.3f} ms",
+        f"latency p99     {summary['latency_p99_ms']:>12.3f} ms",
+        f"replays         {summary['replays']:>12d}",
+        f"checkpoints     {summary['checkpoints']:>12d}",
+        f"recoveries      {summary['recoveries']:>12d}",
+    ]
+
+
+def component_table(
+    metrics: ExecutionMetrics, collector: SpanCollector | None = None
+) -> str:
+    """Per-component counters (+ span-derived timing when traced)."""
+    stats = span_stats(collector.spans) if collector is not None else {}
+    header = (
+        f"{'component':<18} {'emitted':>9} {'processed':>9} {'acked':>7} "
+        f"{'failed':>7} {'queue_hw':>8}"
+    )
+    if collector is not None:
+        header += f" {'hops':>6} {'avg wait':>10} {'avg proc':>10}"
+    lines = [header, "-" * len(header)]
+    for name, entry in sorted(metrics.components.items()):
+        counters = entry.as_dict()
+        line = (
+            f"{name:<18} {counters['emitted']:>9} {counters['processed']:>9} "
+            f"{counters['acked']:>7} {counters['failed']:>7} "
+            f"{counters['queue_high_water']:>8}"
+        )
+        if collector is not None:
+            st = stats.get(name)
+            if st and st["hops"]:
+                line += (
+                    f" {st['hops']:>6}"
+                    f" {_ms(st['queue_wait_s'] / st['hops']):>10}"
+                    f" {_ms(st['process_s'] / st['hops']):>10}"
+                )
+            else:
+                line += f" {'-':>6} {'-':>10} {'-':>10}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _node_label(node: SpanNode) -> str:
+    span = node.span
+    bits = [span.component, span.kind]
+    if span.kind == "process":
+        bits.append(f"{_ms(span.queue_wait)} wait / {_ms(span.duration)} proc")
+    if span.fan_out:
+        bits.append(f"fan_out={span.fan_out}")
+    if span.task:
+        bits.append(f"task={span.task}")
+    return "  ".join(bits)
+
+
+def render_trace_tree(collector: SpanCollector, trace_id: int) -> str:
+    """The final-attempt span tree of *trace_id* as an indented ASCII tree."""
+    root = collector.tree(trace_id)
+    attempts = collector.attempts(trace_id)
+    lines = [
+        f"trace {trace_id:#018x}  attempt {root.span.attempt}/{attempts}  "
+        f"({len(list(root.walk()))} spans)"
+    ]
+    lines.append(_node_label(root))
+
+    def walk(node: SpanNode, prefix: str) -> None:
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            lines.append(f"{prefix}{'└─ ' if last else '├─ '}{_node_label(child)}")
+            walk(child, prefix + ("   " if last else "│  "))
+
+    walk(root, "")
+    return "\n".join(lines)
+
+
+def render_report(
+    metrics: ExecutionMetrics,
+    collector: SpanCollector | None = None,
+    n_traces: int = 1,
+) -> str:
+    """The full console report: summary, component table, trace trees."""
+    sections = [
+        "== run summary ==",
+        "\n".join(summary_lines(metrics)),
+        "",
+        "== components ==",
+        component_table(metrics, collector),
+    ]
+    if collector is not None:
+        trace_ids = collector.trace_ids()
+        if trace_ids:
+            sections += ["", f"== traces ({len(trace_ids)} sampled) =="]
+            for trace_id in trace_ids[:n_traces]:
+                sections.append(render_trace_tree(collector, trace_id))
+                sections.append("")
+        events = [e for e in collector.events]
+        if events:
+            sections += [
+                "== lifecycle events ==",
+                ", ".join(f"{e.kind}@{e.component}" for e in events[:20])
+                + (" ..." if len(events) > 20 else ""),
+            ]
+    return "\n".join(sections).rstrip() + "\n"

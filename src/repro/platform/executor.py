@@ -15,6 +15,19 @@ This is the library's stand-in for the clusters of Table 2, built so the
 The executor is deterministic (seeded shuffles, single-threaded), which
 makes delivery-semantics experiments reproducible — the property the
 bench suite depends on.
+
+Observability (``repro.obs``) threads through as a single optional
+``obs=`` bundle: metrics publish into its registry (via the
+:class:`~repro.platform.metrics.ExecutionMetrics` façade) and — when a
+:class:`~repro.obs.tracing.TraceSampler` is configured — a deterministic
+sample of spout messages is traced end-to-end. Each hop of a traced
+tuple records a span (component, queue wait, process time, emit fan-out)
+into the bundle's :class:`~repro.obs.tracing.SpanCollector`;
+ack/fail/replay and checkpoint/recovery/crash lifecycle events are
+recorded too. The collector lives outside checkpointed state, so spans
+survive crash recovery, and because sampling is keyed on the spout
+message id, replayed messages resume the *same* trace with a bumped
+attempt number.
 """
 
 from __future__ import annotations
@@ -24,6 +37,8 @@ import time
 from collections import deque
 
 from repro.common.exceptions import ExecutionError, ParameterError
+from repro.obs.context import Observability
+from repro.obs.tracing import Span, next_span_id
 from repro.platform.ack import Acker
 from repro.platform.faults import FaultInjector, NO_FAULTS
 from repro.platform.metrics import ExecutionMetrics
@@ -50,6 +65,7 @@ class LocalExecutor:
         checkpoint_interval: int = 500,
         max_queue: int = 10_000,
         max_replays_per_message: int = 16,
+        obs: Observability | None = None,
     ):
         if semantics not in _SEMANTICS:
             raise ParameterError(f"semantics must be one of {_SEMANTICS}")
@@ -61,7 +77,16 @@ class LocalExecutor:
         self.checkpoint_interval = checkpoint_interval
         self.max_queue = max_queue
         self.max_replays_per_message = max_replays_per_message
-        self.metrics = ExecutionMetrics()
+        self.obs = obs
+        self.metrics = ExecutionMetrics(
+            registry=obs.registry if obs is not None else None
+        )
+        # Tracing shortcuts: both None when observability is off, so the
+        # hot path pays one `is not None` check per hop.
+        self._sampler = obs.sampler if obs is not None else None
+        self._spans = obs.collector if obs is not None else None
+        self._trace_attempts: dict[int, int] = {}  # msg_id -> emission count
+        self._trace_roots: dict[int, Span] = {}  # msg_id -> root span (latest)
 
         # Instantiate components.
         self._spouts: dict[str, Spout] = {}
@@ -86,8 +111,13 @@ class LocalExecutor:
 
     # -- emission / routing ------------------------------------------------
 
-    def _route(self, source: str, tup: StreamTuple) -> None:
-        """Fan a tuple out to every consumer of *source* per its grouping."""
+    def _route(self, source: str, tup: StreamTuple) -> int:
+        """Fan a tuple out to every consumer of *source* per its grouping.
+
+        Returns the number of copies enqueued (the emit fan-out recorded
+        on traced spans)."""
+        fan_out = 0
+        traced = tup.trace_id is not None
         for consumer, grouping in self.topology.consumers_of(source):
             comp = self.topology.components[consumer]
             for task in grouping.targets(tup, comp.parallelism):
@@ -97,6 +127,10 @@ class LocalExecutor:
                     msg_id=tup.msg_id,
                     tuple_id=next_tuple_id(),
                     timestamp=tup.timestamp,
+                    trace_id=tup.trace_id,
+                    parent_span=tup.parent_span,
+                    attempt=tup.attempt,
+                    enqueued_at=time.perf_counter() if traced else 0.0,
                 )
                 if self._acker is not None and copy_tup.msg_id is not None:
                     self._acker.anchor(copy_tup.msg_id, copy_tup.tuple_id)
@@ -109,9 +143,11 @@ class LocalExecutor:
                         raise _RecoveryTriggered
                     continue  # lost in transit
                 self._queues[(consumer, task)].append(copy_tup)
+                fan_out += 1
                 metrics = self.metrics.components[f"bolt:{consumer}"]
                 depth = len(self._queues[(consumer, task)])
                 metrics.queue_high_water = max(metrics.queue_high_water, depth)
+        return fan_out
 
     # -- spout side ----------------------------------------------------------
 
@@ -136,10 +172,37 @@ class LocalExecutor:
                 self._acker.register(msg_id, 0)
                 # Registering with 0 then anchoring children tracks exactly
                 # the set of live descendants.
+            root_span = None
+            if self._sampler is not None and msg_id is not None:
+                trace_id = self._sampler.sample(msg_id)
+                if trace_id is not None:
+                    attempt = self._trace_attempts.get(msg_id, 0) + 1
+                    self._trace_attempts[msg_id] = attempt
+                    root_span = Span(
+                        trace_id=trace_id,
+                        span_id=next_span_id(),
+                        parent_id=None,
+                        component=f"spout:{name}",
+                        kind="spout_emit",
+                        start=time.perf_counter(),
+                        attempt=attempt,
+                        msg_id=msg_id,
+                    )
+                    self._trace_roots[msg_id] = root_span
+                    root.trace_id = trace_id
+                    root.parent_span = root_span.span_id
+                    root.attempt = attempt
             try:
-                self._route(name, root)
+                fan_out = self._route(name, root)
             except _RecoveryTriggered:
                 continue
+            finally:
+                if root_span is not None:
+                    # fan_out stays 0 when routing aborted into recovery.
+                    root_span.duration = time.perf_counter() - root_span.start
+                    self._spans.record(root_span)
+            if root_span is not None:
+                root_span.fan_out = fan_out
             if (
                 self.semantics == "exactly_once"
                 and self._source_pulls % self.checkpoint_interval == 0
@@ -164,17 +227,45 @@ class LocalExecutor:
                 StreamTuple(values=values, msg_id=tup.msg_id, timestamp=tup.timestamp)
             )
 
+        span = None
+        if tup.trace_id is not None and self._spans is not None:
+            started = time.perf_counter()
+            span = Span(
+                trace_id=tup.trace_id,
+                span_id=next_span_id(),
+                parent_id=tup.parent_span,
+                component=f"bolt:{name}",
+                kind="process",
+                start=started,
+                queue_wait=max(0.0, started - tup.enqueued_at)
+                if tup.enqueued_at
+                else 0.0,
+                attempt=tup.attempt,
+                task=task,
+                msg_id=tup.msg_id,
+            )
         try:
             bolt.process(tup.values, emit)
         except Exception as exc:  # noqa: BLE001 - component errors are runtime
             raise ExecutionError(f"bolt {name!r} failed on {tup.values!r}") from exc
+        if span is not None:
+            span.duration = time.perf_counter() - span.start
+            self._spans.record(span)
+            for out in emitted:
+                out.trace_id = tup.trace_id
+                out.parent_span = span.span_id
+                out.attempt = tup.attempt
         self.metrics.components[f"bolt:{name}"].processed += 1
+        fan_out = 0
         try:
             for out in emitted:
                 self.metrics.components[f"bolt:{name}"].emitted += 1
-                self._route(name, out)
+                fan_out += self._route(name, out)
         except _RecoveryTriggered:
             return True
+        finally:
+            if span is not None:
+                span.fan_out = fan_out
         if self._acker is not None and tup.msg_id is not None:
             done = self._acker.ack(tup.msg_id, tup.tuple_id)
             if done:
@@ -188,10 +279,57 @@ class LocalExecutor:
         started = self._start_times.pop(msg_id, None)
         if started is not None:
             self.metrics.record_latency(time.perf_counter() - started)
+        root_span = self._trace_roots.pop(msg_id, None)
+        if root_span is not None and self._spans is not None:
+            self._spans.record(
+                Span(
+                    trace_id=root_span.trace_id,
+                    span_id=next_span_id(),
+                    parent_id=root_span.span_id,
+                    component="acker",
+                    kind="ack",
+                    start=time.perf_counter(),
+                    attempt=root_span.attempt,
+                    msg_id=msg_id,
+                )
+            )
         for spout in self._spouts.values():
             spout.ack(msg_id)
 
     # -- failure handling ------------------------------------------------
+
+    def _trace_lifecycle(self, msg_id: int, kind: str) -> None:
+        """Record a fail/replay span for *msg_id* if it is being traced."""
+        root_span = self._trace_roots.get(msg_id)
+        if root_span is None or self._spans is None:
+            return
+        self._spans.record(
+            Span(
+                trace_id=root_span.trace_id,
+                span_id=next_span_id(),
+                parent_id=root_span.span_id,
+                component="acker",
+                kind=kind,
+                start=time.perf_counter(),
+                attempt=root_span.attempt,
+                msg_id=msg_id,
+            )
+        )
+
+    def _event(self, kind: str, component: str = "executor") -> None:
+        """Record a trace-less lifecycle event (checkpoint/recovery/crash)."""
+        if self._spans is None:
+            return
+        self._spans.record(
+            Span(
+                trace_id=None,
+                span_id=next_span_id(),
+                parent_id=None,
+                component=component,
+                kind=kind,
+                start=time.perf_counter(),
+            )
+        )
 
     def _fail_pending(self) -> None:
         """Fail every incomplete tuple tree (idle-time timeout)."""
@@ -200,11 +338,13 @@ class LocalExecutor:
             self._acker.fail(msg_id)
             self._start_times.pop(msg_id, None)
             self.metrics.components["spout:__all__"].failed += 1
+            self._trace_lifecycle(msg_id, "fail")
             replays = self._replay_counts.get(msg_id, 0)
             if replays >= self.max_replays_per_message:
                 continue  # give up: poisoned/unlucky message
             self._replay_counts[msg_id] = replays + 1
             self.metrics.replays += 1
+            self._trace_lifecycle(msg_id, "replay")
             for spout in self._spouts.values():
                 spout.fail(msg_id)
 
@@ -219,10 +359,12 @@ class LocalExecutor:
             "offsets": {name: spout.offset for name, spout in self._spouts.items()},
         }
         self.metrics.checkpoints += 1
+        self._event("checkpoint")
 
     def _recover(self) -> None:
         """Restore the last checkpoint and rewind sources."""
         self.metrics.recoveries += 1
+        self._event("recovery")
         for queue in self._queues.values():
             queue.clear()
         if self._acker is not None:
@@ -242,11 +384,13 @@ class LocalExecutor:
     def _crash(self) -> None:
         """Simulated worker crash."""
         if self.semantics == "exactly_once":
+            self._event("crash")
             self._recover()
         else:
             # Without checkpoints, a crash loses all in-flight tuples; bolt
             # state is assumed externally durable (e.g. a store), as in
             # Storm without Trident.
+            self._event("crash")
             for queue in self._queues.values():
                 queue.clear()
             if self._acker is not None:

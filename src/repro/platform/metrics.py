@@ -1,62 +1,206 @@
-"""Execution metrics: the observability layer every Table 2 system ships.
+"""Execution metrics: a thin façade over the ``repro.obs`` metric registry.
 
-Counters per component (emitted/processed/acked/failed), end-to-end
-latency samples summarised by a t-digest (so the report can quote p50/p99
-without storing every sample), and queue-depth high-water marks for
-backpressure analysis.
+The executor's counters (emitted/processed/acked/failed per component),
+end-to-end latency t-digest, queue-depth high-water marks and reliability
+counters all live in a :class:`~repro.obs.metrics.MetricRegistry` as
+labeled instruments — so one topology run's metrics can be exported as
+Prometheus text or JSON lines, shared with synopsis instrumentation, and
+scraped mid-run. This module keeps the ergonomic attribute API the
+executor and tests always used (``metrics.components["bolt:x"].processed
++= 1``) while writing through to the registry underneath.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from typing import Iterator
 
-from repro.quantiles.tdigest import TDigest
+from repro.obs.metrics import MetricRegistry
+
+_COMPONENT_COUNTERS = ("emitted", "processed", "acked", "failed")
 
 
-@dataclass
 class ComponentMetrics:
-    """Counters for one component."""
+    """Counters for one component — attribute reads/writes hit the registry."""
 
-    emitted: int = 0
-    processed: int = 0
-    acked: int = 0
-    failed: int = 0
-    queue_high_water: int = 0
+    __slots__ = ("_counters", "_queue_hw")
+
+    def __init__(self, registry: MetricRegistry, component: str):
+        self._counters = {
+            field: registry.counter(
+                f"repro_component_{field}_total",
+                f"Tuples {field} per component.",
+                labelnames=("component",),
+            ).labels(component=component)
+            for field in _COMPONENT_COUNTERS
+        }
+        self._queue_hw = registry.gauge(
+            "repro_component_queue_high_water",
+            "Deepest input queue observed per component (backpressure).",
+            labelnames=("component",),
+        ).labels(component=component)
+
+    def _get(self, field: str) -> int:
+        return int(self._counters[field].value)
+
+    def _set(self, field: str, value: int) -> None:
+        # ``metrics.x += 1`` reads then assigns; write-through keeps the
+        # registry authoritative while preserving the attribute API.
+        self._counters[field]._set(value)
+
+    @property
+    def emitted(self) -> int:
+        return self._get("emitted")
+
+    @emitted.setter
+    def emitted(self, value: int) -> None:
+        self._set("emitted", value)
+
+    @property
+    def processed(self) -> int:
+        return self._get("processed")
+
+    @processed.setter
+    def processed(self, value: int) -> None:
+        self._set("processed", value)
+
+    @property
+    def acked(self) -> int:
+        return self._get("acked")
+
+    @acked.setter
+    def acked(self, value: int) -> None:
+        self._set("acked", value)
+
+    @property
+    def failed(self) -> int:
+        return self._get("failed")
+
+    @failed.setter
+    def failed(self, value: int) -> None:
+        self._set("failed", value)
+
+    @property
+    def queue_high_water(self) -> int:
+        return int(self._queue_hw.value)
+
+    @queue_high_water.setter
+    def queue_high_water(self, value: int) -> None:
+        self._queue_hw.set(value)
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat counter snapshot (reports)."""
+        out = {field: self._get(field) for field in _COMPONENT_COUNTERS}
+        out["queue_high_water"] = self.queue_high_water
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ComponentMetrics({inner})"
 
 
-@dataclass
+class _ComponentMap(dict):
+    """``defaultdict``-style map creating registry-backed entries on demand."""
+
+    def __init__(self, registry: MetricRegistry):
+        super().__init__()
+        self._registry = registry
+
+    def __missing__(self, component: str) -> ComponentMetrics:
+        entry = ComponentMetrics(self._registry, component)
+        self[component] = entry
+        return entry
+
+
 class ExecutionMetrics:
-    """Aggregated metrics for one topology run."""
+    """Aggregated metrics for one topology run (registry-backed).
 
-    components: dict[str, ComponentMetrics] = field(
-        default_factory=lambda: defaultdict(ComponentMetrics)
-    )
-    latency: TDigest = field(default_factory=lambda: TDigest(delta=100))
-    replays: int = 0
-    checkpoints: int = 0
-    recoveries: int = 0
-    wall_seconds: float = 0.0
+    Constructed with no arguments the metrics own a private registry (runs
+    stay isolated, as before); pass a shared registry — e.g.
+    :func:`repro.obs.metrics.get_default_registry` or the one inside an
+    :class:`~repro.obs.context.Observability` — to co-publish with the
+    rest of the process.
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None):
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.components: dict[str, ComponentMetrics] = _ComponentMap(self.registry)
+        self.latency = self.registry.histogram(
+            "repro_latency_seconds",
+            "End-to-end tuple-tree completion latency (seconds).",
+        )
+        self._replays = self.registry.counter(
+            "repro_replays_total", "Spout messages replayed after failure."
+        )
+        self._checkpoints = self.registry.counter(
+            "repro_checkpoints_total", "Consistent checkpoints taken."
+        )
+        self._recoveries = self.registry.counter(
+            "repro_recoveries_total", "Checkpoint recoveries performed."
+        )
+        self._wall = self.registry.gauge(
+            "repro_wall_seconds", "Wall-clock duration of the run (seconds)."
+        )
+
+    # -- reliability counters (attribute API preserved) --------------------
+
+    @property
+    def replays(self) -> int:
+        return int(self._replays.value)
+
+    @replays.setter
+    def replays(self, value: int) -> None:
+        self._replays._set(value)
+
+    @property
+    def checkpoints(self) -> int:
+        return int(self._checkpoints.value)
+
+    @checkpoints.setter
+    def checkpoints(self, value: int) -> None:
+        self._checkpoints._set(value)
+
+    @property
+    def recoveries(self) -> int:
+        return int(self._recoveries.value)
+
+    @recoveries.setter
+    def recoveries(self, value: int) -> None:
+        self._recoveries._set(value)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._wall.value
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        self._wall.set(value)
+
+    # -- latency -----------------------------------------------------------
 
     def record_latency(self, seconds: float) -> None:
         """Add one end-to-end latency sample (seconds)."""
-        self.latency.update(seconds)
+        self.latency.observe(seconds)
 
     def latency_quantile(self, q: float) -> float:
         """Latency quantile in seconds (0 when nothing completed)."""
-        if self.latency.count == 0:
-            return 0.0
         return self.latency.quantile(q)
+
+    # -- derived -----------------------------------------------------------
 
     def throughput(self) -> float:
         """Source tuples per wall-clock second."""
         emitted = sum(
             m.emitted for name, m in self.components.items() if name.startswith("spout:")
         )
-        return emitted / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        wall = self.wall_seconds
+        return emitted / wall if wall > 0 else 0.0
+
+    def _component_items(self) -> Iterator[tuple[str, ComponentMetrics]]:
+        return iter(sorted(self.components.items()))
 
     def summary(self) -> dict:
-        """Flat dict for reports."""
+        """Flat dict for reports, including per-component counters and the
+        queue high-water marks ``_route`` collects (backpressure)."""
         return {
             "throughput_tps": round(self.throughput(), 1),
             "latency_p50_ms": round(self.latency_quantile(0.5) * 1e3, 3),
@@ -64,4 +208,7 @@ class ExecutionMetrics:
             "replays": self.replays,
             "checkpoints": self.checkpoints,
             "recoveries": self.recoveries,
+            "components": {
+                name: entry.as_dict() for name, entry in self._component_items()
+            },
         }

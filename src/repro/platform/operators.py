@@ -89,6 +89,13 @@ class SynopsisBolt(Bolt):
 
     The live synopsis is available as ``.synopsis`` after the run; snapshots
     deep-copy it, so sketch state participates in exactly-once checkpoints.
+
+    Observability: pass ``instrument=True`` (or a name string) to wrap the
+    synopsis in an :class:`~repro.obs.instrument.InstrumentedSynopsis`
+    publishing update/batch-size/memory metrics into *registry* (default:
+    the process-wide registry). The wrapper is transparent to checkpoints
+    — snapshots copy only the underlying sketch state, and instrument
+    counters deliberately survive restores (observed work stays observed).
     """
 
     def __init__(
@@ -96,14 +103,33 @@ class SynopsisBolt(Bolt):
         factory: Callable[[], Any],
         extract: Callable[[tuple], Any] = None,
         batch_size: int = 256,
+        instrument: bool | str = False,
+        registry: Any = None,
     ):
         if batch_size <= 0:
             raise ParameterError("batch_size must be positive")
         self.factory = factory
         self.extract = extract or (lambda values: values[0])
         self.batch_size = batch_size
-        self._synopsis = factory()
+        self.instrument = instrument
+        self.registry = registry
+        self._synopsis = self._wrap(factory())
         self._buffer: list[Any] = []
+
+    def _wrap(self, synopsis: Any) -> Any:
+        if not self.instrument:
+            return synopsis
+        from repro.obs.instrument import InstrumentedSynopsis
+
+        name = self.instrument if isinstance(self.instrument, str) else None
+        return InstrumentedSynopsis(synopsis, registry=self.registry, name=name)
+
+    def _unwrap(self) -> Any:
+        from repro.obs.instrument import InstrumentedSynopsis
+
+        if isinstance(self._synopsis, InstrumentedSynopsis):
+            return self._synopsis.synopsis
+        return self._synopsis
 
     @property
     def synopsis(self) -> Any:
@@ -128,7 +154,7 @@ class SynopsisBolt(Bolt):
         import copy
 
         self._drain()
-        return copy.deepcopy(self._synopsis)
+        return copy.deepcopy(self._unwrap())
 
     def restore(self, state) -> None:
         import copy
@@ -136,7 +162,8 @@ class SynopsisBolt(Bolt):
         # Buffered tuples are pre-checkpoint state: drop them — the spout
         # replays everything after the restored snapshot.
         self._buffer = []
-        self._synopsis = copy.deepcopy(state) if state is not None else self.factory()
+        restored = copy.deepcopy(state) if state is not None else self.factory()
+        self._synopsis = self._wrap(restored)
 
 
 class TumblingWindowBolt(Bolt):

@@ -35,6 +35,14 @@ class StreamTuple:
     ``values`` is the payload; ``msg_id`` identifies the *root* spout
     message this tuple descends from (None when reliability is off);
     ``anchors`` are the acker-tracked tuple ids this tuple is anchored to.
+
+    The trailing fields carry the *trace context* for sampled tuples
+    (``repro.obs``): ``trace_id`` marks the tuple as traced,
+    ``parent_span`` is the span that emitted it, ``attempt`` numbers
+    re-emissions of the root message across replay/recovery, and
+    ``enqueued_at`` is the perf-counter instant it entered its input
+    queue (for queue-wait spans). All default to the untraced state, so
+    unsampled tuples pay nothing beyond the defaults.
     """
 
     values: tuple
@@ -43,6 +51,10 @@ class StreamTuple:
     tuple_id: int = field(default_factory=next_tuple_id)
     anchors: tuple[int, ...] = ()
     timestamp: float = 0.0
+    trace_id: int | None = None
+    parent_span: int | None = None
+    attempt: int = 0
+    enqueued_at: float = 0.0
 
     def __getitem__(self, index: int) -> Any:
         return self.values[index]

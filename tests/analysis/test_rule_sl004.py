@@ -22,6 +22,13 @@ class TestTriggers:
         src = "from time import perf_counter\nt = perf_counter()\n"
         assert rule_ids({"algo.py": src}, select=SELECT) == ["SL004"]
 
+    def test_obs_like_name_elsewhere_still_flagged(self, rule_ids):
+        # the exemption is the top-level obs/ package, not any path
+        # containing the substring
+        src = "import time\nstamp = time.time()\n"
+        files = {"myobs/clock.py": src, "frequency/obs_helper.py": src}
+        assert rule_ids(files, select=SELECT) == ["SL004", "SL004"]
+
 
 class TestClean:
     def test_platform_layer_may_read_clock(self, rule_ids):
@@ -32,6 +39,11 @@ class TestClean:
         # the throughput bench measures wall time by definition
         src = "import time\nstart = time.perf_counter()\n"
         assert rule_ids({"bench/runner.py": src}, select=SELECT) == []
+
+    def test_obs_layer_may_read_clock(self, rule_ids):
+        # span timing / queue-wait accounting is the observability plane's job
+        src = "import time\nstart = time.perf_counter()\n"
+        assert rule_ids({"obs/tracing.py": src}, select=SELECT) == []
 
     def test_event_time_parameter(self, rule_ids):
         src = (

@@ -24,8 +24,10 @@ class TestExecutionMetrics:
         assert 10.0 <= summary["latency_p50_ms"] <= 30.0
         assert set(summary) == {
             "throughput_tps", "latency_p50_ms", "latency_p99_ms",
-            "replays", "checkpoints", "recoveries",
+            "replays", "checkpoints", "recoveries", "components",
         }
+        assert summary["components"]["spout:s"]["emitted"] == 100
+        assert "queue_high_water" in summary["components"]["spout:s"]
 
     def test_empty_metrics_safe(self):
         metrics = ExecutionMetrics()

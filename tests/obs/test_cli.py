@@ -1,0 +1,93 @@
+"""The ``repro-obs`` console entry point."""
+
+import json
+
+from repro.obs.cli import build_parser, main
+from repro.obs.exporters import parse_prometheus
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.sample_rate == 0.1
+        assert args.export is None
+        assert args.prom is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--records", "100", "--sample-rate", "1.0", "--crash-after", "50"]
+        )
+        assert args.records == 100
+        assert args.sample_rate == 1.0
+        assert args.crash_after == 50
+
+
+class TestMain:
+    def test_runs_and_writes_exports(self, tmp_path, capsys):
+        jsonl = tmp_path / "obs.jsonl"
+        prom = tmp_path / "obs.prom"
+        rc = main(
+            [
+                "--records",
+                "80",
+                "--sample-rate",
+                "1.0",
+                "--export",
+                str(jsonl),
+                "--prom",
+                str(prom),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== run summary ==" in out
+        assert "== components ==" in out
+
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"metric", "span"}
+
+        samples = parse_prometheus(prom.read_text())
+        assert samples  # parses back to at least one sample
+
+    def test_exporters_agree_on_values(self, tmp_path):
+        jsonl = tmp_path / "obs.jsonl"
+        prom = tmp_path / "obs.prom"
+        main(
+            [
+                "--records",
+                "60",
+                "--sample-rate",
+                "0.5",
+                "--export",
+                str(jsonl),
+                "--prom",
+                str(prom),
+            ]
+        )
+        from_prom = parse_prometheus(prom.read_text())
+        from_jsonl = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+            for r in map(json.loads, jsonl.read_text().splitlines())
+            if r["type"] == "metric"
+        }
+        assert from_prom == from_jsonl
+
+    def test_crash_run_reports_recovery(self, capsys):
+        rc = main(
+            [
+                "--records",
+                "200",
+                "--sample-rate",
+                "1.0",
+                "--semantics",
+                "exactly_once",
+                "--crash-after",
+                "120",
+                "--checkpoint-interval",
+                "50",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recover" in out.lower() or "lifecycle" in out.lower()

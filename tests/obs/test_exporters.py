@@ -1,0 +1,107 @@
+"""JSON-lines export and Prometheus v0 exposition round-trips."""
+
+import json
+
+from repro.obs.exporters import (
+    metric_records,
+    parse_prometheus,
+    read_jsonl,
+    registry_as_samples,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracing import Span, SpanCollector
+
+
+def _populated_registry():
+    reg = MetricRegistry()
+    reg.counter("events_total", labelnames=("component",)).labels(
+        component="spout"
+    ).inc(17)
+    reg.gauge("depth").set(3.5)
+    h = reg.histogram("lat_seconds")
+    for v in (0.001, 0.002, 0.004):
+        h.observe(v)
+    return reg
+
+
+class TestJsonl:
+    def test_metric_records_shape(self):
+        recs = metric_records(_populated_registry())
+        assert all(r["type"] == "metric" for r in recs)
+        names = {r["name"] for r in recs}
+        assert "events_total" in names
+        assert "lat_seconds_count" in names
+
+    def test_to_jsonl_parses_line_by_line(self):
+        text = to_jsonl(_populated_registry())
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert lines
+        assert all("type" in rec for rec in lines)
+
+    def test_spans_included_when_collector_given(self):
+        collector = SpanCollector()
+        collector.record(
+            Span(
+                trace_id=1,
+                span_id=2,
+                parent_id=None,
+                component="spout:s",
+                kind="spout_emit",
+                start=0.0,
+            )
+        )
+        text = to_jsonl(_populated_registry(), collector)
+        kinds = {json.loads(line)["type"] for line in text.splitlines()}
+        assert kinds == {"metric", "span"}
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "out.jsonl"
+        write_jsonl(path, reg)
+        recs = read_jsonl(path.read_text())
+        assert recs == read_jsonl(to_jsonl(reg))
+
+
+class TestPrometheus:
+    def test_help_and_type_lines(self):
+        text = to_prometheus(_populated_registry())
+        assert "# TYPE events_total counter" in text
+        assert "# TYPE depth gauge" in text
+        # TDigest histograms are exposed as summaries (quantile labels)
+        assert "# TYPE lat_seconds summary" in text
+
+    def test_round_trip_matches_registry(self):
+        reg = _populated_registry()
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed == registry_as_samples(reg)
+
+    def test_label_escaping_survives_round_trip(self):
+        reg = MetricRegistry()
+        reg.counter("odd_total", labelnames=("path",)).labels(
+            path='a"b\\c\nd'
+        ).inc(2)
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed == registry_as_samples(reg)
+        (key,) = parsed
+        name, labels = key
+        assert name == "odd_total"
+        assert dict(labels)["path"] == 'a"b\\c\nd'
+
+    def test_integral_values_render_exactly(self):
+        reg = MetricRegistry()
+        reg.counter("n_total").inc(3)
+        text = to_prometheus(reg)
+        assert "n_total 3" in text.splitlines()
+
+    def test_jsonl_and_prometheus_agree(self):
+        # the acceptance criterion: both exporters report the same values
+        reg = _populated_registry()
+        prom = parse_prometheus(to_prometheus(reg))
+        jsonl = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+            for r in metric_records(reg)
+        }
+        assert prom == jsonl

@@ -1,0 +1,123 @@
+"""InstrumentedSynopsis: call counting, batch sizes, memory gauge, merge."""
+
+import pytest
+
+from repro.frequency.count_min import CountMinSketch
+from repro.cardinality.hyperloglog import HyperLogLog
+from repro.obs.instrument import InstrumentedSynopsis
+from repro.obs.metrics import MetricRegistry
+
+
+def _cms():
+    return CountMinSketch(width=64, depth=4)
+
+
+class TestCallCounting:
+    def test_update_counts(self):
+        reg = MetricRegistry()
+        inst = InstrumentedSynopsis(_cms(), registry=reg)
+        inst.update("a")
+        inst.update("b")
+        assert inst.call_count("update") == 2
+
+    def test_update_many_counts_calls_and_items(self):
+        reg = MetricRegistry()
+        inst = InstrumentedSynopsis(_cms(), registry=reg, name="cms")
+        inst.update_many(["a", "b", "c"])
+        assert inst.call_count("update_many") == 1
+        items = reg.get("repro_synopsis_items_total").labels(synopsis="cms")
+        assert items.value == 3
+
+    def test_update_many_accepts_unsized_iterables(self):
+        inst = InstrumentedSynopsis(_cms(), registry=MetricRegistry())
+        inst.update_many(iter(["a", "b"]))
+        assert inst.call_count("update_many") == 1
+        assert inst.estimate("a") >= 1
+
+    def test_batch_size_histogram(self):
+        reg = MetricRegistry()
+        inst = InstrumentedSynopsis(_cms(), registry=reg, name="cms")
+        inst.update_many(["a"] * 10)
+        inst.update_many(["b"] * 30)
+        h = reg.get("repro_synopsis_batch_size").labels(synopsis="cms")
+        assert h.count == 2
+        assert h.sum == pytest.approx(40.0)
+
+    def test_query_methods_counted(self):
+        inst = InstrumentedSynopsis(_cms(), registry=MetricRegistry())
+        inst.update("a")
+        inst.estimate("a")
+        inst.estimate("a")
+        assert inst.call_count("query:estimate") == 2
+
+    def test_results_delegate_to_inner(self):
+        inner = _cms()
+        inst = InstrumentedSynopsis(inner, registry=MetricRegistry())
+        inst.update_many(["x", "x", "y"])
+        assert inst.estimate("x") == inner.estimate("x") >= 2
+
+
+class TestMemoryGauge:
+    def test_gauge_reads_live_footprint(self):
+        reg = MetricRegistry()
+        inst = InstrumentedSynopsis(HyperLogLog(precision=8), registry=reg, name="hll")
+        g = reg.get("repro_synopsis_memory_bytes").labels(synopsis="hll")
+        v = g.value
+        assert isinstance(v, (int, float))
+        assert v > 0
+        assert v == inst.memory_footprint()
+
+    def test_memory_footprint_positive_int(self):
+        inst = InstrumentedSynopsis(_cms(), registry=MetricRegistry())
+        mf = inst.memory_footprint()
+        assert isinstance(mf, int)
+        assert mf > 0
+
+
+class TestMerge:
+    def test_merge_counts_and_merges(self):
+        reg = MetricRegistry()
+        a = InstrumentedSynopsis(_cms(), registry=reg, name="a")
+        b = _cms()
+        b.update_many(["z"] * 5)
+        a.merge(b)
+        assert a.call_count("merge") == 1
+        assert a.estimate("z") >= 5
+
+    def test_merge_unwraps_instrumented_peer(self):
+        reg = MetricRegistry()
+        a = InstrumentedSynopsis(_cms(), registry=reg, name="a")
+        b = InstrumentedSynopsis(_cms(), registry=reg, name="b")
+        b.update_many(["w"] * 4)
+        a.merge(b)  # must not explode on the wrapper type
+        assert a.estimate("w") >= 4
+
+
+class TestConvenience:
+    def test_synopsis_base_instrumented_helper(self):
+        reg = MetricRegistry()
+        inst = _cms().instrumented(registry=reg, name="via_helper")
+        assert isinstance(inst, InstrumentedSynopsis)
+        inst.update("q")
+        assert inst.call_count("update") == 1
+
+    def test_default_name_from_class(self):
+        reg = MetricRegistry()
+        inst = InstrumentedSynopsis(_cms(), registry=reg)
+        inst.update("a")
+        samples = [
+            s
+            for s in reg.get("repro_synopsis_calls_total").samples()
+            if s.labels_dict()["op"] == "update"
+        ]
+        (sample,) = samples
+        assert sample.labels_dict()["synopsis"] == "countminsketch"
+        assert sample.value == 1
+
+    def test_len_and_getitem_delegate(self):
+        from repro.frequency.space_saving import SpaceSaving
+
+        inner = SpaceSaving(k=8)
+        inst = InstrumentedSynopsis(inner, registry=MetricRegistry())
+        inst.update_many(["a", "a", "b"])
+        assert len(inst) == len(inner)

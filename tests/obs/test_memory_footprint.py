@@ -1,0 +1,37 @@
+"""Registry-wide check: every synopsis reports a positive memory footprint.
+
+Satellite (b) of the obs PR: ``memory_footprint()`` — the hook the
+instrumentation gauge reads — must return a positive int for every
+registered synopsis, exercised both empty and after ingesting its
+batch-equivalence workload.
+"""
+
+import random
+
+import pytest
+
+from tests.core.test_batch_equivalence import SPEC, _build
+
+# Coverage of SPEC against the registry is already enforced by
+# tests/core/test_batch_equivalence.py::test_spec_covers_every_registered_synopsis,
+# so parametrising over SPEC here *is* registry-wide.
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_memory_footprint_positive_int_when_empty(name):
+    syn = _build(name)
+    mf = syn.memory_footprint()
+    assert isinstance(mf, int), f"{name}: {type(mf)!r}"
+    assert mf > 0, f"{name}: footprint {mf!r}"
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_memory_footprint_does_not_shrink_after_ingest(name):
+    syn = _build(name)
+    empty = syn.memory_footprint()
+    __, workload = SPEC[name]
+    syn.update_many(workload(200, random.Random(11)))
+    mf = syn.memory_footprint()
+    assert isinstance(mf, int), f"{name}: {type(mf)!r}"
+    assert mf > 0, f"{name}: footprint {mf!r}"
+    assert mf >= empty // 2, f"{name}: footprint collapsed {empty} -> {mf}"

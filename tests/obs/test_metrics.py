@@ -1,0 +1,164 @@
+"""The metric registry: instruments, labels, collection, no-op defaults."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricRegistry()
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        c = MetricRegistry().counter("x_total")
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricRegistry()
+        c = reg.counter("hops_total", labelnames=("component",))
+        c.labels(component="a").inc(2)
+        c.labels(component="b").inc(5)
+        assert c.labels(component="a").value == 2
+        assert c.labels(component="b").value == 5
+
+    def test_labels_must_match_declaration(self):
+        c = MetricRegistry().counter("hops_total", labelnames=("component",))
+        with pytest.raises(ParameterError):
+            c.labels(task="0")
+        with pytest.raises(ParameterError):
+            c.inc()  # labeled family has no default child
+
+    def test_samples(self):
+        reg = MetricRegistry()
+        c = reg.counter("hops_total", labelnames=("component",))
+        c.labels(component="a").inc(3)
+        (sample,) = c.samples()
+        assert sample.name == "hops_total"
+        assert sample.labels_dict() == {"component": "a"}
+        assert sample.value == 3
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_callback_gauge_reads_live(self):
+        state = {"v": 1}
+        g = MetricRegistry().gauge("live")
+        g.set_function(lambda: state["v"])
+        assert g.value == 1
+        state["v"] = 7
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_count_sum_quantile(self):
+        h = MetricRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == pytest.approx(5050.0)
+        assert 40 <= h.quantile(0.5) <= 60
+
+    def test_empty_quantile_is_zero(self):
+        assert MetricRegistry().histogram("lat").quantile(0.99) == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ParameterError):
+            MetricRegistry().histogram("lat").observe(float("nan"))
+
+    def test_samples_include_count_sum_quantiles(self):
+        h = MetricRegistry().histogram("lat")
+        h.observe(1.0)
+        names = {s.name for s in h.samples()}
+        assert names == {"lat", "lat_count", "lat_sum"}
+        quantiles = {
+            s.labels_dict().get("quantile") for s in h.samples() if s.name == "lat"
+        }
+        assert quantiles == {"0.5", "0.9", "0.99"}
+
+
+class TestRegistry:
+    def test_get_or_create_shares_family(self):
+        reg = MetricRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ParameterError):
+            reg.gauge("x_total")
+
+    def test_labelnames_conflict_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ParameterError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(ParameterError):
+            reg.counter("0bad")
+        with pytest.raises(ParameterError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+        with pytest.raises(ParameterError):
+            reg.counter("ok_total2", labelnames=("a", "a"))
+
+    def test_collect_is_stable_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("b_total").inc()
+        reg.gauge("a").set(2)
+        assert [s.name for s in reg.collect()] == ["a", "b_total"]
+
+    def test_instrument_classes_exported(self):
+        reg = MetricRegistry()
+        assert isinstance(reg.counter("c_total"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)
+
+
+class TestNullRegistry:
+    def test_all_verbs_are_noops(self):
+        c = NULL_REGISTRY.counter("x_total")
+        g = NULL_REGISTRY.gauge("g", labelnames=("a",))
+        h = NULL_REGISTRY.histogram("h")
+        c.inc()
+        g.labels(a="1").set(5)
+        h.observe(3.0)
+        assert c.value == 0
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        assert NULL_REGISTRY.collect() == []
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        original = get_default_registry()
+        fresh = MetricRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert previous is original
+            assert get_default_registry() is fresh
+        finally:
+            set_default_registry(original)
+        assert get_default_registry() is original

@@ -1,0 +1,56 @@
+"""The observability-overhead bench: schema-valid payload, sane overhead."""
+
+import pytest
+
+from repro.bench.obs import overhead_at_default_rate, run_obs_bench
+from repro.bench.runner import validate_payload
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_obs_bench(n_items=600, repeats=1, seed=7, smoke=True)
+
+
+class TestPayload:
+    def test_schema_validates(self, payload):
+        validate_payload(payload)  # raises on violation
+        assert payload["schema"] == "repro.bench/v1"
+
+    def test_three_rates_measured(self, payload):
+        names = [r["synopsis"] for r in payload["results"]]
+        assert len(names) == 3
+        assert any("metrics" in n for n in names)
+        assert any("trace@0.01" in n for n in names)
+        assert any("trace@1" in n for n in names)
+
+    def test_bare_and_instrumented_states_equal(self, payload):
+        assert all(r["equivalent"] for r in payload["results"])
+
+    def test_throughput_fields_positive(self, payload):
+        for row in payload["results"]:
+            assert row["seq_items_per_s"] > 0
+            assert row["batch_items_per_s"] > 0
+            assert row["speedup"] > 0
+
+    def test_config_records_mode(self, payload):
+        cfg = payload["config"]
+        assert cfg["mode"] == "obs-overhead"
+        assert cfg["smoke"] is True
+
+
+class TestOverhead:
+    def test_overhead_at_default_rate_extracted(self, payload):
+        overhead = overhead_at_default_rate(payload)
+        assert isinstance(overhead, float)
+        # smoke workloads are noisy; just require it isn't catastrophic
+        assert overhead > -0.9
+
+    def test_missing_default_rate_rejected(self, payload):
+        from repro.common.exceptions import ParameterError
+
+        broken = dict(payload)
+        broken["results"] = [
+            r for r in payload["results"] if "trace@0.01" not in r["synopsis"]
+        ]
+        with pytest.raises(ParameterError):
+            overhead_at_default_rate(broken)

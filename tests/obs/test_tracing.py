@@ -1,0 +1,226 @@
+"""TraceSampler determinism, span recording, and tree reconstruction."""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.obs.tracing import (
+    SPAN_KINDS,
+    Span,
+    SpanCollector,
+    TraceSampler,
+    critical_path,
+    next_span_id,
+    span_stats,
+)
+
+
+class TestTraceSampler:
+    def test_deterministic_across_instances(self):
+        a = TraceSampler(rate=0.5, seed=13)
+        b = TraceSampler(rate=0.5, seed=13)
+        msg_ids = list(range(200))
+        assert [a.sample(m) for m in msg_ids] == [b.sample(m) for m in msg_ids]
+
+    def test_replay_resumes_same_trace(self):
+        # the trace id is a pure function of (seed, msg_id): a replayed
+        # tuple lands in the same trace as its first attempt
+        s = TraceSampler(rate=1.0, seed=7)
+        first = s.sample(42)
+        replay = s.sample(42)
+        assert first is not None
+        assert first == replay
+
+    def test_rate_zero_samples_nothing(self):
+        s = TraceSampler(rate=0.0, seed=1)
+        assert all(s.sample(m) is None for m in range(100))
+
+    def test_rate_one_samples_everything(self):
+        s = TraceSampler(rate=1.0, seed=1)
+        assert all(s.sample(m) is not None for m in range(100))
+
+    def test_rate_is_approximately_honoured(self):
+        s = TraceSampler(rate=0.1, seed=3)
+        hits = sum(1 for m in range(5000) if s.sample(m) is not None)
+        assert 300 <= hits <= 700  # 10% +- wide slack
+
+    def test_different_seeds_pick_different_subsets(self):
+        a = TraceSampler(rate=0.2, seed=1)
+        b = TraceSampler(rate=0.2, seed=2)
+        picks_a = {m for m in range(1000) if a.sample(m) is not None}
+        picks_b = {m for m in range(1000) if b.sample(m) is not None}
+        assert picks_a != picks_b
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            TraceSampler(rate=-0.1)
+        with pytest.raises(ParameterError):
+            TraceSampler(rate=1.5)
+
+
+class TestSpanCollector:
+    def _span(self, trace_id, span_id, parent_id=None, kind="process", **kw):
+        return Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            component=kw.pop("component", "bolt:x"),
+            kind=kind,
+            start=kw.pop("start", 0.0),
+            **kw,
+        )
+
+    def test_record_and_len(self):
+        c = SpanCollector()
+        c.record(self._span(1, 10, kind="spout_emit"))
+        c.record(self._span(1, 11, parent_id=10))
+        assert len(c) == 2
+        assert c.trace_ids() == [1]
+
+    def test_unknown_kind_rejected(self):
+        c = SpanCollector()
+        with pytest.raises(ParameterError):
+            c.record(self._span(1, 10, kind="teleport"))
+
+    def test_all_declared_kinds_accepted(self):
+        c = SpanCollector()
+        for i, kind in enumerate(SPAN_KINDS):
+            c.record(self._span(1, 100 + i, kind=kind))
+        assert len(c) == len(SPAN_KINDS)
+
+    def test_traceless_spans_are_events(self):
+        c = SpanCollector()
+        c.record(
+            Span(
+                trace_id=None,
+                span_id=next_span_id(),
+                parent_id=None,
+                component="executor",
+                kind="checkpoint",
+                start=0.0,
+            )
+        )
+        assert len(c.events) == 1
+        assert c.trace_ids() == []
+
+    def test_tree_reconstruction(self):
+        c = SpanCollector()
+        c.record(
+            self._span(5, 1, kind="spout_emit", component="spout:s")
+        )
+        c.record(self._span(5, 2, parent_id=1, component="bolt:a"))
+        c.record(self._span(5, 3, parent_id=2, component="bolt:b"))
+        c.record(self._span(5, 4, parent_id=1, kind="ack", component="acker"))
+        root = c.tree(5)
+        assert root.span.component == "spout:s"
+        kids = {n.span.component for n in root.children}
+        assert kids == {"bolt:a", "acker"}
+        assert [n.span.component for n in root.walk()] == [
+            "spout:s",
+            "bolt:a",
+            "bolt:b",
+            "acker",
+        ]
+
+    def test_tree_final_attempt_by_default(self):
+        c = SpanCollector()
+        c.record(self._span(9, 1, kind="spout_emit", attempt=1))
+        c.record(self._span(9, 2, parent_id=1, attempt=1))
+        c.record(self._span(9, 3, kind="spout_emit", attempt=2))
+        c.record(self._span(9, 4, parent_id=3, attempt=2))
+        assert c.attempts(9) == 2
+        final = c.tree(9)
+        assert final.span.span_id == 3
+        first = c.tree(9, attempt=1)
+        assert first.span.span_id == 1
+
+    def test_tree_unknown_trace_rejected(self):
+        with pytest.raises(ParameterError):
+            SpanCollector().tree(123)
+
+    def test_to_records_roundtrips_as_dicts(self):
+        c = SpanCollector()
+        c.record(self._span(1, 10, kind="spout_emit"))
+        (rec,) = c.to_records()
+        assert rec["type"] == "span"
+        assert rec["trace_id"] == 1
+        assert rec["span_id"] == 10
+
+
+class TestAnalysis:
+    def test_critical_path_follows_slowest_child(self):
+        c = SpanCollector()
+        c.record(
+            Span(
+                trace_id=1,
+                span_id=1,
+                parent_id=None,
+                component="spout:s",
+                kind="spout_emit",
+                start=0.0,
+                duration=0.001,
+            )
+        )
+        c.record(
+            Span(
+                trace_id=1,
+                span_id=2,
+                parent_id=1,
+                component="bolt:fast",
+                kind="process",
+                start=0.0,
+                duration=0.001,
+            )
+        )
+        c.record(
+            Span(
+                trace_id=1,
+                span_id=3,
+                parent_id=1,
+                component="bolt:slow",
+                kind="process",
+                start=0.0,
+                duration=0.010,
+            )
+        )
+        path = critical_path(c.tree(1))
+        assert [s.component for s in path] == ["spout:s", "bolt:slow"]
+
+    def test_span_stats_aggregates_per_component(self):
+        spans = [
+            Span(
+                trace_id=1,
+                span_id=i,
+                parent_id=None,
+                component="bolt:a",
+                kind="process",
+                start=0.0,
+                duration=0.002,
+                queue_wait=0.001,
+                fan_out=2,
+            )
+            for i in range(3)
+        ]
+        stats = span_stats(spans)
+        assert stats["bolt:a"]["hops"] == 3
+        assert stats["bolt:a"]["process_s"] == pytest.approx(0.006)
+        assert stats["bolt:a"]["queue_wait_s"] == pytest.approx(0.003)
+        assert stats["bolt:a"]["fan_out"] == 6
+
+    def test_span_stats_ignores_lifecycle_kinds(self):
+        spans = [
+            Span(
+                trace_id=1,
+                span_id=1,
+                parent_id=None,
+                component="acker",
+                kind="ack",
+                start=0.0,
+            )
+        ]
+        assert span_stats(spans) == {}
+
+
+class TestSpanIds:
+    def test_ids_unique(self):
+        ids = {next_span_id() for _ in range(1000)}
+        assert len(ids) == 1000
