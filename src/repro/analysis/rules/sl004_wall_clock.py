@@ -6,7 +6,9 @@ by the caller*, never by the machine's clock: a sketch that calls
 recompute-from-log recovery model (Lambda batch layer, at-least-once
 replay) and makes tests flaky. Wall-clock access is allowed only under
 ``platform/`` — the runtime layer that owns real time (latency metrics,
-timeouts) — under ``bench/``, where elapsed wall time is the
+timeouts) — under ``cluster/``, its multi-process sibling (reply
+deadlines, liveness checks, and checkpoint pacing are genuinely about
+the machine's clock), under ``bench/``, where elapsed wall time is the
 *measurement itself* (the ingest-throughput harness), and under ``obs/``,
 the observability plane, whose span timing and overhead accounting
 legitimately read the clock (a trace without real timestamps measures
@@ -34,9 +36,10 @@ _WALL_CLOCK_CALLS = {
     "datetime.date.today",
 }
 
-# platform/ owns real time; bench/ measures it; obs/ records it (spans,
-# queue waits); analysis/ is the linter's own tooling.
-_EXEMPT_PACKAGES = ("platform", "analysis", "bench", "obs")
+# platform/ owns real time; cluster/ extends it across processes
+# (heartbeats, reply deadlines); bench/ measures it; obs/ records it
+# (spans, queue waits); analysis/ is the linter's own tooling.
+_EXEMPT_PACKAGES = ("platform", "cluster", "analysis", "bench", "obs")
 
 
 @rule

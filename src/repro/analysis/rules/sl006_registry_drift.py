@@ -11,7 +11,12 @@ reports the ones the registry module never mentions.
 
 Registration is detected syntactically: the class name must appear
 somewhere in ``core/registry.py`` (an import, a ``builtins`` table entry,
-or a ``register(...)`` call all count). When the scanned tree contains no
+or a ``register(...)`` call all count). A second registration surface was
+added with the cluster subsystem: classes wired into the state-shipping
+plane via ``serialization.register_reducer(Cls, ...)`` are constructible
+by the coordinator from shipped bytes, so a ``register_reducer`` call
+anywhere in the scanned tree also counts — shipped-only synopses are
+deliberate, not drift. When the scanned tree contains no
 ``core/registry.py`` the rule stays silent — there is nothing to drift
 from.
 """
@@ -27,6 +32,34 @@ from repro.analysis.findings import Finding
 
 _BASE_NAME = "SynopsisBase"
 _REGISTRY_SUFFIX = "core/registry.py"
+_REDUCER_FUNC = "register_reducer"
+
+
+def _reducer_registered_names(ctxs: Sequence["ModuleContext"]) -> set[str]:
+    """Class names passed to ``register_reducer(...)`` anywhere in the tree.
+
+    The cluster's state-shipping plane (:mod:`repro.core.stateship` over
+    :mod:`repro.common.serialization`) can rebuild any class with a
+    registered reducer from shipped bytes — for the purposes of this rule
+    that is a registration surface on par with the name registry.
+    """
+    names: set[str] = set()
+    for ctx in ctxs:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            func_name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if func_name != _REDUCER_FUNC or not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
 
 
 class _ClassInfo:
@@ -108,6 +141,7 @@ class RegistryDriftRule(Rule):
             )
 
         registered = _referenced_names(registry_ctx.tree)
+        registered |= _reducer_registered_names(ctxs)
         for info in classes.values():
             if info.name == _BASE_NAME or info.name.startswith("_"):
                 continue

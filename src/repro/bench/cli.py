@@ -6,6 +6,10 @@ a tiny workload that still exercises every case, verifies the batch-ingest
 invariant at runtime and validates the emitted schema. ``--obs`` switches
 to the observability-overhead suite (:mod:`repro.bench.obs`): the demo
 topology bare vs. instrumented, written to ``BENCH_obs.json`` by default.
+``--cluster`` switches to the cluster-scaling suite
+(:mod:`repro.bench.cluster`): the demo topology single-process vs. sharded
+across worker processes at each ``--workers`` count, written to
+``BENCH_cluster.json`` by default.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.bench.runner import format_table, run_bench, validate_payload
 
 _DEFAULT_OUT = "BENCH_synopses.json"
 _OBS_DEFAULT_OUT = "BENCH_obs.json"
+_CLUSTER_DEFAULT_OUT = "BENCH_cluster.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,10 +44,26 @@ def build_parser() -> argparse.ArgumentParser:
         "topology) instead of synopsis ingest",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="measure cluster scaling (single-process vs. sharded demo "
+        "topology) instead of synopsis ingest",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="W",
+        help="worker counts for --cluster (default: 1 2 4 8, or 1 2 with "
+        "--smoke)",
+    )
+    parser.add_argument(
         "--items",
         type=int,
         default=None,
-        help="items per workload (default: 100000, or 20000 with --obs)",
+        help="items per workload (default: 100000, or 20000 with "
+        "--obs/--cluster)",
     )
     parser.add_argument(
         "--repeats",
@@ -64,6 +85,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Run the suite, print the table, write and validate the JSON."""
     args = build_parser().parse_args(argv)
+    if args.cluster:
+        from repro.bench.cluster import DEFAULT_WORKERS, run_cluster_bench
+
+        n_items = 2_000 if args.smoke else (args.items or 20_000)
+        repeats = 1 if args.smoke else args.repeats
+        workers = tuple(
+            args.workers
+            if args.workers
+            else ((1, 2) if args.smoke else DEFAULT_WORKERS)
+        )
+        payload = run_cluster_bench(
+            n_items=n_items,
+            repeats=repeats,
+            seed=args.seed,
+            smoke=args.smoke,
+            workers=workers,
+        )
+        validate_payload(payload)
+        print(format_table(payload))
+        print(f"\nmachine: {payload['config']['n_cores']} core(s) — speedup "
+              "is bounded by available cores; merged-state equality is the "
+              "invariant")
+        out_path = Path(args.out or _CLUSTER_DEFAULT_OUT)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")
+        return 0
     if args.obs:
         from repro.bench.obs import overhead_at_default_rate, run_obs_bench
 

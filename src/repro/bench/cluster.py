@@ -1,0 +1,123 @@
+"""The cluster-scaling bench: does sharding the demo topology pay?
+
+``repro-bench --cluster`` runs the demo topology (words → split → keyed
+count + sketch) once on the single-process :class:`LocalExecutor` as the
+baseline and then on :class:`~repro.cluster.coordinator.ClusterExecutor`
+at each worker count, best-of-*repeats* per configuration over identical
+seeded records. Results reuse the ``repro.bench/v1`` row shape with the
+two timed columns mapped as
+
+* ``seq_*``   → the single-process baseline,
+* ``batch_*`` → the sharded run at that worker count,
+
+so ``speedup`` is the cluster/baseline throughput ratio. ``equivalent``
+asserts the *merged* shard-partial synopsis state fingerprints
+bit-identical to the single-process run — scaling out must not change
+the answer (the paper's partitioned-computation contract, Section 2).
+
+Honesty note: the achievable ratio is bounded by the machine. The
+payload records ``n_cores`` in its config; on a single-core container
+every worker count multiplexes one CPU and the ratio measures transport
+overhead, not parallel speedup. Read BENCH_cluster.json together with
+its ``n_cores``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.bench.runner import BENCH_SCHEMA
+from repro.cluster.coordinator import ClusterExecutor
+from repro.common.exceptions import ParameterError
+from repro.obs.demo import build_demo_topology, demo_records
+from repro.platform.executor import LocalExecutor
+
+#: Worker counts measured by default: baseline parity, then doubling.
+DEFAULT_WORKERS = (1, 2, 4, 8)
+
+
+def _baseline(records: list, repeats: int, semantics: str) -> tuple[float, str]:
+    """Best-of-*repeats* single-process wall time + reference fingerprint."""
+    best = float("inf")
+    fingerprint = ""
+    for __ in range(repeats):
+        executor = LocalExecutor(build_demo_topology(records), semantics=semantics)
+        start = time.perf_counter()
+        executor.run()
+        best = min(best, time.perf_counter() - start)
+        reference = executor.bolt_instances("sketch")[0].synopsis
+        fingerprint = state_fingerprint(reference)
+    return best, fingerprint
+
+
+def _cluster_run(
+    records: list, n_workers: int, repeats: int, semantics: str
+) -> tuple[float, str]:
+    """Best-of-*repeats* sharded wall time + merged-state fingerprint."""
+    best = float("inf")
+    fingerprint = ""
+    for __ in range(repeats):
+        executor = ClusterExecutor(
+            build_demo_topology(records),
+            n_workers=n_workers,
+            semantics=semantics,
+        )
+        with executor:
+            start = time.perf_counter()
+            executor.run()
+            best = min(best, time.perf_counter() - start)
+            fingerprint = state_fingerprint(executor.merged_synopsis("sketch"))
+    return best, fingerprint
+
+
+def run_cluster_bench(
+    n_items: int = 20_000,
+    repeats: int = 3,
+    seed: int = 7,
+    smoke: bool = False,
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    semantics: str = "at_most_once",
+) -> dict:
+    """Measure cluster scaling; returns a ``repro.bench/v1`` payload."""
+    if n_items <= 0:
+        raise ParameterError("n_items must be positive")
+    if repeats <= 0:
+        raise ParameterError("repeats must be positive")
+    if not workers or any(w <= 0 for w in workers):
+        raise ParameterError("workers must be positive counts")
+    records = demo_records(n_items, seed)
+    base_seconds, base_fingerprint = _baseline(records, repeats, semantics)
+    results = []
+    for n_workers in workers:
+        seconds, fingerprint = _cluster_run(records, n_workers, repeats, semantics)
+        results.append(
+            {
+                "synopsis": f"demo_topology[w{n_workers}]",
+                "workload": f"cluster-scaling/{semantics}",
+                "n_items": len(records),
+                # seq_* = single-process baseline, batch_* = sharded run
+                # (see module docstring); speedup = throughput ratio.
+                "seq_seconds": base_seconds,
+                "batch_seconds": seconds,
+                "seq_items_per_s": len(records) / base_seconds,
+                "batch_items_per_s": len(records) / seconds,
+                "speedup": base_seconds / seconds,
+                "equivalent": fingerprint == base_fingerprint,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "n_items": n_items,
+            "repeats": repeats,
+            "seed": seed,
+            "smoke": smoke,
+            "mode": "cluster-scaling",
+            "workers": list(workers),
+            "semantics": semantics,
+            "n_cores": os.cpu_count(),
+        },
+        "results": results,
+    }

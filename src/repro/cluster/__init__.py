@@ -1,0 +1,29 @@
+"""Multi-process sharded topology execution (Table 2's cluster design space).
+
+The single-process :class:`~repro.platform.executor.LocalExecutor` realizes
+Storm's model on one core; this package spreads the same topology across N
+worker *processes*:
+
+* :mod:`repro.cluster.plan` — the coordinator plans each bolt's declared
+  ``parallelism`` into per-worker shard assignments (Storm worker slots,
+  Samza partition→container mapping).
+* :mod:`repro.cluster.worker` — the child-process event loop: local task
+  queues, worker-side routing, fault injection, checkpoint capture.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterExecutor`: feeds
+  spouts, routes over ``multiprocessing`` queues honouring the grouping
+  contracts, tracks tuple trees (XOR acker), takes cluster-wide
+  checkpoints, detects worker crashes and performs rollback recovery, and
+  answers queries by merging shard-partial synopses
+  (:meth:`ClusterExecutor.merged_synopsis`, merge-on-query).
+* :mod:`repro.cluster.obsbridge` — per-worker metrics/spans exported back
+  to the parent and aggregated into one :mod:`repro.obs` registry.
+
+Field-grouped keys stay shard-local, so per-shard synopses are *exact*
+partials of the single-process state; ``SynopsisBase.merge`` folds them
+exactly at query time.
+"""
+
+from repro.cluster.coordinator import ClusterExecutor
+from repro.cluster.plan import ShardPlan, plan_topology
+
+__all__ = ["ClusterExecutor", "ShardPlan", "plan_topology"]

@@ -1,0 +1,6 @@
+"""``python -m repro.cluster`` — see :mod:`repro.cluster.cli`."""
+
+from repro.cluster.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

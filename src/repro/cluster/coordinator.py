@@ -1,0 +1,682 @@
+"""The cluster coordinator: plan, feed, route, checkpoint, recover, merge.
+
+:class:`ClusterExecutor` is the multi-process sibling of
+:class:`~repro.platform.executor.LocalExecutor` — same topology contract,
+same delivery-semantics ladder, N worker processes instead of one loop:
+
+* **Planning** — :func:`~repro.cluster.plan.plan_topology` deals each
+  bolt's tasks across workers (Storm executors → worker slots).
+* **Feeding** — spouts run in the coordinator (single source of truth for
+  offsets, like a consumer-group leader). Partitioned spouts
+  (``parallelism > 1`` + :meth:`~repro.platform.topology.Spout.split`)
+  are read round-robin. Spout edges are routed here with the topology's
+  grouping instances; routed deliveries are batched into per-worker
+  envelopes so one queue hop carries many tuples.
+* **Routing** — bolts route their own emissions worker-side; only copies
+  destined for shards on *other* workers come back in the reply for
+  re-routing (star transport: simple, deterministic, and with
+  field-grouped keys the large majority of traffic stays shard-local, so
+  per-shard synopses see their keys in exact global stream order).
+* **Reliability** — Storm's XOR acker lives here, fed by per-envelope ack
+  deltas. Quiescence is credit-based: every envelope out is one reply in,
+  so ``outstanding == 0`` means the whole cluster is idle — no probing
+  rounds needed. Incomplete trees at idle are failed and replayed
+  (at-least-once); under exactly-once the coordinator takes periodic
+  cluster-wide checkpoints (drain → per-worker ``stateship`` snapshots +
+  source offsets) and any loss or worker crash triggers a global
+  rollback: respawn the dead worker, restore every worker from the last
+  checkpoint, rewind the sources, bump the epoch so stale traffic is
+  discarded.
+* **Merge-on-query** — :meth:`ClusterExecutor.merged_synopsis` ships each
+  shard's partial synopsis back and folds them with
+  ``SynopsisBase.merge``, task order, exactly the Lambda-architecture
+  serving-layer move.
+
+Workers stay alive after :meth:`run` so state can be queried; use the
+executor as a context manager (or call :meth:`close`) to shut them down
+and absorb their metrics/spans into the coordinator's ``repro.obs``
+registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Any
+
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.core import stateship
+from repro.obs.context import Observability
+from repro.obs.tracing import Span, next_span_id
+from repro.platform.ack import Acker
+from repro.platform.executor import _SEMANTICS, topological_bolt_order
+from repro.platform.faults import FaultInjector
+from repro.platform.metrics import ExecutionMetrics
+from repro.platform.topology import Spout, Topology, is_partitionable
+from repro.platform.tuples import next_tuple_id
+
+from repro.cluster import obsbridge
+from repro.cluster.plan import ShardPlan, plan_topology
+from repro.cluster.worker import worker_main
+
+
+class ClusterExecutor:
+    """Run a :class:`Topology` across N worker processes."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        n_workers: int = 2,
+        semantics: str = "at_most_once",
+        checkpoint_interval: int = 2_000,
+        batch_size: int = 512,
+        max_outstanding: int = 8,
+        worker_faults: dict[int, FaultInjector] | None = None,
+        obs: Observability | None = None,
+        max_replays_per_message: int = 16,
+        reply_timeout: float = 30.0,
+    ):
+        if semantics not in _SEMANTICS:
+            raise ParameterError(f"semantics must be one of {_SEMANTICS}")
+        if n_workers <= 0:
+            raise ParameterError("n_workers must be positive")
+        if checkpoint_interval <= 0:
+            raise ParameterError("checkpoint_interval must be positive")
+        if batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        self.topology = topology
+        self.n_workers = n_workers
+        self.semantics = semantics
+        self.checkpoint_interval = checkpoint_interval
+        self.batch_size = batch_size
+        self.max_outstanding = max_outstanding
+        self.worker_faults = dict(worker_faults or {})
+        self.obs = obs
+        self.max_replays_per_message = max_replays_per_message
+        self.reply_timeout = reply_timeout
+        self.plan: ShardPlan = plan_topology(topology, n_workers)
+        self.metrics = ExecutionMetrics(
+            registry=obs.registry if obs is not None else None
+        )
+        self._sampler = obs.sampler if obs is not None else None
+        self._spans = obs.collector if obs is not None else None
+        self._trace_attempts: dict[int, int] = {}
+        self._trace_roots: dict[int, Span] = {}
+
+        # Spouts (partitioned when declared parallel and splittable).
+        self._spouts: dict[str, list[Spout]] = {}
+        for comp in topology.components.values():
+            if comp.kind != "spout":
+                continue
+            spout = comp.factory()
+            if comp.parallelism > 1:
+                if not is_partitionable(spout):
+                    raise ExecutionError(
+                        f"spout {comp.name!r} declares parallelism "
+                        f"{comp.parallelism} but does not implement split()"
+                    )
+                self._spouts[comp.name] = spout.split(comp.parallelism)
+            else:
+                self._spouts[comp.name] = [spout]
+
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ExecutionError(
+                "repro.cluster needs the fork start method (POSIX only): "
+                "topology factories may close over non-picklable objects"
+            ) from exc
+        self._processes: list[Any] = []
+        self._inboxes: list[Any] = []
+        self._results: Any = None
+        self._started = False
+        self._closed = False
+
+        # Run state.
+        self.epoch = 0
+        self._outstanding = 0
+        self._buffers: list[list[tuple]] = [[] for __ in range(n_workers)]
+        self._acker = Acker() if semantics != "at_most_once" else None
+        self._root_counter = itertools.count(1)
+        self._root_sources: dict[int, tuple[str, int, int]] = {}
+        self._start_times: dict[int, float] = {}
+        self._replay_counts: dict[int, int] = {}
+        self._checkpoint: dict | None = None
+        self._pulls_since_checkpoint = 0
+        self._recover_requested = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ClusterExecutor":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        inbox = self._mp.Queue()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self.topology,
+                self.plan,
+                inbox,
+                self._results,
+                self.worker_faults.get(worker_id),
+                self.obs is not None,
+            ),
+            daemon=True,
+        )
+        process.start()
+        if worker_id < len(self._processes):
+            # The dead worker's inbox may hold unread envelopes; detach its
+            # feeder thread so dropping the queue can never block on join.
+            self._inboxes[worker_id].cancel_join_thread()
+            self._inboxes[worker_id] = inbox
+            self._processes[worker_id] = process
+        else:
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise ExecutionError("executor already closed")
+        if self._started:
+            return
+        self._results = self._mp.Queue()
+        for worker_id in range(self.n_workers):
+            self._spawn_worker(worker_id)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop every worker, absorb its metrics/spans, reap processes."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        alive = [w for w in range(self.n_workers) if self._processes[w].is_alive()]
+        for worker_id in alive:
+            self._inboxes[worker_id].put(("stop", self.epoch))
+        pending = set(alive)
+        deadline = time.perf_counter() + self.reply_timeout
+        while pending and time.perf_counter() < deadline:
+            try:
+                kind, worker_id, __, payload = self._results.get(timeout=0.1)
+            except queue_mod.Empty:
+                pending = {w for w in pending if self._processes[w].is_alive()}
+                continue
+            if kind == "stopped" and worker_id in pending:
+                pending.discard(worker_id)
+                metrics_records, spans = payload
+                if self.obs is not None:
+                    obsbridge.absorb_metrics(
+                        self.obs.registry, metrics_records, worker_id
+                    )
+                    obsbridge.absorb_spans(self.obs.collector, spans)
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=2.0)
+
+    # -- routing -----------------------------------------------------------
+
+    def _buffer_entry(self, entry: tuple) -> None:
+        component, task = entry[0], entry[1]
+        self._buffers[self.plan.worker_of(component, task)].append(entry)
+
+    def _route_spout_batch(
+        self, source: str, payloads: list[tuple], roots: list[int | None], traces
+    ) -> int:
+        """Route a batch of spout payloads; returns delivered copies."""
+        delivered = 0
+        for consumer, grouping in self.topology.consumers_of(source):
+            comp = self.topology.components[consumer]
+            routes = grouping.targets_batch(payloads, comp.parallelism)
+            for payload, root, trace, targets in zip(payloads, roots, traces, routes):
+                for task in targets:
+                    tuple_id = next_tuple_id()
+                    if self._acker is not None and root is not None:
+                        self._acker.anchor(root, tuple_id)
+                    self._buffer_entry(
+                        (consumer, task, payload, root, tuple_id, trace)
+                    )
+                    delivered += 1
+        return delivered
+
+    def _flush_buffers(self) -> None:
+        for worker_id, buffer in enumerate(self._buffers):
+            if not buffer:
+                continue
+            self._inboxes[worker_id].put(("tuples", self.epoch, buffer))
+            self._buffers[worker_id] = []
+            self._outstanding += 1
+
+    # -- spout side --------------------------------------------------------
+
+    def _pull_spouts(self) -> bool:
+        """Feed up to one batch per spout partition; True if anything fed."""
+        if self._outstanding > self.max_outstanding:
+            return False  # backpressure: let the workers catch up
+        pulled = False
+        reliable = self._acker is not None
+        for name, partitions in self._spouts.items():
+            spout_metrics = self.metrics.components[f"spout:{name}"]
+            for part_idx, spout in enumerate(partitions):
+                if reliable:
+                    payloads: list[tuple] = []
+                    roots: list[int | None] = []
+                    traces: list = []
+                    for __ in range(self.batch_size):
+                        payload = spout.next_tuple()
+                        if payload is None:
+                            break
+                        root = next(self._root_counter)
+                        local_msg = getattr(spout, "last_offset", root)
+                        self._root_sources[root] = (name, part_idx, local_msg)
+                        self._acker.register(root, 0)
+                        self._start_times.setdefault(root, time.perf_counter())
+                        payloads.append(payload)
+                        roots.append(root)
+                        traces.append(self._trace_root(name, root))
+                        self._pulls_since_checkpoint += 1
+                else:
+                    payloads = spout.next_batch(self.batch_size)
+                    roots = [None] * len(payloads)
+                    traces = [None] * len(payloads)
+                if not payloads:
+                    continue
+                pulled = True
+                spout_metrics.emitted += len(payloads)
+                self._route_spout_batch(name, payloads, roots, traces)
+        if (
+            self.semantics == "exactly_once"
+            and self._pulls_since_checkpoint >= self.checkpoint_interval
+        ):
+            self._take_checkpoint()
+        return pulled
+
+    def _trace_root(self, spout_name: str, root: int):
+        if self._sampler is None:
+            return None
+        trace_id = self._sampler.sample(root)
+        if trace_id is None:
+            return None
+        attempt = self._trace_attempts.get(root, 0) + 1
+        self._trace_attempts[root] = attempt
+        span = Span(
+            trace_id=trace_id,
+            span_id=next_span_id(),
+            parent_id=None,
+            component=f"spout:{spout_name}",
+            kind="spout_emit",
+            start=time.perf_counter(),
+            attempt=attempt,
+            msg_id=root,
+        )
+        self._trace_roots[root] = span
+        self._spans.record(span)
+        return (trace_id, span.span_id, attempt)
+
+    def _spouts_exhausted(self) -> bool:
+        for partitions in self._spouts.values():
+            for spout in partitions:
+                exhausted = getattr(spout, "exhausted", None)
+                if exhausted is False:
+                    return False
+        return True
+
+    # -- reply side --------------------------------------------------------
+
+    def _drain_replies(self, block: bool) -> bool:
+        """Apply at most one worker reply; True when one was applied."""
+        timeout = 0.05 if block else 0.0
+        try:
+            message = self._results.get(timeout=timeout) if timeout else (
+                self._results.get_nowait()
+            )
+        except queue_mod.Empty:
+            if self._outstanding > 0:
+                self._check_liveness()
+            return False
+        kind, worker_id, epoch, payload = message
+        if epoch != self.epoch:
+            return True  # stale incarnation: discard, but we made progress
+        if kind == "done":
+            self._outstanding -= 1
+            self._apply_reply(payload)
+        elif kind == "stopped":  # pragma: no cover - defensive
+            pass
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unexpected worker reply {kind!r} mid-run")
+        return True
+
+    def _apply_reply(self, payload: dict) -> None:
+        for component, count in payload["processed"].items():
+            self.metrics.components[f"bolt:{component}"].processed += count
+        for component, count in payload["emitted"].items():
+            self.metrics.components[f"bolt:{component}"].emitted += count
+        for entry in payload["remote"]:
+            self._buffer_entry(entry)
+        if self._acker is not None:
+            for root, delta in payload["deltas"]:
+                if root is None or root not in self._acker._pending:
+                    continue
+                if self._acker.ack(root, delta):
+                    self._complete(root)
+        if payload["lost"] and self.semantics == "exactly_once":
+            # A lost delivery is unrecoverable forward progress loss under
+            # exactly-once: roll the cluster back to the last checkpoint.
+            self._recover_requested = True
+
+    def _complete(self, root: int) -> None:
+        self.metrics.components["spout:__all__"].acked += 1
+        started = self._start_times.pop(root, None)
+        if started is not None:
+            self.metrics.record_latency(time.perf_counter() - started)
+        source = self._root_sources.pop(root, None)
+        if source is not None:
+            name, part_idx, local_msg = source
+            self._spouts[name][part_idx].ack(local_msg)
+        root_span = self._trace_roots.pop(root, None)
+        if root_span is not None:
+            self._spans.record(
+                Span(
+                    trace_id=root_span.trace_id,
+                    span_id=next_span_id(),
+                    parent_id=root_span.span_id,
+                    component="acker",
+                    kind="ack",
+                    start=time.perf_counter(),
+                    attempt=root_span.attempt,
+                    msg_id=root,
+                )
+            )
+
+    def _check_liveness(self) -> None:
+        dead = [
+            worker_id
+            for worker_id in range(self.n_workers)
+            if not self._processes[worker_id].is_alive()
+        ]
+        if dead:
+            self._handle_crash(dead)
+
+    # -- failure handling --------------------------------------------------
+
+    def _event(self, kind: str, component: str = "coordinator") -> None:
+        if self._spans is None:
+            return
+        self._spans.record(
+            Span(
+                trace_id=None,
+                span_id=next_span_id(),
+                parent_id=None,
+                component=component,
+                kind=kind,
+                start=time.perf_counter(),
+            )
+        )
+
+    def _fail_pending(self) -> None:
+        """Fail every incomplete tuple tree at cluster idle (timeout).
+
+        Replay caps are keyed by *source record*, not by root id — every
+        replay re-enters the spout and is assigned a fresh root, so a
+        root-keyed cap would never bound a poisoned message.
+        """
+        assert self._acker is not None
+        for root in list(self._acker._pending):
+            self._acker.fail(root)
+            self._start_times.pop(root, None)
+            self.metrics.components["spout:__all__"].failed += 1
+            source = self._root_sources.pop(root, None)
+            root_span = self._trace_roots.pop(root, None)
+            if root_span is not None:
+                self._spans.record(
+                    Span(
+                        trace_id=root_span.trace_id,
+                        span_id=next_span_id(),
+                        parent_id=root_span.span_id,
+                        component="acker",
+                        kind="fail",
+                        start=time.perf_counter(),
+                        attempt=root_span.attempt,
+                        msg_id=root,
+                    )
+                )
+            if source is None:
+                continue
+            replays = self._replay_counts.get(source, 0)
+            if replays >= self.max_replays_per_message:
+                continue  # give up: poisoned/unlucky message
+            self._replay_counts[source] = replays + 1
+            self.metrics.replays += 1
+            name, part_idx, local_msg = source
+            self._spouts[name][part_idx].fail(local_msg)
+
+    def _handle_crash(self, dead: list[int]) -> None:
+        """A worker process died (or a loss forced a rollback): respawn
+        the dead and recover per the delivery semantics."""
+        if dead:
+            self._event("crash")
+        self.metrics.recoveries += 1
+        self.epoch += 1
+        self._outstanding = 0
+        self._buffers = [[] for __ in range(self.n_workers)]
+        for worker_id in dead:
+            self._processes[worker_id].join(timeout=1.0)
+            # The injected crash is one-shot *cluster-wide*: the respawned
+            # process forks a pristine copy of the parent's injector, so
+            # without this it would crash again after every rollback.
+            injector = self.worker_faults.get(worker_id)
+            if injector is not None:
+                injector.crash_after = None
+            self._spawn_worker(worker_id)
+        if self.semantics == "exactly_once":
+            self._rollback()
+        else:
+            # No checkpoints: the dead worker's state is gone (Storm
+            # without Trident). Incomplete trees replay under
+            # at-least-once; under at-most-once they are simply lost.
+            if self._acker is not None:
+                self._fail_pending()
+                self._acker = Acker()
+                self._root_sources.clear()
+                self._start_times.clear()
+        self._recover_requested = False
+
+    def _rollback(self) -> None:
+        """Restore every worker from the last checkpoint, rewind sources."""
+        self._event("recovery")
+        states = (self._checkpoint or {}).get("workers", {})
+        for worker_id in range(self.n_workers):
+            self._inboxes[worker_id].put(
+                ("restore", self.epoch, states.get(worker_id, {}))
+            )
+        self._await_all("restore_ok")
+        offsets = (self._checkpoint or {}).get("offsets")
+        for name, partitions in self._spouts.items():
+            for part_idx, spout in enumerate(partitions):
+                target = offsets[name][part_idx] if offsets is not None else 0
+                spout.rewind(target)
+        self._acker = Acker()
+        self._root_sources.clear()
+        self._start_times.clear()
+        self._pulls_since_checkpoint = 0
+
+    def _await_all(self, expected_kind: str) -> dict[int, Any]:
+        """Collect one *expected_kind* reply per worker for this epoch."""
+        payloads: dict[int, Any] = {}
+        deadline = time.perf_counter() + self.reply_timeout
+        while len(payloads) < self.n_workers:
+            if time.perf_counter() > deadline:
+                raise ExecutionError(f"timed out awaiting {expected_kind} replies")
+            try:
+                kind, worker_id, epoch, payload = self._results.get(timeout=0.1)
+            except queue_mod.Empty:
+                dead = [
+                    w
+                    for w in range(self.n_workers)
+                    if not self._processes[w].is_alive()
+                ]
+                if dead:
+                    raise ExecutionError(
+                        f"worker(s) {dead} died while awaiting {expected_kind}"
+                    )
+                continue
+            if epoch != self.epoch:
+                continue
+            if kind != expected_kind:
+                if kind == "done":  # stale same-epoch work: apply normally
+                    self._outstanding -= 1
+                    self._apply_reply(payload)
+                    continue
+                raise ExecutionError(
+                    f"expected {expected_kind}, got {kind!r} from worker {worker_id}"
+                )
+            payloads[worker_id] = payload
+        return payloads
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _drain_outstanding(self) -> None:
+        """Block until every envelope has been processed cluster-wide."""
+        while self._outstanding > 0 or any(self._buffers):
+            self._flush_buffers()
+            self._drain_replies(block=True)
+            if self._recover_requested:
+                break
+
+    def _take_checkpoint(self) -> None:
+        """Cluster-wide consistent snapshot: drain, snapshot, record."""
+        self._pulls_since_checkpoint = 0
+        self._drain_outstanding()
+        if self._recover_requested:
+            return  # a loss surfaced while draining; recover instead
+        for worker_id in range(self.n_workers):
+            self._inboxes[worker_id].put(("snapshot", self.epoch))
+        try:
+            worker_states = self._await_all("snapshot_ok")
+        except ExecutionError:
+            dead = [
+                w for w in range(self.n_workers) if not self._processes[w].is_alive()
+            ]
+            if dead:  # a crash mid-snapshot: recover, checkpoint next round
+                self._handle_crash(dead)
+                return
+            raise
+        self._checkpoint = {
+            "workers": worker_states,
+            "offsets": {
+                name: [spout.offset for spout in partitions]
+                for name, partitions in self._spouts.items()
+            },
+        }
+        self.metrics.checkpoints += 1
+        self._event("checkpoint")
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> ExecutionMetrics:
+        """Execute until sources are exhausted and all work has settled.
+
+        Workers are left alive afterwards so shard state can be queried
+        (:meth:`merged_synopsis`, :meth:`bolt_states`); :meth:`close`
+        shuts them down.
+        """
+        started = time.perf_counter()
+        self._ensure_started()
+        if self.semantics == "exactly_once" and self._checkpoint is None:
+            self._take_checkpoint()  # epoch-0 baseline to roll back to
+        while True:
+            if self._recover_requested:
+                self._handle_crash([])  # loss-triggered rollback, no death
+            progressed = self._pull_spouts()
+            self._flush_buffers()
+            progressed |= self._drain_replies(block=self._outstanding > 0)
+            if progressed or self._outstanding > 0 or any(self._buffers):
+                continue
+            if not self._spouts_exhausted():
+                continue
+            if self._acker is not None and self._acker.n_pending:
+                self._fail_pending()
+                continue
+            break
+        self._flush_all_bolts()
+        self.metrics.wall_seconds = time.perf_counter() - started
+        return self.metrics
+
+    def _flush_all_bolts(self) -> None:
+        """End-of-stream flush, topological order, cluster-wide."""
+        order = topological_bolt_order(self.topology)
+        for name in order:
+            self._drain_outstanding()
+            owners = sorted(
+                {
+                    self.plan.worker_of(name, task)
+                    for task in range(self.topology.components[name].parallelism)
+                }
+            )
+            for worker_id in owners:
+                self._inboxes[worker_id].put(("flush", self.epoch, name))
+            deadline = time.perf_counter() + self.reply_timeout
+            pending = set(owners)
+            while pending:
+                if time.perf_counter() > deadline:
+                    raise ExecutionError(f"timed out flushing bolt {name!r}")
+                try:
+                    kind, worker_id, epoch, payload = self._results.get(timeout=0.1)
+                except queue_mod.Empty:
+                    continue
+                if epoch != self.epoch:
+                    continue
+                if kind == "flush_ok":
+                    pending.discard(worker_id)
+                    self._apply_reply(payload)
+                elif kind == "done":
+                    self._outstanding -= 1
+                    self._apply_reply(payload)
+            self._flush_buffers()
+            self._drain_outstanding()
+
+    # -- merge-on-query ----------------------------------------------------
+
+    def bolt_states(self, name: str) -> list[Any]:
+        """Per-task snapshot state of bolt *name*, in task order.
+
+        Ships each shard's ``snapshot()`` across the process boundary and
+        decodes it here — the raw partials behind :meth:`merged_synopsis`.
+        """
+        comp = self.topology.components.get(name)
+        if comp is None or comp.kind != "bolt":
+            raise ParameterError(f"no bolt named {name!r}")
+        self._ensure_started()
+        self._drain_outstanding()
+        for worker_id in range(self.n_workers):
+            self._inboxes[worker_id].put(("query", self.epoch, name))
+        shards: dict[tuple[str, int], bytes] = {}
+        for payload in self._await_all("query_ok").values():
+            shards.update(payload)
+        return [
+            stateship.restore(shards[(name, task)])["state"]
+            for task in range(comp.parallelism)
+        ]
+
+    def merged_synopsis(self, name: str) -> Any:
+        """The bolt's shard-partial synopses folded into one (merge-on-query).
+
+        Requires the bolt's snapshot state to be a mergeable synopsis
+        (:class:`~repro.common.mergeable.SynopsisBase`), e.g.
+        :class:`~repro.platform.operators.SynopsisBolt`. Partials merge in
+        task order, so the result is reproducible run to run.
+        """
+        partials = self.bolt_states(name)
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged.merge(partial)
+        return merged

@@ -1,0 +1,81 @@
+"""Cross-process observability: export a worker's metric plane, absorb it
+into the coordinator's registry.
+
+Each worker owns a private :class:`~repro.obs.metrics.MetricRegistry` and
+span buffer (instrument objects hold t-digests and closures — they do not
+cross process boundaries). At export time the worker flattens its registry
+into plain records: counters/gauges ship their per-label values, histograms
+ship their t-digest **bytes** (so tail quantiles merge exactly, not just
+counts and sums). The coordinator absorbs every record into its own
+registry with a ``worker`` label prepended — ``repro-obs`` then shows one
+cluster-wide view with per-worker breakdown, the same shape Storm's UI and
+Heron's metrics manager present.
+
+Spans travel as :class:`~repro.obs.tracing.Span` dataclasses (picklable)
+and are re-recorded into the parent collector; a worker that crashes loses
+its unshipped spans, which is faithful to how tracing behaves in the real
+systems (the crash marker survives at the coordinator).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.tracing import Span, SpanCollector
+from repro.quantiles.tdigest import TDigest
+
+
+def export_metrics(registry: MetricRegistry) -> list[dict[str, Any]]:
+    """Flatten *registry* into plain, picklable records."""
+    records: list[dict[str, Any]] = []
+    for family in registry.families():
+        base = {
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "labelnames": list(family.labelnames),
+        }
+        for labels, child in family._label_tuples():
+            record = dict(base)
+            record["labels"] = dict(labels)
+            if isinstance(family, Histogram):
+                record["count"] = child.count
+                record["sum"] = child.sum
+                record["digest"] = child.digest.to_bytes()
+                record["delta"] = family.delta
+            else:
+                record["value"] = child.value
+            records.append(record)
+    return records
+
+
+def absorb_metrics(
+    registry: MetricRegistry, records: list[dict[str, Any]], worker: int
+) -> None:
+    """Merge exported *records* into *registry* under a ``worker`` label."""
+    for record in records:
+        labelnames = ["worker", *record["labelnames"]]
+        labels = {"worker": str(worker), **record["labels"]}
+        if record["kind"] == Counter.kind:
+            family = registry.counter(record["name"], record["help"], labelnames)
+            family.labels(**labels).inc(record["value"])
+        elif record["kind"] == Gauge.kind:
+            family = registry.gauge(record["name"], record["help"], labelnames)
+            family.labels(**labels).set(record["value"])
+        elif record["kind"] == Histogram.kind:
+            family = registry.histogram(
+                record["name"], record["help"], labelnames, delta=record["delta"]
+            )
+            child = family.labels(**labels)
+            child.digest.merge(TDigest.from_bytes(record["digest"]))
+            child.count += record["count"]
+            child.sum += record["sum"]
+        # Unknown kinds are dropped silently: a newer worker build must not
+        # wedge an older coordinator during a rolling experiment.
+
+
+def absorb_spans(collector: SpanCollector, spans: list[Span]) -> None:
+    """Re-record worker *spans* into the coordinator's collector."""
+    for span in spans:
+        collector.record(span)

@@ -1,0 +1,73 @@
+"""Shard planning: map (bolt, task) pairs onto worker processes.
+
+Mirrors Storm's scheduler assigning executors to worker slots (and Samza's
+partition→container mapping): every bolt contributes ``parallelism`` tasks,
+and tasks are dealt round-robin across workers so each worker carries a
+near-equal share of every component — the layout that makes strong scaling
+work when one component dominates the cost.
+
+The plan is pure data and deterministic: the same topology and worker
+count always produce the same assignment, so a respawned worker rebuilds
+exactly the shard set its predecessor owned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.exceptions import ParameterError
+from repro.platform.topology import Topology
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An immutable task→worker assignment for one topology run."""
+
+    n_workers: int
+    assignments: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def worker_of(self, component: str, task: int) -> int:
+        """The worker owning shard ``(component, task)``."""
+        try:
+            return self.assignments[(component, task)]
+        except KeyError:
+            raise ParameterError(f"no shard ({component!r}, {task})") from None
+
+    def tasks_of(self, worker: int) -> list[tuple[str, int]]:
+        """Every ``(component, task)`` shard assigned to *worker*, in
+        deterministic (component, task) order."""
+        return sorted(key for key, w in self.assignments.items() if w == worker)
+
+    @property
+    def components(self) -> list[str]:
+        """Sharded component names, sorted."""
+        return sorted({name for name, __ in self.assignments})
+
+    def describe(self) -> str:
+        """Human-readable worker→shards table (the CLI's plan view)."""
+        lines = [f"shard plan: {len(self.assignments)} tasks on {self.n_workers} workers"]
+        for worker in range(self.n_workers):
+            shards = ", ".join(f"{c}[{t}]" for c, t in self.tasks_of(worker))
+            lines.append(f"  worker {worker}: {shards or '(idle)'}")
+        return "\n".join(lines)
+
+
+def plan_topology(topology: Topology, n_workers: int) -> ShardPlan:
+    """Deal every bolt task across *n_workers* round-robin.
+
+    Tasks are enumerated in topology declaration order, task index minor,
+    and dealt onto workers in turn — so every component's tasks spread
+    across workers instead of clumping (bolt parallelism 4 on 4 workers
+    puts one task on each).
+    """
+    if n_workers <= 0:
+        raise ParameterError("worker count must be positive")
+    assignments: dict[tuple[str, int], int] = {}
+    slot = 0
+    for comp in topology.components.values():
+        if comp.kind != "bolt":
+            continue
+        for task in range(comp.parallelism):
+            assignments[(comp.name, task)] = slot % n_workers
+            slot += 1
+    return ShardPlan(n_workers=n_workers, assignments=assignments)

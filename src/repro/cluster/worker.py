@@ -1,0 +1,329 @@
+"""The cluster worker: one process, a shard of every bolt, a local loop.
+
+A worker owns the bolt tasks its :class:`~repro.cluster.plan.ShardPlan`
+assigned to it (Storm worker slots). Its life is a message loop over the
+inbox queue:
+
+``tuples``
+    A batch of deliveries ``(component, task, values, root, tuple_id, …)``.
+    The worker processes each through the owning bolt; emissions are routed
+    with the worker's own grouping instances — targets the worker owns go
+    onto the *local* deque (no process hop, the shard-affinity fast path),
+    remote targets are buffered and returned to the coordinator for
+    re-routing. The reply carries XOR ack deltas per tuple tree, so the
+    coordinator's acker tracks completion without per-hop round trips.
+``snapshot`` / ``restore``
+    Checkpoint capture/rollback: every owned bolt's ``snapshot()`` is
+    shipped as :mod:`repro.core.stateship` bytes; restore rebuilds fresh
+    bolts and applies the shipped state (or factory state when None).
+``flush`` / ``query`` / ``stop``
+    End-of-stream flushing per component (fault injection suspended, as in
+    the local executor), merge-on-query state capture, and shutdown with a
+    final metrics/span export.
+
+Crash injection rides the same :class:`~repro.platform.faults.FaultInjector`
+contract as the local executor: ``should_drop`` loses deliveries in
+transit, ``note_processed`` fires a one-shot crash — realized here as a
+hard ``os._exit``, so the parent sees a genuinely dead process, not an
+exception.
+
+Every message is epoch-tagged. After a rollback the coordinator bumps the
+epoch; stale envelopes still sitting in a survivor's inbox are processed
+(their replies are discarded upstream) and the subsequent ``restore``
+overwrites any state they touched — the standard "ignore messages from a
+previous incarnation" rule of checkpoint/rollback protocols.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections import deque
+from typing import Any
+
+from repro.common.rng import derive_seed
+from repro.core import stateship
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracing import Span, next_span_id
+from repro.platform.faults import NO_FAULTS, FaultInjector
+from repro.platform.topology import Topology
+
+from repro.cluster.plan import ShardPlan
+from repro.cluster import obsbridge
+
+#: Exit code used by injected crashes (distinguishable from real faults).
+CRASH_EXIT_CODE = 23
+
+
+def _tuple_id_factory(worker_id: int):
+    """Worker-salted unique tuple ids (no collisions across processes)."""
+    counter = itertools.count(1)
+    salt = 0xC1A57E50 ^ (worker_id + 1)
+    return lambda: derive_seed(salt, next(counter))
+
+
+class ClusterWorker:
+    """The in-process half of a worker; ``worker_main`` drives it."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        topology: Topology,
+        plan: ShardPlan,
+        faults: FaultInjector | None = None,
+        observe: bool = False,
+    ):
+        self.worker_id = worker_id
+        self.topology = topology
+        self.plan = plan
+        self.faults = faults or NO_FAULTS
+        self.epoch = 0
+        self._next_tuple_id = _tuple_id_factory(worker_id)
+        self._shards = plan.tasks_of(worker_id)
+        self._bolts: dict[tuple[str, int], Any] = {}
+        self._build_bolts()
+        self._local: deque = deque()
+        self._in_flush = False
+        # Per-envelope reply state.
+        self._remote: list[tuple] = []
+        self._deltas: dict[int, int] = {}
+        self._lost = 0
+        self._processed_by_component: dict[str, int] = {}
+        self._emitted_by_component: dict[str, int] = {}
+        # Observability (private plane, exported through the bridge).
+        self.registry = MetricRegistry() if observe else None
+        self.spans: list[Span] = []
+        if self.registry is not None:
+            self._m_processed = self.registry.counter(
+                "repro_cluster_worker_tuples_processed_total",
+                "Tuples processed by this worker",
+                labelnames=("component",),
+            )
+            self._m_emitted = self.registry.counter(
+                "repro_cluster_worker_tuples_emitted_total",
+                "Tuples emitted by this worker's bolts",
+                labelnames=("component",),
+            )
+            self._m_batch = self.registry.histogram(
+                "repro_cluster_worker_batch_tuples",
+                "Deliveries per inbox envelope",
+            )
+
+    def _build_bolts(self) -> None:
+        for name, task in self._shards:
+            comp = self.topology.components[name]
+            bolt = comp.factory()
+            bolt.prepare(task, comp.parallelism)
+            self._bolts[(name, task)] = bolt
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, source: str, values: tuple, root, trace) -> int:
+        """Worker-side fan-out of one emission; returns delivered copies.
+
+        Local targets go straight onto the local deque; remote targets are
+        buffered for the coordinator. Every copy's tuple id is XORed into
+        the root's ack delta *at emit* (anchoring) — including copies the
+        fault injector then loses in transit. A dropped copy is anchored
+        but never consumed, so its id is never XORed back out, the tree
+        never completes, and the coordinator times out and replays: exactly
+        Storm's at-least-once contract.
+        """
+        delivered = 0
+        for consumer, grouping in self.topology.consumers_of(source):
+            comp = self.topology.components[consumer]
+            for task in grouping.targets_batch([values], comp.parallelism)[0]:
+                tuple_id = self._next_tuple_id()
+                if root is not None:
+                    self._deltas[root] = self._deltas.get(root, 0) ^ tuple_id
+                if not self._in_flush and self.faults.should_drop():
+                    self._lost += 1
+                    continue
+                entry = (consumer, task, values, root, tuple_id, trace)
+                if self.plan.worker_of(consumer, task) == self.worker_id:
+                    self._local.append(entry)
+                else:
+                    self._remote.append(entry)
+                delivered += 1
+        return delivered
+
+    # -- processing -------------------------------------------------------
+
+    def _process_entry(self, entry: tuple) -> None:
+        component, task, values, root, tuple_id, trace = entry
+        bolt = self._bolts[(component, task)]
+        emitted: list[tuple] = []
+        emit = lambda *vals: emitted.append(vals)  # noqa: E731 - hot path
+        span = None
+        if trace is not None and self.registry is not None:
+            trace_id, parent_span, attempt = trace
+            started = time.perf_counter()
+            span = Span(
+                trace_id=trace_id,
+                span_id=next_span_id(),
+                parent_id=parent_span,
+                component=f"bolt:{component}",
+                kind="process",
+                start=started,
+                attempt=attempt,
+                task=task,
+                msg_id=root,
+            )
+        bolt.process(values, emit)
+        if span is not None:
+            span.duration = time.perf_counter() - span.start
+            self.spans.append(span)
+            trace = (span.trace_id, span.span_id, span.attempt)
+        self._processed_by_component[component] = (
+            self._processed_by_component.get(component, 0) + 1
+        )
+        fan_out = 0
+        for values_out in emitted:
+            self._emitted_by_component[component] = (
+                self._emitted_by_component.get(component, 0) + 1
+            )
+            fan_out += self._route(component, values_out, root, trace)
+        if span is not None:
+            span.fan_out = fan_out
+        if root is not None:
+            # XOR out the consumed tuple id (Storm's acker algebra).
+            self._deltas[root] = self._deltas.get(root, 0) ^ tuple_id
+        if self.faults.note_processed():
+            os._exit(CRASH_EXIT_CODE)
+
+    def _drain_local(self) -> int:
+        n = 0
+        while self._local:
+            self._process_entry(self._local.popleft())
+            n += 1
+        return n
+
+    def _reply_payload(self, n_delivered: int) -> dict[str, Any]:
+        reply = {
+            "n": n_delivered,
+            "remote": self._remote,
+            "deltas": list(self._deltas.items()),
+            "lost": self._lost,
+            "processed": dict(self._processed_by_component),
+            "emitted": dict(self._emitted_by_component),
+        }
+        self._remote = []
+        self._deltas = {}
+        self._lost = 0
+        self._processed_by_component = {}
+        self._emitted_by_component = {}
+        return reply
+
+    # -- message handlers -------------------------------------------------
+
+    def handle_tuples(self, entries: list[tuple]) -> dict[str, Any]:
+        """Process an inbox envelope and its whole local cascade."""
+        if self.registry is not None:
+            self._m_batch.observe(len(entries))
+        for entry in entries:
+            self._local.append(entry)
+        n = self._drain_local()
+        if self.registry is not None:
+            for component, count in self._processed_by_component.items():
+                self._m_processed.labels(component=component).inc(count)
+            for component, count in self._emitted_by_component.items():
+                self._m_emitted.labels(component=component).inc(count)
+        return self._reply_payload(n)
+
+    def handle_flush(self, component: str) -> dict[str, Any]:
+        """End-of-stream flush of this worker's shards of *component*."""
+        self._in_flush = True
+        try:
+            for name, task in self._shards:
+                if name != component:
+                    continue
+                bolt = self._bolts[(name, task)]
+                emitted: list[tuple] = []
+                bolt.flush(lambda *vals: emitted.append(vals))
+                for values in emitted:
+                    self._route(component, values, None, None)
+            self._drain_local()
+            return self._reply_payload(0)
+        finally:
+            self._in_flush = False
+
+    def handle_snapshot(self) -> dict[tuple[str, int], bytes | None]:
+        """Capture every owned bolt's checkpoint state as shipped bytes."""
+        out: dict[tuple[str, int], bytes | None] = {}
+        for key, bolt in self._bolts.items():
+            state = bolt.snapshot()
+            out[key] = None if state is None else stateship.capture({"state": state})
+        return out
+
+    def handle_restore(self, states: dict[tuple[str, int], bytes | None]) -> None:
+        """Roll every owned bolt back to the shipped checkpoint (fresh
+        factory state when the checkpoint predates the bolt's first
+        snapshot or no checkpoint exists)."""
+        self._local.clear()
+        self._remote = []
+        self._deltas = {}
+        self._lost = 0
+        self._build_bolts()  # fresh instances, factory-supplied callables
+        for key, bolt in self._bolts.items():
+            payload = states.get(key)
+            if payload is not None:
+                bolt.restore(stateship.restore(payload)["state"])
+
+    def handle_query(self, component: str | None) -> dict[tuple[str, int], bytes]:
+        """Ship the requested shards' snapshot state (merge-on-query)."""
+        out: dict[tuple[str, int], bytes] = {}
+        for (name, task), bolt in self._bolts.items():
+            if component is not None and name != component:
+                continue
+            out[(name, task)] = stateship.capture({"state": bolt.snapshot()})
+        return out
+
+    def export_obs(self) -> tuple[list[dict], list[Span]]:
+        """Snapshot this worker's metric samples and drain its spans."""
+        metrics = (
+            obsbridge.export_metrics(self.registry) if self.registry is not None else []
+        )
+        spans, self.spans = self.spans, []
+        return metrics, spans
+
+
+def worker_main(
+    worker_id: int,
+    topology: Topology,
+    plan: ShardPlan,
+    inbox,
+    results,
+    faults: FaultInjector | None = None,
+    observe: bool = False,
+) -> None:
+    """Child-process entry point: loop over *inbox* until ``stop``.
+
+    Replies go to the shared *results* queue tagged with the worker id and
+    the envelope's epoch, so the coordinator can discard replies from
+    before a rollback.
+    """
+    worker = ClusterWorker(worker_id, topology, plan, faults=faults, observe=observe)
+    while True:
+        message = inbox.get()
+        kind, epoch = message[0], message[1]
+        worker.epoch = max(worker.epoch, epoch)
+        if kind == "tuples":
+            reply = worker.handle_tuples(message[2])
+            results.put(("done", worker_id, epoch, reply))
+        elif kind == "flush":
+            reply = worker.handle_flush(message[2])
+            results.put(("flush_ok", worker_id, epoch, reply))
+        elif kind == "snapshot":
+            results.put(("snapshot_ok", worker_id, epoch, worker.handle_snapshot()))
+        elif kind == "restore":
+            worker.handle_restore(message[2])
+            results.put(("restore_ok", worker_id, epoch, None))
+        elif kind == "query":
+            results.put(("query_ok", worker_id, epoch, worker.handle_query(message[2])))
+        elif kind == "stop":
+            metrics, spans = worker.export_obs()
+            results.put(("stopped", worker_id, epoch, (metrics, spans)))
+            return
+        else:  # pragma: no cover - defensive
+            results.put(("error", worker_id, epoch, f"unknown message {kind!r}"))

@@ -48,6 +48,41 @@ from repro.platform.tuples import StreamTuple, next_tuple_id
 _SEMANTICS = ("at_most_once", "at_least_once", "exactly_once")
 
 
+def topological_bolt_order(topology) -> list[str]:
+    """Bolts in dependency order (upstream first).
+
+    The builder rejects cyclic topologies, but a hand-constructed
+    :class:`~repro.platform.topology.Topology` can smuggle one in — and a
+    DFS that only tracks *visited* would silently emit a wrong order for
+    it. Track the recursion stack separately and fail loudly instead.
+    Shared by the local executor and the cluster coordinator (flush
+    ordering must agree between them).
+    """
+    order: list[str] = []
+    done: set[str] = set()
+    in_progress: set[str] = set()
+    bolt_names = set(topology.bolt_names)
+
+    def visit(name: str, path: list[str]) -> None:
+        if name in done:
+            return
+        if name in in_progress:
+            cycle = " -> ".join(path[path.index(name) :] + [name])
+            raise ExecutionError(f"topology contains a cycle through bolts: {cycle}")
+        in_progress.add(name)
+        comp = topology.components[name]
+        for src, __ in comp.inputs:
+            if src in bolt_names:
+                visit(src, path + [name])
+        in_progress.discard(name)
+        done.add(name)
+        order.append(name)
+
+    for name in topology.bolt_names:
+        visit(name, [])
+    return order
+
+
 class _RecoveryTriggered(Exception):
     """Internal control flow: a loss forced checkpoint recovery, so all
     in-flight work for the current message must be abandoned (it will be
@@ -448,22 +483,7 @@ class LocalExecutor:
                     pass
 
     def _topological_bolt_order(self) -> list[str]:
-        order: list[str] = []
-        visited: set[str] = set()
-
-        def visit(name: str) -> None:
-            if name in visited:
-                return
-            visited.add(name)
-            comp = self.topology.components[name]
-            for src, __ in comp.inputs:
-                if src in self.topology.bolt_names:
-                    visit(src)
-            order.append(name)
-
-        for name in self.topology.bolt_names:
-            visit(name)
-        return order
+        return topological_bolt_order(self.topology)
 
     # -- inspection ------------------------------------------------------
 

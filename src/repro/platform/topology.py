@@ -39,6 +39,31 @@ class Spout(ABC):
         """Current read position (for checkpointing). Optional."""
         raise TopologyError(f"{type(self).__name__} does not track offsets")
 
+    # -- batch / partition protocol (optional) ----------------------------
+
+    def next_batch(self, max_items: int) -> list[tuple]:
+        """Up to *max_items* payloads in one call (the high-throughput feed
+        path). Equivalent to repeated :meth:`next_tuple`; subclasses
+        backed by indexable storage override with a slicing fast path."""
+        batch: list[tuple] = []
+        while len(batch) < max_items:
+            payload = self.next_tuple()
+            if payload is None:
+                break
+            batch.append(payload)
+        return batch
+
+    def split(self, n: int) -> list["Spout"]:
+        """Partition this source into *n* independent spouts (Samza/Kafka
+        partitions). Sources that cannot be partitioned keep the default,
+        which raises — :func:`is_partitionable` probes for support."""
+        raise TopologyError(f"{type(self).__name__} is not partitionable")
+
+
+def is_partitionable(spout: Spout) -> bool:
+    """True when *spout* overrides :meth:`Spout.split`."""
+    return type(spout).split is not Spout.split
+
 
 class ListSpout(Spout):
     """Spout over a fixed list; replays failed messages (at-least-once)."""
@@ -83,6 +108,30 @@ class ListSpout(Spout):
     @property
     def exhausted(self) -> bool:
         return self._next >= len(self._records) and not self._retry_queue
+
+    def next_batch(self, max_items: int) -> list[tuple]:
+        """Slicing fast path: one list slice instead of ``max_items`` calls.
+
+        Falls back to the per-tuple loop while replays are queued so retry
+        ordering stays identical to repeated :meth:`next_tuple`.
+        """
+        if self._retry_queue:
+            return super().next_batch(max_items)
+        start = self._next
+        stop = min(start + max_items, len(self._records))
+        if start >= stop:
+            return []
+        self._next = stop
+        self._last_offset = stop - 1
+        wrap = self._wrap
+        return [wrap(r) for r in self._records[start:stop]]
+
+    def split(self, n: int) -> list[Spout]:
+        """Round-robin partitions: partition *i* reads records ``i::n``,
+        preserving each record's relative order within its partition."""
+        if n <= 0:
+            raise TopologyError("partition count must be positive")
+        return [ListSpout(self._records[i::n]) for i in range(n)]
 
 
 class LogSpout(ListSpout):
@@ -135,10 +184,23 @@ class TopologyBuilder:
     def __init__(self):
         self._components: dict[str, _Component] = {}
 
-    def set_spout(self, name: str, factory: Callable[[], Spout]) -> "TopologyBuilder":
-        """Register a spout; *factory* builds a fresh instance per run."""
+    def set_spout(
+        self,
+        name: str,
+        factory: Callable[[], Spout],
+        parallelism: int = 1,
+    ) -> "TopologyBuilder":
+        """Register a spout; *factory* builds a fresh instance per run.
+
+        ``parallelism > 1`` is a *hint* for partition-aware executors: the
+        spout must be partitionable (:meth:`Spout.split`) and is split
+        into that many independent partitions at run time. The
+        single-process executor reads the unsplit source directly.
+        """
         self._check_new(name)
-        self._components[name] = _Component(name, "spout", factory, 1)
+        if parallelism <= 0:
+            raise TopologyError("parallelism must be positive")
+        self._components[name] = _Component(name, "spout", factory, parallelism)
         return self
 
     def set_bolt(
@@ -236,6 +298,15 @@ class Topology:
     @property
     def bolt_names(self) -> list[str]:
         return [c.name for c in self.components.values() if c.kind == "bolt"]
+
+    def parallelism_of(self, name: str) -> int:
+        """Declared parallelism of component *name*."""
+        return self.components[name].parallelism
+
+    @property
+    def total_tasks(self) -> int:
+        """Total bolt task count across the topology (shard-plan input)."""
+        return sum(c.parallelism for c in self.components.values() if c.kind == "bolt")
 
     def consumers_of(self, source: str) -> list[tuple[str, Grouping]]:
         """(bolt name, grouping) pairs consuming *source*'s output."""

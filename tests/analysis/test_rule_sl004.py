@@ -29,6 +29,13 @@ class TestTriggers:
         files = {"myobs/clock.py": src, "frequency/obs_helper.py": src}
         assert rule_ids(files, select=SELECT) == ["SL004", "SL004"]
 
+    def test_cluster_like_name_elsewhere_still_flagged(self, rule_ids):
+        # clustering *algorithms* (stream k-means etc.) get no free pass;
+        # only the top-level cluster/ runtime package is exempt
+        src = "import time\nstamp = time.monotonic()\n"
+        files = {"clustering/kmeans.py": src, "windowing/cluster_helper.py": src}
+        assert rule_ids(files, select=SELECT) == ["SL004", "SL004"]
+
 
 class TestClean:
     def test_platform_layer_may_read_clock(self, rule_ids):
@@ -44,6 +51,16 @@ class TestClean:
         # span timing / queue-wait accounting is the observability plane's job
         src = "import time\nstart = time.perf_counter()\n"
         assert rule_ids({"obs/tracing.py": src}, select=SELECT) == []
+
+    def test_cluster_runtime_may_read_clock(self, rule_ids):
+        # reply deadlines / liveness heartbeats are about real elapsed time
+        src = (
+            "import time\n"
+            "deadline = time.perf_counter() + 30.0\n"
+            "while time.perf_counter() < deadline:\n"
+            "    pass\n"
+        )
+        assert rule_ids({"cluster/coordinator.py": src}, select=SELECT) == []
 
     def test_event_time_parameter(self, rule_ids):
         src = (

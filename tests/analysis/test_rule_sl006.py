@@ -36,6 +36,23 @@ class TestTriggers:
             select=SELECT,
         ) == ["SL006"]
 
+    def test_reducer_for_other_class_does_not_whitelist(self, rule_ids):
+        # a register_reducer call only covers the class it names
+        shipping = (
+            "from repro.common.serialization import register_reducer\n"
+            "class Other:\n"
+            "    pass\n"
+            "register_reducer(Other, lambda o: {}, lambda d: Other())\n"
+        )
+        assert rule_ids(
+            {
+                "frequency/new_sketch.py": _SKETCH,
+                "core/registry.py": "_REGISTRY = {}\n",
+                "common/shipping.py": shipping,
+            },
+            select=SELECT,
+        ) == ["SL006"]
+
     def test_indirect_subclass_flagged(self, rule_ids):
         derived = _SKETCH + (
             "class DerivedSketch(NewSketch):\n"
@@ -82,6 +99,48 @@ class TestClean:
                 {
                     "frequency/new_sketch.py": _SKETCH,
                     "core/registry.py": registry,
+                },
+                select=SELECT,
+            )
+            == []
+        )
+
+    def test_registered_via_state_shipping_reducer(self, rule_ids):
+        # the cluster state-shipping plane is a registration surface too:
+        # a synopsis wired in via register_reducer is constructible from
+        # shipped bytes even if the name registry never mentions it
+        shipping = (
+            "from repro.common.serialization import register_reducer\n"
+            "from repro.frequency.new_sketch import NewSketch\n"
+            "register_reducer(NewSketch, lambda s: {}, lambda d: NewSketch())\n"
+        )
+        assert (
+            rule_ids(
+                {
+                    "frequency/new_sketch.py": _SKETCH,
+                    "core/registry.py": "_REGISTRY = {}\n",
+                    "cluster/shipping.py": shipping,
+                },
+                select=SELECT,
+            )
+            == []
+        )
+
+    def test_registered_via_qualified_reducer_call(self, rule_ids):
+        # serialization.register_reducer(pkg.NewSketch, ...) also counts
+        shipping = (
+            "from repro.common import serialization\n"
+            "from repro import frequency\n"
+            "serialization.register_reducer(\n"
+            "    frequency.new_sketch.NewSketch, lambda s: {}, lambda d: None\n"
+            ")\n"
+        )
+        assert (
+            rule_ids(
+                {
+                    "frequency/new_sketch.py": _SKETCH,
+                    "core/registry.py": "_REGISTRY = {}\n",
+                    "cluster/shipping.py": shipping,
                 },
                 select=SELECT,
             )

@@ -1,0 +1,149 @@
+"""Cluster execution equivalence: sharded must equal single-process.
+
+The contract under test is the paper's partitioned-computation claim: a
+topology sharded across worker processes, with merge-on-query over the
+shard partials, produces state **bit-identical** to the single-process
+:class:`LocalExecutor` over the same records — fingerprints, not
+approximations.
+"""
+
+import pytest
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.cluster.coordinator import ClusterExecutor
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.obs.demo import build_demo_topology, demo_records
+from repro.platform.executor import LocalExecutor
+from repro.platform.topology import Bolt, ListSpout, Spout, TopologyBuilder
+
+N_RECORDS = 600
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def records():
+    return demo_records(N_RECORDS, SEED)
+
+
+@pytest.fixture(scope="module")
+def reference(records):
+    """Single-process baseline: sketch fingerprint + merged word counts."""
+    executor = LocalExecutor(build_demo_topology(records), semantics="at_most_once")
+    executor.run()
+    sketch = executor.bolt_instances("sketch")[0].synopsis
+    counts: dict = {}
+    for bolt in executor.bolt_instances("count"):
+        for key, value in bolt.counts.items():
+            counts[key] = counts.get(key, 0) + value
+    return state_fingerprint(sketch), counts
+
+
+def _merged_counts(executor: ClusterExecutor) -> dict:
+    out: dict = {}
+    for partial in executor.bolt_states("count"):
+        for key, value in partial.items():
+            out[key] = out.get(key, 0) + value
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_merged_state_matches_single_process(
+        self, records, reference, n_workers
+    ):
+        ref_fingerprint, ref_counts = reference
+        with ClusterExecutor(
+            build_demo_topology(records), n_workers=n_workers
+        ) as executor:
+            executor.run()
+            merged = executor.merged_synopsis("sketch")
+            counts = _merged_counts(executor)
+        assert state_fingerprint(merged) == ref_fingerprint
+        assert counts == ref_counts
+
+    def test_reliable_run_matches_too(self, records, reference):
+        ref_fingerprint, __ = reference
+        with ClusterExecutor(
+            build_demo_topology(records), n_workers=2, semantics="at_least_once"
+        ) as executor:
+            metrics = executor.run()
+            merged = executor.merged_synopsis("sketch")
+        assert state_fingerprint(merged) == ref_fingerprint
+        # every source record acked, none replayed on a clean run
+        assert metrics.summary()["replays"] == 0
+
+    def test_partitioned_spout(self, records, reference):
+        __, ref_counts = reference
+        builder = TopologyBuilder()
+        builder.set_spout("sentences", lambda: ListSpout(records), parallelism=2)
+        from repro.platform.operators import CountBolt, FlatMapBolt
+
+        builder.set_bolt(
+            "split", lambda: FlatMapBolt(lambda values: [(w,) for w in values[0].split()])
+        ).shuffle("sentences")
+        builder.set_bolt("count", lambda: CountBolt(0), parallelism=2).fields(
+            "split", 0
+        )
+        with ClusterExecutor(builder.build(), n_workers=2) as executor:
+            executor.run()
+            counts = _merged_counts(executor)
+        assert counts == ref_counts
+
+
+class TestApiContract:
+    def test_bolt_states_in_task_order(self, records):
+        with ClusterExecutor(build_demo_topology(records), n_workers=2) as executor:
+            executor.run()
+            partials = executor.bolt_states("count")
+        assert len(partials) == 2  # CountBolt parallelism in the demo
+
+    def test_unknown_bolt_rejected(self, records):
+        with ClusterExecutor(build_demo_topology(records), n_workers=2) as executor:
+            with pytest.raises(ParameterError):
+                executor.bolt_states("nope")
+            with pytest.raises(ParameterError):
+                executor.bolt_states("sentences")  # spout, not bolt
+
+    def test_closed_executor_cannot_restart(self, records):
+        executor = ClusterExecutor(build_demo_topology(records), n_workers=1)
+        with executor:
+            executor.run()
+        with pytest.raises(ExecutionError):
+            executor.run()
+
+    def test_parameter_validation(self, records):
+        topology = build_demo_topology(records)
+        with pytest.raises(ParameterError):
+            ClusterExecutor(topology, n_workers=0)
+        with pytest.raises(ParameterError):
+            ClusterExecutor(topology, semantics="maybe_once")
+        with pytest.raises(ParameterError):
+            ClusterExecutor(topology, checkpoint_interval=0)
+        with pytest.raises(ParameterError):
+            ClusterExecutor(topology, batch_size=0)
+
+    def test_unsplittable_parallel_spout_rejected(self):
+        class _Fixed(Spout):
+            def next_tuple(self):
+                return None
+
+        builder = TopologyBuilder()
+        builder.set_spout("src", _Fixed, parallelism=2)
+
+        class _Sink(Bolt):
+            def process(self, values, emit):
+                pass
+
+        builder.set_bolt("sink", _Sink).shuffle("src")
+        with pytest.raises(ExecutionError):
+            ClusterExecutor(builder.build(), n_workers=2)
+
+
+class TestCli:
+    def test_demo_cli_verifies_fingerprint(self, capsys):
+        from repro.cluster.cli import main
+
+        code = main(["--workers", "2", "--records", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MATCH" in out

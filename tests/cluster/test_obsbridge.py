@@ -1,0 +1,119 @@
+"""Cross-process observability: worker metric export/absorb, span travel."""
+
+import pytest
+
+from repro.cluster import obsbridge
+from repro.cluster.coordinator import ClusterExecutor
+from repro.obs.context import Observability
+from repro.obs.demo import build_demo_topology, demo_records
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracing import Span, SpanCollector
+
+
+class TestMetricRoundTrip:
+    def test_counter_values_travel(self):
+        source = MetricRegistry()
+        counter = source.counter("m_total", "help", labelnames=("component",))
+        counter.labels(component="a").inc(3)
+        counter.labels(component="b").inc(5)
+        target = MetricRegistry()
+        obsbridge.absorb_metrics(target, obsbridge.export_metrics(source), worker=1)
+        family = target.get("m_total")
+        values = {sample.labels: sample.value for sample in family.samples()}
+        assert values[(("worker", "1"), ("component", "a"))] == 3
+        assert values[(("worker", "1"), ("component", "b"))] == 5
+
+    def test_gauge_values_travel(self):
+        source = MetricRegistry()
+        source.gauge("m_depth", "help").set(7.5)
+        target = MetricRegistry()
+        obsbridge.absorb_metrics(target, obsbridge.export_metrics(source), worker=0)
+        sample = target.get("m_depth").samples()[0]
+        assert sample.value == 7.5
+        assert ("worker", "0") in sample.labels
+
+    def test_histogram_digest_merges_exactly(self):
+        source_a, source_b = MetricRegistry(), MetricRegistry()
+        for source, offset in ((source_a, 0.0), (source_b, 100.0)):
+            hist = source.histogram("m_latency", "help")
+            for i in range(50):
+                hist.observe(offset + i)
+        target = MetricRegistry()
+        # same metric from two workers lands in two labelled children
+        obsbridge.absorb_metrics(target, obsbridge.export_metrics(source_a), worker=0)
+        obsbridge.absorb_metrics(target, obsbridge.export_metrics(source_b), worker=1)
+        family = target.get("m_latency")
+        children = {labels: child for labels, child in family._label_tuples()}
+        assert children[(("worker", "0"),)].count == 50
+        assert children[(("worker", "1"),)].count == 50
+        # the digest really crossed: quantiles live in the right range
+        assert children[(("worker", "1"),)].digest.quantile(0.5) >= 100.0
+
+    def test_absorbing_twice_accumulates(self):
+        source = MetricRegistry()
+        source.counter("m_total", "help").inc(2)
+        target = MetricRegistry()
+        records = obsbridge.export_metrics(source)
+        obsbridge.absorb_metrics(target, records, worker=0)
+        obsbridge.absorb_metrics(target, records, worker=0)
+        assert target.get("m_total").samples()[0].value == 4
+
+    def test_unknown_kind_dropped_silently(self):
+        target = MetricRegistry()
+        obsbridge.absorb_metrics(
+            target,
+            [{"name": "m", "kind": "summary", "help": "", "labelnames": [], "labels": {}}],
+            worker=0,
+        )
+        assert "m" not in target.names()
+
+
+class TestSpanTravel:
+    def test_spans_rerecorded(self):
+        collector = SpanCollector()
+        spans = [
+            Span(
+                trace_id=1,
+                span_id=2,
+                parent_id=None,
+                component="bolt:x",
+                kind="process",
+                start=0.0,
+            )
+        ]
+        obsbridge.absorb_spans(collector, spans)
+        assert collector.spans == spans
+
+
+class TestClusterAggregation:
+    def test_worker_metrics_land_in_coordinator_registry(self):
+        records = demo_records(300, 7)
+        obs = Observability.create(sample_rate=1.0, seed=7)
+        executor = ClusterExecutor(
+            build_demo_topology(records),
+            n_workers=2,
+            semantics="at_least_once",  # tracing rides the reliable path
+            obs=obs,
+        )
+        with executor:
+            metrics = executor.run()
+        family = obs.registry.get("repro_cluster_worker_tuples_processed_total")
+        assert family is not None
+        by_worker: dict[str, float] = {}
+        total = 0.0
+        for sample in family.samples():
+            labels = dict(sample.labels)
+            by_worker[labels["worker"]] = by_worker.get(labels["worker"], 0) + sample.value
+            total += sample.value
+        assert set(by_worker) == {"0", "1"}  # both workers reported
+        # cluster-wide processed == sum of the coordinator's bolt counters
+        expected = sum(
+            component.processed
+            for name, component in metrics.components.items()
+            if name.startswith("bolt:")
+        )
+        assert total == pytest.approx(expected)
+        # bolt process spans crossed the boundary too (full sampling)
+        assert any(
+            span.component.startswith("bolt:") for span in obs.collector.spans
+        )

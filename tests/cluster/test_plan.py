@@ -1,0 +1,74 @@
+"""Shard planning: deterministic round-robin task → worker assignment."""
+
+import pytest
+
+from repro.cluster.plan import plan_topology
+from repro.common.exceptions import ParameterError
+from repro.platform.topology import Bolt, ListSpout, TopologyBuilder
+
+
+class _Noop(Bolt):
+    def process(self, values, emit):
+        pass
+
+
+def _topology(parallelisms: dict[str, int]):
+    builder = TopologyBuilder()
+    builder.set_spout("src", lambda: ListSpout([]))
+    previous = "src"
+    for name, parallelism in parallelisms.items():
+        builder.set_bolt(name, _Noop, parallelism=parallelism).shuffle(previous)
+        previous = name
+    return builder.build()
+
+
+class TestPlanTopology:
+    def test_round_robin_deals_tasks_across_workers(self):
+        plan = plan_topology(_topology({"a": 4}), 4)
+        owners = [plan.worker_of("a", task) for task in range(4)]
+        assert sorted(owners) == [0, 1, 2, 3]  # one task per worker
+
+    def test_more_tasks_than_workers_wraps(self):
+        plan = plan_topology(_topology({"a": 3, "b": 2}), 2)
+        owners = [
+            plan.worker_of(name, task)
+            for name, count in (("a", 3), ("b", 2))
+            for task in range(count)
+        ]
+        # every worker carries a share, and all 5 shards are assigned
+        assert set(owners) == {0, 1}
+        assert len(owners) == 5
+
+    def test_deterministic(self):
+        p1 = plan_topology(_topology({"a": 3, "b": 5}), 3)
+        p2 = plan_topology(_topology({"a": 3, "b": 5}), 3)
+        assert p1.assignments == p2.assignments
+
+    def test_tasks_of_partitions_the_assignment(self):
+        plan = plan_topology(_topology({"a": 3, "b": 5}), 3)
+        seen = []
+        for worker in range(3):
+            seen.extend(plan.tasks_of(worker))
+        assert sorted(seen) == sorted(plan.assignments)
+
+    def test_spouts_not_assigned_to_workers(self):
+        plan = plan_topology(_topology({"a": 2}), 2)
+        assert all(name != "src" for name, __ in plan.assignments)
+
+    def test_describe_mentions_every_worker(self):
+        plan = plan_topology(_topology({"a": 2, "b": 2}), 2)
+        text = plan.describe()
+        assert "worker 0" in text and "worker 1" in text
+
+    def test_idle_worker_still_listed(self):
+        plan = plan_topology(_topology({"a": 1}), 3)
+        assert "(idle)" in plan.describe()
+
+    def test_worker_of_unknown_shard_raises(self):
+        plan = plan_topology(_topology({"a": 2}), 2)
+        with pytest.raises(ParameterError):
+            plan.worker_of("a", 99)
+
+    def test_worker_count_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            plan_topology(_topology({"a": 1}), 0)

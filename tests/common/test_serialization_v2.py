@@ -1,0 +1,69 @@
+"""Serialization format-v2 additions that state shipping leans on.
+
+The cluster subsystem ships whole operator states — including tiebreak
+counters, frozen dataclasses and aliased substructures — so the encoder
+extensions behind :mod:`repro.core.stateship` get their own pins here.
+"""
+
+import itertools
+import random
+
+from repro.common.serialization import dump_state, load_state
+from repro.temporal.spring import Match
+
+TAG = "test-v2"
+
+
+def _roundtrip(state: dict) -> dict:
+    return load_state(TAG, dump_state(TAG, state))
+
+
+class TestItertoolsCount:
+    def test_counter_position_survives(self):
+        counter = itertools.count(1)
+        for __ in range(5):
+            next(counter)
+        restored = _roundtrip({"c": counter})["c"]
+        assert next(restored) == 6
+        assert next(restored) == 7
+
+    def test_counter_with_step(self):
+        counter = itertools.count(10, 3)
+        next(counter)
+        restored = _roundtrip({"c": counter})["c"]
+        assert next(restored) == 13
+
+
+class TestFrozenDataclass:
+    def test_frozen_instances_restore(self):
+        # Match is @dataclass(frozen=True): plain setattr raises, so the
+        # decoder must fall back to object.__setattr__
+        state = _roundtrip({"m": Match(start=3, end=9, distance=1.5)})
+        assert state["m"] == Match(start=3, end=9, distance=1.5)
+
+    def test_nested_in_containers(self):
+        matches = [Match(0, 1, 0.5), Match(2, 5, 2.25)]
+        state = _roundtrip({"matches": matches})
+        assert state["matches"] == matches
+
+
+class TestCrossKeyAliasing:
+    def test_shared_object_stays_shared_across_keys(self):
+        shared = [1, 2, 3]
+        state = _roundtrip({"a": shared, "b": shared})
+        assert state["a"] is state["b"]
+
+    def test_distinct_objects_stay_distinct(self):
+        state = _roundtrip({"a": [1, 2, 3], "b": [1, 2, 3]})
+        assert state["a"] == state["b"]
+        assert state["a"] is not state["b"]
+
+    def test_shared_rng_keeps_identity_and_position(self):
+        rng = random.Random(7)
+        rng.random()  # advance one draw
+        state = _roundtrip({"x": rng, "y": rng})
+        assert state["x"] is state["y"]
+        reference = random.Random(7)
+        reference.random()
+        # the restored stream continues exactly where the original stood
+        assert state["y"].random() == reference.random()

@@ -1,0 +1,94 @@
+"""Registry-wide state shipping across a *real* process boundary.
+
+The cluster subsystem ships operator state between processes started with
+``fork``, which inherits the parent's memory and can mask serialization
+gaps. This suite uses the **spawn** start method instead — the child is a
+fresh interpreter that re-imports everything and sees only the shipped
+bytes — and drives every synopsis in the registry through it:
+
+* round-trip: capture → child restore → child re-capture → parent restore
+  must reproduce the exact state fingerprint;
+* merge: folding a shipped-and-returned partial into a local partial must
+  be bit-identical to folding the local original (merge-on-query must not
+  care which side of a process boundary a partial came from).
+
+One child process serves all synopses (spawn start-up is expensive); the
+workloads reuse the registry-wide equivalence specs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.core import stateship
+
+from tests.core.test_batch_equivalence import SPEC, _build
+
+N_ITEMS = 160
+_SEED = 4321
+
+
+def _feed(name: str, items: list):
+    synopsis = _build(name)
+    synopsis.update_many(items)
+    return synopsis
+
+
+def _child_roundtrip(conn) -> None:
+    """Spawned child: restore every payload, re-capture, ship back."""
+    payloads: dict[str, bytes] = conn.recv()
+    out: dict[str, bytes] = {}
+    for name, blob in payloads.items():
+        out[name] = stateship.capture(stateship.restore(blob))
+    conn.send(out)
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def shipped() -> dict[str, bytes]:
+    """Every registered synopsis captured, bounced off a spawned child."""
+    payloads = {}
+    for name in sorted(SPEC):
+        __, workload = SPEC[name]
+        items = workload(N_ITEMS, random.Random(_SEED))
+        payloads[name] = stateship.capture(_feed(name, items))
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe()
+    process = ctx.Process(target=_child_roundtrip, args=(child_conn,))
+    process.start()
+    parent_conn.send(payloads)
+    returned = parent_conn.recv()
+    process.join(timeout=30)
+    assert process.exitcode == 0
+    return returned
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_spawn_roundtrip_is_bit_identical(name, shipped):
+    __, workload = SPEC[name]
+    items = workload(N_ITEMS, random.Random(_SEED))
+    original = _feed(name, items)
+    returned = stateship.restore(shipped[name])
+    assert state_fingerprint(returned) == state_fingerprint(original)
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_shipped_partial_merges_bit_identically(name, shipped):
+    __, workload = SPEC[name]
+    items = workload(N_ITEMS, random.Random(_SEED))
+    other_items = workload(N_ITEMS, random.Random(_SEED + 1))
+
+    local_a = _feed(name, other_items)
+    local_b = _feed(name, items)
+    try:
+        local_a.merge(local_b)
+    except Exception:
+        pytest.skip(f"{name} is not mergeable")
+
+    shipped_a = _feed(name, other_items)
+    shipped_a.merge(stateship.restore(shipped[name]))
+    assert state_fingerprint(shipped_a) == state_fingerprint(local_a)

@@ -1,0 +1,113 @@
+"""Batch APIs must be observationally identical to their per-tuple forms.
+
+``Grouping.targets_batch`` and ``Spout.next_batch`` exist so the cluster
+coordinator can move envelopes, not tuples — but any divergence from the
+per-tuple contract would silently re-partition the stream. These tests
+pin the equivalence, plus the ``split()`` partitioning used for parallel
+spouts.
+"""
+
+import pytest
+
+from repro.common.exceptions import TopologyError
+from repro.platform.groupings import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.platform.topology import ListSpout, Spout, is_partitionable
+
+
+_PAYLOADS = [(f"k{i % 7}", i) for i in range(64)]
+
+
+class _Tup:
+    """Minimal stand-in for the executor's StreamTuple (.values only)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        self.values = values
+
+
+class TestTargetsBatch:
+    @pytest.mark.parametrize("n_tasks", [1, 2, 5])
+    def test_fields_grouping_batch_equals_per_tuple(self, n_tasks):
+        grouping = FieldsGrouping(0)
+        batch = FieldsGrouping(0)
+        expected = [grouping.targets(_Tup(p), n_tasks) for p in _PAYLOADS]
+        assert batch.targets_batch(list(_PAYLOADS), n_tasks) == expected
+
+    def test_shuffle_grouping_batch_preserves_sequence(self):
+        a, b = ShuffleGrouping(seed=3), ShuffleGrouping(seed=3)
+        expected = [a.targets(_Tup(p), 4) for p in _PAYLOADS]
+        assert b.targets_batch(list(_PAYLOADS), 4) == expected
+
+    def test_global_and_all_groupings(self):
+        assert GlobalGrouping().targets_batch(_PAYLOADS[:3], 5) == [[0]] * 3
+        assert AllGrouping().targets_batch(_PAYLOADS[:2], 3) == [[0, 1, 2]] * 2
+
+    def test_fields_grouping_key_cache_does_not_leak_between_keys(self):
+        grouping = FieldsGrouping(0)
+        routes = grouping.targets_batch([("x", 0), ("y", 1), ("x", 2)], 8)
+        assert routes[0] == routes[2]  # same key, same shard
+        # different key may map elsewhere, but must match per-tuple form
+        assert routes[1] == FieldsGrouping(0).targets(_Tup(("y", 1)), 8)
+
+
+class TestNextBatch:
+    def test_next_batch_equals_next_tuple_sequence(self):
+        records = [(i,) for i in range(23)]
+        one, many = ListSpout(records), ListSpout(records)
+        expected = []
+        while True:
+            payload = one.next_tuple()
+            if payload is None:
+                break
+            expected.append(payload)
+        got = []
+        while True:
+            batch = many.next_batch(5)
+            if not batch:
+                break
+            got.extend(batch)
+        assert got == expected
+
+    def test_next_batch_tracks_offsets(self):
+        spout = ListSpout([(i,) for i in range(10)])
+        spout.next_batch(4)
+        assert spout.last_offset == 3
+        assert spout.offset == 4
+
+    def test_next_batch_drains_retry_queue_first(self):
+        spout = ListSpout([(i,) for i in range(6)])
+        spout.next_batch(4)
+        spout.fail(1)  # record 1 must come around again
+        replayed = spout.next_batch(3)
+        assert (1,) in replayed
+
+
+class TestSplit:
+    def test_split_partitions_round_robin(self):
+        records = [(i,) for i in range(10)]
+        parts = ListSpout(records).split(3)
+        assert len(parts) == 3
+        seen = []
+        for part in parts:
+            while True:
+                payload = part.next_tuple()
+                if payload is None:
+                    break
+                seen.append(payload)
+        assert sorted(seen) == sorted(records)
+
+    def test_default_spout_is_not_partitionable(self):
+        class _Plain(Spout):
+            def next_tuple(self):
+                return None
+
+        assert not is_partitionable(_Plain())
+        assert is_partitionable(ListSpout([]))
+        with pytest.raises(TopologyError):
+            _Plain().split(2)

@@ -1,0 +1,81 @@
+"""Topological bolt ordering and loud cycle detection.
+
+The builder cannot express a cycle (sources must pre-exist), but a
+hand-constructed :class:`Topology` can smuggle one in. A DFS that only
+tracks *visited* would emit a wrong order silently; the shared
+:func:`topological_bolt_order` (used by both the local executor and the
+cluster coordinator for flush ordering) must instead raise a clear
+:class:`ExecutionError` naming the cycle.
+"""
+
+import pytest
+
+from repro.common.exceptions import ExecutionError
+from repro.platform.executor import LocalExecutor, topological_bolt_order
+from repro.platform.topology import Bolt, ListSpout, TopologyBuilder
+
+
+class _Noop(Bolt):
+    def process(self, values, emit):
+        pass
+
+
+def _chain(*names: str):
+    builder = TopologyBuilder()
+    builder.set_spout("src", lambda: ListSpout([]))
+    previous = "src"
+    for name in names:
+        builder.set_bolt(name, _Noop).shuffle(previous)
+        previous = name
+    return builder.build()
+
+
+def _diamond():
+    builder = TopologyBuilder()
+    builder.set_spout("src", lambda: ListSpout([]))
+    builder.set_bolt("left", _Noop).shuffle("src")
+    builder.set_bolt("right", _Noop).shuffle("src")
+    builder.set_bolt("join", _Noop).shuffle("left").shuffle("right")
+    return builder.build()
+
+
+def _smuggle_cycle(topology, from_bolt: str, to_bolt: str):
+    """Wire *to_bolt* to also consume *from_bolt* (post-build mutation)."""
+    grouping = topology.components[to_bolt].inputs[0][1]
+    topology.components[to_bolt].inputs.append((from_bolt, grouping))
+    return topology
+
+
+class TestOrdering:
+    def test_chain_orders_upstream_first(self):
+        assert topological_bolt_order(_chain("a", "b", "c")) == ["a", "b", "c"]
+
+    def test_diamond_join_comes_last(self):
+        order = topological_bolt_order(_diamond())
+        assert order.index("join") == 2
+        assert set(order) == {"left", "right", "join"}
+
+
+class TestCycles:
+    def test_two_bolt_cycle_raises_with_path(self):
+        topology = _smuggle_cycle(_chain("a", "b"), "b", "a")
+        with pytest.raises(ExecutionError, match="cycle through bolts"):
+            topological_bolt_order(topology)
+
+    def test_cycle_message_names_the_bolts(self):
+        topology = _smuggle_cycle(_chain("a", "b"), "b", "a")
+        with pytest.raises(ExecutionError, match="a") as excinfo:
+            topological_bolt_order(topology)
+        message = str(excinfo.value)
+        assert "a" in message and "b" in message and "->" in message
+
+    def test_self_loop_raises(self):
+        topology = _smuggle_cycle(_chain("a"), "a", "a")
+        with pytest.raises(ExecutionError, match="cycle"):
+            topological_bolt_order(topology)
+
+    def test_local_executor_rejects_cyclic_topology(self):
+        topology = _smuggle_cycle(_chain("a", "b"), "b", "a")
+        executor = LocalExecutor(topology)
+        with pytest.raises(ExecutionError, match="cycle"):
+            executor.run()
