@@ -1,0 +1,69 @@
+"""Baseline file: land strict rules without blocking on known findings.
+
+A baseline records the *accepted* pre-existing findings as counts keyed by
+location-independent identity (``relpath::rule::message`` — see
+:meth:`Finding.baseline_key`), so unrelated edits that shift line numbers
+do not invalidate it. At report time each key absorbs up to its recorded
+count; anything beyond that — a new finding, or a second instance of an
+accepted one — still fails the run. Fixing a baselined finding never
+breaks the build (stale keys are simply unused), so the baseline only
+ratchets down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "streamlint-baseline/v1"
+
+#: Default baseline filename, auto-detected in the working directory.
+DEFAULT_BASELINE_NAME = ".streamlint-baseline.json"
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Baseline key -> accepted count. Raises ValueError on a bad file."""
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a streamlint baseline (schema={doc.get('schema')!r})"
+        )
+    findings = doc.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"{path}: 'findings' must be a mapping")
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def write_baseline(findings: list[Finding], path: Path) -> int:
+    """Write the baseline accepting *findings*; returns the key count."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        counts[key] = counts.get(key, 0) + 1
+    doc = {"schema": BASELINE_SCHEMA, "findings": dict(sorted(counts.items()))}
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return len(counts)
+
+
+def apply_baseline(
+    findings: list[Finding], accepted: dict[str, int]
+) -> tuple[list[Finding], int]:
+    """Drop findings absorbed by the baseline.
+
+    Returns ``(remaining findings, absorbed count)``. Findings are
+    consumed in sorted (location) order so which duplicate survives an
+    under-counted key is deterministic.
+    """
+    remaining = dict(accepted)
+    kept: list[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            kept.append(finding)
+    return kept, absorbed

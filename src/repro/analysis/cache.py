@@ -1,0 +1,117 @@
+"""Result cache: skip re-analyzing files that have not changed.
+
+Per-file analysis (parse + module rules + fact extraction) dominates
+full-tree wall time, and the outputs are pure functions of the file
+contents and the analyzer version. The cache stores each file's module
+findings and facts keyed by absolute path, validated by an
+``mtime_ns + size`` fast path with a sha256 content-hash fallback —
+a touched-but-identical file re-hashes once and hits; an edited file
+misses. The whole cache is invalidated when the analyzer itself changes:
+the signature is a digest over the ``repro.analysis`` package sources,
+so editing any rule re-runs everything without manual cache busting.
+
+Project-scoped rules run from cached *facts*, so a fully warm run parses
+zero files yet still produces cross-module findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+CACHE_SCHEMA = "streamlint-cache/v1"
+
+#: Default cache filename (``--cache`` with no argument).
+DEFAULT_CACHE_NAME = ".streamlint-cache.json"
+
+_signature_memo: str | None = None
+
+
+def analyzer_signature() -> str:
+    """Digest of the ``repro.analysis`` package sources (cache validity)."""
+    global _signature_memo
+    if _signature_memo is None:
+        pkg_root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(pkg_root.rglob("*.py")):
+            digest.update(source.name.encode())
+            digest.update(source.read_bytes())
+        _signature_memo = digest.hexdigest()
+    return _signature_memo
+
+
+def file_sha256(path: Path) -> str:
+    """Streaming sha256 of *path*'s bytes (the mtime-miss fallback key)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """mtime+hash keyed store of per-file analysis records."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path) -> "AnalysisCache":
+        cache = cls(path)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if (
+            doc.get("schema") == CACHE_SCHEMA
+            and doc.get("signature") == analyzer_signature()
+        ):
+            entries = doc.get("files")
+            if isinstance(entries, dict):
+                cache._entries = entries
+        return cache
+
+    def lookup(self, key: str, path: Path, stat: os.stat_result) -> dict | None:
+        """The cached record under *key* for file *path*, or None on miss.
+
+        Matching ``mtime_ns + size`` trusts the entry without reading the
+        file; a stat mismatch falls back to hashing the content so
+        ``touch``-ed files still hit.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if (
+            entry.get("mtime_ns") == stat.st_mtime_ns
+            and entry.get("size") == stat.st_size
+        ):
+            self.hits += 1
+            return entry["record"]
+        if entry.get("sha256") == file_sha256(path):
+            entry["mtime_ns"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+            self.hits += 1
+            return entry["record"]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, envelope: dict) -> None:
+        """Store a freshly computed ``{mtime_ns, size, sha256, record}``."""
+        self._entries[key] = envelope
+
+    def save(self, seen: set[str]) -> None:
+        """Persist entries for *seen* files only (prunes deleted modules)."""
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "signature": analyzer_signature(),
+            "files": {k: v for k, v in self._entries.items() if k in seen},
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(doc))
+        os.replace(tmp, self.path)

@@ -1,11 +1,22 @@
 """The streamlint rule engine.
 
 Rules subclass :class:`Rule` and register themselves with the ``@rule``
-decorator. The engine walks the requested paths, parses every ``*.py``
-module once into a :class:`~repro.analysis.context.ModuleContext`, runs
-module-scoped rules per file and project-scoped rules once over the whole
-set (project scope is what lets SL006 compare the class hierarchy against
-``core/registry.py``), then filters findings through inline suppressions.
+decorator. v2 runs in three stages:
+
+1. **Per-file analysis** — each module is parsed once, every module-scoped
+   rule runs over it, and a serialisable *facts* document is extracted
+   (:mod:`repro.analysis.facts`). This stage is a pure function of the
+   file bytes, so it parallelises across a process pool (``jobs``) and
+   its results live in the mtime+hash cache (``cache_path``) — a warm
+   run parses nothing.
+2. **Project analysis** — the facts are assembled into a
+   :class:`~repro.analysis.project.ProjectModel` (cross-module class
+   hierarchy, attribute types, registration surfaces) and project-scoped
+   rules query it.
+3. **Filtering** — selection (``--select``/``--ignore``), inline
+   suppressions routed through each finding's *relpath* (so a project
+   rule's finding is suppressible in the file it points at, wherever the
+   evidence came from), and finally the committed baseline.
 
 Unparsable files produce a synthetic ``SL000`` syntax-error finding instead
 of crashing the run, so one broken module cannot hide findings in the rest
@@ -14,11 +25,20 @@ of the tree.
 
 from __future__ import annotations
 
+import ast
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Type
 
-from repro.analysis.context import ModuleContext
+from repro.analysis.baseline import apply_baseline
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.context import ModuleContext, _collect_import_aliases
+from repro.analysis.facts import extract_facts
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ProjectModel
+from repro.analysis.suppressions import SuppressionIndex
 
 SYNTAX_ERROR_RULE = "SL000"
 
@@ -30,8 +50,8 @@ class Rule:
 
     Class attributes declare identity (``rule_id``), default ``severity``,
     ``scope`` ("module" rules see one file at a time; "project" rules see
-    every file at once) and a one-line ``description`` surfaced by
-    ``--list-rules``.
+    the :class:`ProjectModel` for the whole tree) and a one-line
+    ``description`` surfaced by ``--list-rules``.
     """
 
     rule_id: str = ""
@@ -43,7 +63,7 @@ class Rule:
         """Yield findings for one module (module-scoped rules)."""
         return iter(())
 
-    def check_project(self, ctxs: Sequence[ModuleContext]) -> Iterator[Finding]:
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
         """Yield findings across the whole scanned tree (project scope)."""
         return iter(())
 
@@ -63,6 +83,27 @@ class Rule:
             rule_id=self.rule_id,
             severity=severity or self.severity,
             message=message,
+            relpath=ctx.relpath,
+        )
+
+    def project_finding(
+        self,
+        project: ProjectModel,
+        relpath: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` attributed to *relpath* in the model."""
+        return Finding(
+            path=project.display_path(relpath),
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+            relpath=relpath,
         )
 
 
@@ -96,10 +137,209 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+@dataclass
+class AnalysisResult:
+    """Everything a reporter needs about one engine run."""
+
+    findings: list[Finding]
+    file_count: int = 0
+    baseline_absorbed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Worst surviving severity, for exit-code mapping (None when clean).
+    worst: Severity | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        severities = {f.severity for f in self.findings}
+        if Severity.ERROR in severities:
+            self.worst = Severity.ERROR
+        elif severities:
+            self.worst = Severity.WARNING
+
+
+# -- per-file stage (runs in worker processes) --------------------------------
+
+
+def _analyze_file(job: tuple[str, str]) -> dict:
+    """Parse one file, run module rules, extract facts.
+
+    Takes/returns only JSON-serialisable data so it can cross a process
+    pool and live in the result cache. The envelope carries the stat+hash
+    identity the cache validates against.
+    """
+    path_str, root_str = job
+    path = Path(path_str)
+    stat = path.stat()
+    raw = path.read_bytes()
+    source = raw.decode("utf-8")
+    try:
+        relpath = path.resolve().relative_to(Path(root_str).resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+
+    record: dict = {"path": path_str, "relpath": relpath}
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        record["findings"] = [
+            Finding(
+                path=path_str,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=SYNTAX_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                relpath=relpath,
+            ).to_dict()
+        ]
+        record["facts"] = None
+        record["suppressions"] = SuppressionIndex().to_dict()
+    else:
+        ctx = ModuleContext(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            suppressions=SuppressionIndex.from_source(source),
+        )
+        ctx.aliases = _collect_import_aliases(tree)
+        rules = [cls() for cls in all_rules().values() if cls.scope == "module"]
+        record["findings"] = [
+            f.to_dict() for r in rules for f in r.check_module(ctx)
+        ]
+        record["facts"] = extract_facts(ctx)
+        record["suppressions"] = ctx.suppressions.to_dict()
+
+    return {
+        "mtime_ns": stat.st_mtime_ns,
+        "size": stat.st_size,
+        "sha256": hashlib.sha256(raw).hexdigest(),
+        "record": record,
+    }
+
+
+def _rehome(record: dict, path_str: str) -> dict:
+    """Point a (possibly cached) record at the as-given display path."""
+    if record["path"] == path_str:
+        return record
+    record = dict(record)
+    record["path"] = path_str
+    record["findings"] = [dict(d, path=path_str) for d in record["findings"]]
+    if record["facts"] is not None:
+        record["facts"] = dict(record["facts"], path=path_str)
+    return record
+
+
+def _compute(jobs_list: list[tuple[str, str]], jobs: int) -> list[tuple[tuple, dict]]:
+    if jobs <= 1 or len(jobs_list) <= 1:
+        return [(job, _analyze_file(job)) for job in jobs_list]
+    chunk = max(1, len(jobs_list) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(zip(jobs_list, pool.map(_analyze_file, jobs_list, chunksize=chunk)))
+
+
+# -- orchestration ------------------------------------------------------------
+
+
+def run_analysis(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    cache_path: Path | str | None = None,
+    baseline: dict[str, int] | None = None,
+) -> AnalysisResult:
+    """Full engine run with cache/parallel/baseline plumbing exposed."""
+    roots = [Path(p) for p in paths]
+    keep = _selected_rule_ids(select, ignore)
+
+    files: list[tuple[str, str]] = []
+    for root in roots:
+        scan_root = root if root.is_dir() else root.parent
+        for file in iter_python_files([root]):
+            files.append((str(file), str(scan_root)))
+
+    cache = AnalysisCache.load(Path(cache_path)) if cache_path else None
+    records: dict[tuple[str, str], dict] = {}
+    to_compute: list[tuple[str, str]] = []
+    seen_keys: set[str] = set()
+    for job in files:
+        key = _cache_key(job)
+        seen_keys.add(key)
+        hit = None
+        if cache is not None:
+            path = Path(job[0])
+            try:
+                hit = cache.lookup(key, path, path.stat())
+            except OSError:
+                hit = None
+        if hit is not None:
+            records[job] = _rehome(hit, job[0])
+        else:
+            to_compute.append(job)
+
+    for job, envelope in _compute(to_compute, jobs):
+        records[job] = envelope["record"]
+        if cache is not None:
+            cache.put(_cache_key(job), envelope)
+    if cache is not None:
+        cache.save(seen_keys)
+
+    ordered = [records[job] for job in sorted(records)]
+    suppressions = {
+        rec["relpath"]: SuppressionIndex.from_dict(rec["suppressions"])
+        for rec in ordered
+    }
+
+    findings: list[Finding] = []
+    for rec in ordered:
+        for doc in rec["findings"]:
+            finding = Finding.from_dict(doc)
+            if (
+                finding.rule_id != SYNTAX_ERROR_RULE
+                and finding.rule_id not in keep
+            ):
+                continue
+            if _is_suppressed(suppressions, finding):
+                continue
+            findings.append(finding)
+
+    model = ProjectModel(
+        {
+            rec["relpath"]: rec["facts"]
+            for rec in ordered
+            if rec["facts"] is not None
+        }
+    )
+    for rule_id, cls in all_rules().items():
+        if cls.scope != "project" or rule_id not in keep:
+            continue
+        for finding in cls().check_project(model):
+            if not _is_suppressed(suppressions, finding):
+                findings.append(finding)
+
+    findings.sort()
+    absorbed = 0
+    if baseline:
+        findings, absorbed = apply_baseline(findings, baseline)
+    return AnalysisResult(
+        findings=findings,
+        file_count=len(files),
+        baseline_absorbed=absorbed,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else len(files),
+    )
+
+
 def analyze_paths(
     paths: Sequence[Path | str],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    cache_path: Path | str | None = None,
+    baseline: dict[str, int] | None = None,
 ) -> list[Finding]:
     """Run every (selected) rule over *paths* and return sorted findings.
 
@@ -107,52 +347,36 @@ def analyze_paths(
     Suppression comments are honoured last, so a suppressed finding never
     appears regardless of selection.
     """
-    roots = [Path(p) for p in paths]
-    selected = _instantiate_rules(select, ignore)
-
-    contexts: list[ModuleContext] = []
-    findings: list[Finding] = []
-    for root in roots:
-        scan_root = root if root.is_dir() else root.parent
-        for file in iter_python_files([root]):
-            try:
-                contexts.append(ModuleContext.from_file(file, scan_root))
-            except SyntaxError as exc:
-                findings.append(
-                    Finding(
-                        path=str(file),
-                        line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1,
-                        rule_id=SYNTAX_ERROR_RULE,
-                        severity=Severity.ERROR,
-                        message=f"syntax error: {exc.msg}",
-                    )
-                )
-
-    for r in selected:
-        if r.scope == "module":
-            for ctx in contexts:
-                for f in r.check_module(ctx):
-                    if not ctx.suppressions.is_suppressed(f.rule_id, f.line):
-                        findings.append(f)
-        else:
-            by_path = {str(c.path): c for c in contexts}
-            for f in r.check_project(contexts):
-                ctx = by_path.get(f.path)
-                if ctx and ctx.suppressions.is_suppressed(f.rule_id, f.line):
-                    continue
-                findings.append(f)
-
-    return sorted(findings)
+    return run_analysis(
+        paths, select, ignore, jobs=jobs, cache_path=cache_path, baseline=baseline
+    ).findings
 
 
-def _instantiate_rules(
+def _cache_key(job: tuple[str, str]) -> str:
+    path_str, root_str = job
+    return f"{Path(root_str).resolve()}::{Path(path_str).resolve()}"
+
+
+def _is_suppressed(
+    suppressions: dict[str, SuppressionIndex], finding: Finding
+) -> bool:
+    """Route suppression lookup through the finding's own module.
+
+    Keyed by *relpath* so project-scoped rules — whose findings may point
+    at a different module than the one whose AST produced the evidence —
+    are silenced by pragmas in the file the finding names.
+    """
+    index = suppressions.get(finding.relpath)
+    return index is not None and index.is_suppressed(finding.rule_id, finding.line)
+
+
+def _selected_rule_ids(
     select: Iterable[str] | None, ignore: Iterable[str] | None
-) -> list[Rule]:
+) -> set[str]:
     table = all_rules()
     keep = {s.upper() for s in select} if select else set(table)
     drop = {s.upper() for s in ignore} if ignore else set()
     unknown = (keep | drop) - set(table) if (select or ignore) else set()
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    return [cls() for rid, cls in table.items() if rid in keep and rid not in drop]
+    return {rid for rid in table if rid in keep and rid not in drop}

@@ -4,6 +4,12 @@ A :class:`Finding` pins a rule violation to an exact ``file:line:col`` so
 editors and CI logs can jump straight to it. Findings sort by location so
 reports are stable across runs — determinism in the linter itself, matching
 the determinism it enforces.
+
+Each finding also carries the module's *relpath* (posix path relative to
+the scan root). Location-independent identity — what the baseline file and
+the suppression router key on — uses the relpath, so a tree scanned as
+``src/repro`` and the same tree scanned via an absolute path produce the
+same keys.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ class Finding:
     rule_id: str
     severity: Severity = field(compare=False)
     message: str = field(compare=False)
+    relpath: str = field(compare=False, default="")
 
     def format(self) -> str:
         """Render as ``path:line:col: RULE severity: message``."""
@@ -45,8 +52,16 @@ class Finding:
             f"{self.rule_id} {self.severity}: {self.message}"
         )
 
+    def baseline_key(self) -> str:
+        """Location-independent identity used by the baseline file.
+
+        Line numbers shift on every edit, so the baseline keys on the
+        module-relative path, the rule and the message instead.
+        """
+        return f"{self.relpath or self.path}::{self.rule_id}::{self.message}"
+
     def to_dict(self) -> dict:
-        """JSON-serialisable representation (used by the JSON reporter)."""
+        """JSON-serialisable representation (reporters, result cache)."""
         return {
             "path": self.path,
             "line": self.line,
@@ -54,4 +69,18 @@ class Finding:
             "rule": self.rule_id,
             "severity": str(self.severity),
             "message": self.message,
+            "relpath": self.relpath,
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache revival)."""
+        return cls(
+            path=doc["path"],
+            line=doc["line"],
+            col=doc["col"],
+            rule_id=doc["rule"],
+            severity=Severity(doc["severity"]),
+            message=doc["message"],
+            relpath=doc.get("relpath", ""),
+        )

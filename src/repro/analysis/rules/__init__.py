@@ -13,6 +13,12 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     sl004_wall_clock,
     sl005_swallowed_exceptions,
     sl006_registry_drift,
+    sl007_shared_globals,
+    sl008_unshippable_state,
+    sl009_unmergeable_state,
+    sl010_blocking_hot_loop,
+    sl011_nondeterministic_state,
+    sl012_label_cardinality,
 )
 
 __all__ = [
@@ -22,4 +28,10 @@ __all__ = [
     "sl004_wall_clock",
     "sl005_swallowed_exceptions",
     "sl006_registry_drift",
+    "sl007_shared_globals",
+    "sl008_unshippable_state",
+    "sl009_unmergeable_state",
+    "sl010_blocking_hot_loop",
+    "sl011_nondeterministic_state",
+    "sl012_label_cardinality",
 ]

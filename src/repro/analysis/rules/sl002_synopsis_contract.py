@@ -12,67 +12,23 @@ class deriving directly from ``SynopsisBase`` this rule requires:
 
 Classes that declare ``@abstractmethod`` members are treated as abstract
 intermediates and exempted; subclasses inherit the obligations.
+
+v2 adds the batch contract from the vectorized-ingest PR: an
+``update_many`` override on any concrete ``SynopsisBase`` subclass
+(transitive — the hierarchy is resolved project-wide) must either
+delegate to scalar ``update`` or belong to a registered class, because
+the registry-wide batch-equivalence suite is what proves a vectorized
+path matches the scalar one. An unregistered, non-delegating override is
+silent batch/scalar divergence waiting to happen.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator
 
-from repro.analysis.context import ModuleContext
 from repro.analysis.engine import Rule, rule
 from repro.analysis.findings import Finding
-
-_BASE_NAME = "SynopsisBase"
-
-
-def _base_names(cls: ast.ClassDef) -> list[str]:
-    names = []
-    for base in cls.bases:
-        if isinstance(base, ast.Name):
-            names.append(base.id)
-        elif isinstance(base, ast.Attribute):
-            names.append(base.attr)
-    return names
-
-
-def _is_abstract(cls: ast.ClassDef) -> bool:
-    for node in cls.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            for deco in node.decorator_list:
-                name = deco.attr if isinstance(deco, ast.Attribute) else (
-                    deco.id if isinstance(deco, ast.Name) else None
-                )
-                if name in ("abstractmethod", "abstractproperty"):
-                    return True
-    return False
-
-
-def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
-    return {
-        node.name: node
-        for node in cls.body
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-    }
-
-
-def _calls_compat_check(func: ast.FunctionDef) -> bool:
-    """Whether *func* calls self._check_mergeable(...) or super().merge(...)."""
-    for node in ast.walk(func):
-        if not isinstance(node, ast.Call):
-            continue
-        f = node.func
-        if isinstance(f, ast.Attribute):
-            if f.attr == "_check_mergeable":
-                return True
-            if (
-                f.attr == "merge"
-                and isinstance(f.value, ast.Call)
-                and isinstance(f.value.func, ast.Name)
-                and f.value.func.id == "super"
-            ):
-                return True
-    return False
+from repro.analysis.project import SYNOPSIS_ROOT, ProjectModel
 
 
 @rule
@@ -82,40 +38,70 @@ class SynopsisContractRule(Rule):
     rule_id = "SL002"
     description = (
         "SynopsisBase subclasses must define update and merge/_merge_into, "
-        "and any merge override must run the base compatibility check"
+        "any merge override must run the base compatibility check, and "
+        "update_many overrides must delegate to update or be covered by "
+        "the batch-equivalence suite"
     )
+    scope = "project"
 
-    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ClassDef):
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        registered = project.registered_names()
+        for relpath, name, cf in project.all_classes():
+            if name == SYNOPSIS_ROOT or cf.get("abstract"):
                 continue
-            if _BASE_NAME not in _base_names(node):
-                continue
-            if node.name == _BASE_NAME or _is_abstract(node):
-                continue
-            methods = _methods(node)
-            if "update" not in methods:
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    node.col_offset,
-                    f"synopsis {node.name!r} does not define update(item)",
+            methods = cf.get("methods", {})
+            if SYNOPSIS_ROOT in cf.get("bases", ()):
+                yield from self._direct_contract(project, relpath, name, cf)
+            # Batch contract applies to the whole transitive hierarchy:
+            # a vectorized override deep in a subclass diverges from the
+            # inherited scalar path just as silently as a direct one.
+            update_many = methods.get("update_many")
+            if (
+                update_many is not None
+                and project.derives_from(name, SYNOPSIS_ROOT)
+                and not update_many["calls_self_update"]
+                and name not in registered
+            ):
+                yield self.project_finding(
+                    project,
+                    relpath,
+                    update_many["line"],
+                    update_many["col"],
+                    f"{name}.update_many neither delegates to self.update "
+                    "nor is the class registered for the batch-equivalence "
+                    "suite; a vectorized path can silently diverge from the "
+                    "scalar contract",
                 )
-            if "_merge_into" not in methods and "merge" not in methods:
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    node.col_offset,
-                    f"synopsis {node.name!r} defines neither _merge_into nor "
-                    "merge; unmergeable sketches cannot scale out across "
-                    "partitions",
-                )
-            merge = methods.get("merge")
-            if merge is not None and not _calls_compat_check(merge):
-                yield self.finding(
-                    ctx,
-                    merge.lineno,
-                    merge.col_offset,
-                    f"{node.name}.merge overrides the base merge without "
-                    "calling self._check_mergeable(other) or super().merge()",
-                )
+
+    def _direct_contract(
+        self, project: ProjectModel, relpath: str, name: str, cf: dict
+    ) -> Iterator[Finding]:
+        methods = cf.get("methods", {})
+        if "update" not in methods:
+            yield self.project_finding(
+                project,
+                relpath,
+                cf["line"],
+                cf["col"],
+                f"synopsis {name!r} does not define update(item)",
+            )
+        if "_merge_into" not in methods and "merge" not in methods:
+            yield self.project_finding(
+                project,
+                relpath,
+                cf["line"],
+                cf["col"],
+                f"synopsis {name!r} defines neither _merge_into nor "
+                "merge; unmergeable sketches cannot scale out across "
+                "partitions",
+            )
+        merge = methods.get("merge")
+        if merge is not None and not merge["calls_compat_check"]:
+            yield self.project_finding(
+                project,
+                relpath,
+                merge["line"],
+                merge["col"],
+                f"{name}.merge overrides the base merge without "
+                "calling self._check_mergeable(other) or super().merge()",
+            )

@@ -4,10 +4,11 @@ The registry (``repro/core/registry.py``) is how configuration-driven
 systems — the pipeline DSL, the Lambda speed layer, benchmark sweeps —
 instantiate sketches by name. A synopsis that never gets registered is
 invisible to all of them, and the gap only surfaces when someone's config
-fails at runtime. This project-scoped rule rebuilds the class hierarchy
-across the whole scanned tree, finds every *concrete* transitive subclass
-of ``SynopsisBase`` (no ``@abstractmethod`` members, public name), and
-reports the ones the registry module never mentions.
+fails at runtime. This project-scoped rule walks the class hierarchy the
+project model resolved across the whole scanned tree, finds every
+*concrete* transitive subclass of ``SynopsisBase`` (no ``@abstractmethod``
+members, public name), and reports the ones the registry module never
+mentions.
 
 Registration is detected syntactically: the class name must appear
 somewhere in ``core/registry.py`` (an import, a ``builtins`` table entry,
@@ -23,88 +24,11 @@ from.
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Sequence
+from typing import Iterator
 
-from repro.analysis.context import ModuleContext
 from repro.analysis.engine import Rule, rule
 from repro.analysis.findings import Finding
-
-_BASE_NAME = "SynopsisBase"
-_REGISTRY_SUFFIX = "core/registry.py"
-_REDUCER_FUNC = "register_reducer"
-
-
-def _reducer_registered_names(ctxs: Sequence["ModuleContext"]) -> set[str]:
-    """Class names passed to ``register_reducer(...)`` anywhere in the tree.
-
-    The cluster's state-shipping plane (:mod:`repro.core.stateship` over
-    :mod:`repro.common.serialization`) can rebuild any class with a
-    registered reducer from shipped bytes — for the purposes of this rule
-    that is a registration surface on par with the name registry.
-    """
-    names: set[str] = set()
-    for ctx in ctxs:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            func_name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else None
-            )
-            if func_name != _REDUCER_FUNC or not node.args:
-                continue
-            target = node.args[0]
-            if isinstance(target, ast.Name):
-                names.add(target.id)
-            elif isinstance(target, ast.Attribute):
-                names.add(target.attr)
-    return names
-
-
-class _ClassInfo:
-    __slots__ = ("name", "ctx", "lineno", "col", "bases", "abstract")
-
-    def __init__(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
-        self.name = node.name
-        self.ctx = ctx
-        self.lineno = node.lineno
-        self.col = node.col_offset
-        self.bases = []
-        for base in node.bases:
-            if isinstance(base, ast.Name):
-                self.bases.append(base.id)
-            elif isinstance(base, ast.Attribute):
-                self.bases.append(base.attr)
-        self.abstract = _declares_abstract(node)
-
-
-def _declares_abstract(node: ast.ClassDef) -> bool:
-    for item in node.body:
-        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            for deco in item.decorator_list:
-                name = deco.attr if isinstance(deco, ast.Attribute) else (
-                    deco.id if isinstance(deco, ast.Name) else None
-                )
-                if name in ("abstractmethod", "abstractproperty"):
-                    return True
-    return False
-
-
-def _referenced_names(tree: ast.Module) -> set[str]:
-    """Names the registry module actually *uses* (not merely imports).
-
-    An import binds a name but registers nothing; the class has to appear
-    in an expression — a builtins-table value, a ``register(...)`` call —
-    to count. This is what catches the imported-but-never-registered case.
-    """
-    names: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            names.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            names.add(node.attr)
-    return names
+from repro.analysis.project import SYNOPSIS_ROOT, ProjectModel
 
 
 @rule
@@ -118,42 +42,25 @@ class RegistryDriftRule(Rule):
     )
     scope = "project"
 
-    def check_project(self, ctxs: Sequence[ModuleContext]) -> Iterator[Finding]:
-        registry_ctx = next(
-            (c for c in ctxs if c.relpath.endswith(_REGISTRY_SUFFIX)), None
-        )
-        if registry_ctx is None:
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        if project.registry_relpath is None:
             return
-
-        classes: dict[str, _ClassInfo] = {}
-        for ctx in ctxs:
-            for node in ast.walk(ctx.tree):
-                if isinstance(node, ast.ClassDef):
-                    classes.setdefault(node.name, _ClassInfo(node, ctx))
-
-        def derives(name: str, seen: frozenset[str] = frozenset()) -> bool:
-            if name == _BASE_NAME:
-                return True
-            if name in seen or name not in classes:
-                return False
-            return any(
-                derives(b, seen | {name}) for b in classes[name].bases
-            )
-
-        registered = _referenced_names(registry_ctx.tree)
-        registered |= _reducer_registered_names(ctxs)
-        for info in classes.values():
-            if info.name == _BASE_NAME or info.name.startswith("_"):
+        registered = project.registered_names()
+        for relpath, name, cf in project.all_classes():
+            if name == SYNOPSIS_ROOT or name.startswith("_"):
                 continue
-            if info.abstract or not derives(info.name):
+            if cf.get("abstract") or not project.derives_from(
+                name, SYNOPSIS_ROOT
+            ):
                 continue
-            if info.name in registered:
+            if name in registered:
                 continue
-            yield self.finding(
-                info.ctx,
-                info.lineno,
-                info.col,
-                f"synopsis {info.name!r} is never registered in "
-                f"{registry_ctx.relpath}; add it to the builtins table or "
-                "suppress if it is internal",
+            yield self.project_finding(
+                project,
+                relpath,
+                cf["line"],
+                cf["col"],
+                f"synopsis {name!r} is never registered in "
+                f"{project.registry_relpath}; add it to the builtins table "
+                "or suppress if it is internal",
             )

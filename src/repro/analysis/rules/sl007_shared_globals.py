@@ -1,0 +1,93 @@
+"""SL007 — module-level mutable globals mutated from operator code paths.
+
+Under ``repro.cluster`` every shard runs the topology in its own spawned
+process: a module-level ``dict``/``list``/``set``/``Counter`` mutated
+from a bolt, spout, or cluster-runtime function is *per-process shadow
+state*. It looks correct at parallelism 1, silently diverges at
+parallelism > 1 (each worker mutates its own copy; merge-on-query never
+sees any of them), and survives neither checkpoints nor crash recovery.
+State belongs on the operator instance where stateship captures it.
+
+The project model supplies both halves of the evidence: the module's
+global table with inferred types (only mutable containers count) and the
+cross-module hierarchy that decides whether the mutating function is an
+operator method (transitive ``Bolt``/``Spout`` subclass, anywhere in the
+tree) or cluster-runtime code (any function in a ``cluster/`` module).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Rule, rule
+from repro.analysis.facts import MUTABLE_CONTAINER_TYPES
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel
+
+
+def _in_cluster(relpath: str) -> bool:
+    return relpath.split("/")[0] == "cluster"
+
+
+@rule
+class SharedGlobalMutationRule(Rule):
+    """Flags per-process shadow state behind module globals."""
+
+    rule_id = "SL007"
+    description = (
+        "mutable module-level global mutated from bolt/worker code; "
+        "per-process copies silently diverge under repro.cluster"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for relpath, facts in project.modules.items():
+            mutable_globals = {
+                name
+                for name, info in facts.get("module_globals", {}).items()
+                if info.get("type") in MUTABLE_CONTAINER_TYPES
+            }
+            if not mutable_globals:
+                continue
+            cluster_module = _in_cluster(relpath)
+            for class_name, cf in facts.get("classes", {}).items():
+                if not (
+                    cluster_module or project.is_stream_operator(class_name)
+                ):
+                    continue
+                for method_name, mf in cf.get("methods", {}).items():
+                    yield from self._mutations(
+                        project,
+                        relpath,
+                        mf,
+                        mutable_globals,
+                        f"{class_name}.{method_name}",
+                    )
+            if cluster_module:
+                for func_name, ff in facts.get("functions", {}).items():
+                    yield from self._mutations(
+                        project, relpath, ff, mutable_globals, func_name
+                    )
+
+    def _mutations(
+        self,
+        project: ProjectModel,
+        relpath: str,
+        func: dict,
+        mutable_globals: set[str],
+        where: str,
+    ) -> Iterator[Finding]:
+        for name, line, col, kind in func.get("global_mutations", ()):
+            if name not in mutable_globals:
+                continue
+            yield self.project_finding(
+                project,
+                relpath,
+                line,
+                col,
+                f"{where} mutates module-level global {name!r} ({kind}); "
+                "each cluster shard gets its own copy, so this state "
+                "diverges at parallelism > 1 and is invisible to "
+                "checkpoints and merge-on-query — keep it on the operator "
+                "instance instead",
+            )

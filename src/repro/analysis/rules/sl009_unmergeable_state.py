@@ -1,0 +1,105 @@
+"""SL009 — bolt state that merge-on-query silently drops.
+
+``repro.cluster`` answers queries by folding shard partials with
+``SynopsisBase.merge`` (merge-on-query). That plane only sees state a
+bolt exposes through ``snapshot()``, and it can only *combine* state that
+knows how to merge. Two failure shapes, both silent at parallelism 1:
+
+* a bolt that accumulates in ``self.*`` during ``process`` but never
+  overrides ``snapshot`` below the ``Bolt`` root — checkpoints record
+  nothing, crash recovery restarts the bolt empty, and merge-on-query
+  has nothing to fold (**error**, at the class);
+* a bolt whose ``snapshot`` does expose the accumulated attribute, but
+  the attribute is a plain container (dict/list/set/...) rather than a
+  ``SynopsisBase`` or reducer-registered type — each shard reports only
+  its own partial and nothing can fold them (**warning**, at the
+  attribute; legitimate for explicitly sharded sinks, hence warning).
+
+Inheritance is resolved project-wide: a ``snapshot`` override anywhere
+below the runtime root counts, so abstract intermediates that implement
+snapshotting cover their subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import BOLT_ROOT, SYNOPSIS_ROOT, ProjectModel
+
+#: Plain accumulator types that cannot fold shard partials by themselves.
+_PLAIN_ACCUMULATORS = frozenset(
+    {"dict", "list", "set", "frozenset", "deque", "defaultdict", "Counter", "tuple"}
+)
+
+#: Methods where per-tuple state accumulation happens.
+_HOT_METHODS = ("process", "execute", "flush")
+
+_ROOT_STOP = frozenset({BOLT_ROOT})
+
+
+@rule
+class UnmergeableBoltStateRule(Rule):
+    """Flags bolt state invisible to (or unfoldable by) merge-on-query."""
+
+    rule_id = "SL009"
+    description = (
+        "bolt accumulates state that is neither a SynopsisBase nor "
+        "reducer-registered; merge-on-query silently drops it at "
+        "parallelism > 1"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for relpath, name, cf in project.subclasses_of(
+            BOLT_ROOT, concrete_only=True
+        ):
+            mutated: dict[str, tuple[int, int]] = {}
+            for method in _HOT_METHODS:
+                resolved = project.resolve_method(
+                    name, method, stop_roots=_ROOT_STOP
+                )
+                if resolved is None:
+                    continue
+                for attr, line, col in resolved[1].get("self_mutations", ()):
+                    mutated.setdefault(attr, (line, col))
+            if not mutated:
+                continue
+
+            snapshot = project.resolve_method(
+                name, "snapshot", stop_roots=_ROOT_STOP
+            )
+            if snapshot is None:
+                attrs = ", ".join(sorted(mutated))
+                yield self.project_finding(
+                    project,
+                    relpath,
+                    cf["line"],
+                    cf["col"],
+                    f"bolt {name!r} accumulates state ({attrs}) but never "
+                    "overrides snapshot(); checkpoints record nothing and "
+                    "merge-on-query silently drops it at parallelism > 1",
+                )
+                continue
+
+            exposed = set(snapshot[1].get("self_reads", ()))
+            for attr in sorted(mutated.keys() & exposed):
+                info = project.resolve_attr(name, attr)
+                if info is None:
+                    continue
+                label = info.get("type")
+                if label not in _PLAIN_ACCUMULATORS:
+                    continue
+                yield self.project_finding(
+                    project,
+                    relpath,
+                    info["line"],
+                    info["col"],
+                    f"{name}.{attr} is snapshot state held in a plain "
+                    f"{label}, neither a {SYNOPSIS_ROOT} nor "
+                    "reducer-registered; shards each report their own "
+                    "partial and merged_synopsis cannot fold them at "
+                    "parallelism > 1",
+                    severity=Severity.WARNING,
+                )

@@ -1,0 +1,86 @@
+"""SL010 — blocking calls in cluster worker/coordinator hot loops.
+
+Crash recovery in ``repro.cluster`` depends on every process noticing
+control messages (heartbeats, snapshot requests, stop) promptly. A bare
+``Queue.get()`` blocks forever when the peer has already died — the exact
+moment recovery needs the loop to come around — and ``time.sleep`` in a
+dispatch path stalls every queue behind it. Both deadlock recovery in a
+way no unit test at parallelism 1 can see.
+
+Module-scoped and restricted to ``cluster/`` modules (elsewhere a
+blocking get is usually fine): flags ``time.sleep(...)`` (import-alias
+resolved) and ``.get()`` / ``.get(True)`` without a ``timeout=``.
+``.get_nowait()``, ``.get(timeout=...)`` and dict-style ``.get(key)``
+(which has a positional argument) pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_PACKAGE = "cluster"
+
+
+def _is_bare_queue_get(call: ast.Call) -> bool:
+    """``x.get()`` with no timeout — or explicit ``block=True`` without one."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "get":
+        return False
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return False
+    if not call.args and not call.keywords:
+        return True
+    # Queue.get(True) / Queue.get(block=True) with no timeout still blocks
+    # forever; one non-True positional is dict.get(key) — not a queue.
+    if len(call.args) == 1 and not call.keywords:
+        arg = call.args[0]
+        return isinstance(arg, ast.Constant) and arg.value is True
+    if not call.args and len(call.keywords) == 1:
+        kw = call.keywords[0]
+        return (
+            kw.arg == "block"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        )
+    return False
+
+
+@rule
+class BlockingHotLoopRule(Rule):
+    """Flags indefinitely-blocking calls in cluster runtime modules."""
+
+    rule_id = "SL010"
+    description = (
+        "blocking call in cluster worker/coordinator code (time.sleep or "
+        "Queue.get without timeout); deadlocks crash recovery"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(_PACKAGE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call_target(node.func)
+            if target == "time.sleep":
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "time.sleep in cluster runtime code stalls the control "
+                    "loop; use a deadline on the blocking get instead",
+                )
+            elif _is_bare_queue_get(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    ".get() without a timeout blocks forever if the peer "
+                    "process died; use get(timeout=...) in a loop so crash "
+                    "recovery can proceed",
+                )

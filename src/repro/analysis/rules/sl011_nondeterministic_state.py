@@ -1,0 +1,105 @@
+"""SL011 — nondeterminism reaching checkpointed state.
+
+Checkpoint fingerprints (``repro.bench.fingerprint``) and replay
+determinism both require that the state a synopsis or bolt carries is a
+pure function of the tuples it saw. Two constructs break that from
+*inside* the process:
+
+* ``id(...)`` — per-process, per-run addresses; any state or key derived
+  from one differs across a restore or between shards (**error**);
+* iterating a ``self.*`` ``set``/``frozenset`` (or popping from one) —
+  iteration order depends on string hash randomisation, so any state
+  folded in iteration order differs run to run (**warning**: harmless
+  when the fold is commutative, but then ``sorted()`` costs little and
+  proves it).
+
+Scoped to methods of ``SynopsisBase``/``Bolt``/``Spout`` subclasses
+(hierarchy project-wide) — that is the state that gets fingerprinted,
+checkpointed, and replayed. Set-iteration evidence needs the inferred
+attribute type from ``__init__``, which is exactly what the project
+model provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import BOLT_ROOT, SPOUT_ROOT, SYNOPSIS_ROOT, ProjectModel
+
+_SET_TYPES = frozenset({"set", "frozenset"})
+
+
+@rule
+class NondeterministicStateRule(Rule):
+    """Flags id()/set-order dependence in fingerprinted state paths."""
+
+    rule_id = "SL011"
+    description = (
+        "nondeterminism in checkpointed-state code (id(), unordered set "
+        "iteration); fingerprints and replay diverge across processes"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        seen: set[tuple[str, str]] = set()
+        for root in (SYNOPSIS_ROOT, BOLT_ROOT, SPOUT_ROOT):
+            for relpath, name, cf in project.subclasses_of(root):
+                if (relpath, name) in seen:
+                    continue
+                seen.add((relpath, name))
+                for method_name, mf in cf.get("methods", {}).items():
+                    yield from self._check_method(
+                        project, relpath, name, method_name, mf
+                    )
+
+    def _check_method(
+        self,
+        project: ProjectModel,
+        relpath: str,
+        class_name: str,
+        method_name: str,
+        mf: dict,
+    ) -> Iterator[Finding]:
+        for line, col in mf.get("id_calls", ()):
+            yield self.project_finding(
+                project,
+                relpath,
+                line,
+                col,
+                f"{class_name}.{method_name} uses id(); object addresses "
+                "are per-process and per-run, so state derived from them "
+                "breaks checkpoint fingerprints and replay",
+            )
+        for line, col, attr in mf.get("self_iterations", ()):
+            if self._is_set_attr(project, class_name, attr):
+                yield self.project_finding(
+                    project,
+                    relpath,
+                    line,
+                    col,
+                    f"{class_name}.{method_name} iterates self.{attr} (a "
+                    "set); iteration order varies with hash randomisation "
+                    "— iterate sorted(...) so checkpointed state is "
+                    "reproducible",
+                    severity=Severity.WARNING,
+                )
+        for line, col, attr in mf.get("self_attr_pops", ()):
+            if self._is_set_attr(project, class_name, attr):
+                yield self.project_finding(
+                    project,
+                    relpath,
+                    line,
+                    col,
+                    f"{class_name}.{method_name} pops from self.{attr} (a "
+                    "set); set.pop() removes an arbitrary element, so "
+                    "replayed runs diverge",
+                    severity=Severity.WARNING,
+                )
+
+    def _is_set_attr(
+        self, project: ProjectModel, class_name: str, attr: str
+    ) -> bool:
+        info = project.resolve_attr(class_name, attr)
+        return info is not None and info.get("type") in _SET_TYPES

@@ -1,0 +1,57 @@
+"""SL012 — unbounded obs label cardinality from tuple-derived values.
+
+``repro.obs`` labeled metrics create one child series per distinct label
+combination, held forever in the registry. A label value derived from
+the stream payload — a user id, a URL, a raw key — turns a fixed-size
+counter into an unbounded per-key table: memory grows with stream
+cardinality and every exporter scrape ships the whole thing. The heavy
+hitters the paper tracks are exactly the workloads where this explodes.
+
+Evidence comes from the facts extractor's local taint pass: inside a
+bolt/spout ``process``/``execute`` method the payload parameter is the
+taint seed, simple assignments propagate it, and any ``.labels(...)``
+call whose value expression references a tainted name is flagged. Label
+values should come from bounded configuration — task index, operator
+name, shard id — never from the data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+from repro.analysis.project import BOLT_ROOT, SPOUT_ROOT, ProjectModel
+
+
+@rule
+class LabelCardinalityRule(Rule):
+    """Flags payload-derived metric label values."""
+
+    rule_id = "SL012"
+    description = (
+        "tuple-derived value used as a metric label; label cardinality "
+        "grows with the stream and the registry never forgets a series"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        seen: set[tuple[str, str]] = set()
+        for root in (BOLT_ROOT, SPOUT_ROOT):
+            for relpath, name, cf in project.subclasses_of(root):
+                if (relpath, name) in seen:
+                    continue
+                seen.add((relpath, name))
+                for method_name, mf in cf.get("methods", {}).items():
+                    for line, col, label in mf.get("tainted_label_calls", ()):
+                        yield self.project_finding(
+                            project,
+                            relpath,
+                            line,
+                            col,
+                            f"{name}.{method_name} passes a payload-derived "
+                            f"value as metric label {label!r}; every "
+                            "distinct stream value becomes a permanent "
+                            "child series — label on bounded config (task "
+                            "index, operator name) instead",
+                        )

@@ -9,7 +9,9 @@ topology bare vs. instrumented, written to ``BENCH_obs.json`` by default.
 ``--cluster`` switches to the cluster-scaling suite
 (:mod:`repro.bench.cluster`): the demo topology single-process vs. sharded
 across worker processes at each ``--workers`` count, written to
-``BENCH_cluster.json`` by default.
+``BENCH_cluster.json`` by default. ``--lint`` switches to the streamlint
+suite (:mod:`repro.bench.lint`): full-tree analysis cold vs. warm cache ×
+1 vs. auto jobs, written to ``BENCH_lint.json`` by default.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from repro.bench.runner import format_table, run_bench, validate_payload
 _DEFAULT_OUT = "BENCH_synopses.json"
 _OBS_DEFAULT_OUT = "BENCH_obs.json"
 _CLUSTER_DEFAULT_OUT = "BENCH_cluster.json"
+_LINT_DEFAULT_OUT = "BENCH_lint.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure cluster scaling (single-process vs. sharded demo "
         "topology) instead of synopsis ingest",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="measure streamlint full-tree analysis (cold vs. warm cache, "
+        "1 vs. auto jobs) instead of synopsis ingest",
     )
     parser.add_argument(
         "--workers",
@@ -85,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Run the suite, print the table, write and validate the JSON."""
     args = build_parser().parse_args(argv)
+    if args.lint:
+        from repro.bench.lint import run_lint_bench, warm_speedup
+
+        repeats = 1 if args.smoke else args.repeats
+        payload = run_lint_bench(
+            repeats=repeats, seed=args.seed, smoke=args.smoke
+        )
+        validate_payload(payload)
+        print(format_table(payload))
+        print(
+            f"\nmachine: {payload['config']['n_cores']} core(s) — warm "
+            f"--jobs auto is {warm_speedup(payload):.2f}x the cold 1-job "
+            "baseline; identical findings is the invariant"
+        )
+        out_path = Path(args.out or _LINT_DEFAULT_OUT)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")
+        return 0
     if args.cluster:
         from repro.bench.cluster import DEFAULT_WORKERS, run_cluster_bench
 

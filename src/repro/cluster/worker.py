@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import queue
 import time
 from collections import deque
 from typing import Any
@@ -305,7 +306,14 @@ def worker_main(
     """
     worker = ClusterWorker(worker_id, topology, plan, faults=faults, observe=observe)
     while True:
-        message = inbox.get()
+        # bounded wait so the loop keeps coming around even if the
+        # coordinator dies without sending "stop" (orphan check below)
+        try:
+            message = inbox.get(timeout=1.0)
+        except queue.Empty:
+            if os.getppid() == 1:  # coordinator gone; we were re-parented
+                return
+            continue
         kind, epoch = message[0], message[1]
         worker.epoch = max(worker.epoch, epoch)
         if kind == "tuples":

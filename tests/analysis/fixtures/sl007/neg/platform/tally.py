@@ -1,0 +1,15 @@
+"""SL007 negative: instance state and locals are fine; so are constants."""
+
+from repro.platform.topology import Bolt
+
+_LIMIT = 100
+
+
+class TallyBolt(Bolt):
+    def __init__(self):
+        self.totals = {}
+
+    def process(self, values, emit):
+        scratch = {}
+        scratch[values[0]] = 1
+        self.totals[values[0]] = _LIMIT

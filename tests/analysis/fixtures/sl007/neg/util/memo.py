@@ -1,0 +1,8 @@
+"""SL007 negative: a module global mutated outside operator/cluster code."""
+
+_CACHE = {}
+
+
+def memo(key, value):
+    _CACHE[key] = value
+    return _CACHE[key]

@@ -1,0 +1,7 @@
+"""SL007 positive: cluster-runtime function mutating a module global."""
+
+_SEEN = {}
+
+
+def dispatch(message):
+    _SEEN[message[0]] = message

@@ -1,0 +1,12 @@
+"""SL007 positive: bolt mutating a module-level dict (shadow state)."""
+
+from repro.platform.topology import Bolt
+
+_TOTALS = {}
+_RECENT = []
+
+
+class TallyBolt(Bolt):
+    def process(self, values, emit):
+        _TOTALS[values[0]] = 1
+        _RECENT.append(values[0])

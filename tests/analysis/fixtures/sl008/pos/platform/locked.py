@@ -1,0 +1,17 @@
+"""SL008 positive: OS-resource state the spawn boundary rejects."""
+
+import threading
+import queue
+
+from repro.platform.topology import Bolt
+
+
+class LockedBolt(Bolt):
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.backlog = queue.Queue()
+        self.counts = {}
+
+    def process(self, values, emit):
+        with self.lock:
+            self.counts[values[0]] = 1

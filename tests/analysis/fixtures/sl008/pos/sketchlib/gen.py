@@ -1,0 +1,14 @@
+"""SL008 positive: a synopsis holding a live iterator."""
+
+from repro.common.mergeable import SynopsisBase
+
+
+class GenSketch(SynopsisBase):
+    def __init__(self, source):
+        self.stream = iter(source)
+
+    def update(self, item):
+        pass
+
+    def _merge_into(self, other):
+        pass

@@ -1,0 +1,21 @@
+"""SL009 negatives: synopsis-backed state, and stateless bolts."""
+
+from sketchlib.mini import MiniSketch
+
+from repro.platform.topology import Bolt
+
+
+class SynopsisBackedBolt(Bolt):
+    def __init__(self):
+        self.sketch = MiniSketch()
+
+    def process(self, values, emit):
+        self.sketch.update(values[0])
+
+    def snapshot(self):
+        return self.sketch
+
+
+class StatelessBolt(Bolt):
+    def process(self, values, emit):
+        emit([values[0] * 2])

@@ -1,0 +1,14 @@
+"""Support module for the SL009 negative: a mergeable synopsis."""
+
+from repro.common.mergeable import SynopsisBase
+
+
+class MiniSketch(SynopsisBase):
+    def __init__(self):
+        self.total = 0
+
+    def update(self, item):
+        self.total += 1
+
+    def _merge_into(self, other):
+        other.total += self.total

@@ -1,0 +1,26 @@
+"""SL009 positives: accumulated bolt state the cluster plane cannot see.
+
+``DroppedStateBolt`` never snapshots (error); ``PartialCountBolt``
+snapshots a plain dict nothing can fold across shards (warning).
+"""
+
+from repro.platform.topology import Bolt
+
+
+class DroppedStateBolt(Bolt):
+    def __init__(self):
+        self.seen = 0
+
+    def process(self, values, emit):
+        self.seen += 1
+
+
+class PartialCountBolt(Bolt):
+    def __init__(self):
+        self.counts = {}
+
+    def process(self, values, emit):
+        self.counts[values[0]] = self.counts.get(values[0], 0) + 1
+
+    def snapshot(self):
+        return dict(self.counts)

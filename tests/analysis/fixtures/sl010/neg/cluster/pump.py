@@ -1,0 +1,25 @@
+"""SL010 negatives: bounded waits, non-blocking gets, dict lookups."""
+
+import queue
+
+
+def drain(inbox, results, config):
+    while True:
+        try:
+            message = inbox.get(timeout=1.0)
+        except queue.Empty:
+            continue
+        if message is None:
+            return
+        results.put(message)
+
+
+def poll(inbox):
+    try:
+        return inbox.get_nowait()
+    except queue.Empty:
+        return None
+
+
+def lookup(config, key):
+    return config.get(key)

@@ -1,0 +1,5 @@
+"""SL010 negative: a bare get outside cluster/ is out of scope."""
+
+
+def take(q):
+    return q.get()

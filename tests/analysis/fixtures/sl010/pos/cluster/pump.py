@@ -1,0 +1,16 @@
+"""SL010 positives: indefinitely blocking calls in cluster code."""
+
+import time
+
+
+def drain(inbox, results):
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        time.sleep(0.05)
+        results.put(message)
+
+
+def wait_explicit(inbox):
+    return inbox.get(True)

@@ -1,0 +1,22 @@
+"""SL011 negatives: sorted iteration and list state are deterministic."""
+
+from repro.common.mergeable import SynopsisBase
+
+
+class TagSketch(SynopsisBase):
+    def __init__(self):
+        self.tags = set()
+        self.history = []
+
+    def update(self, item):
+        self.tags.add(item)
+        self.history.append(item)
+
+    def _merge_into(self, other):
+        for tag in sorted(self.tags):
+            other.tags.add(tag)
+        for item in self.history:
+            other.history.append(item)
+
+    def evict_one(self):
+        return self.history.pop()

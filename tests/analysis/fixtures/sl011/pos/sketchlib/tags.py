@@ -1,0 +1,21 @@
+"""SL011 positives: id() and unordered set iteration in synopsis state."""
+
+from repro.common.mergeable import SynopsisBase
+
+
+class TagSketch(SynopsisBase):
+    def __init__(self):
+        self.tags = set()
+
+    def update(self, item):
+        self.tags.add(item)
+
+    def _merge_into(self, other):
+        for tag in self.tags:
+            other.tags.add(tag)
+
+    def evict_one(self):
+        return self.tags.pop()
+
+    def checkpoint_key(self):
+        return id(self)

@@ -1,0 +1,12 @@
+"""SL012 negative: labels from bounded configuration, payload in values."""
+
+from repro.platform.topology import Bolt
+
+
+class MeterBolt(Bolt):
+    def prepare(self, task_index, n_tasks):
+        self.task_index = task_index
+
+    def process(self, values, emit):
+        self.counter.labels(task=str(self.task_index)).inc()
+        emit([values[0] * 2])

@@ -1,0 +1,13 @@
+"""SL012 positive: payload-derived metric label values."""
+
+from repro.platform.topology import Bolt
+
+
+class MeterBolt(Bolt):
+    def prepare(self, task_index, n_tasks):
+        self.task_index = task_index
+
+    def process(self, values, emit):
+        key = values[0]
+        self.counter.labels(key=key).inc()
+        emit(values)

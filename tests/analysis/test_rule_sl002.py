@@ -86,3 +86,81 @@ class TestClean:
     def test_unrelated_class_ignored(self, rule_ids):
         src = "class Plain:\n    pass\n"
         assert rule_ids({"sketch.py": src}, select=SELECT) == []
+
+
+class TestBatchContract:
+    """update_many overrides must delegate or be equivalence-tested."""
+
+    _VECTOR = _PREAMBLE + (
+        "class Sketch(SynopsisBase):\n"
+        "    def update(self, item):\n"
+        "        pass\n"
+        "    def _merge_into(self, other):\n"
+        "        pass\n"
+        "    def update_many(self, items):\n"
+        "        self.total = len(items)\n"
+    )
+
+    def test_vectorized_unregistered_flagged(self, lint):
+        findings = lint({"sketchlib/s.py": self._VECTOR}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL002"]
+        assert "update_many" in findings[0].message
+        assert "batch-equivalence" in findings[0].message
+
+    def test_delegating_override_clean(self, rule_ids):
+        src = _PREAMBLE + (
+            "class Sketch(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def _merge_into(self, other):\n"
+            "        pass\n"
+            "    def update_many(self, items):\n"
+            "        for item in items:\n"
+            "            self.update(item)\n"
+        )
+        assert rule_ids({"sketchlib/s.py": src}, select=SELECT) == []
+
+    def test_registry_membership_clean(self, rule_ids):
+        # registry-referenced classes are covered by the registry-wide
+        # batch-equivalence suite
+        registry = "from sketchlib.s import Sketch\nTABLE = {'sketch': Sketch}\n"
+        files = {"sketchlib/s.py": self._VECTOR, "core/registry.py": registry}
+        assert rule_ids(files, select=SELECT) == []
+
+    def test_reducer_registration_clean(self, rule_ids):
+        shipping = (
+            "from repro.common.serialization import register_reducer\n"
+            "from sketchlib.s import Sketch\n"
+            "register_reducer(Sketch, lambda s: {}, lambda d: Sketch())\n"
+        )
+        files = {"sketchlib/s.py": self._VECTOR, "cluster/ship.py": shipping}
+        assert rule_ids(files, select=SELECT) == []
+
+    def test_transitive_subclass_override_flagged(self, lint):
+        # hierarchy is resolved project-wide: an override two levels down
+        # in another module still carries the contract
+        base = _PREAMBLE + (
+            "import abc\n"
+            "class Base(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def _merge_into(self, other):\n"
+            "        pass\n"
+            "    @abc.abstractmethod\n"
+            "    def query(self):\n"
+            "        ...\n"
+        )
+        child = (
+            "from sketchlib.base import Base\n"
+            "class Child(Base):\n"
+            "    def query(self):\n"
+            "        return 0\n"
+            "    def update_many(self, items):\n"
+            "        self.total = len(items)\n"
+        )
+        findings = lint(
+            {"sketchlib/base.py": base, "sketchlib/child.py": child},
+            select=SELECT,
+        )
+        assert [f.rule_id for f in findings] == ["SL002"]
+        assert "Child.update_many" in findings[0].message

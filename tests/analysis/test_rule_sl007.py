@@ -1,0 +1,70 @@
+"""SL007: mutable module globals mutated from operator/cluster code."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl007"
+SELECT = ["SL007"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert {f.rule_id for f in findings} == {"SL007"}
+        by_file = sorted(f.relpath for f in findings)
+        # bolt: subscript store + .append(); cluster function: subscript
+        assert by_file == [
+            "cluster/dispatch.py",
+            "platform/tally.py",
+            "platform/tally.py",
+        ]
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_global_rebind_flagged(self, lint):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "_STATE = {}\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        global _STATE\n"
+            "        _STATE = dict(values)\n"
+        )
+        findings = lint({"platform/b.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL007"]
+        assert "global rebind" in findings[0].message
+
+    def test_immutable_global_read_clean(self, rule_ids):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "_SCALE = 2\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        emit([values[0] * _SCALE])\n"
+        )
+        assert rule_ids({"platform/b.py": src}, select=SELECT) == []
+
+    def test_non_operator_class_clean(self, rule_ids):
+        # a plain class outside cluster/ may keep module-level caches
+        src = (
+            "_CACHE = {}\n"
+            "class Helper:\n"
+            "    def remember(self, key, value):\n"
+            "        _CACHE[key] = value\n"
+        )
+        assert rule_ids({"util/helper.py": src}, select=SELECT) == []
+
+    def test_spout_counts_as_operator(self, lint):
+        src = (
+            "from repro.platform.topology import Spout\n"
+            "_EMITTED = []\n"
+            "class S(Spout):\n"
+            "    def next_tuple(self):\n"
+            "        _EMITTED.append(1)\n"
+        )
+        findings = lint({"platform/s.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL007"]

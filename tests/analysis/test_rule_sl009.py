@@ -1,0 +1,79 @@
+"""SL009: bolt state merge-on-query silently drops."""
+
+from pathlib import Path
+
+from repro.analysis import Severity, analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl009"
+SELECT = ["SL009"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL009", "SL009"]
+        by_message = {f.severity: f.message for f in findings}
+        assert "never overrides snapshot" in by_message[Severity.ERROR]
+        assert "plain dict" in by_message[Severity.WARNING]
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_snapshot_in_ancestor_counts(self, rule_ids):
+        # snapshot implemented by an intermediate in ANOTHER module covers
+        # the concrete subclass (cross-module hierarchy resolution)
+        src = {
+            "platform/base.py": (
+                "from repro.platform.topology import Bolt\n"
+                "class SnapshottingBase(Bolt):\n"
+                "    def snapshot(self):\n"
+                "        return None\n"
+            ),
+            "platform/child.py": (
+                "from platform.base import SnapshottingBase\n"
+                "class Child(SnapshottingBase):\n"
+                "    def process(self, values, emit):\n"
+                "        self.seen = values\n"
+            ),
+        }
+        findings = [r for r in rule_ids(src, select=SELECT)]
+        # no class-level error; the mutated attr has unknown type -> quiet
+        assert findings == []
+
+    def test_flush_accumulation_counts(self, lint):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        pass\n"
+            "    def flush(self, emit):\n"
+            "        self.done = True\n"
+        )
+        findings = lint({"platform/b.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL009"]
+
+    def test_reducer_registered_attr_is_plain_label_exempt(self, rule_ids):
+        # class-typed attrs are skipped even when snapshot exposes them
+        src = {
+            "platform/b.py": (
+                "from repro.platform.topology import Bolt\n"
+                "from statelib.acc import Acc\n"
+                "class B(Bolt):\n"
+                "    def __init__(self):\n"
+                "        self.acc = Acc()\n"
+                "    def process(self, values, emit):\n"
+                "        self.acc.update(values)\n"
+                "    def snapshot(self):\n"
+                "        return self.acc\n"
+            ),
+            "statelib/acc.py": (
+                "from repro.common.serialization import register_reducer\n"
+                "class Acc:\n"
+                "    def update(self, values):\n"
+                "        pass\n"
+                "register_reducer(Acc, lambda a: {}, lambda d: Acc())\n"
+            ),
+        }
+        assert rule_ids(src, select=SELECT) == []

@@ -1,0 +1,40 @@
+"""SL010: blocking calls in cluster worker/coordinator code."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl010"
+SELECT = ["SL010"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert {f.rule_id for f in findings} == {"SL010"}
+        messages = [f.message for f in findings]
+        assert sum("time.sleep" in m for m in messages) == 1
+        assert sum("without a timeout" in m for m in messages) == 2
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_block_true_keyword_flagged(self, lint):
+        src = "def f(q):\n    return q.get(block=True)\n"
+        findings = lint({"cluster/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL010"]
+
+    def test_aliased_sleep_flagged(self, lint):
+        src = "from time import sleep\ndef f():\n    sleep(1)\n"
+        findings = lint({"cluster/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL010"]
+
+    def test_timeout_keyword_clean(self, rule_ids):
+        src = "def f(q):\n    return q.get(True, timeout=0.5)\n"
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_dict_get_with_default_clean(self, rule_ids):
+        src = "def f(d, k):\n    return d.get(k, None)\n"
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []

@@ -1,0 +1,84 @@
+"""SL011: nondeterminism reaching checkpointed state."""
+
+from pathlib import Path
+
+from repro.analysis import Severity, analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl011"
+SELECT = ["SL011"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert {f.rule_id for f in findings} == {"SL011"}
+        assert len(findings) == 3
+        by_severity = {f.severity for f in findings}
+        assert by_severity == {Severity.ERROR, Severity.WARNING}
+        messages = " | ".join(f.message for f in findings)
+        assert "id()" in messages
+        assert "iterates self.tags" in messages
+        assert "pops from self.tags" in messages
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_id_in_bolt_method_flagged(self, lint):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        self.key = id(values)\n"
+        )
+        findings = lint({"platform/b.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL011"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_set_attr_typed_in_other_module_base(self, lint):
+        # attribute established by a base __init__ in another module is
+        # still known to be a set when the subclass iterates it
+        src = {
+            "sketchlib/base.py": (
+                "from repro.common.mergeable import SynopsisBase\n"
+                "class BaseSketch(SynopsisBase):\n"
+                "    def __init__(self):\n"
+                "        self.keys = set()\n"
+                "    def update(self, item):\n"
+                "        self.keys.add(item)\n"
+                "    def _merge_into(self, other):\n"
+                "        pass\n"
+            ),
+            "sketchlib/child.py": (
+                "from sketchlib.base import BaseSketch\n"
+                "class ChildSketch(BaseSketch):\n"
+                "    def digest(self):\n"
+                "        out = []\n"
+                "        for key in self.keys:\n"
+                "            out.append(key)\n"
+                "        return out\n"
+            ),
+        }
+        findings = lint(src, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL011"]
+        assert findings[0].relpath == "sketchlib/child.py"
+
+    def test_plain_class_out_of_scope(self, rule_ids):
+        src = "class Plain:\n    def key(self):\n        return id(self)\n"
+        assert rule_ids({"util/plain.py": src}, select=SELECT) == []
+
+    def test_dict_iteration_clean(self, rule_ids):
+        # dicts preserve insertion order; only sets are flagged
+        src = (
+            "from repro.common.mergeable import SynopsisBase\n"
+            "class S(SynopsisBase):\n"
+            "    def __init__(self):\n"
+            "        self.counts = {}\n"
+            "    def update(self, item):\n"
+            "        self.counts[item] = 1\n"
+            "    def _merge_into(self, other):\n"
+            "        for key in self.counts:\n"
+            "            other.counts[key] = self.counts[key]\n"
+        )
+        assert rule_ids({"sketchlib/s.py": src}, select=SELECT) == []

@@ -1,0 +1,74 @@
+"""SL012: tuple-derived metric label values (unbounded cardinality)."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl012"
+SELECT = ["SL012"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL012"]
+        assert "'key'" in findings[0].message
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_direct_payload_label_flagged(self, lint):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        self.counter.labels(user=values[0]).inc()\n"
+        )
+        findings = lint({"platform/b.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL012"]
+
+    def test_taint_through_assignment_chain(self, lint):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        raw = values[0]\n"
+            "        key = str(raw)\n"
+            "        self.counter.labels(key=key).inc()\n"
+        )
+        findings = lint({"platform/b.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL012"]
+
+    def test_taint_through_for_target(self, lint):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def process(self, values, emit):\n"
+            "        for item in values:\n"
+            "            self.counter.labels(item=item).inc()\n"
+        )
+        findings = lint({"platform/b.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL012"]
+
+    def test_config_label_clean(self, rule_ids):
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def prepare(self, task_index, n_tasks):\n"
+            "        self.task = task_index\n"
+            "    def process(self, values, emit):\n"
+            "        self.counter.labels(task=self.task).inc()\n"
+        )
+        assert rule_ids({"platform/b.py": src}, select=SELECT) == []
+
+    def test_labels_outside_process_clean(self, rule_ids):
+        # prepare() sees only configuration, never tuples
+        src = (
+            "from repro.platform.topology import Bolt\n"
+            "class B(Bolt):\n"
+            "    def prepare(self, task_index, n_tasks):\n"
+            "        self.child = self.counter.labels(task=task_index)\n"
+        )
+        assert rule_ids({"platform/b.py": src}, select=SELECT) == []

@@ -65,3 +65,77 @@ class TestIndexParsing:
     def test_unparsable_source_yields_empty_index(self):
         index = SuppressionIndex.from_source("def broken(:\n")
         assert not index.is_suppressed("SL001", 1)
+
+
+class TestProjectScopeSuppressionRouting:
+    """Project-rule findings are suppressed via the module they point at.
+
+    Regression for the v1 engine, which keyed project-scope suppression
+    lookup on the context that *produced* the finding — findings a project
+    rule attributed to a different module than the one carrying the
+    pragma were unsuppressible.
+    """
+
+    _SKETCH = (
+        "from repro.common.mergeable import SynopsisBase\n"
+        "class NewSketch(SynopsisBase):  # streamlint: disable=SL006\n"
+        "    def update(self, item):\n"
+        "        pass\n"
+        "    def _merge_into(self, other):\n"
+        "        pass\n"
+    )
+
+    def test_line_pragma_in_flagged_module(self, rule_ids):
+        files = {
+            "frequency/new_sketch.py": self._SKETCH,
+            "core/registry.py": "_REGISTRY = {}\n",
+        }
+        assert rule_ids(files, select=["SL006"]) == []
+
+    def test_file_pragma_in_flagged_module(self, rule_ids):
+        sketch = "# streamlint: disable-file=SL006\n" + self._SKETCH.replace(
+            "  # streamlint: disable=SL006", ""
+        )
+        files = {
+            "frequency/new_sketch.py": sketch,
+            "core/registry.py": "_REGISTRY = {}\n",
+        }
+        assert rule_ids(files, select=["SL006"]) == []
+
+    def test_pragma_in_evidence_module_does_not_leak(self, rule_ids):
+        # the registry module provides the evidence, but a pragma there
+        # must not silence the finding in the sketch's module
+        sketch = self._SKETCH.replace("  # streamlint: disable=SL006", "")
+        files = {
+            "frequency/new_sketch.py": sketch,
+            "core/registry.py": (
+                "# streamlint: disable-file=SL006\n_REGISTRY = {}\n"
+            ),
+        }
+        assert rule_ids(files, select=["SL006"]) == ["SL006"]
+
+    def test_cross_module_hierarchy_finding_suppressible(self, rule_ids):
+        # SL002's batch contract resolves the hierarchy across modules;
+        # the finding lands (and is suppressible) in the subclass module
+        base = (
+            "from repro.common.mergeable import SynopsisBase\n"
+            "import abc\n"
+            "class Base(SynopsisBase):\n"
+            "    def update(self, item):\n"
+            "        pass\n"
+            "    def _merge_into(self, other):\n"
+            "        pass\n"
+            "    @abc.abstractmethod\n"
+            "    def query(self):\n"
+            "        ...\n"
+        )
+        child = (
+            "from sketchlib.base import Base\n"
+            "class Child(Base):\n"
+            "    def query(self):\n"
+            "        return 0\n"
+            "    def update_many(self, items):  # streamlint: disable=SL002\n"
+            "        self.total = len(items)\n"
+        )
+        files = {"sketchlib/base.py": base, "sketchlib/child.py": child}
+        assert rule_ids(files, select=["SL002"]) == []

@@ -1,0 +1,63 @@
+"""The streamlint bench: schema, equivalence invariant, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.lint import CASES, run_lint_bench, warm_speedup
+from repro.bench.runner import validate_payload
+from repro.common.exceptions import ParameterError
+
+_TREE = {
+    "platform/a.py": "import random\nx = random.random()\n",
+    "sketchlib/b.py": "def f(xs=[]):\n    pass\n",
+    "util/c.py": "y = 1\n",
+}
+
+
+@pytest.fixture
+def tiny_tree(tmp_path):
+    for relpath, source in _TREE.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+def test_payload_is_schema_valid_over_tiny_tree(tiny_tree):
+    payload = run_lint_bench(target=tiny_tree, repeats=1)
+    validate_payload(payload)
+    assert len(payload["results"]) == len(CASES)
+    names = [entry["synopsis"] for entry in payload["results"]]
+    assert names[0].startswith("cold_1job")
+    assert all(entry["equivalent"] for entry in payload["results"])
+    assert all(entry["n_items"] == len(_TREE) for entry in payload["results"])
+    # every row is anchored to the same cold single-process baseline
+    baselines = {entry["seq_seconds"] for entry in payload["results"]}
+    assert len(baselines) == 1
+    assert warm_speedup(payload) > 0
+
+
+def test_rejects_bad_parameters(tiny_tree):
+    with pytest.raises(ParameterError, match="repeats"):
+        run_lint_bench(target=tiny_tree, repeats=0)
+    with pytest.raises(ParameterError, match="no such analysis target"):
+        run_lint_bench(target=tiny_tree / "missing")
+
+
+def test_warm_speedup_requires_warm_row():
+    with pytest.raises(ValueError, match="warm_auto"):
+        warm_speedup({"results": []})
+
+
+def test_cli_lint_smoke_writes_validated_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_lint.json"
+    assert main(["--lint", "--smoke", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    validate_payload(payload)
+    assert payload["config"]["smoke"] is True
+    assert payload["config"]["repeats"] == 1
+    assert len(payload["results"]) == len(CASES)
+    stdout = capsys.readouterr().out
+    assert "warm --jobs auto" in stdout and "speedup" in stdout
