@@ -19,6 +19,7 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     sl010_blocking_hot_loop,
     sl011_nondeterministic_state,
     sl012_label_cardinality,
+    sl013_pickled_hot_path,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "sl010_blocking_hot_loop",
     "sl011_nondeterministic_state",
     "sl012_label_cardinality",
+    "sl013_pickled_hot_path",
 ]

@@ -15,6 +15,7 @@ Run it with ``python -m repro.bench --out BENCH_synopses.json`` or the
 from repro.bench.fingerprint import state_fingerprint
 from repro.bench.runner import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V2,
     BenchCase,
     default_cases,
     format_table,
@@ -24,6 +25,7 @@ from repro.bench.runner import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_V2",
     "BenchCase",
     "default_cases",
     "format_table",

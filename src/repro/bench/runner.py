@@ -23,6 +23,11 @@ from repro.common.exceptions import ParameterError
 
 BENCH_SCHEMA = "repro.bench/v1"
 
+#: v2 keeps every v1 column with the same meaning but allows suites to
+#: append extra columns per row (the cluster sweep's transport/byte
+#: accounting). v1 payloads stay exact-keyed; v2 rows are supersets.
+BENCH_SCHEMA_V2 = "repro.bench/v2"
+
 _RESULT_KEYS = frozenset(
     {
         "synopsis",
@@ -183,11 +188,14 @@ def run_bench(
 
 
 def validate_payload(payload: dict) -> None:
-    """Raise ``ValueError`` unless *payload* matches ``repro.bench/v1``."""
+    """Raise ``ValueError`` unless *payload* matches ``repro.bench/v1``
+    (exact result keys) or ``repro.bench/v2`` (the same columns with the
+    same meanings, plus suite-specific extra columns per row)."""
     if not isinstance(payload, dict):
         raise ValueError("payload must be a dict")
-    if payload.get("schema") != BENCH_SCHEMA:
-        raise ValueError(f"schema must be {BENCH_SCHEMA!r}")
+    schema = payload.get("schema")
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V2):
+        raise ValueError(f"schema must be {BENCH_SCHEMA!r} or {BENCH_SCHEMA_V2!r}")
     config = payload.get("config")
     if not isinstance(config, dict) or not {
         "n_items",
@@ -200,7 +208,11 @@ def validate_payload(payload: dict) -> None:
     if not isinstance(results, list) or not results:
         raise ValueError("results must be a non-empty list")
     for entry in results:
-        if not isinstance(entry, dict) or set(entry) != _RESULT_KEYS:
+        if not isinstance(entry, dict) or not (
+            set(entry) == _RESULT_KEYS
+            if schema == BENCH_SCHEMA
+            else _RESULT_KEYS <= set(entry)
+        ):
             raise ValueError(f"bad result keys: {sorted(entry)}")
         for key in ("seq_seconds", "batch_seconds", "speedup"):
             if not (isinstance(entry[key], (int, float)) and entry[key] > 0):

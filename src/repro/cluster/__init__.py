@@ -10,11 +10,17 @@ worker *processes*:
 * :mod:`repro.cluster.worker` — the child-process event loop: local task
   queues, worker-side routing, fault injection, checkpoint capture.
 * :mod:`repro.cluster.coordinator` — :class:`ClusterExecutor`: feeds
-  spouts, routes over ``multiprocessing`` queues honouring the grouping
-  contracts, tracks tuple trees (XOR acker), takes cluster-wide
-  checkpoints, detects worker crashes and performs rollback recovery, and
-  answers queries by merging shard-partial synopses
-  (:meth:`ClusterExecutor.merged_synopsis`, merge-on-query).
+  spouts, routes honouring the grouping contracts, tracks tuple trees
+  (XOR acker), takes cluster-wide checkpoints, detects worker crashes and
+  performs rollback recovery, and answers queries by merging
+  shard-partial synopses (:meth:`ClusterExecutor.merged_synopsis`,
+  merge-on-query).
+* :mod:`repro.cluster.shm` / :mod:`repro.cluster.columnar` — the
+  zero-copy data plane: tuple batches travel as columnar frames over
+  shared-memory SPSC rings inherited through fork; ``multiprocessing``
+  queues carry only control traffic (doorbells, acks, checkpoint
+  barriers, crash/respawn). ``transport="queue"`` keeps the legacy
+  pickled-batch baseline for A/B benchmarking.
 * :mod:`repro.cluster.obsbridge` — per-worker metrics/spans exported back
   to the parent and aggregated into one :mod:`repro.obs` registry.
 
@@ -23,7 +29,18 @@ partials of the single-process state; ``SynopsisBase.merge`` folds them
 exactly at query time.
 """
 
+from repro.cluster.columnar import CodecStats, component_table
 from repro.cluster.coordinator import ClusterExecutor
 from repro.cluster.plan import ShardPlan, plan_topology
+from repro.cluster.shm import ShmChannel, SpscRing, leaked_segments
 
-__all__ = ["ClusterExecutor", "ShardPlan", "plan_topology"]
+__all__ = [
+    "ClusterExecutor",
+    "ShardPlan",
+    "plan_topology",
+    "SpscRing",
+    "ShmChannel",
+    "leaked_segments",
+    "CodecStats",
+    "component_table",
+]

@@ -7,12 +7,15 @@ N worker processes, optionally crashing one mid-run, and prints:
 * the run summary (throughput, replays, checkpoints, recoveries),
 * the merged top-k from the sketch bolt's shard partials (merge-on-query),
 * a cross-check against the single-process ``LocalExecutor`` — the merged
-  Count-Min/HLL/Space-Saving fingerprints must match bit-for-bit.
+  Count-Min/HLL/Space-Saving fingerprints must match bit-for-bit,
+* a transport summary (bytes over shm rings vs pickled over queues) and a
+  ``/dev/shm`` leak audit — any segment this process failed to unlink
+  makes the run exit non-zero.
 
-CI's ``cluster-smoke`` job runs exactly this with two workers and an
-injected crash under exactly-once semantics: the demo recovering and
-still fingerprint-matching the sequential run is the subsystem's
-end-to-end proof.
+CI's ``cluster-smoke`` and ``shm-smoke`` jobs run exactly this with two
+workers and an injected crash under exactly-once semantics: the demo
+recovering, still fingerprint-matching the sequential run, and leaving
+``/dev/shm`` clean is the subsystem's end-to-end proof.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import sys
 
 from repro.bench.fingerprint import state_fingerprint
 from repro.cluster.coordinator import ClusterExecutor
+from repro.cluster.shm import leaked_segments
 from repro.obs.context import Observability
 from repro.obs.demo import build_demo_topology, demo_records
 from repro.platform.executor import LocalExecutor
@@ -73,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="spout tuples between checkpoints (default: %(default)s)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("shm", "queue"),
+        default="shm",
+        help="data-plane transport (default: %(default)s)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=7, help="workload seed (default: %(default)s)"
     )
     parser.add_argument(
@@ -103,17 +113,34 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_interval=args.checkpoint_interval,
         worker_faults=worker_faults,
         obs=obs,
+        transport=args.transport,
     )
     print(executor.plan.describe())
     with executor:
         metrics = executor.run()
         merged = executor.merged_synopsis("sketch")
+        stats = dict(executor.transport_stats)
     summary = metrics.summary()
     print(
         f"\nrun: {summary['throughput_tps']} tuples/s, "
         f"replays={summary['replays']} checkpoints={summary['checkpoints']} "
         f"recoveries={summary['recoveries']}"
     )
+    print(
+        f"transport: {stats['transport']} — "
+        f"{stats['data_bytes_shm']} B over shm rings "
+        f"({stats['data_frames']} frames), "
+        f"{stats['data_bytes_queue']} B pickled over queues, "
+        f"{stats['backpressure_waits']} backpressure waits"
+    )
+
+    # Teardown audit: every shared-memory segment this process created
+    # must be unlinked by now — a leak here is a bug even when the run
+    # itself succeeded (CI's shm-smoke job fails on it).
+    leaked = leaked_segments()
+    if leaked:
+        print(f"LEAKED shm segments: {leaked}")
+        return 1
     print(f"merged uniques ≈ {merged['uniques'].estimate():.0f}")
     print("merged top-5:", [k for k, __ in merged["topk"].top(5)])
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import pickle
 import queue as queue_mod
 import time
 from typing import Any
@@ -57,9 +58,18 @@ from repro.platform.metrics import ExecutionMetrics
 from repro.platform.topology import Spout, Topology, is_partitionable
 from repro.platform.tuples import next_tuple_id
 
-from repro.cluster import obsbridge
+from repro.cluster import columnar, obsbridge
 from repro.cluster.plan import ShardPlan, plan_topology
+from repro.cluster.shm import ShmChannel, shm_available
 from repro.cluster.worker import worker_main
+
+#: Data-plane transports: shared-memory rings (default) or the legacy
+#: pickled-batch-over-queue baseline (kept for A/B benchmarking).
+_TRANSPORTS = ("shm", "queue")
+
+
+class _FlushInterrupted(Exception):
+    """A worker died mid-flush; recovery ran — re-enter the main pump."""
 
 
 class ClusterExecutor:
@@ -77,6 +87,9 @@ class ClusterExecutor:
         obs: Observability | None = None,
         max_replays_per_message: int = 16,
         reply_timeout: float = 30.0,
+        transport: str = "shm",
+        ring_capacity: int = 1 << 20,
+        max_frame: int = 1 << 18,
     ):
         if semantics not in _SEMANTICS:
             raise ParameterError(f"semantics must be one of {_SEMANTICS}")
@@ -86,6 +99,12 @@ class ClusterExecutor:
             raise ParameterError("checkpoint_interval must be positive")
         if batch_size <= 0:
             raise ParameterError("batch_size must be positive")
+        if transport not in _TRANSPORTS:
+            raise ParameterError(f"transport must be one of {_TRANSPORTS}")
+        if max_frame + 8 > ring_capacity:
+            raise ParameterError("ring_capacity must exceed max_frame (+ header)")
+        if transport == "shm" and not shm_available():  # pragma: no cover
+            transport = "queue"  # non-POSIX fallback; bench records the mode
         self.topology = topology
         self.n_workers = n_workers
         self.semantics = semantics
@@ -96,12 +115,53 @@ class ClusterExecutor:
         self.obs = obs
         self.max_replays_per_message = max_replays_per_message
         self.reply_timeout = reply_timeout
+        self.transport = transport
+        self.ring_capacity = ring_capacity
+        self.max_frame = max_frame
         self.plan: ShardPlan = plan_topology(topology, n_workers)
+        self._comp_ids, self._comp_names = columnar.component_table(
+            self.plan.components
+        )
+        self._channels: list[ShmChannel] = []
+        #: Data-plane accounting, keyed for the bench's byte columns:
+        #: bytes moved over shm rings vs pickled through mp queues, frame
+        #: count, bytes that fell back to pickle inside columnar frames,
+        #: and how often a full ring forced the coordinator to wait.
+        self.transport_stats: dict[str, Any] = {
+            "transport": transport,
+            "data_bytes_shm": 0,
+            "data_bytes_queue": 0,
+            "data_frames": 0,
+            "codec_pickled_bytes": 0,
+            "backpressure_waits": 0,
+        }
         self.metrics = ExecutionMetrics(
             registry=obs.registry if obs is not None else None
         )
         self._sampler = obs.sampler if obs is not None else None
         self._spans = obs.collector if obs is not None else None
+        if obs is not None:
+            self._m_bytes = obs.registry.counter(
+                "repro_cluster_transport_bytes_total",
+                "Data-plane bytes moved, by transport path",
+                labelnames=("path",),
+            )
+            self._m_frames = obs.registry.counter(
+                "repro_cluster_transport_frames_total",
+                "Data-plane frames/envelopes sent",
+            )
+            self._m_backpressure = obs.registry.counter(
+                "repro_cluster_transport_backpressure_waits_total",
+                "Times a full ring made the coordinator wait",
+            )
+            self._m_ring_used = obs.registry.gauge(
+                "repro_cluster_ring_used_bytes",
+                "Bytes enqueued in a worker's shm ring",
+                labelnames=("worker", "direction"),
+            )
+        else:
+            self._m_bytes = self._m_frames = None
+            self._m_backpressure = self._m_ring_used = None
         self._trace_attempts: dict[int, int] = {}
         self._trace_roots: dict[int, Span] = {}
 
@@ -157,6 +217,14 @@ class ClusterExecutor:
         self.close()
 
     def _spawn_worker(self, worker_id: int) -> None:
+        respawn = worker_id < len(self._processes)
+        channel = self._channels[worker_id] if self.transport == "shm" else None
+        if respawn and channel is not None:
+            # The dead incarnation may have left a torn/partial write past
+            # ``head`` and unread frames before it; both are dead traffic
+            # of a discarded epoch. Reset before the fork so the new
+            # incarnation inherits an empty ring.
+            channel.reset()
         inbox = self._mp.Queue()
         process = self._mp.Process(
             target=worker_main,
@@ -168,11 +236,13 @@ class ClusterExecutor:
                 self._results,
                 self.worker_faults.get(worker_id),
                 self.obs is not None,
+                channel,
+                self.max_frame,
             ),
             daemon=True,
         )
         process.start()
-        if worker_id < len(self._processes):
+        if respawn:
             # The dead worker's inbox may hold unread envelopes; detach its
             # feeder thread so dropping the queue can never block on join.
             self._inboxes[worker_id].cancel_join_thread()
@@ -188,14 +258,23 @@ class ClusterExecutor:
         if self._started:
             return
         self._results = self._mp.Queue()
+        if self.transport == "shm" and not self._channels:
+            # Segments must exist before the forks: children inherit the
+            # mapped buffers, so no name handshake or handle pickling.
+            self._channels = [
+                ShmChannel(worker_id, self.ring_capacity)
+                for worker_id in range(self.n_workers)
+            ]
         for worker_id in range(self.n_workers):
             self._spawn_worker(worker_id)
         self._started = True
 
     def close(self) -> None:
-        """Stop every worker, absorb its metrics/spans, reap processes."""
+        """Stop every worker, absorb its metrics/spans, reap processes and
+        unlink every shared-memory segment."""
         if not self._started or self._closed:
             self._closed = True
+            self._destroy_channels()
             return
         self._closed = True
         alive = [w for w in range(self.n_workers) if self._processes[w].is_alive()]
@@ -204,6 +283,10 @@ class ClusterExecutor:
         pending = set(alive)
         deadline = time.perf_counter() + self.reply_timeout
         while pending and time.perf_counter() < deadline:
+            # Keep outbox rings flowing: a worker finishing its last
+            # envelope may be blocked pushing re-route frames, and it only
+            # sees "stop" after that push succeeds.
+            self._discard_outbox_frames()
             try:
                 kind, worker_id, __, payload = self._results.get(timeout=0.1)
             except queue_mod.Empty:
@@ -222,12 +305,24 @@ class ClusterExecutor:
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=2.0)
+        self._destroy_channels()
+
+    def _destroy_channels(self) -> None:
+        """Unlink every shm segment (idempotent; workers are gone)."""
+        for channel in self._channels:
+            channel.destroy()
+
+    def _discard_outbox_frames(self) -> None:
+        """Drop outbox traffic unexamined (shutdown path only)."""
+        for channel in self._channels:
+            while channel.outbox.try_pop() is not None:
+                pass
 
     # -- routing -----------------------------------------------------------
 
-    def _buffer_entry(self, entry: tuple) -> None:
+    def _buffer_entry(self, entry: tuple, khash: int | None = None) -> None:
         component, task = entry[0], entry[1]
-        self._buffers[self.plan.worker_of(component, task)].append(entry)
+        self._buffers[self.plan.worker_of(component, task)].append((entry, khash))
 
     def _route_spout_batch(
         self, source: str, payloads: list[tuple], roots: list[int | None], traces
@@ -236,25 +331,119 @@ class ClusterExecutor:
         delivered = 0
         for consumer, grouping in self.topology.consumers_of(source):
             comp = self.topology.components[consumer]
-            routes = grouping.targets_batch(payloads, comp.parallelism)
-            for payload, root, trace, targets in zip(payloads, roots, traces, routes):
+            routes, khashes = grouping.route_batch(payloads, comp.parallelism)
+            if khashes is None:
+                khashes = [None] * len(payloads)
+            for payload, root, trace, targets, khash in zip(
+                payloads, roots, traces, routes, khashes
+            ):
                 for task in targets:
                     tuple_id = next_tuple_id()
                     if self._acker is not None and root is not None:
                         self._acker.anchor(root, tuple_id)
                     self._buffer_entry(
-                        (consumer, task, payload, root, tuple_id, trace)
+                        (consumer, task, payload, root, tuple_id, trace), khash
                     )
                     delivered += 1
         return delivered
 
     def _flush_buffers(self) -> None:
-        for worker_id, buffer in enumerate(self._buffers):
+        # Indexed through the attribute (not enumerate over a captured
+        # list): crash recovery inside _send_frames rebinds self._buffers,
+        # and the remaining iterations must see the post-recovery buffers.
+        for worker_id in range(self.n_workers):
+            buffer = self._buffers[worker_id]
             if not buffer:
                 continue
-            self._inboxes[worker_id].put(("tuples", self.epoch, buffer))
             self._buffers[worker_id] = []
+            if self.transport == "shm":
+                self._send_frames(worker_id, buffer)
+            else:
+                # Pre-pickle the batch so transported bytes are measurable
+                # (mp would pickle it invisibly inside the feeder thread).
+                blob = pickle.dumps(
+                    [entry for entry, __ in buffer],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                self._inboxes[worker_id].put(("tuples", self.epoch, blob))  # streamlint: disable=SL013 - legacy queue transport kept as the A/B baseline
+                self._outstanding += 1
+                self._account_data(len(blob), path="queue")
+
+    def _send_frames(self, worker_id: int, buffer: list[tuple]) -> None:
+        """Encode one worker's buffered deliveries into columnar frames,
+        push them onto its inbox ring and ring the doorbell per frame."""
+        entries = [entry for entry, __ in buffer]
+        khashes: list[int | None] | None = [khash for __, khash in buffer]
+        if not any(k is not None for k in khashes):
+            khashes = None
+        ring = self._channels[worker_id].inbox
+        epoch = self.epoch
+        pushed = 0
+        for frame, stats in columnar.encode_frames(
+            entries, epoch, self._comp_ids, self.max_frame, khashes=khashes
+        ):
+            self._push_frame(worker_id, ring, frame)
+            if self.epoch != epoch:
+                # Crash recovery ran inside the backpressure wait: the
+                # rest of this buffer is a dead incarnation's traffic.
+                # (The frame just pushed rides doorbell-less; the worker's
+                # drain-to-empty pop absorbs and discards it.)
+                return
+            pushed += 1
             self._outstanding += 1
+            self._account_data(len(frame), path="shm")
+            self.transport_stats["codec_pickled_bytes"] += stats.pickled_bytes
+        if pushed:
+            # One doorbell covers the whole send: the worker drains its
+            # ring to empty per wake-up, so later doorbells for frames it
+            # already popped just fall through. Data rides the ring; the
+            # control queue carries 2 small ints.
+            self._inboxes[worker_id].put(("frames", epoch))
+        if self._m_ring_used is not None:
+            self._m_ring_used.labels(worker=str(worker_id), direction="in").set(
+                ring.used_bytes()
+            )
+
+    def _push_frame(self, worker_id: int, ring, frame: bytes) -> None:
+        """Push with blocking-with-deadline fallback on ring-full.
+
+        While waiting the coordinator keeps draining outbox rings and
+        replies — the worker may itself be blocked on a full outbox, and
+        draining is what breaks that hold-and-wait cycle. A worker that
+        died mid-backpressure is detected here (its ring is reset by
+        recovery; the stale-epoch frame still goes through and is
+        discarded by the reply filter, matching queue-mode semantics).
+        """
+        if ring.try_push(frame):
+            return
+        self.transport_stats["backpressure_waits"] += 1
+        if self._m_backpressure is not None:
+            self._m_backpressure.inc()
+        # Ring the doorbell for the frames already pushed this send: the
+        # worker only drains on a doorbell, so without this a ring that
+        # fills mid-send would sit full until the worker's 1s control
+        # timeout. A surplus doorbell is harmless (drain-to-empty pops
+        # None and falls through).
+        self._inboxes[worker_id].put(("frames", self.epoch))
+        deadline = time.perf_counter() + self.reply_timeout
+        while not ring.try_push(frame):
+            self._drain_replies(block=False)  # also drains outbox rings
+            if not self._processes[worker_id].is_alive():
+                self._check_liveness()
+                continue
+            if time.perf_counter() > deadline:
+                raise ExecutionError(
+                    f"worker {worker_id} inbox ring full for "
+                    f"{self.reply_timeout:.0f}s; worker wedged"
+                )
+            time.sleep(0.0005)  # streamlint: disable=SL010 - bounded backpressure wait
+
+    def _account_data(self, nbytes: int, path: str, frames: int = 1) -> None:
+        self.transport_stats[f"data_bytes_{path}"] += nbytes
+        self.transport_stats["data_frames"] += frames
+        if self._m_bytes is not None:
+            self._m_bytes.labels(path=path).inc(nbytes)
+            self._m_frames.inc(frames)
 
     # -- spout side --------------------------------------------------------
 
@@ -332,8 +521,45 @@ class ClusterExecutor:
 
     # -- reply side --------------------------------------------------------
 
+    def _drain_outbox_rings(self) -> bool:
+        """Forward every waiting worker→worker re-route frame (star
+        transport, second hop). Called eagerly — not just on replies — so
+        a worker can never stay blocked on a full outbox while the
+        coordinator waits on something else (deadlock freedom).
+
+        Outbox packets are ``[u16 dest][columnar frame]``: the sender
+        already bucketed by destination worker, so the fast path is a pure
+        byte copy into the destination's inbox ring — no decode, no
+        re-encode. Stale-epoch frames are dead traffic and dropped, like
+        stale replies; a full destination ring falls back to
+        decode-and-rebuffer (the frame re-ships with the next flush).
+        """
+        drained = False
+        rang: set[int] = set()
+        for channel in self._channels:
+            while (packet := channel.outbox.try_pop()) is not None:
+                drained = True
+                frame = packet[2:]
+                if columnar.frame_epoch(frame) != self.epoch:
+                    continue
+                dest = int.from_bytes(packet[:2], "little")
+                if self._channels[dest].inbox.try_push(frame):
+                    self._outstanding += 1
+                    rang.add(dest)
+                    self._account_data(len(frame), path="shm")
+                else:
+                    __, entries, khashes = columnar.decode_entries(
+                        frame, self._comp_names
+                    )
+                    for entry, khash in zip(entries, khashes):
+                        self._buffer_entry(entry, khash)
+        for dest in rang:
+            self._inboxes[dest].put(("frames", self.epoch))
+        return drained
+
     def _drain_replies(self, block: bool) -> bool:
         """Apply at most one worker reply; True when one was applied."""
+        self._drain_outbox_rings()
         timeout = 0.05 if block else 0.0
         try:
             message = self._results.get(timeout=timeout) if timeout else (
@@ -360,8 +586,27 @@ class ClusterExecutor:
             self.metrics.components[f"bolt:{component}"].processed += count
         for component, count in payload["emitted"].items():
             self.metrics.components[f"bolt:{component}"].emitted += count
-        for entry in payload["remote"]:
-            self._buffer_entry(entry)
+        # Remote entries ride the reply itself under the queue transport
+        # (as a pre-pickled blob of (dest, entry) pairs, or a plain list
+        # when a ClusterWorker is driven in-process by tests); under shm
+        # they arrived on the outbox ring and were forwarded by
+        # _drain_outbox_rings already.
+        remote = payload.get("remote")
+        if remote is None and payload.get("remote_blob") is not None:
+            remote = pickle.loads(payload["remote_blob"])
+        for dest, entry in remote or ():
+            self._buffers[dest].append((entry, None))
+        out_bytes = payload.get("out_bytes", 0)
+        if out_bytes:
+            if self.transport == "shm":
+                self._account_data(
+                    out_bytes, path="shm", frames=payload.get("remote_frames", 1)
+                )
+                self.transport_stats["codec_pickled_bytes"] += payload.get(
+                    "out_pickled", 0
+                )
+            else:
+                self._account_data(out_bytes, path="queue")
         if self._acker is not None:
             for root, delta in payload["deltas"]:
                 if root is None or root not in self._acker._pending:
@@ -519,6 +764,7 @@ class ClusterExecutor:
             try:
                 kind, worker_id, epoch, payload = self._results.get(timeout=0.1)
             except queue_mod.Empty:
+                self._drain_outbox_rings()
                 dead = [
                     w
                     for w in range(self.n_workers)
@@ -545,10 +791,22 @@ class ClusterExecutor:
     # -- checkpointing -----------------------------------------------------
 
     def _drain_outstanding(self) -> None:
-        """Block until every envelope has been processed cluster-wide."""
-        while self._outstanding > 0 or any(self._buffers):
+        """Block until every envelope has been processed cluster-wide.
+
+        Quiescence needs a final outbox sweep: the reply that brings
+        ``outstanding`` to zero was enqueued *after* its worker pushed its
+        re-route frames, so those frames are guaranteed visible — but only
+        if we look. Without the sweep a checkpoint could snapshot while
+        second-hop tuples sit unread in a ring.
+        """
+        while True:
+            if self._outstanding <= 0 and not any(self._buffers):
+                if not self._drain_outbox_rings():
+                    break  # no credits, no buffers, rings empty: idle
             self._flush_buffers()
             self._drain_replies(block=True)
+            while self._drain_replies(block=False):
+                pass
             if self._recover_requested:
                 break
 
@@ -594,11 +852,37 @@ class ClusterExecutor:
         if self.semantics == "exactly_once" and self._checkpoint is None:
             self._take_checkpoint()  # epoch-0 baseline to roll back to
         while True:
+            self._pump()
+            try:
+                self._flush_all_bolts()
+            except _FlushInterrupted:
+                # A worker died mid-flush: recovery already ran (respawn,
+                # rollback/replay, epoch bump). Re-enter the pump — under
+                # exactly-once the rewound sources re-feed from the last
+                # checkpoint — then flush again from the first bolt (state
+                # everywhere is post-recovery, so the re-flush is the
+                # first flush that incarnation sees).
+                continue
+            break
+        self.metrics.wall_seconds = time.perf_counter() - started
+        return self.metrics
+
+    def _pump(self) -> None:
+        """Feed spouts and absorb replies until the cluster is quiescent."""
+        while True:
             if self._recover_requested:
                 self._handle_crash([])  # loss-triggered rollback, no death
             progressed = self._pull_spouts()
+            # Absorb every reply already waiting before shipping: remote
+            # re-routes from several replies coalesce into fewer, larger
+            # second-hop envelopes.
+            drained = self._drain_replies(block=False)
+            while self._drain_replies(block=False):
+                pass
+            if not drained and not progressed and self._outstanding > 0:
+                drained = self._drain_replies(block=True)
+            progressed |= drained
             self._flush_buffers()
-            progressed |= self._drain_replies(block=self._outstanding > 0)
             if progressed or self._outstanding > 0 or any(self._buffers):
                 continue
             if not self._spouts_exhausted():
@@ -607,15 +891,21 @@ class ClusterExecutor:
                 self._fail_pending()
                 continue
             break
-        self._flush_all_bolts()
-        self.metrics.wall_seconds = time.perf_counter() - started
-        return self.metrics
 
     def _flush_all_bolts(self) -> None:
-        """End-of-stream flush, topological order, cluster-wide."""
+        """End-of-stream flush, topological order, cluster-wide.
+
+        The wait loop is deadline-bounded *and* crash-aware: on a quiet
+        queue it drains outbox rings (a flushing worker may be pushing
+        re-route frames) and checks worker liveness, so a crashed worker
+        triggers recovery and a flush restart (:class:`_FlushInterrupted`)
+        instead of hanging the coordinator until the deadline.
+        """
         order = topological_bolt_order(self.topology)
         for name in order:
             self._drain_outstanding()
+            if self._recover_requested:
+                raise _FlushInterrupted(name)
             owners = sorted(
                 {
                     self.plan.worker_of(name, task)
@@ -632,6 +922,15 @@ class ClusterExecutor:
                 try:
                     kind, worker_id, epoch, payload = self._results.get(timeout=0.1)
                 except queue_mod.Empty:
+                    self._drain_outbox_rings()
+                    dead = [
+                        w
+                        for w in range(self.n_workers)
+                        if not self._processes[w].is_alive()
+                    ]
+                    if dead:
+                        self._handle_crash(dead)
+                        raise _FlushInterrupted(name)
                     continue
                 if epoch != self.epoch:
                     continue
@@ -643,6 +942,8 @@ class ClusterExecutor:
                     self._apply_reply(payload)
             self._flush_buffers()
             self._drain_outstanding()
+            if self._recover_requested:
+                raise _FlushInterrupted(name)
 
     # -- merge-on-query ----------------------------------------------------
 

@@ -1,0 +1,274 @@
+"""Shared-memory SPSC ring buffers: the cluster's zero-copy data plane.
+
+Each worker gets a :class:`ShmChannel` — two single-producer /
+single-consumer byte rings over one ``multiprocessing.shared_memory``
+segment apiece:
+
+* the **inbox** ring (coordinator → worker) carries routed tuple-batch
+  frames (:mod:`repro.cluster.columnar`);
+* the **outbox** ring (worker → coordinator) carries the worker's
+  remote re-route traffic back for star-transport forwarding.
+
+The coordinator creates every segment before forking workers, so the
+children inherit the mapped buffers directly — no name handshake, no
+pickling of handles. Control traffic (doorbells, acks, checkpoint
+barriers, crash/respawn signals) stays on ``multiprocessing`` queues;
+only bulk tuple data rides the rings.
+
+**Ring layout.** A 16-byte header holds two little-endian ``uint64``
+counters — ``head`` (bytes ever written) and ``tail`` (bytes ever read),
+both monotonic; ``head - tail`` is the used byte count and indices wrap
+modulo the capacity. Frames are ``[u32 length][payload]`` and may wrap
+around the end of the data area (reads/writes split into two slices).
+The producer writes the payload *first* and publishes ``head`` last, so
+a reader can never observe a torn frame: a crash mid-write leaves the
+partial payload unpublished and therefore invisible — recovery simply
+:meth:`SpscRing.reset`\\ s the ring. Ring-full is surfaced to the caller
+(``try_push`` returns False) so the transport layer can apply its
+blocking-with-deadline backpressure policy and export the stall via
+``repro.obs`` gauges.
+
+**Lifecycle.** Segments are owned by the creating (coordinator) process:
+:meth:`SpscRing.destroy` drops the numpy views, closes the mapping and
+unlinks the segment (idempotently). An ``atexit`` safety net destroys
+any ring the owner forgot, so even an aborted run leaves ``/dev/shm``
+clean; :func:`leaked_segments` is the audit used by tests and the CLI.
+Ring handles are process-local plumbing, never operator state — they are
+registered unshippable with :mod:`repro.core.stateship`, so a bolt that
+accidentally captures one fails loudly at checkpoint time instead of
+shipping a dangling pointer.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.common.exceptions import ExecutionError, ParameterError
+from repro.common.serialization import register_unshippable
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - non-POSIX fallback probing
+    _shared_memory = None
+
+#: Prefix of every segment this module creates (leak audits key on it).
+SEGMENT_PREFIX = "repro_shm"
+
+_HEADER_BYTES = 16
+_LEN = struct.Struct("<I")
+_ring_counter = itertools.count(1)
+
+#: Rings created (and not yet destroyed) by this process, for the
+#: atexit safety net. Keyed by segment name.
+_live_rings: dict[str, "SpscRing"] = {}
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory is usable on this platform."""
+    return _shared_memory is not None
+
+
+def _segment_name(suffix: str) -> str:
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_ring_counter)}_{suffix}"
+
+
+def leaked_segments(names: list[str] | None = None) -> list[str]:
+    """Segments still present in ``/dev/shm``.
+
+    With *names*, checks exactly those segments; otherwise reports every
+    segment created by this process (by pid-stamped prefix).
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    if names is not None:
+        return [n for n in names if os.path.exists(os.path.join(shm_dir, n))]
+    mine = f"{SEGMENT_PREFIX}_{os.getpid()}_"
+    return sorted(n for n in os.listdir(shm_dir) if n.startswith(mine))
+
+
+@atexit.register
+def _destroy_leftover_rings() -> None:  # pragma: no cover - exit path
+    for ring in list(_live_rings.values()):
+        ring.destroy()
+
+
+class SpscRing:
+    """A single-producer/single-consumer byte ring in shared memory."""
+
+    def __init__(self, capacity: int = 1 << 20, suffix: str = "ring"):
+        if not shm_available():  # pragma: no cover - non-POSIX
+            raise ExecutionError("shared memory is unavailable on this platform")
+        if capacity <= _LEN.size:
+            raise ParameterError("ring capacity must exceed the frame header")
+        self.capacity = capacity
+        self.name = _segment_name(suffix)
+        self._owner_pid = os.getpid()
+        self._shm = _shared_memory.SharedMemory(
+            name=self.name, create=True, size=_HEADER_BYTES + capacity
+        )
+        self._idx = np.frombuffer(self._shm.buf, dtype=np.uint64, count=2)
+        self._data = np.frombuffer(
+            self._shm.buf, dtype=np.uint8, offset=_HEADER_BYTES
+        )
+        self._idx[:] = 0
+        self._destroyed = False
+        _live_rings[self.name] = self  # streamlint: disable=SL007 - atexit registry
+
+    # -- byte plumbing -----------------------------------------------------
+
+    def _write(self, at: int, data: bytes) -> None:
+        offset = at % self.capacity
+        n = len(data)
+        arr = np.frombuffer(data, dtype=np.uint8)
+        end = offset + n
+        if end <= self.capacity:
+            self._data[offset:end] = arr
+        else:
+            split = self.capacity - offset
+            self._data[offset:] = arr[:split]
+            self._data[: n - split] = arr[split:]
+
+    def _read(self, at: int, n: int) -> bytes:
+        offset = at % self.capacity
+        end = offset + n
+        if end <= self.capacity:
+            return self._data[offset:end].tobytes()
+        split = self.capacity - offset
+        return self._data[offset:].tobytes() + self._data[: end - self.capacity].tobytes()
+
+    # -- SPSC protocol -----------------------------------------------------
+
+    def used_bytes(self) -> int:
+        """Bytes currently enqueued (head - tail)."""
+        return int(self._idx[0]) - int(self._idx[1])
+
+    def free_bytes(self) -> int:
+        """Bytes of remaining ring capacity."""
+        return self.capacity - self.used_bytes()
+
+    def try_push(self, payload: bytes) -> bool:
+        """Append one frame; False (without side effects) when full."""
+        need = _LEN.size + len(payload)
+        if need > self.capacity:
+            raise ParameterError(
+                f"frame of {len(payload)} bytes exceeds ring capacity "
+                f"{self.capacity}"
+            )
+        head = int(self._idx[0])
+        if self.capacity - (head - int(self._idx[1])) < need:
+            return False
+        self._write(head, _LEN.pack(len(payload)))
+        self._write(head + _LEN.size, payload)
+        # Publish last: a reader either sees the whole frame or nothing.
+        self._idx[0] = head + need
+        return True
+
+    def try_pop(self) -> bytes | None:
+        """Remove and return the oldest frame, or None when empty."""
+        head = int(self._idx[0])
+        tail = int(self._idx[1])
+        if head == tail:
+            return None
+        (n,) = _LEN.unpack(self._read(tail, _LEN.size))
+        payload = self._read(tail + _LEN.size, n)
+        self._idx[1] = tail + _LEN.size + n
+        return payload
+
+    def reset(self) -> None:
+        """Discard every enqueued frame (crash recovery; both sides idle)."""
+        self._idx[:] = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (does not remove the segment)."""
+        if self._shm is None:
+            return
+        self._idx = None
+        self._data = None
+        self._shm.close()
+        self._shm = None
+        _live_rings.pop(self.name, None)  # streamlint: disable=SL007 - atexit registry
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (owner side; idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        if self._shm is None:
+            return
+        shm = self._shm
+        self._idx = None
+        self._data = None
+        self._shm = None
+        _live_rings.pop(self.name, None)  # streamlint: disable=SL007 - atexit registry
+        if os.getpid() == self._owner_pid:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        shm.close()
+
+    def __getstate__(self):
+        from repro.common.exceptions import SerializationError
+
+        raise SerializationError(
+            "SpscRing handles are process-local transport state and cannot "
+            "be pickled or shipped; workers inherit rings through fork"
+        )
+
+
+class ShmChannel:
+    """The per-worker ring pair (inbox + outbox) plus its audit names."""
+
+    def __init__(self, worker_id: int, capacity: int):
+        self.worker_id = worker_id
+        self.inbox = SpscRing(capacity, suffix=f"w{worker_id}_in")
+        self.outbox = SpscRing(capacity, suffix=f"w{worker_id}_out")
+
+    @property
+    def segment_names(self) -> list[str]:
+        return [self.inbox.name, self.outbox.name]
+
+    def reset(self) -> None:
+        """Discard both rings' contents (crash recovery, worker dead)."""
+        self.inbox.reset()
+        self.outbox.reset()
+
+    def destroy(self) -> None:
+        """Unlink both segments (owner side; idempotent)."""
+        self.inbox.destroy()
+        self.outbox.destroy()
+
+    def __getstate__(self):
+        from repro.common.exceptions import SerializationError
+
+        raise SerializationError(
+            "ShmChannel handles are process-local transport state and "
+            "cannot be pickled or shipped; workers inherit channels "
+            "through fork"
+        )
+
+
+def _refuse_to_ship(value: Any) -> Any:
+    raise_type = type(value).__name__
+    from repro.common.exceptions import SerializationError
+
+    raise SerializationError(
+        f"{raise_type} is process-local shared-memory transport state and "
+        "is excluded from shipped operator state; keep ring handles out of "
+        "bolt snapshots"
+    )
+
+
+# Transport handles must never ride a checkpoint or a merge-on-query
+# payload: stateship refuses them loudly instead of shipping a pointer.
+register_unshippable(SpscRing, _refuse_to_ship)
+register_unshippable(ShmChannel, _refuse_to_ship)

@@ -4,14 +4,20 @@ A worker owns the bolt tasks its :class:`~repro.cluster.plan.ShardPlan`
 assigned to it (Storm worker slots). Its life is a message loop over the
 inbox queue:
 
-``tuples``
+``tuples`` / ``frames``
     A batch of deliveries ``(component, task, values, root, tuple_id, …)``.
-    The worker processes each through the owning bolt; emissions are routed
-    with the worker's own grouping instances — targets the worker owns go
-    onto the *local* deque (no process hop, the shard-affinity fast path),
-    remote targets are buffered and returned to the coordinator for
-    re-routing. The reply carries XOR ack deltas per tuple tree, so the
-    coordinator's acker tracks completion without per-hop round trips.
+    Under the queue transport the batch rides the message itself (as a
+    pre-pickled blob, so the coordinator can account transported bytes);
+    under the shm transport the message is only a *doorbell* — the actual
+    batch is a columnar frame (:mod:`repro.cluster.columnar`) popped off
+    the worker's shared-memory inbox ring (:mod:`repro.cluster.shm`).
+    The worker processes each delivery through the owning bolt; emissions
+    are routed with the worker's own grouping instances — targets the
+    worker owns go onto the *local* deque (no process hop, the
+    shard-affinity fast path), remote targets are buffered and returned
+    to the coordinator for re-routing (via the outbox ring under shm).
+    The reply carries XOR ack deltas per tuple tree, so the coordinator's
+    acker tracks completion without per-hop round trips.
 ``snapshot`` / ``restore``
     Checkpoint capture/rollback: every owned bolt's ``snapshot()`` is
     shipped as :mod:`repro.core.stateship` bytes; restore rebuilds fresh
@@ -38,11 +44,13 @@ from __future__ import annotations
 
 import itertools
 import os
+import pickle
 import queue
 import time
 from collections import deque
 from typing import Any
 
+from repro.common.exceptions import ExecutionError
 from repro.common.rng import derive_seed
 from repro.core import stateship
 from repro.obs.metrics import MetricRegistry
@@ -50,8 +58,8 @@ from repro.obs.tracing import Span, next_span_id
 from repro.platform.faults import NO_FAULTS, FaultInjector
 from repro.platform.topology import Topology
 
+from repro.cluster import columnar, obsbridge
 from repro.cluster.plan import ShardPlan
-from repro.cluster import obsbridge
 
 #: Exit code used by injected crashes (distinguishable from real faults).
 CRASH_EXIT_CODE = 23
@@ -142,10 +150,14 @@ class ClusterWorker:
                     self._lost += 1
                     continue
                 entry = (consumer, task, values, root, tuple_id, trace)
-                if self.plan.worker_of(consumer, task) == self.worker_id:
+                dest = self.plan.worker_of(consumer, task)
+                if dest == self.worker_id:
                     self._local.append(entry)
                 else:
-                    self._remote.append(entry)
+                    # Tagged with the destination so the coordinator can
+                    # forward whole frames without decoding (star
+                    # transport's second hop as a byte copy).
+                    self._remote.append((dest, entry))
                 delivered += 1
         return delivered
 
@@ -203,7 +215,7 @@ class ClusterWorker:
     def _reply_payload(self, n_delivered: int) -> dict[str, Any]:
         reply = {
             "n": n_delivered,
-            "remote": self._remote,
+            "remote": self._remote,  # (dest_worker, entry) pairs
             "deltas": list(self._deltas.items()),
             "lost": self._lost,
             "processed": dict(self._processed_by_component),
@@ -289,6 +301,26 @@ class ClusterWorker:
         return metrics, spans
 
 
+def _push_outbox(ring, frame: bytes, deadline: float = 30.0) -> None:
+    """Push one frame to the outbox ring, waiting out backpressure.
+
+    The coordinator drains outbox rings eagerly (including while it is
+    itself blocked on a full inbox ring), so a full outbox clears unless
+    the coordinator is gone or wedged — hence the orphan check and the
+    hard deadline (a dead worker is recoverable upstream; silent data
+    loss is not).
+    """
+    start = time.monotonic()
+    while not ring.try_push(frame):
+        if os.getppid() == 1:  # coordinator gone; nobody will ever drain
+            os._exit(0)
+        if time.monotonic() - start > deadline:
+            raise ExecutionError(
+                f"outbox ring full for {deadline:.0f}s; coordinator stalled"
+            )
+        time.sleep(0.0005)  # streamlint: disable=SL010 - bounded backpressure wait
+
+
 def worker_main(
     worker_id: int,
     topology: Topology,
@@ -297,14 +329,56 @@ def worker_main(
     results,
     faults: FaultInjector | None = None,
     observe: bool = False,
+    channel=None,
+    max_frame: int = 1 << 18,
 ) -> None:
     """Child-process entry point: loop over *inbox* until ``stop``.
 
     Replies go to the shared *results* queue tagged with the worker id and
     the envelope's epoch, so the coordinator can discard replies from
-    before a rollback.
+    before a rollback. With *channel* (a :class:`repro.cluster.shm.ShmChannel`
+    inherited through fork), tuple batches arrive as columnar frames on
+    the inbox ring — the queue message is just a doorbell — and remote
+    re-route entries leave on the outbox ring instead of riding the reply.
     """
     worker = ClusterWorker(worker_id, topology, plan, faults=faults, observe=observe)
+    comp_ids, comp_names = columnar.component_table(plan.components)
+
+    def ship_remote(reply: dict, epoch: int) -> None:
+        """Move the reply's remote entries onto the data plane, with byte
+        accounting (``out_bytes`` / ``out_pickled``) for the coordinator's
+        transport stats.
+
+        Under shm the entries are bucketed by destination worker and each
+        frame is prefixed with a 2-byte dest id: the coordinator forwards
+        the frame bytes straight into the destination's inbox ring — no
+        decode, no re-encode, just a copy.
+        """
+        remote = reply.pop("remote")
+        if channel is None:
+            blob = pickle.dumps(remote, protocol=pickle.HIGHEST_PROTOCOL)
+            reply["remote_blob"] = blob
+            reply["out_bytes"] = len(blob)
+            reply["out_pickled"] = len(blob)
+            return
+        frames = out_bytes = out_pickled = 0
+        if remote:
+            by_dest: dict[int, list[tuple]] = {}
+            for dest, entry in remote:
+                by_dest.setdefault(dest, []).append(entry)
+            for dest, entries in by_dest.items():
+                prefix = dest.to_bytes(2, "little")
+                for frame, stats in columnar.encode_frames(
+                    entries, epoch, comp_ids, max_frame
+                ):
+                    _push_outbox(channel.outbox, prefix + frame)
+                    frames += 1
+                    out_bytes += len(frame)
+                    out_pickled += stats.pickled_bytes
+        reply["remote_frames"] = frames
+        reply["out_bytes"] = out_bytes
+        reply["out_pickled"] = out_pickled
+
     while True:
         # bounded wait so the loop keeps coming around even if the
         # coordinator dies without sending "stop" (orphan check below)
@@ -317,10 +391,31 @@ def worker_main(
         kind, epoch = message[0], message[1]
         worker.epoch = max(worker.epoch, epoch)
         if kind == "tuples":
-            reply = worker.handle_tuples(message[2])
+            entries = message[2]
+            if isinstance(entries, (bytes, bytearray)):
+                entries = pickle.loads(entries)
+            reply = worker.handle_tuples(entries)
+            ship_remote(reply, epoch)
             results.put(("done", worker_id, epoch, reply))
+        elif kind == "frames":
+            # Drain *everything* waiting, not just one frame: doorbell and
+            # frame counts may skew around crash recovery (a reset ring
+            # swallows frames, an aborted send leaves a doorbell-less
+            # frame), and draining to empty re-aligns them — later
+            # doorbells for frames already drained pop None and fall
+            # through. One reply per frame keeps the credit accounting
+            # exact.
+            while (frame := channel.inbox.try_pop()) is not None:
+                frame_epoch, entries, _khashes = columnar.decode_entries(
+                    frame, comp_names
+                )
+                worker.epoch = max(worker.epoch, frame_epoch)
+                reply = worker.handle_tuples(entries)
+                ship_remote(reply, frame_epoch)
+                results.put(("done", worker_id, frame_epoch, reply))
         elif kind == "flush":
             reply = worker.handle_flush(message[2])
+            ship_remote(reply, epoch)
             results.put(("flush_ok", worker_id, epoch, reply))
         elif kind == "snapshot":
             results.put(("snapshot_ok", worker_id, epoch, worker.handle_snapshot()))

@@ -84,6 +84,28 @@ def register_reducer(
     _REDUCER_NAMES[_class_path(cls)] = cls
 
 
+def register_unshippable(
+    cls: type, refuse: Callable[[Any], Any] | None = None
+) -> None:
+    """Mark *cls* as excluded from shipped state: encoding an instance
+    raises :class:`SerializationError` instead of serializing it.
+
+    For process-local runtime plumbing (shared-memory rings, transport
+    channels) that must never ride a checkpoint or a merge-on-query
+    payload — a shipped handle would dangle in the receiving process.
+    *refuse* customises the error; the default names the class.
+    """
+
+    def _default_refuse(value: Any) -> Any:
+        raise SerializationError(
+            f"{type(value).__name__} is process-local runtime state and is "
+            "excluded from shipped state"
+        )
+
+    action = refuse or _default_refuse
+    register_reducer(cls, action, action)
+
+
 def _resolve_class(path: str) -> type:
     if not any(path.startswith(prefix) for prefix in _TRUSTED_PREFIXES):
         raise SerializationError(f"refusing to resolve untrusted class {path!r}")

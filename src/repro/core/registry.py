@@ -124,6 +124,7 @@ def _register_builtins() -> None:
     )
     from repro.moments import AMSSketch
     from repro.quantiles import (
+        ExactQuantiles,
         Frugal1U,
         GKQuantiles,
         KLLSketch,
@@ -196,6 +197,7 @@ def _register_builtins() -> None:
         "dynamic_graph": DynamicGraph,
         "endbiased_histogram": EndBiasedHistogram,
         "equiwidth_histogram": EquiWidthHistogram,
+        "exact_quantiles": ExactQuantiles,
         "expj": ExpJSampler,
         "fk": FkEstimator,
         "frugal2u": Frugal2U,

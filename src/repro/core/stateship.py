@@ -25,6 +25,13 @@ traffic, built on :mod:`repro.common.serialization` format v2:
 Payloads are self-describing; :func:`shipped_class` peeks at the class
 path without reconstructing, which the coordinator uses for routing and
 streamlint's SL006 uses to keep the registry honest.
+
+Process-local runtime plumbing is **explicitly excluded** from shipped
+state: classes registered via :func:`register_unshippable` (shared-memory
+ring handles, transport channels — see :mod:`repro.cluster.shm`) raise
+:class:`~repro.common.exceptions.SerializationError` at capture time
+rather than shipping a pointer that would dangle in the receiving
+process.
 """
 
 from __future__ import annotations
@@ -39,7 +46,18 @@ from repro.common.serialization import (
     _resolve_class,
     dump_state,
     load_state,
+    register_unshippable,
 )
+
+__all__ = [
+    "STATE_TAG",
+    "capture",
+    "shipped_class",
+    "restore",
+    "restore_into",
+    "fingerprint",
+    "register_unshippable",
+]
 
 #: Frame tag for shipped operator/synopsis state.
 STATE_TAG = "stateship"

@@ -33,6 +33,20 @@ class Grouping(ABC):
         """
         return [self.targets(_PayloadView(p), n_tasks) for p in payloads]
 
+    def route_batch(
+        self, payloads: list[tuple], n_tasks: int
+    ) -> tuple[list[list[int]], list[int | None] | None]:
+        """Batched routing plus the hashed keys that drove it.
+
+        Returns ``(targets, khashes)`` where ``targets`` is exactly
+        :meth:`targets_batch` and ``khashes`` is a parallel list of
+        ``hash64(key)`` values for key-partitioned groupings (``None``
+        for groupings with no key hash). The shm transport ships the
+        hashes as a ``uint64`` column so downstream consumers (elastic
+        rescaling, key-range diagnostics) never re-hash.
+        """
+        return self.targets_batch(payloads, n_tasks), None
+
 
 class _PayloadView:
     """Minimal stand-in exposing ``.values`` for batch routing (groupings
@@ -85,6 +99,30 @@ class FieldsGrouping(Grouping):
                 cache[key] = route
             out.append(route)
         return out
+
+    def route_batch(
+        self, payloads: list[tuple], n_tasks: int
+    ) -> tuple[list[list[int]], list[int | None] | None]:
+        """Batched routing that also surfaces the key hashes.
+
+        Same key-level cache as :meth:`targets_batch`; the cache maps a
+        key to its ``(route, hash64(key))`` pair so each distinct key is
+        hashed exactly once per batch.
+        """
+        indices = self.indices
+        cache: dict[tuple, tuple[list[int], int]] = {}
+        targets: list[list[int]] = []
+        khashes: list[int | None] = []
+        for payload in payloads:
+            key = tuple(payload[i] for i in indices)
+            hit = cache.get(key)
+            if hit is None:
+                h = hash64(key)
+                hit = ([h % n_tasks], h)
+                cache[key] = hit
+            targets.append(hit[0])
+            khashes.append(hit[1])
+        return targets, khashes
 
 
 class GlobalGrouping(Grouping):

@@ -3,6 +3,7 @@
 Table 1 row "Estimating Quantiles" (application: network analysis).
 """
 
+from repro.quantiles.exact import ExactQuantiles
 from repro.quantiles.frugal import Frugal1U, Frugal2U
 from repro.quantiles.gk import GKQuantiles
 from repro.quantiles.kll import KLLSketch
@@ -12,6 +13,7 @@ from repro.quantiles.tdigest import TDigest
 from repro.quantiles.window import SlidingWindowQuantiles
 
 __all__ = [
+    "ExactQuantiles",
     "Frugal1U",
     "Frugal2U",
     "GKQuantiles",

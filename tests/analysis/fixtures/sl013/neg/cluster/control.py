@@ -1,0 +1,22 @@
+"""SL013 negatives: control traffic and one-shot sends stay legal."""
+
+import pickle
+
+
+def ring_doorbells(inboxes, epoch):
+    # Control messages (two small ints) are what queues are for.
+    for inbox in inboxes:
+        inbox.put(("frames", epoch))
+
+
+def snapshot_once(results, state):
+    # One-shot handoff outside any loop: not a hot path.
+    results.put(("snapshot_ok", pickle.dumps(state)))
+
+
+def drain(outbox, sink):
+    while True:
+        frame = outbox.try_pop()
+        if frame is None:
+            return
+        sink.append(frame)

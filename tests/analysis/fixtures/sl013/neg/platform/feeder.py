@@ -1,0 +1,8 @@
+"""SL013 is cluster-scoped: the same pattern elsewhere is not flagged."""
+
+import pickle
+
+
+def replay(queue, batches):
+    for batch in batches:
+        queue.put(pickle.dumps(batch))

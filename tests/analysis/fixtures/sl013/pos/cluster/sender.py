@@ -1,0 +1,22 @@
+"""SL013 positives: bulk data pickled through queues in cluster loops."""
+
+import pickle
+
+import numpy as np
+
+
+def flush_batches(buffers, inboxes, epoch):
+    for worker_id, batch in enumerate(buffers):
+        blob = pickle.dumps(batch)
+        inboxes[worker_id].put(("tuples", epoch, blob))
+
+
+def ship_inline(queue, batches):
+    while batches:
+        queue.put(pickle.dumps(batches.pop()))
+
+
+def ship_array(queue, n):
+    for __ in range(n):
+        keys = np.zeros(1024, dtype=np.uint64)
+        queue.put(("keys", keys))

@@ -1,0 +1,105 @@
+"""SL013: pickled batches / numpy arrays through queues in cluster loops."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl013"
+SELECT = ["SL013"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert {f.rule_id for f in findings} == {"SL013"}
+        messages = [f.message for f in findings]
+        assert len(messages) == 3
+        assert sum("pickled bytes" in m for m in messages) == 1
+        assert sum("pickled inline" in m for m in messages) == 1
+        assert sum("numpy array" in m for m in messages) == 1
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_name_bound_to_pickle_dumps_flagged(self, lint):
+        src = (
+            "import pickle\n"
+            "def f(q, batches):\n"
+            "    for b in batches:\n"
+            "        blob = pickle.dumps(b)\n"
+            "        q.put(blob)\n"
+        )
+        findings = lint({"cluster/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL013"]
+        assert "blob" in findings[0].message
+
+    def test_inline_dumps_in_while_loop_flagged(self, lint):
+        src = (
+            "import pickle\n"
+            "def f(q, items):\n"
+            "    while items:\n"
+            "        q.put(pickle.dumps(items.pop()))\n"
+        )
+        assert [f.rule_id for f in lint({"cluster/x.py": src}, select=SELECT)] == [
+            "SL013"
+        ]
+
+    def test_aliased_pickle_flagged(self, lint):
+        src = (
+            "from pickle import dumps as enc\n"
+            "def f(q, items):\n"
+            "    for item in items:\n"
+            "        q.put(enc(item))\n"
+        )
+        assert [f.rule_id for f in lint({"cluster/x.py": src}, select=SELECT)] == [
+            "SL013"
+        ]
+
+    def test_numpy_payload_flagged(self, lint):
+        src = (
+            "import numpy as np\n"
+            "def f(q, n):\n"
+            "    for __ in range(n):\n"
+            "        arr = np.arange(n)\n"
+            "        q.put((0, arr))\n"
+        )
+        findings = lint({"cluster/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL013"]
+        assert "numpy array" in findings[0].message
+
+    def test_control_tuple_clean(self, rule_ids):
+        src = (
+            "def f(q, epoch, n):\n"
+            "    for __ in range(n):\n"
+            "        q.put(('frames', epoch))\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_put_outside_loop_clean(self, rule_ids):
+        src = (
+            "import pickle\n"
+            "def f(q, state):\n"
+            "    q.put(pickle.dumps(state))\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_other_package_clean(self, rule_ids):
+        src = (
+            "import pickle\n"
+            "def f(q, items):\n"
+            "    for item in items:\n"
+            "        q.put(pickle.dumps(item))\n"
+        )
+        assert rule_ids({"platform/x.py": src}, select=SELECT) == []
+
+    def test_suppression_comment_honoured(self, rule_ids):
+        src = (
+            "import pickle\n"
+            "def f(q, batches):\n"
+            "    for b in batches:\n"
+            "        blob = pickle.dumps(b)\n"
+            "        q.put(blob)  # streamlint: disable=SL013 - baseline\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []

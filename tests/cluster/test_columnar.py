@@ -1,0 +1,183 @@
+"""Columnar codec: exact envelope round-trips, fallbacks, chunking.
+
+The codec must be invisible to everything above it: for any envelope of
+delivery entries ``(component, task, values, root, tuple_id, trace)``
+plus the parallel khash list, decode(encode(x)) == x — same tuples, same
+order, same types. These tests pin that contract, the per-column type
+paths, the counted pickle fallback, and ``encode_frames`` chunking.
+"""
+
+import pytest
+
+from repro.cluster.columnar import (
+    CodecStats,
+    component_table,
+    decode_entries,
+    encode_entries,
+    encode_frames,
+    frame_epoch,
+)
+from repro.common.exceptions import ExecutionError
+
+COMP_IDS, COMP_NAMES = component_table(["count", "quantile", "split"])
+
+
+def _entry(component, task, values, root=None, tuple_id=0, trace=None):
+    return (component, task, values, root, tuple_id, trace)
+
+
+def _roundtrip(entries, epoch=0, khashes=None):
+    frame, stats = encode_entries(entries, epoch, COMP_IDS, khashes=khashes)
+    got_epoch, got_entries, got_khashes = decode_entries(frame, COMP_NAMES)
+    assert got_epoch == epoch
+    assert got_entries == entries
+    return got_khashes, stats, frame
+
+
+class TestComponentTable:
+    def test_deterministic_and_inverse(self):
+        ids, names = component_table(["b", "a", "c"])
+        assert names == ["a", "b", "c"]
+        assert ids == {"a": 0, "b": 1, "c": 2}
+        assert component_table(["c", "b", "a"]) == (ids, names)
+
+
+class TestColumnTypes:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [(1,), (2,), (-5,)],
+            [(0.5,), (-1.25,), (3.0,)],
+            [(True,), (False,), (True,)],
+            [("word",), ("",), ("émoji ✓",)],
+        ],
+        ids=["int64", "float64", "bool", "str"],
+    )
+    def test_typed_columns_roundtrip_without_pickle(self, values):
+        entries = [_entry("count", 0, v, tuple_id=i) for i, v in enumerate(values)]
+        __, stats, __ = _roundtrip(entries)
+        assert stats.pickled_bytes == 0
+        assert stats.n_entries == len(entries)
+
+    def test_decoded_types_are_exact(self):
+        entries = [_entry("count", 0, (1, 2.0, True, "x"))]
+        frame, __ = encode_entries(entries, 0, COMP_IDS)
+        __, [(_, __t, values, *_rest)], __ = decode_entries(frame, COMP_NAMES)
+        assert [type(v) for v in values] == [int, float, bool, str]
+
+    def test_mixed_type_column_falls_back_to_pickle_counted(self):
+        entries = [
+            _entry("count", 0, (1,)),
+            _entry("count", 0, ("one",)),  # int/str mix in position 0
+        ]
+        __, stats, __ = _roundtrip(entries)
+        assert stats.pickled_bytes > 0
+
+    def test_big_int_column_falls_back_to_pickle(self):
+        entries = [_entry("count", 0, (1 << 80,)), _entry("count", 0, (2,))]
+        __, stats, __ = _roundtrip(entries)
+        assert stats.pickled_bytes > 0
+
+    def test_ragged_arity_group_falls_back_to_pickle(self):
+        entries = [_entry("count", 0, (1, 2)), _entry("count", 0, (3,))]
+        __, stats, __ = _roundtrip(entries)
+        assert stats.pickled_bytes > 0
+
+    def test_empty_tuple_values(self):
+        entries = [_entry("count", 0, ()), _entry("count", 1, ())]
+        __, stats, __ = _roundtrip(entries)
+        assert stats.pickled_bytes == 0
+
+
+class TestEnvelopeFidelity:
+    def test_interleaved_components_keep_envelope_order(self):
+        entries = [
+            _entry("split", 0, ("a b",), tuple_id=1),
+            _entry("count", 1, ("a",), root=1, tuple_id=2),
+            _entry("split", 0, ("c d",), tuple_id=3),
+            _entry("quantile", 0, (0.5,), root=1, tuple_id=4),
+            _entry("count", 0, ("c",), root=3, tuple_id=5),
+        ]
+        _roundtrip(entries, epoch=7)
+
+    def test_roots_none_and_mixed(self):
+        _roundtrip([_entry("count", 0, (1,)), _entry("count", 1, (2,))])
+        _roundtrip(
+            [_entry("count", 0, (1,), root=9), _entry("count", 1, (2,), root=None)]
+        )
+
+    def test_khash_roundtrip_including_zero_and_none(self):
+        entries = [_entry("count", i, (i,), tuple_id=i) for i in range(4)]
+        khashes = [0, None, (1 << 64) - 1, 42]  # 0 is a legal hash, not "absent"
+        got, __, __ = _roundtrip(entries, khashes=khashes)
+        assert got == khashes
+
+    def test_all_none_khashes_cost_no_column(self):
+        entries = [_entry("count", 0, (1,)), _entry("count", 0, (2,))]
+        __, __, bare = _roundtrip(entries, khashes=None)
+        got, __, framed = _roundtrip(entries, khashes=[None, None])
+        assert got == [None, None]
+        assert len(framed) == len(bare)  # no khash column was emitted
+
+    def test_sparse_traces_roundtrip(self):
+        entries = [
+            _entry("count", 0, (1,), trace=(11, 22, 1)),
+            _entry("count", 0, (2,)),
+            _entry("count", 0, (3,), trace=(33, 44, 2)),
+        ]
+        _roundtrip(entries)
+
+
+class TestFrameHeader:
+    def test_epoch_peek_matches_decode(self):
+        frame, __ = encode_entries([_entry("count", 0, (1,))], 41, COMP_IDS)
+        assert frame_epoch(frame) == 41
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ExecutionError):
+            frame_epoch(b"\x00" * 16)
+        with pytest.raises(ExecutionError):
+            decode_entries(b"\x00" * 16, COMP_NAMES)
+
+
+class TestChunking:
+    def test_split_frames_concatenate_to_the_unsplit_decode(self):
+        entries = [
+            _entry("count", i % 3, ("w%d" % i,), tuple_id=i) for i in range(64)
+        ]
+        khashes = [i if i % 2 else None for i in range(64)]
+        whole, __ = encode_entries(entries, 5, COMP_IDS, khashes=khashes)
+        frames = list(encode_frames(entries, 5, COMP_IDS, len(whole) // 3, khashes=khashes))
+        assert len(frames) > 1
+        rebuilt, rebuilt_kh = [], []
+        for frame, stats in frames:
+            assert len(frame) <= len(whole) // 3
+            assert stats.frame_bytes == len(frame)
+            epoch, part, part_kh = decode_entries(frame, COMP_NAMES)
+            assert epoch == 5
+            rebuilt.extend(part)
+            rebuilt_kh.extend(part_kh)
+        assert rebuilt == entries
+        assert rebuilt_kh == khashes
+
+    def test_small_envelope_stays_one_frame(self):
+        entries = [_entry("count", 0, (1,))]
+        frames = list(encode_frames(entries, 0, COMP_IDS, 1 << 16))
+        assert len(frames) == 1
+
+    def test_single_entry_over_limit_is_an_error(self):
+        entries = [_entry("count", 0, ("x" * 4096,))]
+        with pytest.raises(ExecutionError):
+            list(encode_frames(entries, 0, COMP_IDS, 64))
+
+
+class TestCodecStats:
+    def test_add_accumulates_all_counters(self):
+        total = CodecStats()
+        total.add(CodecStats(n_entries=3, frame_bytes=100, pickled_bytes=10))
+        total.add(CodecStats(n_entries=2, frame_bytes=50, pickled_bytes=0))
+        assert (total.n_entries, total.frame_bytes, total.pickled_bytes) == (
+            5,
+            150,
+            10,
+        )

@@ -1,0 +1,190 @@
+"""SPSC ring protocol: wraparound, backpressure, torn writes, lifecycle.
+
+The ring is the data plane's only concurrency primitive, so its contract
+is tested exhaustively against a plain-deque model: frames come out in
+order and byte-identical no matter how often the indices wrap; a full
+ring refuses a push without side effects; an unpublished (crashed
+mid-write) frame is invisible to the reader; and every segment a ring
+creates disappears from ``/dev/shm`` on destroy — idempotently.
+"""
+
+import os
+import pickle
+import random
+from collections import deque
+
+import pytest
+
+from repro.cluster.shm import (
+    SEGMENT_PREFIX,
+    ShmChannel,
+    SpscRing,
+    leaked_segments,
+    shm_available,
+)
+from repro.common.exceptions import ParameterError, SerializationError
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture
+def ring():
+    r = SpscRing(capacity=256, suffix="test")
+    yield r
+    r.destroy()
+
+
+class TestProtocol:
+    def test_fifo_roundtrip(self, ring):
+        frames = [bytes([i]) * (i + 1) for i in range(10)]
+        for frame in frames:
+            assert ring.try_push(frame)
+        assert [ring.try_pop() for __ in frames] == frames
+        assert ring.try_pop() is None
+
+    def test_empty_frame_is_legal(self, ring):
+        assert ring.try_push(b"")
+        assert ring.try_pop() == b""
+        assert ring.try_pop() is None
+
+    def test_wraparound_fuzz_against_model(self, ring):
+        """Randomized push/pop keeps the ring equal to a deque model.
+
+        The 256-byte capacity forces the indices to wrap dozens of times
+        over the run, exercising both split-write and split-read paths.
+        """
+        rnd = random.Random(13)
+        model: deque[bytes] = deque()
+        pushed = 0
+        while pushed < 500:
+            if rnd.random() < 0.6:
+                frame = os.urandom(rnd.randrange(0, 90))
+                if ring.try_push(frame):
+                    model.append(frame)
+                    pushed += 1
+                else:
+                    # model and ring agree the ring is full
+                    assert ring.free_bytes() < len(frame) + 4
+            else:
+                got = ring.try_pop()
+                if model:
+                    assert got == model.popleft()
+                else:
+                    assert got is None
+        while model:
+            assert ring.try_pop() == model.popleft()
+        assert ring.try_pop() is None
+        assert ring.used_bytes() == 0
+
+    def test_frame_spanning_the_seam_is_intact(self, ring):
+        # Advance the indices so the next frame must wrap the data area.
+        ring.try_push(b"x" * 200)
+        assert ring.try_pop() == b"x" * 200
+        frame = bytes(range(100))
+        assert ring.try_push(frame)  # straddles offset 204 -> 256 -> 52
+        assert ring.try_pop() == frame
+
+
+class TestBackpressure:
+    def test_full_ring_refuses_without_side_effects(self, ring):
+        big = b"a" * 120
+        assert ring.try_push(big)
+        assert ring.try_push(big)  # 2 * (4 + 120) = 248 <= 256
+        used = ring.used_bytes()
+        assert not ring.try_push(b"bbbbb")  # 4 + 5 > 8 free
+        assert ring.used_bytes() == used  # nothing written, nothing published
+        assert ring.try_pop() == big
+        assert ring.try_pop() == big
+        assert ring.try_pop() is None
+
+    def test_freed_space_is_reusable(self, ring):
+        assert ring.try_push(b"a" * 240)
+        assert not ring.try_push(b"b" * 240)
+        assert ring.try_pop() == b"a" * 240
+        assert ring.try_push(b"b" * 240)  # pop freed the space
+
+    def test_oversized_frame_rejected_loudly(self, ring):
+        with pytest.raises(ParameterError):
+            ring.try_push(b"x" * 253)  # 4 + 253 > 256: can never fit
+
+    def test_byte_accounting(self, ring):
+        assert ring.used_bytes() == 0
+        assert ring.free_bytes() == 256
+        ring.try_push(b"ab")
+        assert ring.used_bytes() == 6  # u32 length + 2 payload bytes
+        assert ring.free_bytes() == 250
+        ring.try_pop()
+        assert ring.used_bytes() == 0
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            SpscRing(capacity=4)
+
+
+class TestCrashRecovery:
+    def test_unpublished_write_is_invisible(self, ring):
+        """A producer that dies mid-write leaves no observable frame.
+
+        The protocol writes payload bytes first and publishes ``head``
+        last; simulate the crash by doing the byte writes without the
+        publish and assert the reader sees nothing.
+        """
+        head = int(ring._idx[0])
+        ring._write(head, b"\x08\x00\x00\x00")  # length word of a torn frame
+        ring._write(head + 4, b"partial!")  # ...and its payload bytes
+        assert ring.try_pop() is None  # head never published: invisible
+        assert ring.used_bytes() == 0
+        # Recovery resets and the ring is fully usable again.
+        ring.reset()
+        assert ring.try_push(b"after recovery")
+        assert ring.try_pop() == b"after recovery"
+
+    def test_reset_discards_enqueued_frames(self, ring):
+        ring.try_push(b"stale-1")
+        ring.try_push(b"stale-2")
+        ring.reset()
+        assert ring.try_pop() is None
+        assert ring.used_bytes() == 0
+
+
+class TestLifecycle:
+    def test_segment_exists_then_destroy_unlinks(self):
+        ring = SpscRing(capacity=128)
+        assert ring.name.startswith(f"{SEGMENT_PREFIX}_{os.getpid()}_")
+        assert leaked_segments([ring.name]) == [ring.name]
+        ring.destroy()
+        assert leaked_segments([ring.name]) == []
+
+    def test_destroy_is_idempotent(self):
+        ring = SpscRing(capacity=128)
+        ring.destroy()
+        ring.destroy()  # second call must be a no-op, not an error
+        assert leaked_segments([ring.name]) == []
+
+    def test_channel_owns_two_segments(self):
+        channel = ShmChannel(worker_id=3, capacity=128)
+        names = channel.segment_names
+        assert len(names) == 2
+        assert leaked_segments(names) == names
+        channel.inbox.try_push(b"in")
+        channel.outbox.try_push(b"out")
+        channel.reset()
+        assert channel.inbox.try_pop() is None
+        assert channel.outbox.try_pop() is None
+        channel.destroy()
+        channel.destroy()
+        assert leaked_segments(names) == []
+
+    def test_ring_handles_refuse_to_pickle(self, ring):
+        with pytest.raises(SerializationError):
+            pickle.dumps(ring)
+
+    def test_channel_handles_refuse_to_pickle(self):
+        channel = ShmChannel(worker_id=0, capacity=128)
+        try:
+            with pytest.raises(SerializationError):
+                pickle.dumps(channel)
+        finally:
+            channel.destroy()

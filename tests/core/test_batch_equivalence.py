@@ -171,6 +171,7 @@ SPEC: dict[str, tuple[Params, Callable[[int, random.Random], list]]] = {
     "endbiased_histogram": ({}, _tokens),
     "equiwidth_histogram": ({"lo": -8.0, "hi": 8.0}, _floats),
     "ewma": ({}, _floats),
+    "exact_quantiles": ({}, _floats),
     "expj": ({"k": 8}, _tokens),
     "extrema": ({"window": 64}, _floats),
     "fk": ({"k": 2, "groups": 3, "per_group": 8}, _tokens),
