@@ -20,6 +20,7 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     sl011_nondeterministic_state,
     sl012_label_cardinality,
     sl013_pickled_hot_path,
+    sl014_unthrottled_telemetry,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "sl011_nondeterministic_state",
     "sl012_label_cardinality",
     "sl013_pickled_hot_path",
+    "sl014_unthrottled_telemetry",
 ]

@@ -1,0 +1,104 @@
+"""SL014 — unthrottled telemetry export inside cluster hot loops.
+
+Live telemetry (:mod:`repro.obs.live`) exists so a running cluster can be
+observed *without* taxing the data plane: workers flush delta exports at
+a bounded interval through :meth:`ClusterWorker.maybe_flush_telemetry`,
+whose gate makes telemetry cost O(changed children / interval). A full
+registry export (``export_obs`` / ``export_metrics`` / ``export_spans``)
+called directly inside a worker or coordinator loop body defeats that —
+it walks every instrument and pickles every t-digest once *per message*,
+exactly the per-batch serialization tax the shm transport removed.
+
+This rule flags those calls inside ``cluster/`` loop bodies. The gated
+path is recognized structurally: functions whose name starts with
+``maybe_`` (the interval gate lives inside them by convention, as in
+``maybe_flush_telemetry`` / ``maybe_ship_telemetry``) may export from
+loops, and calls *to* ``maybe_``-prefixed helpers are always fine. Like
+SL013 it is scoped to ``cluster/``: elsewhere a full export is a one-shot
+report, not a hot path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+
+_PACKAGE = "cluster"
+
+#: Unthrottled full-export entry points (bare or attribute calls).
+_EXPORT_NAMES = frozenset(
+    {"export_obs", "export_metrics", "export_spans", "export_telemetry"}
+)
+
+#: Functions allowed to export from a loop: the interval gate convention.
+_GATED_PREFIX = "maybe_"
+
+
+def _call_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@rule
+class UnthrottledTelemetryRule(Rule):
+    """Flags per-message telemetry exports in cluster loop bodies."""
+
+    rule_id = "SL014"
+    description = (
+        "full telemetry export called inside a cluster/ loop; flush "
+        "through the interval-gated maybe_flush_telemetry path instead"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(_PACKAGE):
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name.startswith(_GATED_PREFIX):
+                continue  # the gate itself: exporting here is the point
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(
+        self, ctx: ModuleContext, fn: ast.AST
+    ) -> Iterator[Finding]:
+        # Nested gated helpers are their own scope: a maybe_* inner
+        # function is exempt even though ast.walk(fn) would reach it.
+        gated_spans = [
+            (inner.lineno, max(getattr(node, "lineno", inner.lineno) for node in ast.walk(inner)))
+            for inner in ast.walk(fn)
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and inner.name.startswith(_GATED_PREFIX)
+        ]
+        seen: set[tuple[int, int]] = set()
+        for loop in ast.walk(fn):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for call in ast.walk(loop):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = _call_name(call.func)
+                if name is None or name not in _EXPORT_NAMES:
+                    continue
+                if any(lo <= call.lineno <= hi for lo, hi in gated_spans):
+                    continue
+                where = (call.lineno, call.col_offset)
+                if where in seen:
+                    continue  # nested loops walk the same call twice
+                seen.add(where)
+                yield self.finding(
+                    ctx,
+                    call.lineno,
+                    call.col_offset,
+                    f"{name}() runs a full registry export per loop "
+                    "iteration; route it through the interval-gated "
+                    "maybe_flush_telemetry path so the hot loop stays "
+                    "O(changed children / interval)",
+                )

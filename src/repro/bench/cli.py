@@ -153,7 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")
         return 0
     if args.obs:
-        from repro.bench.obs import overhead_at_default_rate, run_obs_bench
+        from repro.bench.obs import (
+            cluster_overhead,
+            overhead_at_default_rate,
+            run_obs_bench,
+        )
 
         n_items = 2_000 if args.smoke else (args.items or 20_000)
         repeats = 1 if args.smoke else args.repeats
@@ -164,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table(payload))
         overhead = overhead_at_default_rate(payload)
         print(f"\noverhead at default 1% sampling: {overhead * 100:+.1f}%")
+        print(
+            "cluster telemetry overhead at default interval: "
+            f"{cluster_overhead(payload) * 100:+.1f}%"
+        )
         out_path = Path(args.out or _OBS_DEFAULT_OUT)
         out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")

@@ -90,6 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the single-process fingerprint cross-check",
     )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="worker telemetry flush period in seconds (default: the obs "
+        "plane default; 0 disables live telemetry)",
+    )
+    parser.add_argument(
+        "--flight",
+        metavar="PATH",
+        default=None,
+        help="dump the flight recorder (JSON lines) here on worker crash "
+        "or fingerprint mismatch",
+    )
+    parser.add_argument(
+        "--health-log",
+        metavar="PATH",
+        default=None,
+        help="append health snapshots (JSON lines) here as the run "
+        "progresses — `repro-obs top --snapshots PATH` renders them",
+    )
     return parser
 
 
@@ -114,12 +136,18 @@ def main(argv: list[str] | None = None) -> int:
         worker_faults=worker_faults,
         obs=obs,
         transport=args.transport,
+        telemetry_interval=args.telemetry_interval,
+        flight_path=args.flight,
+        health_log=args.health_log,
     )
     print(executor.plan.describe())
     with executor:
         metrics = executor.run()
         merged = executor.merged_synopsis("sketch")
         stats = dict(executor.transport_stats)
+    # Post-close snapshot: the workers' final forced flushes have been
+    # absorbed, so watermarks and totals are settled.
+    health = executor.last_health
     summary = metrics.summary()
     print(
         f"\nrun: {summary['throughput_tps']} tuples/s, "
@@ -133,6 +161,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{stats['data_bytes_queue']} B pickled over queues, "
         f"{stats['backpressure_waits']} backpressure waits"
     )
+    if health is not None:
+        flushes = sum(w.flushes for w in health.workers)
+        print(
+            f"telemetry: {flushes} flushes absorbed "
+            f"(interval {executor.telemetry_interval}s), "
+            f"max operator lag {health.max_lag():.0f}, "
+            f"peak ring occupancy {health.max_ring_occupancy() * 100:.1f}%"
+        )
 
     # Teardown audit: every shared-memory segment this process created
     # must be unlinked by now — a leak here is a bug even when the run
@@ -154,6 +190,12 @@ def main(argv: list[str] | None = None) -> int:
     reference = local.bolt_instances("sketch")[0].synopsis
     matches = state_fingerprint(merged) == state_fingerprint(reference)
     print(f"fingerprint vs single-process: {'MATCH' if matches else 'MISMATCH'}")
+    if not matches and executor.flight is not None and args.flight:
+        # The other dump trigger besides a crash: wrong answers deserve a
+        # post-mortem artifact too.
+        executor.flight.record_event("mismatch", {"bolt": "sketch"})
+        executor.flight.dump(args.flight, reason="mismatch")
+        print(f"flight recorder dumped to {args.flight}")
     return 0 if matches else 1
 
 

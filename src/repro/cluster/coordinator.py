@@ -41,15 +41,22 @@ registry.
 from __future__ import annotations
 
 import itertools
+import json
 import multiprocessing
 import pickle
 import queue as queue_mod
+import threading
 import time
-from typing import Any
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Callable
 
 from repro.common.exceptions import ExecutionError, ParameterError
 from repro.core import stateship
 from repro.obs.context import Observability
+from repro.obs.flight import FlightRecorder
+from repro.obs.health import HealthMonitor, HealthSnapshot
+from repro.obs.live import DEFAULT_FLUSH_INTERVAL, TelemetryAbsorber
 from repro.obs.tracing import Span, next_span_id
 from repro.platform.ack import Acker
 from repro.platform.executor import _SEMANTICS, topological_bolt_order
@@ -90,9 +97,16 @@ class ClusterExecutor:
         transport: str = "shm",
         ring_capacity: int = 1 << 20,
         max_frame: int = 1 << 18,
+        telemetry_interval: float | None = None,
+        flight: FlightRecorder | None = None,
+        flight_path: str | Path | None = None,
+        health_log: str | Path | None = None,
+        event_time_fn: Callable[[str, tuple], float | None] | None = None,
     ):
         if semantics not in _SEMANTICS:
             raise ParameterError(f"semantics must be one of {_SEMANTICS}")
+        if telemetry_interval is not None and telemetry_interval < 0:
+            raise ParameterError("telemetry_interval must be >= 0")
         if n_workers <= 0:
             raise ParameterError("n_workers must be positive")
         if checkpoint_interval <= 0:
@@ -165,6 +179,48 @@ class ClusterExecutor:
         self._trace_attempts: dict[int, int] = {}
         self._trace_roots: dict[int, Span] = {}
 
+        # Live telemetry (tentpole of the obs plane): interval defaults on
+        # whenever the run is observed, 0/None-without-obs disables it.
+        if telemetry_interval is None:
+            telemetry_interval = DEFAULT_FLUSH_INTERVAL if obs is not None else 0.0
+        self.telemetry_interval = telemetry_interval if obs is not None else 0.0
+        self.flight_path = Path(flight_path) if flight_path is not None else None
+        self._health_log_path = Path(health_log) if health_log is not None else None
+        self._health_log: Any = None
+        self._event_time_fn = event_time_fn
+        if obs is not None:
+            self.flight = flight if flight is not None else FlightRecorder()
+            self._absorber = TelemetryAbsorber(
+                obs.registry, obs.collector, flight=self.flight
+            )
+            operators: dict[str, tuple[str, tuple[int, ...]]] = {}
+            for comp in topology.components.values():
+                if comp.kind == "bolt":
+                    owners = tuple(
+                        sorted(
+                            {
+                                self.plan.worker_of(comp.name, task)
+                                for task in range(comp.parallelism)
+                            }
+                        )
+                    )
+                else:
+                    owners = ()  # spouts run in the coordinator
+                operators[comp.name] = (comp.kind, owners)
+            self._health: HealthMonitor | None = HealthMonitor(
+                n_workers=n_workers,
+                operators=operators,
+                ring_capacity=ring_capacity if self.transport == "shm" else 0,
+                watermark_unit=(
+                    "event_time" if event_time_fn is not None else "offset"
+                ),
+            )
+        else:
+            self.flight = flight
+            self._absorber = None
+            self._health = None
+        self._last_health_publish = time.monotonic()
+
         # Spouts (partitioned when declared parallel and splittable).
         self._spouts: dict[str, list[Spout]] = {}
         for comp in topology.components.values():
@@ -190,7 +246,15 @@ class ClusterExecutor:
             ) from exc
         self._processes: list[Any] = []
         self._inboxes: list[Any] = []
-        self._results: Any = None
+        # One results queue *per worker*, not one shared queue: a worker
+        # that hard-exits (injected os._exit crash, real SIGKILL) can die
+        # while its queue feeder holds the shared write lock or is halfway
+        # through a frame, and a shared queue turns that into a cluster-wide
+        # wedge — every survivor's feeder blocks on a lock nobody will
+        # release. Per-worker queues confine the damage: the crash path
+        # salvages what the dead channel still holds and replaces it.
+        self._results: list[Any] = []
+        self._results_rr = 0
         self._started = False
         self._closed = False
 
@@ -226,6 +290,13 @@ class ClusterExecutor:
             # incarnation inherits an empty ring.
             channel.reset()
         inbox = self._mp.Queue()
+        if respawn:
+            # The dead incarnation's results queue may end in a frame its
+            # feeder half-wrote at the crash (recv on it would block
+            # forever) and a write lock that died held; _handle_crash
+            # salvaged it already, so the new incarnation gets a fresh
+            # channel and the survivors' queues are never touched.
+            self._results[worker_id] = self._mp.Queue()
         process = self._mp.Process(
             target=worker_main,
             args=(
@@ -233,11 +304,13 @@ class ClusterExecutor:
                 self.topology,
                 self.plan,
                 inbox,
-                self._results,
+                self._results[worker_id],
                 self.worker_faults.get(worker_id),
                 self.obs is not None,
                 channel,
                 self.max_frame,
+                self.telemetry_interval or None,
+                self._event_time_fn,
             ),
             daemon=True,
         )
@@ -257,7 +330,7 @@ class ClusterExecutor:
             raise ExecutionError("executor already closed")
         if self._started:
             return
-        self._results = self._mp.Queue()
+        self._results = [self._mp.Queue() for __ in range(self.n_workers)]
         if self.transport == "shm" and not self._channels:
             # Segments must exist before the forks: children inherit the
             # mapped buffers, so no name handshake or handle pickling.
@@ -275,6 +348,7 @@ class ClusterExecutor:
         if not self._started or self._closed:
             self._closed = True
             self._destroy_channels()
+            self._close_health_log()
             return
         self._closed = True
         alive = [w for w in range(self.n_workers) if self._processes[w].is_alive()]
@@ -288,24 +362,39 @@ class ClusterExecutor:
             # sees "stop" after that push succeeds.
             self._discard_outbox_frames()
             try:
-                kind, worker_id, __, payload = self._results.get(timeout=0.1)
+                kind, worker_id, __, payload = self._results_get(0.1)
             except queue_mod.Empty:
                 pending = {w for w in pending if self._processes[w].is_alive()}
                 continue
-            if kind == "stopped" and worker_id in pending:
+            if kind == "telemetry":
+                # The worker's final forced flush (queue FIFO puts it
+                # ahead of its "stopped") — plus any interval flushes
+                # still in flight.
+                self._absorb_telemetry(worker_id, payload)
+            elif kind == "stopped" and worker_id in pending:
                 pending.discard(worker_id)
-                metrics_records, spans = payload
-                if self.obs is not None:
+                if payload is not None and self.obs is not None:
+                    # Legacy shutdown-only export (pre-live-telemetry
+                    # workers driven in-process by tests).
+                    metrics_records, spans = payload
                     obsbridge.absorb_metrics(
                         self.obs.registry, metrics_records, worker_id
                     )
                     obsbridge.absorb_spans(self.obs.collector, spans)
+        if self._health is not None:
+            self._publish_health(reason="final")
         for process in self._processes:
             process.join(timeout=2.0)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=2.0)
         self._destroy_channels()
+        self._close_health_log()
+
+    def _close_health_log(self) -> None:
+        if self._health_log is not None:
+            self._health_log.close()
+            self._health_log = None
 
     def _destroy_channels(self) -> None:
         """Unlink every shm segment (idempotent; workers are gone)."""
@@ -445,6 +534,114 @@ class ClusterExecutor:
             self._m_bytes.labels(path=path).inc(nbytes)
             self._m_frames.inc(frames)
 
+    # -- live telemetry ----------------------------------------------------
+
+    def _absorb_telemetry(self, worker_id: int, payload: dict) -> None:
+        """Fold one worker flush into the coordinator's registry/monitor.
+
+        Flushes are pid-tagged: one from a *previous* incarnation (queued
+        before a crash the coordinator has since sealed) must not stack
+        its cumulative metrics on top of the sealed base, but its spans
+        are real pre-crash history and are kept — that is precisely the
+        span-loss fix.
+        """
+        if self._absorber is None:
+            return
+        process = (
+            self._processes[worker_id]
+            if worker_id < len(self._processes)
+            else None
+        )
+        current_pid = process.pid if process is not None else None
+        if payload.get("pid") != current_pid:
+            self._absorber.absorb_spans_only(payload["spans"])
+            return
+        self._absorber.absorb(worker_id, payload["metrics"], payload["spans"])
+        if self._health is not None:
+            self._health.record_flush(
+                worker_id,
+                seq=payload["seq"],
+                frontier=payload["frontier"],
+                event_frontier=payload["event_frontier"],
+                processed_total=payload["processed_total"],
+            )
+        self._maybe_publish_health()
+
+    def _component_counts(self) -> dict[str, tuple[int, int]]:
+        counts: dict[str, tuple[int, int]] = {}
+        for comp in self.topology.components.values():
+            entry = self.metrics.components[f"{comp.kind}:{comp.name}"]
+            counts[comp.name] = (entry.processed, entry.emitted)
+        return counts
+
+    def _publish_health(self, reason: str = "interval") -> HealthSnapshot | None:
+        """Build a health snapshot now: sample rings, snapshot, record."""
+        if self._health is None:
+            return None
+        for worker_id in range(self.n_workers):
+            alive = bool(
+                self._started
+                and worker_id < len(self._processes)
+                and self._processes[worker_id].is_alive()
+            )
+            in_used = out_used = 0
+            if self._channels:
+                in_used = self._channels[worker_id].inbox.used_bytes()
+                out_used = self._channels[worker_id].outbox.used_bytes()
+                if self._m_ring_used is not None:
+                    self._m_ring_used.labels(
+                        worker=str(worker_id), direction="in"
+                    ).set(in_used)
+                    self._m_ring_used.labels(
+                        worker=str(worker_id), direction="out"
+                    ).set(out_used)
+            self._health.set_worker_io(worker_id, alive, in_used, out_used)
+        self.metrics.backpressure_waits = self.transport_stats[
+            "backpressure_waits"
+        ]
+        snapshot = self._health.snapshot(
+            reason=reason,
+            counts=self._component_counts(),
+            backpressure_waits=self.transport_stats["backpressure_waits"],
+            latency_p50_s=self.metrics.latency_quantile(0.5),
+            latency_p99_s=self.metrics.latency_quantile(0.99),
+        )
+        self.metrics.ring_occupancy = snapshot.max_ring_occupancy()
+        if self.flight is not None:
+            self.flight.record_snapshot(snapshot)
+        if self._health_log_path is not None:
+            if self._health_log is None:
+                self._health_log = self._health_log_path.open(
+                    "a", encoding="utf-8"
+                )
+            self._health_log.write(json.dumps(snapshot.to_dict()) + "\n")
+            self._health_log.flush()
+        return snapshot
+
+    def _maybe_publish_health(self) -> None:
+        """Interval-gated :meth:`_publish_health` (the steady-state tick)."""
+        if self._health is None or not self.telemetry_interval:
+            return
+        now = time.monotonic()
+        if now - self._last_health_publish < self.telemetry_interval:
+            return
+        self._last_health_publish = now
+        self._publish_health(reason="interval")
+
+    def health(self) -> HealthSnapshot | None:
+        """A fresh typed health snapshot (None when the run is unobserved).
+
+        This is the feed ROADMAP item 3's autoscaler consumes: per-operator
+        watermarks and lag, per-worker ring occupancy and telemetry ages,
+        ``backpressure_waits`` and end-to-end latency quantiles.
+        """
+        return self._publish_health(reason="query")
+
+    @property
+    def last_health(self) -> HealthSnapshot | None:
+        """The most recently published snapshot (survives :meth:`close`)."""
+        return self._health.last_snapshot if self._health is not None else None
+
     # -- spout side --------------------------------------------------------
 
     def _pull_spouts(self) -> bool:
@@ -469,6 +666,15 @@ class ClusterExecutor:
                         self._root_sources[root] = (name, part_idx, local_msg)
                         self._acker.register(root, 0)
                         self._start_times.setdefault(root, time.perf_counter())
+                        if self._health is not None:
+                            # The newest issued position is the source
+                            # frontier the watermarks chase.
+                            if self._event_time_fn is not None:
+                                event_time = self._event_time_fn(name, payload)
+                                if event_time is not None:
+                                    self._health.set_source_frontier(event_time)
+                            else:
+                                self._health.set_source_frontier(root)
                         payloads.append(payload)
                         roots.append(root)
                         traces.append(self._trace_root(name, root))
@@ -477,6 +683,11 @@ class ClusterExecutor:
                     payloads = spout.next_batch(self.batch_size)
                     roots = [None] * len(payloads)
                     traces = [None] * len(payloads)
+                    if self._health is not None and self._event_time_fn is not None:
+                        for payload in payloads:
+                            event_time = self._event_time_fn(name, payload)
+                            if event_time is not None:
+                                self._health.set_source_frontier(event_time)
                 if not payloads:
                     continue
                 pulled = True
@@ -557,19 +768,85 @@ class ClusterExecutor:
             self._inboxes[dest].put(("frames", self.epoch))
         return drained
 
+    def _results_get(self, timeout: float) -> tuple:
+        """One reply from any worker's results queue (fan-in, rotating).
+
+        Waits up to *timeout* for any queue's pipe to become readable,
+        then pops from the first ready queue at or after the rotation
+        cursor (so a chatty worker cannot starve the others). Queues of
+        *crashed* workers (dead with a nonzero exit code) are skipped:
+        their tail may be a torn frame that would block ``recv`` forever,
+        and the crash path salvages + replaces them. Cleanly-stopped
+        workers flushed their feeder on exit, so their remaining messages
+        (the final forced telemetry flush, ``stopped``) stay readable.
+
+        Raises :class:`queue.Empty` when nothing is readable in time.
+        """
+        readers = [q._reader for q in self._results]
+        ready = {id(c) for c in mp_connection.wait(readers, timeout=timeout)}
+        n = len(readers)
+        for off in range(n):
+            wid = (self._results_rr + off) % n
+            if id(readers[wid]) not in ready:
+                continue
+            process = self._processes[wid]
+            if not process.is_alive() and process.exitcode != 0:
+                continue
+            self._results_rr = (wid + 1) % n
+            try:
+                return self._results[wid].get_nowait()
+            except queue_mod.Empty:  # pragma: no cover - sole-reader guard
+                continue
+        raise queue_mod.Empty
+
+    def _salvage_dead_results(self, worker_id: int) -> None:
+        """Absorb what a crashed worker's results queue still holds.
+
+        Telemetry flushes in flight at the crash are real data — dropping
+        them would cost the flight recorder its freshest pre-crash
+        snapshot — but the queue may end in a frame the dying feeder
+        half-wrote, and ``recv`` on a torn frame blocks forever. A
+        sacrificial daemon thread pulls until the queue is dry or it
+        wedges on the torn tail; the queue is replaced at respawn either
+        way, so an abandoned thread holds nothing anyone will miss.
+        """
+        dead_queue = self._results[worker_id]
+        salvaged: list = []
+
+        def pull() -> None:
+            try:
+                while True:
+                    salvaged.append(dead_queue.get_nowait())
+            except (queue_mod.Empty, OSError, EOFError):
+                pass
+
+        thread = threading.Thread(target=pull, daemon=True)
+        thread.start()
+        thread.join(timeout=1.0)
+        for message in list(salvaged):
+            kind, wid, __, payload = message
+            if kind == "telemetry":
+                self._absorb_telemetry(wid, payload)
+            # "done"/"flush_ok" remnants belong to the dead epoch: the
+            # recovery rolls the cluster back past them, exactly as the
+            # epoch guard would have discarded them in-line.
+
     def _drain_replies(self, block: bool) -> bool:
         """Apply at most one worker reply; True when one was applied."""
         self._drain_outbox_rings()
         timeout = 0.05 if block else 0.0
         try:
-            message = self._results.get(timeout=timeout) if timeout else (
-                self._results.get_nowait()
-            )
+            message = self._results_get(timeout)
         except queue_mod.Empty:
             if self._outstanding > 0:
                 self._check_liveness()
             return False
         kind, worker_id, epoch, payload = message
+        if kind == "telemetry":
+            # Telemetry is epoch-agnostic (cumulative state, pid-guarded
+            # against dead incarnations) — absorb it whenever it arrives.
+            self._absorb_telemetry(worker_id, payload)
+            return True
         if epoch != self.epoch:
             return True  # stale incarnation: discard, but we made progress
         if kind == "done":
@@ -709,6 +986,17 @@ class ClusterExecutor:
         the dead and recover per the delivery semantics."""
         if dead:
             self._event("crash")
+            # Seal *before* respawn: the dead incarnation's cumulative
+            # telemetry stream has ended, so its last absorbed values
+            # become the base under the new incarnation's fresh counters.
+            # Salvage first — flushes still sitting in the dead channel
+            # belong to the dying incarnation and must land pre-seal.
+            for worker_id in dead:
+                self._salvage_dead_results(worker_id)
+                if self._absorber is not None:
+                    self._absorber.seal_worker(worker_id)
+                if self._health is not None:
+                    self._health.note_respawn(worker_id)
         self.metrics.recoveries += 1
         self.epoch += 1
         self._outstanding = 0
@@ -734,6 +1022,17 @@ class ClusterExecutor:
                 self._root_sources.clear()
                 self._start_times.clear()
         self._recover_requested = False
+        if dead and self._health is not None:
+            # Post-mortem: a crash-reason snapshot (built from state that
+            # is at most one flush interval stale) goes into the flight
+            # recorder, and the whole black box hits disk if a dump path
+            # was configured.
+            self._publish_health(reason="crash")
+            self.flight.record_event(
+                "crash", {"workers": dead, "epoch": self.epoch}
+            )
+            if self.flight_path is not None:
+                self.flight.dump(self.flight_path, reason="crash")
 
     def _rollback(self) -> None:
         """Restore every worker from the last checkpoint, rewind sources."""
@@ -762,7 +1061,7 @@ class ClusterExecutor:
             if time.perf_counter() > deadline:
                 raise ExecutionError(f"timed out awaiting {expected_kind} replies")
             try:
-                kind, worker_id, epoch, payload = self._results.get(timeout=0.1)
+                kind, worker_id, epoch, payload = self._results_get(0.1)
             except queue_mod.Empty:
                 self._drain_outbox_rings()
                 dead = [
@@ -774,6 +1073,9 @@ class ClusterExecutor:
                     raise ExecutionError(
                         f"worker(s) {dead} died while awaiting {expected_kind}"
                     )
+                continue
+            if kind == "telemetry":
+                self._absorb_telemetry(worker_id, payload)
                 continue
             if epoch != self.epoch:
                 continue
@@ -865,6 +1167,13 @@ class ClusterExecutor:
                 continue
             break
         self.metrics.wall_seconds = time.perf_counter() - started
+        # Pressure signals land in the façade summary() for both
+        # transports (queue runs just report 0 ring occupancy).
+        self.metrics.backpressure_waits = self.transport_stats[
+            "backpressure_waits"
+        ]
+        if self._health is not None:
+            self._publish_health(reason="final")
         return self.metrics
 
     def _pump(self) -> None:
@@ -872,6 +1181,7 @@ class ClusterExecutor:
         while True:
             if self._recover_requested:
                 self._handle_crash([])  # loss-triggered rollback, no death
+            self._maybe_publish_health()
             progressed = self._pull_spouts()
             # Absorb every reply already waiting before shipping: remote
             # re-routes from several replies coalesce into fewer, larger
@@ -920,7 +1230,7 @@ class ClusterExecutor:
                 if time.perf_counter() > deadline:
                     raise ExecutionError(f"timed out flushing bolt {name!r}")
                 try:
-                    kind, worker_id, epoch, payload = self._results.get(timeout=0.1)
+                    kind, worker_id, epoch, payload = self._results_get(0.1)
                 except queue_mod.Empty:
                     self._drain_outbox_rings()
                     dead = [
@@ -931,6 +1241,9 @@ class ClusterExecutor:
                     if dead:
                         self._handle_crash(dead)
                         raise _FlushInterrupted(name)
+                    continue
+                if kind == "telemetry":
+                    self._absorb_telemetry(worker_id, payload)
                     continue
                 if epoch != self.epoch:
                     continue

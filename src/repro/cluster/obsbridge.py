@@ -12,9 +12,14 @@ cluster-wide view with per-worker breakdown, the same shape Storm's UI and
 Heron's metrics manager present.
 
 Spans travel as :class:`~repro.obs.tracing.Span` dataclasses (picklable)
-and are re-recorded into the parent collector; a worker that crashes loses
-its unshipped spans, which is faithful to how tracing behaves in the real
-systems (the crash marker survives at the coordinator).
+and are re-recorded into the parent collector.
+
+This module is the one-shot, accumulate-semantics protocol (kept as the
+compatibility baseline and for in-process test drivers). Running clusters
+use the streaming sibling — :mod:`repro.obs.live` — whose periodic delta
+flushes are what bound crash-time span loss to a single flush interval
+(here, a worker that crashes before export loses *all* its spans) and
+replace — rather than accumulate — per-worker metric state.
 """
 
 from __future__ import annotations

@@ -53,6 +53,7 @@ from typing import Any
 from repro.common.exceptions import ExecutionError
 from repro.common.rng import derive_seed
 from repro.core import stateship
+from repro.obs.live import DeltaExporter
 from repro.obs.metrics import MetricRegistry
 from repro.obs.tracing import Span, next_span_id
 from repro.platform.faults import NO_FAULTS, FaultInjector
@@ -82,11 +83,14 @@ class ClusterWorker:
         plan: ShardPlan,
         faults: FaultInjector | None = None,
         observe: bool = False,
+        telemetry_interval: float | None = None,
+        event_time_fn=None,
     ):
         self.worker_id = worker_id
         self.topology = topology
         self.plan = plan
         self.faults = faults or NO_FAULTS
+        self.telemetry_interval = telemetry_interval
         self.epoch = 0
         self._next_tuple_id = _tuple_id_factory(worker_id)
         self._shards = plan.tasks_of(worker_id)
@@ -103,6 +107,22 @@ class ClusterWorker:
         # Observability (private plane, exported through the bridge).
         self.registry = MetricRegistry() if observe else None
         self.spans: list[Span] = []
+        # Live telemetry: change-only flushes plus per-component frontiers
+        # (highest root id fully processed → offset-unit watermarks; an
+        # event_time_fn lifts them into event-time units). All of it is
+        # gated on the registry so unobserved runs pay nothing.
+        self._exporter = DeltaExporter(self.registry) if observe else None
+        self._event_time_fn = event_time_fn
+        self._frontier: dict[str, float] = {}
+        self._event_frontier: dict[str, float] = {}
+        self._processed_total = 0
+        self._telemetry_seq = 0
+        self._last_telemetry = time.monotonic()
+        #: Optional payload shipper (set by ``worker_main``). With it in
+        #: place the drain loop ticks the flush gate every few entries, so
+        #: the span-loss bound holds even when one envelope carries a whole
+        #: checkpoint round's tuples.
+        self.telemetry_sink: Any | None = None
         if self.registry is not None:
             self._m_processed = self.registry.counter(
                 "repro_cluster_worker_tuples_processed_total",
@@ -191,6 +211,19 @@ class ClusterWorker:
         self._processed_by_component[component] = (
             self._processed_by_component.get(component, 0) + 1
         )
+        if self.registry is not None:
+            self._processed_total += 1
+            # Frontier tracking for event-time watermarks: root ids are
+            # coordinator-issued and monotone, so "highest root fully
+            # processed" is this shard's offset-unit frontier.
+            if root is not None and root > self._frontier.get(component, 0):
+                self._frontier[component] = root
+            if self._event_time_fn is not None:
+                event_time = self._event_time_fn(component, values)
+                if event_time is not None and event_time > self._event_frontier.get(
+                    component, float("-inf")
+                ):
+                    self._event_frontier[component] = event_time
         fan_out = 0
         for values_out in emitted:
             self._emitted_by_component[component] = (
@@ -210,7 +243,21 @@ class ClusterWorker:
         while self._local:
             self._process_entry(self._local.popleft())
             n += 1
+            # A single frame can hold thousands of small tuples: without
+            # this mid-drain tick a worker could process (and crash
+            # through) a whole flush interval's worth of work between
+            # envelope boundaries. Every-128 keeps the per-tuple cost to
+            # one modulo; the time check lives behind the gate.
+            if n % 128 == 0 and self.telemetry_sink is not None:
+                self.maybe_ship_telemetry()
         return n
+
+    def maybe_ship_telemetry(self) -> None:
+        """Gated flush straight to :attr:`telemetry_sink` (no-op without one)."""
+        if self.telemetry_sink is not None:
+            payload = self.maybe_flush_telemetry()
+            if payload is not None:
+                self.telemetry_sink(payload)
 
     def _reply_payload(self, n_delivered: int) -> dict[str, Any]:
         reply = {
@@ -300,6 +347,44 @@ class ClusterWorker:
         spans, self.spans = self.spans, []
         return metrics, spans
 
+    def maybe_flush_telemetry(self, force: bool = False) -> dict[str, Any] | None:
+        """Interval-gated delta telemetry flush; None when it is not time.
+
+        This is the *only* sanctioned export path inside the worker loop
+        (streamlint SL014 enforces it): the gate makes telemetry cost
+        O(changed children / interval) instead of O(messages). Returns the
+        flush payload — change-only metric records, drained spans, the
+        per-component frontiers — or None when the interval has not
+        elapsed, telemetry is disabled, or nothing changed. Flushes ship
+        *cumulative* state, so a skipped or lost flush only delays
+        freshness. ``force`` bypasses the gate (shutdown path).
+        """
+        if self._exporter is None:
+            return None
+        if not force and self.telemetry_interval is None:
+            return None
+        now = time.monotonic()
+        if (
+            not force
+            and now - self._last_telemetry < (self.telemetry_interval or 0.0)
+        ):
+            return None
+        self._last_telemetry = now
+        records = self._exporter.collect()
+        spans, self.spans = self.spans, []
+        if not records and not spans and not force:
+            return None  # idle worker: don't spam the results queue
+        self._telemetry_seq += 1
+        return {
+            "seq": self._telemetry_seq,
+            "pid": os.getpid(),
+            "metrics": records,
+            "spans": spans,
+            "frontier": dict(self._frontier),
+            "event_frontier": dict(self._event_frontier),
+            "processed_total": self._processed_total,
+        }
+
 
 def _push_outbox(ring, frame: bytes, deadline: float = 30.0) -> None:
     """Push one frame to the outbox ring, waiting out backpressure.
@@ -331,6 +416,8 @@ def worker_main(
     observe: bool = False,
     channel=None,
     max_frame: int = 1 << 18,
+    telemetry_interval: float | None = None,
+    event_time_fn=None,
 ) -> None:
     """Child-process entry point: loop over *inbox* until ``stop``.
 
@@ -340,9 +427,36 @@ def worker_main(
     inherited through fork), tuple batches arrive as columnar frames on
     the inbox ring — the queue message is just a doorbell — and remote
     re-route entries leave on the outbox ring instead of riding the reply.
+
+    With *telemetry_interval* set (and observation on), the loop also
+    streams interval-gated delta telemetry — changed metrics, buffered
+    spans, watermark frontiers — as ``("telemetry", …)`` messages, so the
+    coordinator's view is live instead of shutdown-only and a crash loses
+    at most one interval of spans.
     """
-    worker = ClusterWorker(worker_id, topology, plan, faults=faults, observe=observe)
+    worker = ClusterWorker(
+        worker_id,
+        topology,
+        plan,
+        faults=faults,
+        observe=observe,
+        telemetry_interval=telemetry_interval,
+        event_time_fn=event_time_fn,
+    )
     comp_ids, comp_names = columnar.component_table(plan.components)
+
+    def maybe_ship_telemetry(force: bool = False) -> None:
+        # The interval gate lives in maybe_flush_telemetry (SL014's
+        # sanctioned path); calling this every loop turn is free.
+        payload = worker.maybe_flush_telemetry(force=force)
+        if payload is not None:
+            results.put(("telemetry", worker_id, worker.epoch, payload))
+
+    # Mid-drain flushes ship through the same queue, so the loss bound is
+    # interval + a few tuples, not interval + a whole envelope.
+    worker.telemetry_sink = lambda payload: results.put(
+        ("telemetry", worker_id, worker.epoch, payload)
+    )
 
     def ship_remote(reply: dict, epoch: int) -> None:
         """Move the reply's remote entries onto the data plane, with byte
@@ -387,6 +501,7 @@ def worker_main(
         except queue.Empty:
             if os.getppid() == 1:  # coordinator gone; we were re-parented
                 return
+            maybe_ship_telemetry()  # idle tick: keep the health feed fresh
             continue
         kind, epoch = message[0], message[1]
         worker.epoch = max(worker.epoch, epoch)
@@ -397,6 +512,7 @@ def worker_main(
             reply = worker.handle_tuples(entries)
             ship_remote(reply, epoch)
             results.put(("done", worker_id, epoch, reply))
+            maybe_ship_telemetry()
         elif kind == "frames":
             # Drain *everything* waiting, not just one frame: doorbell and
             # frame counts may skew around crash recovery (a reset ring
@@ -413,10 +529,17 @@ def worker_main(
                 reply = worker.handle_tuples(entries)
                 ship_remote(reply, frame_epoch)
                 results.put(("done", worker_id, frame_epoch, reply))
+                # Tick the gate per frame, not per drain: a saturated ring
+                # keeps this loop busy for whole checkpoint rounds, and
+                # the span-loss bound (≤ one interval) holds only if the
+                # flush clock keeps running *inside* the drain.
+                maybe_ship_telemetry()
+            maybe_ship_telemetry()
         elif kind == "flush":
             reply = worker.handle_flush(message[2])
             ship_remote(reply, epoch)
             results.put(("flush_ok", worker_id, epoch, reply))
+            maybe_ship_telemetry()
         elif kind == "snapshot":
             results.put(("snapshot_ok", worker_id, epoch, worker.handle_snapshot()))
         elif kind == "restore":
@@ -425,8 +548,11 @@ def worker_main(
         elif kind == "query":
             results.put(("query_ok", worker_id, epoch, worker.handle_query(message[2])))
         elif kind == "stop":
-            metrics, spans = worker.export_obs()
-            results.put(("stopped", worker_id, epoch, (metrics, spans)))
+            # The final export rides the same gated telemetry path (the
+            # delta exporter ships whatever changed since the last flush,
+            # which with no prior flushes is everything).
+            maybe_ship_telemetry(force=True)
+            results.put(("stopped", worker_id, epoch, None))
             return
         else:  # pragma: no cover - defensive
             results.put(("error", worker_id, epoch, f"unknown message {kind!r}"))

@@ -9,6 +9,15 @@ it all up; by default everything is off and costs (almost) nothing.
 """
 
 from repro.obs.context import DEFAULT_SAMPLE_RATE, Observability
+from repro.obs.flight import FlightRecorder, read_flight
+from repro.obs.health import (
+    HEALTH_SCHEMA,
+    HealthMonitor,
+    HealthSnapshot,
+    OperatorHealth,
+    WorkerHealth,
+)
+from repro.obs.live import DEFAULT_FLUSH_INTERVAL, DeltaExporter, TelemetryAbsorber
 from repro.obs.exporters import (
     metric_records,
     parse_prometheus,
@@ -40,17 +49,26 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "DEFAULT_FLUSH_INTERVAL",
     "DEFAULT_SAMPLE_RATE",
+    "HEALTH_SCHEMA",
     "NULL_REGISTRY",
     "Counter",
+    "DeltaExporter",
+    "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
+    "HealthSnapshot",
     "Histogram",
     "InstrumentedSynopsis",
     "MetricRegistry",
     "NullRegistry",
     "Observability",
+    "OperatorHealth",
     "Sample",
     "Span",
+    "TelemetryAbsorber",
+    "WorkerHealth",
     "SpanCollector",
     "SpanNode",
     "TraceSampler",
@@ -59,6 +77,7 @@ __all__ = [
     "metric_records",
     "next_span_id",
     "parse_prometheus",
+    "read_flight",
     "read_jsonl",
     "set_default_registry",
     "span_stats",

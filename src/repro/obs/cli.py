@@ -5,16 +5,170 @@ Runs the demo topology with tracing on, prints the console report
 the run as JSON lines and/or Prometheus text — the end-to-end proof that
 every layer of the obs plane works together. CI's ``obs-smoke`` job runs
 exactly this with an injected crash and uploads the JSON-lines export.
+
+``repro-obs top`` is the live dashboard: it tails the health-log
+JSON-lines stream a running :class:`~repro.cluster.coordinator.
+ClusterExecutor` writes (``health_log=...``) and repaints a per-worker /
+per-operator table in place every interval — Storm UI in a terminal.
+``--demo`` spins up the demo cluster in the background to watch;
+``--once`` renders the latest snapshot and exits (the CI artifact mode).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
+import time
 from pathlib import Path
 
 from repro.obs.demo import run_demo
 from repro.obs.exporters import to_prometheus, write_jsonl
-from repro.obs.report import render_report
+from repro.obs.health import HealthSnapshot
+from repro.obs.report import render_report, render_top
+
+#: ANSI "clear screen, home cursor" — the repaint-in-place escape.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def latest_snapshot(path: str | Path) -> HealthSnapshot | None:
+    """The newest snapshot in a health-log JSON-lines file (None if none)."""
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return None
+    for line in reversed(lines):
+        if line.strip():
+            return HealthSnapshot.from_dict(json.loads(line))
+    return None
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    """The ``repro-obs top`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs top",
+        description="Live per-worker/per-operator cluster health dashboard.",
+    )
+    parser.add_argument(
+        "--snapshots",
+        metavar="PATH",
+        default=None,
+        help="health-log JSON-lines file a ClusterExecutor is writing "
+        "(health_log=PATH)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the demo cluster in the background and watch it live",
+    )
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=20_000,
+        help="demo source sentences (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="demo workers (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.25,
+        help="refresh/telemetry interval seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop following after N seconds (default: until the source ends)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render the latest snapshot once and exit (CI artifact mode)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="demo seed (default: %(default)s)"
+    )
+    return parser
+
+
+def _follow(path: Path, interval: float, duration: float | None, done) -> int:
+    """Repaint the newest snapshot until *done* (or the deadline)."""
+    deadline = time.monotonic() + duration if duration is not None else None
+    rendered_seq = -1
+    while True:
+        snapshot = latest_snapshot(path)
+        if snapshot is not None and snapshot.seq != rendered_seq:
+            rendered_seq = snapshot.seq
+            sys.stdout.write(_CLEAR + render_top(snapshot))
+            sys.stdout.flush()
+        if done() or (deadline is not None and time.monotonic() > deadline):
+            return 0
+        time.sleep(interval)
+
+
+def top_main(argv: list[str] | None = None) -> int:
+    """``repro-obs top``: follow a health log, or run-and-watch the demo."""
+    args = build_top_parser().parse_args(argv)
+    if args.demo:
+        import tempfile
+        import threading
+
+        from repro.cluster.coordinator import ClusterExecutor
+        from repro.obs.context import Observability
+        from repro.obs.demo import build_demo_topology, demo_records
+
+        log_path = Path(tempfile.mkstemp(suffix=".health.jsonl")[1])
+        records = demo_records(args.records, args.seed)
+        obs = Observability.create(sample_rate=0.05, seed=args.seed)
+        executor = ClusterExecutor(
+            build_demo_topology(records),
+            n_workers=args.workers,
+            semantics="at_least_once",
+            obs=obs,
+            telemetry_interval=args.interval,
+            health_log=log_path,
+        )
+
+        def _run() -> None:
+            with executor:
+                executor.run()
+
+        runner = threading.Thread(target=_run, daemon=True)
+        runner.start()
+        try:
+            if args.once:
+                while runner.is_alive() and latest_snapshot(log_path) is None:
+                    time.sleep(args.interval)
+                runner.join()
+                snapshot = latest_snapshot(log_path)
+                if snapshot is None:
+                    print("no health snapshots produced", file=sys.stderr)
+                    return 1
+                print(render_top(snapshot), end="")
+                return 0
+            return _follow(
+                log_path,
+                args.interval,
+                args.duration,
+                done=lambda: not runner.is_alive(),
+            )
+        finally:
+            runner.join(timeout=5.0)
+            log_path.unlink(missing_ok=True)
+    if args.snapshots is None:
+        print("top: need --snapshots PATH or --demo", file=sys.stderr)
+        return 2
+    path = Path(args.snapshots)
+    if args.once:
+        snapshot = latest_snapshot(path)
+        if snapshot is None:
+            print(f"no snapshots in {path}", file=sys.stderr)
+            return 1
+        print(render_top(snapshot), end="")
+        return 0
+    return _follow(path, args.interval, args.duration, done=lambda: False)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Run the demo under observation; render and export."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "top":
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
     executor, obs = run_demo(
         n_records=args.records,

@@ -1,0 +1,104 @@
+"""The flight recorder: a bounded post-mortem buffer for cluster runs.
+
+A crash in a multi-process topology used to leave nothing but an exit
+code. The flight recorder is the black box: a fixed-size ring of the most
+recent :class:`~repro.obs.health.HealthSnapshot`\\ s, recent spans and
+coordinator events, held in memory at O(capacity) cost and dumped to
+JSON-lines only when something goes wrong (a worker crash, a fingerprint
+mismatch) or on explicit request. Because workers stream telemetry every
+flush interval (:mod:`repro.obs.live`), the last buffered snapshot is at
+most one interval stale at the moment of the crash — the dump shows what
+the cluster looked like *just before* it died, which is exactly what a
+post-mortem needs.
+
+Dump format: one JSON object per line. The first line is a header
+(``{"type": "flight_header", ...}``); then every buffered health snapshot
+(``type: "health"``, oldest first), then events, then spans. Consumers
+can stream-filter on ``type`` without loading the whole file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.obs.health import HealthSnapshot
+from repro.obs.tracing import Span
+
+#: Dump-format version (bumped on breaking layout changes).
+FLIGHT_FORMAT = 1
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of health snapshots, spans and events."""
+
+    def __init__(self, capacity: int = 64, span_capacity: int = 256):
+        self.capacity = capacity
+        self.span_capacity = span_capacity
+        self.snapshots: deque[HealthSnapshot] = deque(maxlen=capacity)
+        self.spans: deque[Span] = deque(maxlen=span_capacity)
+        self.events: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def record_snapshot(self, snapshot: HealthSnapshot) -> None:
+        """Buffer one health snapshot (oldest falls off the ring)."""
+        self.snapshots.append(snapshot)
+
+    def record_span(self, span: Span) -> None:
+        """Buffer one span (oldest falls off the ring)."""
+        self.spans.append(span)
+
+    def record_event(
+        self, kind: str, detail: dict[str, Any] | None = None
+    ) -> None:
+        """Buffer one coordinator event (crash, mismatch, rollback, …)."""
+        self.events.append(
+            {"kind": kind, "clock": time.monotonic(), "detail": detail or {}}
+        )
+
+    @property
+    def last_snapshot(self) -> HealthSnapshot | None:
+        """The most recent buffered snapshot (None when empty)."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    def to_records(self, reason: str = "dump") -> list[dict[str, Any]]:
+        """The full buffer as JSON-ready records, header first."""
+        records: list[dict[str, Any]] = [
+            {
+                "type": "flight_header",
+                "format": FLIGHT_FORMAT,
+                "reason": reason,
+                "snapshots": len(self.snapshots),
+                "events": len(self.events),
+                "spans": len(self.spans),
+            }
+        ]
+        for snapshot in self.snapshots:
+            records.append({"type": "health", **snapshot.to_dict()})
+        for event in self.events:
+            records.append({"type": "event", **event})
+        for span in self.spans:
+            records.append({"type": "span", **asdict(span)})
+        return records
+
+    def dump(self, path: str | Path, reason: str = "dump") -> Path:
+        """Write the buffer as JSON-lines to *path*; returns the path."""
+        path = Path(path)
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for record in self.to_records(reason)
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+
+def read_flight(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a flight dump back into records (tests, tooling)."""
+    out = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out

@@ -14,6 +14,7 @@ so a single sampled tuple's life is readable end-to-end:
 
 from __future__ import annotations
 
+from repro.obs.health import HealthSnapshot
 from repro.obs.tracing import SpanCollector, SpanNode, span_stats
 from repro.platform.metrics import ExecutionMetrics
 
@@ -128,3 +129,47 @@ def render_report(
                 + (" ..." if len(events) > 20 else ""),
             ]
     return "\n".join(sections).rstrip() + "\n"
+
+
+def render_top(snapshot: HealthSnapshot) -> str:
+    """One :class:`~repro.obs.health.HealthSnapshot` as a ``top``-style
+    frame: headline line, per-worker table, per-operator table. The
+    ``repro-obs top`` dashboard repaints this in place every interval."""
+    head = (
+        f"== cluster health  seq {snapshot.seq}  reason={snapshot.reason}  "
+        f"unit={snapshot.watermark_unit} =="
+    )
+    lines = [
+        head,
+        f"source frontier {snapshot.source_frontier:,.0f}   "
+        f"latency p50 {_ms(snapshot.latency_p50_s)} / "
+        f"p99 {_ms(snapshot.latency_p99_s)}   "
+        f"backpressure {snapshot.backpressure_waits}",
+        "",
+    ]
+    worker_head = (
+        f"{'worker':<7} {'alive':>5} {'inc':>4} {'seq':>6} {'age_s':>7} "
+        f"{'flushes':>8} {'in_ring%':>9} {'out_ring%':>10} {'processed':>10}"
+    )
+    lines += [worker_head, "-" * len(worker_head)]
+    for worker in snapshot.workers:
+        age = "-" if worker.telemetry_age_s < 0 else f"{worker.telemetry_age_s:.2f}"
+        lines.append(
+            f"{worker.worker:<7} {('yes' if worker.alive else 'NO'):>5} "
+            f"{worker.incarnation:>4} {worker.telemetry_seq:>6} {age:>7} "
+            f"{worker.flushes:>8} {worker.ring_in_occupancy * 100:>8.1f}% "
+            f"{worker.ring_out_occupancy * 100:>9.1f}% "
+            f"{worker.processed_total:>10,}"
+        )
+    op_head = (
+        f"{'operator':<18} {'kind':>6} {'watermark':>11} {'lag':>9} "
+        f"{'processed':>10} {'emitted':>10} {'rate/s':>10}"
+    )
+    lines += ["", op_head, "-" * len(op_head)]
+    for op in snapshot.operators:
+        lines.append(
+            f"{op.name:<18} {op.kind:>6} {op.watermark:>11,.0f} "
+            f"{op.lag:>9,.0f} {op.processed:>10,} {op.emitted:>10,} "
+            f"{op.processed_rate:>10,.1f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -140,6 +140,16 @@ class ExecutionMetrics:
         self._wall = self.registry.gauge(
             "repro_wall_seconds", "Wall-clock duration of the run (seconds)."
         )
+        # Transport pressure (cluster runs; stays 0 under LocalExecutor):
+        # comparable next to the per-component queue_high_water marks.
+        self._backpressure = self.registry.counter(
+            "repro_transport_backpressure_waits_total",
+            "Times a full transport buffer made the sender wait.",
+        )
+        self._ring_occupancy = self.registry.gauge(
+            "repro_transport_ring_occupancy",
+            "Fullest shm ring fraction observed at last sample (0..1).",
+        )
 
     # -- reliability counters (attribute API preserved) --------------------
 
@@ -175,6 +185,22 @@ class ExecutionMetrics:
     def wall_seconds(self, value: float) -> None:
         self._wall.set(value)
 
+    @property
+    def backpressure_waits(self) -> int:
+        return int(self._backpressure.value)
+
+    @backpressure_waits.setter
+    def backpressure_waits(self, value: int) -> None:
+        self._backpressure._set(value)
+
+    @property
+    def ring_occupancy(self) -> float:
+        return self._ring_occupancy.value
+
+    @ring_occupancy.setter
+    def ring_occupancy(self, value: float) -> None:
+        self._ring_occupancy.set(value)
+
     # -- latency -----------------------------------------------------------
 
     def record_latency(self, seconds: float) -> None:
@@ -208,6 +234,8 @@ class ExecutionMetrics:
             "replays": self.replays,
             "checkpoints": self.checkpoints,
             "recoveries": self.recoveries,
+            "backpressure_waits": self.backpressure_waits,
+            "ring_occupancy": round(self.ring_occupancy, 4),
             "components": {
                 name: entry.as_dict() for name, entry in self._component_items()
             },

@@ -1,0 +1,24 @@
+"""SL014 negatives that still live in the cluster package."""
+
+
+def run_worker(worker, results, worker_id):
+    def maybe_ship_telemetry(force=False):
+        payload = worker.export_obs() if force else worker.maybe_flush_telemetry()
+        if payload is not None:
+            results.put(("telemetry", worker_id, payload))
+
+    while worker.alive:
+        worker.step()
+        maybe_ship_telemetry()
+
+
+def final_report(worker, results, worker_id):
+    # Export outside any loop: a one-shot shutdown report is fine.
+    results.put(("stopped", worker_id, worker.export_obs()))
+
+
+def maybe_flush_telemetry(worker, results, pending):
+    # The interval gate itself may export from its drain loop.
+    while pending:
+        results.put(worker.export_metrics())
+        pending -= 1

@@ -1,0 +1,6 @@
+"""SL014 negative: the rule is scoped to the cluster package."""
+
+
+def poll_forever(worker, sink):
+    while True:
+        sink.append(worker.export_obs())

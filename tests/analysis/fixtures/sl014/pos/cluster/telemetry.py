@@ -1,0 +1,20 @@
+"""SL014 positives: full telemetry exports inside cluster loops."""
+
+
+def run_worker(worker, results, worker_id, epoch):
+    while True:
+        metrics = worker.export_obs()
+        results.put(("telemetry", worker_id, epoch, metrics))
+
+
+def pump(worker, queue, batches):
+    for batch in batches:
+        worker.process(batch)
+        queue.put(export_metrics(worker.registry))
+
+
+def drain_spans(worker, sink, frames):
+    for frame in frames:
+        worker.absorb(frame)
+        spans = worker.export_spans()
+        sink.extend(spans)

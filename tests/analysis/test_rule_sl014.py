@@ -1,0 +1,94 @@
+"""SL014: unthrottled telemetry exports in cluster loops."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl014"
+SELECT = ["SL014"]
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert {f.rule_id for f in findings} == {"SL014"}
+        messages = [f.message for f in findings]
+        assert len(messages) == 3
+        assert sum("export_obs()" in m for m in messages) == 1
+        assert sum("export_metrics()" in m for m in messages) == 1
+        assert sum("export_spans()" in m for m in messages) == 1
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_export_in_while_loop_flagged(self, lint):
+        src = (
+            "def f(worker, results):\n"
+            "    while True:\n"
+            "        results.put(worker.export_obs())\n"
+        )
+        findings = lint({"cluster/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL014"]
+        assert "maybe_flush_telemetry" in findings[0].message
+
+    def test_bare_call_in_for_loop_flagged(self, lint):
+        src = (
+            "def f(registry, sink, frames):\n"
+            "    for frame in frames:\n"
+            "        sink.append(export_metrics(registry))\n"
+        )
+        assert [f.rule_id for f in lint({"cluster/x.py": src}, select=SELECT)] == [
+            "SL014"
+        ]
+
+    def test_gated_function_exempt(self, rule_ids):
+        src = (
+            "def maybe_ship_telemetry(worker, results, pending):\n"
+            "    while pending:\n"
+            "        results.put(worker.export_obs())\n"
+            "        pending -= 1\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_nested_gated_helper_exempt(self, rule_ids):
+        src = (
+            "def run(worker, results):\n"
+            "    while worker.alive:\n"
+            "        def maybe_flush():\n"
+            "            results.put(worker.export_obs())\n"
+            "        maybe_flush()\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_export_outside_loop_clean(self, rule_ids):
+        src = (
+            "def f(worker, results, worker_id):\n"
+            "    results.put(('stopped', worker_id, worker.export_obs()))\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_other_package_clean(self, rule_ids):
+        src = (
+            "def f(worker, sink):\n"
+            "    while True:\n"
+            "        sink.append(worker.export_obs())\n"
+        )
+        assert rule_ids({"obs/x.py": src}, select=SELECT) == []
+
+    def test_unrelated_calls_clean(self, rule_ids):
+        src = (
+            "def f(worker, results):\n"
+            "    while True:\n"
+            "        results.put(worker.maybe_flush_telemetry())\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []
+
+    def test_suppression_comment_honoured(self, rule_ids):
+        src = (
+            "def f(worker, results):\n"
+            "    while True:\n"
+            "        results.put(worker.export_obs())  # streamlint: disable=SL014 - probe\n"
+        )
+        assert rule_ids({"cluster/x.py": src}, select=SELECT) == []

@@ -28,7 +28,7 @@ def test_source_tree_is_streamlint_clean():
 
 def test_full_v2_rule_set_runs_over_src():
     # the gate must exercise every registered rule, not a legacy subset
-    assert set(all_rules()) >= {f"SL{i:03d}" for i in range(1, 13)}
+    assert set(all_rules()) >= {f"SL{i:03d}" for i in range(1, 15)}
     result = run_analysis([SRC], baseline=load_baseline(BASELINE))
     assert result.file_count > 100  # whole tree scanned, not a subdir
 

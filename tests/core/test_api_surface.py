@@ -25,6 +25,7 @@ class TestExecutionMetrics:
         assert set(summary) == {
             "throughput_tps", "latency_p50_ms", "latency_p99_ms",
             "replays", "checkpoints", "recoveries", "components",
+            "backpressure_waits", "ring_occupancy",
         }
         assert summary["components"]["spout:s"]["emitted"] == 100
         assert "queue_high_water" in summary["components"]["spout:s"]

@@ -1,0 +1,75 @@
+"""Flight recorder: bounded rings, dump layout, read-back round-trip."""
+
+from repro.obs.flight import FLIGHT_FORMAT, FlightRecorder, read_flight
+from repro.obs.health import HealthMonitor
+from repro.obs.tracing import Span
+
+
+def make_snapshot(seq_hint=0):
+    monitor = HealthMonitor(n_workers=1, operators={"split": ("bolt", (0,))})
+    monitor.set_source_frontier(seq_hint)
+    return monitor.snapshot()
+
+
+def make_span(span_id):
+    return Span(
+        trace_id=1, span_id=span_id, parent_id=None, component="split", kind="process"
+    )
+
+
+class TestBounds:
+    def test_snapshot_ring_is_bounded(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.record_snapshot(make_snapshot(i))
+        assert len(flight.snapshots) == 4
+        # Oldest fell off: the survivors are the four most recent.
+        assert flight.last_snapshot.source_frontier == 9.0
+        assert flight.snapshots[0].source_frontier == 6.0
+
+    def test_span_ring_is_bounded(self):
+        flight = FlightRecorder(capacity=4, span_capacity=8)
+        for i in range(20):
+            flight.record_span(make_span(i))
+        assert len(flight.spans) == 8
+        assert flight.spans[-1].span_id == 19
+
+    def test_empty_recorder(self):
+        flight = FlightRecorder()
+        assert flight.last_snapshot is None
+        assert flight.to_records()[0]["snapshots"] == 0
+
+
+class TestDump:
+    def test_dump_and_read_round_trip(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record_snapshot(make_snapshot(5))
+        flight.record_event("crash", {"workers": [1], "epoch": 2})
+        flight.record_span(make_span(7))
+        path = flight.dump(tmp_path / "flight.jsonl", reason="crash")
+        records = read_flight(path)
+        header, body = records[0], records[1:]
+        assert header["type"] == "flight_header"
+        assert header["format"] == FLIGHT_FORMAT
+        assert header["reason"] == "crash"
+        assert header["snapshots"] == 1
+        assert header["events"] == 1
+        assert header["spans"] == 1
+        assert [r["type"] for r in body] == ["health", "event", "span"]
+
+    def test_dump_is_stream_filterable(self, tmp_path):
+        flight = FlightRecorder()
+        for i in range(3):
+            flight.record_snapshot(make_snapshot(i))
+        flight.record_event("mismatch", {"bolt": "sketch"})
+        records = read_flight(flight.dump(tmp_path / "f.jsonl"))
+        health = [r for r in records if r["type"] == "health"]
+        assert [h["source_frontier"] for h in health] == [0.0, 1.0, 2.0]
+        (event,) = [r for r in records if r["type"] == "event"]
+        assert event["kind"] == "mismatch"
+        assert event["detail"] == {"bolt": "sketch"}
+
+    def test_event_clock_recorded(self):
+        flight = FlightRecorder()
+        flight.record_event("rollback")
+        assert flight.events[0]["clock"] > 0

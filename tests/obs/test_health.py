@@ -1,0 +1,178 @@
+"""HealthMonitor + HealthSnapshot: watermarks, lag, rates, round-trip,
+and the crash-staleness pin — all under a fake clock."""
+
+import pytest
+
+from repro.obs.health import HEALTH_SCHEMA, HealthMonitor, HealthSnapshot
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+OPERATORS = {
+    "words": ("spout", ()),
+    "split": ("bolt", (0, 1)),
+    "count": ("bolt", (0, 1)),
+}
+
+
+def make_monitor(clock=None, **kwargs):
+    return HealthMonitor(
+        n_workers=2,
+        operators=OPERATORS,
+        clock=clock or FakeClock(),
+        **kwargs,
+    )
+
+
+class TestWatermarks:
+    def test_bolt_watermark_is_min_across_owners(self):
+        monitor = make_monitor()
+        monitor.set_source_frontier(100)
+        monitor.record_flush(0, 1, {"split": 80.0, "count": 60.0})
+        monitor.record_flush(1, 1, {"split": 90.0, "count": 75.0})
+        snap = monitor.snapshot()
+        assert snap.operator("split").watermark == 80.0
+        assert snap.operator("count").watermark == 60.0
+        assert snap.operator("count").lag == 40.0
+
+    def test_spout_watermark_is_source_frontier(self):
+        monitor = make_monitor()
+        monitor.set_source_frontier(55)
+        snap = monitor.snapshot()
+        assert snap.operator("words").watermark == 55.0
+        assert snap.operator("words").lag == 0.0
+
+    def test_silent_owner_pins_watermark_to_zero(self):
+        monitor = make_monitor()
+        monitor.set_source_frontier(100)
+        monitor.record_flush(0, 1, {"split": 80.0})
+        snap = monitor.snapshot()  # worker 1 never flushed
+        assert snap.operator("split").watermark == 0.0
+        assert snap.operator("split").lag == 100.0
+        assert snap.max_lag() == 100.0
+
+    def test_source_frontier_is_monotone(self):
+        monitor = make_monitor()
+        monitor.set_source_frontier(100)
+        monitor.set_source_frontier(40)  # late/replayed root must not rewind
+        assert monitor.snapshot().source_frontier == 100.0
+
+    def test_event_time_unit_uses_event_frontiers(self):
+        monitor = make_monitor(watermark_unit="event_time")
+        monitor.set_source_frontier(1_000.5)
+        monitor.record_flush(
+            0, 1, {"split": 10.0}, event_frontier={"split": 990.25}
+        )
+        monitor.record_flush(
+            1, 1, {"split": 11.0}, event_frontier={"split": 995.75}
+        )
+        snap = monitor.snapshot()
+        assert snap.watermark_unit == "event_time"
+        assert snap.operator("split").watermark == 990.25
+        assert snap.operator("split").lag == pytest.approx(10.25)
+
+
+class TestRatesAndAges:
+    def test_processed_rate_from_consecutive_snapshots(self):
+        clock = FakeClock()
+        monitor = make_monitor(clock=clock)
+        monitor.snapshot(counts={"split": (100, 100)})
+        clock.advance(2.0)
+        snap = monitor.snapshot(counts={"split": (500, 500)})
+        assert snap.operator("split").processed_rate == 200.0
+
+    def test_telemetry_age_tracks_clock(self):
+        clock = FakeClock()
+        monitor = make_monitor(clock=clock)
+        monitor.record_flush(0, 3, {})
+        clock.advance(0.4)
+        snap = monitor.snapshot()
+        assert snap.worker(0).telemetry_age_s == pytest.approx(0.4)
+        assert snap.worker(0).telemetry_seq == 3
+        assert snap.worker(1).telemetry_age_s == -1.0  # never heard from
+
+    def test_ring_occupancy(self):
+        monitor = make_monitor(ring_capacity=1000)
+        monitor.set_worker_io(0, alive=True, ring_in_used=250, ring_out_used=900)
+        snap = monitor.snapshot()
+        assert snap.worker(0).ring_in_occupancy == 0.25
+        assert snap.worker(0).ring_out_occupancy == 0.9
+        assert snap.max_ring_occupancy() == 0.9
+
+
+class TestRespawn:
+    def test_respawn_bumps_incarnation_and_drops_frontier(self):
+        monitor = make_monitor()
+        monitor.set_source_frontier(100)
+        monitor.record_flush(0, 5, {"split": 80.0})
+        monitor.record_flush(1, 5, {"split": 90.0})
+        monitor.note_respawn(0)
+        snap = monitor.snapshot()
+        assert snap.worker(0).incarnation == 1
+        assert snap.worker(0).telemetry_seq == 0
+        # The watermark correctly regresses until replay catches up.
+        assert snap.operator("split").watermark == 0.0
+        monitor.record_flush(0, 1, {"split": 85.0})
+        assert monitor.snapshot().operator("split").watermark == 85.0
+
+    def test_flush_count_survives_respawn(self):
+        monitor = make_monitor()
+        monitor.record_flush(0, 1, {})
+        monitor.note_respawn(0)
+        monitor.record_flush(0, 1, {})
+        assert monitor.snapshot().worker(0).flushes == 2
+
+
+class TestCrashStalenessPin:
+    def test_final_snapshot_precedes_crash_by_at_most_one_interval(self):
+        # The flight-recorder guarantee, pinned deterministically: with
+        # workers flushing every `interval`, the snapshot buffered at
+        # crash time is at most `interval` old. Simulate flush ticks on a
+        # fake clock and check the age at an arbitrary crash instant.
+        interval = 0.25
+        clock = FakeClock()
+        monitor = make_monitor(clock=clock)
+        for tick in range(1, 9):
+            monitor.record_flush(0, tick, {"split": float(tick * 10)})
+            monitor.record_flush(1, tick, {"split": float(tick * 10)})
+            monitor.snapshot()
+            clock.advance(interval)
+        clock.advance(0.11)  # crash strikes mid-interval
+        crash_age = clock() - monitor.last_snapshot.clock
+        assert 0.0 <= crash_age <= interval + 0.11
+        crash_snap = monitor.snapshot(reason="crash")
+        # Every worker's last flush is within one interval of the crash.
+        for worker in crash_snap.workers:
+            assert worker.telemetry_age_s <= interval + 0.11
+
+
+class TestSnapshotSchema:
+    def test_round_trip(self):
+        monitor = make_monitor(ring_capacity=512)
+        monitor.set_source_frontier(42)
+        monitor.record_flush(0, 2, {"split": 30.0}, processed_total=123)
+        snap = monitor.snapshot(
+            reason="query",
+            counts={"split": (10, 20)},
+            backpressure_waits=3,
+            latency_p50_s=0.001,
+            latency_p99_s=0.05,
+        )
+        data = snap.to_dict()
+        assert data["schema"] == HEALTH_SCHEMA
+        rebuilt = HealthSnapshot.from_dict(data)
+        assert rebuilt == snap
+
+    def test_lookup_helpers(self):
+        snap = make_monitor().snapshot()
+        assert snap.worker(99) is None
+        assert snap.operator("nope") is None

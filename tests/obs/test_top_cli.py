@@ -1,0 +1,97 @@
+"""``repro-obs top``: health-log tailing, one-shot rendering, demo mode."""
+
+import json
+
+from repro.obs.cli import build_top_parser, latest_snapshot, main, top_main
+from repro.obs.health import HealthMonitor
+from repro.obs.report import render_top
+
+
+def write_log(path, n=3):
+    monitor = HealthMonitor(
+        n_workers=2,
+        operators={"words": ("spout", ()), "split": ("bolt", (0, 1))},
+    )
+    lines = []
+    for i in range(1, n + 1):
+        monitor.set_source_frontier(i * 100)
+        monitor.record_flush(0, i, {"split": i * 90.0})
+        monitor.record_flush(1, i, {"split": i * 95.0})
+        lines.append(json.dumps(monitor.snapshot().to_dict()))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return monitor
+
+
+class TestLatestSnapshot:
+    def test_reads_last_line(self, tmp_path):
+        log = tmp_path / "health.jsonl"
+        write_log(log, n=3)
+        snapshot = latest_snapshot(log)
+        assert snapshot.seq == 3
+        assert snapshot.source_frontier == 300.0
+
+    def test_missing_file(self, tmp_path):
+        assert latest_snapshot(tmp_path / "nope.jsonl") is None
+
+    def test_empty_file(self, tmp_path):
+        log = tmp_path / "health.jsonl"
+        log.write_text("", encoding="utf-8")
+        assert latest_snapshot(log) is None
+
+
+class TestRenderTop:
+    def test_tables_render(self, tmp_path):
+        log = tmp_path / "health.jsonl"
+        write_log(log)
+        out = render_top(latest_snapshot(log))
+        assert "== cluster health" in out
+        assert "worker" in out and "operator" in out
+        assert "split" in out and "words" in out
+        assert "watermark" in out
+
+
+class TestTopMain:
+    def test_once_renders_latest(self, tmp_path, capsys):
+        log = tmp_path / "health.jsonl"
+        write_log(log, n=2)
+        rc = top_main(["--snapshots", str(log), "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== cluster health  seq 2" in out
+
+    def test_once_empty_log_fails(self, tmp_path, capsys):
+        log = tmp_path / "health.jsonl"
+        log.write_text("", encoding="utf-8")
+        rc = top_main(["--snapshots", str(log), "--once"])
+        assert rc == 1
+
+    def test_no_source_is_usage_error(self, capsys):
+        assert top_main([]) == 2
+        assert "--snapshots" in capsys.readouterr().err
+
+    def test_dispatch_from_main(self, tmp_path, capsys):
+        log = tmp_path / "health.jsonl"
+        write_log(log)
+        rc = main(["top", "--snapshots", str(log), "--once"])
+        assert rc == 0
+        assert "cluster health" in capsys.readouterr().out
+
+    def test_demo_once_end_to_end(self, capsys):
+        # The CI artifact mode: a short demo cluster run, then one render
+        # of its final health snapshot.
+        rc = top_main(
+            ["--demo", "--records", "400", "--interval", "0.02", "--once"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== cluster health" in out
+        assert "split" in out
+
+
+class TestTopParser:
+    def test_defaults(self):
+        args = build_top_parser().parse_args([])
+        assert args.snapshots is None
+        assert not args.demo
+        assert args.interval == 0.25
+        assert not args.once
