@@ -21,6 +21,7 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     sl012_label_cardinality,
     sl013_pickled_hot_path,
     sl014_unthrottled_telemetry,
+    sl015_async_blocking,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "sl012_label_cardinality",
     "sl013_pickled_hot_path",
     "sl014_unthrottled_telemetry",
+    "sl015_async_blocking",
 ]

@@ -37,9 +37,10 @@ _WALL_CLOCK_CALLS = {
 }
 
 # platform/ owns real time; cluster/ extends it across processes
-# (heartbeats, reply deadlines); bench/ measures it; obs/ records it
-# (spans, queue waits); analysis/ is the linter's own tooling.
-_EXEMPT_PACKAGES = ("platform", "cluster", "analysis", "bench", "obs")
+# (heartbeats, reply deadlines); serving/ stamps snapshot ages and
+# cache TTLs; bench/ measures it; obs/ records it (spans, queue
+# waits); analysis/ is the linter's own tooling.
+_EXEMPT_PACKAGES = ("platform", "cluster", "serving", "analysis", "bench", "obs")
 
 
 @rule

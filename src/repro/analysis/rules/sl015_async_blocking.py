@@ -1,0 +1,114 @@
+"""SL015 — blocking synchronous calls inside ``async def`` in serving code.
+
+The serving layer's promise is that queries never stall ingest and
+ingest never stalls queries — both share one event loop, so a single
+synchronous ``time.sleep``, blocking socket/file call, or timeout-less
+``queue.get`` inside a coroutine freezes *every* connection and the
+ingest pump with it. The failure is invisible at unit scale (one
+client, one request) and catastrophic under the closed-loop workload.
+
+Module-scoped and restricted to ``serving/`` modules. Inside any
+``async def`` body (nested synchronous ``def``s excluded — they may be
+shipped to a thread executor) flags:
+
+* ``time.sleep(...)`` (import-alias resolved) — use ``await
+  asyncio.sleep``;
+* blocking module-level I/O: builtin ``open(...)``, ``socket.*`` and
+  ``subprocess.*`` calls — use loop executors or asyncio primitives;
+* ``.get()`` / ``.get(True)`` without a ``timeout=`` (the SL010
+  heuristic) — a dead peer blocks the loop forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.sl010_blocking_hot_loop import _is_bare_queue_get
+
+_PACKAGE = "serving"
+
+#: Module prefixes whose direct calls block the calling thread.
+_BLOCKING_MODULES = ("socket.", "subprocess.")
+
+
+@rule
+class AsyncBlockingRule(Rule):
+    """Flags event-loop-stalling calls in serving coroutines."""
+
+    rule_id = "SL015"
+    description = (
+        "blocking synchronous call (time.sleep, socket/file I/O, or "
+        "timeout-less queue get) inside async def in serving code; "
+        "stalls every connection sharing the event loop"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(_PACKAGE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+
+    def _check_coroutine(
+        self, ctx: ModuleContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # Walk the coroutine body only: nested defs are excluded — sync
+        # helpers may be destined for a thread executor, and nested
+        # coroutines are visited by the outer module walk on their own.
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                finding = self._check_call(ctx, node)
+                if finding is not None:
+                    yield finding
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, ctx: ModuleContext, call: ast.Call) -> Finding | None:
+        target = ctx.resolve_call_target(call.func)
+        if target == "time.sleep":
+            return self.finding(
+                ctx,
+                call.lineno,
+                call.col_offset,
+                "time.sleep inside async def blocks the whole event loop; "
+                "use `await asyncio.sleep(...)`",
+            )
+        if target is not None and target.startswith(_BLOCKING_MODULES):
+            return self.finding(
+                ctx,
+                call.lineno,
+                call.col_offset,
+                f"blocking I/O call {target} inside async def stalls every "
+                "connection; use asyncio streams or "
+                "loop.run_in_executor(...)",
+            )
+        if (
+            isinstance(call.func, ast.Name)
+            and call.func.id == "open"
+            and ctx.aliases.get("open") is None
+        ):
+            return self.finding(
+                ctx,
+                call.lineno,
+                call.col_offset,
+                "blocking file open() inside async def stalls the event "
+                "loop; open before entering the coroutine or use "
+                "loop.run_in_executor(...)",
+            )
+        if _is_bare_queue_get(call):
+            return self.finding(
+                ctx,
+                call.lineno,
+                call.col_offset,
+                ".get() without a timeout inside async def blocks the "
+                "event loop forever if the peer died; use "
+                "get(timeout=...) off-loop or an asyncio.Queue",
+            )
+        return None

@@ -21,9 +21,11 @@ import numpy as np
 
 # Attributes whose concrete layout is an implementation accident rather
 # than synopsis state (e.g. heap orderings that admit several equivalent
-# shapes, monotonic tiebreak counters). Excluding them keeps the
-# fingerprint about *observable* state. Kept deliberately tiny.
-_VOLATILE_ATTRS = frozenset({"_heap", "_tiebreak"})
+# shapes, monotonic tiebreak counters, StreamSummary's extractor plan —
+# callable configuration that deliberately does not cross process
+# boundaries). Excluding them keeps the fingerprint about *observable*
+# state. Kept deliberately tiny.
+_VOLATILE_ATTRS = frozenset({"_heap", "_tiebreak", "_extractors", "_plan"})
 
 
 def _float_key(value: float) -> tuple:

@@ -1,0 +1,217 @@
+"""The serving-layer bench: what does the query front-end sustain?
+
+``repro-bench --serving`` boots the serving demo topology (seeded Zipf
+word sentences → split → served sketch summary) behind the asyncio
+HTTP server on an ephemeral port, then drives it with the seeded
+closed-loop workload (:mod:`repro.workloads.serving`) while ingest
+proceeds underneath — the Lambda serving-layer scenario end to end,
+in-process, stdlib only.
+
+Each row is one concurrent-ingest configuration (``ingest_budget`` =
+tuples stepped per event-loop slot; 0 = stream fully ingested before
+serving starts) and carries two measurements plus one proof:
+
+* timing — the v2 ``seq_*`` columns are the **cache-disabled** run and
+  the ``batch_*`` columns the **cache-enabled** run of the identical
+  seeded workload, so ``speedup`` is the result cache's payoff under
+  that ingest pressure; extra columns record p50/p99 latency, QPS, the
+  measured concurrent ingest rate, cache hit ratio, and the largest
+  snapshot age any response admitted to.
+* equivalence — after ingest completes the snapshot epoch is pinned and
+  the same workload replays twice, cache off then cache on; the v2
+  ``equivalent`` flag demands their response digests be bit-identical
+  (and the cached replay actually hit), proving the cache changes
+  latency, never answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+
+from repro.bench.runner import BENCH_SCHEMA_V2
+from repro.common.exceptions import ParameterError
+from repro.obs.context import Observability
+from repro.platform.executor import LocalExecutor
+from repro.serving.demo import SERVING_BOLT, build_serving_topology, demo_records
+from repro.serving.runtime import ServingRuntime
+from repro.serving.server import ServingServer
+from repro.workloads.serving import WorkloadResult, run_closed_loop
+
+#: Concurrent-ingest settings swept by default: pre-ingested baseline,
+#: light pressure, heavy pressure (tuples stepped per event-loop slot).
+DEFAULT_INGEST_BUDGETS = (0, 64, 512)
+
+
+class _ServerHarness:
+    """A serving server on its own thread + event loop (the bench and
+    the closed-loop client run on the caller's loop)."""
+
+    def __init__(self, runtime: ServingRuntime, ingest: bool, ingest_budget: int):
+        self.runtime = runtime
+        self.ingest = ingest
+        self.ingest_budget = max(1, ingest_budget)
+        self.port = 0
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="serving-bench-server", daemon=True
+        )
+
+    def _main(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        server = ServingServer(self.runtime, ingest_budget=self.ingest_budget)
+        await server.start(ingest=self.ingest)
+        self.port = server.port
+        self._loop = asyncio.get_event_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await server.stop()
+
+    def __enter__(self) -> "_ServerHarness":
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if not self._ready.is_set():
+            raise RuntimeError("serving bench server failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+
+def _build_runtime(records: list, seed: int) -> ServingRuntime:
+    obs = Observability.create(sample_rate=0.0, seed=seed)
+    executor = LocalExecutor(
+        build_serving_topology(records, obs), semantics="at_least_once", obs=obs
+    )
+    return ServingRuntime(executor, SERVING_BOLT, registry=obs.registry)
+
+
+def _drive(
+    port: int, n_users: int, queries_per_user: int, seed: int
+) -> WorkloadResult:
+    return asyncio.run(
+        run_closed_loop(
+            "127.0.0.1",
+            port,
+            n_users=n_users,
+            queries_per_user=queries_per_user,
+            seed=seed,
+        )
+    )
+
+
+def _measure_case(
+    records: list,
+    ingest_budget: int,
+    n_users: int,
+    queries_per_user: int,
+    seed: int,
+) -> dict:
+    runtime = _build_runtime(records, seed)
+    if ingest_budget == 0:
+        # Pre-ingested baseline: the stream is done before serving starts.
+        runtime.start_ingest()
+        while runtime.ingest_step(4096):
+            pass
+    frontier_before = runtime.stats()["ingest"]["source_frontier"]
+    harness = _ServerHarness(
+        runtime, ingest=ingest_budget > 0, ingest_budget=ingest_budget
+    )
+    with harness:
+        runtime.cache_enabled = False
+        uncached = _drive(harness.port, n_users, queries_per_user, seed)
+        runtime.cache_enabled = True
+        cached = _drive(harness.port, n_users, queries_per_user, seed)
+        serve_wall = uncached.wall_seconds + cached.wall_seconds
+        frontier_after = runtime.stats()["ingest"]["source_frontier"]
+
+        # -- equivalence at a pinned epoch ---------------------------
+        while not runtime.ingest_done:
+            time.sleep(0.01)
+        runtime.max_snapshot_age = float("inf")
+        runtime.refresh()
+        runtime.cache_enabled = False
+        replay_uncached = _drive(harness.port, n_users, queries_per_user, seed)
+        runtime.cache_enabled = True
+        replay_cached = _drive(harness.port, n_users, queries_per_user, seed)
+    equivalent = (
+        replay_uncached.digest == replay_cached.digest
+        and replay_uncached.n_errors == 0
+        and replay_cached.n_errors == 0
+        and replay_cached.n_cached > 0
+    )
+    n_queries = cached.n_queries
+    return {
+        "synopsis": f"serving[u{n_users}|ingest{ingest_budget}]",
+        "workload": "serving-closed-loop",
+        "n_items": n_queries,
+        # seq_* = cache-disabled serve, batch_* = cache-enabled serve of
+        # the identical seeded workload; speedup = the cache's payoff.
+        "seq_seconds": uncached.wall_seconds,
+        "batch_seconds": cached.wall_seconds,
+        "seq_items_per_s": uncached.qps,
+        "batch_items_per_s": cached.qps,
+        "speedup": uncached.wall_seconds / cached.wall_seconds,
+        "equivalent": equivalent,
+        "n_users": n_users,
+        "queries_per_user": queries_per_user,
+        "ingest_budget": ingest_budget,
+        "qps": cached.qps,
+        "qps_uncached": uncached.qps,
+        "p50_ms": cached.latency_quantile(0.5) * 1e3,
+        "p99_ms": cached.latency_quantile(0.99) * 1e3,
+        "cache_hit_ratio": cached.cache_hit_ratio,
+        "ingest_items_per_s": (
+            (frontier_after - frontier_before) / serve_wall if serve_wall else 0.0
+        ),
+        "snapshot_age_max_s": max(
+            uncached.snapshot_age_max_s, cached.snapshot_age_max_s
+        ),
+        "epochs_seen": len(cached.epochs | uncached.epochs),
+    }
+
+
+def run_serving_bench(
+    n_items: int = 12_000,
+    n_users: int = 8,
+    queries_per_user: int = 60,
+    seed: int = 7,
+    smoke: bool = False,
+    ingest_budgets: tuple[int, ...] = DEFAULT_INGEST_BUDGETS,
+) -> dict:
+    """Measure the serving layer; returns a ``repro.bench/v2`` payload."""
+    if n_items <= 0:
+        raise ParameterError("n_items must be positive")
+    if n_users <= 0 or queries_per_user <= 0:
+        raise ParameterError("n_users and queries_per_user must be positive")
+    if any(budget < 0 for budget in ingest_budgets) or not ingest_budgets:
+        raise ParameterError("ingest_budgets must be non-negative")
+    records = demo_records(n_items, seed)
+    results = [
+        _measure_case(records, budget, n_users, queries_per_user, seed)
+        for budget in ingest_budgets
+    ]
+    return {
+        "schema": BENCH_SCHEMA_V2,
+        "config": {
+            "n_items": n_items,
+            "repeats": 1,
+            "seed": seed,
+            "smoke": smoke,
+            "mode": "serving-closed-loop",
+            "n_users": n_users,
+            "queries_per_user": queries_per_user,
+            "ingest_budgets": list(ingest_budgets),
+            "n_cores": os.cpu_count(),
+        },
+        "results": results,
+    }

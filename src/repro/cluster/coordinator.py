@@ -79,6 +79,25 @@ class _FlushInterrupted(Exception):
     """A worker died mid-flush; recovery ran — re-enter the main pump."""
 
 
+class _CaptureRequest:
+    """A cross-thread shard-capture request (the serving-layer snapshot hook).
+
+    Created by :meth:`ClusterExecutor.capture_shards` on the requesting
+    thread, serviced by the pump loop (or inline when no pump is running)
+    and handed back through ``ready``. ``shards``/``error`` carry the
+    outcome; only the servicing thread writes them, and only after it
+    sets ``ready`` does the requester read them.
+    """
+
+    __slots__ = ("name", "ready", "shards", "error")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ready = threading.Event()
+        self.shards: list[bytes] | None = None
+        self.error: BaseException | None = None
+
+
 class ClusterExecutor:
     """Run a :class:`Topology` across N worker processes."""
 
@@ -270,6 +289,13 @@ class ClusterExecutor:
         self._checkpoint: dict | None = None
         self._pulls_since_checkpoint = 0
         self._recover_requested = False
+
+        # Serving-layer snapshot hook: capture requests queued by other
+        # threads, serviced at consistent points of the pump loop (or
+        # inline under the control lock when no pump is running).
+        self._capture_requests: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+        self._control_lock = threading.Lock()
+        self._pumping = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -1150,22 +1176,32 @@ class ClusterExecutor:
         shuts them down.
         """
         started = time.perf_counter()
-        self._ensure_started()
-        if self.semantics == "exactly_once" and self._checkpoint is None:
-            self._take_checkpoint()  # epoch-0 baseline to roll back to
-        while True:
-            self._pump()
+        with self._control_lock:
+            self._pumping = True
             try:
-                self._flush_all_bolts()
-            except _FlushInterrupted:
-                # A worker died mid-flush: recovery already ran (respawn,
-                # rollback/replay, epoch bump). Re-enter the pump — under
-                # exactly-once the rewound sources re-feed from the last
-                # checkpoint — then flush again from the first bolt (state
-                # everywhere is post-recovery, so the re-flush is the
-                # first flush that incarnation sees).
-                continue
-            break
+                self._ensure_started()
+                if self.semantics == "exactly_once" and self._checkpoint is None:
+                    self._take_checkpoint()  # epoch-0 baseline to roll back to
+                while True:
+                    self._pump()
+                    try:
+                        self._flush_all_bolts()
+                    except _FlushInterrupted:
+                        # A worker died mid-flush: recovery already ran
+                        # (respawn, rollback/replay, epoch bump). Re-enter
+                        # the pump — under exactly-once the rewound sources
+                        # re-feed from the last checkpoint — then flush
+                        # again from the first bolt (state everywhere is
+                        # post-recovery, so the re-flush is the first flush
+                        # that incarnation sees).
+                        continue
+                    break
+            finally:
+                self._pumping = False
+                # Serve any capture request that raced the shutdown of the
+                # pump: after the flag flips, new requesters service their
+                # own queue inline, so this drain closes the window.
+                self._service_capture_requests()
         self.metrics.wall_seconds = time.perf_counter() - started
         # Pressure signals land in the façade summary() for both
         # transports (queue runs just report 0 ring occupancy).
@@ -1182,6 +1218,7 @@ class ClusterExecutor:
             if self._recover_requested:
                 self._handle_crash([])  # loss-triggered rollback, no death
             self._maybe_publish_health()
+            self._service_capture_requests()
             progressed = self._pull_spouts()
             # Absorb every reply already waiting before shipping: remote
             # re-routes from several replies coalesce into fewer, larger
@@ -1260,25 +1297,94 @@ class ClusterExecutor:
 
     # -- merge-on-query ----------------------------------------------------
 
+    def _query_shards(self, name: str) -> list[bytes]:
+        """Ship bolt *name*'s shard snapshots home as raw stateship payloads.
+
+        Must run on the thread driving the worker queues (the pump loop,
+        or the caller when no pump is active) with outstanding envelopes
+        drained, so the shards form a tuple-consistent cut.
+        """
+        comp = self.topology.components[name]
+        for worker_id in range(self.n_workers):
+            self._inboxes[worker_id].put(("query", self.epoch, name))
+        shards: dict[tuple[str, int], bytes] = {}
+        for payload in self._await_all("query_ok").values():
+            shards.update(payload)
+        return [shards[(name, task)] for task in range(comp.parallelism)]
+
+    def _service_capture_requests(self) -> None:
+        """Serve queued shard-capture requests (the serving snapshot hook).
+
+        Runs between pump rounds — and once more as the run winds down —
+        so a serving thread gets a frozen, consistent view (outstanding
+        envelopes drained first) without ever touching the worker queues
+        from its own thread. Failures are handed back to the requester
+        rather than raised here: a snapshot that cannot be taken must not
+        kill ingest.
+        """
+        while True:
+            try:
+                request = self._capture_requests.get_nowait()
+            except queue_mod.Empty:
+                return
+            try:
+                self._drain_outstanding()
+                if self._recover_requested:
+                    raise ExecutionError(
+                        "cluster is recovering; snapshot capture retry needed"
+                    )
+                request.shards = self._query_shards(request.name)
+            except BaseException as exc:  # hand the failure to the requester
+                request.error = exc
+            request.ready.set()
+
+    def capture_shards(self, name: str, timeout: float | None = None) -> list[bytes]:
+        """Snapshot bolt *name*'s shard partials as stateship payloads.
+
+        The serving layer's snapshot hook, safe to call from another
+        thread while :meth:`run` is pumping: the request queues up and the
+        pump services it at a consistent point, so the returned payloads
+        are one frozen snapshot-isolated cut of the bolt's state — ingest
+        proceeds underneath, and later queries against the restored
+        payloads can never see a torn or moving view. When no pump is
+        active the caller services its own request under the control
+        lock. Payloads are in task order; decode with
+        :func:`repro.core.stateship.restore` (and merge for the
+        merge-on-query fold).
+        """
+        comp = self.topology.components.get(name)
+        if comp is None or comp.kind != "bolt":
+            raise ParameterError(f"no bolt named {name!r}")
+        request = _CaptureRequest(name)
+        self._capture_requests.put(request)
+        deadline = time.perf_counter() + (timeout or self.reply_timeout)
+        while not request.ready.wait(0.0 if not self._pumping else 0.05):
+            if not self._pumping and self._control_lock.acquire(blocking=False):
+                # No pump running: serve the queue (ours included) inline.
+                try:
+                    self._ensure_started()
+                    self._service_capture_requests()
+                finally:
+                    self._control_lock.release()
+                continue
+            if time.perf_counter() > deadline:
+                raise ExecutionError(
+                    f"timed out capturing {name!r} shard snapshots"
+                )
+        if request.error is not None:
+            raise request.error
+        assert request.shards is not None
+        return request.shards
+
     def bolt_states(self, name: str) -> list[Any]:
         """Per-task snapshot state of bolt *name*, in task order.
 
         Ships each shard's ``snapshot()`` across the process boundary and
         decodes it here — the raw partials behind :meth:`merged_synopsis`.
         """
-        comp = self.topology.components.get(name)
-        if comp is None or comp.kind != "bolt":
-            raise ParameterError(f"no bolt named {name!r}")
-        self._ensure_started()
-        self._drain_outstanding()
-        for worker_id in range(self.n_workers):
-            self._inboxes[worker_id].put(("query", self.epoch, name))
-        shards: dict[tuple[str, int], bytes] = {}
-        for payload in self._await_all("query_ok").values():
-            shards.update(payload)
         return [
-            stateship.restore(shards[(name, task)])["state"]
-            for task in range(comp.parallelism)
+            stateship.restore(payload)["state"]
+            for payload in self.capture_shards(name)
         ]
 
     def merged_synopsis(self, name: str) -> Any:

@@ -45,6 +45,27 @@ class StreamSummary(SynopsisBase):
             for name, synopsis in self._synopses.items()
         ]
 
+    def __getstate__(self) -> dict[str, Any]:
+        # Extractors are callable configuration: they cannot travel a
+        # process boundary, and the plan holds references to them (and to
+        # the children). Ship only the data; __setstate__ rebuilds the
+        # plan against whatever extractors the receiving side has — the
+        # constructor's own under `restore_into`, none under bare
+        # `restore` (read-only query shards never update, so they don't
+        # need them).
+        state = dict(self.__dict__)
+        state.pop("_extractors", None)
+        state.pop("_plan", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._extractors = getattr(self, "_extractors", {}) or {}
+        self._plan = [
+            (name, synopsis, self._extractors.get(name))
+            for name, synopsis in self._synopses.items()
+        ]
+
     def update(self, item: Any) -> None:
         self.count += 1
         for __, synopsis, extract in self._plan:

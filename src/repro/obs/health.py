@@ -94,6 +94,9 @@ class HealthSnapshot:
     latency_p99_s: float
     workers: tuple[WorkerHealth, ...] = field(default_factory=tuple)
     operators: tuple[OperatorHealth, ...] = field(default_factory=tuple)
+    #: Serving-layer counters (epoch, cache hits/misses, …) when the
+    #: snapshot comes from a query front-end; None for plain cluster runs.
+    serving: dict[str, Any] | None = None
     schema: str = HEALTH_SCHEMA
 
     def worker(self, worker_id: int) -> WorkerHealth | None:

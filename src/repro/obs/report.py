@@ -172,4 +172,18 @@ def render_top(snapshot: HealthSnapshot) -> str:
             f"{op.lag:>9,.0f} {op.processed:>10,} {op.emitted:>10,} "
             f"{op.processed_rate:>10,.1f}"
         )
+    if snapshot.serving:
+        serving = snapshot.serving
+        hits = int(serving.get("cache_hits", 0))
+        misses = int(serving.get("cache_misses", 0))
+        lines += [
+            "",
+            "== serving ==",
+            f"epoch {int(serving.get('epoch', 0))}   "
+            f"snapshot age {serving.get('snapshot_age_s', 0.0):.3f}s   "
+            f"requests {int(serving.get('requests', 0)):,}",
+            f"cache {int(serving.get('cache_entries', 0)):,} entries   "
+            f"hits {hits:,} / misses {misses:,}   "
+            f"hit ratio {serving.get('cache_hit_ratio', 0.0) * 100:.1f}%",
+        ]
     return "\n".join(lines) + "\n"

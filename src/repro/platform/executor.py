@@ -433,6 +433,48 @@ class LocalExecutor:
 
     # -- main loop -----------------------------------------------------------
 
+    def run_some(self, budget: int = 256) -> bool:
+        """Advance the topology by a bounded burst of work (cooperative run).
+
+        Pulls spouts and processes queued tuples until roughly *budget*
+        tuples of work are done. Returns True while the run may still have
+        work; False once sources are exhausted, queues are empty and
+        reliability state has settled — after which :meth:`finish` flushes
+        buffered bolt output exactly as :meth:`run` would.
+
+        This is the serving layer's ingest path: queries interleave
+        *between* bursts on one thread, so a snapshot capture always sees
+        tuple-complete state — snapshot isolation by construction, with no
+        locks on the hot path.
+        """
+        if budget <= 0:
+            raise ParameterError("budget must be positive")
+        work = 0
+        idle_rounds = 0
+        while work < budget:
+            progressed = self._pull_spout()
+            if progressed:
+                work += 1
+            while work < budget and self._process_one():
+                progressed = True
+                work += 1
+            if progressed:
+                idle_rounds = 0
+                continue
+            if self._acker is not None and self._acker.n_pending:
+                self._fail_pending()
+                idle_rounds += 1
+                if idle_rounds > 3:
+                    return False
+                continue
+            return False
+        return True
+
+    def finish(self) -> ExecutionMetrics:
+        """End-of-stream flush for a stepped (:meth:`run_some`) run."""
+        self._flush_bolts()
+        return self.metrics
+
     def run(self) -> ExecutionMetrics:
         """Execute until sources are exhausted and all work has settled."""
         started = time.perf_counter()
@@ -493,3 +535,25 @@ class LocalExecutor:
         if comp is None or comp.kind != "bolt":
             raise ParameterError(f"no bolt named {name!r}")
         return [self._bolts[(name, task)] for task in range(comp.parallelism)]
+
+    def merged_synopsis(self, name: str):
+        """Bolt *name*'s per-task synopses folded into one (merge-on-query).
+
+        The single-process mirror of
+        :meth:`repro.cluster.coordinator.ClusterExecutor.merged_synopsis`:
+        each task's ``snapshot()`` (a deep copy, so the live bolts are
+        untouched) merges in task order. Requires the bolt's snapshot
+        state to be a mergeable synopsis, e.g.
+        :class:`~repro.platform.operators.SynopsisBolt`.
+        """
+        from repro.common.mergeable import SynopsisBase
+
+        partials = [bolt.snapshot() for bolt in self.bolt_instances(name)]
+        if not all(isinstance(p, SynopsisBase) for p in partials):
+            raise ParameterError(
+                f"bolt {name!r} snapshot state is not a mergeable synopsis"
+            )
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged.merge(partial)
+        return merged

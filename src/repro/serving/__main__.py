@@ -1,0 +1,6 @@
+"""``python -m repro.serving`` — the serving-layer CLI."""
+
+from repro.serving.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""The serving layer's TTL+LRU result cache.
+
+Entries are keyed on ``(canonical query key, snapshot epoch)`` — the
+Snippet-1 cache stage with one crucial twist: because the epoch is part
+of the key, advancing the snapshot *is* the invalidation. A cached
+answer can never outlive the frozen view it was computed from, so the
+cache trades only staleness the snapshot policy already allows, never
+correctness.
+
+On top of epoch keying, every entry carries a TTL (expired entries are
+evicted on touch, never served) and the whole table is LRU-bounded.
+Hit / miss / eviction counters and the eviction reasons flow into a
+:class:`~repro.obs.metrics.MetricRegistry`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.common.exceptions import ParameterError
+from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
+
+#: Sentinel distinguishing "miss" from a cached ``None`` result.
+MISS = object()
+
+
+class ResultCache:
+    """A TTL+LRU map from (query key, snapshot epoch) to results."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl: float = 2.0,
+        clock: Callable[[], float] | None = None,
+        registry: MetricRegistry | None = None,
+    ):
+        if capacity <= 0:
+            raise ParameterError("capacity must be positive")
+        if ttl <= 0:
+            raise ParameterError("ttl must be positive")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock if clock is not None else time.monotonic
+        # key -> (expires_at, value); insertion/touch order is LRU order.
+        self._entries: OrderedDict[tuple[str, int], tuple[float, Any]] = OrderedDict()
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._hits = registry.counter(
+            "serving_cache_hits_total", "Result-cache hits."
+        )
+        self._misses = registry.counter(
+            "serving_cache_misses_total", "Result-cache misses."
+        )
+        self._evictions = registry.counter(
+            "serving_cache_evictions_total",
+            "Result-cache evictions by reason.",
+            labelnames=("reason",),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[tuple[str, int]]:
+        """Current keys in LRU order (oldest first) — pinned by tests."""
+        return list(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _evict(self, key: tuple[str, int], reason: str) -> None:
+        del self._entries[key]
+        self._evictions.labels(reason=reason).inc()
+
+    def get(self, key: str, epoch: int) -> Any:
+        """The cached result, or :data:`MISS`.
+
+        A hit refreshes the entry's LRU position. An entry past its TTL
+        is evicted and reported as a miss — stale results are never
+        served, even within the same epoch.
+        """
+        full_key = (key, epoch)
+        entry = self._entries.get(full_key)
+        if entry is None:
+            self._misses.inc()
+            return MISS
+        expires_at, value = entry
+        if self._clock() >= expires_at:
+            self._evict(full_key, "expired")
+            self._misses.inc()
+            return MISS
+        self._entries.move_to_end(full_key)
+        self._hits.inc()
+        return value
+
+    def put(self, key: str, epoch: int, value: Any) -> None:
+        """Cache *value*, evicting the LRU entry when over capacity."""
+        full_key = (key, epoch)
+        self._entries[full_key] = (self._clock() + self.ttl, value)
+        self._entries.move_to_end(full_key)
+        while len(self._entries) > self.capacity:
+            self._evict(next(iter(self._entries)), "capacity")
+
+    def purge(self, current_epoch: int | None = None) -> int:
+        """Drop expired entries (and, given *current_epoch*, entries from
+        older epochs — their snapshots can never be queried again).
+        Returns the number evicted; keeps memory bounded between
+        capacity evictions."""
+        now = self._clock()
+        dropped = 0
+        for full_key, (expires_at, _value) in list(self._entries.items()):
+            if now >= expires_at:
+                self._evict(full_key, "expired")
+                dropped += 1
+            elif current_epoch is not None and full_key[1] < current_epoch:
+                self._evict(full_key, "epoch")
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop everything (counters keep their totals)."""
+        self._entries.clear()

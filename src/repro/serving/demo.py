@@ -1,0 +1,56 @@
+"""The topology the serving demo/bench/smoke jobs put behind the server.
+
+The obs demo topology (seeded Zipf word sentences → splitter → keyed
+counter + synopsis bolt) widened for the serving layer: the served
+:class:`~repro.core.summary.StreamSummary` adds an
+:class:`~repro.quantiles.exact.ExactQuantiles` child over word lengths
+(via an extractor), so every query kind the wire protocol speaks —
+point, top-k, cardinality, quantile, range — has a synopsis to land on.
+"""
+
+from __future__ import annotations
+
+from repro.obs.context import Observability
+from repro.obs.demo import demo_records
+from repro.platform.operators import CountBolt, FlatMapBolt, SynopsisBolt
+from repro.platform.topology import ListSpout, Topology, TopologyBuilder
+
+__all__ = ["demo_records", "build_serving_topology", "serving_summary"]
+
+#: The served bolt's name (the default for ``repro-serving --bolt``).
+SERVING_BOLT = "sketch"
+
+
+def serving_summary():
+    """The served summary: distinct / top-k / frequency / length quantiles."""
+    from repro.cardinality.hyperloglog import HyperLogLog
+    from repro.core.summary import StreamSummary
+    from repro.frequency.count_min import CountMinSketch
+    from repro.frequency.space_saving import SpaceSaving
+    from repro.quantiles.exact import ExactQuantiles
+
+    return StreamSummary(
+        uniques=HyperLogLog(precision=12),
+        topk=SpaceSaving(64),
+        freq=CountMinSketch(width=1024, depth=4),
+        lengths=ExactQuantiles(),
+        extractors={"lengths": len},
+    )
+
+
+def build_serving_topology(
+    records: list[tuple[str]], obs: Observability | None = None
+) -> Topology:
+    """words → split → {count (keyed, parallelism 2), sketch (served)}."""
+    builder = TopologyBuilder()
+    builder.set_spout("sentences", lambda: ListSpout(records))
+    builder.set_bolt(
+        "split",
+        lambda: FlatMapBolt(lambda v: [(w,) for w in v[0].split()]),
+    ).shuffle("sentences")
+    builder.set_bolt("count", lambda: CountBolt(0), parallelism=2).fields("split", 0)
+    builder.set_bolt(
+        SERVING_BOLT,
+        lambda: SynopsisBolt(serving_summary, batch_size=64),
+    ).shuffle("split")
+    return builder.build()

@@ -1,0 +1,162 @@
+"""The serving layer's query model.
+
+A query arrives as a JSON document, is validated into an immutable
+:class:`Query`, and resolves against a synopsis by duck-typing the
+library's query surfaces: ``estimate(item)`` for point frequency,
+``top(k)`` for heavy hitters, no-arg ``estimate()`` for cardinality,
+``quantile(q)`` / ``rank(value)`` for quantile and range counts. A
+``synopsis`` field navigates into a :class:`~repro.core.summary.
+StreamSummary` child, so one bolt can serve every query kind.
+
+The canonical :meth:`Query.key` (sorted-key JSON of the normalized
+fields) is the cache key — two wire documents that mean the same query
+hit the same cache line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.exceptions import ParameterError
+
+#: Supported query operations, in documentation order.
+OPS = ("point", "topk", "cardinality", "quantile", "range")
+
+
+class QueryError(ParameterError):
+    """A malformed or unresolvable query (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One validated serving-layer query."""
+
+    op: str
+    synopsis: str | None = None
+    item: Any = None
+    k: int | None = None
+    q: float | None = None
+    lo: Any = None
+    hi: Any = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The normalized JSON-ready form (only the fields the op uses)."""
+        doc: dict[str, Any] = {"op": self.op}
+        if self.synopsis is not None:
+            doc["synopsis"] = self.synopsis
+        if self.op == "point":
+            doc["item"] = self.item
+        elif self.op == "topk":
+            doc["k"] = self.k
+        elif self.op == "quantile":
+            doc["q"] = self.q
+        elif self.op == "range":
+            doc["lo"] = self.lo
+            doc["hi"] = self.hi
+        return doc
+
+    def key(self) -> str:
+        """The canonical cache key for this query."""
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+    # -- resolution -------------------------------------------------
+
+    def _target(self, synopsis: Any) -> Any:
+        if self.synopsis is None:
+            return synopsis
+        try:
+            return synopsis[self.synopsis]
+        except (TypeError, KeyError, ParameterError):
+            raise QueryError(
+                f"no synopsis named {self.synopsis!r} in the served summary"
+            ) from None
+
+    def _surface(self, target: Any, method: str) -> Any:
+        fn = getattr(target, method, None)
+        if fn is None:
+            raise QueryError(
+                f"synopsis {type(target).__name__} does not support "
+                f"{self.op!r} queries (no {method}())"
+            )
+        return fn
+
+    def resolve(self, synopsis: Any) -> Any:
+        """Answer this query against *synopsis* (a frozen snapshot).
+
+        Returns a JSON-ready value; raises :class:`QueryError` when the
+        synopsis lacks the needed query surface.
+        """
+        target = self._target(synopsis)
+        try:
+            if self.op == "point":
+                return int(self._surface(target, "estimate")(self.item))
+            if self.op == "topk":
+                return [
+                    [item, int(count)]
+                    for item, count in self._surface(target, "top")(self.k)
+                ]
+            if self.op == "cardinality":
+                return float(self._surface(target, "estimate")())
+            if self.op == "quantile":
+                fn = self._surface(target, "quantile")
+                try:
+                    return fn(self.q)
+                except QueryError:
+                    raise
+                except ParameterError:
+                    # q was validated at parse time, so the surface can
+                    # only object to an empty stream — a freshly-started
+                    # snapshot. "No data yet" is an answer, not an error.
+                    return None
+            if self.op == "range":
+                rank = self._surface(target, "rank")
+                return int(rank(self.hi)) - int(rank(self.lo))
+        except QueryError:
+            raise
+        except TypeError as exc:
+            # e.g. a point query against HyperLogLog's no-arg estimate().
+            raise QueryError(
+                f"synopsis {type(target).__name__} does not support "
+                f"{self.op!r} queries: {exc}"
+            ) from None
+        except ParameterError as exc:
+            # Any other synopsis-side objection is the query's fault
+            # (HTTP 400), never a connection-killing server fault.
+            raise QueryError(str(exc)) from None
+        raise QueryError(f"unknown op {self.op!r}")  # pragma: no cover
+
+
+def _require(doc: dict[str, Any], field: str) -> Any:
+    if field not in doc:
+        raise QueryError(f"{doc.get('op')!r} query needs a {field!r} field")
+    return doc[field]
+
+
+def parse_query(doc: Any) -> Query:
+    """Validate a wire JSON document into a :class:`Query`."""
+    if not isinstance(doc, dict):
+        raise QueryError("query body must be a JSON object")
+    op = doc.get("op")
+    if op not in OPS:
+        raise QueryError(f"op must be one of {OPS}, got {op!r}")
+    synopsis = doc.get("synopsis")
+    if synopsis is not None and not isinstance(synopsis, str):
+        raise QueryError("synopsis must be a string (a StreamSummary child)")
+    if op == "point":
+        return Query(op=op, synopsis=synopsis, item=_require(doc, "item"))
+    if op == "topk":
+        k = _require(doc, "k")
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise QueryError("k must be a positive integer")
+        return Query(op=op, synopsis=synopsis, k=k)
+    if op == "cardinality":
+        return Query(op=op, synopsis=synopsis)
+    if op == "quantile":
+        q = _require(doc, "q")
+        if not isinstance(q, (int, float)) or isinstance(q, bool) or not 0 <= q <= 1:
+            raise QueryError("q must be a number in [0, 1]")
+        return Query(op=op, synopsis=synopsis, q=float(q))
+    lo, hi = _require(doc, "lo"), _require(doc, "hi")
+    return Query(op=op, synopsis=synopsis, lo=lo, hi=hi)

@@ -1,0 +1,257 @@
+"""The serving runtime: executor + snapshots + cache + metrics.
+
+One :class:`ServingRuntime` fronts one bolt of one live executor. Every
+query resolves against a snapshot-isolated frozen view (refreshed
+lazily when older than ``max_snapshot_age``), consults the epoch-keyed
+TTL+LRU cache first, and reports itself through the shared
+:mod:`repro.obs` registry: request counters by op and status, a latency
+histogram (p50/p99 via the registry's t-digest), cache hit/miss/
+eviction counters, and snapshot epoch/age gauges. The runtime also
+speaks :class:`~repro.obs.health.HealthSnapshot`, so ``repro-obs top``
+can watch a serving process exactly like a cluster run.
+
+Ingest runs *underneath* the runtime, never blocked by it: a
+:class:`~repro.platform.executor.LocalExecutor` is stepped
+cooperatively (:meth:`ingest_step` from the server's event loop), a
+:class:`~repro.cluster.coordinator.ClusterExecutor` pumps itself on a
+background thread and services capture requests between rounds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.common.exceptions import ParameterError
+from repro.obs.health import HealthSnapshot
+from repro.obs.metrics import MetricRegistry
+from repro.serving.cache import MISS, ResultCache
+from repro.serving.query import QueryError, parse_query
+from repro.serving.snapshot import SnapshotStore
+
+#: Default staleness bound: how old a served snapshot may grow before a
+#: query forces a re-capture. The knob trades freshness against capture
+#: cost — 0 means every cache-missing query sees the newest state.
+DEFAULT_MAX_SNAPSHOT_AGE = 0.25
+
+
+class ServingRuntime:
+    """Snapshot-isolated, cached query handling over a live executor."""
+
+    def __init__(
+        self,
+        executor: Any,
+        bolt: str,
+        *,
+        cache_capacity: int = 4096,
+        cache_ttl: float = 2.0,
+        max_snapshot_age: float = DEFAULT_MAX_SNAPSHOT_AGE,
+        registry: MetricRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        if max_snapshot_age < 0:
+            raise ParameterError("max_snapshot_age must be >= 0")
+        self.executor = executor
+        self.bolt = bolt
+        self.max_snapshot_age = max_snapshot_age
+        if registry is None:
+            obs = getattr(executor, "obs", None)
+            registry = obs.registry if obs is not None else MetricRegistry()
+        self.registry = registry
+        self._clock = clock if clock is not None else time.monotonic
+        self.store = SnapshotStore(executor, bolt, clock=self._clock, registry=registry)
+        self.cache = ResultCache(
+            capacity=cache_capacity,
+            ttl=cache_ttl,
+            clock=self._clock,
+            registry=registry,
+        )
+        self.cache_enabled = True
+        self._requests = registry.counter(
+            "serving_requests_total",
+            "Serving requests by op and status.",
+            labelnames=("op", "status"),
+        )
+        self._latency = registry.histogram(
+            "serving_request_seconds", "End-to-end query handling latency."
+        )
+        # Cluster captures block briefly on the pump; local captures must
+        # run on the loop thread. The flag tells the server which to do.
+        self.blocking_capture = hasattr(executor, "capture_shards")
+        self._lock = threading.Lock()
+        self._ingest_thread: threading.Thread | None = None
+        self._ingest_error: BaseException | None = None
+        self._ingest_done = not self.blocking_capture
+        self._started_clock = self._clock()
+        self._health_seq = 0
+
+    # -- query handling ---------------------------------------------
+
+    def handle(self, doc: Any) -> dict[str, Any]:
+        """Answer one wire query document.
+
+        Raises :class:`~repro.serving.query.QueryError` on a malformed
+        or unresolvable query (the server maps it to HTTP 400); every
+        request, good or bad, is counted and timed.
+        """
+        start = self._clock()
+        op = doc.get("op") if isinstance(doc, dict) else None
+        try:
+            with self._lock:
+                query = parse_query(doc)
+                snapshot = self.store.ensure(self.max_snapshot_age)
+                key = query.key()
+                cached = True
+                result = (
+                    self.cache.get(key, snapshot.epoch)
+                    if self.cache_enabled
+                    else MISS
+                )
+                if result is MISS:
+                    cached = False
+                    result = query.resolve(snapshot.synopsis)
+                    if self.cache_enabled:
+                        self.cache.put(key, snapshot.epoch, result)
+        except QueryError:
+            self._count(op, "error", start)
+            raise
+        self._count(query.op, "ok", start)
+        return {
+            "ok": True,
+            "op": query.op,
+            "result": result,
+            "epoch": snapshot.epoch,
+            "snapshot_age_s": snapshot.age(self._clock()),
+            "cached": cached,
+        }
+
+    def _count(self, op: Any, status: str, start: float) -> None:
+        self._requests.labels(op=str(op), status=status).inc()
+        self._latency.observe(self._clock() - start)
+
+    def refresh(self) -> dict[str, Any]:
+        """Force a snapshot capture (``POST /refresh``); purge the cache
+        of entries the new epoch strands."""
+        with self._lock:
+            snapshot = self.store.refresh()
+            purged = self.cache.purge(current_epoch=snapshot.epoch)
+        return {"ok": True, "epoch": snapshot.epoch, "purged": purged}
+
+    # -- ingest -----------------------------------------------------
+
+    def start_ingest(self) -> None:
+        """Start ingest underneath the server.
+
+        Cluster executors run on a daemon thread (their pump services
+        snapshot captures between rounds); local executors are stepped
+        by the caller via :meth:`ingest_step` instead.
+        """
+        if not self.blocking_capture:
+            self._ingest_done = False
+            return
+        if self._ingest_thread is not None:
+            return
+
+        def _run() -> None:
+            try:
+                self.executor.run()
+            except BaseException as exc:  # surfaced via ingest_error
+                self._ingest_error = exc
+            finally:
+                self._ingest_done = True
+
+        self._ingest_thread = threading.Thread(
+            target=_run, name="serving-ingest", daemon=True
+        )
+        self._ingest_thread.start()
+
+    def ingest_step(self, budget: int = 256) -> bool:
+        """Advance local ingest by one bounded burst.
+
+        Returns False once the stream is exhausted (and flushes the
+        topology exactly once). No-op under a cluster executor.
+        """
+        if self.blocking_capture or self._ingest_done:
+            return False
+        if self.executor.run_some(budget):
+            return True
+        self.executor.finish()
+        self._ingest_done = True
+        return False
+
+    @property
+    def ingest_done(self) -> bool:
+        """True once the source is exhausted and flushed."""
+        return self._ingest_done
+
+    @property
+    def ingest_error(self) -> BaseException | None:
+        """The exception that killed background ingest, if any."""
+        return self._ingest_error
+
+    def join_ingest(self, timeout: float | None = None) -> None:
+        """Wait for background (cluster) ingest to finish."""
+        if self._ingest_thread is not None:
+            self._ingest_thread.join(timeout)
+
+    # -- introspection ----------------------------------------------
+
+    def _source_frontier(self) -> float:
+        total = 0
+        for comp in self.executor.topology.components.values():
+            if comp.kind == "spout":
+                total += self.executor.metrics.components[
+                    f"spout:{comp.name}"
+                ].emitted
+        return float(total)
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-ready runtime status document (``GET /stats``)."""
+        requests = sum(int(s.value) for s in self._requests.samples())
+        return {
+            "ok": True,
+            "bolt": self.bolt,
+            "epoch": self.store.epoch,
+            "snapshot_age_s": self.store.age() if self.store.current() else None,
+            "requests": requests,
+            "latency_p50_s": self._latency.quantile(0.5),
+            "latency_p99_s": self._latency.quantile(0.99),
+            "cache": {
+                "enabled": self.cache_enabled,
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_ratio": self.cache.hit_ratio(),
+            },
+            "ingest": {
+                "done": self._ingest_done,
+                "source_frontier": self._source_frontier(),
+            },
+            "uptime_s": self._clock() - self._started_clock,
+        }
+
+    def health_snapshot(self, reason: str = "serving") -> HealthSnapshot:
+        """The runtime's state as a :class:`HealthSnapshot`, so
+        ``repro-obs top`` renders a serving process like a cluster."""
+        self._health_seq += 1
+        stats = self.stats()
+        return HealthSnapshot(
+            seq=self._health_seq,
+            clock=self._clock(),
+            reason=reason,
+            watermark_unit="offset",
+            source_frontier=stats["ingest"]["source_frontier"],
+            backpressure_waits=int(self.executor.metrics.backpressure_waits),
+            latency_p50_s=stats["latency_p50_s"],
+            latency_p99_s=stats["latency_p99_s"],
+            serving={
+                "epoch": stats["epoch"],
+                "snapshot_age_s": stats["snapshot_age_s"] or 0.0,
+                "requests": stats["requests"],
+                "cache_entries": stats["cache"]["entries"],
+                "cache_hits": stats["cache"]["hits"],
+                "cache_misses": stats["cache"]["misses"],
+                "cache_hit_ratio": stats["cache"]["hit_ratio"],
+            },
+        )

@@ -1,0 +1,251 @@
+"""The asyncio HTTP/JSON front of the serving layer.
+
+Stdlib-only (``asyncio`` streams, no web framework): a minimal
+HTTP/1.1 server with keep-alive, serving
+
+* ``POST /query``   — answer one JSON query (:mod:`repro.serving.query`)
+* ``POST /refresh`` — force a snapshot capture (epoch advance)
+* ``GET  /stats``   — runtime status JSON
+* ``GET  /healthz`` — liveness probe
+* ``GET  /metrics`` — Prometheus text exposition of the obs registry
+
+Ingest shares the process: local executors are stepped cooperatively on
+the same event loop (one bounded ``run_some`` burst per scheduling
+slot, so queries interleave with ingest instead of waiting for it), and
+cluster executors pump on their own thread with snapshot captures
+punted to the default thread pool — the loop itself never blocks.
+
+Shutdown is clean by construction: client tasks are tracked and
+awaited, the ingest task is cancelled, and :meth:`ServingServer.stop`
+returns only when nothing is left running — the property the CI smoke
+job asserts (no leaked tasks, no leaked shm segments).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.obs.exporters import to_prometheus
+from repro.serving.query import QueryError
+from repro.serving.runtime import ServingRuntime
+
+#: Refuse larger request bodies (we only ever expect small JSON).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response(
+    status: int, body: bytes, content_type: str, keep_alive: bool
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, doc: Any, keep_alive: bool) -> bytes:
+    body = (json.dumps(doc) + "\n").encode("utf-8")
+    return _response(status, body, "application/json", keep_alive)
+
+
+class ServingServer:
+    """One serving runtime behind an asyncio HTTP endpoint."""
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ingest_budget: int = 256,
+    ):
+        self.runtime = runtime
+        self.host = host
+        self.port = port  # 0 = ephemeral; the bound port after start()
+        self.ingest_budget = ingest_budget
+        self._server: asyncio.base_events.Server | None = None
+        self._clients: set[asyncio.Task] = set()
+        self._ingest_task: asyncio.Task | None = None
+
+    # -- lifecycle --------------------------------------------------
+
+    async def start(self, ingest: bool = True) -> None:
+        """Bind the socket and (optionally) start ingest underneath."""
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if ingest:
+            self.runtime.start_ingest()
+            if not self.runtime.blocking_capture:
+                self._ingest_task = asyncio.ensure_future(self._ingest_loop())
+
+    async def _ingest_loop(self) -> None:
+        """Step local ingest one bounded burst per loop slot."""
+        while self.runtime.ingest_step(self.ingest_budget):
+            await asyncio.sleep(0)
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until *stop* is set, then shut down cleanly."""
+        await stop.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the socket, finish clients, cancel ingest — leak-free."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._ingest_task is not None:
+            self._ingest_task.cancel()
+            try:
+                await self._ingest_task
+            except asyncio.CancelledError:
+                pass
+            self._ingest_task = None
+        for task in list(self._clients):
+            task.cancel()
+        if self._clients:
+            await asyncio.gather(*self._clients, return_exceptions=True)
+        self._clients.clear()
+
+    # -- request handling -------------------------------------------
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+        try:
+            await self._client_loop(reader, writer)
+        except (
+            asyncio.CancelledError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            if task is not None:
+                self._clients.discard(task)
+
+    async def _client_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                writer.write(
+                    _json_response(400, {"ok": False, "error": "bad request"}, False)
+                )
+                await writer.drain()
+                return
+            method, path, version = parts
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > MAX_BODY_BYTES:
+                writer.write(
+                    _json_response(413, {"ok": False, "error": "body too large"}, False)
+                )
+                await writer.drain()
+                return
+            body = await reader.readexactly(length) if length else b""
+            keep_alive = (
+                headers.get("connection", "").lower() != "close"
+                and version != "HTTP/1.0"
+            )
+            response = await self._dispatch(method, path, body, keep_alive)
+            writer.write(response)
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, keep_alive: bool
+    ) -> bytes:
+        path = path.split("?", 1)[0]
+        if path == "/query":
+            if method != "POST":
+                return _json_response(
+                    405, {"ok": False, "error": "POST only"}, keep_alive
+                )
+            try:
+                doc = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return _json_response(
+                    400, {"ok": False, "error": "body is not valid JSON"}, keep_alive
+                )
+            try:
+                if self.runtime.blocking_capture:
+                    # Cluster captures wait on the pump; keep the loop free.
+                    result = await asyncio.get_event_loop().run_in_executor(
+                        None, self.runtime.handle, doc
+                    )
+                else:
+                    result = self.runtime.handle(doc)
+            except QueryError as exc:
+                return _json_response(
+                    400, {"ok": False, "error": str(exc)}, keep_alive
+                )
+            except Exception as exc:  # keep serving other clients
+                return _json_response(
+                    500,
+                    {"ok": False, "error": f"internal error: {exc}"},
+                    keep_alive,
+                )
+            return _json_response(200, result, keep_alive)
+        if path == "/refresh":
+            if method != "POST":
+                return _json_response(
+                    405, {"ok": False, "error": "POST only"}, keep_alive
+                )
+            if self.runtime.blocking_capture:
+                result = await asyncio.get_event_loop().run_in_executor(
+                    None, self.runtime.refresh
+                )
+            else:
+                result = self.runtime.refresh()
+            return _json_response(200, result, keep_alive)
+        if path == "/stats":
+            return _json_response(200, self.runtime.stats(), keep_alive)
+        if path == "/healthz":
+            return _json_response(
+                200,
+                {"ok": True, "epoch": self.runtime.store.epoch},
+                keep_alive,
+            )
+        if path == "/metrics":
+            text = to_prometheus(self.runtime.registry)
+            return _response(
+                200, text.encode("utf-8"), "text/plain; version=0.0.4", keep_alive
+            )
+        return _json_response(
+            404, {"ok": False, "error": f"no route {path!r}"}, keep_alive
+        )

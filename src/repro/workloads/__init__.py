@@ -15,15 +15,25 @@ from repro.workloads.sensors import (
     sensor_stream_with_anomalies,
     series_with_missing_values,
 )
+from repro.workloads.serving import (
+    WorkloadResult,
+    query_stream,
+    run_closed_loop,
+    run_closed_loop_sync,
+)
 from repro.workloads.text import hashtag_stream, zipf_stream
 from repro.workloads.web import click_stream, session_stream, visitor_stream
 
 __all__ = [
+    "WorkloadResult",
     "click_stream",
     "edge_stream",
     "hashtag_stream",
     "power_law_edge_stream",
+    "query_stream",
     "random_walk_series",
+    "run_closed_loop",
+    "run_closed_loop_sync",
     "seasonal_series",
     "sensor_stream_with_anomalies",
     "series_with_missing_values",

@@ -1,0 +1,28 @@
+"""Loop-friendly serving code — nothing here is flagged."""
+
+import asyncio
+import time
+
+
+def warm(q, path):
+    # Synchronous helper: blocking calls are fine off the loop.
+    time.sleep(0.01)
+    with open(path) as fh:
+        fh.read()
+    return q.get()
+
+
+async def handle(loop, q, table, path):
+    await asyncio.sleep(0.01)
+    item = q.get_nowait()
+    bounded = q.get(timeout=0.5)
+    row = table.get("key")
+    data = await loop.run_in_executor(None, warm, q, path)
+
+    def helper():
+        # Nested sync def: destined for the executor, not the loop.
+        time.sleep(0.01)
+        return q.get()
+
+    more = await loop.run_in_executor(None, helper)
+    return item, bounded, row, data, more

@@ -1,0 +1,8 @@
+"""Blocking calls in a coroutine *outside* serving/ — out of SL015 scope."""
+
+import time
+
+
+async def drive(q):
+    time.sleep(0.05)
+    return q.get()

@@ -1,0 +1,13 @@
+"""Coroutines that stall the event loop — every call here is flagged."""
+
+import socket
+import time
+
+
+async def handle(inbox, path):
+    time.sleep(0.05)  # blocks every connection
+    payload = inbox.get()  # blocks forever if the peer died
+    conn = socket.create_connection(("127.0.0.1", 80))  # blocking I/O
+    with open(path) as fh:  # blocking file I/O
+        data = fh.read()
+    return payload, conn, data

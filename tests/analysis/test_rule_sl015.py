@@ -1,0 +1,77 @@
+"""SL015: blocking synchronous calls inside async def in serving code."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sl015"
+SELECT = ["SL015"]
+
+POS = """\
+import time
+async def f():
+    time.sleep(0.1)
+"""
+
+
+class TestFixtures:
+    def test_pos_tree_flagged(self):
+        findings = analyze_paths([FIXTURES / "pos"], select=SELECT)
+        assert {f.rule_id for f in findings} == {"SL015"}
+        messages = [f.message for f in findings]
+        assert sum("time.sleep" in m for m in messages) == 1
+        assert sum("without a timeout" in m for m in messages) == 1
+        assert sum("socket.create_connection" in m for m in messages) == 1
+        assert sum("file open()" in m for m in messages) == 1
+
+    def test_neg_tree_clean(self):
+        assert analyze_paths([FIXTURES / "neg"], select=SELECT) == []
+
+
+class TestUnits:
+    def test_sleep_in_coroutine_flagged(self, lint):
+        findings = lint({"serving/x.py": POS}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL015"]
+
+    def test_aliased_sleep_flagged(self, lint):
+        src = "from time import sleep\nasync def f():\n    sleep(1)\n"
+        findings = lint({"serving/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL015"]
+
+    def test_sync_def_out_of_scope(self, rule_ids):
+        src = "import time\ndef f():\n    time.sleep(0.1)\n"
+        assert rule_ids({"serving/x.py": src}, select=SELECT) == []
+
+    def test_outside_serving_out_of_scope(self, rule_ids):
+        assert rule_ids({"platform/x.py": POS}, select=SELECT) == []
+
+    def test_subprocess_flagged(self, lint):
+        src = "import subprocess\nasync def f():\n    subprocess.run(['ls'])\n"
+        findings = lint({"serving/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL015"]
+
+    def test_bare_get_in_coroutine_flagged(self, lint):
+        src = "async def f(q):\n    return q.get()\n"
+        findings = lint({"serving/x.py": src}, select=SELECT)
+        assert [f.rule_id for f in findings] == ["SL015"]
+
+    def test_asyncio_sleep_clean(self, rule_ids):
+        src = "import asyncio\nasync def f():\n    await asyncio.sleep(0.1)\n"
+        assert rule_ids({"serving/x.py": src}, select=SELECT) == []
+
+    def test_aliased_open_clean(self, rule_ids):
+        # A local name shadowing builtin open via import is not file I/O.
+        src = (
+            "from gzip import open\n"
+            "async def f(path):\n"
+            "    return open(path)\n"
+        )
+        assert rule_ids({"serving/x.py": src}, select=SELECT) == []
+
+    def test_suppression_honoured(self, rule_ids):
+        src = (
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(0.1)  # streamlint: disable=SL015\n"
+        )
+        assert rule_ids({"serving/x.py": src}, select=SELECT) == []

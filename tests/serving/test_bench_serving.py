@@ -1,0 +1,45 @@
+"""The serving bench: schema, invariants, CLI smoke."""
+
+import json
+
+from repro.bench.cli import main as bench_main
+from repro.bench.runner import validate_payload
+from repro.bench.serving import run_serving_bench
+
+
+def test_smoke_payload_schema_and_invariants():
+    payload = run_serving_bench(
+        n_items=800,
+        n_users=2,
+        queries_per_user=12,
+        seed=7,
+        smoke=True,
+        ingest_budgets=(0, 64),
+    )
+    validate_payload(payload)  # raises on any schema violation
+    assert payload["config"]["mode"] == "serving-closed-loop"
+    assert len(payload["results"]) == 2
+    for row in payload["results"]:
+        assert row["equivalent"] is True  # bit-identical replays
+        assert row["n_items"] == 24
+        assert row["qps"] > 0 and row["p99_ms"] > 0
+        assert 0.0 <= row["cache_hit_ratio"] <= 1.0
+    budgets = [row["ingest_budget"] for row in payload["results"]]
+    assert budgets == [0, 64]
+    # The concurrent-ingest row actually ingested while serving.
+    assert payload["results"][1]["ingest_items_per_s"] > 0
+
+
+def test_cli_writes_validated_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_serving.json"
+    code = bench_main(
+        ["--serving", "--smoke", "--users", "2", "--out", str(out)]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    validate_payload(payload)
+    assert payload["config"]["smoke"] is True
+    assert all(row["equivalent"] for row in payload["results"])
+    stdout = capsys.readouterr().out
+    assert "cache hit ratio" in stdout
+    assert "schema OK" in stdout

@@ -1,0 +1,158 @@
+"""Result-cache correctness: the cache may change latency, never answers.
+
+Three contracts, each pinned exactly:
+
+* **Epoch invalidation** — an entry is keyed on its snapshot epoch, so
+  advancing the epoch makes every older result unreachable (and
+  :meth:`purge` reclaims them with reason ``epoch``).
+* **TTL** — an entry past its TTL is evicted on touch and *never*
+  served, even within the same epoch.
+* **LRU** — eviction order under capacity pressure is
+  least-recently-*used* (a hit refreshes recency), pinned via
+  :meth:`ResultCache.keys`.
+"""
+
+import pytest
+
+from repro.common.exceptions import ParameterError
+from repro.obs.metrics import MetricRegistry
+from repro.serving import MISS, ResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_cache(clock, capacity=8, ttl=2.0, registry=None):
+    # A real registry by default: the hit/miss counter contract is part
+    # of what these tests pin (NULL_REGISTRY would read 0 forever).
+    registry = registry if registry is not None else MetricRegistry()
+    return ResultCache(capacity=capacity, ttl=ttl, clock=clock, registry=registry)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, clock):
+        cache = make_cache(clock)
+        assert cache.get("q", 1) is MISS
+        cache.put("q", 1, 42)
+        assert cache.get("q", 1) == 42
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_ratio() == 0.5
+
+    def test_cached_none_is_a_hit(self, clock):
+        cache = make_cache(clock)
+        cache.put("q", 1, None)
+        assert cache.get("q", 1) is None
+        assert cache.hits == 1
+
+    def test_parameter_validation(self, clock):
+        with pytest.raises(ParameterError):
+            ResultCache(capacity=0, clock=clock)
+        with pytest.raises(ParameterError):
+            ResultCache(ttl=0.0, clock=clock)
+
+
+class TestEpochInvalidation:
+    def test_new_epoch_never_sees_old_results(self, clock):
+        cache = make_cache(clock)
+        cache.put("q", 1, "old answer")
+        # Same query, advanced snapshot epoch: the old answer must be
+        # unreachable — epoch keying IS the invalidation.
+        assert cache.get("q", 2) is MISS
+        cache.put("q", 2, "new answer")
+        assert cache.get("q", 2) == "new answer"
+        assert cache.get("q", 1) == "old answer"  # still there until purged
+
+    def test_purge_drops_strand_epochs(self, clock):
+        registry = MetricRegistry()
+        cache = make_cache(clock, registry=registry)
+        cache.put("a", 1, 1)
+        cache.put("b", 1, 2)
+        cache.put("c", 2, 3)
+        assert cache.purge(current_epoch=2) == 2
+        assert cache.keys() == [("c", 2)]
+        evicted = {
+            s.labels: s.value
+            for s in registry.get("serving_cache_evictions_total").samples()
+        }
+        assert evicted[(("reason", "epoch"),)] == 2
+
+
+class TestTTL:
+    def test_stale_entry_never_served(self, clock):
+        registry = MetricRegistry()
+        cache = make_cache(clock, ttl=2.0, registry=registry)
+        cache.put("q", 1, 42)
+        clock.now += 1.99
+        assert cache.get("q", 1) == 42
+        clock.now += 0.02  # past expiry
+        assert cache.get("q", 1) is MISS
+        assert len(cache) == 0  # evicted on touch, not just skipped
+        evicted = {
+            s.labels: s.value
+            for s in registry.get("serving_cache_evictions_total").samples()
+        }
+        assert evicted[(("reason", "expired"),)] == 1
+
+    def test_put_resets_ttl(self, clock):
+        cache = make_cache(clock, ttl=2.0)
+        cache.put("q", 1, "v1")
+        clock.now += 1.5
+        cache.put("q", 1, "v2")
+        clock.now += 1.5  # 3.0s after first put, 1.5s after second
+        assert cache.get("q", 1) == "v2"
+
+    def test_purge_drops_expired(self, clock):
+        cache = make_cache(clock, ttl=2.0)
+        cache.put("a", 1, 1)
+        clock.now += 1.0
+        cache.put("b", 1, 2)
+        clock.now += 1.5  # "a" expired, "b" not
+        assert cache.purge() == 1
+        assert cache.keys() == [("b", 1)]
+
+
+class TestLRU:
+    def test_eviction_order_pinned(self, clock):
+        registry = MetricRegistry()
+        cache = make_cache(clock, capacity=3, registry=registry)
+        cache.put("a", 1, 1)
+        cache.put("b", 1, 2)
+        cache.put("c", 1, 3)
+        assert cache.keys() == [("a", 1), ("b", 1), ("c", 1)]
+        # A hit refreshes recency: "a" moves to most-recent...
+        assert cache.get("a", 1) == 1
+        assert cache.keys() == [("b", 1), ("c", 1), ("a", 1)]
+        # ...so capacity pressure evicts "b", the least recently USED.
+        cache.put("d", 1, 4)
+        assert cache.keys() == [("c", 1), ("a", 1), ("d", 1)]
+        evicted = {
+            s.labels: s.value
+            for s in registry.get("serving_cache_evictions_total").samples()
+        }
+        assert evicted[(("reason", "capacity"),)] == 1
+
+    def test_reput_refreshes_recency(self, clock):
+        cache = make_cache(clock, capacity=2)
+        cache.put("a", 1, 1)
+        cache.put("b", 1, 2)
+        cache.put("a", 1, 10)  # overwrite: now most recent
+        cache.put("c", 1, 3)  # evicts "b"
+        assert cache.keys() == [("a", 1), ("c", 1)]
+
+    def test_clear_keeps_counters(self, clock):
+        cache = make_cache(clock)
+        cache.put("a", 1, 1)
+        cache.get("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1

@@ -1,0 +1,110 @@
+"""Query model: wire-document validation, canonical keys, resolution."""
+
+import pytest
+
+from repro.serving import QueryError, parse_query
+from repro.serving.demo import serving_summary
+
+
+@pytest.fixture(scope="module")
+def summary():
+    s = serving_summary()
+    for word in ["a", "a", "a", "bb", "bb", "ccc"]:
+        s.update(word)
+    return s
+
+
+class TestParse:
+    def test_rejects_non_object(self):
+        with pytest.raises(QueryError):
+            parse_query(["point"])
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(QueryError, match="op must be one of"):
+            parse_query({"op": "join"})
+
+    def test_point_needs_item(self):
+        with pytest.raises(QueryError, match="item"):
+            parse_query({"op": "point", "synopsis": "freq"})
+
+    @pytest.mark.parametrize("k", [0, -1, 2.5, True, "5"])
+    def test_topk_needs_positive_int_k(self, k):
+        with pytest.raises(QueryError):
+            parse_query({"op": "topk", "k": k})
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1, "0.5", True])
+    def test_quantile_needs_unit_interval_q(self, q):
+        with pytest.raises(QueryError):
+            parse_query({"op": "quantile", "q": q})
+
+    def test_range_needs_bounds(self):
+        with pytest.raises(QueryError, match="hi"):
+            parse_query({"op": "range", "lo": 1})
+
+    def test_synopsis_must_be_string(self):
+        with pytest.raises(QueryError, match="synopsis"):
+            parse_query({"op": "cardinality", "synopsis": 3})
+
+
+class TestKey:
+    def test_equivalent_documents_share_a_cache_line(self):
+        a = parse_query({"op": "point", "item": "x", "synopsis": "freq"})
+        b = parse_query(
+            {"synopsis": "freq", "item": "x", "op": "point", "junk": 1}
+        )
+        assert a.key() == b.key()
+
+    def test_different_queries_differ(self):
+        a = parse_query({"op": "point", "item": "x", "synopsis": "freq"})
+        b = parse_query({"op": "point", "item": "y", "synopsis": "freq"})
+        assert a.key() != b.key()
+
+
+class TestResolve:
+    def test_point(self, summary):
+        query = parse_query({"op": "point", "synopsis": "freq", "item": "a"})
+        assert query.resolve(summary) == 3
+
+    def test_topk(self, summary):
+        query = parse_query({"op": "topk", "synopsis": "topk", "k": 2})
+        assert query.resolve(summary) == [["a", 3], ["bb", 2]]
+
+    def test_cardinality(self, summary):
+        query = parse_query({"op": "cardinality", "synopsis": "uniques"})
+        assert query.resolve(summary) == pytest.approx(3.0, abs=0.5)
+
+    def test_quantile(self, summary):
+        query = parse_query({"op": "quantile", "synopsis": "lengths", "q": 0.5})
+        assert query.resolve(summary) == 2
+
+    def test_range(self, summary):
+        # word lengths in [1, 3): the three "a" and two "bb" updates
+        query = parse_query(
+            {"op": "range", "synopsis": "lengths", "lo": 1, "hi": 3}
+        )
+        assert query.resolve(summary) == 5
+
+    def test_unknown_child_is_a_query_error(self, summary):
+        query = parse_query({"op": "point", "synopsis": "nope", "item": "a"})
+        with pytest.raises(QueryError, match="no synopsis named"):
+            query.resolve(summary)
+
+    def test_unsupported_surface_is_a_query_error(self, summary):
+        # HyperLogLog has estimate() but no top(): topk must 400, not 500
+        query = parse_query({"op": "topk", "synopsis": "uniques", "k": 3})
+        with pytest.raises(QueryError, match="does not support"):
+            query.resolve(summary)
+
+    def test_quantile_of_empty_stream_is_none(self):
+        # A freshly-captured snapshot may have absorbed nothing yet: the
+        # answer is "no data", not a 400 and never a connection-killing
+        # server error.
+        empty = serving_summary()
+        query = parse_query({"op": "quantile", "synopsis": "lengths", "q": 0.5})
+        assert query.resolve(empty) is None
+
+    def test_point_against_cardinality_synopsis_is_a_query_error(self, summary):
+        # HyperLogLog.estimate() takes no item: the TypeError is wrapped
+        query = parse_query({"op": "point", "synopsis": "uniques", "item": "a"})
+        with pytest.raises(QueryError, match="does not support"):
+            query.resolve(summary)

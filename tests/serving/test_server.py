@@ -1,0 +1,243 @@
+"""The asyncio HTTP front-end: routing, caching, shutdown hygiene.
+
+Every test boots a real server on an ephemeral port inside one event
+loop and speaks actual HTTP/1.1 over a stream connection — no mocked
+transport. The shutdown tests pin the CI contract: ``stop()`` leaves
+zero pending tasks behind.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.platform.executor import LocalExecutor
+from repro.serving import ServingRuntime, ServingServer
+from repro.serving.demo import SERVING_BOLT, build_serving_topology, demo_records
+
+SEED = 7
+
+
+def make_runtime(n_records=400, **kwargs):
+    executor = LocalExecutor(build_serving_topology(demo_records(n_records, SEED)))
+    kwargs.setdefault("registry", MetricRegistry())
+    return ServingRuntime(executor, SERVING_BOLT, **kwargs)
+
+
+async def request(port, method, path, body=None):
+    """One HTTP/1.1 exchange; returns (status, parsed-or-raw body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: test\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("ascii") + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await reader.readexactly(length) if length else b""
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    try:
+        return status, json.loads(raw)
+    except json.JSONDecodeError:
+        return status, raw.decode("utf-8", "replace")
+
+
+def serve(coro_fn):
+    """Run *coro_fn(server)* against a started server, then stop it."""
+
+    async def _main():
+        server = ServingServer(make_runtime())
+        await server.start(ingest=True)
+        try:
+            return await coro_fn(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(_main())
+
+
+class TestRouting:
+    def test_healthz(self):
+        async def check(server):
+            return await request(server.port, "GET", "/healthz")
+
+        status, body = serve(check)
+        assert status == 200 and body["ok"] is True
+
+    def test_query_roundtrip_and_cache_hit(self):
+        async def check(server):
+            doc = {"op": "point", "synopsis": "freq", "item": "w0"}
+            first = await request(server.port, "POST", "/query", doc)
+            second = await request(server.port, "POST", "/query", doc)
+            return first, second
+
+        (s1, b1), (s2, b2) = serve(check)
+        assert s1 == s2 == 200
+        assert b1["ok"] and isinstance(b1["result"], int) and b1["result"] > 0
+        assert b1["cached"] is False and b2["cached"] is True
+        assert b1["result"] == b2["result"] and b1["epoch"] == b2["epoch"]
+
+    def test_bad_query_is_400(self):
+        async def check(server):
+            return await request(
+                server.port, "POST", "/query", {"op": "join"}
+            )
+
+        status, body = serve(check)
+        assert status == 400
+        assert body["ok"] is False and "op must be one of" in body["error"]
+
+    def test_unparsable_body_is_400(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 4\r\n\r\n{{{{"
+            )
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return int(line.split()[1])
+
+        assert serve(check) == 400
+
+    def test_unknown_path_is_404_and_bad_method_405(self):
+        async def check(server):
+            missing = await request(server.port, "GET", "/nope")
+            wrong = await request(server.port, "GET", "/query")
+            return missing[0], wrong[0]
+
+        assert serve(check) == (404, 405)
+
+    def test_refresh_advances_epoch(self):
+        async def check(server):
+            doc = {"op": "cardinality", "synopsis": "uniques"}
+            before = await request(server.port, "POST", "/query", doc)
+            bumped = await request(server.port, "POST", "/refresh")
+            after = await request(server.port, "POST", "/query", doc)
+            return before[1], bumped[1], after[1]
+
+        before, bumped, after = serve(check)
+        assert bumped["ok"] and bumped["epoch"] == before["epoch"] + 1
+        assert after["epoch"] == bumped["epoch"]
+        assert after["cached"] is False  # the new epoch misses by design
+
+    def test_stats_and_metrics(self):
+        async def check(server):
+            doc = {"op": "point", "synopsis": "freq", "item": "w1"}
+            await request(server.port, "POST", "/query", doc)
+            await request(server.port, "POST", "/query", doc)
+            stats = await request(server.port, "GET", "/stats")
+            metrics = await request(server.port, "GET", "/metrics")
+            return stats, metrics
+
+        (s_status, stats), (m_status, metrics) = serve(check)
+        assert s_status == m_status == 200
+        assert stats["requests"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert "serving_cache_hits_total 1" in metrics
+        assert "serving_request_seconds" in metrics
+
+
+class TestLifecycle:
+    def test_stop_leaves_no_pending_tasks(self):
+        async def _main():
+            server = ServingServer(make_runtime())
+            await server.start(ingest=True)
+            # Leave a connection open mid-keep-alive, then stop.
+            _reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            await request(server.port, "POST", "/refresh")
+            await server.stop()
+            writer.close()
+            leaked = [
+                t
+                for t in asyncio.all_tasks()
+                if t is not asyncio.current_task() and not t.done()
+            ]
+            return leaked
+
+        assert asyncio.run(_main()) == []
+
+    def test_ingest_drains_while_serving(self):
+        async def _main():
+            server = ServingServer(make_runtime(), ingest_budget=64)
+            await server.start(ingest=True)
+            try:
+                for _ in range(200):
+                    if server.runtime.ingest_done:
+                        break
+                    await asyncio.sleep(0.01)
+                status, stats = await request(server.port, "GET", "/stats")
+            finally:
+                await server.stop()
+            return status, stats
+
+        status, stats = asyncio.run(_main())
+        assert status == 200
+        assert stats["ingest"]["done"] is True
+        assert stats["ingest"]["source_frontier"] > 0
+
+    def test_port_is_ephemeral_and_reported(self):
+        async def _main():
+            server = ServingServer(make_runtime())
+            await server.start(ingest=False)
+            port = server.port
+            await server.stop()
+            return port
+
+        assert asyncio.run(_main()) > 0
+
+
+def test_oversized_body_is_413():
+    async def _main():
+        server = ServingServer(make_runtime())
+        await server.start(ingest=False)
+        try:
+            big = {"op": "point", "item": "x" * (2 << 20)}
+            return await request(server.port, "POST", "/query", big)
+        finally:
+            await server.stop()
+
+    status, _body = asyncio.run(_main())
+    assert status == 413
+
+
+@pytest.mark.parametrize("op", ["point", "topk", "cardinality", "quantile", "range"])
+def test_every_op_serves_over_http(op):
+    docs = {
+        "point": {"op": "point", "synopsis": "freq", "item": "w0"},
+        "topk": {"op": "topk", "synopsis": "topk", "k": 3},
+        "cardinality": {"op": "cardinality", "synopsis": "uniques"},
+        "quantile": {"op": "quantile", "synopsis": "lengths", "q": 0.9},
+        "range": {"op": "range", "synopsis": "lengths", "lo": 1, "hi": 4},
+    }
+
+    async def check(server):
+        return await request(server.port, "POST", "/query", docs[op])
+
+    status, body = serve(check)
+    assert status == 200 and body["ok"] is True and body["op"] == op

@@ -1,0 +1,157 @@
+"""Snapshot isolation: mid-ingest queries see one frozen, offline-
+reproducible view.
+
+The pin (both executors): while ingest is live, every response must be
+**bit-identical** to resolving the same query offline against the
+snapshot's captured stateship payloads — and, with the epoch pinned,
+further ingest must not change a single answer. That is the serving
+layer's whole correctness claim: reads are isolated from writes.
+"""
+
+import pytest
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.cluster.coordinator import ClusterExecutor
+from repro.obs.metrics import MetricRegistry
+from repro.platform.executor import LocalExecutor
+from repro.serving import ServingRuntime, capture_payloads, merge_payloads, parse_query
+from repro.serving.demo import SERVING_BOLT, build_serving_topology, demo_records
+
+SEED = 7
+
+#: One of each op, all against the served StreamSummary's children.
+QUERY_DOCS = [
+    {"op": "point", "synopsis": "freq", "item": "w0"},
+    {"op": "point", "synopsis": "freq", "item": "w7"},
+    {"op": "topk", "synopsis": "topk", "k": 5},
+    {"op": "cardinality", "synopsis": "uniques"},
+    {"op": "quantile", "synopsis": "lengths", "q": 0.5},
+    {"op": "range", "synopsis": "lengths", "lo": 1, "hi": 3},
+]
+
+
+def _offline_answers(payloads):
+    """Resolve every pinned query against a fresh offline merge of the
+    captured shard payload bytes — the auditor's view of the snapshot."""
+    merged = merge_payloads(list(payloads))
+    return [parse_query(doc).resolve(merged) for doc in QUERY_DOCS]
+
+
+class TestLocalExecutor:
+    def test_mid_ingest_reads_match_offline_and_survive_ingest(self):
+        records = demo_records(1_500, SEED)
+        executor = LocalExecutor(
+            build_serving_topology(records), semantics="at_least_once"
+        )
+        runtime = ServingRuntime(
+            executor,
+            SERVING_BOLT,
+            registry=MetricRegistry(),
+            max_snapshot_age=float("inf"),  # pin the first captured epoch
+        )
+        runtime.cache_enabled = False  # every answer is a real recompute
+        runtime.start_ingest()
+        for _ in range(4):  # ingest part of the stream, then stop mid-way
+            assert runtime.ingest_step(32)
+        live = [runtime.handle(doc)["result"] for doc in QUERY_DOCS]
+        snapshot = runtime.store.current()
+        assert snapshot.epoch == 1
+        # Bit-identical to offline resolution of the captured bytes.
+        assert live == _offline_answers(snapshot.payloads)
+        # Ingest the rest of the stream: the pinned epoch must not move
+        # and not one answer may change — reads are isolated from writes.
+        while runtime.ingest_step(256):
+            pass
+        assert runtime.ingest_done
+        again = [runtime.handle(doc)["result"] for doc in QUERY_DOCS]
+        assert again == live
+        assert runtime.store.epoch == 1
+        # A refresh now sees the fully-ingested state — and differs.
+        runtime.refresh()
+        final = [runtime.handle(doc)["result"] for doc in QUERY_DOCS]
+        assert final != live
+
+    def test_offline_merge_is_deterministic(self):
+        records = demo_records(600, SEED)
+        executor = LocalExecutor(build_serving_topology(records))
+        executor.run()
+        payloads = capture_payloads(executor, SERVING_BOLT)
+        first = merge_payloads(list(payloads))
+        second = merge_payloads(list(payloads))
+        assert state_fingerprint(first) == state_fingerprint(second)
+
+
+class TestClusterExecutor:
+    def test_mid_ingest_reads_match_offline(self):
+        records = demo_records(2_500, SEED)
+        with ClusterExecutor(
+            build_serving_topology(records), n_workers=2
+        ) as executor:
+            runtime = ServingRuntime(
+                executor,
+                SERVING_BOLT,
+                registry=MetricRegistry(),
+                max_snapshot_age=float("inf"),
+            )
+            runtime.cache_enabled = False
+            runtime.start_ingest()
+            # First query forces a capture serviced by the live pump —
+            # possibly mid-ingest, possibly after; the pin holds either way.
+            live = [runtime.handle(doc)["result"] for doc in QUERY_DOCS]
+            snapshot = runtime.store.current()
+            assert snapshot.epoch == 1
+            assert live == _offline_answers(snapshot.payloads)
+            # Ingest proceeds (or completes) underneath; pinned answers
+            # must not move.
+            runtime.join_ingest(timeout=60.0)
+            assert runtime.ingest_error is None
+            assert [runtime.handle(doc)["result"] for doc in QUERY_DOCS] == live
+            # The post-ingest refresh equals a local run over the full
+            # stream: merge-on-query over shards loses nothing.
+            runtime.refresh()
+            clustered = [runtime.handle(doc)["result"] for doc in QUERY_DOCS]
+        reference = LocalExecutor(build_serving_topology(records))
+        reference.run()
+        offline = [
+            parse_query(doc).resolve(reference.merged_synopsis(SERVING_BOLT))
+            for doc in QUERY_DOCS
+        ]
+        assert clustered == offline
+
+    def test_capture_does_not_block_ingest_completion(self):
+        records = demo_records(1_200, SEED)
+        with ClusterExecutor(
+            build_serving_topology(records), n_workers=2
+        ) as executor:
+            runtime = ServingRuntime(
+                executor, SERVING_BOLT, registry=MetricRegistry()
+            )
+            runtime.start_ingest()
+            for _ in range(5):  # hammer captures while the pump runs
+                runtime.refresh()
+            runtime.join_ingest(timeout=60.0)
+            assert runtime.ingest_error is None
+            assert runtime.ingest_done
+
+
+@pytest.mark.parametrize("make_executor", ["local", "cluster"])
+def test_payload_framing_is_executor_agnostic(make_executor):
+    """Both executors ship the same stateship framing for the same data."""
+    records = demo_records(400, SEED)
+    if make_executor == "local":
+        executor = LocalExecutor(build_serving_topology(records))
+        executor.run()
+        payloads = capture_payloads(executor, SERVING_BOLT)
+        merged = merge_payloads(list(payloads))
+    else:
+        with ClusterExecutor(
+            build_serving_topology(records), n_workers=2
+        ) as executor:
+            executor.run()
+            payloads = capture_payloads(executor, SERVING_BOLT)
+            merged = merge_payloads(list(payloads))
+    reference = LocalExecutor(build_serving_topology(records))
+    reference.run()
+    assert state_fingerprint(merged) == state_fingerprint(
+        reference.merged_synopsis(SERVING_BOLT)
+    )
