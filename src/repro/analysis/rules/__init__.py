@@ -22,6 +22,7 @@ from repro.analysis.rules import (  # noqa: F401 - registration side effects
     sl013_pickled_hot_path,
     sl014_unthrottled_telemetry,
     sl015_async_blocking,
+    sl016_split_contract,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "sl013_pickled_hot_path",
     "sl014_unthrottled_telemetry",
     "sl015_async_blocking",
+    "sl016_split_contract",
 ]

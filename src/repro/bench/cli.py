@@ -11,7 +11,10 @@ topology bare vs. instrumented, written to ``BENCH_obs.json`` by default.
 across worker processes at each ``--workers`` count, written to
 ``BENCH_cluster.json`` by default. ``--lint`` switches to the streamlint
 suite (:mod:`repro.bench.lint`): full-tree analysis cold vs. warm cache ×
-1 vs. auto jobs, written to ``BENCH_lint.json`` by default.
+1 vs. auto jobs, written to ``BENCH_lint.json`` by default. ``--elastic``
+switches to the elasticity suite (:mod:`repro.bench.elastic`): the spike
+workload on a fixed cluster vs. one rescaled live by the backpressure
+autoscaler, written to ``BENCH_elastic.json`` by default.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ _OBS_DEFAULT_OUT = "BENCH_obs.json"
 _CLUSTER_DEFAULT_OUT = "BENCH_cluster.json"
 _LINT_DEFAULT_OUT = "BENCH_lint.json"
 _SERVING_DEFAULT_OUT = "BENCH_serving.json"
+_ELASTIC_DEFAULT_OUT = "BENCH_elastic.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the serving layer (closed-loop query workload over "
         "the live demo topology, cache off vs. on) instead of synopsis "
         "ingest",
+    )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="measure elasticity (spike workload on a fixed cluster vs. "
+        "one autoscaled live by backpressure) instead of synopsis ingest",
     )
     parser.add_argument(
         "--users",
@@ -137,6 +147,35 @@ def main(argv: list[str] | None = None) -> int:
             "bit-identical cached/uncached replays is the invariant"
         )
         out_path = Path(args.out or _SERVING_DEFAULT_OUT)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")
+        return 0
+    if args.elastic:
+        from repro.bench.elastic import run_elastic_bench
+
+        if args.smoke:
+            payload = run_elastic_bench(
+                n_calm=1_000,
+                n_spike=3_000,
+                n_tail=3_000,
+                amplify=12,
+                max_workers=4,
+                seed=args.seed,
+                smoke=True,
+            )
+        else:
+            payload = run_elastic_bench(seed=args.seed)
+        validate_payload(payload)
+        print(format_table(payload))
+        row = payload["results"][0]
+        print(
+            f"\nmachine: {payload['config']['n_cores']} core(s) — "
+            f"{row['rescales']} live rescales ({row['synopsis']}), worst "
+            f"rescale {row['rescale_latency_s'] * 1000:.0f}ms, lag "
+            f"recovered in {row['lag_recovery_s']:.2f}s; merged-state "
+            "equality across every rescale is the invariant"
+        )
+        out_path = Path(args.out or _ELASTIC_DEFAULT_OUT)
         out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out_path} ({len(payload['results'])} cases, schema OK)")
         return 0

@@ -41,11 +41,10 @@ baseline. Scaling out must not change the answer.
 
 from __future__ import annotations
 
-import os
 import time
 
 from repro.bench.fingerprint import state_fingerprint
-from repro.bench.runner import BENCH_SCHEMA_V2
+from repro.bench.runner import BENCH_SCHEMA_V2, available_cpu_count
 from repro.cluster.coordinator import ClusterExecutor
 from repro.common.exceptions import ParameterError
 from repro.obs.demo import demo_records
@@ -188,6 +187,9 @@ def run_cluster_bench(
                     "data_frames": stats.get("data_frames", 0),
                     "codec_pickled_bytes": stats.get("codec_pickled_bytes", 0),
                     "backpressure_waits": stats.get("backpressure_waits", 0),
+                    # Cores this row actually had (affinity-aware), so a
+                    # committed speedup is interpretable on any host.
+                    "n_cores": available_cpu_count(),
                 }
             )
     return {
@@ -201,7 +203,7 @@ def run_cluster_bench(
             "workers": list(workers),
             "transports": list(transports),
             "semantics": semantics,
-            "n_cores": os.cpu_count(),
+            "n_cores": available_cpu_count(),
         },
         "results": results,
     }

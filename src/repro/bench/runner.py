@@ -14,12 +14,33 @@ input (see SL004's exemption for ``repro.bench``).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.bench.fingerprint import state_fingerprint
 from repro.common.exceptions import ParameterError
+
+
+def available_cpu_count() -> int:
+    """CPU cores *this process* may actually use, not just the machine's.
+
+    Scaling benches are meaningless without this number: a 64-core host
+    pinned to 2 cores by cgroups/affinity behaves like a 2-core machine,
+    and ``os.cpu_count()`` happily reports 64. Prefer
+    ``os.process_cpu_count()`` (3.13+), fall back to the scheduler
+    affinity mask (Linux), then to the machine count.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:  # pragma: no cover - Python 3.13+
+        count = getter()
+        if count:
+            return count
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 BENCH_SCHEMA = "repro.bench/v1"
 

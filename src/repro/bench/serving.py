@@ -27,11 +27,10 @@ serving starts) and carries two measurements plus one proof:
 from __future__ import annotations
 
 import asyncio
-import os
 import threading
 import time
 
-from repro.bench.runner import BENCH_SCHEMA_V2
+from repro.bench.runner import BENCH_SCHEMA_V2, available_cpu_count
 from repro.common.exceptions import ParameterError
 from repro.obs.context import Observability
 from repro.platform.executor import LocalExecutor
@@ -177,6 +176,9 @@ def _measure_case(
             uncached.snapshot_age_max_s, cached.snapshot_age_max_s
         ),
         "epochs_seen": len(cached.epochs | uncached.epochs),
+        # Cores this row actually had (affinity-aware): the closed-loop
+        # QPS of a pinned run must not masquerade as a full-host number.
+        "n_cores": available_cpu_count(),
     }
 
 
@@ -211,7 +213,7 @@ def run_serving_bench(
             "n_users": n_users,
             "queries_per_user": queries_per_user,
             "ingest_budgets": list(ingest_budgets),
-            "n_cores": os.cpu_count(),
+            "n_cores": available_cpu_count(),
         },
         "results": results,
     }

@@ -63,6 +63,12 @@ class FlajoletMartin(SynopsisBase):
         self._bitmaps |= other._bitmaps
         self.count += other.count
 
+    def _empty_clone(self) -> "FlajoletMartin":
+        return FlajoletMartin(self.m, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["FlajoletMartin"]:
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._bitmaps.nbytes)
 

@@ -111,6 +111,14 @@ class HyperLogLog(SynopsisBase):
         np.maximum(self._registers, other._registers, out=self._registers)
         self.count += other.count
 
+    def _empty_clone(self) -> "HyperLogLog":
+        return HyperLogLog(self.precision, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["HyperLogLog"]:
+        # Register max is idempotent but ``count`` sums, so shard 0 keeps
+        # the registers and its siblings start zeroed.
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._registers.nbytes)
 

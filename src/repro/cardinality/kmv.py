@@ -84,5 +84,13 @@ class KMinValues(SynopsisBase):
                 self._members.add(value)
         self.count += other.count
 
+    def _empty_clone(self) -> "KMinValues":
+        return KMinValues(self.k, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["KMinValues"]:
+        # Merging re-inserts members (set union of retained minima), which
+        # is idempotent — but ``count`` sums, so seed-part it is.
+        return self._split_seed_part(n)
+
     def __len__(self) -> int:
         return len(self._heap)

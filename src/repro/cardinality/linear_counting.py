@@ -50,5 +50,11 @@ class LinearCounter(SynopsisBase):
         self._bits |= other._bits
         self.count += other.count
 
+    def _empty_clone(self) -> "LinearCounter":
+        return LinearCounter(self.m, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["LinearCounter"]:
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._bits.nbytes)

@@ -53,6 +53,12 @@ class LogLog(SynopsisBase):
         np.maximum(self._registers, other._registers, out=self._registers)
         self.count += other.count
 
+    def _empty_clone(self) -> "LogLog":
+        return LogLog(self.precision, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["LogLog"]:
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._registers.nbytes)
 

@@ -31,6 +31,12 @@ exactly at query time.
 
 from repro.cluster.columnar import CodecStats, component_table
 from repro.cluster.coordinator import ClusterExecutor
+from repro.cluster.elastic import (
+    AutoscaleDecision,
+    BackpressureAutoscaler,
+    PressurePolicy,
+    RescaleReport,
+)
 from repro.cluster.plan import ShardPlan, plan_topology
 from repro.cluster.shm import ShmChannel, SpscRing, leaked_segments
 
@@ -43,4 +49,8 @@ __all__ = [
     "leaked_segments",
     "CodecStats",
     "component_table",
+    "AutoscaleDecision",
+    "BackpressureAutoscaler",
+    "PressurePolicy",
+    "RescaleReport",
 ]

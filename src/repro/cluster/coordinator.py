@@ -79,6 +79,31 @@ class _FlushInterrupted(Exception):
     """A worker died mid-flush; recovery ran — re-enter the main pump."""
 
 
+class _RescaleRequest:
+    """A cross-thread rescale request (the elastic-runtime hook).
+
+    Same handshake as :class:`_CaptureRequest`: created by
+    :meth:`ClusterExecutor.rescale` on the requesting thread, serviced by
+    the pump loop (or inline when no pump is running), handed back
+    through ``ready`` with either ``report`` or ``error`` set.
+    """
+
+    __slots__ = ("n_workers", "parallelism", "reason", "ready", "report", "error")
+
+    def __init__(
+        self,
+        n_workers: int | None,
+        parallelism: dict[str, int] | None,
+        reason: str,
+    ):
+        self.n_workers = n_workers
+        self.parallelism = parallelism
+        self.reason = reason
+        self.ready = threading.Event()
+        self.report: Any = None
+        self.error: BaseException | None = None
+
+
 class _CaptureRequest:
     """A cross-thread shard-capture request (the serving-layer snapshot hook).
 
@@ -121,6 +146,7 @@ class ClusterExecutor:
         flight_path: str | Path | None = None,
         health_log: str | Path | None = None,
         event_time_fn: Callable[[str, tuple], float | None] | None = None,
+        autoscaler: Any = None,
     ):
         if semantics not in _SEMANTICS:
             raise ParameterError(f"semantics must be one of {_SEMANTICS}")
@@ -212,23 +238,9 @@ class ClusterExecutor:
             self._absorber = TelemetryAbsorber(
                 obs.registry, obs.collector, flight=self.flight
             )
-            operators: dict[str, tuple[str, tuple[int, ...]]] = {}
-            for comp in topology.components.values():
-                if comp.kind == "bolt":
-                    owners = tuple(
-                        sorted(
-                            {
-                                self.plan.worker_of(comp.name, task)
-                                for task in range(comp.parallelism)
-                            }
-                        )
-                    )
-                else:
-                    owners = ()  # spouts run in the coordinator
-                operators[comp.name] = (comp.kind, owners)
             self._health: HealthMonitor | None = HealthMonitor(
                 n_workers=n_workers,
-                operators=operators,
+                operators=self._operator_owners(),
                 ring_capacity=ring_capacity if self.transport == "shm" else 0,
                 watermark_unit=(
                     "event_time" if event_time_fn is not None else "offset"
@@ -296,6 +308,15 @@ class ClusterExecutor:
         self._capture_requests: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
         self._control_lock = threading.Lock()
         self._pumping = False
+
+        # Elastic runtime: cross-thread rescale requests ride the same
+        # queue-and-service pattern; the optional autoscaler is consulted
+        # every `tick_every` pump iterations (workload-relative cadence).
+        self.autoscaler = autoscaler
+        self.rescale_reports: list[Any] = []
+        self._rescale_requests: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+        self._spout_throttled = 0
+        self._pump_iterations = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -593,6 +614,29 @@ class ClusterExecutor:
             )
         self._maybe_publish_health()
 
+    def _operator_owners(self) -> dict[str, tuple[str, tuple[int, ...]]]:
+        """name -> (kind, owning workers) under the *current* plan.
+
+        Built at construction for the health monitor and rebuilt after
+        every elastic rescale (the plan, and with it the owner sets,
+        changes shape).
+        """
+        operators: dict[str, tuple[str, tuple[int, ...]]] = {}
+        for comp in self.topology.components.values():
+            if comp.kind == "bolt":
+                owners = tuple(
+                    sorted(
+                        {
+                            self.plan.worker_of(comp.name, task)
+                            for task in range(comp.parallelism)
+                        }
+                    )
+                )
+            else:
+                owners = ()  # spouts run in the coordinator
+            operators[comp.name] = (comp.kind, owners)
+        return operators
+
     def _component_counts(self) -> dict[str, tuple[int, int]]:
         counts: dict[str, tuple[int, int]] = {}
         for comp in self.topology.components.values():
@@ -631,6 +675,9 @@ class ClusterExecutor:
             backpressure_waits=self.transport_stats["backpressure_waits"],
             latency_p50_s=self.metrics.latency_quantile(0.5),
             latency_p99_s=self.metrics.latency_quantile(0.99),
+            in_flight=self._outstanding,
+            spout_throttled=self._spout_throttled,
+            elastic=self._elastic_state(),
         )
         self.metrics.ring_occupancy = snapshot.max_ring_occupancy()
         if self.flight is not None:
@@ -654,6 +701,23 @@ class ClusterExecutor:
         self._last_health_publish = now
         self._publish_health(reason="interval")
 
+    def _elastic_state(self) -> dict[str, Any]:
+        """JSON-ready elastic-runtime state for health snapshots/the TUI."""
+        last = self.rescale_reports[-1] if self.rescale_reports else None
+        return {
+            "workers": self.n_workers,
+            "parallelism": {
+                comp.name: comp.parallelism
+                for comp in self.topology.components.values()
+                if comp.kind == "bolt"
+            },
+            "rescales": len(self.rescale_reports),
+            "last_rescale": None if last is None else last.to_dict(),
+            "autoscaler": (
+                None if self.autoscaler is None else self.autoscaler.describe()
+            ),
+        }
+
     def health(self) -> HealthSnapshot | None:
         """A fresh typed health snapshot (None when the run is unobserved).
 
@@ -673,7 +737,12 @@ class ClusterExecutor:
     def _pull_spouts(self) -> bool:
         """Feed up to one batch per spout partition; True if anything fed."""
         if self._outstanding > self.max_outstanding:
-            return False  # backpressure: let the workers catch up
+            # Backpressure: let the workers catch up. The counter is the
+            # autoscaler's primary "sources held back" signal — it moves
+            # exactly when worker throughput lags the coordinator's
+            # routing rate, independent of wall-clock.
+            self._spout_throttled += 1
+            return False
         pulled = False
         reliable = self._acker is not None
         for name, partitions in self._spouts.items():
@@ -1198,10 +1267,11 @@ class ClusterExecutor:
                     break
             finally:
                 self._pumping = False
-                # Serve any capture request that raced the shutdown of the
-                # pump: after the flag flips, new requesters service their
-                # own queue inline, so this drain closes the window.
+                # Serve any capture/rescale request that raced the shutdown
+                # of the pump: after the flag flips, new requesters service
+                # their own queue inline, so this drain closes the window.
                 self._service_capture_requests()
+                self._service_rescale_requests()
         self.metrics.wall_seconds = time.perf_counter() - started
         # Pressure signals land in the façade summary() for both
         # transports (queue runs just report 0 ring occupancy).
@@ -1219,6 +1289,8 @@ class ClusterExecutor:
                 self._handle_crash([])  # loss-triggered rollback, no death
             self._maybe_publish_health()
             self._service_capture_requests()
+            self._service_rescale_requests()
+            self._maybe_autoscale()
             progressed = self._pull_spouts()
             # Absorb every reply already waiting before shipping: remote
             # re-routes from several replies coalesce into fewer, larger
@@ -1375,6 +1447,116 @@ class ClusterExecutor:
             raise request.error
         assert request.shards is not None
         return request.shards
+
+    # -- elastic runtime ---------------------------------------------------
+
+    def _service_rescale_requests(self) -> None:
+        """Serve queued rescale requests (the elastic-runtime hook).
+
+        Same contract as :meth:`_service_capture_requests`: runs between
+        pump rounds (or inline under the control lock) so the migration
+        barrier drains from a thread that owns the worker queues.
+        Failures go back to the requester — a rescale that cannot run
+        (e.g. mid-recovery) must not kill ingest.
+        """
+        while True:
+            try:
+                request = self._rescale_requests.get_nowait()
+            except queue_mod.Empty:
+                return
+            from repro.cluster.elastic.migrate import perform_rescale
+
+            try:
+                request.report = perform_rescale(
+                    self,
+                    n_workers=request.n_workers,
+                    parallelism=request.parallelism,
+                    reason=request.reason,
+                    trigger="manual",
+                )
+            except BaseException as exc:  # hand the failure to the requester
+                request.error = exc
+            request.ready.set()
+
+    def rescale(
+        self,
+        n_workers: int | None = None,
+        parallelism: dict[str, int] | None = None,
+        reason: str = "manual",
+        timeout: float | None = None,
+    ) -> Any:
+        """Rescale the running cluster to *n_workers* / per-bolt
+        *parallelism* without replaying the sources.
+
+        Safe to call from any thread while :meth:`run` is pumping: the
+        request queues up and the pump services it at a consistent point
+        (quiescence barrier, capture, split/merge re-shard, rewire,
+        restore — see :mod:`repro.cluster.elastic.migrate`). When no pump
+        is active the caller services its own request under the control
+        lock. Returns the timed
+        :class:`~repro.cluster.elastic.migrate.RescaleReport` (None for a
+        no-op request).
+        """
+        request = _RescaleRequest(n_workers, parallelism, reason)
+        self._rescale_requests.put(request)
+        deadline = time.perf_counter() + (timeout or self.reply_timeout)
+        while not request.ready.wait(0.0 if not self._pumping else 0.05):
+            if not self._pumping and self._control_lock.acquire(blocking=False):
+                try:
+                    self._ensure_started()
+                    self._service_rescale_requests()
+                finally:
+                    self._control_lock.release()
+                continue
+            if time.perf_counter() > deadline:
+                raise ExecutionError("timed out awaiting rescale")
+        if request.error is not None:
+            raise request.error
+        return request.report
+
+    def _maybe_autoscale(self) -> None:
+        """Consult the autoscaler every ``tick_every`` pump iterations.
+
+        The cadence is counted in pump rounds, not seconds, so decision
+        sequences are workload-relative and reproducible. Decisions and
+        applied rescales land as typed events in the flight recorder;
+        a rescale refused because recovery is in flight simply retries
+        at a later tick.
+        """
+        scaler = self.autoscaler
+        if scaler is None or self._health is None:
+            return
+        self._pump_iterations += 1
+        if self._pump_iterations % scaler.tick_every:
+            return
+        from repro.cluster.elastic.migrate import perform_rescale
+
+        snapshot = self._publish_health(reason="autoscale")
+        decision = scaler.observe(
+            snapshot,
+            n_workers=self.n_workers,
+            parallelism={
+                comp.name: comp.parallelism
+                for comp in self.topology.components.values()
+                if comp.kind == "bolt"
+            },
+        )
+        if decision.action == "hold":
+            return
+        if self.flight is not None:
+            self.flight.record_event("autoscale", decision.to_dict())
+        try:
+            report = perform_rescale(
+                self,
+                n_workers=decision.n_workers,
+                parallelism=decision.parallelism,
+                reason=decision.reason,
+                trigger=f"autoscale_{decision.action}",
+            )
+        except ExecutionError:
+            return  # recovery owns the cluster right now; try next tick
+        if report is not None:
+            scaler.note_applied(decision, report, clock=snapshot.clock)
 
     def bolt_states(self, name: str) -> list[Any]:
         """Per-task snapshot state of bolt *name*, in task order.

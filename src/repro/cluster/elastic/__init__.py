@@ -1,0 +1,42 @@
+"""Elastic runtime: live rescaling of a running cluster topology.
+
+Table 2's systems treat topology parallelism as fixed at submission time
+— resizing Storm/Heron means kill, resubmit, replay. This subpackage
+makes the :class:`~repro.cluster.coordinator.ClusterExecutor` elastic
+instead, built from three pieces the repo already trusts:
+
+* :mod:`repro.cluster.elastic.migrate` — the rescale protocol: quiesce at
+  a :func:`~repro.cluster.elastic.migrate.migration_barrier`, capture
+  every shard, re-shard resized bolts with ``merge`` + ``split``
+  (falling back to drain-and-restart for synopses that cannot split),
+  rewire rings/plan/workers under an epoch fence, restore, and
+  re-baseline the checkpoint at the *current* offsets — no replay.
+* :mod:`repro.cluster.elastic.autoscaler` — the policy loop: consumes
+  the typed health stream (throttle/backpressure deltas, ring
+  occupancy), answers with typed decisions under hysteresis + cooldown.
+* The ``split`` contract itself lives on
+  :class:`~repro.common.mergeable.SynopsisBase`, property-tested
+  registry-wide: ``merge(split(s, n)...) ≡ s`` bit-identically.
+"""
+
+from repro.cluster.elastic.autoscaler import (
+    AutoscaleDecision,
+    BackpressureAutoscaler,
+    PressurePolicy,
+)
+from repro.cluster.elastic.migrate import (
+    RescaleReport,
+    migration_barrier,
+    perform_rescale,
+    reshard_states,
+)
+
+__all__ = [
+    "AutoscaleDecision",
+    "BackpressureAutoscaler",
+    "PressurePolicy",
+    "RescaleReport",
+    "migration_barrier",
+    "perform_rescale",
+    "reshard_states",
+]

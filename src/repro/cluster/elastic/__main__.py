@@ -1,0 +1,88 @@
+"""``python -m repro.cluster.elastic`` — the autoscaled spike demo gate.
+
+Runs the seeded traffic-spike workload on a 1-worker cluster with the
+backpressure autoscaler enabled and verdicts the whole elasticity story
+in one exit code: the cluster must ride the spike up to ``--max-workers``,
+hand capacity back down to ``--min-workers`` in the tail, keep every
+merged synopsis fingerprint-identical to a single-process reference run,
+and leave zero shm segments behind. CI's ``elastic-smoke`` job is exactly
+this command plus the flight-recorder artifact it writes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.elastic import run_spike_demo
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The spike-demo argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-elastic",
+        description="Autoscaled traffic-spike demo with a pass/fail gate.",
+    )
+    parser.add_argument("--calm", type=int, default=3_000, help="calm-phase events")
+    parser.add_argument("--spike", type=int, default=10_000, help="spike-phase events")
+    parser.add_argument("--tail", type=int, default=8_000, help="tail-phase events")
+    parser.add_argument(
+        "--amplify",
+        type=int,
+        default=48,
+        help="burst fan-out per spike event (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--min-workers", type=int, default=2)
+    parser.add_argument("--max-workers", type=int, default=8)
+    parser.add_argument(
+        "--tick-every",
+        type=int,
+        default=8,
+        help="autoscaler cadence in pump iterations (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--flight",
+        default=None,
+        metavar="PATH",
+        help="write the coordinator flight recording (rescale + autoscale "
+        "events) to this JSON-lines file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the demo; exit 0 only when the full elasticity gate passes."""
+    args = build_parser().parse_args(argv)
+    outcome = run_spike_demo(
+        n_calm=args.calm,
+        n_spike=args.spike,
+        n_tail=args.tail,
+        seed=args.seed,
+        amplify=args.amplify,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        tick_every=args.tick_every,
+        flight_path=args.flight,
+    )
+    trajectory = "→".join(str(w) for w in outcome["workers_path"])
+    print(f"workers        {trajectory}")
+    print(f"rescales       {outcome['rescales']}")
+    print(f"wall time      {outcome['seconds']:.2f}s")
+    print(f"worst rescale  {outcome['rescale_latency_s'] * 1000:.0f}ms")
+    print(f"in flight max  {outcome['tuples_in_flight']}")
+    print(f"lag recovery   {outcome['lag_recovery_s']:.2f}s")
+    print(f"fingerprints   {'MATCH' if outcome['equivalent'] else 'MISMATCH'}")
+    print(
+        "shm leaks      "
+        + (", ".join(outcome["leaked_segments"]) or "none")
+    )
+    if not outcome["passed"]:
+        print("elastic gate: FAILED", file=sys.stderr)
+        return 1
+    print("elastic gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,292 @@
+"""Backpressure-driven autoscaling policy (ROADMAP item 3's control loop).
+
+Heron made backpressure a first-class, *observable* signal precisely so
+that operators (human or automated) could react to it; this module is the
+automated half. The coordinator feeds the autoscaler the same typed
+:class:`~repro.obs.health.HealthSnapshot` stream that ``repro-obs top``
+renders, and the autoscaler answers with a typed
+:class:`AutoscaleDecision` the coordinator applies through
+:func:`~repro.cluster.elastic.migrate.perform_rescale`.
+
+**Signals.** All pressure signals are *workload-relative*, not wall-clock:
+``spout_throttled`` counts pump rounds where the credit window was full
+(workers can't keep up with the coordinator's routing rate),
+``backpressure_waits`` counts full-ring stalls in the data plane, and ring
+occupancy is the instantaneous fill fraction. Their deltas between ticks
+are what the policy thresholds — a cluster is "pressured" when the
+current tick throttled sources or stalled rings, "idle" when it did
+neither and the rings are near-empty.
+
+**Hysteresis.** Scaling is expensive (a barrier plus a full
+capture/restore round), so the policy demands *consecutive* pressured
+ticks before scaling up, more consecutive idle ticks before scaling down,
+and a cooldown after every rescale during which all streaks reset — three
+separate anti-flap guards. In the band between pressured and idle both
+streaks reset, so a borderline workload holds steady.
+
+**Targets.** Scale up doubles the worker count, scale down halves it
+(clamped to the policy bounds) — the classic multiplicative-
+increase/decrease that converges in O(log n) rescales. Bolts listed in
+``track_parallelism`` have their task count follow the worker count, so
+splitting genuinely divides their per-shard work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.common.exceptions import ParameterError
+from repro.obs.health import HealthSnapshot
+
+from repro.cluster.elastic.migrate import RescaleReport
+
+#: Fraction of the at-rescale lag below which the backlog counts as
+#: recovered (fills RescaleReport.lag_recovery_s).
+_LAG_RECOVERED_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class PressurePolicy:
+    """Thresholds and bounds for :class:`BackpressureAutoscaler`."""
+
+    min_workers: int = 1
+    max_workers: int = 8
+    #: Consecutive pressured ticks before a scale-up fires.
+    up_consecutive: int = 2
+    #: Consecutive idle ticks before a scale-down fires (deliberately
+    #: laxer than up: adding capacity late drops tuples on the floor of
+    #: the backlog, removing it late just wastes a worker).
+    down_consecutive: int = 4
+    #: Ticks after any rescale during which no decision fires.
+    cooldown_ticks: int = 3
+    #: Ring fill fraction at/above which a tick counts as pressured.
+    high_occupancy: float = 0.5
+    #: Ring fill fraction at/below which a tick can count as idle.
+    low_occupancy: float = 0.05
+    #: Bolts whose parallelism follows the worker count (one task per
+    #: worker), so rescales re-shard their synopsis state.
+    track_parallelism: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.min_workers <= 0:
+            raise ParameterError("min_workers must be positive")
+        if self.max_workers < self.min_workers:
+            raise ParameterError("max_workers must be >= min_workers")
+        if self.up_consecutive <= 0 or self.down_consecutive <= 0:
+            raise ParameterError("streak thresholds must be positive")
+        if self.cooldown_ticks < 0:
+            raise ParameterError("cooldown_ticks must be >= 0")
+        if not 0.0 <= self.low_occupancy <= self.high_occupancy <= 1.0:
+            raise ParameterError(
+                "need 0 <= low_occupancy <= high_occupancy <= 1"
+            )
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One autoscaler verdict for one health tick."""
+
+    seq: int
+    action: str  # "up" | "down" | "hold"
+    n_workers: int
+    parallelism: dict[str, int] = field(default_factory=dict)
+    reason: str = ""
+    pressured: bool = False
+    idle: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-ready dict (flight-recorder event payload)."""
+        return asdict(self)
+
+
+class BackpressureAutoscaler:
+    """Turns the health stream into scale-up/-down decisions.
+
+    Deliberately executor-agnostic (like :class:`HealthMonitor`): it
+    consumes snapshots and the current cluster shape, and returns
+    decisions — the coordinator's ``_maybe_autoscale`` owns applying
+    them. ``tick_every`` throttles how often the coordinator consults it,
+    in pump iterations, keeping the cadence workload-relative and
+    deterministic rather than wall-clock.
+    """
+
+    def __init__(self, policy: PressurePolicy | None = None, tick_every: int = 50):
+        if tick_every <= 0:
+            raise ParameterError("tick_every must be positive")
+        self.policy = policy or PressurePolicy()
+        self.tick_every = tick_every
+        self.decisions: list[AutoscaleDecision] = []
+        self._seq = 0
+        self._cooldown = 0
+        self._pressure_streak = 0
+        self._idle_streak = 0
+        self._last_backpressure: int | None = None
+        self._last_throttled: int | None = None
+        # Lag-recovery watch: armed by note_applied after a scale-up,
+        # resolved by the first tick whose lag is back under target.
+        self._watch_report: RescaleReport | None = None
+        self._watch_clock = 0.0
+        self._watch_target = 0.0
+
+    # -- decision loop -----------------------------------------------------
+
+    def observe(
+        self,
+        snapshot: HealthSnapshot,
+        n_workers: int,
+        parallelism: dict[str, int],
+    ) -> AutoscaleDecision:
+        """Fold one health tick into the policy state; return the verdict."""
+        policy = self.policy
+        backpressure_delta = (
+            snapshot.backpressure_waits - self._last_backpressure
+            if self._last_backpressure is not None
+            else 0
+        )
+        throttled_delta = (
+            snapshot.spout_throttled - self._last_throttled
+            if self._last_throttled is not None
+            else 0
+        )
+        self._last_backpressure = snapshot.backpressure_waits
+        self._last_throttled = snapshot.spout_throttled
+        occupancy = snapshot.max_ring_occupancy()
+        pressured = (
+            throttled_delta > 0
+            or backpressure_delta > 0
+            or occupancy >= policy.high_occupancy
+        )
+        idle = (
+            throttled_delta == 0
+            and backpressure_delta == 0
+            and occupancy <= policy.low_occupancy
+        )
+        self._resolve_lag_watch(
+            snapshot,
+            drained=(
+                throttled_delta == 0
+                and backpressure_delta == 0
+                and snapshot.in_flight == 0
+            ),
+        )
+        self._seq += 1
+        action, target, reason = "hold", n_workers, "steady"
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._pressure_streak = 0
+            self._idle_streak = 0
+            reason = f"cooldown ({self._cooldown} ticks left)"
+        elif pressured:
+            self._pressure_streak += 1
+            self._idle_streak = 0
+            if self._pressure_streak >= policy.up_consecutive:
+                if n_workers < policy.max_workers:
+                    action = "up"
+                    target = min(policy.max_workers, n_workers * 2)
+                    reason = (
+                        f"pressured {self._pressure_streak} ticks "
+                        f"(throttled +{throttled_delta}, "
+                        f"backpressure +{backpressure_delta}, "
+                        f"occupancy {occupancy:.0%})"
+                    )
+                else:
+                    reason = "pressured but at max_workers"
+            else:
+                reason = (
+                    f"pressure streak {self._pressure_streak}"
+                    f"/{policy.up_consecutive}"
+                )
+        elif idle:
+            self._idle_streak += 1
+            self._pressure_streak = 0
+            if self._idle_streak >= policy.down_consecutive:
+                if n_workers > policy.min_workers:
+                    action = "down"
+                    target = max(policy.min_workers, n_workers // 2)
+                    reason = f"idle {self._idle_streak} ticks"
+                else:
+                    reason = "idle but at min_workers"
+            else:
+                reason = (
+                    f"idle streak {self._idle_streak}"
+                    f"/{policy.down_consecutive}"
+                )
+        else:
+            # The hysteresis band: neither pressured nor idle. Both
+            # streaks reset so borderline load cannot creep into a flap.
+            self._pressure_streak = 0
+            self._idle_streak = 0
+        new_parallelism = dict(parallelism)
+        if action != "hold":
+            for name in policy.track_parallelism:
+                if name in new_parallelism:
+                    new_parallelism[name] = target
+        decision = AutoscaleDecision(
+            seq=self._seq,
+            action=action,
+            n_workers=target,
+            parallelism=new_parallelism if action != "hold" else {},
+            reason=reason,
+            pressured=pressured,
+            idle=idle,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def note_applied(
+        self, decision: AutoscaleDecision, report: RescaleReport, clock: float
+    ) -> None:
+        """A decision was carried out: arm cooldown and the lag watch."""
+        self._cooldown = self.policy.cooldown_ticks
+        self._pressure_streak = 0
+        self._idle_streak = 0
+        if decision.action == "up":
+            self._watch_report = report
+            self._watch_clock = clock
+            self._watch_target = 0.0  # set from the next tick's peak lag
+
+    def _resolve_lag_watch(
+        self, snapshot: HealthSnapshot, drained: bool
+    ) -> None:
+        """Stamp ``lag_recovery_s`` on the watched scale-up's report.
+
+        Recovered means the watermark backlog fell back under a fraction
+        of its post-rescale peak — or the cluster is provably *drained*
+        (nothing in flight, nothing throttled or stalled this tick),
+        which covers operators whose watermark froze because the workload
+        phase stopped feeding them.
+        """
+        if self._watch_report is None:
+            return
+        lag = snapshot.max_lag()
+        if lag <= self._watch_target or drained:
+            self._watch_report.lag_recovery_s = max(
+                0.0, snapshot.clock - self._watch_clock
+            )
+            self._watch_report = None
+            return
+        if self._watch_target == 0.0:
+            # First post-rescale look at the backlog: that is the peak
+            # the recovery clock measures against.
+            self._watch_target = lag * _LAG_RECOVERED_FRACTION
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def last_decision(self) -> AutoscaleDecision | None:
+        """The most recent verdict (None before the first tick)."""
+        return self.decisions[-1] if self.decisions else None
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready policy-loop state for health snapshots and the TUI."""
+        last = self.last_decision
+        return {
+            "ticks": self._seq,
+            "cooldown_remaining": self._cooldown,
+            "pressure_streak": self._pressure_streak,
+            "idle_streak": self._idle_streak,
+            "min_workers": self.policy.min_workers,
+            "max_workers": self.policy.max_workers,
+            "last_decision": None if last is None else last.to_dict(),
+        }

@@ -21,6 +21,17 @@ class MergeError(ReproError):
     """Two synopses cannot be merged (incompatible shape, seed or type)."""
 
 
+class SplitUnsupported(ReproError):
+    """The synopsis has no mathematically valid ``split(n)``.
+
+    Raised by :meth:`repro.common.mergeable.SynopsisBase.split` for
+    synopses whose state cannot be partitioned into shards that merge back
+    to the original (order-dependent or windowed structures). The elastic
+    planner catches this and falls back to drain-and-restart for the
+    affected bolt instead of silently producing wrong shards.
+    """
+
+
 class CapacityError(ReproError):
     """A bounded structure cannot accept more items (e.g. full cuckoo filter)."""
 

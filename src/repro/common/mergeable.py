@@ -11,19 +11,47 @@ A *synopsis* is a small summary of a data stream supporting three verbs:
   the algorithms scale out across partitions, as Section 2 of the paper
   requires ("the algorithms should be able to scale out").
 
+Elastic rescaling adds the inverse verb: ``split(n)`` partitions a
+synopsis into *n* shards whose merge reproduces the original exactly
+(``merge(split(s, n)...) ≡ s`` by state fingerprint). Splitting is what
+lets a live cluster *increase* parallelism without replaying the stream:
+the migration planner captures a bolt's shards, folds them, splits the
+fold across the new task set, and resumes. Synopses whose state is
+order-dependent or windowed cannot be split; they raise the typed
+:class:`~repro.common.exceptions.SplitUnsupported` so the planner can
+fall back to drain-and-restart instead of shipping wrong shards.
+
 :class:`SynopsisBase` provides merge-compatibility checking, bulk update,
 and the ``+`` operator; concrete sketches subclass it.
 """
 
 from __future__ import annotations
 
+import copy
 import sys
 from abc import ABC, abstractmethod
 from typing import Any, Iterable, Protocol, TypeVar, runtime_checkable
 
-from repro.common.exceptions import MergeError
+from repro.common.exceptions import MergeError, ParameterError, SplitUnsupported
+from repro.common.hashing import hash64
 
 T = TypeVar("T", bound="SynopsisBase")
+
+# Fixed seed for key->shard assignment. Splitting must be deterministic
+# across processes and runs (the migration protocol splits on the
+# coordinator and restores on freshly forked workers), so the shard hash
+# is pinned rather than derived from any per-instance seed.
+_SPLIT_HASH_SEED = 0x5EED_517E
+
+
+def shard_of(key: Any, n: int) -> int:
+    """The stable shard index of *key* among *n* shards.
+
+    Used by every key-partitioned ``split`` implementation so that the
+    same key always lands in the same shard regardless of which synopsis
+    (or which process) performs the split.
+    """
+    return hash64(key, seed=_SPLIT_HASH_SEED) % n
 
 
 @runtime_checkable
@@ -86,11 +114,71 @@ class SynopsisBase(ABC):
 
     def __add__(self: T, other: T) -> T:
         """Return a merged copy, leaving both operands untouched."""
-        import copy
-
         merged = copy.deepcopy(self)
         merged.merge(other)
         return merged
+
+    # -- splitting (the elastic-rescale half of mergeability) -------------
+
+    def _split_into(self: T, n: int) -> list[T]:
+        """Partition ``self`` into *n* shards; override where valid.
+
+        Implementations must not mutate ``self`` and must satisfy
+        ``merge(shards...) ≡ self`` by state fingerprint. The base class
+        declares the synopsis unsplittable.
+        """
+        raise SplitUnsupported(
+            f"{type(self).__name__} state cannot be partitioned; "
+            "the elastic planner must drain-and-restart this operator"
+        )
+
+    @classmethod
+    def supports_split(cls) -> bool:
+        """Whether this synopsis class implements a valid ``split``."""
+        return cls._split_into is not SynopsisBase._split_into
+
+    def split(self: T, n: int) -> list[T]:
+        """Partition into *n* shards whose merge reproduces ``self``.
+
+        The contract the elastic runtime depends on:
+
+        * ``len(split(s, n)) == n``;
+        * folding the shards with :meth:`merge` (in any order) yields a
+          synopsis fingerprint-identical to ``s``;
+        * ``s`` itself is left untouched (shards share no mutable state
+          with it).
+
+        Raises :class:`~repro.common.exceptions.SplitUnsupported` when the
+        synopsis has no mathematically valid partition, and
+        :class:`~repro.common.exceptions.ParameterError` for ``n < 1``.
+        """
+        if n < 1:
+            raise ParameterError("shard count n must be at least 1")
+        shards = self._split_into(n)
+        if len(shards) != n:  # pragma: no cover - implementation bug guard
+            raise SplitUnsupported(
+                f"{type(self).__name__}._split_into returned {len(shards)} "
+                f"shards for n={n}"
+            )
+        return shards
+
+    def _split_seed_part(self: T, n: int) -> list[T]:
+        """Shard 0 inherits the full state; shards 1..n-1 start empty.
+
+        The workhorse strategy for sketches whose merge is a pure fold of
+        an empty-identity operation (bitwise OR, register max, table add):
+        merging a full copy with n-1 empty clones reproduces the original
+        *including* additive bookkeeping like ``count``, which a naive
+        copy-to-every-shard split would multiply by n.
+
+        Subclasses using this helper implement :meth:`_empty_clone`.
+        """
+        return [copy.deepcopy(self)] + [self._empty_clone() for __ in range(n - 1)]
+
+    def _empty_clone(self: T) -> T:
+        """A same-parameter synopsis with no absorbed stream (for
+        :meth:`_split_seed_part`); override alongside it."""
+        raise NotImplementedError
 
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of the synopsis in bytes.

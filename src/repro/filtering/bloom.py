@@ -105,6 +105,16 @@ class BloomFilter(SynopsisBase):
         self._bits |= other._bits
         self.count += other.count
 
+    def _empty_clone(self) -> "BloomFilter":
+        # type(self), not BloomFilter: subclasses with the same constructor
+        # signature (RetouchedBloomFilter) inherit a valid split.
+        return type(self)(self.m, self.k, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["BloomFilter"]:
+        # The bit union is idempotent but ``count`` sums, so only shard 0
+        # carries the set; empty siblings keep the re-merge exact.
+        return self._split_seed_part(n)
+
     def intersect(self, other: "BloomFilter") -> "BloomFilter":
         """An upper-bound filter for the set intersection (may overcount)."""
         other = self._check_mergeable(other)

@@ -107,5 +107,13 @@ class CountingBloomFilter(SynopsisBase):
         self._counters = np.minimum(summed, _SATURATED).astype(np.uint8)
         self.count += other.count
 
+    def _empty_clone(self) -> "CountingBloomFilter":
+        return CountingBloomFilter(self.m, self.k, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["CountingBloomFilter"]:
+        # Saturating-add merge: adding zeroed counters is the identity, so
+        # seed-part splitting is exact even at saturated cells.
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._counters.nbytes)

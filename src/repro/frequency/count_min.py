@@ -125,6 +125,17 @@ class CountMinSketch(SynopsisBase):
         self._table += other._table
         self.count += other.count
 
+    def _empty_clone(self) -> "CountMinSketch":
+        return CountMinSketch(
+            self.width, self.depth, seed=self.family.seed, conservative=self.conservative
+        )
+
+    def _split_into(self, n: int) -> list["CountMinSketch"]:
+        # The merge is additive (tables and count sum), so shard 0 carries
+        # the full history and its siblings start zeroed; copying the table
+        # to every shard would n-fold every cell on re-merge.
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._table.nbytes)
 

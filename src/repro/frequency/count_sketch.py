@@ -107,5 +107,12 @@ class CountSketch(SynopsisBase):
         self._table += other._table
         self.count += other.count
 
+    def _empty_clone(self) -> "CountSketch":
+        return CountSketch(self.width, self.depth, seed=self.family.seed)
+
+    def _split_into(self, n: int) -> list["CountSketch"]:
+        # Additive merge: seed-part split (full shard + zeroed siblings).
+        return self._split_seed_part(n)
+
     def size_bytes(self) -> int:
         return int(self._table.nbytes)

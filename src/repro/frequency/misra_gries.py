@@ -13,7 +13,7 @@ from collections import Counter
 from typing import Any, Hashable, Iterable
 
 from repro.common.exceptions import ParameterError
-from repro.common.mergeable import SynopsisBase
+from repro.common.mergeable import SynopsisBase, shard_of
 
 
 class MisraGries(SynopsisBase):
@@ -123,6 +123,21 @@ class MisraGries(SynopsisBase):
             }
         self._counters = combined
         self.count += other.count
+
+    def _split_into(self, n: int) -> list["MisraGries"]:
+        """Partition counters by key hash.
+
+        Shards hold disjoint key sets totalling at most k counters, so the
+        re-merge's (k+1)-st-largest cutoff never fires and the combined
+        table is exactly the original.
+        """
+        parts = [MisraGries(self.k) for __ in range(n)]
+        for item, cnt in self._counters.items():
+            part = parts[shard_of(item, n)]
+            part._counters[item] = cnt
+            part.count += cnt
+        parts[0].count += self.count - sum(p.count for p in parts)
+        return parts
 
     def __len__(self) -> int:
         return len(self._counters)

@@ -16,7 +16,7 @@ from collections import Counter
 from typing import Any, Hashable, Iterable
 
 from repro.common.exceptions import ParameterError, SerializationError
-from repro.common.mergeable import SynopsisBase
+from repro.common.mergeable import SynopsisBase, shard_of
 from repro.common.serialization import dump_state, load_state
 
 _TYPE_TAG = "space_saving"
@@ -163,6 +163,28 @@ class SpaceSaving(SynopsisBase):
         ]
         heapq.heapify(self._heap)
         self.count += other.count
+
+    def _split_into(self, n: int) -> list["SpaceSaving"]:
+        """Partition counters by key hash.
+
+        The re-merge is exact because the shards' key sets are disjoint and
+        their combined size is the original table's (<= k), so the merge
+        never reaches its keep-top-k cutoff, and a shard's table can only be
+        full (len == k, activating min-inheritance) when every other shard
+        is empty — min-inheritance then adds the empty side's minimum of 0.
+        """
+        parts = [SpaceSaving(self.k) for __ in range(n)]
+        for item, cnt in self._counts.items():
+            part = parts[shard_of(item, n)]
+            part._counts[item] = cnt
+            part._errors[item] = self._errors[item]
+            part.count += cnt
+            heapq.heappush(part._heap, (cnt, next(part._tiebreak), item))
+        # Tracked counts can undershoot (or, after lossy merges, overshoot)
+        # the stream length; shard 0 absorbs the residual so counts re-sum
+        # to self.count exactly.
+        parts[0].count += self.count - sum(p.count for p in parts)
+        return parts
 
     def __len__(self) -> int:
         return len(self._counts)

@@ -97,6 +97,18 @@ class HealthSnapshot:
     #: Serving-layer counters (epoch, cache hits/misses, …) when the
     #: snapshot comes from a query front-end; None for plain cluster runs.
     serving: dict[str, Any] | None = None
+    #: Envelopes issued but not yet acknowledged at snapshot time — the
+    #: tuples a migration barrier would have to drain.
+    in_flight: int = 0
+    #: Cumulative spout-pull rounds skipped because ``outstanding``
+    #: exceeded the credit cap. Like ``backpressure_waits`` this is a
+    #: monotone counter; the autoscaler watches its *delta* between
+    #: ticks as the "sources are being held back" pressure signal.
+    spout_throttled: int = 0
+    #: Elastic-runtime state (current parallelism, last rescale decision,
+    #: autoscaler cooldown) when the run has an elastic coordinator;
+    #: None otherwise. See ``repro.cluster.elastic``.
+    elastic: dict[str, Any] | None = None
     schema: str = HEALTH_SCHEMA
 
     def worker(self, worker_id: int) -> WorkerHealth | None:
@@ -214,7 +226,12 @@ class HealthMonitor:
         processed_total: int = 0,
     ) -> None:
         """Absorb one telemetry flush's health fields from *worker*."""
-        state = self._workers[worker]
+        state = self._workers.get(worker)
+        if state is None:
+            # A worker id the monitor no longer tracks: the last flush of
+            # an incarnation retired by an elastic scale-down can trail
+            # the reconfigure. Stale by construction — drop it.
+            return
         state.seq = seq
         state.flushes += 1
         state.last_flush_clock = self._clock()
@@ -238,6 +255,37 @@ class HealthMonitor:
         state.frontier = {}
         state.event_frontier = {}
 
+    def reconfigure(
+        self,
+        n_workers: int,
+        operators: dict[str, tuple[str, tuple[int, ...]]],
+    ) -> None:
+        """Re-shape the monitor after an elastic rescale.
+
+        Worker ids retained across the rescale keep their cumulative
+        totals (flush counts survive, like a respawn) but start a new
+        incarnation with cleared frontiers — post-restore they re-earn
+        their watermarks exactly as a crash-respawned worker does.
+        Retired ids are dropped; grown ids start fresh.
+        """
+        survivors: dict[int, _WorkerState] = {}
+        for worker in range(n_workers):
+            state = self._workers.get(worker)
+            if state is not None:
+                state.incarnation += 1
+                state.seq = 0
+                state.last_flush_clock = None
+                state.frontier = {}
+                state.event_frontier = {}
+                state.ring_in_used = 0
+                state.ring_out_used = 0
+                survivors[worker] = state
+            else:
+                survivors[worker] = _WorkerState()
+        self._workers = survivors
+        self.n_workers = n_workers
+        self.operators = operators
+
     def set_source_frontier(self, value: float) -> None:
         """Newest source position issued (same unit as the watermarks)."""
         self._source_frontier = max(self._source_frontier, float(value))
@@ -246,7 +294,9 @@ class HealthMonitor:
         self, worker: int, alive: bool, ring_in_used: int, ring_out_used: int
     ) -> None:
         """Point-in-time liveness + shm ring fill for *worker*."""
-        state = self._workers[worker]
+        state = self._workers.get(worker)
+        if state is None:  # retired by a rescale (see record_flush)
+            return
         state.alive = alive
         state.ring_in_used = ring_in_used
         state.ring_out_used = ring_out_used
@@ -272,6 +322,9 @@ class HealthMonitor:
         backpressure_waits: int = 0,
         latency_p50_s: float = 0.0,
         latency_p99_s: float = 0.0,
+        in_flight: int = 0,
+        spout_throttled: int = 0,
+        elastic: dict[str, Any] | None = None,
     ) -> HealthSnapshot:
         """Build (and remember) the next snapshot.
 
@@ -342,6 +395,9 @@ class HealthMonitor:
             latency_p99_s=latency_p99_s,
             workers=tuple(workers),
             operators=tuple(operators),
+            in_flight=in_flight,
+            spout_throttled=spout_throttled,
+            elastic=elastic,
         )
         self.last_snapshot = snapshot
         return snapshot

@@ -172,6 +172,51 @@ def render_top(snapshot: HealthSnapshot) -> str:
             f"{op.lag:>9,.0f} {op.processed:>10,} {op.emitted:>10,} "
             f"{op.processed_rate:>10,.1f}"
         )
+    if snapshot.elastic:
+        elastic = snapshot.elastic
+        parallelism = ", ".join(
+            f"{name}={p}"
+            for name, p in sorted(elastic.get("parallelism", {}).items())
+        )
+        lines += [
+            "",
+            "== elastic ==",
+            f"workers {int(elastic.get('workers', 0))}   "
+            f"rescales {int(elastic.get('rescales', 0))}   "
+            f"in flight {snapshot.in_flight:,}   "
+            f"spout throttled {snapshot.spout_throttled:,}",
+            f"parallelism: {parallelism or '-'}",
+        ]
+        last = elastic.get("last_rescale")
+        if last:
+            recovery = last.get("lag_recovery_s")
+            lines.append(
+                f"last rescale: {last.get('trigger', '?')} "
+                f"{last.get('from_workers', '?')}→{last.get('to_workers', '?')} "
+                f"({last.get('reason', '')}) in {last.get('total_s', 0.0):.3f}s"
+                + (
+                    f", lag recovered in {recovery:.2f}s"
+                    if recovery is not None
+                    else ""
+                )
+            )
+        scaler = elastic.get("autoscaler")
+        if scaler:
+            decision = scaler.get("last_decision") or {}
+            lines.append(
+                f"autoscaler: tick {int(scaler.get('ticks', 0))}   "
+                f"cooldown {int(scaler.get('cooldown_remaining', 0))}   "
+                f"streaks up={int(scaler.get('pressure_streak', 0))}/"
+                f"down={int(scaler.get('idle_streak', 0))}   "
+                f"bounds [{int(scaler.get('min_workers', 0))}, "
+                f"{int(scaler.get('max_workers', 0))}]   "
+                f"last={decision.get('action', '-')}"
+                + (
+                    f" ({decision.get('reason', '')})"
+                    if decision.get("reason")
+                    else ""
+                )
+            )
     if snapshot.serving:
         serving = snapshot.serving
         hits = int(serving.get("cache_hits", 0))

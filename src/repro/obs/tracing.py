@@ -47,6 +47,7 @@ SPAN_KINDS = (
     "checkpoint",
     "recovery",
     "crash",
+    "rescale",
 )
 
 

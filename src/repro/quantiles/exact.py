@@ -26,7 +26,7 @@ from bisect import insort
 from typing import Any
 
 from repro.common.exceptions import ParameterError
-from repro.common.mergeable import SynopsisBase
+from repro.common.mergeable import SynopsisBase, shard_of
 
 
 class ExactQuantiles(SynopsisBase):
@@ -64,6 +64,20 @@ class ExactQuantiles(SynopsisBase):
         # merged buffer is bit-identical to single-stream ingestion no
         # matter how the stream was sharded.
         self._values = list(heapq.merge(self._values, other._values))
+
+    def _split_into(self, n: int) -> list["ExactQuantiles"]:
+        """Partition the buffer by value hash.
+
+        Appending in buffer order keeps every shard sorted, and the merge's
+        sorted-multiset union restores the exact original buffer. This is
+        the split the elastic runtime leans on hardest: each shard's O(n)
+        insert cost drops with its share of the values, so raising a
+        quantile bolt's parallelism genuinely divides the maintenance work.
+        """
+        parts = [ExactQuantiles() for __ in range(n)]
+        for value in self._values:
+            parts[shard_of(value, n)]._values.append(value)
+        return parts
 
     def size_bytes(self) -> int:
         """Footprint is the buffer itself (exactness is paid in memory)."""

@@ -21,11 +21,18 @@ from repro.workloads.serving import (
     run_closed_loop,
     run_closed_loop_sync,
 )
+from repro.workloads.spike import (
+    SPIKE_TRACKED_BOLTS,
+    build_spike_topology,
+    spike_records,
+)
 from repro.workloads.text import hashtag_stream, zipf_stream
 from repro.workloads.web import click_stream, session_stream, visitor_stream
 
 __all__ = [
+    "SPIKE_TRACKED_BOLTS",
     "WorkloadResult",
+    "build_spike_topology",
     "click_stream",
     "edge_stream",
     "hashtag_stream",
@@ -38,6 +45,7 @@ __all__ = [
     "sensor_stream_with_anomalies",
     "series_with_missing_values",
     "session_stream",
+    "spike_records",
     "visitor_stream",
     "zipf_stream",
 ]

@@ -1,0 +1,145 @@
+"""The traffic-spike workload: the elastic runtime's canonical stress.
+
+The paper's motivating scenario for real-time scale-out is the traffic
+spike — a breaking-news burst that multiplies per-tuple work for minutes,
+then subsides. A topology provisioned for the spike wastes workers the
+rest of the day; provisioned for the calm, it falls behind exactly when
+the answers matter. This generator produces that shape, seeded and
+phase-annotated:
+
+* **calm** — key-only events (``value is None``): the cheap counting /
+  membership path. One worker keeps up easily.
+* **spike** — every event carries a measurement; the quantile stage's
+  sorted-buffer inserts are ``O(n)`` in its buffer, so the per-tuple cost
+  *grows* through the phase — a workload-relative pressure ramp that
+  throttles the sources regardless of how fast the host is.
+* **tail** — calm again; the spike's buffers linger, but nothing feeds
+  them, so pressure vanishes and capacity should be handed back.
+
+:func:`build_spike_topology` pairs the stream with the standard
+keyed-analytics bolts (hot keys, audience, burst latency quantiles) whose
+state is mergeable *and* splittable — the elastic runtime re-shards all
+of them exactly (see ``tests/core/test_split_roundtrip.py``), so any
+rescale schedule must fingerprint-match the fixed-parallelism baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.exceptions import ParameterError
+from repro.frequency.count_min import CountMinSketch
+from repro.cardinality.hyperloglog import HyperLogLog
+from repro.platform.operators import FlatMapBolt, SynopsisBolt
+from repro.platform.topology import ListSpout, Topology, TopologyBuilder
+from repro.quantiles.exact import ExactQuantiles
+
+#: The bolts whose parallelism an autoscaler should track with the
+#: worker count (their state splits; splitting divides their work).
+SPIKE_TRACKED_BOLTS = ("latency", "hot_keys", "audience")
+
+
+def spike_records(
+    n_calm: int = 3_000,
+    n_spike: int = 10_000,
+    n_tail: int = 5_000,
+    n_keys: int = 64,
+    seed: int = 7,
+) -> list[tuple[str, float | None]]:
+    """A calm → spike → tail event stream of ``(key, value)`` payloads.
+
+    Calm/tail events carry ``value=None`` (cheap); spike events carry a
+    uniform float measurement (heavy: each one lands in the quantile
+    stage's sorted buffer). Deterministic per seed.
+    """
+    for name, count in (("n_calm", n_calm), ("n_spike", n_spike), ("n_tail", n_tail)):
+        if count < 0:
+            raise ParameterError(f"{name} must be non-negative")
+    if n_keys <= 0:
+        raise ParameterError("n_keys must be positive")
+    rng = random.Random(seed)
+    records: list[tuple[str, float | None]] = []
+    for count, heavy in ((n_calm, False), (n_spike, True), (n_tail, False)):
+        for __ in range(count):
+            key = f"k{rng.randrange(n_keys)}"
+            value = rng.random() if heavy else None
+            records.append((key, value))
+    return records
+
+
+def _burst_fanout(amplify: int):
+    """Spike events explode into *amplify* measurements; calm events die.
+
+    This is the "per-tuple work multiplies during the burst" half of the
+    spike story: a breaking-news event does not just arrive more often,
+    each arrival fans out into more downstream records (retweets,
+    impressions, per-edge timings). The fan-out happens *inside the
+    workers*, so the pressure it creates is exactly the kind an elastic
+    runtime can relieve by adding workers — unlike coordinator-side
+    routing cost, which rescaling cannot touch.
+    """
+
+    def fanout(values: tuple) -> list[tuple]:
+        if values[1] is None:
+            return []
+        return [(values[0], values[1] + i) for i in range(amplify)]
+
+    return fanout
+
+
+def build_spike_topology(
+    records: list[tuple[str, float | None]],
+    quantile_parallelism: int = 1,
+    sketch_parallelism: int = 1,
+    batch_size: int = 64,
+    amplify: int = 8,
+) -> Topology:
+    """events → {hot_keys, audience} keyed; events → burst → latency.
+
+    ::
+
+        events ──fields(key)──> hot_keys  (CountMin,   par=sketch)
+               ──fields(key)──> audience  (HyperLogLog, par=sketch)
+               ──shuffle──────> burst     (fan spike events ×amplify,
+                                  │        drop value-less events)
+                                  └─fields(value)──> latency
+                                         (ExactQuantiles, par=quantile)
+
+    The quantile stage only sees spike-phase events — each amplified
+    ``amplify``-fold by the ``burst`` fan-out — so its load, and with it
+    the cluster's pressure signals, follows the workload's phases. All
+    three synopsis bolts hold splittable state; rescaling their
+    parallelism mid-run must leave the merged answers
+    fingerprint-identical to any fixed-parallelism run.
+    """
+    if amplify <= 0:
+        raise ParameterError("amplify must be positive")
+    builder = TopologyBuilder()
+    builder.set_spout("events", lambda: ListSpout(records))
+    builder.set_bolt(
+        "hot_keys",
+        lambda: SynopsisBolt(
+            lambda: CountMinSketch(512, 4), batch_size=batch_size
+        ),
+        parallelism=sketch_parallelism,
+    ).fields("events", 0)
+    builder.set_bolt(
+        "audience",
+        lambda: SynopsisBolt(
+            lambda: HyperLogLog(precision=12), batch_size=batch_size
+        ),
+        parallelism=sketch_parallelism,
+    ).fields("events", 0)
+    builder.set_bolt(
+        "burst", lambda: FlatMapBolt(_burst_fanout(amplify))
+    ).shuffle("events")
+    builder.set_bolt(
+        "latency",
+        lambda: SynopsisBolt(
+            ExactQuantiles,
+            extract=lambda values: values[1],
+            batch_size=batch_size,
+        ),
+        parallelism=quantile_parallelism,
+    ).fields("burst", 1)
+    return builder.build()

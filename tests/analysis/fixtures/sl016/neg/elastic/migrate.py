@@ -1,0 +1,41 @@
+"""Negative fixtures: disciplined migration surgery."""
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def migration_barrier(executor):
+    executor.drain()
+    yield
+
+
+def _capture_all(executor):
+    # Barrier-less surgery helper: the obligation sits at its call sites.
+    for inbox in executor.inboxes:
+        inbox.put(("snapshot", executor.epoch))
+    return executor.collect()
+
+
+def _restore_all(executor, states):
+    for inbox, state in zip(executor.inboxes, states):
+        inbox.put(("restore", state))
+
+
+def reshard(states, merged):
+    # Helpers may compose surgery freely inside their own bodies.
+    for state in states:
+        merged.merge(state)
+    return merged.split(len(states))
+
+
+def perform_rescale(executor, merged):
+    with migration_barrier(executor):
+        states = _capture_all(executor)
+        shards = reshard(states, merged)
+        _restore_all(executor, shards)
+    return shards
+
+
+def describe_trajectory(path):
+    # str.split on a constant is string work, not state surgery.
+    return "1 2 4".split() + [str(w) for w in path]

@@ -1,0 +1,39 @@
+"""Negative fixtures: splits that honour the elastic contract."""
+
+
+class SynopsisBase:
+    def merge(self, other):
+        raise NotImplementedError
+
+    def split(self, n):
+        raise NotImplementedError
+
+
+class MergeableBase(SynopsisBase):
+    """Abstract intermediate providing the merge half of the pair."""
+
+    def _merge_into(self, other):
+        raise NotImplementedError
+
+
+class RoundTripSketch(MergeableBase):
+    """Split with an inherited merge inverse and an intact source: clean."""
+
+    def __init__(self):
+        self._values = []
+
+    def _split_into(self, n):
+        shards = [RoundTripSketch() for _ in range(n)]
+        for i, value in enumerate(self._values):
+            shards[i % n]._values.append(value)
+        return shards
+
+
+class MergeOnlySketch(MergeableBase):
+    """No split at all — merge-only synopses are fine: clean."""
+
+    def __init__(self):
+        self._total = 0
+
+    def _merge_into(self, other):
+        self._total += other._total

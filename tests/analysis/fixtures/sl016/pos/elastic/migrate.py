@@ -1,0 +1,29 @@
+"""Positive fixtures: migration surgery outside the barrier."""
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def migration_barrier(executor):
+    executor.drain()
+    yield
+
+
+def _capture_all(executor):
+    for inbox in executor.inboxes:
+        inbox.put(("snapshot", executor.epoch))
+    return executor.collect()
+
+
+def rescale_without_barrier(executor):
+    # SL016: the cluster is never quiesced before state is captured.
+    states = _capture_all(executor)
+    return states
+
+
+def rescale_leaks_after_barrier(executor, merged, shard):
+    with migration_barrier(executor):
+        states = _capture_all(executor)
+    # SL016: the barrier is already released; this merge races live tuples.
+    merged.merge(shard)
+    return states, merged

@@ -1,0 +1,36 @@
+"""Positive fixtures: splits that violate the elastic contract."""
+
+
+class SynopsisBase:
+    def merge(self, other):
+        raise NotImplementedError
+
+    def split(self, n):
+        raise NotImplementedError
+
+
+class InverseLessSketch(SynopsisBase):
+    """Defines a split but no merge anywhere below the root: SL016."""
+
+    def __init__(self):
+        self._counts = {}
+
+    def _split_into(self, n):
+        return [InverseLessSketch() for _ in range(n)]
+
+
+class DestructiveSplitSketch(SynopsisBase):
+    """Split empties the source it is supposed to leave intact: SL016."""
+
+    def __init__(self):
+        self._values = []
+
+    def _merge_into(self, other):
+        self._values.extend(other._values)
+
+    def _split_into(self, n):
+        shards = [DestructiveSplitSketch() for _ in range(n)]
+        for i, value in enumerate(self._values):
+            shards[i % n]._values.append(value)
+        self._values = []
+        return shards

@@ -1,0 +1,248 @@
+"""Backpressure autoscaler policy loop, driven by synthetic health ticks.
+
+The executor-facing half (decisions actually rescaling a cluster) is
+covered by the elastic bench gate; here the policy itself is pinned —
+streak hysteresis, cooldown, MIMD targets, bounds, tracked parallelism
+and the lag-recovery watch — against hand-built
+:class:`~repro.obs.health.HealthSnapshot` ticks.
+"""
+
+import pytest
+
+from repro.cluster.elastic.autoscaler import (
+    AutoscaleDecision,
+    BackpressureAutoscaler,
+    PressurePolicy,
+)
+from repro.cluster.elastic.migrate import RescaleReport
+from repro.common.exceptions import ParameterError
+from repro.obs.health import HealthSnapshot, OperatorHealth, WorkerHealth
+
+
+def snap(
+    seq,
+    clock=0.0,
+    throttled=0,
+    backpressure=0,
+    occupancy=0.0,
+    in_flight=0,
+    lag=0.0,
+):
+    workers = (
+        WorkerHealth(
+            worker=0,
+            alive=True,
+            incarnation=0,
+            telemetry_seq=seq,
+            telemetry_age_s=0.0,
+            flushes=seq,
+            ring_in_used=int(occupancy * 100),
+            ring_out_used=0,
+            ring_capacity=100,
+            processed_total=0,
+        ),
+    )
+    operators = (
+        OperatorHealth(
+            name="latency",
+            kind="bolt",
+            processed=0,
+            emitted=0,
+            watermark=0.0,
+            lag=lag,
+            processed_rate=0.0,
+        ),
+    )
+    return HealthSnapshot(
+        seq=seq,
+        clock=clock,
+        reason="autoscale",
+        watermark_unit="offset",
+        source_frontier=float(lag),
+        backpressure_waits=backpressure,
+        latency_p50_s=0.0,
+        latency_p99_s=0.0,
+        workers=workers,
+        operators=operators,
+        in_flight=in_flight,
+        spout_throttled=throttled,
+    )
+
+
+def policy(**kw):
+    defaults = dict(
+        min_workers=1,
+        max_workers=8,
+        up_consecutive=2,
+        down_consecutive=3,
+        cooldown_ticks=2,
+    )
+    defaults.update(kw)
+    return PressurePolicy(**defaults)
+
+
+PAR = {"latency": 1, "hot_keys": 1}
+
+
+class TestScaleUp:
+    def test_fires_after_consecutive_pressured_ticks(self):
+        scaler = BackpressureAutoscaler(policy())
+        # tick 1 establishes the counter baselines (delta 0 → not pressured)
+        assert scaler.observe(snap(1), 1, PAR).action == "hold"
+        assert scaler.observe(snap(2, throttled=5), 1, PAR).action == "hold"
+        decision = scaler.observe(snap(3, throttled=12), 1, PAR)
+        assert decision.action == "up"
+        assert decision.n_workers == 2  # MIMD: double
+        assert decision.pressured
+
+    def test_backpressure_delta_counts_as_pressure(self):
+        scaler = BackpressureAutoscaler(policy(up_consecutive=1))
+        scaler.observe(snap(1), 1, PAR)
+        assert scaler.observe(snap(2, backpressure=3), 1, PAR).action == "up"
+
+    def test_high_occupancy_counts_as_pressure(self):
+        scaler = BackpressureAutoscaler(policy(up_consecutive=1))
+        scaler.observe(snap(1), 1, PAR)
+        assert scaler.observe(snap(2, occupancy=0.8), 1, PAR).action == "up"
+
+    def test_clamped_at_max_workers(self):
+        scaler = BackpressureAutoscaler(policy(up_consecutive=1, max_workers=4))
+        scaler.observe(snap(1), 1, PAR)
+        decision = scaler.observe(snap(2, throttled=5), 3, PAR)
+        assert decision.action == "up" and decision.n_workers == 4
+        scaler2 = BackpressureAutoscaler(policy(up_consecutive=1, max_workers=4))
+        scaler2.observe(snap(1), 4, PAR)
+        held = scaler2.observe(snap(2, throttled=5), 4, PAR)
+        assert held.action == "hold"
+        assert "max_workers" in held.reason
+
+    def test_tracked_parallelism_follows_target(self):
+        scaler = BackpressureAutoscaler(
+            policy(up_consecutive=1, track_parallelism=("latency",))
+        )
+        scaler.observe(snap(1), 2, PAR)
+        decision = scaler.observe(snap(2, throttled=1), 2, PAR)
+        assert decision.action == "up"
+        assert decision.parallelism["latency"] == 4
+        assert decision.parallelism["hot_keys"] == 1  # untracked: unchanged
+
+
+class TestScaleDown:
+    def test_fires_after_consecutive_idle_ticks(self):
+        scaler = BackpressureAutoscaler(policy())
+        for seq in range(1, 3):
+            assert scaler.observe(snap(seq), 4, PAR).action == "hold"
+        decision = scaler.observe(snap(3), 4, PAR)
+        assert decision.action == "down"
+        assert decision.n_workers == 2  # MIMD: halve
+        assert decision.idle
+
+    def test_clamped_at_min_workers(self):
+        scaler = BackpressureAutoscaler(policy(down_consecutive=1, min_workers=2))
+        scaler.observe(snap(1), 2, PAR)
+        held = scaler.observe(snap(2), 2, PAR)
+        assert held.action == "hold"
+        assert "min_workers" in held.reason
+
+
+class TestHysteresis:
+    def test_band_resets_both_streaks(self):
+        scaler = BackpressureAutoscaler(policy(up_consecutive=2))
+        scaler.observe(snap(1), 1, PAR)
+        scaler.observe(snap(2, throttled=5), 1, PAR)  # pressured, streak 1
+        # occupancy between low and high, no deltas: the hysteresis band
+        scaler.observe(snap(3, throttled=5, occupancy=0.2), 1, PAR)
+        decision = scaler.observe(snap(4, throttled=9), 1, PAR)
+        assert decision.action == "hold"  # streak restarted at 1
+
+    def test_cooldown_blocks_and_resets(self):
+        scaler = BackpressureAutoscaler(policy(up_consecutive=1, cooldown_ticks=2))
+        scaler.observe(snap(1), 1, PAR)
+        decision = scaler.observe(snap(2, throttled=5), 1, PAR)
+        assert decision.action == "up"
+        report = RescaleReport(
+            seq=1, reason="r", trigger="autoscale_up", from_workers=1, to_workers=2
+        )
+        scaler.note_applied(decision, report, clock=1.0)
+        held = scaler.observe(snap(3, throttled=50), 2, PAR)
+        assert held.action == "hold" and "cooldown" in held.reason
+        held = scaler.observe(snap(4, throttled=90), 2, PAR)
+        assert held.action == "hold"
+        # cooldown spent; pressure must re-accumulate from zero
+        assert scaler.observe(snap(5, throttled=130), 2, PAR).action == "up"
+
+
+class TestLagWatch:
+    @staticmethod
+    def _armed(clock=10.0):
+        scaler = BackpressureAutoscaler(policy(up_consecutive=1))
+        scaler.observe(snap(1), 1, PAR)
+        decision = scaler.observe(snap(2, throttled=5), 1, PAR)
+        report = RescaleReport(
+            seq=1, reason="r", trigger="autoscale_up", from_workers=1, to_workers=2
+        )
+        scaler.note_applied(decision, report, clock=clock)
+        return scaler, report
+
+    def test_recovery_stamped_when_lag_falls_under_target(self):
+        scaler, report = self._armed(clock=10.0)
+        # peak lag 1000 observed → target 100; still above → unresolved
+        scaler.observe(snap(3, clock=11.0, throttled=6, lag=1000.0), 2, PAR)
+        assert report.lag_recovery_s is None
+        scaler.observe(snap(4, clock=14.5, throttled=7, lag=50.0), 2, PAR)
+        assert report.lag_recovery_s == pytest.approx(4.5)
+
+    def test_drained_cluster_counts_as_recovered(self):
+        scaler, report = self._armed(clock=10.0)
+        scaler.observe(snap(3, clock=11.0, throttled=6, lag=1000.0), 2, PAR)
+        # lag frozen high (workload phase stopped feeding the operator)
+        # but nothing in flight and nothing stalled: provably drained
+        scaler.observe(
+            snap(4, clock=12.0, throttled=6, lag=1000.0, in_flight=0), 2, PAR
+        )
+        assert report.lag_recovery_s == pytest.approx(2.0)
+
+    def test_only_scale_ups_are_watched(self):
+        scaler = BackpressureAutoscaler(policy(down_consecutive=1))
+        scaler.observe(snap(1), 4, PAR)
+        decision = scaler.observe(snap(2), 4, PAR)
+        assert decision.action == "down"
+        report = RescaleReport(
+            seq=1, reason="r", trigger="autoscale_down", from_workers=4, to_workers=2
+        )
+        scaler.note_applied(decision, report, clock=1.0)
+        scaler.observe(snap(3, clock=2.0), 2, PAR)
+        assert report.lag_recovery_s is None
+
+
+class TestIntrospection:
+    def test_describe_is_json_shaped(self):
+        scaler = BackpressureAutoscaler(policy())
+        scaler.observe(snap(1), 1, PAR)
+        described = scaler.describe()
+        assert described["ticks"] == 1
+        assert described["min_workers"] == 1
+        assert described["last_decision"]["action"] == "hold"
+        assert isinstance(scaler.last_decision, AutoscaleDecision)
+
+    def test_decision_to_dict_round_trips(self):
+        decision = AutoscaleDecision(seq=1, action="up", n_workers=2)
+        assert decision.to_dict()["n_workers"] == 2
+
+
+class TestValidation:
+    def test_policy_bounds_checked(self):
+        with pytest.raises(ParameterError):
+            PressurePolicy(min_workers=0)
+        with pytest.raises(ParameterError):
+            PressurePolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ParameterError):
+            PressurePolicy(up_consecutive=0)
+        with pytest.raises(ParameterError):
+            PressurePolicy(cooldown_ticks=-1)
+        with pytest.raises(ParameterError):
+            PressurePolicy(low_occupancy=0.9, high_occupancy=0.5)
+
+    def test_tick_every_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            BackpressureAutoscaler(tick_every=0)

@@ -47,6 +47,48 @@ class TestFrozenDataclass:
         assert state["matches"] == matches
 
 
+class TestFloatPack:
+    """Homogeneous float lists take the packed-doubles fast path; the
+    round-trip must be bit-exact, and anything non-homogeneous must fall
+    back to the structural encoding unchanged."""
+
+    def test_large_float_list_roundtrips_bit_exact(self):
+        values = [i * 0.1 for i in range(1000)]
+        assert _roundtrip({"v": values})["v"] == values
+
+    def test_special_values_survive(self):
+        values = [float("inf"), float("-inf"), -0.0, 1e-308, 5e-324] * 10
+        restored = _roundtrip({"v": values})["v"]
+        assert restored == values
+        assert str(restored[2]) == "-0.0"  # signed zero preserved
+
+    def test_nan_survives(self):
+        import math
+
+        values = [float("nan")] * 64
+        restored = _roundtrip({"v": values})["v"]
+        assert all(math.isnan(v) for v in restored)
+
+    def test_mixed_list_falls_back(self):
+        # one int (or bool) disqualifies the pack; the generic path must
+        # still restore exact types, not floats
+        values = [0.5] * 63 + [1]
+        restored = _roundtrip({"v": values})["v"]
+        assert restored == values
+        assert type(restored[-1]) is int
+
+    def test_bool_list_not_packed(self):
+        values = [True, False] * 32
+        restored = _roundtrip({"v": values})["v"]
+        assert all(type(v) is bool for v in restored)
+
+    def test_shared_float_list_stays_aliased(self):
+        shared = [float(i) for i in range(100)]
+        state = _roundtrip({"a": shared, "b": shared})
+        assert state["a"] is state["b"]
+        assert state["a"] == shared
+
+
 class TestCrossKeyAliasing:
     def test_shared_object_stays_shared_across_keys(self):
         shared = [1, 2, 3]

@@ -1,0 +1,142 @@
+"""The split contract, enforced registry-wide.
+
+``split(n)`` is the elastic-rescale half of mergeability: for **every**
+synopsis registered in :mod:`repro.core.registry`, either
+
+* ``merge(split(s, n)...)`` reproduces ``s`` **bit-identically** (by
+  :func:`~repro.bench.fingerprint.state_fingerprint`) while leaving ``s``
+  untouched, or
+* ``split`` raises the typed
+  :class:`~repro.common.exceptions.SplitUnsupported` — never a silently
+  wrong partition.
+
+The live-migration planner (:mod:`repro.cluster.elastic`) trusts exactly
+this dichotomy: splittable bolt state is re-sharded in place, everything
+else falls back to drain-and-restart. The suite reuses the batch-ingest
+workloads so coverage against the registry is already pinned by
+``test_spec_covers_every_registered_synopsis``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.fingerprint import state_fingerprint
+from repro.common.exceptions import ParameterError, SplitUnsupported
+from repro.common.mergeable import SynopsisBase, shard_of
+
+from tests.core.test_batch_equivalence import SPEC, _build
+
+N_ITEMS = 200
+SHARD_COUNTS = (1, 2, 3, 5)
+
+# The classes for which a mathematically valid split exists. Pinned
+# explicitly so that (a) accidentally *losing* a split (refactor drops an
+# override) and (b) accidentally *gaining* one (a subclass inherits a
+# split whose clone constructor does not match) both fail loudly.
+EXPECTED_SPLITTABLE = frozenset(
+    {
+        "bloom",
+        "count_min",
+        "count_sketch",
+        "counting_bloom",
+        "exact_quantiles",
+        "flajolet_martin",
+        "hyperloglog",
+        "kmv",
+        "linear_counter",
+        "loglog",
+        "misra_gries",
+        "retouched_bloom",
+        "space_saving",
+    }
+)
+
+
+def _ingested(name: str, n_items: int = N_ITEMS):
+    syn = _build(name)
+    __, workload = SPEC[name]
+    syn.update_many(workload(n_items, random.Random(7)))
+    return syn
+
+
+def test_supports_split_matches_expected_set():
+    actual = {name for name in SPEC if type(_build(name)).supports_split()}
+    assert actual == set(EXPECTED_SPLITTABLE)
+
+
+def test_every_registry_entry_is_a_synopsis():
+    # split/merge/supports_split all live on SynopsisBase; the dichotomy
+    # above only covers the registry if everything registered derives
+    # from it.
+    for name in SPEC:
+        assert isinstance(_build(name), SynopsisBase), name
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SPLITTABLE))
+@pytest.mark.parametrize("n", SHARD_COUNTS)
+def test_merge_of_split_is_bit_identical(name, n):
+    syn = _ingested(name)
+    before = state_fingerprint(syn)
+
+    shards = syn.split(n)
+
+    assert len(shards) == n
+    assert state_fingerprint(syn) == before, "split mutated the original"
+    assert all(sh is not syn for sh in shards)
+
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    assert state_fingerprint(merged) == before
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SPLITTABLE))
+def test_split_of_empty_synopsis_round_trips(name):
+    syn = _build(name)
+    before = state_fingerprint(syn)
+    shards = syn.split(3)
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    assert state_fingerprint(merged) == before
+
+
+@pytest.mark.parametrize("name", sorted(set(SPEC) - set(EXPECTED_SPLITTABLE)))
+def test_unsupported_synopses_raise_typed_error(name):
+    syn = _ingested(name, n_items=64)
+    with pytest.raises(SplitUnsupported):
+        syn.split(2)
+    # ... and are introspectable without triggering the error.
+    assert not type(syn).supports_split()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SPLITTABLE))
+def test_split_rejects_nonpositive_shard_counts(name):
+    syn = _ingested(name, n_items=16)
+    with pytest.raises(ParameterError):
+        syn.split(0)
+    with pytest.raises(ParameterError):
+        syn.split(-1)
+
+
+def test_shard_of_is_stable_and_total():
+    # The key->shard hash must be deterministic across runs/processes
+    # (the coordinator splits, freshly forked workers consume).
+    keys = ["a", "b", 3, 4.5, ("t", 1), b"raw"]
+    for n in (1, 2, 7):
+        first = [shard_of(k, n) for k in keys]
+        assert [shard_of(k, n) for k in keys] == first
+        assert all(0 <= s < n for s in first)
+
+
+def test_shards_share_no_mutable_state():
+    # Updating a shard must never reach back into the original.
+    syn = _ingested("count_min")
+    before = state_fingerprint(syn)
+    shards = syn.split(2)
+    for shard in shards:
+        shard.update_many([f"post{i}" for i in range(32)])
+    assert state_fingerprint(syn) == before
